@@ -1,0 +1,63 @@
+"""Ablation -- moving the transient/nontransient boundary (Section 5.4).
+
+The paper concedes the transient boundary "depends upon the recovery
+system in place" but argues the environment-independent majority is
+unaffected.  This ablation reclassifies all 139 faults under four
+recovery models and checks exactly that: the EDN/EDT split moves, the
+environment-independent count never does.
+"""
+
+import pytest
+
+from repro.bugdb.enums import FaultClass
+from repro.classify.recovery_model import (
+    ELASTIC_ENVIRONMENT,
+    PAPER_DEFAULT,
+    RESTART_FRESH,
+    RecoveryModel,
+)
+from repro.classify.rules import RuleClassifier
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+PESSIMAL = RecoveryModel(kills_application_processes=False, expects_external_repair=False)
+
+MODELS = [
+    ("paper-default", PAPER_DEFAULT),
+    ("restart-fresh", RESTART_FRESH),
+    ("elastic-environment", ELASTIC_ENVIRONMENT),
+    ("pessimal", PESSIMAL),
+]
+
+
+@pytest.mark.parametrize("label,model", MODELS, ids=[label for label, _ in MODELS])
+def test_bench_ablation_recovery_model(benchmark, study, label, model):
+    classifier = RuleClassifier(model)
+    faults = study.all_faults()
+
+    def reclassify():
+        counts = {fault_class: 0 for fault_class in FaultClass}
+        for fault in faults:
+            counts[classifier.classify_evidence(fault.evidence).fault_class] += 1
+        return counts
+
+    counts = benchmark(reclassify)
+
+    # The environment-independent majority never moves.
+    assert counts[EI] == 113
+    assert counts[EDN] + counts[EDT] == 26
+    if label == "paper-default":
+        assert counts == {EI: 113, EDN: 14, EDT: 12}
+    if label == "elastic-environment":
+        # Storage and descriptor conditions become survivable.
+        assert counts[EDT] > 12
+    if label == "pessimal":
+        # Process-kill and external-repair benefits withdrawn.
+        assert counts[EDT] < 12
+
+    benchmark.extra_info["model"] = label
+    benchmark.extra_info["counts"] = (
+        f"EI {counts[EI]}, EDN {counts[EDN]}, EDT {counts[EDT]}"
+    )

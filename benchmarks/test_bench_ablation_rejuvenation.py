@@ -1,0 +1,44 @@
+"""Ablation -- rejuvenation interval vs. availability (Section 6.2).
+
+"Apache ... can be rejuvenated by sending it a special signal ... This
+technique is widely used by web administrators to reduce failures."
+The sweep quantifies the administrator's scheduling problem: rejuvenate
+before the leak kills the server, but not so often that planned downtime
+dominates — availability has an interior optimum.
+"""
+
+from repro.recovery.rejuvenation_schedule import LeakModel, sweep_rejuvenation_interval
+
+INTERVALS = (None, 0.5, 2.0, 8.0, 15.0, 19.0, 30.0)
+
+
+def test_bench_ablation_rejuvenation_interval(benchmark, study):
+    leak = LeakModel()  # 20 hours of uptime to failure
+
+    results = benchmark(
+        sweep_rejuvenation_interval,
+        INTERVALS,
+        leak,
+        rejuvenation_downtime_minutes=10.0,
+        crash_repair_hours=1.0,
+    )
+
+    availability = {interval: outcome.availability for interval, outcome in results}
+    crashes = {interval: outcome.crashes for interval, outcome in results}
+
+    # Baseline (no rejuvenation) crashes repeatedly.
+    assert crashes[None] > 0
+    # Any pre-failure interval prevents all crashes.
+    assert crashes[15.0] == 0
+    # Interior optimum: a sane interval beats both extremes.
+    assert availability[15.0] > availability[None]
+    assert availability[15.0] > availability[0.5]
+    # Too-late rejuvenation degenerates to the baseline.
+    assert crashes[30.0] == crashes[None]
+
+    benchmark.extra_info["availability_by_interval"] = {
+        str(interval): f"{value:.4f}" for interval, value in availability.items()
+    }
+    benchmark.extra_info["crashes_by_interval"] = {
+        str(interval): count for interval, count in crashes.items()
+    }

@@ -1,0 +1,35 @@
+"""A1 -- Section 5.4 aggregate numbers.
+
+"Of the 139 bugs we looked at, we found 14 (10%) environment-dependent-
+nontransient faults and 12 (9%) environment-dependent-transient faults";
+abstract: 72-87% environment-independent, 5-14% transient.
+"""
+
+from repro.analysis.aggregate import aggregate_summary
+from repro.analysis.stats import wilson_interval
+from repro.bugdb.enums import FaultClass
+
+
+def test_bench_aggregate_discussion(benchmark, study):
+    summary = benchmark(aggregate_summary, study)
+
+    assert summary.total_faults == 139
+    assert summary.counts[FaultClass.ENV_DEP_NONTRANSIENT] == 14
+    assert summary.counts[FaultClass.ENV_DEP_TRANSIENT] == 12
+    assert round(summary.fraction(FaultClass.ENV_DEP_NONTRANSIENT) * 100) == 10
+    assert round(summary.fraction(FaultClass.ENV_DEP_TRANSIENT) * 100) == 9
+
+    ei_low, ei_high = summary.fraction_range(FaultClass.ENV_INDEPENDENT)
+    assert (round(ei_low * 100), round(ei_high * 100)) == (72, 87)
+    edt_low, edt_high = summary.fraction_range(FaultClass.ENV_DEP_TRANSIENT)
+    assert (round(edt_low * 100), round(edt_high * 100)) == (5, 14)
+
+    low, high = wilson_interval(summary.counts[FaultClass.ENV_DEP_TRANSIENT], 139)
+    benchmark.extra_info["paper"] = "139 faults; 14 (10%) EDN; 12 (9%) EDT; EI 72-87%; EDT 5-14%"
+    benchmark.extra_info["measured"] = (
+        f"{summary.total_faults} faults; "
+        f"{summary.counts[FaultClass.ENV_DEP_NONTRANSIENT]} EDN; "
+        f"{summary.counts[FaultClass.ENV_DEP_TRANSIENT]} EDT; "
+        f"EI {ei_low:.0%}-{ei_high:.0%}; EDT {edt_low:.0%}-{edt_high:.0%}"
+    )
+    benchmark.extra_info["edt_wilson_95"] = f"{low:.3f}-{high:.3f}"

@@ -1,0 +1,42 @@
+"""Substrate bench -- classifier throughput at scale.
+
+The paper's corpus is 139 faults; a library should classify archives
+orders of magnitude larger.  Throughput is measured over a 5000-fault
+synthetic corpus (text pipeline, no curated evidence), with correctness
+asserted against the synthetic ground truth.
+"""
+
+import pytest
+
+from repro.bugdb.enums import Application
+from repro.classify.text import TextClassifier
+from repro.corpus.synthetic import synthetic_corpus
+
+
+@pytest.fixture(scope="module")
+def big_corpus():
+    return synthetic_corpus(
+        Application.APACHE,
+        env_independent=4000,
+        nontransient=500,
+        transient=500,
+        seed=17,
+    )
+
+
+def test_bench_classifier_throughput(benchmark, big_corpus):
+    reports = big_corpus.to_reports(attach_evidence=False)
+    classifier = TextClassifier()
+
+    results = benchmark(classifier.classify_all, reports)
+
+    assert len(results) == 5000
+    truth = big_corpus.ground_truth()
+    correct = sum(
+        1
+        for report, result in zip(reports, results)
+        if result.fault_class is truth[report.report_id]
+    )
+    assert correct == 5000
+    benchmark.extra_info["reports_classified"] = 5000
+    benchmark.extra_info["accuracy"] = correct / 5000

@@ -1,0 +1,41 @@
+"""F1 -- Figure 1: Apache fault distribution over software releases.
+
+Reproduces the figure's two published properties: the relative proportion
+of environment-independent bugs stays about the same across releases
+(chi-square invariance), and the total number of reported bugs grows
+with newer releases.
+"""
+
+from repro.analysis.distributions import release_distribution
+from repro.analysis.stats import proportion_invariance_chi2
+from repro.corpus.apache import RELEASES
+from repro.reports.figures import render_figure
+
+RELEASE_ORDER = tuple(version for version, _ in RELEASES)
+
+
+def test_bench_figure1_apache_releases(benchmark, apache):
+    def regenerate():
+        series = release_distribution(apache, release_order=RELEASE_ORDER)
+        invariance = proportion_invariance_chi2(series)
+        return series, invariance
+
+    series, invariance = benchmark(regenerate)
+
+    totals = series.totals()
+    assert sum(totals) == 50
+    # Property 1: environment-independent proportion roughly constant.
+    assert invariance.invariant_at_5pct
+    # Property 2: totals grow with newer releases.
+    assert totals[0] < totals[-1]
+    assert all(later >= earlier for earlier, later in zip(totals, totals[1:]))
+
+    benchmark.extra_info["paper_shape"] = (
+        "EI proportion ~constant across releases; totals grow with newer releases"
+    )
+    benchmark.extra_info["measured_totals"] = list(totals)
+    benchmark.extra_info["measured_ei_fractions"] = [
+        round(fraction, 2) for fraction in series.fractions()
+    ]
+    benchmark.extra_info["chi2_p_value"] = round(invariance.p_value, 4)
+    benchmark.extra_info["figure"] = render_figure(series)

@@ -1,0 +1,31 @@
+"""F2 -- Figure 2: GNOME fault distribution over time.
+
+Reproduces the figure's published properties: a very high environment-
+independent proportion over all periods, and "a decrease in the number
+of faults reported for a short interval before increasing again".
+"""
+
+from repro.analysis.distributions import time_distribution
+from repro.reports.figures import render_figure
+
+
+def test_bench_figure2_gnome_time(benchmark, gnome):
+    series = benchmark(time_distribution, gnome, granularity="month")
+
+    totals = series.totals()
+    assert sum(totals) == 45
+    # High environment-independent proportion in every non-trivial bucket.
+    for index in range(len(series.labels)):
+        if totals[index] >= 4:
+            assert series.env_independent_fraction(index) >= 0.6
+    # Dip then rise.
+    trough_index = totals.index(min(totals))
+    assert 0 < trough_index < len(totals) - 1
+    assert max(totals[trough_index:]) > totals[trough_index]
+
+    benchmark.extra_info["paper_shape"] = (
+        "EI proportion very high over all periods; dip in reports for a "
+        "short interval, then increase"
+    )
+    benchmark.extra_info["measured_totals"] = list(totals)
+    benchmark.extra_info["figure"] = render_figure(series)

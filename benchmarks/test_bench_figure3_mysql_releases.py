@@ -1,0 +1,39 @@
+"""F3 -- Figure 3: MySQL fault distribution over software releases.
+
+Reproduces the figure's published properties: environment-independent
+proportion roughly constant, totals growing with newer releases, and the
+very last release substantially lower "because the release is very new
+and hence very few users are using the software".
+"""
+
+from repro.analysis.distributions import release_distribution
+from repro.analysis.stats import proportion_invariance_chi2
+from repro.corpus.mysql import RELEASES
+from repro.reports.figures import render_figure
+
+RELEASE_ORDER = tuple(version for version, _ in RELEASES)
+
+
+def test_bench_figure3_mysql_releases(benchmark, mysql):
+    def regenerate():
+        series = release_distribution(mysql, release_order=RELEASE_ORDER)
+        invariance = proportion_invariance_chi2(series)
+        return series, invariance
+
+    series, invariance = benchmark(regenerate)
+
+    totals = series.totals()
+    assert sum(totals) == 44
+    assert invariance.invariant_at_5pct
+    # Growth up to the newest mature release...
+    assert all(later >= earlier for earlier, later in zip(totals[:-1], totals[1:-1]))
+    # ...and a substantially lower count for the brand-new last release.
+    assert totals[-1] < totals[-2] / 2
+
+    benchmark.extra_info["paper_shape"] = (
+        "EI proportion ~constant; totals grow; last (very new) release "
+        "substantially lower"
+    )
+    benchmark.extra_info["measured_totals"] = list(totals)
+    benchmark.extra_info["chi2_p_value"] = round(invariance.p_value, 4)
+    benchmark.extra_info["figure"] = render_figure(series)

@@ -1,0 +1,49 @@
+"""M1 -- Section 4 narrowing at the paper's full archive scale.
+
+5220 Apache problem reports -> 50 unique bugs; ~500 GNOME reports -> 45;
+~44,000 MySQL mailing-list messages -> 44.  Benchmarks the whole
+parse-and-narrow path per application.
+"""
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.corpus.render import apache_raw_archive, gnome_raw_archive, mysql_raw_archive
+from repro.mining import GNOME_STUDY_COMPONENTS, mine_apache, mine_gnome, mine_mysql
+
+
+def test_bench_mining_apache_full_scale(benchmark, apache):
+    archive = apache_raw_archive(apache)
+
+    def narrow():
+        return mine_apache(gnats.parse_archive(archive))
+
+    result = benchmark(narrow)
+    assert result.trace.initial == 5220
+    assert result.trace.final == 50
+    benchmark.extra_info["paper"] = "5220 reports -> 50 unique bugs"
+    benchmark.extra_info["measured_trace"] = result.trace.as_rows()
+
+
+def test_bench_mining_gnome_full_scale(benchmark, gnome):
+    archive = gnome_raw_archive(gnome, study_components=GNOME_STUDY_COMPONENTS)
+
+    def narrow():
+        return mine_gnome(debbugs.parse_archive(archive))
+
+    result = benchmark(narrow)
+    assert result.trace.initial == 500
+    assert result.trace.final == 45
+    benchmark.extra_info["paper"] = "~500 reports -> 45 unique bugs"
+    benchmark.extra_info["measured_trace"] = result.trace.as_rows()
+
+
+def test_bench_mining_mysql_full_scale(benchmark, mysql):
+    archive = mysql_raw_archive(mysql)
+
+    def narrow():
+        return mine_mysql(mbox.parse_archive(archive))
+
+    result = benchmark(narrow)
+    assert result.trace.initial >= 44000
+    assert result.trace.final == 44
+    benchmark.extra_info["paper"] = "~44,000 messages -> 44 unique bugs"
+    benchmark.extra_info["measured_trace"] = result.trace.as_rows()

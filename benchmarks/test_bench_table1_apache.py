@@ -1,0 +1,31 @@
+"""T1 -- Table 1: Apache fault classification (36 / 7 / 7).
+
+Regenerates Table 1 end to end: full-scale GNATS archive -> mining ->
+text classification -> table.  The classifier must land on the paper's
+exact counts with no curated evidence in the path.
+"""
+
+from repro.analysis.tables import classify_and_tabulate
+from repro.bugdb.enums import Application, FaultClass
+from repro.mining import mine_apache
+
+EXPECTED = {
+    FaultClass.ENV_INDEPENDENT: 36,
+    FaultClass.ENV_DEP_NONTRANSIENT: 7,
+    FaultClass.ENV_DEP_TRANSIENT: 7,
+}
+
+
+def test_bench_table1_apache(benchmark, apache_archive_reports):
+    def regenerate():
+        mined = mine_apache(apache_archive_reports)
+        return classify_and_tabulate(Application.APACHE, mined.items), mined.trace
+
+    table, trace = benchmark(regenerate)
+    assert table.counts == EXPECTED
+    assert trace.initial == 5220
+    assert trace.final == 50
+    benchmark.extra_info["paper_counts"] = "36/7/7 of 50"
+    benchmark.extra_info["measured_counts"] = "/".join(
+        str(table.counts[c]) for c in FaultClass
+    ) + f" of {table.total}"

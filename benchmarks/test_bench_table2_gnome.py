@@ -1,0 +1,29 @@
+"""T2 -- Table 2: GNOME fault classification (39 / 3 / 3).
+
+Regenerates Table 2 end to end from the raw debbugs archive.
+"""
+
+from repro.analysis.tables import classify_and_tabulate
+from repro.bugdb.enums import Application, FaultClass
+from repro.mining import mine_gnome
+
+EXPECTED = {
+    FaultClass.ENV_INDEPENDENT: 39,
+    FaultClass.ENV_DEP_NONTRANSIENT: 3,
+    FaultClass.ENV_DEP_TRANSIENT: 3,
+}
+
+
+def test_bench_table2_gnome(benchmark, gnome_archive_reports):
+    def regenerate():
+        mined = mine_gnome(gnome_archive_reports)
+        return classify_and_tabulate(Application.GNOME, mined.items), mined.trace
+
+    table, trace = benchmark(regenerate)
+    assert table.counts == EXPECTED
+    assert trace.initial == 500
+    assert trace.final == 45
+    benchmark.extra_info["paper_counts"] = "39/3/3 of 45"
+    benchmark.extra_info["measured_counts"] = "/".join(
+        str(table.counts[c]) for c in FaultClass
+    ) + f" of {table.total}"

@@ -1,0 +1,62 @@
+"""Substrate bench -- inverted index vs. linear scan on the full archive.
+
+Keyword filtering over the ~44,000-message MySQL archive two ways: the
+linear regex scan the miner uses, and the inverted
+:class:`~repro.bugdb.textindex.TextIndex`.  Both must find exactly the
+same messages; the index amortises after one build.
+"""
+
+import pytest
+
+from repro.bugdb.textindex import TextIndex
+from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
+
+
+@pytest.fixture(scope="module")
+def corpus_texts(mysql_archive_messages):
+    return [
+        (message.message_id, message.subject + "\n" + message.body)
+        for message in mysql_archive_messages
+    ]
+
+
+@pytest.fixture(scope="module")
+def built_index(corpus_texts):
+    index = TextIndex()
+    index.add_all(corpus_texts)
+    return index
+
+
+@pytest.fixture(scope="module")
+def linear_hits(corpus_texts):
+    matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+    return {doc_id for doc_id, text in corpus_texts if matcher.matches(text)}
+
+
+def test_bench_linear_scan(benchmark, corpus_texts, linear_hits):
+    matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+
+    def scan():
+        return {doc_id for doc_id, text in corpus_texts if matcher.matches(text)}
+
+    hits = benchmark(scan)
+    assert hits == linear_hits
+    benchmark.extra_info["messages"] = len(corpus_texts)
+    benchmark.extra_info["hits"] = len(hits)
+
+
+def test_bench_index_query(benchmark, built_index, linear_hits, corpus_texts):
+    hits = benchmark(built_index.search_any, MYSQL_STUDY_KEYWORDS)
+    assert hits == linear_hits
+    benchmark.extra_info["messages"] = len(corpus_texts)
+    benchmark.extra_info["hits"] = len(hits)
+
+
+def test_bench_index_build(benchmark, corpus_texts):
+    def build():
+        index = TextIndex()
+        index.add_all(corpus_texts)
+        return index
+
+    index = benchmark(build)
+    assert index.document_count == len(corpus_texts)

@@ -1,0 +1,66 @@
+"""Heisenbug survival curves: retry budget and race-window sweeps.
+
+Section 6.3: "retrying the same operation at a later time will usually
+succeed" for transient faults.  How usually?  This script sweeps the two
+knobs that answer that: the recovery retry budget (survival approaches
+certainty geometrically) and the width of the racy interleaving window
+(wider windows need bigger budgets).
+
+Run with::
+
+    python examples/heisenbug_sweeps.py
+"""
+
+from repro.corpus import full_study
+from repro.recovery import CheckpointRollback, sweep_race_window, sweep_retry_budget
+from repro.reports import format_table
+
+
+def main() -> None:
+    study = full_study()
+
+    budget_points = sweep_retry_budget(
+        study,
+        lambda budget: CheckpointRollback(max_attempts=budget),
+        budgets=(1, 2, 3, 4, 6, 8),
+        race_window=0.5,
+        replications=8,
+    )
+    print(
+        format_table(
+            ["retry budget", "timing faults survived", "survival rate"],
+            [
+                [int(point.parameter), f"{point.survived}/{point.total}", f"{point.survival_rate:.0%}"]
+                for point in budget_points
+            ],
+            title="Retry-budget sweep (race window 0.5)",
+        )
+    )
+    print()
+
+    window_points = sweep_race_window(
+        study,
+        CheckpointRollback,
+        windows=(0.05, 0.1, 0.25, 0.5, 0.75, 0.95),
+        replications=8,
+    )
+    print(
+        format_table(
+            ["race window", "timing faults survived", "survival rate"],
+            [
+                [point.parameter, f"{point.survived}/{point.total}", f"{point.survival_rate:.0%}"]
+                for point in window_points
+            ],
+            title="Race-window sweep (3 retries)",
+        )
+    )
+    print()
+    print(
+        "Retry budgets tame Heisenbugs quickly -- but remember the paper's\n"
+        "denominator: these curves cover only the 12 of 139 faults that are\n"
+        "transient in the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

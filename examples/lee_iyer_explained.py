@@ -1,0 +1,75 @@
+"""Why did Tandem's process pairs report 82%?  Section 7, executable.
+
+Lee & Iyer measured 82% process-pair recovery on Tandem GUARDIAN; this
+paper estimates only 5-14% of application faults are generically
+survivable.  Section 7 reconciles the two: most Tandem recoveries came
+from effects a *purely* generic mechanism doesn't have.  This script
+shows both halves:
+
+1. the published arithmetic (82% minus the non-generic effects = 29%);
+2. the dominant mechanism -- *error latency* -- demonstrated: a backup
+   whose checkpoint predates the state corruption "recovers" faults that
+   a perfectly synchronised (truly generic) backup re-creates.
+
+Run with::
+
+    python examples/lee_iyer_explained.py
+"""
+
+from repro.analysis import lee_iyer_reconciliation
+from repro.recovery import (
+    LatencyExperiment,
+    recovery_rate_with_random_latency,
+    sweep_checkpoint_age,
+)
+from repro.reports import format_table
+
+
+def main() -> None:
+    reconciliation = lee_iyer_reconciliation()
+    print(
+        format_table(
+            ["step", "recovery rate"],
+            [[desc, f"{rate:.2f}"] for desc, rate in reconciliation.steps()],
+            title="The published reconciliation (Section 7)",
+        )
+    )
+    print()
+
+    experiment = LatencyExperiment(leak_limit=100, task_operations=40)
+    outcomes = sweep_checkpoint_age(experiment, ages=tuple(range(0, 101, 10)))
+    print(
+        format_table(
+            ["checkpoint age (ops before crash)", "restored leak", "retry survives"],
+            [
+                [outcome.checkpoint_age, outcome.restored_leak, "yes" if outcome.survived else "no"]
+                for outcome in outcomes
+            ],
+            title="Error latency: staleness 'recovers' what synchrony re-creates",
+        )
+    )
+    print()
+
+    tight = recovery_rate_with_random_latency(LatencyExperiment(leak_limit=50, task_operations=40))
+    loose = recovery_rate_with_random_latency(LatencyExperiment(leak_limit=400, task_operations=40))
+    print(
+        format_table(
+            ["system", "apparent recovery rate"],
+            [
+                ["tight (corruption crashes fast, limit=50)", f"{tight:.0%}"],
+                ["leaky (long error latency, limit=400)", f"{loose:.0%}"],
+            ],
+            title="Uniform-random checkpoint age (the field-data situation)",
+        )
+    )
+    print()
+    print(
+        "The leakier system scores higher with zero real fault-tolerance\n"
+        "gained -- which is why field process-pair numbers overstate what a\n"
+        "purely generic mechanism can do, and why this paper re-reads 82% as\n"
+        "29% (and its own data as 5-14%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: load the study, print Tables 1-3 and the headline numbers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Application, FaultClass, full_study
+from repro.analysis import aggregate_summary, classification_table
+from repro.reports import render_classification_table
+
+
+def main() -> None:
+    study = full_study()
+
+    for application in Application:
+        table = classification_table(study.corpus(application))
+        print(render_classification_table(table))
+        print()
+
+    summary = aggregate_summary(study)
+    ei_low, ei_high = summary.fraction_range(FaultClass.ENV_INDEPENDENT)
+    edt_low, edt_high = summary.fraction_range(FaultClass.ENV_DEP_TRANSIENT)
+
+    print(f"Total study faults: {summary.total_faults}")
+    print(
+        f"Environment-dependent-nontransient: "
+        f"{summary.counts[FaultClass.ENV_DEP_NONTRANSIENT]} "
+        f"({summary.fraction(FaultClass.ENV_DEP_NONTRANSIENT):.0%})"
+    )
+    print(
+        f"Environment-dependent-transient:    "
+        f"{summary.counts[FaultClass.ENV_DEP_TRANSIENT]} "
+        f"({summary.fraction(FaultClass.ENV_DEP_TRANSIENT):.0%})"
+    )
+    print(f"Environment-independent share across apps: {ei_low:.0%}-{ei_high:.0%}")
+    print(f"Transient (generic-recoverable) share:     {edt_low:.0%}-{edt_high:.0%}")
+    print()
+    print(
+        "Conclusion (matching the paper): classical application-generic "
+        "recovery can address only the transient slice -- a small minority "
+        "of the faults that ship in released software."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Recovery-model sensitivity: moving the transient/nontransient boundary.
+
+Section 5.4 concedes that "classifying bugs between environment-
+dependent-transient and environment-dependent-nontransient classes is
+subjective and depends upon the recovery system in place."  This script
+makes that dependence concrete: it reclassifies all 139 faults under
+different :class:`~repro.classify.recovery_model.RecoveryModel`
+assumptions and shows how Tables 1-3 shift -- and that the
+environment-independent majority (the paper's main point) never moves.
+
+Run with::
+
+    python examples/recovery_model_sensitivity.py
+"""
+
+from repro import Application, FaultClass, TextClassifier, full_study
+from repro.classify.recovery_model import (
+    ELASTIC_ENVIRONMENT,
+    PAPER_DEFAULT,
+    RESTART_FRESH,
+    RecoveryModel,
+)
+from repro.reports import format_table
+
+MODELS = (
+    ("paper default", PAPER_DEFAULT),
+    ("restart-fresh (loses state)", RESTART_FRESH),
+    ("elastic environment (6.2 mitigations)", ELASTIC_ENVIRONMENT),
+    (
+        "pessimal (no process kill, no repair)",
+        RecoveryModel(kills_application_processes=False, expects_external_repair=False),
+    ),
+)
+
+
+def main() -> None:
+    study = full_study()
+    rows = []
+    for label, model in MODELS:
+        classifier = TextClassifier(model)
+        counts = {fault_class: 0 for fault_class in FaultClass}
+        for application in Application:
+            corpus = study.corpus(application)
+            for report in corpus.to_reports(attach_evidence=True):
+                counts[classifier.classify_report(report).fault_class] += 1
+        total = sum(counts.values())
+        rows.append(
+            [
+                label,
+                counts[FaultClass.ENV_INDEPENDENT],
+                counts[FaultClass.ENV_DEP_NONTRANSIENT],
+                counts[FaultClass.ENV_DEP_TRANSIENT],
+                f"{counts[FaultClass.ENV_DEP_TRANSIENT] / total:.0%}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["recovery model", "EI", "EDN", "EDT", "generic-recoverable"],
+            rows,
+            title="All 139 faults reclassified under different recovery systems",
+        )
+    )
+    print()
+    print(
+        "The environment-independent column never moves: no recovery system\n"
+        "turns a deterministic bug into a transient one.  Even the most\n"
+        "generous environment (elastic storage + OS-resource reclamation)\n"
+        "leaves the large environment-independent majority unsurvivable by\n"
+        "application-generic recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Replay every study fault under each recovery technique (Section 8).
+
+The paper's future work -- "implement applications like Apache and MySQL
+using various fault-tolerant techniques and test how well they recover
+from the bugs reported in error logs" -- executed against the mini
+applications: every curated fault is injected into the matching mini
+application, triggered with the environment the bug report describes,
+and each recovery technique gets its budget of attempts.
+
+Run with::
+
+    python examples/recovery_replay.py
+"""
+
+from repro.bugdb.enums import FaultClass
+from repro.corpus import full_study
+from repro.recovery import (
+    CheckpointRollback,
+    ProcessPairs,
+    ProgressiveRetry,
+    RestartFresh,
+    SoftwareRejuvenation,
+    replay_study,
+)
+from repro.reports import format_table
+
+
+def main() -> None:
+    study = full_study()
+    factories = (
+        ProcessPairs,
+        CheckpointRollback,
+        ProgressiveRetry,
+        RestartFresh,
+        SoftwareRejuvenation,
+    )
+
+    rows = []
+    for factory in factories:
+        report = replay_study(study, factory)
+        technique = factory()
+        rows.append(
+            [
+                report.technique,
+                "yes" if technique.application_generic else "no",
+                f"{report.survival_rate(FaultClass.ENV_INDEPENDENT):.0%}",
+                f"{report.survival_rate(FaultClass.ENV_DEP_NONTRANSIENT):.0%}",
+                f"{report.survival_rate(FaultClass.ENV_DEP_TRANSIENT):.0%}",
+                f"{report.survival_rate():.0%}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["technique", "generic", "EI survived", "EDN survived", "EDT survived", "overall"],
+            rows,
+            title="Generic-recovery replay over all 139 study faults",
+        )
+    )
+    print()
+    print(
+        "Reading: purely generic techniques (process pairs, rollback) survive\n"
+        "only the environment-dependent-transient faults -- the paper's point.\n"
+        "Techniques that discard state (restart, rejuvenation) also survive the\n"
+        "leak-style nontransient faults, which is exactly why Tandem's impure\n"
+        "process pairs looked better in Lee & Iyer's field data (Section 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""The administrator's rejuvenation-scheduling problem (Section 6.2).
+
+Apache's leak-style fault ("shared memory segment keeps growing ...")
+is environment-dependent-nontransient: generic recovery preserves the
+leak, so it cannot help.  What web administrators actually did — and the
+paper records it — is *rejuvenation*: restart Apache with a HUP signal
+on a schedule.  This script sweeps the schedule and shows the interior
+availability optimum: too late and the leak kills the server anyway,
+too eager and the planned restarts themselves eat the uptime.
+
+Run with::
+
+    python examples/rejuvenation_schedule.py
+"""
+
+from repro.recovery import LeakModel, sweep_rejuvenation_interval
+from repro.reports import format_table
+
+
+def main() -> None:
+    leak = LeakModel(
+        leak_per_request=1.0,
+        failure_threshold=10_000.0,
+        requests_per_hour=500.0,  # 20 hours of uptime until the leak kills httpd
+    )
+    intervals = (None, 0.5, 2.0, 8.0, 15.0, 19.0, 30.0)
+
+    results = sweep_rejuvenation_interval(
+        intervals,
+        leak,
+        rejuvenation_downtime_minutes=10.0,
+        crash_repair_hours=1.0,
+        duration_hours=24.0 * 90,
+    )
+
+    rows = []
+    for interval, outcome in results:
+        rows.append(
+            [
+                "never (baseline)" if interval is None else f"every {interval:g} h",
+                outcome.crashes,
+                outcome.rejuvenations,
+                f"{outcome.downtime_hours:.1f} h",
+                f"{outcome.availability:.4%}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["schedule", "crashes", "rejuvenations", "downtime", "availability"],
+            rows,
+            title=(
+                "90 days of a leaking server (leak kills httpd after 20 h of uptime)"
+            ),
+        )
+    )
+    print()
+    print(
+        "The sweet spot sits just under the time-to-failure: every planned\n"
+        "restart replaces an unplanned crash at a fraction of the downtime.\n"
+        "This is application-specific recovery -- exactly what the paper says\n"
+        "the nontransient majority requires."
+    )
+
+
+if __name__ == "__main__":
+    main()

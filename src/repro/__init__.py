@@ -1,0 +1,72 @@
+"""repro: reproduction of "Whither Generic Recovery from Application Faults?"
+
+Chandra & Chen, DSN 2000.  The library mechanises the paper's fault study
+over Apache, GNOME, and MySQL -- bug-archive formats and mining, the
+three-way fault taxonomy and classifiers, an operating-environment
+simulator with miniature fault-injectable applications, generic-recovery
+techniques (process pairs, checkpoint rollback, progressive retry), and
+the analysis that regenerates every table and figure in the paper.
+
+Quickstart::
+
+    from repro import full_study, Application
+    from repro.analysis import classification_table
+
+    study = full_study()
+    table = classification_table(study.corpus(Application.APACHE))
+    print(table)
+"""
+
+from repro._version import __version__
+from repro.bugdb import (
+    Application,
+    BugDatabase,
+    BugReport,
+    FaultClass,
+    Query,
+    Severity,
+    Symptom,
+    TriggerKind,
+)
+from repro.classify import (
+    Classification,
+    RecoveryModel,
+    RuleClassifier,
+    TextClassifier,
+    extract_evidence,
+)
+from repro.corpus import (
+    StudyCorpus,
+    StudyData,
+    StudyFault,
+    apache_corpus,
+    full_study,
+    gnome_corpus,
+    mysql_corpus,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "Application",
+    "BugDatabase",
+    "BugReport",
+    "Classification",
+    "FaultClass",
+    "Query",
+    "RecoveryModel",
+    "ReproError",
+    "RuleClassifier",
+    "Severity",
+    "StudyCorpus",
+    "StudyData",
+    "StudyFault",
+    "Symptom",
+    "TextClassifier",
+    "TriggerKind",
+    "__version__",
+    "apache_corpus",
+    "extract_evidence",
+    "full_study",
+    "gnome_corpus",
+    "mysql_corpus",
+]

@@ -1,0 +1,82 @@
+"""Analysis: the paper's tables, figures, and statistics as code.
+
+* :mod:`repro.analysis.tables` -- Tables 1-3 (per-application fault
+  classification counts);
+* :mod:`repro.analysis.distributions` -- Figures 1-3 (fault distribution
+  over releases for Apache/MySQL, over time for GNOME);
+* :mod:`repro.analysis.aggregate` -- the Section 5.4 discussion numbers
+  (139 faults, 10% / 9% environment-dependent, the 72-87% and 5-14%
+  ranges);
+* :mod:`repro.analysis.stats` -- confidence intervals and the
+  release-invariance test behind "the relative proportion of
+  environment-independent bugs stays about the same";
+* :mod:`repro.analysis.leeiyer` -- the Section 7 reconciliation with
+  Lee & Iyer's Tandem study (82% -> 29%).
+"""
+
+from repro.analysis.tables import ClassificationTable, classification_table, classify_and_tabulate
+from repro.analysis.distributions import (
+    FigureSeries,
+    release_distribution,
+    time_distribution,
+)
+from repro.analysis.aggregate import AggregateSummary, aggregate_summary
+from repro.analysis.stats import proportion_invariance_chi2, wilson_interval
+from repro.analysis.leeiyer import LeeIyerReconciliation, lee_iyer_reconciliation
+from repro.analysis.mitigations import (
+    MitigationAssessment,
+    MitigationCoverage,
+    MitigationKind,
+    assess_fault,
+    assess_study,
+)
+from repro.analysis.bootstrap import (
+    BootstrapInterval,
+    bootstrap_all_corpora,
+    bootstrap_class_fraction,
+)
+from repro.analysis.related import (
+    PRIOR_STUDIES,
+    PriorStudy,
+    RelatedWorkComparison,
+    related_work_comparison,
+)
+from repro.analysis.trends import (
+    DipSummary,
+    TrendSummary,
+    dip_analysis,
+    growth_trend,
+    last_release_outlier_ratio,
+)
+
+__all__ = [
+    "BootstrapInterval",
+    "bootstrap_all_corpora",
+    "bootstrap_class_fraction",
+    "PRIOR_STUDIES",
+    "PriorStudy",
+    "RelatedWorkComparison",
+    "related_work_comparison",
+    "DipSummary",
+    "MitigationAssessment",
+    "MitigationCoverage",
+    "MitigationKind",
+    "TrendSummary",
+    "assess_fault",
+    "assess_study",
+    "dip_analysis",
+    "growth_trend",
+    "last_release_outlier_ratio",
+    "AggregateSummary",
+    "ClassificationTable",
+    "FigureSeries",
+    "LeeIyerReconciliation",
+    "aggregate_summary",
+    "classification_table",
+    "classify_and_tabulate",
+    "lee_iyer_reconciliation",
+    "proportion_invariance_chi2",
+    "release_distribution",
+    "time_distribution",
+    "wilson_interval",
+]

@@ -1,0 +1,75 @@
+"""Section 5.4 aggregate discussion numbers.
+
+"Of the 139 bugs we looked at, we found 14 (10%) environment-dependent-
+nontransient faults and 12 (9%) environment-dependent-transient faults."
+And from the abstract: "72-87% of the faults are independent of the
+operating environment ... only 5-14% of the faults were triggered by
+transient conditions."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.loader import StudyData
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateSummary:
+    """Study-wide classification summary.
+
+    Attributes:
+        total_faults: faults across all applications.
+        counts: aggregate per-class counts.
+        per_application: per-application per-class counts.
+    """
+
+    total_faults: int
+    counts: dict[FaultClass, int]
+    per_application: dict[Application, dict[FaultClass, int]]
+
+    def fraction(self, fault_class: FaultClass) -> float:
+        """A class's share of all study faults."""
+        if self.total_faults == 0:
+            return 0.0
+        return self.counts[fault_class] / self.total_faults
+
+    def app_fraction(self, application: Application, fault_class: FaultClass) -> float:
+        """A class's share within one application."""
+        app_counts = self.per_application[application]
+        total = sum(app_counts.values())
+        if total == 0:
+            return 0.0
+        return app_counts[fault_class] / total
+
+    def fraction_range(self, fault_class: FaultClass) -> tuple[float, float]:
+        """(min, max) of a class's share across the applications.
+
+        The abstract's "72-87%" (environment-independent) and "5-14%"
+        (transient) are exactly these ranges.
+        """
+        fractions = [
+            self.app_fraction(application, fault_class)
+            for application in self.per_application
+        ]
+        return (min(fractions), max(fractions))
+
+    @property
+    def generic_recovery_upper_bound(self) -> float:
+        """The best case for generic recovery: the transient share."""
+        return self.fraction(FaultClass.ENV_DEP_TRANSIENT)
+
+
+def aggregate_summary(study: StudyData) -> AggregateSummary:
+    """Aggregate the full study into the Section 5.4 numbers."""
+    counts = study.aggregate_counts()
+    per_application = {
+        application: corpus.class_counts()
+        for application, corpus in study.corpora.items()
+    }
+    return AggregateSummary(
+        total_faults=study.total_faults,
+        counts=counts,
+        per_application=per_application,
+    )

@@ -1,0 +1,130 @@
+"""Figures 1-3: fault distributions over releases and over time.
+
+Figure 1 (Apache) and Figure 3 (MySQL) plot per-release fault counts
+stacked by class; Figure 2 (GNOME) plots counts over time "because of
+the nature of GNOME" (one release during the study period).  The series
+here carry the same data; rendering lives in :mod:`repro.reports`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+
+from repro.bugdb.enums import FaultClass
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureSeries:
+    """A stacked per-bucket fault distribution.
+
+    Attributes:
+        title: figure title.
+        labels: bucket labels (release names or time buckets), in order.
+        counts: per-class count arrays, aligned with ``labels``.
+    """
+
+    title: str
+    labels: tuple[str, ...]
+    counts: dict[FaultClass, tuple[int, ...]]
+
+    def total(self, index: int) -> int:
+        """Total faults in one bucket."""
+        return sum(series[index] for series in self.counts.values())
+
+    def totals(self) -> tuple[int, ...]:
+        """Total faults per bucket."""
+        return tuple(self.total(index) for index in range(len(self.labels)))
+
+    def env_independent_fraction(self, index: int) -> float:
+        """Environment-independent share of one bucket (0.0 when empty)."""
+        total = self.total(index)
+        if total == 0:
+            return 0.0
+        return self.counts[FaultClass.ENV_INDEPENDENT][index] / total
+
+    def fractions(self) -> tuple[float, ...]:
+        """Environment-independent share per bucket."""
+        return tuple(
+            self.env_independent_fraction(index) for index in range(len(self.labels))
+        )
+
+
+def _bucketize(
+    title: str,
+    labels: list[str],
+    faults_by_label: dict[str, list[StudyFault]],
+) -> FigureSeries:
+    counts: dict[FaultClass, list[int]] = {fault_class: [] for fault_class in FaultClass}
+    for label in labels:
+        bucket = faults_by_label.get(label, [])
+        for fault_class in FaultClass:
+            counts[fault_class].append(
+                sum(1 for fault in bucket if fault.fault_class is fault_class)
+            )
+    return FigureSeries(
+        title=title,
+        labels=tuple(labels),
+        counts={fault_class: tuple(values) for fault_class, values in counts.items()},
+    )
+
+
+def release_distribution(
+    corpus: StudyCorpus,
+    *,
+    release_order: tuple[str, ...] | None = None,
+) -> FigureSeries:
+    """Per-release fault distribution (Figures 1 and 3).
+
+    Args:
+        corpus: the study corpus to bucket.
+        release_order: explicit release ordering; defaults to first
+            appearance order in the corpus.
+    """
+    labels = list(release_order) if release_order else corpus.versions()
+    by_release: dict[str, list[StudyFault]] = {}
+    for fault in corpus.faults:
+        by_release.setdefault(fault.version, []).append(fault)
+    unknown = set(by_release) - set(labels)
+    if unknown:
+        raise ValueError(f"faults reference releases outside release_order: {sorted(unknown)}")
+    return _bucketize(
+        f"Distribution of faults for {corpus.application.display_name} over software releases",
+        labels,
+        by_release,
+    )
+
+
+def _quarter_label(date: _dt.date) -> str:
+    quarter = (date.month - 1) // 3 + 1
+    return f"{date.year}Q{quarter}"
+
+
+def _month_label(date: _dt.date) -> str:
+    return f"{date.year}-{date.month:02d}"
+
+
+def time_distribution(corpus: StudyCorpus, *, granularity: str = "quarter") -> FigureSeries:
+    """Fault distribution over time (Figure 2).
+
+    Args:
+        corpus: the study corpus to bucket.
+        granularity: ``"quarter"`` or ``"month"``.
+    """
+    if granularity == "quarter":
+        label_fn = _quarter_label
+    elif granularity == "month":
+        label_fn = _month_label
+    else:
+        raise ValueError(f"unknown granularity: {granularity!r}")
+
+    by_bucket: dict[str, list[StudyFault]] = {}
+    for fault in corpus.faults:
+        by_bucket.setdefault(label_fn(fault.date), []).append(fault)
+    labels = sorted(by_bucket)
+    return _bucketize(
+        f"Distribution of faults for {corpus.application.display_name} over time",
+        labels,
+        by_bucket,
+    )

@@ -1,0 +1,101 @@
+"""Section 7 reconciliation with Lee & Iyer's Tandem study [Lee93].
+
+Lee & Iyer reported that 82% of software faults in the Tandem GUARDIAN
+operating system were recovered by process pairs -- far above this
+paper's 5-14% estimate.  Section 7 reconciles the two numbers by
+removing, in turn, the recoveries that a *purely generic* recovery system
+would not get:
+
+1. recoveries that relied on application-specific state divergence
+   between primary and backup ("memory state" and "error latency"
+   categories -- the backup did not start from the failed primary's
+   state);
+2. recoveries where the backup simply never re-executed the requested
+   task (the paper's model requires all requested tasks to execute);
+3. faults that only ever affected the backup process (bugs introduced by
+   the process-pair mechanism itself, not application faults).
+
+"After eliminating these sources of differences from consideration, only
+29% of the software faults are transient bugs in the operating system."
+
+The exact sizes of the removed categories are not all published; the
+defaults below are calibrated so the arithmetic lands on the paper's
+published endpoints (0.82 in, 0.29 out) while keeping each step's share
+plausible relative to Lee & Iyer's category descriptions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class LeeIyerReconciliation:
+    """The 82% -> 29% decomposition as executable arithmetic.
+
+    All fields are fractions of Tandem's observed software faults.
+
+    Attributes:
+        reported_recovery_rate: Lee & Iyer's process-pair recovery rate.
+        app_specific_state_share: recoveries owed to the backup *not*
+            starting from the failed primary's state.
+        task_not_reexecuted_share: recoveries owed to the requested task
+            never being re-executed.
+        backup_only_share: faults that only affected the backup process.
+    """
+
+    reported_recovery_rate: float = 0.82
+    app_specific_state_share: float = 0.29
+    task_not_reexecuted_share: float = 0.14
+    backup_only_share: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "reported_recovery_rate",
+            "app_specific_state_share",
+            "task_not_reexecuted_share",
+            "backup_only_share",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a fraction in [0, 1]")
+
+    @property
+    def removed_total(self) -> float:
+        """Total recovery share attributable to non-generic effects."""
+        return (
+            self.app_specific_state_share
+            + self.task_not_reexecuted_share
+            + self.backup_only_share
+        )
+
+    @property
+    def purely_generic_rate(self) -> float:
+        """Recovery rate a purely generic process pair would have shown."""
+        return max(0.0, self.reported_recovery_rate - self.removed_total)
+
+    def steps(self) -> list[tuple[str, float]]:
+        """(description, running rate) after each removal, for reporting."""
+        running = self.reported_recovery_rate
+        rows = [("reported by Lee & Iyer", running)]
+        running -= self.app_specific_state_share
+        rows.append(("minus app-specific state divergence (memory state, error latency)", running))
+        running -= self.task_not_reexecuted_share
+        rows.append(("minus task not re-executed by backup", running))
+        running -= self.backup_only_share
+        rows.append(("minus backup-only faults (process-pair bugs)", running))
+        return rows
+
+    def residual_gap_explanations(self) -> list[str]:
+        """Why 29% still exceeds this study's 5-14% (the paper's two conjectures)."""
+        return [
+            "Tandem software is tested more thoroughly, eliminating more "
+            "non-transient faults than transient ones",
+            "operating-system software interacts more closely with the "
+            "hardware, creating more environmental dependencies",
+        ]
+
+
+def lee_iyer_reconciliation() -> LeeIyerReconciliation:
+    """The reconciliation with the paper's published endpoints (82% -> 29%)."""
+    return LeeIyerReconciliation()

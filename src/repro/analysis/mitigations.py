@@ -1,0 +1,189 @@
+"""Section 6: techniques for surviving each fault class, as data.
+
+The paper's Section 6 maps fault classes to survival techniques:
+
+* **6.1 environment-independent** -- prevention only: formal inspection
+  and testing [Weller93], type-safe languages (Java), memory tools
+  (Purify), robustness wrappers (Ballista [Kropp98]), standard libraries
+  (POSIX);
+* **6.2 environment-dependent-nontransient** -- grow the exhausted
+  resource, or reclaim it (descriptor garbage collection, virtual
+  sockets), or application-specific rejuvenation [Huang95];
+* **6.3 environment-dependent-transient** -- process pairs [Gray86] and
+  rollback-recovery [Elnozahy99, Huang93], with environment-change
+  inducement [Wang93].
+
+This module makes that mapping executable: given a fault (or a whole
+study), report which mitigations apply and how much of the fault
+population each mitigation class covers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import Counter
+
+from repro.bugdb.enums import FaultClass, TriggerKind
+from repro.corpus.loader import StudyData
+from repro.corpus.studyspec import StudyFault
+
+
+class MitigationKind(enum.Enum):
+    """A survival/prevention technique from Section 6."""
+
+    # 6.1: prevention for deterministic faults.
+    INSPECTION_AND_TESTING = "formal inspection and thorough testing"
+    TYPE_SAFE_LANGUAGE = "type-safe language (bounds/memory safety)"
+    MEMORY_TOOLS = "memory tools (Purify-style)"
+    ROBUSTNESS_WRAPPERS = "robustness-testing wrappers (Ballista-style)"
+    STANDARD_LIBRARIES = "standard libraries (POSIX) for portability"
+    # 6.2: resource-exhaustion handling.
+    GROW_RESOURCE = "automatically increase the exhausted resource"
+    RECLAIM_RESOURCE = "automatically reclaim unused resources"
+    REJUVENATION = "application-specific rejuvenation"
+    ADMINISTRATOR_ACTION = "administrator repair of the environment"
+    # 6.3: generic recovery for transients.
+    PROCESS_PAIRS = "process pairs / rollback-retry"
+    ENVIRONMENT_CHANGE_INDUCEMENT = "induced environment change on retry (message reordering)"
+
+
+#: Symptom keywords in fix/description text pointing at 6.1 sub-techniques.
+_MEMORY_HINTS = ("overflow", "bounds", "memory leak", "use after free", "buffer")
+_PORTABILITY_HINTS = ("solaris", "unixware", "platform", "linux/ppc", "locale")
+
+_GROWABLE_RESOURCES = {
+    TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+    TriggerKind.DISK_FULL,
+    TriggerKind.FILE_SIZE_LIMIT,
+    TriggerKind.DISK_CACHE_FULL,
+    TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+}
+
+_RECLAIMABLE_RESOURCES = {
+    TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+    TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+    TriggerKind.RESOURCE_LEAK,
+}
+
+_REJUVENATION_TRIGGERS = {
+    TriggerKind.RESOURCE_LEAK,
+    TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+    TriggerKind.PROCESS_TABLE_FULL,
+    TriggerKind.PORT_IN_USE,
+}
+
+_ADMIN_ONLY_TRIGGERS = {
+    TriggerKind.HARDWARE_REMOVAL,
+    TriggerKind.DNS_MISCONFIGURED,
+    TriggerKind.CORRUPT_EXTERNAL_STATE,
+    TriggerKind.HOST_CONFIG_CHANGE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MitigationAssessment:
+    """The Section 6 techniques applicable to one fault.
+
+    Attributes:
+        fault_id: the assessed fault.
+        fault_class: its class (drives which section applies).
+        mitigations: applicable techniques, most specific first.
+    """
+
+    fault_id: str
+    fault_class: FaultClass
+    mitigations: tuple[MitigationKind, ...]
+
+    @property
+    def survivable_without_code_change(self) -> bool:
+        """Whether any runtime technique (not prevention) applies."""
+        runtime = {
+            MitigationKind.GROW_RESOURCE,
+            MitigationKind.RECLAIM_RESOURCE,
+            MitigationKind.REJUVENATION,
+            MitigationKind.PROCESS_PAIRS,
+            MitigationKind.ENVIRONMENT_CHANGE_INDUCEMENT,
+            MitigationKind.ADMINISTRATOR_ACTION,
+        }
+        return any(mitigation in runtime for mitigation in self.mitigations)
+
+
+def assess_fault(fault: StudyFault) -> MitigationAssessment:
+    """Map one study fault to its Section 6 techniques."""
+    mitigations: list[MitigationKind] = []
+    if fault.fault_class is FaultClass.ENV_INDEPENDENT:
+        text = (fault.description + " " + fault.fix_summary).lower()
+        if any(hint in text for hint in _MEMORY_HINTS):
+            mitigations.append(MitigationKind.TYPE_SAFE_LANGUAGE)
+            mitigations.append(MitigationKind.MEMORY_TOOLS)
+        if any(hint in text for hint in _PORTABILITY_HINTS):
+            mitigations.append(MitigationKind.STANDARD_LIBRARIES)
+        mitigations.append(MitigationKind.ROBUSTNESS_WRAPPERS)
+        mitigations.append(MitigationKind.INSPECTION_AND_TESTING)
+    elif fault.fault_class is FaultClass.ENV_DEP_NONTRANSIENT:
+        if fault.trigger in _GROWABLE_RESOURCES:
+            mitigations.append(MitigationKind.GROW_RESOURCE)
+        if fault.trigger in _RECLAIMABLE_RESOURCES:
+            mitigations.append(MitigationKind.RECLAIM_RESOURCE)
+        if fault.trigger in _REJUVENATION_TRIGGERS:
+            mitigations.append(MitigationKind.REJUVENATION)
+        if fault.trigger in _ADMIN_ONLY_TRIGGERS or not mitigations:
+            mitigations.append(MitigationKind.ADMINISTRATOR_ACTION)
+    else:
+        mitigations.append(MitigationKind.PROCESS_PAIRS)
+        if fault.trigger in (TriggerKind.RACE_CONDITION, TriggerKind.SIGNAL_TIMING):
+            mitigations.append(MitigationKind.ENVIRONMENT_CHANGE_INDUCEMENT)
+    return MitigationAssessment(
+        fault_id=fault.fault_id,
+        fault_class=fault.fault_class,
+        mitigations=tuple(mitigations),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MitigationCoverage:
+    """Study-wide mitigation coverage summary."""
+
+    assessments: tuple[MitigationAssessment, ...]
+
+    @property
+    def total(self) -> int:
+        """Number of assessed faults."""
+        return len(self.assessments)
+
+    def counts_by_mitigation(self) -> dict[MitigationKind, int]:
+        """How many faults each technique applies to."""
+        counter: Counter[MitigationKind] = Counter()
+        for assessment in self.assessments:
+            counter.update(assessment.mitigations)
+        return dict(counter)
+
+    def generic_recovery_coverage(self) -> float:
+        """Fraction of faults process pairs / rollback-retry can address.
+
+        This is the paper's bottom line: it equals the transient share.
+        """
+        covered = sum(
+            1
+            for assessment in self.assessments
+            if MitigationKind.PROCESS_PAIRS in assessment.mitigations
+        )
+        if not self.assessments:
+            return 0.0
+        return covered / self.total
+
+    def prevention_only_count(self) -> int:
+        """Faults addressable only by prevention (no runtime technique)."""
+        return sum(
+            1
+            for assessment in self.assessments
+            if not assessment.survivable_without_code_change
+        )
+
+
+def assess_study(study: StudyData) -> MitigationCoverage:
+    """Assess every fault in the study."""
+    return MitigationCoverage(
+        assessments=tuple(assess_fault(fault) for fault in study.all_faults())
+    )

@@ -1,0 +1,173 @@
+"""Statistics behind the paper's qualitative claims.
+
+The paper eyeballs two properties from Figures 1-3: the environment-
+independent proportion "stays about the same" across releases, and the
+totals grow with newer releases.  This module backs the first with a
+chi-square independence test and provides Wilson score intervals for the
+small-sample class fractions the abstract reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.analysis.distributions import FigureSeries
+from repro.bugdb.enums import FaultClass
+
+
+def wilson_interval(successes: int, total: int, *, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: observed successes.
+        total: observations.
+        z: normal quantile (1.96 for 95%).
+
+    Returns:
+        (low, high) bounds in [0, 1]; (0, 1) when ``total`` is 0.
+
+    Raises:
+        ValueError: if successes are negative or exceed total.
+    """
+    if total < 0 or successes < 0 or successes > total:
+        raise ValueError("need 0 <= successes <= total")
+    if total == 0:
+        return (0.0, 1.0)
+    phat = successes / total
+    denominator = 1 + z * z / total
+    center = phat + z * z / (2 * total)
+    margin = z * math.sqrt(phat * (1 - phat) / total + z * z / (4 * total * total))
+    low = (center - margin) / denominator
+    high = (center + margin) / denominator
+    # Degenerate endpoints are exact; clamp away float rounding.
+    if successes == 0:
+        low = 0.0
+    if successes == total:
+        high = 1.0
+    return (max(0.0, low), min(1.0, high))
+
+
+@dataclasses.dataclass(frozen=True)
+class Chi2Result:
+    """A chi-square test of class-proportion invariance across buckets.
+
+    Attributes:
+        statistic: the chi-square statistic.
+        degrees_of_freedom: (buckets-1) x (classes-1) after pooling.
+        p_value: right-tail probability.
+        invariant_at_5pct: True when the proportions are statistically
+            indistinguishable across buckets at the 5% level (the paper's
+            "stays about the same").
+    """
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+
+    @property
+    def invariant_at_5pct(self) -> bool:
+        return self.p_value > 0.05
+
+
+def _chi2_sf(statistic: float, dof: int) -> float:
+    """Right-tail chi-square probability.
+
+    Uses the regularized upper incomplete gamma function via the series /
+    continued-fraction split (no SciPy dependency in the library core).
+    """
+    if dof <= 0:
+        raise ValueError("dof must be positive")
+    if statistic <= 0:
+        return 1.0
+    return _upper_regularized_gamma(dof / 2.0, statistic / 2.0)
+
+
+def _upper_regularized_gamma(s: float, x: float) -> float:
+    if x < s + 1:
+        # Lower series, then complement.
+        term = 1.0 / s
+        total = term
+        k = s
+        for _ in range(500):
+            k += 1
+            term *= x / k
+            total += term
+            if abs(term) < abs(total) * 1e-12:
+                break
+        lower = total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+        return max(0.0, 1.0 - lower)
+    # Continued fraction for the upper function (Lentz's algorithm).
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def proportion_invariance_chi2(
+    series: FigureSeries,
+    *,
+    pool_environment_dependent: bool = True,
+    min_bucket_total: int = 1,
+) -> Chi2Result:
+    """Test whether class proportions are invariant across buckets.
+
+    Args:
+        series: a Figure 1-3 distribution.
+        pool_environment_dependent: pool the two environment-dependent
+            classes into one column (their per-bucket counts are tiny, as
+            the paper's figures show).
+        min_bucket_total: drop buckets with fewer faults than this.
+
+    Returns:
+        The chi-square result over the (bucket x class) contingency table.
+
+    Raises:
+        ValueError: if fewer than two usable buckets remain.
+    """
+    rows: list[list[int]] = []
+    for index in range(len(series.labels)):
+        ei = series.counts[FaultClass.ENV_INDEPENDENT][index]
+        edn = series.counts[FaultClass.ENV_DEP_NONTRANSIENT][index]
+        edt = series.counts[FaultClass.ENV_DEP_TRANSIENT][index]
+        if ei + edn + edt < min_bucket_total:
+            continue
+        if pool_environment_dependent:
+            rows.append([ei, edn + edt])
+        else:
+            rows.append([ei, edn, edt])
+    if len(rows) < 2:
+        raise ValueError("need at least two non-empty buckets")
+
+    num_columns = len(rows[0])
+    column_totals = [sum(row[j] for row in rows) for j in range(num_columns)]
+    grand_total = sum(column_totals)
+    statistic = 0.0
+    for row in rows:
+        row_total = sum(row)
+        for j in range(num_columns):
+            expected = row_total * column_totals[j] / grand_total
+            if expected > 0:
+                statistic += (row[j] - expected) ** 2 / expected
+    dof = (len(rows) - 1) * (num_columns - 1)
+    return Chi2Result(
+        statistic=statistic,
+        degrees_of_freedom=dof,
+        p_value=_chi2_sf(statistic, dof),
+    )

@@ -1,0 +1,65 @@
+"""Tables 1-3: per-application fault classification counts."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bugdb.enums import Application, FaultClass
+from repro.bugdb.model import BugReport
+from repro.classify.text import TextClassifier
+from repro.corpus.studyspec import StudyCorpus
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassificationTable:
+    """One classification table (the paper's Table 1, 2, or 3).
+
+    Attributes:
+        application: the application tabulated.
+        counts: per-class fault counts.
+    """
+
+    application: Application
+    counts: dict[FaultClass, int]
+
+    @property
+    def total(self) -> int:
+        """Total faults in the table."""
+        return sum(self.counts.values())
+
+    def fraction(self, fault_class: FaultClass) -> float:
+        """One class's share of the total (0.0 for an empty table)."""
+        if self.total == 0:
+            return 0.0
+        return self.counts[fault_class] / self.total
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(class name, count) rows in the paper's order."""
+        return [(fault_class.value, self.counts[fault_class]) for fault_class in FaultClass]
+
+    def matches(self, expected: dict[FaultClass, int]) -> bool:
+        """Whether the table equals an expected count dict exactly."""
+        return all(self.counts.get(fault_class, 0) == count for fault_class, count in expected.items()) and self.total == sum(expected.values())
+
+
+def classification_table(corpus: StudyCorpus) -> ClassificationTable:
+    """Tabulate a curated corpus by its ground-truth labels."""
+    return ClassificationTable(application=corpus.application, counts=corpus.class_counts())
+
+
+def classify_and_tabulate(
+    application: Application,
+    reports: list[BugReport],
+    *,
+    classifier: TextClassifier | None = None,
+) -> ClassificationTable:
+    """Tabulate mined reports by running the classifier over them.
+
+    This is the end-to-end path: raw archive -> mining -> this function
+    should land on the paper's exact counts.
+    """
+    clf = classifier or TextClassifier()
+    counts = {fault_class: 0 for fault_class in FaultClass}
+    for report in reports:
+        counts[clf.classify_report(report).fault_class] += 1
+    return ClassificationTable(application=application, counts=counts)

@@ -1,0 +1,127 @@
+"""Trend statistics behind the Figure 1-3 narratives.
+
+The paper reads three qualitative trends off its figures: report totals
+*grow* with newer releases (Apache, MySQL), the newest release is an
+outlier because few users run it yet (MySQL), and GNOME shows a *dip*
+in reports "for a short interval before increasing again".  This module
+quantifies each reading so the figure benchmarks can assert it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.distributions import FigureSeries
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendSummary:
+    """Quantified trend of a per-bucket total series.
+
+    Attributes:
+        slope: least-squares slope of totals against bucket index.
+        kendall_tau: rank correlation of totals with time (−1..1).
+        is_growing: slope positive and tau non-negative.
+    """
+
+    slope: float
+    kendall_tau: float
+
+    @property
+    def is_growing(self) -> bool:
+        return self.slope > 0 and self.kendall_tau >= 0
+
+
+def _least_squares_slope(values: list[int]) -> float:
+    count = len(values)
+    if count < 2:
+        return 0.0
+    mean_x = (count - 1) / 2
+    mean_y = sum(values) / count
+    numerator = sum((i - mean_x) * (y - mean_y) for i, y in enumerate(values))
+    denominator = sum((i - mean_x) ** 2 for i in range(count))
+    return numerator / denominator
+
+
+def _kendall_tau(values: list[int]) -> float:
+    count = len(values)
+    if count < 2:
+        return 0.0
+    concordant = discordant = 0
+    for i in range(count):
+        for j in range(i + 1, count):
+            if values[j] > values[i]:
+                concordant += 1
+            elif values[j] < values[i]:
+                discordant += 1
+    pairs = count * (count - 1) / 2
+    return (concordant - discordant) / pairs
+
+
+def growth_trend(series: FigureSeries, *, drop_last: bool = False) -> TrendSummary:
+    """Quantify growth of report totals over buckets.
+
+    Args:
+        series: a Figure 1-3 distribution.
+        drop_last: exclude the final bucket (MySQL's "very new" release,
+            which the paper explicitly discounts).
+    """
+    totals = list(series.totals())
+    if drop_last and totals:
+        totals = totals[:-1]
+    return TrendSummary(
+        slope=_least_squares_slope(totals),
+        kendall_tau=_kendall_tau(totals),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class DipSummary:
+    """An interior trough in a total series (the GNOME Figure 2 shape).
+
+    Attributes:
+        trough_index: index of the lowest bucket.
+        trough_value: its total.
+        recovery_peak: the highest total after the trough.
+        has_interior_dip: trough strictly inside the series with higher
+            totals on both sides.
+    """
+
+    trough_index: int
+    trough_value: int
+    recovery_peak: int
+    has_interior_dip: bool
+
+
+def dip_analysis(series: FigureSeries) -> DipSummary:
+    """Locate and characterise the dip-then-rise shape."""
+    totals = list(series.totals())
+    if not totals:
+        return DipSummary(0, 0, 0, False)
+    trough_value = min(totals)
+    trough_index = totals.index(trough_value)
+    after = totals[trough_index + 1 :]
+    recovery_peak = max(after) if after else trough_value
+    has_interior_dip = (
+        0 < trough_index < len(totals) - 1
+        and max(totals[:trough_index]) > trough_value
+        and recovery_peak > trough_value
+    )
+    return DipSummary(
+        trough_index=trough_index,
+        trough_value=trough_value,
+        recovery_peak=recovery_peak,
+        has_interior_dip=has_interior_dip,
+    )
+
+
+def last_release_outlier_ratio(series: FigureSeries) -> float:
+    """Final bucket's total relative to the previous one (MySQL Figure 3).
+
+    Returns 1.0 when there are fewer than two buckets or the previous
+    bucket is empty.
+    """
+    totals = series.totals()
+    if len(totals) < 2 or totals[-2] == 0:
+        return 1.0
+    return totals[-1] / totals[-2]

@@ -1,0 +1,33 @@
+"""Miniature fault-injectable applications.
+
+The paper's future work (Section 8): "we hope to implement applications
+like Apache and MySQL using various fault-tolerant techniques and test
+how well they recover from the bugs reported in error logs."  This
+package does that for the reproduction: three small applications with the
+same *environmental dependence structure* as the studied ones -- a
+forking HTTP server, a SQL database, and a desktop session -- plus a
+fault-injection layer that maps every curated study fault onto a defect
+triggered by the same workload/environment condition the bug report
+describes.
+"""
+
+from repro.apps.base import AppCheckpoint, MiniApplication
+from repro.apps.faults import FaultInjector, InjectedDefect
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.sqldb import MiniSqlDatabase
+from repro.apps.desktop import MiniDesktop
+from repro.apps.registry import make_application
+from repro.apps.workload import Workload, workload_for_fault
+
+__all__ = [
+    "AppCheckpoint",
+    "FaultInjector",
+    "InjectedDefect",
+    "MiniApplication",
+    "MiniDesktop",
+    "MiniHttpServer",
+    "MiniSqlDatabase",
+    "Workload",
+    "make_application",
+    "workload_for_fault",
+]

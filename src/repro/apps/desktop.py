@@ -1,0 +1,120 @@
+"""MiniDesktop: a GNOME-shaped desktop session.
+
+Implements the slice of desktop behaviour the GNOME study faults depend
+on: a panel with applets, windows opened against a display authenticated
+with the boot-time hostname, sound events holding descriptors, and file
+property editing over external (on-disk) metadata.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApplication
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash, SimulationError
+
+
+class MiniDesktop(MiniApplication):
+    """A small desktop session over the simulated environment."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env, name="mini-desktop")
+
+    def _init_state(self) -> None:
+        self.state.setdefault("applets", [])
+        self.state.setdefault("windows", [])
+        self.state.setdefault("events_handled", 0)
+
+    # ------------------------------------------------------------------ #
+    # panel
+    # ------------------------------------------------------------------ #
+
+    def add_applet(self, name: str) -> None:
+        """Add an applet to the panel."""
+        if name in self.state["applets"]:
+            raise SimulationError(f"applet already present: {name}")
+        self.state["applets"].append(name)
+
+    def remove_applet(self, name: str) -> None:
+        """Remove an applet from the panel."""
+        try:
+            self.state["applets"].remove(name)
+        except ValueError:
+            raise SimulationError(f"no such applet: {name}") from None
+
+    def dispatch_event(self, applet: str) -> None:
+        """Deliver an action event to an applet.
+
+        Raises:
+            SimulationError: if the applet is gone (the removal race's
+                failure surface, when not injected as a defect).
+        """
+        if applet not in self.state["applets"]:
+            raise SimulationError(f"event for destroyed applet: {applet}")
+        self.state["events_handled"] += 1
+
+    # ------------------------------------------------------------------ #
+    # windows / display
+    # ------------------------------------------------------------------ #
+
+    def open_window(self, title: str) -> None:
+        """Open a window against the display.
+
+        The display connection was authenticated with the boot-time
+        hostname; a renamed machine makes new connections fail.
+
+        Raises:
+            ApplicationCrash: when the hostname changed since boot.
+        """
+        if self.env.hostname != self.boot_hostname:
+            raise ApplicationCrash("display-auth-failure", symptom="crash")
+        self.open_descriptor()
+        self.state["windows"].append(title)
+
+    def close_window(self, title: str) -> None:
+        """Close a window."""
+        try:
+            self.state["windows"].remove(title)
+        except ValueError:
+            raise SimulationError(f"no such window: {title}") from None
+        self.close_descriptor()
+
+    # ------------------------------------------------------------------ #
+    # sound + files
+    # ------------------------------------------------------------------ #
+
+    def play_sound_event(self, *, utility_leaks_socket: bool = False) -> None:
+        """Play a sound event through the sound utilities.
+
+        Args:
+            utility_leaks_socket: reproduce the studied leak -- the
+                utility exits leaving its socket (a descriptor) open.
+        """
+        self.open_descriptor(leaked=utility_leaks_socket)
+        if not utility_leaks_socket:
+            self.close_descriptor()
+
+    def edit_file_properties(self, path: str) -> None:
+        """Open the property editor on a file stored in the environment.
+
+        Raises:
+            ApplicationCrash: when the file's owner field is illegal (the
+                curated corrupt-metadata fault's surface).
+        """
+        if self.env.disk.file_size("file-with-illegal-owner") > 0 and path == "file-with-illegal-owner":
+            raise ApplicationCrash("illegal-owner-field", symptom="crash")
+        self.state["events_handled"] += 1
+
+    def _do_op(self, op: str):
+        if op == "open-window":
+            return self.open_window("untitled")
+        if op == "play-sound":
+            return self.play_sound_event()
+        if op == "edit-properties":
+            return self.edit_file_properties("file-with-illegal-owner")
+        if op == "applet-action":
+            if "clock" not in self.state["applets"]:
+                self.add_applet("clock")
+            return self.dispatch_event("clock")
+        if op == "startup":
+            return None
+        return None

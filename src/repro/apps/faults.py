@@ -1,0 +1,230 @@
+"""Fault injection: study faults as executable defects.
+
+Each :class:`InjectedDefect` is derived from one curated
+:class:`~repro.corpus.studyspec.StudyFault` and reproduces its
+*environmental dependence structure*:
+
+* environment-independent defects fire every time their workload
+  operation runs;
+* resource-triggered defects fire while the corresponding environment
+  condition holds, and :meth:`InjectedDefect.arm` establishes that
+  condition the way the bug report describes (filling the disk, leaking
+  descriptors, degrading DNS, ...);
+* timing-triggered defects (races, signal windows, workload timing) fire
+  unconditionally on their first execution -- the failure did happen,
+  that is why a bug was reported -- and on later executions fire only if
+  the scheduler's fresh interleaving lands back in the racy window.
+
+The replay driver (:mod:`repro.recovery.driver`) then measures whether a
+generic recovery technique survives each defect -- the paper's proposed
+end-to-end check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.bugdb.enums import Symptom, TriggerKind
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.dns import DnsState
+from repro.envmodel.environment import Environment
+from repro.envmodel.network import NetworkState
+from repro.errors import ApplicationCrash, ApplicationHang
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.apps.base import MiniApplication
+
+#: Probability mass of the racy interleaving window for timing defects.
+DEFAULT_RACE_WINDOW = 0.25
+
+#: Entropy (bits) the key-generation path needs.
+ENTROPY_NEEDED_BITS = 128
+
+_TIMING_TRIGGERS = frozenset(
+    {
+        TriggerKind.RACE_CONDITION,
+        TriggerKind.SIGNAL_TIMING,
+        TriggerKind.WORKLOAD_TIMING,
+        TriggerKind.UNKNOWN_TRANSIENT,
+    }
+)
+
+#: In-memory objects the resource-leak defect accumulates before failing.
+LEAK_LIMIT = 1000
+
+
+@dataclasses.dataclass
+class InjectedDefect:
+    """One study fault turned into an injectable defect.
+
+    Attributes:
+        fault: the study fault this defect reproduces.
+        race_window: width of the racy window for timing triggers.
+        fired_once: whether the defect has fired at least once.
+        executions: times the guarded operation has run.
+    """
+
+    fault: StudyFault
+    race_window: float = DEFAULT_RACE_WINDOW
+    fired_once: bool = False
+    executions: int = 0
+
+    @property
+    def op(self) -> str:
+        """The workload operation this defect guards."""
+        return self.fault.workload_op
+
+    # ------------------------------------------------------------------ #
+    # arming: establish the triggering condition
+    # ------------------------------------------------------------------ #
+
+    def arm(self, env: Environment, app: "MiniApplication") -> None:
+        """Set up the bug report's triggering condition.
+
+        For environment-independent faults there is nothing to set up --
+        the defect is in the code.  For environment-dependent faults this
+        reproduces the report's environment: exhausted resources, degraded
+        services, changed host configuration.
+        """
+        trigger = self.fault.trigger
+        if trigger is TriggerKind.NONE or trigger in _TIMING_TRIGGERS:
+            return
+        if trigger is TriggerKind.RESOURCE_LEAK:
+            # The leak is application memory: it survives state-preserving
+            # recovery, which is exactly why the paper calls it
+            # nontransient.
+            app.state["leaked_objects"] = LEAK_LIMIT + 1
+        elif trigger is TriggerKind.FILE_DESCRIPTOR_EXHAUSTION:
+            while not env.file_descriptors.exhausted:
+                app.open_descriptor(leaked=True)
+        elif trigger is TriggerKind.DISK_FULL:
+            env.disk.fill()
+        elif trigger is TriggerKind.FILE_SIZE_LIMIT:
+            if env.disk.max_file_bytes is not None:
+                env.disk.write("growing-file", min(env.disk.max_file_bytes, env.disk.free_bytes))
+        elif trigger is TriggerKind.DISK_CACHE_FULL:
+            env.disk_cache.fill()
+        elif trigger is TriggerKind.NETWORK_RESOURCE_EXHAUSTION:
+            free = env.network.buffers.available
+            env.network.buffers.acquire(free)
+            app.footprint.network_buffers += free
+        elif trigger is TriggerKind.HARDWARE_REMOVAL:
+            env.network.remove_interface()
+        elif trigger is TriggerKind.HOST_CONFIG_CHANGE:
+            env.change_hostname(env.hostname + ".renamed")
+        elif trigger is TriggerKind.DNS_MISCONFIGURED:
+            env.dns.remove_reverse("10.0.0.99")
+        elif trigger is TriggerKind.CORRUPT_EXTERNAL_STATE:
+            env.disk.write("file-with-illegal-owner", 1)
+        elif trigger is TriggerKind.PROCESS_TABLE_FULL:
+            while not env.process_table.exhausted:
+                app.fork_child()
+        elif trigger is TriggerKind.PORT_IN_USE:
+            while not env.ports.exhausted:
+                app.bind_port()
+        elif trigger is TriggerKind.DNS_ERROR:
+            env.dns.degrade(DnsState.ERROR)
+        elif trigger is TriggerKind.DNS_SLOW:
+            env.dns.degrade(DnsState.SLOW)
+        elif trigger is TriggerKind.NETWORK_SLOW:
+            env.network.degrade(NetworkState.SLOW)
+        elif trigger is TriggerKind.ENTROPY_EXHAUSTION:
+            env.entropy.drain()
+        else:  # pragma: no cover - exhaustive over TriggerKind
+            raise ValueError(f"unhandled trigger: {trigger!r}")
+
+    # ------------------------------------------------------------------ #
+    # firing: does the condition hold right now?
+    # ------------------------------------------------------------------ #
+
+    def condition_holds(self, env: Environment, app: "MiniApplication") -> bool:
+        """Whether the triggering condition currently holds.
+
+        Timing triggers consult the scheduler: the first execution is
+        forced (the reported failure happened), later ones re-draw.
+        """
+        trigger = self.fault.trigger
+        if trigger is TriggerKind.NONE:
+            return True
+        if trigger in _TIMING_TRIGGERS:
+            if not self.fired_once:
+                return True
+            return env.scheduler.race_fires(self.race_window)
+        if trigger is TriggerKind.RESOURCE_LEAK:
+            return app.state.get("leaked_objects", 0) > LEAK_LIMIT
+        if trigger is TriggerKind.FILE_DESCRIPTOR_EXHAUSTION:
+            return env.file_descriptors.exhausted
+        if trigger is TriggerKind.DISK_FULL:
+            return env.disk.full
+        if trigger is TriggerKind.FILE_SIZE_LIMIT:
+            return (
+                env.disk.max_file_bytes is not None
+                and env.disk.file_size("growing-file") >= env.disk.max_file_bytes
+            )
+        if trigger is TriggerKind.DISK_CACHE_FULL:
+            return env.disk_cache.full
+        if trigger is TriggerKind.NETWORK_RESOURCE_EXHAUSTION:
+            return env.network.buffers.exhausted
+        if trigger is TriggerKind.HARDWARE_REMOVAL:
+            return not env.network.interface_present
+        if trigger is TriggerKind.HOST_CONFIG_CHANGE:
+            return env.hostname != app.boot_hostname
+        if trigger is TriggerKind.DNS_MISCONFIGURED:
+            return not env.dns.has_reverse("10.0.0.99")
+        if trigger is TriggerKind.CORRUPT_EXTERNAL_STATE:
+            return env.disk.file_size("file-with-illegal-owner") > 0
+        if trigger is TriggerKind.PROCESS_TABLE_FULL:
+            return env.process_table.exhausted
+        if trigger is TriggerKind.PORT_IN_USE:
+            return env.ports.exhausted
+        if trigger is TriggerKind.DNS_ERROR:
+            return env.dns.state is DnsState.ERROR
+        if trigger is TriggerKind.DNS_SLOW:
+            return env.dns.state is DnsState.SLOW
+        if trigger is TriggerKind.NETWORK_SLOW:
+            return env.network.state is NetworkState.SLOW
+        if trigger is TriggerKind.ENTROPY_EXHAUSTION:
+            return env.entropy.bits < ENTROPY_NEEDED_BITS
+        raise ValueError(f"unhandled trigger: {trigger!r}")  # pragma: no cover
+
+    def fire_if_triggered(self, env: Environment, app: "MiniApplication") -> None:
+        """Crash the application if the triggering condition holds.
+
+        Raises:
+            ApplicationHang: for hang-symptom faults whose condition holds.
+            ApplicationCrash: for all other symptoms whose condition holds.
+        """
+        self.executions += 1
+        if not self.condition_holds(env, app):
+            return
+        self.fired_once = True
+        if self.fault.symptom is Symptom.HANG:
+            raise ApplicationHang(self.fault.fault_id)
+        raise ApplicationCrash(self.fault.fault_id, symptom=self.fault.symptom.value)
+
+
+class FaultInjector:
+    """Holds the defects injected into one application, keyed by operation."""
+
+    def __init__(self):
+        self._defects: dict[str, InjectedDefect] = {}
+
+    def inject(self, defect: InjectedDefect) -> None:
+        """Register a defect; its guarded op must be unique per app."""
+        if defect.op in self._defects:
+            raise ValueError(f"a defect already guards op {defect.op!r}")
+        self._defects[defect.op] = defect
+
+    def defect_for(self, op: str) -> InjectedDefect | None:
+        """The defect guarding ``op``, if any."""
+        return self._defects.get(op)
+
+    def check(self, op: str, env: Environment, app: "MiniApplication") -> None:
+        """Fire the defect guarding ``op`` if its condition holds."""
+        defect = self._defects.get(op)
+        if defect is not None:
+            defect.fire_if_triggered(env, app)
+
+    def __len__(self) -> int:
+        return len(self._defects)

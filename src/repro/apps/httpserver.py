@@ -1,0 +1,193 @@
+"""MiniHttpServer: an Apache-shaped forking web server.
+
+Implements the slice of web-server behaviour the Apache study faults
+depend on: a listening port, forked worker children, per-request file
+descriptors, access logging to the environment disk, optional hostname
+lookups through the environment DNS, response transfer over the
+environment network, and key generation drawing from the entropy pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.base import MiniApplication
+from repro.envmodel.dns import DnsLookupError
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash, SimulationError
+
+#: Bytes appended to the access log per request.
+LOG_RECORD_BYTES = 120
+
+#: Seconds a client waits before abandoning a request.
+CLIENT_TIMEOUT_SECONDS = 10.0
+
+
+@dataclasses.dataclass(frozen=True)
+class HttpResponse:
+    """A served response.
+
+    Attributes:
+        status: HTTP status code.
+        body: response body.
+        elapsed_seconds: virtual time the request took.
+    """
+
+    status: int
+    body: str
+    elapsed_seconds: float
+
+
+class MiniHttpServer(MiniApplication):
+    """A small forking HTTP server over the simulated environment.
+
+    Args:
+        env: the operating environment.
+        hostname_logging: resolve client addresses through DNS per request
+            (the paths the DNS faults live in).
+        max_children: worker pool size.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        hostname_logging: bool = False,
+        max_children: int = 8,
+    ):
+        super().__init__(env, name="mini-httpd")
+        self.hostname_logging = hostname_logging
+        self.max_children = max_children
+        self.running = False
+
+    def _init_state(self) -> None:
+        self.state.setdefault("documents", {"/index.html": "<html>It works!</html>"})
+        self.state.setdefault("requests_served", 0)
+        self.state.setdefault("log_bytes", 0)
+        self.state.setdefault("access_control", {})  # path prefix -> {user: password}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Bind the listening port and pre-fork the worker pool."""
+        if self.running:
+            raise SimulationError("server already running")
+        self.bind_port()
+        for _ in range(self.max_children):
+            self.fork_child()
+        self.running = True
+
+    def stop(self) -> None:
+        """Reap workers and release the port."""
+        while self.footprint.process_slots > 0:
+            self.reap_child()
+        while self.footprint.ports > 0:
+            self.release_port()
+        self.running = False
+
+    def generate_session_key(self, bits: int = 128) -> None:
+        """Draw key material from /dev/random (blocks when drained)."""
+        self.env.entropy.draw(bits)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    def add_document(self, path: str, content: str) -> None:
+        """Publish a document."""
+        self.state["documents"][path] = content
+
+    def protect(self, path_prefix: str, users: dict[str, str]) -> None:
+        """Require basic authentication under a path prefix.
+
+        Args:
+            path_prefix: prefix (matched on whole path segments).
+            users: allowed ``user -> password`` pairs.
+        """
+        self.state["access_control"][path_prefix] = dict(users)
+
+    def _authorized(self, path: str, credentials: tuple[str, str] | None) -> bool:
+        for prefix, users in self.state["access_control"].items():
+            prefix_matches = path == prefix or path.startswith(prefix.rstrip("/") + "/")
+            if prefix_matches:
+                if credentials is None:
+                    return False
+                user, password = credentials
+                return users.get(user) == password
+        return True
+
+    def handle_request(
+        self,
+        path: str,
+        *,
+        client_address: str = "10.0.0.5",
+        credentials: tuple[str, str] | None = None,
+    ) -> HttpResponse:
+        """Serve one request end to end.
+
+        Opens a descriptor for the connection, optionally resolves the
+        client, finds the document, transfers the body over the network,
+        and appends an access-log record.
+
+        Raises:
+            ApplicationCrash: if the response transfer outlives the
+                client timeout (the slow-network failure mode) or DNS
+                fails with hostname logging enabled.
+        """
+        start = self.env.clock.now
+        self.open_descriptor()
+        try:
+            if self.hostname_logging:
+                try:
+                    __, latency = self.env.dns.reverse_lookup(client_address)
+                except DnsLookupError as exc:
+                    raise ApplicationCrash("dns-lookup-failure", symptom="crash") from exc
+                self.env.clock.advance(latency)
+
+            if not self._authorized(path, credentials):
+                status, body = 401, "Authorization Required"
+            else:
+                document = self.state["documents"].get(path)
+                if document is None:
+                    status, body = 404, "Not Found"
+                else:
+                    status, body = 200, document
+
+            transfer = self.env.network.transfer_seconds(len(body))
+            if transfer > CLIENT_TIMEOUT_SECONDS:
+                raise ApplicationCrash("client-timeout", symptom="error-return")
+            self.env.clock.advance(transfer)
+
+            self.env.disk.write("access_log", LOG_RECORD_BYTES)
+            self.state["log_bytes"] += LOG_RECORD_BYTES
+            self.state["requests_served"] += 1
+            return HttpResponse(status=status, body=body, elapsed_seconds=self.env.clock.now - start)
+        finally:
+            self.close_descriptor()
+
+    def _do_op(self, op: str):
+        if op == "get-page":
+            return self.handle_request("/index.html")
+        if op == "get-missing-url":
+            return self.handle_request("/no-such-page")
+        if op in ("dns-lookup", "dns-lookup-slow"):
+            return self.handle_request("/index.html")
+        if op == "generate-key":
+            return self.generate_session_key()
+        if op == "fork-child":
+            self.fork_child()
+            return None
+        if op == "bind-port":
+            self.bind_port()
+            return None
+        if op in ("log-append", "log-append-fs"):
+            self.env.disk.write("access_log", LOG_RECORD_BYTES)
+            return None
+        if op in ("accept-connection", "accept-connection-nic"):
+            self.env.network.require_up()
+            self.env.network.buffers.acquire()
+            self.footprint.network_buffers += 1
+            return None
+        return None

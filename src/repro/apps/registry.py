@@ -1,0 +1,26 @@
+"""Application factory: study application -> mini application."""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApplication
+from repro.apps.desktop import MiniDesktop
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.sqldb import MiniSqlDatabase
+from repro.bugdb.enums import Application
+from repro.envmodel.environment import Environment
+
+
+def make_application(application: Application, env: Environment) -> MiniApplication:
+    """Build the mini application standing in for a studied application.
+
+    Args:
+        application: which studied application.
+        env: the environment the instance runs in.
+    """
+    if application is Application.APACHE:
+        return MiniHttpServer(env)
+    if application is Application.GNOME:
+        return MiniDesktop(env)
+    if application is Application.MYSQL:
+        return MiniSqlDatabase(env)
+    raise ValueError(f"unknown application: {application!r}")  # pragma: no cover

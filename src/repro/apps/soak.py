@@ -1,0 +1,158 @@
+"""Soak testing: realistic generated workloads for the mini applications.
+
+The recovery replay drives each application with a short, fixed workload
+around the faulty operation.  Soak testing is the complement: long,
+randomly generated (but seed-deterministic) workloads over the healthy
+application, checking that its state and its environment footprint stay
+consistent.  This is how the mini applications earn the right to stand
+in for Apache/GNOME/MySQL in the replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.apps.desktop import MiniDesktop
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.sqldb import MiniSqlDatabase
+from repro.envmodel.environment import Environment
+from repro.rng import DEFAULT_SEED, make_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class SoakResult:
+    """The outcome of one soak run.
+
+    Attributes:
+        operations: operations performed.
+        failures: operations that raised (should be zero on a healthy app).
+        final_descriptors_in_use: environment descriptors held at the end.
+    """
+
+    operations: int
+    failures: int
+    final_descriptors_in_use: int
+
+    @property
+    def clean(self) -> bool:
+        """No failures and no descriptor leak."""
+        return self.failures == 0 and self.final_descriptors_in_use == 0
+
+
+def soak_http_server(
+    *,
+    operations: int = 500,
+    seed: int = DEFAULT_SEED,
+    env: Environment | None = None,
+) -> SoakResult:
+    """Soak a healthy :class:`MiniHttpServer` with generated requests."""
+    environment = env or Environment(seed=seed)
+    environment.dns.add_record("client.example.net", "10.0.0.5")
+    server = MiniHttpServer(environment)
+    rng = make_rng(seed, "soak-http")
+    for index in range(20):
+        server.add_document(f"/page-{index}", f"<html>page {index}</html>")
+    failures = 0
+    for _ in range(operations):
+        path = f"/page-{rng.randrange(25)}"  # some requests will 404
+        try:
+            response = server.handle_request(path)
+            assert response.status in (200, 404)
+        except Exception:  # noqa: BLE001 - soak counts any failure
+            failures += 1
+    return SoakResult(
+        operations=operations,
+        failures=failures,
+        final_descriptors_in_use=environment.file_descriptors.in_use,
+    )
+
+
+_SOAK_NAMES = ("ada", "grace", "alan", "edsger", "barbara", "tony")
+
+
+def soak_sql_database(
+    *,
+    operations: int = 500,
+    seed: int = DEFAULT_SEED,
+    env: Environment | None = None,
+) -> SoakResult:
+    """Soak a healthy :class:`MiniSqlDatabase` with generated statements."""
+    environment = env or Environment(seed=seed)
+    db = MiniSqlDatabase(environment)
+    rng = make_rng(seed, "soak-sql")
+    db.execute("CREATE TABLE people (id, name, age)")
+    next_id = 0
+    failures = 0
+    live_rows = 0
+    for _ in range(operations):
+        choice = rng.random()
+        try:
+            if choice < 0.45 or live_rows == 0:
+                db.execute(
+                    f"INSERT INTO people VALUES ({next_id}, "
+                    f"'{rng.choice(_SOAK_NAMES)}', {rng.randrange(18, 90)})"
+                )
+                next_id += 1
+                live_rows += 1
+            elif choice < 0.75:
+                rows = db.execute("SELECT * FROM people ORDER BY age")
+                assert len(rows) == live_rows
+            elif choice < 0.9:
+                changed = db.execute(
+                    f"UPDATE people SET age = {rng.randrange(18, 90)} "
+                    f"WHERE name = '{rng.choice(_SOAK_NAMES)}'"
+                )
+                assert changed >= 0
+            else:
+                removed = db.execute(f"DELETE FROM people WHERE id = {rng.randrange(next_id)}")
+                live_rows -= removed
+            count = db.execute("SELECT COUNT(*) FROM people")[0]["count"]
+            assert count == live_rows
+        except Exception:  # noqa: BLE001
+            failures += 1
+    return SoakResult(
+        operations=operations,
+        failures=failures,
+        final_descriptors_in_use=environment.file_descriptors.in_use,
+    )
+
+
+def soak_desktop(
+    *,
+    operations: int = 500,
+    seed: int = DEFAULT_SEED,
+    env: Environment | None = None,
+) -> SoakResult:
+    """Soak a healthy :class:`MiniDesktop` with generated UI events."""
+    environment = env or Environment(seed=seed)
+    desktop = MiniDesktop(environment)
+    rng = make_rng(seed, "soak-desktop")
+    applets = ["clock", "pager", "tasklist", "mailcheck"]
+    for applet in applets:
+        desktop.add_applet(applet)
+    window_counter = 0
+    failures = 0
+    for _ in range(operations):
+        choice = rng.random()
+        try:
+            if choice < 0.4:
+                desktop.dispatch_event(rng.choice(desktop.state["applets"]))
+            elif choice < 0.6:
+                title = f"window-{window_counter}"
+                window_counter += 1
+                desktop.open_window(title)
+            elif choice < 0.8 and desktop.state["windows"]:
+                desktop.close_window(rng.choice(desktop.state["windows"]))
+            else:
+                desktop.play_sound_event()
+        except Exception:  # noqa: BLE001
+            failures += 1
+    # Close remaining windows so descriptor accounting can be checked.
+    for title in list(desktop.state["windows"]):
+        desktop.close_window(title)
+    return SoakResult(
+        operations=operations,
+        failures=failures,
+        final_descriptors_in_use=environment.file_descriptors.in_use,
+    )

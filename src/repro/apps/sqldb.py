@@ -1,0 +1,330 @@
+"""MiniSqlDatabase: a MySQL-shaped multi-session SQL server.
+
+Implements the slice of database behaviour the MySQL study faults depend
+on: tables with rows and simple indexes persisted (by size) to the
+environment disk, a small SQL dialect (CREATE TABLE / INSERT / SELECT
+with WHERE, ORDER BY, COUNT(*) / UPDATE / DELETE / LOCK / FLUSH /
+OPTIMIZE), per-connection descriptors, and reverse-DNS checks on incoming
+connections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any
+
+from repro.apps.base import MiniApplication
+from repro.envmodel.dns import DnsLookupError
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash, SimulationError
+
+#: Bytes per row charged against the data file on disk.
+ROW_BYTES = 64
+
+_CREATE = re.compile(r"^CREATE TABLE (\w+)\s*\(([^)]*)\)$", re.IGNORECASE)
+_INSERT = re.compile(r"^INSERT INTO (\w+) VALUES\s*\((.*)\)$", re.IGNORECASE)
+_SELECT = re.compile(
+    r"^SELECT (?P<cols>.+?) FROM (?P<table>\w+)"
+    r"(?: WHERE (?P<where>\w+)\s*=\s*(?P<value>\S+))?"
+    r"(?: ORDER BY (?P<order>\w+))?$",
+    re.IGNORECASE,
+)
+_DELETE = re.compile(
+    r"^DELETE FROM (?P<table>\w+)(?: WHERE (?P<where>\w+)\s*=\s*(?P<value>\S+))?$",
+    re.IGNORECASE,
+)
+_UPDATE = re.compile(
+    r"^UPDATE (?P<table>\w+) SET (?P<col>\w+)\s*=\s*(?P<new>\S+)"
+    r"(?: WHERE (?P<where>\w+)\s*=\s*(?P<value>\S+))?$",
+    re.IGNORECASE,
+)
+_CREATE_INDEX = re.compile(
+    r"^CREATE INDEX (?P<name>\w+) ON (?P<table>\w+)\s*\((?P<col>\w+)\)$",
+    re.IGNORECASE,
+)
+
+
+class SqlError(SimulationError):
+    """Raised for malformed or invalid SQL statements."""
+
+
+@dataclasses.dataclass
+class Table:
+    """One table: column names, rows as dicts, and per-column indexes.
+
+    Indexes map ``column -> value -> row list`` and are maintained on
+    every insert/update/delete, the ISAM way: the famous Table 3 fault
+    (updating a key to a value found later in the scan) lives exactly in
+    this kind of structure.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+    indexes: dict[str, dict[Any, list[dict[str, Any]]]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def build_index(self, column: str) -> None:
+        """Create (or rebuild) an index on one column."""
+        entries: dict[Any, list[dict[str, Any]]] = {}
+        for row in self.rows:
+            entries.setdefault(row[column], []).append(row)
+        self.indexes[column] = entries
+
+    def index_insert(self, row: dict[str, Any]) -> None:
+        """Register a new row in every index."""
+        for column, entries in self.indexes.items():
+            entries.setdefault(row[column], []).append(row)
+
+    def index_remove(self, row: dict[str, Any]) -> None:
+        """Remove a row from every index."""
+        for column, entries in self.indexes.items():
+            bucket = entries.get(row[column], [])
+            if row in bucket:
+                bucket.remove(row)
+                if not bucket:
+                    del entries[row[column]]
+
+    def index_update(self, row: dict[str, Any], column: str, new_value: Any) -> None:
+        """Move a row between index buckets when a column changes."""
+        self.index_remove(row)
+        row[column] = new_value
+        self.index_insert(row)
+
+
+class MiniSqlDatabase(MiniApplication):
+    """A small SQL server over the simulated environment.
+
+    Args:
+        env: the operating environment.
+        check_reverse_dns: resolve connecting clients through reverse DNS
+            (the path the misconfigured-DNS fault lives in).
+    """
+
+    def __init__(self, env: Environment, *, check_reverse_dns: bool = False):
+        super().__init__(env, name="mini-mysqld")
+        self.check_reverse_dns = check_reverse_dns
+
+    def _init_state(self) -> None:
+        self.state.setdefault("tables", {})
+        self.state.setdefault("locks", {})
+        self.state.setdefault("queries_executed", 0)
+
+    # ------------------------------------------------------------------ #
+    # connections
+    # ------------------------------------------------------------------ #
+
+    def accept_connection(self, client_address: str = "10.0.0.99") -> None:
+        """Accept a client connection (a descriptor; optional PTR lookup).
+
+        Raises:
+            ApplicationCrash: when reverse DNS is required and missing.
+        """
+        self.open_descriptor()
+        if self.check_reverse_dns:
+            try:
+                self.env.dns.reverse_lookup(client_address)
+            except DnsLookupError as exc:
+                raise ApplicationCrash("reverse-dns-failure", symptom="crash") from exc
+
+    # ------------------------------------------------------------------ #
+    # SQL execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql: str) -> list[dict[str, Any]] | int:
+        """Execute one SQL statement.
+
+        Returns:
+            SELECT: the result rows; other statements: affected-row count.
+
+        Raises:
+            SqlError: on unknown tables/columns or unparseable SQL.
+        """
+        statement = sql.strip().rstrip(";").strip()
+        self.state["queries_executed"] += 1
+        upper = statement.upper()
+        if upper.startswith("CREATE TABLE"):
+            return self._create(statement)
+        if upper.startswith("CREATE INDEX"):
+            return self._create_index(statement)
+        if upper.startswith("INSERT INTO"):
+            return self._insert(statement)
+        if upper.startswith("SELECT COUNT(*)"):
+            return self._count(statement)
+        if upper.startswith("SELECT"):
+            return self._select(statement)
+        if upper.startswith("DELETE"):
+            return self._delete(statement)
+        if upper.startswith("UPDATE"):
+            return self._update(statement)
+        if upper.startswith("LOCK TABLES"):
+            return self._lock(statement)
+        if upper.startswith("UNLOCK TABLES"):
+            self.state["locks"].clear()
+            return 0
+        if upper.startswith("FLUSH TABLES"):
+            return self._flush()
+        if upper.startswith("OPTIMIZE TABLE"):
+            return self._optimize(statement)
+        raise SqlError(f"cannot parse statement: {sql!r}")
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self.state["tables"][name]
+        except KeyError:
+            raise SqlError(f"no such table: {name}") from None
+
+    def _create(self, statement: str) -> int:
+        match = _CREATE.match(statement)
+        if match is None:
+            raise SqlError(f"bad CREATE TABLE: {statement!r}")
+        name, columns_text = match.groups()
+        if name in self.state["tables"]:
+            raise SqlError(f"table exists: {name}")
+        columns = [column.strip().split()[0] for column in columns_text.split(",") if column.strip()]
+        if not columns:
+            raise SqlError("a table needs at least one column")
+        self.state["tables"][name] = Table(name=name, columns=columns)
+        return 0
+
+    def _create_index(self, statement: str) -> int:
+        match = _CREATE_INDEX.match(statement)
+        if match is None:
+            raise SqlError(f"bad CREATE INDEX: {statement!r}")
+        table = self._table(match.group("table"))
+        column = match.group("col")
+        if column not in table.columns:
+            raise SqlError(f"no such column: {column}")
+        table.build_index(column)
+        return 0
+
+    def _insert(self, statement: str) -> int:
+        match = _INSERT.match(statement)
+        if match is None:
+            raise SqlError(f"bad INSERT: {statement!r}")
+        table = self._table(match.group(1))
+        values = [self._literal(item) for item in match.group(2).split(",")]
+        if len(values) != len(table.columns):
+            raise SqlError(
+                f"{table.name}: {len(values)} values for {len(table.columns)} columns"
+            )
+        row = dict(zip(table.columns, values))
+        table.rows.append(row)
+        table.index_insert(row)
+        self.env.disk.write(f"data/{table.name}.ISD", ROW_BYTES)
+        return 1
+
+    def _count(self, statement: str) -> list[dict[str, Any]]:
+        match = re.match(r"^SELECT COUNT\(\*\) FROM (\w+)$", statement, re.IGNORECASE)
+        if match is None:
+            raise SqlError(f"bad COUNT query: {statement!r}")
+        table = self._table(match.group(1))
+        return [{"count": len(table.rows)}]
+
+    def _select(self, statement: str) -> list[dict[str, Any]]:
+        match = _SELECT.match(statement)
+        if match is None:
+            raise SqlError(f"bad SELECT: {statement!r}")
+        table = self._table(match.group("table"))
+        rows = self._filter(table, match.group("where"), match.group("value"))
+        order = match.group("order")
+        if order:
+            if order not in table.columns:
+                raise SqlError(f"no such column: {order}")
+            rows = sorted(rows, key=lambda row: row[order])
+        columns_text = match.group("cols").strip()
+        if columns_text == "*":
+            return [dict(row) for row in rows]
+        wanted = [column.strip() for column in columns_text.split(",")]
+        for column in wanted:
+            if column not in table.columns:
+                raise SqlError(f"no such column: {column}")
+        return [{column: row[column] for column in wanted} for row in rows]
+
+    def _delete(self, statement: str) -> int:
+        match = _DELETE.match(statement)
+        if match is None:
+            raise SqlError(f"bad DELETE: {statement!r}")
+        table = self._table(match.group("table"))
+        doomed = self._filter(table, match.group("where"), match.group("value"))
+        for row in doomed:
+            table.index_remove(row)
+        table.rows = [row for row in table.rows if row not in doomed]
+        return len(doomed)
+
+    def _update(self, statement: str) -> int:
+        match = _UPDATE.match(statement)
+        if match is None:
+            raise SqlError(f"bad UPDATE: {statement!r}")
+        table = self._table(match.group("table"))
+        column = match.group("col")
+        if column not in table.columns:
+            raise SqlError(f"no such column: {column}")
+        new_value = self._literal(match.group("new"))
+        # Collect all matching rows *first*, then update -- the fix the
+        # paper records for the update-while-scanning index fault
+        # ("solved by first scanning for all matching rows and then
+        # updating the found rows").
+        targets = self._filter(table, match.group("where"), match.group("value"))
+        for row in targets:
+            table.index_update(row, column, new_value)
+        return len(targets)
+
+    def _lock(self, statement: str) -> int:
+        match = re.match(r"^LOCK TABLES (\w+) (READ|WRITE)$", statement, re.IGNORECASE)
+        if match is None:
+            raise SqlError(f"bad LOCK TABLES: {statement!r}")
+        table = self._table(match.group(1))
+        self.state["locks"][table.name] = match.group(2).upper()
+        return 0
+
+    def _flush(self) -> int:
+        flushed = len(self.state["tables"])
+        return flushed
+
+    def _optimize(self, statement: str) -> int:
+        match = re.match(r"^OPTIMIZE TABLE (\w+)$", statement, re.IGNORECASE)
+        if match is None:
+            raise SqlError(f"bad OPTIMIZE TABLE: {statement!r}")
+        table = self._table(match.group(1))
+        # Rebuild reclaims the table's deleted-row space on disk.
+        self.env.disk.delete(f"data/{table.name}.ISD")
+        self.env.disk.write(f"data/{table.name}.ISD", ROW_BYTES * len(table.rows))
+        return 0
+
+    def _filter(self, table: Table, where: str | None, value: str | None) -> list[dict[str, Any]]:
+        if where is None:
+            return list(table.rows)
+        if where not in table.columns:
+            raise SqlError(f"no such column: {where}")
+        literal = self._literal(value or "")
+        if where in table.indexes:
+            return list(table.indexes[where].get(literal, ()))
+        return [row for row in table.rows if row[where] == literal]
+
+    @staticmethod
+    def _literal(token: str) -> Any:
+        token = token.strip()
+        if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+            return token[1:-1]
+        try:
+            return int(token)
+        except ValueError:
+            try:
+                return float(token)
+            except ValueError:
+                return token
+
+    def _do_op(self, op: str):
+        if op in ("insert-row", "insert-row-full"):
+            if "optable" not in self.state["tables"]:
+                self.execute("CREATE TABLE optable (a, b)")
+            return self.execute("INSERT INTO optable VALUES (1, 2)")
+        if op == "open-table":
+            self.open_descriptor()
+            return None
+        if op == "accept-connection" or op == "login":
+            return self.accept_connection()
+        return None

@@ -1,0 +1,54 @@
+"""Workloads: the fixed request sequences driven at an application.
+
+Section 3: "we consider the sequence of workload requests made to the
+program as part of the program ... the sequence of requests is usually
+fixed for any given program task.  That is, we assume the user is not
+willing to aid recovery by avoiding certain input sequences."  A
+:class:`Workload` is therefore an immutable operation sequence replayed
+*in full* on every recovery retry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.base import MiniApplication
+from repro.corpus.studyspec import StudyFault
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """An immutable sequence of operations.
+
+    Attributes:
+        ops: the operations, replayed in order.
+    """
+
+    ops: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("a workload needs at least one operation")
+
+    def run(self, app: MiniApplication) -> None:
+        """Drive every operation at the application, in order.
+
+        Raises:
+            ApplicationCrash: propagated from the application if an
+                injected defect fires mid-workload.
+        """
+        for op in self.ops:
+            app.run_op(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def workload_for_fault(fault: StudyFault, *, warmup_ops: int = 2) -> Workload:
+    """The workload that reproduces one study fault.
+
+    A few harmless warm-up operations precede the triggering operation,
+    modelling the requests a real task issues around the faulty one.
+    """
+    warmup = tuple(f"warmup-{index}" for index in range(warmup_ops))
+    return Workload(ops=warmup + (fault.workload_op,))

@@ -1,0 +1,109 @@
+"""In-memory indexed bug database.
+
+:class:`BugDatabase` holds the reports of one or more archives and keeps
+secondary indexes (by application, component, version, severity) so the
+mining pipeline's filters don't rescan the whole archive for each
+predicate.  The geocrawler MySQL archive alone contains ~44,000 messages,
+so index-backed candidate narrowing matters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator
+
+from repro.bugdb.enums import Application, Severity
+from repro.bugdb.model import BugReport
+from repro.errors import CorpusError
+
+
+class BugDatabase:
+    """An indexed, in-memory collection of :class:`BugReport` records.
+
+    Reports are keyed by ``(application, report_id)``; inserting a second
+    report with the same key raises :class:`~repro.errors.CorpusError`.
+    """
+
+    def __init__(self, reports: Iterable[BugReport] = ()):
+        self._reports: dict[tuple[Application, str], BugReport] = {}
+        self._by_application: dict[Application, list[BugReport]] = defaultdict(list)
+        self._by_component: dict[tuple[Application, str], list[BugReport]] = defaultdict(list)
+        self._by_version: dict[tuple[Application, str], list[BugReport]] = defaultdict(list)
+        self._by_severity: dict[Severity, list[BugReport]] = defaultdict(list)
+        for report in reports:
+            self.add(report)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[BugReport]:
+        return iter(self._reports.values())
+
+    def __contains__(self, key: tuple[Application, str]) -> bool:
+        return key in self._reports
+
+    def add(self, report: BugReport) -> None:
+        """Insert a report, updating all indexes.
+
+        Raises:
+            CorpusError: if a report with the same (application, report_id)
+                already exists.
+        """
+        key = (report.application, report.report_id)
+        if key in self._reports:
+            raise CorpusError(
+                f"duplicate report id {report.report_id!r} for {report.application.value}"
+            )
+        self._reports[key] = report
+        self._by_application[report.application].append(report)
+        self._by_component[(report.application, report.component)].append(report)
+        self._by_version[(report.application, report.version)].append(report)
+        self._by_severity[report.severity].append(report)
+
+    def add_all(self, reports: Iterable[BugReport]) -> None:
+        """Insert many reports."""
+        for report in reports:
+            self.add(report)
+
+    def get(self, application: Application, report_id: str) -> BugReport:
+        """Fetch one report by key.
+
+        Raises:
+            KeyError: if no such report exists.
+        """
+        return self._reports[(application, report_id)]
+
+    def for_application(self, application: Application) -> list[BugReport]:
+        """All reports for one application, in insertion order."""
+        return list(self._by_application.get(application, ()))
+
+    def for_component(self, application: Application, component: str) -> list[BugReport]:
+        """All reports against one component."""
+        return list(self._by_component.get((application, component), ()))
+
+    def for_version(self, application: Application, version: str) -> list[BugReport]:
+        """All reports against one release."""
+        return list(self._by_version.get((application, version), ()))
+
+    def at_least_severity(self, severity: Severity) -> list[BugReport]:
+        """All reports at or above a severity level."""
+        matched: list[BugReport] = []
+        for level, reports in self._by_severity.items():
+            if level >= severity:
+                matched.extend(reports)
+        return matched
+
+    def select(self, predicate: Callable[[BugReport], bool]) -> list[BugReport]:
+        """All reports satisfying an arbitrary predicate (full scan)."""
+        return [report for report in self if predicate(report)]
+
+    def applications(self) -> list[Application]:
+        """Applications present in the database."""
+        return [app for app, reports in self._by_application.items() if reports]
+
+    def versions(self, application: Application) -> list[str]:
+        """Distinct versions reported against, for one application."""
+        seen: dict[str, None] = {}
+        for report in self._by_application.get(application, ()):
+            seen.setdefault(report.version, None)
+        return list(seen)

@@ -1,0 +1,252 @@
+"""debbugs report-log format (GNOME's ``bugs.gnome.org``).
+
+The GNOME bug tracker of the study period ran debbugs (the Debian bug
+system).  A report is an initial mail whose body starts with
+``Package:`` / ``Version:`` / ``Severity:`` pseudo-headers, followed by
+follow-up mails, and control messages (``close``, ``merge``) that change
+report state.  This module renders and parses a simplified but faithful
+log format: one ``Report #NNN`` block per bug with its mails and control
+records.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Iterable
+
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.model import BugReport, Comment
+from repro.errors import ParseError
+
+_REPORT_HEADER = re.compile(r"^Report #(?P<id>[\w.-]+) -- (?P<synopsis>.*)$")
+_MAIL_HEADER = re.compile(
+    r"^Message from (?P<author>.+?) on (?P<date>\d{4}-\d{2}-\d{2}):$"
+)
+_CONTROL = re.compile(r"^Control: (?P<command>\w+)(?: (?P<argument>.*))?$")
+
+_SEVERITY_TO_DEBBUGS = {
+    Severity.ENHANCEMENT: "wishlist",
+    Severity.NON_CRITICAL: "normal",
+    Severity.SERIOUS: "important",
+    Severity.CRITICAL: "grave",
+}
+_DEBBUGS_TO_SEVERITY = {text: sev for sev, text in _SEVERITY_TO_DEBBUGS.items()}
+
+_SYMPTOM_TO_TAG = {
+    Symptom.CRASH: "crash",
+    Symptom.HANG: "hang",
+    Symptom.ERROR_RETURN: "error",
+    Symptom.SECURITY: "security",
+    Symptom.RESOURCE_LEAK: "leak",
+    Symptom.DATA_CORRUPTION: "corruption",
+}
+_TAG_TO_SYMPTOM = {tag: sym for sym, tag in _SYMPTOM_TO_TAG.items()}
+
+
+def render_report(report: BugReport) -> str:
+    """Render one report as a debbugs log block."""
+    lines = [
+        f"Report #{report.report_id} -- {report.synopsis}",
+        "",
+        f"Message from {report.reporter} on {report.date.isoformat()}:",
+        f"  Package: {report.component}",
+        f"  Version: {report.version}",
+        f"  Severity: {_SEVERITY_TO_DEBBUGS[report.severity]}",
+    ]
+    if report.symptom is not None:
+        lines.append(f"  Tags: {_SYMPTOM_TO_TAG[report.symptom]}")
+    if not report.is_production_version:
+        lines.append("  Tags: unreleased")
+    if report.environment:
+        lines.append(f"  Environment: {_oneline(report.environment)}")
+    lines.append("")
+    lines.extend("  " + line for line in report.description.splitlines())
+    if report.how_to_repeat:
+        lines.append("")
+        lines.append("  To reproduce:")
+        lines.extend("  " + line for line in report.how_to_repeat.splitlines())
+    for comment in report.comments:
+        lines.append("")
+        lines.append(f"Message from {comment.author} on {comment.date.isoformat()}:")
+        lines.extend("  " + line for line in comment.text.splitlines())
+    if report.duplicate_of:
+        lines.append("")
+        lines.append(f"Control: merge {report.duplicate_of}")
+    if report.status is Status.CLOSED:
+        lines.append("")
+        lines.append(f"Control: close {report.resolution.value}")
+        if report.fix_summary:
+            lines.extend("  " + line for line in report.fix_summary.splitlines())
+    return "\n".join(lines)
+
+
+def render_archive(reports: Iterable[BugReport]) -> str:
+    """Render many reports as one debbugs log archive."""
+    return "\n\n\x0c\n".join(render_report(report) for report in reports) + "\n"
+
+
+def parse_archive(text: str, *, source: str = "debbugs") -> list[BugReport]:
+    """Parse a debbugs log archive.
+
+    Raises:
+        ParseError: on malformed blocks.
+    """
+    reports = []
+    for block in text.split("\x0c"):
+        block = block.strip("\n")
+        if block.strip():
+            reports.append(parse_report(block, source=source))
+    return reports
+
+
+def parse_report(text: str, *, source: str = "debbugs") -> BugReport:
+    """Parse one debbugs log block.
+
+    Raises:
+        ParseError: if the header or initial pseudo-headers are missing.
+    """
+    lines = text.splitlines()
+    if not lines:
+        raise ParseError("empty report block", source=source)
+    header = _REPORT_HEADER.match(lines[0])
+    if header is None:
+        raise ParseError(f"bad report header: {lines[0]!r}", source=source, line_number=1)
+
+    mails = _split_mails(lines[1:], source=source)
+    if not mails:
+        raise ParseError("report has no initial message", source=source)
+
+    first = mails[0]
+    pseudo, body = _split_pseudo_headers(first.text)
+    for required in ("Package", "Version", "Severity"):
+        if required not in pseudo:
+            raise ParseError(f"missing pseudo-header {required}:", source=source)
+
+    severity_text = pseudo["Severity"]
+    try:
+        severity = _DEBBUGS_TO_SEVERITY[severity_text]
+    except KeyError:
+        raise ParseError(f"unknown severity {severity_text!r}", source=source) from None
+
+    tags = pseudo.get("Tags", "").split()
+    symptom = next((_TAG_TO_SYMPTOM[tag] for tag in tags if tag in _TAG_TO_SYMPTOM), None)
+
+    description, how_to_repeat = _split_repro(body)
+
+    status = Status.OPEN
+    resolution = Resolution.UNRESOLVED
+    duplicate_of: str | None = None
+    fix_summary = ""
+    comments: list[Comment] = []
+    for mail in mails[1:]:
+        comments.append(mail)
+    for command, argument, trailing in _controls(lines):
+        if command == "merge":
+            duplicate_of = argument
+        elif command == "close":
+            status = Status.CLOSED
+            try:
+                resolution = Resolution(argument)
+            except ValueError:
+                raise ParseError(f"unknown resolution {argument!r}", source=source) from None
+            fix_summary = trailing
+
+    return BugReport(
+        report_id=header.group("id"),
+        application=Application.GNOME,
+        component=pseudo["Package"],
+        version=pseudo["Version"],
+        date=first.date,
+        reporter=first.author,
+        synopsis=header.group("synopsis"),
+        severity=severity,
+        status=status,
+        resolution=resolution,
+        symptom=symptom,
+        description=description,
+        how_to_repeat=how_to_repeat,
+        environment=pseudo.get("Environment", ""),
+        comments=comments,
+        fix_summary=fix_summary,
+        duplicate_of=duplicate_of,
+        is_production_version="unreleased" not in tags,
+    )
+
+
+def _oneline(text: str) -> str:
+    return " ".join(text.split())
+
+
+def _split_mails(lines: list[str], *, source: str) -> list[Comment]:
+    mails: list[Comment] = []
+    author = ""
+    date: _dt.date | None = None
+    body: list[str] = []
+
+    def flush() -> None:
+        if date is not None:
+            text = "\n".join(line[2:] if line.startswith("  ") else line for line in body)
+            mails.append(Comment(author=author, date=date, text=text.strip("\n")))
+
+    for line in lines:
+        match = _MAIL_HEADER.match(line)
+        if match:
+            flush()
+            author = match.group("author")
+            try:
+                date = _dt.date.fromisoformat(match.group("date"))
+            except ValueError as exc:
+                raise ParseError(f"bad message date: {exc}", source=source) from exc
+            body = []
+        elif _CONTROL.match(line):
+            flush()
+            date = None
+            body = []
+        elif date is not None:
+            body.append(line)
+    flush()
+    return mails
+
+
+def _split_pseudo_headers(body: str) -> tuple[dict[str, str], str]:
+    pseudo: dict[str, str] = {}
+    remaining: list[str] = []
+    in_headers = True
+    for line in body.splitlines():
+        stripped = line.strip()
+        if in_headers and ":" in stripped:
+            name, _, value = stripped.partition(":")
+            if name in ("Package", "Version", "Severity", "Tags", "Environment"):
+                if name == "Tags" and "Tags" in pseudo:
+                    pseudo["Tags"] += " " + value.strip()
+                else:
+                    pseudo[name] = value.strip()
+                continue
+        if stripped or remaining:
+            in_headers = False
+            remaining.append(line)
+    return pseudo, "\n".join(remaining).strip("\n")
+
+
+def _split_repro(body: str) -> tuple[str, str]:
+    marker = "To reproduce:"
+    if marker in body:
+        description, _, repro = body.partition(marker)
+        return description.strip("\n"), repro.strip("\n")
+    return body, ""
+
+
+def _controls(lines: list[str]) -> list[tuple[str, str, str]]:
+    found: list[tuple[str, str, str]] = []
+    for index, line in enumerate(lines):
+        match = _CONTROL.match(line)
+        if match:
+            trailing_lines = []
+            for follow in lines[index + 1:]:
+                if _CONTROL.match(follow) or _MAIL_HEADER.match(follow):
+                    break
+                trailing_lines.append(follow[2:] if follow.startswith("  ") else follow)
+            trailing = "\n".join(trailing_lines).strip("\n")
+            found.append((match.group("command"), match.group("argument") or "", trailing))
+    return found

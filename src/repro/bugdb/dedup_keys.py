@@ -1,0 +1,55 @@
+"""Canonical keys and similarity for duplicate-report detection.
+
+The paper repeatedly "narrows" raw reports to *unique* bugs; real archives
+are full of re-reports of the same underlying fault.  Two strategies are
+provided (and ablated in the benchmarks):
+
+* an exact canonical key over normalized synopsis text, and
+* a token-based Jaccard similarity for fuzzy matching.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+
+_PUNCTUATION_TABLE = str.maketrans("", "", string.punctuation)
+_VERSION_PATTERN = re.compile(r"\b\d+(?:\.\d+)+[a-z]?\b")
+
+# Words so common in bug synopses that they carry no identity.
+_STOPWORDS = frozenset(
+    """a an and are as at be bug but by crash crashes error fails failure for
+    from has have i if in is it my not of on or problem report server so
+    that the then this to when will with""".split()
+)
+
+
+def normalize_synopsis(synopsis: str) -> str:
+    """Normalize a synopsis for exact duplicate keying.
+
+    Lowercases, removes punctuation and version numbers, drops stopwords,
+    and sorts the remaining tokens so word order doesn't matter.
+    """
+    text = _VERSION_PATTERN.sub("", synopsis.lower())
+    text = text.translate(_PUNCTUATION_TABLE)
+    tokens = sorted(set(text.split()) - _STOPWORDS)
+    return " ".join(tokens)
+
+
+def content_tokens(text: str) -> frozenset[str]:
+    """Content-bearing tokens of a free-text blob (for fuzzy matching)."""
+    stripped = _VERSION_PATTERN.sub("", text.lower()).translate(_PUNCTUATION_TABLE)
+    return frozenset(stripped.split()) - _STOPWORDS
+
+
+def jaccard_similarity(left: frozenset[str], right: frozenset[str]) -> float:
+    """Jaccard similarity of two token sets, in [0, 1].
+
+    Two empty sets are defined to have similarity 0 (an empty synopsis
+    tells us nothing about identity).
+    """
+    if not left or not right:
+        return 0.0
+    intersection = len(left & right)
+    union = len(left | right)
+    return intersection / union

@@ -1,0 +1,151 @@
+"""Enumerations shared across the bug-report data model.
+
+The values mirror the vocabulary of the paper and of late-1990s bug
+trackers: GNATS severities (critical / serious / non-critical), report
+lifecycle states, failure symptoms, and the paper's three-way fault
+taxonomy with the environmental trigger kinds it itemises in Section 5.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Application(enum.Enum):
+    """The three open-source applications studied by the paper."""
+
+    APACHE = "apache"
+    GNOME = "gnome"
+    MYSQL = "mysql"
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name as used in the paper's tables."""
+        return {"apache": "Apache", "gnome": "GNOME", "mysql": "MySQL"}[self.value]
+
+
+class Severity(enum.IntEnum):
+    """Report severity, ordered so comparisons mean "at least as severe".
+
+    The paper keeps only reports "categorized as severe or critical" on
+    production versions (Section 4).
+    """
+
+    ENHANCEMENT = 0
+    NON_CRITICAL = 1
+    SERIOUS = 2
+    CRITICAL = 3
+
+    @classmethod
+    def from_text(cls, text: str) -> "Severity":
+        """Parse a severity string as found in raw archives (case-insensitive)."""
+        normalized = text.strip().lower().replace("-", "_")
+        aliases = {
+            "enhancement": cls.ENHANCEMENT,
+            "wishlist": cls.ENHANCEMENT,
+            "non_critical": cls.NON_CRITICAL,
+            "normal": cls.NON_CRITICAL,
+            "minor": cls.NON_CRITICAL,
+            "serious": cls.SERIOUS,
+            "severe": cls.SERIOUS,
+            "important": cls.SERIOUS,
+            "grave": cls.CRITICAL,
+            "critical": cls.CRITICAL,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(f"unknown severity: {text!r}") from None
+
+
+class Status(enum.Enum):
+    """Lifecycle state of a bug report."""
+
+    OPEN = "open"
+    ANALYZED = "analyzed"
+    FEEDBACK = "feedback"
+    SUSPENDED = "suspended"
+    CLOSED = "closed"
+
+
+class Resolution(enum.Enum):
+    """How a closed report was resolved."""
+
+    UNRESOLVED = "unresolved"
+    FIXED = "fixed"
+    DUPLICATE = "duplicate"
+    WORKS_FOR_ME = "works-for-me"
+    WONT_FIX = "wont-fix"
+    INVALID = "invalid"
+
+
+class Symptom(enum.Enum):
+    """High-impact failure symptom categories (Section 4).
+
+    The paper concentrates on faults "that cause the software to crash,
+    return an error condition, cause security problems, or stop
+    responding".
+    """
+
+    CRASH = "crash"
+    HANG = "hang"
+    ERROR_RETURN = "error-return"
+    SECURITY = "security"
+    RESOURCE_LEAK = "resource-leak"
+    DATA_CORRUPTION = "data-corruption"
+
+    @property
+    def is_high_impact(self) -> bool:
+        """Whether this symptom is in the paper's high-impact subset."""
+        return True
+
+
+class FaultClass(enum.Enum):
+    """The paper's three-way fault taxonomy (Section 3)."""
+
+    ENV_INDEPENDENT = "environment-independent"
+    ENV_DEP_NONTRANSIENT = "environment-dependent-nontransient"
+    ENV_DEP_TRANSIENT = "environment-dependent-transient"
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Environment-independent faults are completely deterministic."""
+        return self is FaultClass.ENV_INDEPENDENT
+
+    @property
+    def generic_recovery_likely(self) -> bool:
+        """Whether application-generic recovery is likely to survive the fault."""
+        return self is FaultClass.ENV_DEP_TRANSIENT
+
+
+class TriggerKind(enum.Enum):
+    """Environmental trigger categories itemised in Section 5.
+
+    Each environment-dependent fault in the paper is triggered by one of
+    these operating-environment conditions.  ``NONE`` marks faults whose
+    trigger lies entirely inside the application (environment-independent).
+    """
+
+    NONE = "none"
+    # --- conditions that tend to persist on retry (nontransient) ---
+    RESOURCE_LEAK = "resource-leak"
+    FILE_DESCRIPTOR_EXHAUSTION = "file-descriptor-exhaustion"
+    DISK_FULL = "disk-full"
+    FILE_SIZE_LIMIT = "file-size-limit"
+    DISK_CACHE_FULL = "disk-cache-full"
+    NETWORK_RESOURCE_EXHAUSTION = "network-resource-exhaustion"
+    HARDWARE_REMOVAL = "hardware-removal"
+    HOST_CONFIG_CHANGE = "host-config-change"
+    DNS_MISCONFIGURED = "dns-misconfigured"
+    CORRUPT_EXTERNAL_STATE = "corrupt-external-state"
+    # --- conditions that tend to clear on retry (transient) ---
+    RACE_CONDITION = "race-condition"
+    SIGNAL_TIMING = "signal-timing"
+    DNS_ERROR = "dns-error"
+    DNS_SLOW = "dns-slow"
+    NETWORK_SLOW = "network-slow"
+    PROCESS_TABLE_FULL = "process-table-full"
+    PORT_IN_USE = "port-in-use"
+    WORKLOAD_TIMING = "workload-timing"
+    ENTROPY_EXHAUSTION = "entropy-exhaustion"
+    UNKNOWN_TRANSIENT = "unknown-transient"

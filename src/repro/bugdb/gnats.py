@@ -1,0 +1,229 @@
+"""GNATS problem-report format (Apache's ``bugs.apache.org``).
+
+The Apache bug database of the study period was a GNATS installation.
+A problem report (PR) is a flat text record of ``>Field:`` headers
+followed by multi-line sections.  This module renders
+:class:`~repro.bugdb.model.BugReport` records into that format and parses
+them back, including the audit trail that carries developer comments and
+the eventual fix.
+
+The round-trip is lossy by design: structured
+:class:`~repro.bugdb.model.TriggerEvidence` is a curated-corpus artifact
+and is *not* serialized -- the study pipeline must recover it from the
+free text, exactly as the paper's authors did.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Iterable
+
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.model import BugReport, Comment
+from repro.errors import ParseError
+
+_PR_SEPARATOR = "=" * 72
+
+_SEVERITY_TO_GNATS = {
+    Severity.ENHANCEMENT: "enhancement",
+    Severity.NON_CRITICAL: "non-critical",
+    Severity.SERIOUS: "serious",
+    Severity.CRITICAL: "critical",
+}
+_GNATS_TO_SEVERITY = {text: sev for sev, text in _SEVERITY_TO_GNATS.items()}
+
+_STATUS_TO_GNATS = {
+    Status.OPEN: "open",
+    Status.ANALYZED: "analyzed",
+    Status.FEEDBACK: "feedback",
+    Status.SUSPENDED: "suspended",
+    Status.CLOSED: "closed",
+}
+_GNATS_TO_STATUS = {text: status for status, text in _STATUS_TO_GNATS.items()}
+
+_RESOLUTION_TO_GNATS = {
+    Resolution.UNRESOLVED: "unresolved",
+    Resolution.FIXED: "fixed",
+    Resolution.DUPLICATE: "duplicate",
+    Resolution.WORKS_FOR_ME: "works-for-me",
+    Resolution.WONT_FIX: "wont-fix",
+    Resolution.INVALID: "invalid",
+}
+_GNATS_TO_RESOLUTION = {text: res for res, text in _RESOLUTION_TO_GNATS.items()}
+
+_SYMPTOM_TO_CLASS = {
+    None: "sw-bug",
+    Symptom.CRASH: "sw-bug/crash",
+    Symptom.HANG: "sw-bug/hang",
+    Symptom.ERROR_RETURN: "sw-bug/error",
+    Symptom.SECURITY: "sw-bug/security",
+    Symptom.RESOURCE_LEAK: "sw-bug/leak",
+    Symptom.DATA_CORRUPTION: "sw-bug/corruption",
+}
+_CLASS_TO_SYMPTOM = {text: sym for sym, text in _SYMPTOM_TO_CLASS.items()}
+
+_COMMENT_HEADER = re.compile(
+    r"^From: (?P<author>.+?) \((?P<date>\d{4}-\d{2}-\d{2})\)$"
+)
+
+
+def render_pr(report: BugReport) -> str:
+    """Render one report as a GNATS problem report."""
+    lines = [
+        f">Number:         {report.report_id}",
+        f">Category:       {report.component}",
+        f">Synopsis:       {report.synopsis}",
+        f">Confidential:   no",
+        f">Severity:       {_SEVERITY_TO_GNATS[report.severity]}",
+        f">Priority:       medium",
+        f">Responsible:    apache",
+        f">State:          {_STATUS_TO_GNATS[report.status]}",
+        f">Resolution:     {_RESOLUTION_TO_GNATS[report.resolution]}",
+        f">Class:          {_SYMPTOM_TO_CLASS[report.symptom]}",
+        f">Submitter-Id:   apache",
+        f">Arrival-Date:   {report.date.isoformat()}",
+        f">Originator:     {report.reporter}",
+        f">Release:        {report.version}",
+        f">Production:     {'yes' if report.is_production_version else 'no'}",
+    ]
+    if report.duplicate_of:
+        lines.append(f">Duplicate-Of:   {report.duplicate_of}")
+    lines.append(">Environment:")
+    lines.extend(_indent(report.environment))
+    lines.append(">Description:")
+    lines.extend(_indent(report.description))
+    lines.append(">How-To-Repeat:")
+    lines.extend(_indent(report.how_to_repeat))
+    lines.append(">Fix:")
+    lines.extend(_indent(report.fix_summary))
+    lines.append(">Audit-Trail:")
+    for comment in report.comments:
+        lines.append(f"From: {comment.author} ({comment.date.isoformat()})")
+        lines.extend(_indent(comment.text))
+    lines.append(">Unformatted:")
+    return "\n".join(lines)
+
+
+def render_archive(reports: Iterable[BugReport]) -> str:
+    """Render many reports as one GNATS archive dump."""
+    blocks = [render_pr(report) for report in reports]
+    return f"\n{_PR_SEPARATOR}\n".join(blocks) + "\n"
+
+
+def parse_archive(text: str, *, source: str = "gnats") -> list[BugReport]:
+    """Parse a GNATS archive dump into reports.
+
+    Raises:
+        ParseError: on malformed records.
+    """
+    reports = []
+    for block in text.split(_PR_SEPARATOR):
+        block = block.strip("\n")
+        if block.strip():
+            reports.append(parse_pr(block, source=source))
+    return reports
+
+
+def parse_pr(text: str, *, source: str = "gnats") -> BugReport:
+    """Parse one GNATS problem report.
+
+    Raises:
+        ParseError: if required fields are missing or malformed.
+    """
+    fields: dict[str, str] = {}
+    sections: dict[str, list[str]] = {}
+    current_section: str | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith(">"):
+            name, _, rest = line[1:].partition(":")
+            name = name.strip()
+            rest = rest.strip()
+            if name in ("Environment", "Description", "How-To-Repeat", "Fix",
+                        "Audit-Trail", "Unformatted"):
+                current_section = name
+                sections[name] = []
+            else:
+                current_section = None
+                fields[name] = rest
+        elif current_section is not None:
+            sections[current_section].append(line)
+        elif line.strip():
+            raise ParseError(
+                f"content outside any section: {line!r}",
+                source=source,
+                line_number=lineno,
+            )
+
+    def require(name: str) -> str:
+        try:
+            return fields[name]
+        except KeyError:
+            raise ParseError(f"missing required field >{name}:", source=source) from None
+
+    try:
+        severity = _GNATS_TO_SEVERITY[require("Severity")]
+        status = _GNATS_TO_STATUS[require("State")]
+        resolution = _GNATS_TO_RESOLUTION[fields.get("Resolution", "unresolved")]
+        symptom = _CLASS_TO_SYMPTOM[fields.get("Class", "sw-bug")]
+        date = _dt.date.fromisoformat(require("Arrival-Date"))
+    except (KeyError, ValueError) as exc:
+        raise ParseError(f"bad field value: {exc}", source=source) from exc
+
+    return BugReport(
+        report_id=require("Number"),
+        application=Application.APACHE,
+        component=require("Category"),
+        version=require("Release"),
+        date=date,
+        reporter=fields.get("Originator", ""),
+        synopsis=require("Synopsis"),
+        severity=severity,
+        status=status,
+        resolution=resolution,
+        symptom=symptom,
+        description=_dedent(sections.get("Description", [])),
+        how_to_repeat=_dedent(sections.get("How-To-Repeat", [])),
+        environment=_dedent(sections.get("Environment", [])),
+        comments=_parse_audit_trail(sections.get("Audit-Trail", []), source=source),
+        fix_summary=_dedent(sections.get("Fix", [])),
+        duplicate_of=fields.get("Duplicate-Of") or None,
+        is_production_version=fields.get("Production", "yes") == "yes",
+    )
+
+
+def _indent(text: str) -> list[str]:
+    if not text:
+        return []
+    return ["  " + line for line in text.splitlines()]
+
+
+def _dedent(lines: list[str]) -> str:
+    stripped = [line[2:] if line.startswith("  ") else line for line in lines]
+    return "\n".join(stripped).strip("\n")
+
+
+def _parse_audit_trail(lines: list[str], *, source: str) -> list[Comment]:
+    comments: list[Comment] = []
+    author = ""
+    date: _dt.date | None = None
+    body: list[str] = []
+
+    def flush() -> None:
+        if date is not None:
+            comments.append(Comment(author=author, date=date, text=_dedent(body)))
+
+    for line in lines:
+        match = _COMMENT_HEADER.match(line)
+        if match:
+            flush()
+            author = match.group("author")
+            try:
+                date = _dt.date.fromisoformat(match.group("date"))
+            except ValueError as exc:
+                raise ParseError(f"bad audit-trail date: {exc}", source=source) from exc
+            body = []
+        else:
+            body.append(line)
+    flush()
+    return comments

@@ -1,0 +1,143 @@
+"""JSON persistence for bug databases.
+
+Archives parsed from the 1999-style formats (or generated corpora) can
+be saved to a single JSON file and reloaded without re-parsing.  The
+format is versioned; structured trigger evidence round-trips, unlike the
+raw archive formats (which deliberately drop it).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.enums import (
+    Application,
+    Resolution,
+    Severity,
+    Status,
+    Symptom,
+    TriggerKind,
+)
+from repro.bugdb.model import BugReport, Comment, TriggerEvidence
+from repro.errors import ParseError
+
+FORMAT_VERSION = 1
+
+
+def report_to_dict(report: BugReport) -> dict[str, Any]:
+    """Serialize one report to plain JSON-compatible data."""
+    return {
+        "report_id": report.report_id,
+        "application": report.application.value,
+        "component": report.component,
+        "version": report.version,
+        "date": report.date.isoformat(),
+        "reporter": report.reporter,
+        "synopsis": report.synopsis,
+        "severity": report.severity.name.lower(),
+        "status": report.status.value,
+        "resolution": report.resolution.value,
+        "symptom": report.symptom.value if report.symptom else None,
+        "description": report.description,
+        "how_to_repeat": report.how_to_repeat,
+        "environment": report.environment,
+        "comments": [
+            {"author": c.author, "date": c.date.isoformat(), "text": c.text}
+            for c in report.comments
+        ],
+        "fix_summary": report.fix_summary,
+        "duplicate_of": report.duplicate_of,
+        "is_production_version": report.is_production_version,
+        "evidence": (
+            {
+                "trigger": report.evidence.trigger.value,
+                "reproducible": report.evidence.reproducible_on_developer_machine,
+                "workload_dependent_timing": report.evidence.workload_dependent_timing,
+                "resource": report.evidence.resource,
+                "notes": report.evidence.notes,
+            }
+            if report.evidence is not None
+            else None
+        ),
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> BugReport:
+    """Deserialize one report.
+
+    Raises:
+        ParseError: on missing fields or bad enum values.
+    """
+    try:
+        evidence = None
+        if data.get("evidence") is not None:
+            raw = data["evidence"]
+            evidence = TriggerEvidence(
+                trigger=TriggerKind(raw["trigger"]),
+                reproducible_on_developer_machine=raw["reproducible"],
+                workload_dependent_timing=raw["workload_dependent_timing"],
+                resource=raw.get("resource", ""),
+                notes=raw.get("notes", ""),
+            )
+        return BugReport(
+            report_id=data["report_id"],
+            application=Application(data["application"]),
+            component=data["component"],
+            version=data["version"],
+            date=_dt.date.fromisoformat(data["date"]),
+            reporter=data["reporter"],
+            synopsis=data["synopsis"],
+            severity=Severity[data["severity"].upper()],
+            status=Status(data["status"]),
+            resolution=Resolution(data["resolution"]),
+            symptom=Symptom(data["symptom"]) if data.get("symptom") else None,
+            description=data.get("description", ""),
+            how_to_repeat=data.get("how_to_repeat", ""),
+            environment=data.get("environment", ""),
+            comments=[
+                Comment(
+                    author=c["author"],
+                    date=_dt.date.fromisoformat(c["date"]),
+                    text=c["text"],
+                )
+                for c in data.get("comments", [])
+            ],
+            fix_summary=data.get("fix_summary", ""),
+            duplicate_of=data.get("duplicate_of"),
+            is_production_version=data.get("is_production_version", True),
+            evidence=evidence,
+        )
+    except (KeyError, ValueError) as exc:
+        raise ParseError(f"bad report record: {exc}", source="jsonstore") from exc
+
+
+def dump_database(db: BugDatabase, path: str | Path) -> None:
+    """Write a database to a JSON file."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "reports": [report_to_dict(report) for report in db],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_database(path: str | Path) -> BugDatabase:
+    """Read a database from a JSON file.
+
+    Raises:
+        ParseError: on version mismatch or malformed records.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}", source=str(path)) from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ParseError(
+            f"unsupported format version {version!r} (expected {FORMAT_VERSION})",
+            source=str(path),
+        )
+    return BugDatabase(report_from_dict(record) for record in payload.get("reports", []))

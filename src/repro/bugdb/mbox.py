@@ -1,0 +1,181 @@
+"""mbox mailing-list archive format (MySQL's geocrawler archives).
+
+MySQL fault data in the paper came from the ``mysql`` mailing-list
+archives, not from a structured tracker: "we use all the messages from
+the archives that matched one of the following keywords: 'crash',
+'segmentation', 'race', and 'died'" (Section 4).  This module provides a
+:class:`MailMessage` record and an mbox writer/parser.  Turning message
+threads into :class:`~repro.bugdb.model.BugReport` records is mining
+logic and lives in :mod:`repro.mining.mysql`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+from typing import Iterable
+
+from repro.errors import ParseError
+
+_MONTHS = {
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+    "jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+}
+
+
+def parse_mail_date(value: str) -> _dt.date:
+    """Parse a Date header: ISO (1999-06-10) or RFC-822 style.
+
+    Accepts the common 1999-era forms ``Thu, 10 Jun 1999 12:01:02 +0200``
+    and ``10 Jun 1999``; time-of-day and zone are ignored (the study
+    works at day granularity).
+
+    Raises:
+        ValueError: when neither form parses.
+    """
+    text = value.strip()
+    try:
+        return _dt.date.fromisoformat(text)
+    except ValueError:
+        pass
+    if "," in text:
+        text = text.split(",", 1)[1].strip()
+    parts = text.split()
+    if len(parts) >= 3:
+        day_text, month_text, year_text = parts[0], parts[1], parts[2]
+        month = _MONTHS.get(month_text[:3].lower())
+        if month is not None:
+            try:
+                year = int(year_text)
+                if year < 100:  # two-digit 1990s years
+                    year += 1900
+                return _dt.date(year, month, int(day_text))
+            except ValueError:
+                pass
+    raise ValueError(f"unparseable mail date: {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class MailMessage:
+    """One message in a mailing-list archive.
+
+    Attributes:
+        message_id: globally unique message identifier.
+        sender: ``From:`` header value.
+        date: message date.
+        subject: ``Subject:`` header value.
+        body: message body text.
+        in_reply_to: message_id of the parent message, when a reply.
+    """
+
+    message_id: str
+    sender: str
+    date: _dt.date
+    subject: str
+    body: str
+    in_reply_to: str | None = None
+
+    @property
+    def normalized_subject(self) -> str:
+        """Subject with any number of leading ``Re:`` prefixes stripped."""
+        subject = self.subject.strip()
+        lowered = subject.lower()
+        while lowered.startswith("re:"):
+            subject = subject[3:].strip()
+            lowered = subject.lower()
+        return subject
+
+    @property
+    def is_reply(self) -> bool:
+        """Whether this message replies to another."""
+        return self.in_reply_to is not None or self.subject.lower().lstrip().startswith("re:")
+
+
+def render_message(message: MailMessage) -> str:
+    """Render one message in mbox form (with ``From `` separator line)."""
+    lines = [
+        f"From {message.sender} {message.date.isoformat()}",
+        f"Message-ID: <{message.message_id}>",
+        f"From: {message.sender}",
+        f"Date: {message.date.isoformat()}",
+        f"Subject: {message.subject}",
+    ]
+    if message.in_reply_to:
+        lines.append(f"In-Reply-To: <{message.in_reply_to}>")
+    lines.append("")
+    for line in message.body.splitlines():
+        # mbox "From-stuffing": escape body lines that look like separators.
+        lines.append(">" + line if line.startswith("From ") else line)
+    return "\n".join(lines)
+
+
+def render_archive(messages: Iterable[MailMessage]) -> str:
+    """Render many messages as one mbox archive."""
+    return "\n\n".join(render_message(message) for message in messages) + "\n"
+
+
+def parse_archive(text: str, *, source: str = "mbox") -> list[MailMessage]:
+    """Parse an mbox archive into messages.
+
+    Raises:
+        ParseError: on messages missing required headers.
+    """
+    messages: list[MailMessage] = []
+    current: list[str] | None = None
+    for line in text.splitlines():
+        if line.startswith("From ") and not line.startswith("From:"):
+            if current is not None:
+                messages.append(_parse_message(current, source=source))
+            current = [line]
+        elif current is not None:
+            current.append(line)
+        elif line.strip():
+            raise ParseError(f"content before first separator: {line!r}", source=source)
+    if current is not None:
+        messages.append(_parse_message(current, source=source))
+    return messages
+
+
+def _parse_message(lines: list[str], *, source: str) -> MailMessage:
+    headers: dict[str, str] = {}
+    body_start = len(lines)
+    for index, line in enumerate(lines[1:], start=1):
+        if not line.strip():
+            body_start = index + 1
+            break
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ParseError(f"malformed header line: {line!r}", source=source)
+        headers[name.strip().lower()] = value.strip()
+
+    def require(name: str) -> str:
+        try:
+            return headers[name]
+        except KeyError:
+            raise ParseError(f"missing header {name}:", source=source) from None
+
+    try:
+        date = parse_mail_date(require("date"))
+    except ValueError as exc:
+        raise ParseError(f"bad Date header: {exc}", source=source) from exc
+
+    body_lines = [
+        line[1:] if line.startswith(">From ") else line
+        for line in lines[body_start:]
+    ]
+    in_reply_to = headers.get("in-reply-to")
+    return MailMessage(
+        message_id=_strip_brackets(require("message-id")),
+        sender=require("from"),
+        date=date,
+        subject=require("subject"),
+        body="\n".join(body_lines).strip("\n"),
+        in_reply_to=_strip_brackets(in_reply_to) if in_reply_to else None,
+    )
+
+
+def _strip_brackets(value: str) -> str:
+    value = value.strip()
+    if value.startswith("<") and value.endswith(">"):
+        return value[1:-1]
+    return value

@@ -1,0 +1,157 @@
+"""Structured bug-report records.
+
+The fields mirror the information the paper extracts from on-line bug
+archives (Section 4): symptoms, results of the fault, the operating
+environment and workload that induce it, the "How To Repeat" field, and
+developer comments describing the fix and whether the failure could be
+repeated on the developers' machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+from typing import Iterable
+
+from repro.bugdb.enums import (
+    Application,
+    Resolution,
+    Severity,
+    Status,
+    Symptom,
+    TriggerKind,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Comment:
+    """A developer or reporter comment attached to a bug report.
+
+    Attributes:
+        author: email-ish author identifier.
+        date: when the comment was posted.
+        text: the comment body.
+    """
+
+    author: str
+    date: _dt.date
+    text: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TriggerEvidence:
+    """Structured evidence about what triggers a fault.
+
+    This captures, in machine-readable form, what the paper's authors read
+    out of the "How To Repeat" field and developer comments: whether the
+    trigger lies in the operating environment, which environmental
+    condition it is, and whether developers could reproduce the failure
+    deterministically.
+
+    Attributes:
+        trigger: the environmental condition implicated (``TriggerKind.NONE``
+            when the trigger lies entirely inside the application).
+        reproducible_on_developer_machine: whether developers reported the
+            failure repeats deterministically given the workload.
+        workload_dependent_timing: whether the trigger involves the exact
+            timing of workload requests (e.g. the user pressing stop
+            mid-download), which the paper treats as part of the
+            environment.
+        resource: optional name of the exhausted/implicated resource.
+        notes: free-text summary of the trigger, quoted from the report.
+    """
+
+    trigger: TriggerKind = TriggerKind.NONE
+    reproducible_on_developer_machine: bool = True
+    workload_dependent_timing: bool = False
+    resource: str = ""
+    notes: str = ""
+
+    @property
+    def environment_dependent(self) -> bool:
+        """Whether any operating-environment condition is implicated."""
+        return self.trigger is not TriggerKind.NONE
+
+
+@dataclasses.dataclass
+class BugReport:
+    """One bug report from an on-line archive.
+
+    Attributes:
+        report_id: tracker-assigned identifier, unique within an application
+            archive (e.g. ``"PR#3487"`` for Apache GNATS).
+        application: which studied application the report belongs to.
+        component: sub-component (e.g. ``"mod_cgi"``, ``"gnumeric"``).
+        version: release the fault was reported against (e.g. ``"1.3.4"``).
+        date: report submission date.
+        reporter: reporter identifier.
+        synopsis: one-line summary.
+        severity: reporter/triager-assigned severity.
+        status: lifecycle state.
+        resolution: resolution if closed.
+        symptom: high-impact symptom category, if any.
+        description: full free-text description of the failure.
+        how_to_repeat: the "How To Repeat" field -- the key field used for
+            classification in the paper.
+        environment: reporter-supplied operating-environment string
+            (OS, hardware, peer software).
+        comments: developer/reporter discussion, including fix information.
+        fix_summary: how the underlying bug was fixed, when known.
+        duplicate_of: report_id of the primary report if this is a duplicate.
+        evidence: structured trigger evidence (curated corpus only; parsed
+            archives start with ``None`` until evidence extraction runs).
+        is_production_version: whether the version is a production (stable)
+            release, as opposed to alpha/beta/dev snapshots.
+    """
+
+    report_id: str
+    application: Application
+    component: str
+    version: str
+    date: _dt.date
+    reporter: str
+    synopsis: str
+    severity: Severity
+    status: Status = Status.OPEN
+    resolution: Resolution = Resolution.UNRESOLVED
+    symptom: Symptom | None = None
+    description: str = ""
+    how_to_repeat: str = ""
+    environment: str = ""
+    comments: list[Comment] = dataclasses.field(default_factory=list)
+    fix_summary: str = ""
+    duplicate_of: str | None = None
+    evidence: TriggerEvidence | None = None
+    is_production_version: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.report_id:
+            raise ValueError("report_id must be non-empty")
+        if not self.version:
+            raise ValueError("version must be non-empty")
+
+    @property
+    def is_high_impact(self) -> bool:
+        """Whether the report describes a high-impact fault (Section 4)."""
+        return self.symptom is not None
+
+    @property
+    def is_duplicate(self) -> bool:
+        """Whether this report duplicates another."""
+        return self.duplicate_of is not None
+
+    @property
+    def full_text(self) -> str:
+        """All free text of the report, concatenated for keyword search."""
+        parts = [self.synopsis, self.description, self.how_to_repeat, self.fix_summary]
+        parts.extend(comment.text for comment in self.comments)
+        return "\n".join(part for part in parts if part)
+
+    def add_comment(self, comment: Comment) -> None:
+        """Append a comment to the discussion."""
+        self.comments.append(comment)
+
+    def matches_keywords(self, keywords: Iterable[str]) -> bool:
+        """Whether any keyword appears (case-insensitively) in the report text."""
+        text = self.full_text.lower()
+        return any(keyword.lower() in text for keyword in keywords)

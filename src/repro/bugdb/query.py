@@ -1,0 +1,149 @@
+"""A small composable query layer over :class:`~repro.bugdb.database.BugDatabase`.
+
+Queries are immutable builders: each refinement returns a new
+:class:`Query`.  Evaluation picks the most selective index available
+(application, then version/component/severity) and applies the remaining
+predicates as a scan over the candidate list.  This mirrors how the
+paper's authors narrowed thousands of raw reports with successive filters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+from typing import Callable, Iterable, Sequence
+
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.enums import Application, Severity, Status, Symptom
+from repro.bugdb.model import BugReport
+
+Predicate = Callable[[BugReport], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    """An immutable query over a bug database.
+
+    Build with the ``where_*`` refinements and evaluate with
+    :meth:`run`.  Example::
+
+        critical = (
+            Query()
+            .where_application(Application.APACHE)
+            .where_min_severity(Severity.SERIOUS)
+            .where_production_only()
+            .run(db)
+        )
+    """
+
+    application: Application | None = None
+    min_severity: Severity | None = None
+    statuses: tuple[Status, ...] = ()
+    symptoms: tuple[Symptom, ...] = ()
+    components: tuple[str, ...] = ()
+    versions: tuple[str, ...] = ()
+    keywords: tuple[str, ...] = ()
+    production_only: bool = False
+    exclude_duplicates: bool = False
+    date_from: _dt.date | None = None
+    date_to: _dt.date | None = None
+    extra_predicates: tuple[Predicate, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # refinements
+    # ------------------------------------------------------------------ #
+
+    def where_application(self, application: Application) -> "Query":
+        """Restrict to one application's archive."""
+        return dataclasses.replace(self, application=application)
+
+    def where_min_severity(self, severity: Severity) -> "Query":
+        """Restrict to reports at or above a severity."""
+        return dataclasses.replace(self, min_severity=severity)
+
+    def where_status(self, *statuses: Status) -> "Query":
+        """Restrict to reports in any of the given lifecycle states."""
+        return dataclasses.replace(self, statuses=tuple(statuses))
+
+    def where_symptom(self, *symptoms: Symptom) -> "Query":
+        """Restrict to reports with any of the given high-impact symptoms."""
+        return dataclasses.replace(self, symptoms=tuple(symptoms))
+
+    def where_component(self, *components: str) -> "Query":
+        """Restrict to reports against any of the given components."""
+        return dataclasses.replace(self, components=tuple(components))
+
+    def where_version(self, *versions: str) -> "Query":
+        """Restrict to reports against any of the given releases."""
+        return dataclasses.replace(self, versions=tuple(versions))
+
+    def where_keywords(self, *keywords: str) -> "Query":
+        """Restrict to reports whose text contains any keyword."""
+        return dataclasses.replace(self, keywords=tuple(keywords))
+
+    def where_production_only(self) -> "Query":
+        """Restrict to reports against production (stable) versions."""
+        return dataclasses.replace(self, production_only=True)
+
+    def where_not_duplicate(self) -> "Query":
+        """Exclude reports marked as duplicates of another report."""
+        return dataclasses.replace(self, exclude_duplicates=True)
+
+    def where_date_between(self, date_from: _dt.date, date_to: _dt.date) -> "Query":
+        """Restrict to reports submitted in [date_from, date_to] inclusive."""
+        return dataclasses.replace(self, date_from=date_from, date_to=date_to)
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Attach an arbitrary extra predicate."""
+        return dataclasses.replace(
+            self, extra_predicates=self.extra_predicates + (predicate,)
+        )
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def run(self, db: BugDatabase) -> list[BugReport]:
+        """Evaluate against a database, using indexes where possible."""
+        candidates = self._candidates(db)
+        return [report for report in candidates if self._matches(report)]
+
+    def count(self, db: BugDatabase) -> int:
+        """Number of matching reports."""
+        return len(self.run(db))
+
+    def _candidates(self, db: BugDatabase) -> Sequence[BugReport] | Iterable[BugReport]:
+        if self.application is not None and len(self.versions) == 1:
+            return db.for_version(self.application, self.versions[0])
+        if self.application is not None and len(self.components) == 1:
+            return db.for_component(self.application, self.components[0])
+        if self.application is not None:
+            return db.for_application(self.application)
+        if self.min_severity is not None:
+            return db.at_least_severity(self.min_severity)
+        return db
+
+    def _matches(self, report: BugReport) -> bool:
+        if self.application is not None and report.application is not self.application:
+            return False
+        if self.min_severity is not None and report.severity < self.min_severity:
+            return False
+        if self.statuses and report.status not in self.statuses:
+            return False
+        if self.symptoms and report.symptom not in self.symptoms:
+            return False
+        if self.components and report.component not in self.components:
+            return False
+        if self.versions and report.version not in self.versions:
+            return False
+        if self.production_only and not report.is_production_version:
+            return False
+        if self.exclude_duplicates and report.is_duplicate:
+            return False
+        if self.date_from is not None and report.date < self.date_from:
+            return False
+        if self.date_to is not None and report.date > self.date_to:
+            return False
+        if self.keywords and not report.matches_keywords(self.keywords):
+            return False
+        return all(predicate(report) for predicate in self.extra_predicates)

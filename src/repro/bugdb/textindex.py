@@ -1,0 +1,97 @@
+"""Inverted text index for large archives.
+
+The MySQL archive holds ~44,000 messages; scanning every message body
+per keyword query is what the paper's authors effectively did by hand,
+but a library should do better.  :class:`TextIndex` builds an inverted
+index (token -> document ids) with the same word-boundary semantics as
+:class:`~repro.mining.keywords.KeywordMatcher`, supporting prefix
+queries so ``crash`` finds ``crashed`` and ``crashes``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Generic, Hashable, Iterable, TypeVar
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+DocId = TypeVar("DocId", bound=Hashable)
+
+
+class TextIndex(Generic[DocId]):
+    """An inverted index over (doc_id, text) pairs.
+
+    Tokens are lowercased alphanumeric runs; queries match whole tokens
+    or token prefixes.
+    """
+
+    def __init__(self):
+        self._postings: dict[str, set[DocId]] = {}
+        self._sorted_tokens: list[str] | None = None
+        self._documents = 0
+
+    @property
+    def document_count(self) -> int:
+        """Number of indexed documents."""
+        return self._documents
+
+    @property
+    def token_count(self) -> int:
+        """Number of distinct tokens."""
+        return len(self._postings)
+
+    def add(self, doc_id: DocId, text: str) -> None:
+        """Index one document (repeat calls extend the same document)."""
+        self._documents += 1
+        self._sorted_tokens = None
+        for token in set(_TOKEN.findall(text.lower())):
+            self._postings.setdefault(token, set()).add(doc_id)
+
+    def add_all(self, documents: Iterable[tuple[DocId, str]]) -> None:
+        """Index many (doc_id, text) pairs."""
+        for doc_id, text in documents:
+            self.add(doc_id, text)
+
+    def lookup(self, token: str) -> set[DocId]:
+        """Documents containing the exact token."""
+        return set(self._postings.get(token.lower(), ()))
+
+    def lookup_prefix(self, prefix: str) -> set[DocId]:
+        """Documents containing any token starting with ``prefix``."""
+        prefix = prefix.lower()
+        if self._sorted_tokens is None:
+            self._sorted_tokens = sorted(self._postings)
+        start = bisect.bisect_left(self._sorted_tokens, prefix)
+        matched: set[DocId] = set()
+        for index in range(start, len(self._sorted_tokens)):
+            token = self._sorted_tokens[index]
+            if not token.startswith(prefix):
+                break
+            matched |= self._postings[token]
+        return matched
+
+    def search_any(self, keywords: Iterable[str], *, prefix: bool = True) -> set[DocId]:
+        """Documents matching any keyword (prefix semantics by default).
+
+        This mirrors the mining keyword filter: ``search_any(("crash",
+        "race"))`` finds documents containing crash/crashed/crashes or
+        race/races, but never 'trace' (tokens are whole words).
+        """
+        matched: set[DocId] = set()
+        for keyword in keywords:
+            if prefix:
+                matched |= self.lookup_prefix(keyword)
+            else:
+                matched |= self.lookup(keyword)
+        return matched
+
+    def search_all(self, keywords: Iterable[str], *, prefix: bool = True) -> set[DocId]:
+        """Documents matching every keyword."""
+        result: set[DocId] | None = None
+        for keyword in keywords:
+            hits = self.lookup_prefix(keyword) if prefix else self.lookup(keyword)
+            result = hits if result is None else (result & hits)
+            if not result:
+                return set()
+        return result or set()

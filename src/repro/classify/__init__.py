@@ -1,0 +1,38 @@
+"""Fault taxonomy and classification (the paper's core contribution).
+
+The paper classifies each fault by its dependence on the *operating
+environment* (Section 3):
+
+* **environment-independent** -- the fault fires for a given workload
+  regardless of environment; completely deterministic;
+* **environment-dependent-nontransient** -- an environmental condition
+  triggers the fault and is likely to *persist* on retry;
+* **environment-dependent-transient** -- an environmental condition
+  triggers the fault and is likely to be *fixed* on retry.
+
+The transient/nontransient boundary "depends upon the recovery system in
+place" (Section 5.4); :class:`~repro.classify.recovery_model.RecoveryModel`
+makes that dependence explicit and parameterisable.  Two classifiers are
+provided: a rule classifier over structured trigger evidence
+(:mod:`repro.classify.rules`) and a text pipeline that first extracts
+evidence from free-form report text (:mod:`repro.classify.text`).
+"""
+
+from repro.bugdb.enums import FaultClass, TriggerKind
+from repro.classify.evidence import extract_evidence
+from repro.classify.recovery_model import RecoveryModel
+from repro.classify.rules import RuleClassifier, Classification
+from repro.classify.text import TextClassifier
+from repro.classify.evaluation import ConfusionMatrix, evaluate_classifier
+
+__all__ = [
+    "Classification",
+    "ConfusionMatrix",
+    "FaultClass",
+    "RecoveryModel",
+    "RuleClassifier",
+    "TextClassifier",
+    "TriggerKind",
+    "evaluate_classifier",
+    "extract_evidence",
+]

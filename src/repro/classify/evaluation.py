@@ -1,0 +1,110 @@
+"""Classifier evaluation against curated ground truth.
+
+The curated study corpus carries the paper's own per-fault labels; this
+module measures how faithfully the automatic classifiers recover them
+(confusion matrix, accuracy, per-class precision and recall).  The paper
+did the classification by hand; matching its labels mechanically is the
+methodology-fidelity check for this reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Iterable, Protocol
+
+from repro.bugdb.enums import FaultClass
+from repro.bugdb.model import BugReport
+from repro.classify.rules import Classification
+
+_CLASSES = tuple(FaultClass)
+
+
+class _Classifier(Protocol):
+    def classify_report(self, report: BugReport) -> Classification: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionMatrix:
+    """A 3x3 confusion matrix over the paper's fault classes.
+
+    Attributes:
+        counts: mapping ``(truth, predicted) -> count``.
+    """
+
+    counts: dict[tuple[FaultClass, FaultClass], int]
+
+    @property
+    def total(self) -> int:
+        """Number of classified faults."""
+        return sum(self.counts.values())
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of faults assigned their ground-truth class."""
+        if self.total == 0:
+            return 0.0
+        correct = sum(
+            count for (truth, predicted), count in self.counts.items() if truth is predicted
+        )
+        return correct / self.total
+
+    def precision(self, fault_class: FaultClass) -> float:
+        """Precision for one class (1.0 when the class was never predicted)."""
+        predicted = sum(
+            count for (_, pred), count in self.counts.items() if pred is fault_class
+        )
+        if predicted == 0:
+            return 1.0
+        correct = self.counts.get((fault_class, fault_class), 0)
+        return correct / predicted
+
+    def recall(self, fault_class: FaultClass) -> float:
+        """Recall for one class (1.0 when the class never occurs in truth)."""
+        actual = sum(
+            count for (truth, _), count in self.counts.items() if truth is fault_class
+        )
+        if actual == 0:
+            return 1.0
+        correct = self.counts.get((fault_class, fault_class), 0)
+        return correct / actual
+
+    def misclassified(self) -> int:
+        """Number of faults assigned a wrong class."""
+        return self.total - sum(
+            count for (truth, pred), count in self.counts.items() if truth is pred
+        )
+
+
+def evaluate_classifier(
+    classifier: _Classifier,
+    reports: Iterable[BugReport],
+    ground_truth: dict[str, FaultClass],
+) -> ConfusionMatrix:
+    """Run ``classifier`` over ``reports`` and compare to ground truth.
+
+    Args:
+        classifier: anything with a ``classify_report(report)`` method.
+        reports: the reports to classify.
+        ground_truth: mapping ``report_id -> FaultClass``; reports without
+            an entry are skipped (they are noise, not study faults).
+
+    Returns:
+        The confusion matrix of truth vs. prediction.
+    """
+    counter: Counter[tuple[FaultClass, FaultClass]] = Counter()
+    for report in reports:
+        truth = ground_truth.get(report.report_id)
+        if truth is None:
+            continue
+        predicted = classifier.classify_report(report).fault_class
+        counter[(truth, predicted)] += 1
+    return ConfusionMatrix(counts=dict(counter))
+
+
+def class_distribution(classifications: Iterable[Classification]) -> dict[FaultClass, int]:
+    """Count classifications per fault class (all classes present, zero-filled)."""
+    distribution = {fault_class: 0 for fault_class in _CLASSES}
+    for classification in classifications:
+        distribution[classification.fault_class] += 1
+    return distribution

@@ -1,0 +1,174 @@
+"""Trigger-evidence extraction from free-form report text.
+
+The paper's authors read the "How To Repeat" field and developer
+comments to decide what triggers each fault.  This module mechanises that
+reading: an ordered list of trigger patterns (most specific first) is
+matched against the report's full text, producing a structured
+:class:`~repro.bugdb.model.TriggerEvidence` that the rule classifier can
+consume.  Patterns are deliberately generic phrases -- "race condition",
+"file descriptor", "full file system" -- the same vocabulary the paper's
+per-fault descriptions use.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.bugdb.enums import TriggerKind
+from repro.bugdb.model import BugReport, TriggerEvidence
+
+# Ordered most-specific-first; the first matching pattern wins.
+_TRIGGER_PATTERNS: list[tuple[TriggerKind, re.Pattern[str]]] = [
+    (
+        TriggerKind.RACE_CONDITION,
+        re.compile(r"race condition|race between|thread interleav|scheduling of threads"),
+    ),
+    (
+        TriggerKind.SIGNAL_TIMING,
+        re.compile(r"masking of (a |the )?signal|signal .*arriv|signal delivery timing"),
+    ),
+    (
+        TriggerKind.DNS_MISCONFIGURED,
+        re.compile(r"reverse dns .*not configured|dns .*misconfigured|no reverse dns"),
+    ),
+    (TriggerKind.DNS_SLOW, re.compile(r"slow (domain name service|dns)|dns .*slow")),
+    (
+        TriggerKind.DNS_ERROR,
+        re.compile(r"(domain name service|dns)( call| lookup)? returns? an error|dns (lookup )?fail"),
+    ),
+    (TriggerKind.NETWORK_SLOW, re.compile(r"slow network|network .*slow")),
+    (
+        TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+        re.compile(r"network resource.*exhaust|unknown network resource"),
+    ),
+    (
+        TriggerKind.PROCESS_TABLE_FULL,
+        re.compile(r"process table|out of process(es| slots)|slots in the .*process table"),
+    ),
+    (
+        TriggerKind.PORT_IN_USE,
+        re.compile(r"hang onto .*ports|ports? (already )?in use|hold(ing)? .*network ports"),
+    ),
+    (
+        TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+        re.compile(r"file descriptor|out of descriptors|too many open files"),
+    ),
+    (TriggerKind.DISK_CACHE_FULL, re.compile(r"disk cache .*full|cache .*gets? full")),
+    (
+        TriggerKind.FILE_SIZE_LIMIT,
+        re.compile(r"maximum allowed file size|file size limit|larger than the maximum"),
+    ),
+    (
+        TriggerKind.DISK_FULL,
+        re.compile(r"full file ?system|file ?system .*full|disk (is |was )?full|out of disk space|no space left"),
+    ),
+    (
+        TriggerKind.RESOURCE_LEAK,
+        re.compile(r"resource leak|leak(s|ing)? .*under (high |peak )?load|unknown .*leak"),
+    ),
+    (
+        TriggerKind.HARDWARE_REMOVAL,
+        re.compile(r"pcmcia|card (is |was )?removed|removal of .*(card|device)|device .*removed"),
+    ),
+    (
+        TriggerKind.HOST_CONFIG_CHANGE,
+        re.compile(r"hostname .*changed|changed .*hostname|host configuration changed"),
+    ),
+    (
+        TriggerKind.CORRUPT_EXTERNAL_STATE,
+        re.compile(r"illegal value in the owner field|illegal .*(field|value) in .*file|corrupt(ed)? .*(file|entry) on disk"),
+    ),
+    (TriggerKind.ENTROPY_EXHAUSTION, re.compile(r"/dev/random|entropy|lack of events .*random")),
+    (
+        TriggerKind.WORKLOAD_TIMING,
+        re.compile(r"press(es|ed)? stop|stops? the (browser|download)|midst of a .*download|exact timing of the request"),
+    ),
+    (
+        TriggerKind.UNKNOWN_TRANSIENT,
+        re.compile(r"works (fine )?on (a )?retry|succeed(s|ed)? (when|on) retr|went away on retry"),
+    ),
+]
+
+_NOT_REPRODUCIBLE = re.compile(
+    r"(could|can|cannot|couldn't|can't) ?(not)? (repeat|reproduce|duplicate)"
+)
+
+
+def match_trigger(text: str) -> TriggerKind:
+    """Return the first trigger kind whose pattern matches ``text``.
+
+    Matching is case-insensitive; ``TriggerKind.NONE`` when nothing matches.
+    """
+    lowered = text.lower()
+    for trigger, pattern in _TRIGGER_PATTERNS:
+        if pattern.search(lowered):
+            return trigger
+    return TriggerKind.NONE
+
+
+def match_all_triggers(text: str) -> list[TriggerKind]:
+    """All trigger kinds whose patterns match ``text``, in priority order.
+
+    The classifier uses only the first match; this function exposes the
+    full set so corpus authors and auditors can detect *ambiguous* report
+    texts -- texts that implicate more than one environmental condition
+    and therefore depend on the pattern priority.  The paper calls its
+    own boundary judgments "subjective"; this is the mechanised version
+    of double-checking them.
+    """
+    lowered = text.lower()
+    return [trigger for trigger, pattern in _TRIGGER_PATTERNS if pattern.search(lowered)]
+
+
+def ambiguity_report(report: BugReport) -> list[TriggerKind]:
+    """Trigger kinds beyond the first that also match a report's text.
+
+    An empty list means the text is unambiguous (zero or one pattern
+    fires).
+    """
+    return match_all_triggers(report.full_text)[1:]
+
+
+def extract_evidence(report: BugReport) -> TriggerEvidence:
+    """Extract structured trigger evidence from a report's free text.
+
+    The extraction reads the same fields the paper's authors did: the
+    synopsis, description, "How To Repeat" field, fix summary, and
+    developer comments.
+
+    Returns:
+        A fresh :class:`~repro.bugdb.model.TriggerEvidence`; the report is
+        not modified.
+    """
+    text = report.full_text
+    lowered = text.lower()
+    trigger = match_trigger(text)
+    reproducible = not _NOT_REPRODUCIBLE.search(lowered)
+    # "The developers ... provide information on ... whether they could
+    # repeat the failure": failure to repeat with no named condition is
+    # itself evidence of environmental dependence.
+    if trigger is TriggerKind.NONE and not reproducible:
+        trigger = TriggerKind.UNKNOWN_TRANSIENT
+    workload_timing = trigger is TriggerKind.WORKLOAD_TIMING
+    return TriggerEvidence(
+        trigger=trigger,
+        reproducible_on_developer_machine=reproducible,
+        workload_dependent_timing=workload_timing,
+        resource=_resource_name(trigger),
+        notes=report.synopsis,
+    )
+
+
+def _resource_name(trigger: TriggerKind) -> str:
+    names = {
+        TriggerKind.FILE_DESCRIPTOR_EXHAUSTION: "file_descriptors",
+        TriggerKind.PROCESS_TABLE_FULL: "process_slots",
+        TriggerKind.DISK_FULL: "disk_space",
+        TriggerKind.DISK_CACHE_FULL: "disk_cache",
+        TriggerKind.FILE_SIZE_LIMIT: "max_file_size",
+        TriggerKind.PORT_IN_USE: "network_ports",
+        TriggerKind.ENTROPY_EXHAUSTION: "entropy",
+        TriggerKind.NETWORK_RESOURCE_EXHAUSTION: "network_buffers",
+        TriggerKind.RESOURCE_LEAK: "application_memory",
+    }
+    return names.get(trigger, "")

@@ -1,0 +1,111 @@
+"""Rule classifier over structured trigger evidence.
+
+This encodes the paper's Section 3 decision procedure:
+
+1. If no operating-environment condition is implicated, the fault is
+   **environment-independent** (deterministic given the workload).
+2. Otherwise, ask whether the implicated condition is likely to clear on
+   retry *under the assumed recovery system*
+   (:class:`~repro.classify.recovery_model.RecoveryModel`): if yes the
+   fault is **environment-dependent-transient**, if no
+   **environment-dependent-nontransient**.
+
+One subtlety from Section 3: the paper counts *workload request timing*
+(the user's typing speed, pressing stop mid-download) as part of the
+environment, while the *sequence* of requests is part of the program.
+Evidence therefore carries a ``workload_dependent_timing`` flag that
+forces environment dependence even when no OS-level resource is named.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bugdb.enums import FaultClass, TriggerKind
+from repro.bugdb.model import BugReport, TriggerEvidence
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.errors import ClassificationError
+
+
+@dataclasses.dataclass(frozen=True)
+class Classification:
+    """The outcome of classifying one fault.
+
+    Attributes:
+        fault_class: the assigned three-way class.
+        trigger: the environmental trigger the decision was based on.
+        rationale: a human-readable explanation of the decision, in the
+            style of the paper's per-fault discussions.
+    """
+
+    fault_class: FaultClass
+    trigger: TriggerKind
+    rationale: str
+
+    @property
+    def survivable_by_generic_recovery(self) -> bool:
+        """Whether retry under generic recovery is likely to succeed."""
+        return self.fault_class is FaultClass.ENV_DEP_TRANSIENT
+
+
+class RuleClassifier:
+    """Classifies faults from :class:`~repro.bugdb.model.TriggerEvidence`.
+
+    Args:
+        recovery_model: the assumed recovery system; defaults to the
+            paper's assumptions.
+    """
+
+    def __init__(self, recovery_model: RecoveryModel = PAPER_DEFAULT):
+        self.recovery_model = recovery_model
+
+    def classify_evidence(self, evidence: TriggerEvidence) -> Classification:
+        """Classify from structured evidence alone."""
+        trigger = evidence.trigger
+        if trigger is TriggerKind.NONE and evidence.workload_dependent_timing:
+            # Timing of requests is environmental (Section 3); retry is
+            # unlikely to reproduce the exact timing.
+            trigger = TriggerKind.WORKLOAD_TIMING
+
+        if trigger is TriggerKind.NONE:
+            return Classification(
+                fault_class=FaultClass.ENV_INDEPENDENT,
+                trigger=TriggerKind.NONE,
+                rationale=(
+                    "No operating-environment condition is implicated; the "
+                    "fault fires deterministically for the given workload."
+                ),
+            )
+
+        if self.recovery_model.condition_clears_on_retry(trigger):
+            return Classification(
+                fault_class=FaultClass.ENV_DEP_TRANSIENT,
+                trigger=trigger,
+                rationale=(
+                    f"Triggered by {trigger.value}; under the assumed recovery "
+                    "system this condition is likely to be fixed during retry."
+                ),
+            )
+        return Classification(
+            fault_class=FaultClass.ENV_DEP_NONTRANSIENT,
+            trigger=trigger,
+            rationale=(
+                f"Triggered by {trigger.value}; under the assumed recovery "
+                "system this condition is likely to persist during retry."
+            ),
+        )
+
+    def classify_report(self, report: BugReport) -> Classification:
+        """Classify a report that carries structured evidence.
+
+        Raises:
+            ClassificationError: if the report has no evidence attached
+                (run :func:`repro.classify.evidence.extract_evidence` or use
+                :class:`~repro.classify.text.TextClassifier` for raw reports).
+        """
+        if report.evidence is None:
+            raise ClassificationError(
+                f"report {report.report_id} has no trigger evidence; "
+                "extract evidence from its text first"
+            )
+        return self.classify_evidence(report.evidence)

@@ -1,0 +1,41 @@
+"""End-to-end text classifier: raw report -> evidence -> class.
+
+This is the pipeline a user runs on freshly mined reports that carry no
+curated evidence: extract structured trigger evidence from the free text
+(:mod:`repro.classify.evidence`) and feed it to the rule classifier
+(:mod:`repro.classify.rules`).
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.model import BugReport
+from repro.classify.evidence import extract_evidence
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.classify.rules import Classification, RuleClassifier
+
+
+class TextClassifier:
+    """Classifies raw bug reports from their free text alone.
+
+    Args:
+        recovery_model: the assumed recovery system; defaults to the
+            paper's assumptions.
+    """
+
+    def __init__(self, recovery_model: RecoveryModel = PAPER_DEFAULT):
+        self._rules = RuleClassifier(recovery_model)
+
+    @property
+    def recovery_model(self) -> RecoveryModel:
+        """The recovery model this classifier assumes."""
+        return self._rules.recovery_model
+
+    def classify_report(self, report: BugReport) -> Classification:
+        """Classify one report, preferring curated evidence when present."""
+        if report.evidence is not None:
+            return self._rules.classify_report(report)
+        return self._rules.classify_evidence(extract_evidence(report))
+
+    def classify_all(self, reports: list[BugReport]) -> list[Classification]:
+        """Classify many reports, preserving order."""
+        return [self.classify_report(report) for report in reports]

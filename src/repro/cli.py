@@ -1,0 +1,354 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``, or via ``python -m repro``)::
+
+    repro table apache            # Table 1 / 2 / 3
+    repro figure gnome            # Figure 1 / 2 / 3 (ASCII)
+    repro aggregate               # Section 5.4 numbers
+    repro mine mysql              # run the mining pipeline, print the trace
+    repro replay --technique process-pairs
+    repro report                  # the full study report
+    repro export-archive apache apache.gnats   # write a raw archive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.aggregate import aggregate_summary
+from repro.analysis.distributions import release_distribution, time_distribution
+from repro.analysis.tables import classification_table, classify_and_tabulate
+from repro.bugdb import debbugs, gnats, mbox
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.apache import RELEASES as APACHE_RELEASES
+from repro.corpus.loader import full_study
+from repro.corpus.mysql import RELEASES as MYSQL_RELEASES
+from repro.corpus.render import (
+    apache_raw_archive,
+    gnome_raw_archive,
+    mysql_raw_archive,
+)
+from repro.mining import GNOME_STUDY_COMPONENTS, mine_apache, mine_gnome, mine_mysql
+from repro.recovery import (
+    CheckpointRollback,
+    ProcessPairs,
+    ProgressiveRetry,
+    RestartFresh,
+    SoftwareRejuvenation,
+    replay_study,
+)
+from repro.reports.figures import render_figure
+from repro.reports.studyreport import render_study_report
+from repro.reports.tableformat import format_table, render_classification_table
+
+_TECHNIQUES = {
+    "process-pairs": ProcessPairs,
+    "checkpoint-rollback": CheckpointRollback,
+    "progressive-retry": ProgressiveRetry,
+    "restart-fresh": RestartFresh,
+    "software-rejuvenation": SoftwareRejuvenation,
+}
+
+
+def _application(name: str) -> Application:
+    try:
+        return Application(name.lower())
+    except ValueError:
+        raise SystemExit(
+            f"unknown application {name!r}; choose from "
+            + ", ".join(app.value for app in Application)
+        ) from None
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    corpus = full_study().corpus(_application(args.application))
+    print(render_classification_table(classification_table(corpus)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    application = _application(args.application)
+    corpus = full_study().corpus(application)
+    if application is Application.APACHE:
+        series = release_distribution(
+            corpus, release_order=tuple(v for v, _ in APACHE_RELEASES)
+        )
+    elif application is Application.MYSQL:
+        series = release_distribution(
+            corpus, release_order=tuple(v for v, _ in MYSQL_RELEASES)
+        )
+    else:
+        series = time_distribution(corpus, granularity=args.granularity)
+    print(render_figure(series, width=args.width))
+    return 0
+
+
+def _cmd_aggregate(_args: argparse.Namespace) -> int:
+    summary = aggregate_summary(full_study())
+    ei = summary.fraction_range(FaultClass.ENV_INDEPENDENT)
+    edt = summary.fraction_range(FaultClass.ENV_DEP_TRANSIENT)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["total unique faults", summary.total_faults],
+                ["environment-independent", summary.counts[FaultClass.ENV_INDEPENDENT]],
+                [
+                    "environment-dependent-nontransient",
+                    summary.counts[FaultClass.ENV_DEP_NONTRANSIENT],
+                ],
+                [
+                    "environment-dependent-transient",
+                    summary.counts[FaultClass.ENV_DEP_TRANSIENT],
+                ],
+                ["EI range across apps", f"{ei[0]:.0%}-{ei[1]:.0%}"],
+                ["transient range across apps", f"{edt[0]:.0%}-{edt[1]:.0%}"],
+            ],
+            title="Section 5.4 aggregate",
+        )
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    application = _application(args.application)
+    study = full_study()
+    corpus = study.corpus(application)
+    if application is Application.APACHE:
+        archive = apache_raw_archive(corpus, total_reports=args.scale)
+        result = mine_apache(gnats.parse_archive(archive))
+    elif application is Application.GNOME:
+        archive = gnome_raw_archive(corpus, study_components=GNOME_STUDY_COMPONENTS)
+        result = mine_gnome(debbugs.parse_archive(archive))
+    else:
+        archive = mysql_raw_archive(corpus, total_messages=args.scale)
+        result = mine_mysql(mbox.parse_archive(archive))
+    print(
+        format_table(
+            ["stage", "survivors"],
+            result.trace.as_rows(),
+            title=f"Mining narrowing for {application.display_name}",
+        )
+    )
+    table = classify_and_tabulate(application, result.items)
+    print()
+    print(render_classification_table(table))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    names = args.technique or list(_TECHNIQUES)
+    study = full_study()
+    rows = []
+    for name in names:
+        try:
+            factory = _TECHNIQUES[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown technique {name!r}; choose from " + ", ".join(_TECHNIQUES)
+            ) from None
+        report = replay_study(study, factory)
+        rows.append(
+            [
+                report.technique,
+                f"{report.survival_rate(FaultClass.ENV_INDEPENDENT):.0%}",
+                f"{report.survival_rate(FaultClass.ENV_DEP_NONTRANSIENT):.0%}",
+                f"{report.survival_rate(FaultClass.ENV_DEP_TRANSIENT):.0%}",
+                f"{report.survival_rate():.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["technique", "EI", "EDN", "EDT", "overall"],
+            rows,
+            title="Recovery replay over all 139 study faults",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reports.studyreport import render_study_report_markdown
+
+    study = full_study()
+    replays = []
+    if args.with_replay:
+        for factory in (ProcessPairs, CheckpointRollback, RestartFresh):
+            replays.append(replay_study(study, factory))
+    if args.format == "markdown":
+        print(render_study_report_markdown(study, replay_reports=replays))
+    else:
+        print(render_study_report(study, replay_reports=replays))
+    return 0
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    from repro.reports.catalog import render_fault_catalog
+
+    print(render_fault_catalog(full_study()))
+    return 0
+
+
+def _cmd_funnel(args: argparse.Namespace) -> int:
+    from repro.mining.funnel import funnel_from_trace
+
+    application = _application(args.application)
+    corpus = full_study().corpus(application)
+    if application is Application.APACHE:
+        archive = apache_raw_archive(corpus, total_reports=args.scale)
+        result = mine_apache(gnats.parse_archive(archive))
+    elif application is Application.GNOME:
+        archive = gnome_raw_archive(corpus, study_components=GNOME_STUDY_COMPONENTS)
+        result = mine_gnome(debbugs.parse_archive(archive))
+    else:
+        archive = mysql_raw_archive(corpus, total_messages=args.scale)
+        result = mine_mysql(mbox.parse_archive(archive))
+    funnel = funnel_from_trace(result.trace)
+    print(
+        format_table(
+            ["stage", "before", "after", "kept"],
+            funnel.rows(),
+            title=f"Narrowing funnel for {application.display_name}",
+        )
+    )
+    print(f"overall selectivity: {funnel.overall_selectivity:.2%}")
+    print(f"most selective stage: {funnel.most_selective_stage().name}")
+    return 0
+
+
+def _cmd_csv(args: argparse.Namespace) -> int:
+    from repro.reports.csvexport import classification_table_csv, figure_series_csv
+
+    application = _application(args.application)
+    corpus = full_study().corpus(application)
+    if args.kind == "table":
+        print(classification_table_csv(classification_table(corpus)), end="")
+    else:
+        if application is Application.APACHE:
+            series = release_distribution(
+                corpus, release_order=tuple(v for v, _ in APACHE_RELEASES)
+            )
+        elif application is Application.MYSQL:
+            series = release_distribution(
+                corpus, release_order=tuple(v for v, _ in MYSQL_RELEASES)
+            )
+        else:
+            series = time_distribution(corpus, granularity="month")
+        print(figure_series_csv(series), end="")
+    return 0
+
+
+def _cmd_export_archive(args: argparse.Namespace) -> int:
+    application = _application(args.application)
+    corpus = full_study().corpus(application)
+    if application is Application.APACHE:
+        text = apache_raw_archive(corpus, total_reports=args.scale)
+    elif application is Application.GNOME:
+        text = gnome_raw_archive(corpus, study_components=GNOME_STUDY_COMPONENTS)
+    else:
+        text = mysql_raw_archive(corpus, total_messages=args.scale)
+    with open(args.path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {len(text)} bytes to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Whither Generic Recovery from Application Faults?' (DSN 2000)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table = subparsers.add_parser("table", help="print Table 1/2/3 for an application")
+    table.add_argument("application", help="apache | gnome | mysql")
+    table.set_defaults(func=_cmd_table)
+
+    figure = subparsers.add_parser("figure", help="print Figure 1/2/3 for an application")
+    figure.add_argument("application", help="apache | gnome | mysql")
+    figure.add_argument("--width", type=int, default=40, help="bar width in characters")
+    figure.add_argument(
+        "--granularity", choices=("month", "quarter"), default="month",
+        help="time bucketing for GNOME",
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    aggregate = subparsers.add_parser("aggregate", help="print the Section 5.4 numbers")
+    aggregate.set_defaults(func=_cmd_aggregate)
+
+    mine = subparsers.add_parser("mine", help="run the mining pipeline on a generated archive")
+    mine.add_argument("application", help="apache | gnome | mysql")
+    mine.add_argument(
+        "--scale", type=int, default=None,
+        help="raw archive size (defaults to the paper's full scale)",
+    )
+    mine.set_defaults(func=_cmd_mine)
+
+    replay = subparsers.add_parser("replay", help="replay all faults under recovery techniques")
+    replay.add_argument(
+        "--technique", action="append", choices=sorted(_TECHNIQUES),
+        help="technique to replay (repeatable; default: all)",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    report = subparsers.add_parser("report", help="print the full study report")
+    report.add_argument(
+        "--with-replay", action="store_true",
+        help="include the recovery replay (slower)",
+    )
+    report.add_argument(
+        "--format", choices=("text", "markdown"), default="text",
+        help="output format",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    catalog = subparsers.add_parser(
+        "catalog", help="print the 139-fault catalog as markdown"
+    )
+    catalog.set_defaults(func=_cmd_catalog)
+
+    funnel = subparsers.add_parser(
+        "funnel", help="print the mining narrowing funnel for an application"
+    )
+    funnel.add_argument("application", help="apache | gnome | mysql")
+    funnel.add_argument("--scale", type=int, default=None, help="raw archive size")
+    funnel.set_defaults(func=_cmd_funnel)
+
+    csv_command = subparsers.add_parser("csv", help="emit a table or figure as CSV")
+    csv_command.add_argument("kind", choices=("table", "figure"))
+    csv_command.add_argument("application", help="apache | gnome | mysql")
+    csv_command.set_defaults(func=_cmd_csv)
+
+    export = subparsers.add_parser(
+        "export-archive", help="write a raw 1999-style archive to a file"
+    )
+    export.add_argument("application", help="apache | gnome | mysql")
+    export.add_argument("path", help="output file")
+    export.add_argument("--scale", type=int, default=None, help="archive size")
+    export.set_defaults(func=_cmd_export_archive)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

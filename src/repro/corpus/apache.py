@@ -1,0 +1,682 @@
+"""Curated Apache study corpus: 50 faults (Table 1, Figure 1).
+
+Table 1 of the paper: 36 environment-independent, 7
+environment-dependent-nontransient, 7 environment-dependent-transient.
+All 14 environment-dependent faults below are the ones the paper itemises
+in Section 5.1, verbatim in substance.  The five itemised
+environment-independent examples are included; the remaining 31
+environment-independent faults are synthesized in the same style
+(realistic Apache 1.2/1.3-era defects) to fill the paper's per-release
+totals for Figure 1: totals grow with newer releases while the
+environment-independent proportion stays roughly constant.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import functools
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom, TriggerKind
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+
+_EI = FaultClass.ENV_INDEPENDENT
+_EDN = FaultClass.ENV_DEP_NONTRANSIENT
+_EDT = FaultClass.ENV_DEP_TRANSIENT
+
+#: Apache production releases covered by the study, with release dates.
+RELEASES: tuple[tuple[str, _dt.date], ...] = (
+    ("1.2.4", _dt.date(1997, 8, 22)),
+    ("1.2.6", _dt.date(1998, 2, 24)),
+    ("1.3.0", _dt.date(1998, 6, 6)),
+    ("1.3.1", _dt.date(1998, 7, 19)),
+    ("1.3.2", _dt.date(1998, 9, 21)),
+    ("1.3.3", _dt.date(1998, 10, 9)),
+    ("1.3.4", _dt.date(1999, 1, 11)),
+)
+
+_RELEASE_DATES = dict(RELEASES)
+
+
+def _fault(
+    number: int,
+    fault_class: FaultClass,
+    version: str,
+    component: str,
+    synopsis: str,
+    description: str,
+    how_to_repeat: str,
+    fix_summary: str,
+    *,
+    symptom: Symptom = Symptom.CRASH,
+    trigger: TriggerKind = TriggerKind.NONE,
+    workload_timing: bool = False,
+    reproducible: bool = True,
+    workload_op: str = "",
+    days_after_release: int = 30,
+) -> StudyFault:
+    tag = {_EI: "EI", _EDN: "EDN", _EDT: "EDT"}[fault_class]
+    return StudyFault(
+        fault_id=f"APACHE-{tag}-{number:02d}",
+        application=Application.APACHE,
+        component=component,
+        version=version,
+        date=_RELEASE_DATES[version] + _dt.timedelta(days=days_after_release),
+        synopsis=synopsis,
+        description=description,
+        how_to_repeat=how_to_repeat,
+        fix_summary=fix_summary,
+        symptom=symptom,
+        trigger=trigger,
+        fault_class=fault_class,
+        workload_dependent_timing=workload_timing,
+        reproducible=reproducible,
+        workload_op=workload_op or f"apache-op-{tag.lower()}-{number:02d}",
+        severity=Severity.CRITICAL if symptom is Symptom.CRASH else Severity.SERIOUS,
+    )
+
+
+# --------------------------------------------------------------------- #
+# The 7 environment-dependent-nontransient faults (Section 5.1).
+# --------------------------------------------------------------------- #
+
+_EDN_FAULTS = (
+    _fault(
+        1, _EDN, "1.2.6", "general",
+        "httpd degrades and dies under sustained high load",
+        "Under high load the server exhibits an unknown resource leak; "
+        "memory use climbs until the server stops answering requests. "
+        "The leaked resources are part of saved application state and "
+        "persist across a state-preserving restart.",
+        "Drive the server at peak request rate for several hours and watch "
+        "its resident size grow until it fails.",
+        "Root cause never isolated; the leak was worked around by periodic "
+        "full restarts.",
+        symptom=Symptom.RESOURCE_LEAK,
+        trigger=TriggerKind.RESOURCE_LEAK,
+        workload_op="sustained-load",
+        days_after_release=40,
+    ),
+    _fault(
+        2, _EDN, "1.3.0", "os-unix",
+        "server fails with too many open files",
+        "A lack of file descriptors makes accept() and open() fail; the "
+        "server returns errors for every request. A truly generic recovery "
+        "mechanism recovers all application resources including its file "
+        "descriptors, so the condition persists during recovery.",
+        "Lower the descriptor ulimit or let another daemon consume "
+        "descriptors until httpd runs out.",
+        "Documented minimum descriptor limits; added clearer error logging.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+        workload_op="serve-many-files",
+        days_after_release=25,
+    ),
+    _fault(
+        3, _EDN, "1.3.1", "mod_proxy",
+        "proxy fails once its disk cache gets full",
+        "The disk cache used by the application gets full and the "
+        "application cannot store any more temporary files; every proxied "
+        "request then fails with an error.",
+        "Set ProxyCacheSize near the partition size and fetch large objects "
+        "until the cache gets full.",
+        "Added cache garbage collection tuning notes; failure mode remains "
+        "until space is freed.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.DISK_CACHE_FULL,
+        workload_op="proxy-fetch",
+        days_after_release=35,
+    ),
+    _fault(
+        4, _EDN, "1.3.2", "logging",
+        "httpd dies when the access log hits the 2GB boundary",
+        "The size of the log file grows greater than the maximum allowed "
+        "file size on the platform, and the write path does not handle the "
+        "failure; the server exits.",
+        "Run with heavy traffic until access_log reaches the platform file "
+        "size limit.",
+        "Advised log rotation; large-file support arrived in a later release.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.FILE_SIZE_LIMIT,
+        workload_op="log-append",
+        days_after_release=50,
+    ),
+    _fault(
+        5, _EDN, "1.3.3", "core",
+        "full file system makes the server fail all requests",
+        "A full file system prevents the server from writing logs and "
+        "temporary files; requests fail and the condition persists until "
+        "an administrator frees disk space.",
+        "Fill the partition holding the logs, then issue any request.",
+        "None; the environment must be repaired.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.DISK_FULL,
+        workload_op="log-append-fs",
+        days_after_release=20,
+    ),
+    _fault(
+        6, _EDN, "1.3.4", "os-unix",
+        "requests fail after an unknown network resource is exhausted",
+        "After days of uptime an unknown network resource is exhausted and "
+        "new connections fail. Restarting the application alone does not "
+        "clear the condition.",
+        "Long-running server under production traffic; exact sequence "
+        "unknown.",
+        "Never isolated; suspected kernel-side buffer depletion.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+        workload_op="accept-connection",
+        reproducible=False,
+        days_after_release=30,
+    ),
+    _fault(
+        7, _EDN, "1.3.4", "os-unix",
+        "server dies when the PCMCIA network card is removed",
+        "Removal of the PCMCIA network card from the computer while httpd "
+        "is running makes every socket operation fail; the server exits "
+        "and cannot restart until the card is reinserted.",
+        "Start httpd on a laptop, then eject the PCMCIA network card.",
+        "None; hardware must be reinserted.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.HARDWARE_REMOVAL,
+        workload_op="accept-connection-nic",
+        days_after_release=45,
+    ),
+)
+
+# --------------------------------------------------------------------- #
+# The 7 environment-dependent-transient faults (Section 5.1).
+# --------------------------------------------------------------------- #
+
+_EDT_FAULTS = (
+    _fault(
+        1, _EDT, "1.2.4", "mod_log",
+        "httpd dies when a DNS call returns an error",
+        "A call to the Domain Name Service returns an error during "
+        "hostname logging and the result is not checked; the child "
+        "crashes. This is likely to change when the DNS server is "
+        "restarted.",
+        "Point the resolver at a DNS server that answers with SERVFAIL and "
+        "request any page with hostname logging on.",
+        "Check the resolver return value before using the result.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.DNS_ERROR,
+        workload_op="dns-lookup",
+        days_after_release=30,
+    ),
+    _fault(
+        2, _EDT, "1.3.0", "core",
+        "hung children consume all available slots in the process table",
+        "Child processes hang during peak load and consume all available "
+        "slots in the kernel's process table; no new work can be forked. "
+        "As part of automatic recovery, the recovery system is likely to "
+        "kill all processes associated with the application.",
+        "Drive peak load until children hang and fork() fails for the "
+        "whole machine.",
+        "Hang cause fixed in a later release; recovery by killing children.",
+        symptom=Symptom.HANG,
+        trigger=TriggerKind.PROCESS_TABLE_FULL,
+        workload_op="fork-child",
+        days_after_release=28,
+    ),
+    _fault(
+        3, _EDT, "1.3.1", "core",
+        "child segfaults when the user presses stop mid-download",
+        "When the user presses stop on the browser in the midst of a page "
+        "download, the child handling the transfer dereferences a freed "
+        "buffer and crashes. The fault depends on the exact timing of the "
+        "requested workload, which is not likely to be repeated during "
+        "recovery.",
+        "Start a large download and press stop while the transfer is in "
+        "flight; timing dependent.",
+        "Guard the connection-abort path against use after free.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.WORKLOAD_TIMING,
+        workload_timing=True,
+        workload_op="abort-download",
+        days_after_release=33,
+    ),
+    _fault(
+        4, _EDT, "1.3.2", "core",
+        "restart fails because hung children hang onto required network ports",
+        "Hung child processes hang onto required network ports, so a "
+        "restarted parent cannot bind. The hung children will likely be "
+        "killed during recovery and the ports will be freed.",
+        "Hang a child holding the listening socket, then restart the "
+        "parent.",
+        "SO_REUSEADDR plus killing stale children.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.PORT_IN_USE,
+        workload_op="bind-port",
+        days_after_release=31,
+    ),
+    _fault(
+        5, _EDT, "1.3.3", "mod_log",
+        "requests time out on slow Domain Name Service responses",
+        "A slow Domain Name Service response stalls request processing "
+        "until clients give up. The cause of the slow DNS response will "
+        "likely be fixed eventually without application-specific recovery, "
+        "either by restarting DNS, or by fixing the network.",
+        "Add seconds of artificial latency to the resolver and request any "
+        "page with hostname logging enabled.",
+        "Made hostname lookups optional and asynchronous later.",
+        symptom=Symptom.HANG,
+        trigger=TriggerKind.DNS_SLOW,
+        workload_op="dns-lookup-slow",
+        days_after_release=26,
+    ),
+    _fault(
+        6, _EDT, "1.3.4", "core",
+        "transfers stall and die over a slow network connection",
+        "A slow network connection makes transfers stall until timeouts "
+        "kill the children mid-request. The network may be fixed by the "
+        "time the server recovers.",
+        "Throttle the link below a few kilobits per second and fetch a "
+        "large page.",
+        "Tuned timeouts; underlying condition is environmental.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.NETWORK_SLOW,
+        workload_op="send-response",
+        days_after_release=38,
+    ),
+    _fault(
+        7, _EDT, "1.3.4", "mod_ssl",
+        "startup blocks on /dev/random without enough entropy",
+        "A lack of events to generate sufficient random numbers in "
+        "/dev/random blocks key generation; the server appears hung. "
+        "During recovery, it is likely that more events will be generated "
+        "for /dev/random.",
+        "Start the server on an idle headless machine right after boot.",
+        "Allowed /dev/urandom as an entropy source.",
+        symptom=Symptom.HANG,
+        trigger=TriggerKind.ENTROPY_EXHAUSTION,
+        workload_op="generate-key",
+        days_after_release=42,
+    ),
+)
+
+# --------------------------------------------------------------------- #
+# 36 environment-independent faults.  The first five are the examples the
+# paper itemises in Section 5.1; the rest are synthesized in-period
+# defects distributed to match Figure 1's per-release totals.
+# --------------------------------------------------------------------- #
+
+_EI_SPECS: tuple[tuple[str, str, str, str, str, str, Symptom, str], ...] = (
+    # (version, component, synopsis, description, how_to_repeat, fix, symptom, op)
+    (
+        "1.2.4", "core",
+        "dies with a segfault when the submitted URL is very long",
+        "The server dies with a segmentation fault whenever a browser "
+        "submits a very long URL. The problem is a result of an overflow "
+        "in the hash calculation over the request string.",
+        "Request a URL of several thousand characters; the child servicing "
+        "it crashes every time.",
+        "Bounds-checked the hash calculation.",
+        Symptom.CRASH, "get-long-url",
+    ),
+    (
+        "1.2.6", "os-solaris",
+        "SIGHUP kills apache on Solaris and Unixware",
+        "Sending SIGHUP kills apache on Solaris and Unixware. Normally, "
+        "this should gracefully restart and rejuvenate the server instead "
+        "of terminating it.",
+        "kill -HUP the parent process on Solaris; the whole server exits.",
+        "Fixed the platform-specific restart handler.",
+        Symptom.CRASH, "sighup-restart",
+    ),
+    (
+        "1.3.0", "core",
+        "dumps core on Linux/PPC if handed a nonexistent URL",
+        "The server dumps core on Linux/PPC if handed a nonexistent URL. "
+        "ap_log_rerror() uses a va_list variable twice without an "
+        "intervening va_end/va_start combination.",
+        "Request any URL that does not exist on a Linux/PPC build.",
+        "Added the va_end/va_start pair between the two uses.",
+        Symptom.CRASH, "get-missing-url",
+    ),
+    (
+        "1.3.1", "mod_autoindex",
+        "crash when listing a directory with zero entries",
+        "This error occurs when directory listing is turned on and the "
+        "directory has zero entries. The palloc() call used in "
+        "index_directory() doesn't handle size zero properly.",
+        "Enable indexing and request an empty directory.",
+        "Handled the zero-entry case before calling palloc().",
+        Symptom.CRASH, "list-empty-dir",
+    ),
+    (
+        "1.3.2", "shmem",
+        "shared memory segment grows past 100 Mbytes and HUP freezes the server",
+        "The shared memory segment keeps growing and reaches sizes "
+        "exceeding 100 Mbytes in less than 5 hours of operation. When a "
+        "HUP signal is sent to rotate logs, the server freezes or dies. "
+        "This is caused by memory leaks in the application itself, so the "
+        "failure repeats deterministically with the workload.",
+        "Run the scoreboard workload for a few hours, then send HUP.",
+        "Fixed the allocator to release per-request pools.",
+        Symptom.RESOURCE_LEAK, "scoreboard-grow",
+    ),
+    (
+        "1.2.4", "mod_cgi",
+        "child crashes on CGI output with no Content-Type header",
+        "A CGI script that prints a body without any Content-Type header "
+        "makes the child dereference a null header table entry and crash.",
+        "Install a one-line CGI that echoes text with no headers and "
+        "request it.",
+        "Defaulted the content type when the script omits it.",
+        Symptom.CRASH, "run-cgi",
+    ),
+    (
+        "1.2.6", "mod_include",
+        "infinite recursion on self-including SSI page",
+        "A server-side-include page that includes itself recurses until "
+        "the child exhausts its stack and crashes.",
+        "Create page.shtml containing an include of page.shtml and "
+        "request it.",
+        "Added an include-depth limit.",
+        Symptom.CRASH, "ssi-include",
+    ),
+    (
+        "1.2.6", "mod_alias",
+        "redirect with trailing percent sign crashes the child",
+        "A Redirect target ending in a lone percent character makes the "
+        "escaping code read past the end of the string.",
+        "Configure Redirect to a URL ending in '%' and request the source "
+        "path.",
+        "Validated escape sequences during configuration parsing.",
+        Symptom.CRASH, "redirect",
+    ),
+    (
+        "1.3.0", "mod_rewrite",
+        "RewriteMap with empty value segfaults",
+        "A rewrite map entry whose value field is empty causes a null "
+        "pointer dereference during substitution.",
+        "Add a map line with a key and no value, reference it from a "
+        "RewriteRule, request a matching URL.",
+        "Rejected empty map values at load time.",
+        Symptom.CRASH, "rewrite-url",
+    ),
+    (
+        "1.3.0", "mod_negotiation",
+        "type map with zero variants crashes negotiation",
+        "Content negotiation over a .var file listing zero variants "
+        "divides by the variant count and crashes.",
+        "Install an empty type map and request it.",
+        "Checked the variant count before scoring.",
+        Symptom.CRASH, "negotiate",
+    ),
+    (
+        "1.3.1", "mod_userdir",
+        "request for ~ with no username crashes the child",
+        "A request for '/~' with no username following makes the userdir "
+        "translation index one byte before the path buffer.",
+        "Request the literal path '/~/'.",
+        "Bounds-checked the username extraction.",
+        Symptom.CRASH, "userdir",
+    ),
+    (
+        "1.3.1", "core",
+        "merging of Options directives drops symlink checks",
+        "Section merging applies Options in the wrong order, silently "
+        "re-enabling FollowSymLinks that a narrower section disabled, "
+        "letting requests escape the document root.",
+        "Disable FollowSymLinks in a subdirectory, place a symlink to / "
+        "inside it, request through the link.",
+        "Fixed the merge order and added a regression test.",
+        Symptom.SECURITY, "follow-symlink",
+    ),
+    (
+        "1.3.1", "mod_status",
+        "status page crashes with ExtendedStatus on first request",
+        "The extended status handler reads a per-slot request record "
+        "before any request has populated it and crashes on the "
+        "uninitialized pointer.",
+        "Enable ExtendedStatus and fetch /server-status as the very first "
+        "request after startup.",
+        "Initialized the scoreboard slots at fork time.",
+        Symptom.CRASH, "server-status",
+    ),
+    (
+        "1.3.2", "mod_cgi",
+        "POST with negative Content-Length hangs the child",
+        "A POST whose Content-Length header is negative makes the body "
+        "reader loop forever; the child stops responding deterministically.",
+        "Send a POST with Content-Length: -1.",
+        "Rejected negative lengths during header parsing.",
+        Symptom.HANG, "post-cgi",
+    ),
+    (
+        "1.3.2", "core",
+        "chunked request with oversized chunk header crashes httpd",
+        "A chunked transfer whose chunk-size line exceeds the line buffer "
+        "overflows a stack buffer and crashes the child on every request.",
+        "Send a chunked POST with a 9000-character chunk-size line.",
+        "Bounded the chunk header read.",
+        Symptom.CRASH, "chunked-post",
+    ),
+    (
+        "1.3.2", "mod_mime",
+        "AddType with empty extension crashes configuration parsing",
+        "An AddType directive with an empty extension argument makes the "
+        "server dereference a null token during startup, so the server "
+        "cannot start at all.",
+        "Add 'AddType text/html \"\"' to the configuration and start httpd.",
+        "Validated directive arguments.",
+        Symptom.CRASH, "load-config-mime",
+    ),
+    (
+        "1.3.2", "mod_imap",
+        "imagemap with point outside any area crashes",
+        "An imagemap click whose coordinates fall outside every defined "
+        "area and with no default entry dereferences a null region record.",
+        "Click outside all areas of a map file lacking a default line.",
+        "Fell back to a 204 response when no area matches.",
+        Symptom.CRASH, "imagemap-click",
+    ),
+    (
+        "1.3.3", "mod_proxy",
+        "proxying a URL with embedded whitespace crashes",
+        "A proxied request whose URL contains an unescaped space splits "
+        "the request line incorrectly and the proxy dereferences a null "
+        "host field.",
+        "Fetch 'GET http://example.com/a b HTTP/1.0' through the proxy.",
+        "Escaped the URL before parsing.",
+        Symptom.CRASH, "proxy-fetch-bad-url",
+    ),
+    (
+        "1.3.3", "mod_digest",
+        "malformed Authorization header crashes digest auth",
+        "A digest Authorization header missing the nonce field makes the "
+        "verifier pass NULL to strcmp and crash, on every such request.",
+        "Send 'Authorization: Digest username=\"x\"' with no nonce.",
+        "Checked all required fields before verification.",
+        Symptom.CRASH, "digest-auth",
+    ),
+    (
+        "1.3.3", "core",
+        "HTTP/0.9 request for a directory returns corrupted output",
+        "A HTTP/0.9 request for a directory mixes the index page with raw "
+        "header bytes, corrupting every response to such requests.",
+        "Send 'GET /dir' with no protocol version.",
+        "Suppressed headers on 0.9 responses.",
+        Symptom.DATA_CORRUPTION, "http09-get",
+    ),
+    (
+        "1.3.3", "mod_setenvif",
+        "SetEnvIf with unbalanced bracket expression crashes startup",
+        "A SetEnvIf regular expression with an unbalanced bracket makes "
+        "the bundled regex compiler read past the pattern end and crash "
+        "during configuration loading.",
+        "Add 'SetEnvIf User-Agent [ broken' and start the server.",
+        "Surfaced the regex compile error instead of crashing.",
+        Symptom.CRASH, "load-config-setenvif",
+    ),
+    (
+        "1.3.3", "mod_expires",
+        "ExpiresByType with bad syntax yields corrupt Expires headers",
+        "An ExpiresByType directive with a malformed interval produces "
+        "garbage Expires timestamps on every matching response, breaking "
+        "client caching.",
+        "Configure 'ExpiresByType text/html Z99' and fetch any page.",
+        "Rejected malformed intervals at startup.",
+        Symptom.DATA_CORRUPTION, "get-page-expires",
+    ),
+    (
+        "1.3.3", "mod_auth",
+        "htpasswd file without colon crashes authentication",
+        "A password file line lacking the colon separator makes the "
+        "authenticator index past the line end and crash on every "
+        "protected request.",
+        "Create an htpasswd line with no colon and request the protected "
+        "area.",
+        "Skipped malformed lines with a logged warning.",
+        Symptom.CRASH, "basic-auth",
+    ),
+    (
+        "1.3.4", "core",
+        "zero-length If-Modified-Since header crashes the child",
+        "An If-Modified-Since header with an empty value makes the date "
+        "parser dereference the terminator and crash.",
+        "Send 'If-Modified-Since:' with no value.",
+        "Treated empty date headers as absent.",
+        Symptom.CRASH, "conditional-get",
+    ),
+    (
+        "1.3.4", "mod_headers",
+        "Header unset of a header set in the same scope corrupts the table",
+        "Unsetting a header that was added in the same configuration "
+        "scope leaves a dangling table entry; later requests emit a "
+        "corrupted header block.",
+        "Add and unset the same header in one Directory block, then fetch "
+        "twice.",
+        "Fixed table entry removal.",
+        Symptom.DATA_CORRUPTION, "get-page-headers",
+    ),
+    (
+        "1.3.4", "mod_speling",
+        "spelling correction on dotfile-only directory crashes",
+        "The spelling-correction scan over a directory containing only "
+        "dotfiles underflows its candidate array and crashes.",
+        "Enable CheckSpelling, request a misspelled name in a dotfile-only "
+        "directory.",
+        "Guarded the empty-candidate case.",
+        Symptom.CRASH, "get-misspelled",
+    ),
+    (
+        "1.3.4", "mod_info",
+        "server-info handler crashes on modules with no directives",
+        "The info handler iterates a module's directive table without "
+        "checking for the NULL table and crashes when any loaded module "
+        "defines no directives.",
+        "Load such a module and fetch /server-info.",
+        "Checked for NULL directive tables.",
+        Symptom.CRASH, "server-info",
+    ),
+    (
+        "1.3.4", "core",
+        "Host header with trailing dot bypasses virtual host matching",
+        "A Host header ending in a dot fails to match its virtual host "
+        "and is served the wrong site's content deterministically.",
+        "Send 'Host: www.example.com.' to a name-based virtual host.",
+        "Normalized trailing dots before matching.",
+        Symptom.ERROR_RETURN, "vhost-get",
+    ),
+    (
+        "1.3.4", "mod_access",
+        "deny from partial IP pattern matches wrong addresses",
+        "A 'deny from 10.1' pattern is compared by substring, denying "
+        "110.1.x.x clients and allowing some 10.1.x.x clients; access "
+        "control is wrong for every affected address.",
+        "Configure 'deny from 10.1' and connect from 110.1.2.3.",
+        "Parsed the pattern as an address prefix.",
+        Symptom.SECURITY, "acl-check",
+    ),
+    (
+        "1.3.4", "mod_cgi",
+        "environment block overflows with more than 512 variables",
+        "A request carrying enough headers to produce more than 512 CGI "
+        "environment entries overflows the fixed env array and crashes "
+        "the child.",
+        "Send a request with 600 X- headers to a CGI resource.",
+        "Sized the environment block dynamically.",
+        Symptom.CRASH, "run-cgi-many-headers",
+    ),
+    (
+        "1.3.4", "core",
+        "keepalive count underflow sends stale responses",
+        "The keepalive counter underflows after exactly 256 requests on "
+        "one connection, after which responses are served from the wrong "
+        "buffer, corrupting output deterministically.",
+        "Issue 257 pipelined requests on one connection.",
+        "Widened and bounds-checked the counter.",
+        Symptom.DATA_CORRUPTION, "keepalive-pipeline",
+    ),
+    (
+        "1.2.6", "mod_dir",
+        "DirectoryIndex with absolute path escapes the docroot",
+        "A DirectoryIndex entry given as an absolute filesystem path is "
+        "served verbatim, exposing files outside the document root on "
+        "every matching request.",
+        "Set 'DirectoryIndex /etc/passwd' and request the directory.",
+        "Restricted index entries to relative paths.",
+        Symptom.SECURITY, "dir-index",
+    ),
+    (
+        "1.3.0", "mod_env",
+        "PassEnv of an unset variable crashes startup",
+        "PassEnv naming a variable absent from the parent environment "
+        "dereferences the NULL lookup result during startup, so the "
+        "server cannot boot.",
+        "Add 'PassEnv NO_SUCH_VAR' and start the server.",
+        "Skipped unset variables with a warning.",
+        Symptom.CRASH, "load-config-env",
+    ),
+    (
+        "1.3.1", "mod_actions",
+        "Action handler loops forever when the handler maps to itself",
+        "An Action directive whose target script is handled by the same "
+        "action recurses in request processing until the child dies; the "
+        "loop is deterministic for the workload.",
+        "Map handler x to a script whose extension maps back to x and "
+        "request it.",
+        "Detected the self-reference and failed the request cleanly.",
+        Symptom.CRASH, "action-loop",
+    ),
+    (
+        "1.3.2", "mod_usertrack",
+        "cookie parser crashes on cookie without equals sign",
+        "A Cookie header containing a token with no '=' makes the tracker "
+        "split out a NULL value and crash on strlen.",
+        "Send 'Cookie: bare' to a tracked site.",
+        "Ignored malformed cookie tokens.",
+        Symptom.CRASH, "cookie-get",
+    ),
+    (
+        "1.3.4", "mod_mime_magic",
+        "magic detection reads past buffer on 1-byte files",
+        "Content-type sniffing of a one-byte file reads a four-byte magic "
+        "word past the end of the buffer and crashes reproducibly.",
+        "Serve a one-byte file with mime-magic enabled.",
+        "Clamped the magic read to the file size.",
+        Symptom.CRASH, "get-tiny-file",
+    ),
+)
+
+
+@functools.lru_cache(maxsize=1)
+def apache_corpus() -> StudyCorpus:
+    """The curated Apache corpus (Table 1: 36 / 7 / 7)."""
+    ei_faults = tuple(
+        _fault(
+            index, _EI, version, component, synopsis, description,
+            how_to_repeat, fix, symptom=symptom, workload_op=op,
+            days_after_release=20 + 3 * index,
+        )
+        for index, (version, component, synopsis, description, how_to_repeat,
+                    fix, symptom, op) in enumerate(_EI_SPECS, start=1)
+    )
+    return StudyCorpus(
+        application=Application.APACHE,
+        faults=ei_faults + _EDN_FAULTS + _EDT_FAULTS,
+        expected_counts={_EI: 36, _EDN: 7, _EDT: 7},
+        raw_report_count=5220,
+    )

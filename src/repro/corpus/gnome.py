@@ -1,0 +1,554 @@
+"""Curated GNOME study corpus: 45 faults (Table 2, Figure 2).
+
+Table 2 of the paper: 39 environment-independent, 3
+environment-dependent-nontransient, 3 environment-dependent-transient.
+The six environment-dependent faults and five itemised
+environment-independent examples come from Section 5.2; the remaining 34
+environment-independent faults are synthesized in the same style against
+the components the paper studied (the core files and libraries plus
+panel, gnome-pim, gnumeric, and gmc).
+
+Figure 2 plots faults over *time* rather than releases, "because of the
+nature of GNOME"; the curated dates reproduce its shape: a high
+environment-independent proportion throughout, a dip in reports for a
+short interval, then an increase.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import functools
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom, TriggerKind
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+
+_EI = FaultClass.ENV_INDEPENDENT
+_EDN = FaultClass.ENV_DEP_NONTRANSIENT
+_EDT = FaultClass.ENV_DEP_TRANSIENT
+
+#: Components in the paper's scope: core files and libraries plus four
+#: commonly used applications.
+STUDY_COMPONENTS: tuple[str, ...] = (
+    "gnome-core",
+    "gnome-libs",
+    "panel",
+    "gnome-pim",
+    "gnumeric",
+    "gmc",
+)
+
+
+def _fault(
+    number: int,
+    fault_class: FaultClass,
+    date: _dt.date,
+    component: str,
+    synopsis: str,
+    description: str,
+    how_to_repeat: str,
+    fix_summary: str,
+    *,
+    symptom: Symptom = Symptom.CRASH,
+    trigger: TriggerKind = TriggerKind.NONE,
+    reproducible: bool = True,
+    workload_op: str = "",
+) -> StudyFault:
+    tag = {_EI: "EI", _EDN: "EDN", _EDT: "EDT"}[fault_class]
+    return StudyFault(
+        fault_id=f"GNOME-{tag}-{number:02d}",
+        application=Application.GNOME,
+        component=component,
+        version="1.0",
+        date=date,
+        synopsis=synopsis,
+        description=description,
+        how_to_repeat=how_to_repeat,
+        fix_summary=fix_summary,
+        symptom=symptom,
+        trigger=trigger,
+        fault_class=fault_class,
+        reproducible=reproducible,
+        workload_op=workload_op or f"gnome-op-{tag.lower()}-{number:02d}",
+        severity=Severity.CRITICAL if symptom is Symptom.CRASH else Severity.SERIOUS,
+    )
+
+
+_EDN_FAULTS = (
+    _fault(
+        1, _EDN, _dt.date(1998, 11, 12), "gnome-libs",
+        "session applications die after the machine's name is changed",
+        "The hostname of the machine was changed while the application was "
+        "running; display connections authenticated against the old name "
+        "fail from then on, and the failure persists until the old name is "
+        "restored or the session restarts with the new one.",
+        "Run any session application, change the machine hostname, then "
+        "open a new window.",
+        "None in the application; the environment must be restored.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.HOST_CONFIG_CHANGE,
+        workload_op="open-window",
+    ),
+    _fault(
+        2, _EDN, _dt.date(1999, 1, 20), "gnome-core",
+        "sound utilities exhaust descriptors with sockets left open on exit",
+        "Open sockets are left around by the sound utilities while "
+        "exiting. Each open socket consumes a file descriptor and the "
+        "application eventually runs out of file descriptors; a recovery "
+        "system that preserves application state preserves the leaked "
+        "descriptors too.",
+        "Start and stop sound events repeatedly, then open any dialog that "
+        "needs a descriptor.",
+        "Closed the event sockets in the exit path.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+        workload_op="play-sound",
+    ),
+    _fault(
+        3, _EDN, _dt.date(1999, 6, 8), "gmc",
+        "gmc crashes editing a file with an illegal owner field",
+        "A file has an illegal value in the owner field. The application "
+        "crashes when trying to edit the file or its properties, and the "
+        "bad metadata persists on disk across recovery.",
+        "Set a file's owner to an id with no passwd entry and open its "
+        "properties dialog.",
+        "Displayed unknown owners numerically instead of dereferencing the "
+        "missing entry.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.CORRUPT_EXTERNAL_STATE,
+        workload_op="edit-properties",
+    ),
+)
+
+_EDT_FAULTS = (
+    _fault(
+        1, _EDT, _dt.date(1998, 12, 3), "gnome-core",
+        "unknown startup failure which works on a retry",
+        "An unknown failure of the application at startup, which works on "
+        "a retry. Developers could not reproduce the failure on their "
+        "machines.",
+        "Not known; the reporter saw it once and a retry succeeded.",
+        "Never isolated.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.UNKNOWN_TRANSIENT,
+        reproducible=False,
+        workload_op="startup",
+    ),
+    _fault(
+        2, _EDT, _dt.date(1999, 5, 17), "gmc",
+        "race condition between the image viewer and the property editor",
+        "A race condition between an image viewer and a property editor "
+        "over the same file's metadata crashes whichever loses the race. "
+        "Race conditions depend on the exact timing of thread scheduling "
+        "events, and these are likely to change during retry.",
+        "Open the same image in the viewer and the property editor and "
+        "close both quickly; crashes intermittently.",
+        "Took a reference on the metadata object before handing it to the "
+        "second window.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.RACE_CONDITION,
+        workload_op="view-and-edit",
+    ),
+    _fault(
+        3, _EDT, _dt.date(1999, 7, 22), "panel",
+        "race condition between an applet action request and its removal",
+        "A race condition between a request for action from an applet and "
+        "its removal from the panel: if the removal wins, the action is "
+        "delivered to a destroyed object and the panel crashes.",
+        "Right-click an applet and remove it at the same moment from "
+        "another panel; intermittent.",
+        "Validated the applet handle before dispatching the action.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.RACE_CONDITION,
+        workload_op="applet-action",
+    ),
+)
+
+# (date, component, synopsis, description, how_to_repeat, fix, symptom, op)
+_EI_SPECS: tuple[tuple[_dt.date, str, str, str, str, str, Symptom, str], ...] = (
+    (
+        _dt.date(1998, 10, 6), "panel",
+        "clicking the tasklist tab in gnome-pager settings kills the pager",
+        "Clicking on the \"tasklist\" tab in the gnome-pager settings "
+        "dialog causes the pager to die, every time.",
+        "Open pager settings and click the tasklist tab.",
+        "Initialized the tasklist page widgets before showing the tab.",
+        Symptom.CRASH, "pager-settings-tab",
+    ),
+    (
+        _dt.date(1998, 10, 14), "gnome-pim",
+        "prev button in the calendar year view crashes gnomecal",
+        "Clicking on the \"prev\" button in the \"year\" view of the "
+        "calendar application causes it to crash. This was due to "
+        "assigning a value to a local copy of the variable instead of the "
+        "global copy.",
+        "Switch the calendar to year view and click prev.",
+        "Assigned the new year to the global variable.",
+        Symptom.CRASH, "calendar-prev-year",
+    ),
+    (
+        _dt.date(1998, 11, 2), "gnumeric",
+        "gnumeric crashes on tab in the define-name dialog",
+        "The spreadsheet application crashes if a tab is pressed in the "
+        "\"define name\" dialog or in the \"File/Summary\" dialog. This "
+        "was caused by initializing a variable to an incorrect value.",
+        "Open the define-name dialog and press tab.",
+        "Initialized the focus chain variable correctly.",
+        Symptom.CRASH, "dialog-tab",
+    ),
+    (
+        _dt.date(1998, 11, 19), "gmc",
+        "double-clicking a tar.gz icon on the desktop crashes gmc",
+        "Double-clicking on a \"tar.gz\" file that is lying as an icon on "
+        "the desktop crashes gmc, the file manager. This was caused due to "
+        "the declaration of a variable as \"long\" instead of \"unsigned "
+        "long\".",
+        "Place a tar.gz on the desktop and double-click it.",
+        "Declared the offset variable unsigned long.",
+        Symptom.CRASH, "open-archive",
+    ),
+    (
+        _dt.date(1998, 12, 9), "gnome-core",
+        "clicking the desktop to dismiss the main menu freezes the desktop",
+        "After clicking the main button once to pop up the main menu, a "
+        "click again on the desktop in order to remove the menu freezes "
+        "the desktop, deterministically.",
+        "Click the main menu button, then click the desktop background.",
+        "Released the pointer grab when the menu is dismissed.",
+        Symptom.HANG, "dismiss-menu",
+    ),
+    (
+        _dt.date(1998, 10, 27), "gnome-libs",
+        "gnome_config crashes on a key with an empty section name",
+        "Reading a configuration key whose section component is empty "
+        "makes the config parser dereference a null section record.",
+        "Call gnome_config_get_string(\"/app//key\").",
+        "Rejected empty section names.",
+        Symptom.CRASH, "read-config",
+    ),
+    (
+        _dt.date(1998, 11, 25), "panel",
+        "panel crashes when the last applet is moved right",
+        "Moving the only applet on a panel toward the right edge walks off "
+        "the end of the applet list and crashes the panel.",
+        "Add a single applet and drag it to the far right.",
+        "Clamped the target position to the list length.",
+        Symptom.CRASH, "move-applet",
+    ),
+    (
+        _dt.date(1998, 12, 16), "gnumeric",
+        "pasting a cell range into itself corrupts the sheet",
+        "Pasting a copied range onto a region that overlaps the source "
+        "corrupts cell contents deterministically.",
+        "Copy A1:B10 and paste at A5.",
+        "Buffered the source range before writing the destination.",
+        Symptom.DATA_CORRUPTION, "paste-overlap",
+    ),
+    (
+        _dt.date(1998, 12, 22), "gnome-pim",
+        "deleting a recurring appointment's first instance crashes gnomecal",
+        "Deleting the first instance of a recurring appointment leaves the "
+        "recurrence anchor dangling; the next redraw crashes.",
+        "Create a weekly appointment and delete its first occurrence.",
+        "Re-anchored the recurrence on the next instance.",
+        Symptom.CRASH, "delete-recurrence",
+    ),
+    (
+        _dt.date(1999, 1, 7), "gmc",
+        "renaming a file to an empty string crashes gmc",
+        "Accepting the rename dialog with an empty name passes a "
+        "zero-length string to the move operation, which crashes.",
+        "Select a file, choose rename, clear the field, press enter.",
+        "Disabled the OK button for empty names.",
+        Symptom.CRASH, "rename-empty",
+    ),
+    (
+        _dt.date(1999, 1, 13), "gnumeric",
+        "circular reference in a formula hangs recalculation",
+        "A formula referring to its own cell sends the recalculation "
+        "engine into an unbounded loop; the application stops responding.",
+        "Enter =A1+1 into cell A1.",
+        "Added cycle detection to the dependency walker.",
+        Symptom.HANG, "recalc-cycle",
+    ),
+    (
+        _dt.date(1999, 1, 26), "panel",
+        "panel dies loading a session file with an unknown applet id",
+        "A session file naming an applet that is not installed makes the "
+        "panel dereference the failed lookup and die at login, every "
+        "login.",
+        "Remove an applet package and log in with a session referencing it.",
+        "Skipped unknown applets with a warning dialog.",
+        Symptom.CRASH, "load-session",
+    ),
+    (
+        _dt.date(1999, 2, 4), "gnome-libs",
+        "gdk-pixbuf crashes on a zero-width XPM",
+        "Loading an XPM image whose header declares zero width makes the "
+        "scaler divide by zero and crash any application that renders it.",
+        "Open a zero-width XPM in any image-using application.",
+        "Validated image dimensions at load time.",
+        Symptom.CRASH, "load-image",
+    ),
+    (
+        _dt.date(1999, 2, 10), "gnome-pim",
+        "importing a vCard without a name field crashes gnomecard",
+        "A vCard lacking the N: field makes the importer format a null "
+        "name pointer and crash.",
+        "Import a vCard containing only an EMAIL line.",
+        "Substituted an empty name when the field is missing.",
+        Symptom.CRASH, "import-vcard",
+    ),
+    (
+        _dt.date(1999, 2, 17), "gnumeric",
+        "sorting a selection containing merged cells crashes",
+        "Sorting a range that intersects a merged cell region reads a "
+        "stale span record and crashes reproducibly.",
+        "Merge B2:B3, select A1:C5, sort ascending.",
+        "Refused to sort across merges with a clear message.",
+        Symptom.CRASH, "sort-merged",
+    ),
+    (
+        _dt.date(1999, 2, 23), "gmc",
+        "gmc crashes entering a directory whose name contains %s",
+        "A directory name containing a percent-s sequence is passed to a "
+        "printf-style formatter as the format string, crashing gmc.",
+        "mkdir '%s' and double-click it.",
+        "Passed names as arguments, never as format strings.",
+        Symptom.CRASH, "open-dir-format",
+    ),
+    (
+        _dt.date(1999, 3, 3), "gnome-core",
+        "help browser crashes on a man page with no sections",
+        "Rendering a manual page that contains no section headers "
+        "dereferences an empty section list.",
+        "View a man page consisting of a single paragraph.",
+        "Handled the empty-section case in the renderer.",
+        Symptom.CRASH, "view-manpage",
+    ),
+    (
+        _dt.date(1999, 3, 16), "panel",
+        "drawer inside a drawer crashes the panel on open",
+        "Opening a drawer applet that itself lives inside a drawer "
+        "recurses with the wrong parent pointer and crashes.",
+        "Add a drawer to a drawer and click the inner one.",
+        "Fixed the parent assignment for nested drawers.",
+        Symptom.CRASH, "open-drawer",
+    ),
+    (
+        _dt.date(1999, 3, 29), "gnumeric",
+        "CSV import with a quoted field over 1024 bytes crashes",
+        "Importing a CSV row whose quoted field exceeds the fixed parse "
+        "buffer overflows it and crashes the importer every time.",
+        "Import a CSV with a 2000-character quoted cell.",
+        "Grew the parse buffer dynamically.",
+        Symptom.CRASH, "import-csv",
+    ),
+    (
+        _dt.date(1999, 4, 8), "gnome-pim",
+        "setting an alarm for a past time hangs gnomecal",
+        "An appointment alarm set for a time already past makes the alarm "
+        "scheduler loop rearming it forever; the application stops "
+        "responding.",
+        "Create an appointment with an alarm five minutes in the past.",
+        "Skipped alarms whose time already passed.",
+        Symptom.HANG, "set-alarm",
+    ),
+    (
+        _dt.date(1999, 4, 21), "gnome-libs",
+        "ORBit stub crashes on a reply with an empty string sequence",
+        "Demarshalling a CORBA reply containing an empty sequence of "
+        "strings reads the element count from the wrong offset and "
+        "crashes the client, deterministically for that reply shape.",
+        "Invoke any method returning an empty string sequence.",
+        "Corrected the demarshalling offset.",
+        Symptom.CRASH, "corba-call",
+    ),
+    (
+        _dt.date(1999, 5, 5), "gmc",
+        "dragging a file onto its own icon deletes the file",
+        "Dropping a file onto itself triggers the move path with "
+        "identical source and target, which removes the file after the "
+        "copy is skipped; data is lost every time.",
+        "Drag a file and drop it on its own icon.",
+        "Made same-file moves a no-op.",
+        Symptom.DATA_CORRUPTION, "drag-self",
+    ),
+    (
+        _dt.date(1999, 5, 11), "panel",
+        "logout dialog crashes when no window manager is running",
+        "Requesting logout with no window manager running dereferences "
+        "the null session-manager connection and crashes the panel.",
+        "Kill the window manager, then click logout.",
+        "Checked the connection before use.",
+        Symptom.CRASH, "logout",
+    ),
+    (
+        _dt.date(1999, 5, 19), "gnumeric",
+        "defining a name that shadows a function crashes evaluation",
+        "Defining the name SUM and then using SUM() in a formula makes "
+        "the evaluator call the name record as a function and crash.",
+        "Define name SUM=1 and type =SUM(A1:A3).",
+        "Namespaced user names away from builtins.",
+        Symptom.CRASH, "define-shadow-name",
+    ),
+    (
+        _dt.date(1999, 5, 26), "gnome-core",
+        "screenshot capture of a 0x0 window crashes the capture utility",
+        "Capturing a window that has been resized to zero area makes the "
+        "capture code allocate a zero-byte image and crash writing to it.",
+        "Shade a window to zero height and take a window screenshot.",
+        "Rejected zero-area captures.",
+        Symptom.CRASH, "capture-window",
+    ),
+    (
+        _dt.date(1999, 6, 2), "gnome-pim",
+        "todo list crashes when sorting an empty list by priority",
+        "Sorting an empty todo list by priority passes a null list head "
+        "to the comparator setup and crashes.",
+        "Open the todo list with no entries and click the priority column.",
+        "Guarded the empty-list case.",
+        Symptom.CRASH, "sort-todo",
+    ),
+    (
+        _dt.date(1999, 6, 15), "gnumeric",
+        "printing a sheet with a chart crashes gnumeric",
+        "Printing any sheet containing a chart object passes the screen "
+        "rendering context to the print path, which crashes.",
+        "Insert a chart and choose print.",
+        "Created a print-specific rendering context.",
+        Symptom.CRASH, "print-chart",
+    ),
+    (
+        _dt.date(1999, 6, 22), "gmc",
+        "ftp URL without a host crashes the virtual filesystem",
+        "Opening the location 'ftp://' with no host makes the VFS layer "
+        "index an empty host string and crash.",
+        "Type ftp:// into the location bar and press enter.",
+        "Validated the URL before connecting.",
+        Symptom.CRASH, "open-url",
+    ),
+    (
+        _dt.date(1999, 6, 29), "panel",
+        "clock applet crashes on a locale with no AM/PM strings",
+        "The clock applet formats twelve-hour time using the locale's "
+        "AM/PM strings; locales defining none return null and the applet "
+        "crashes at the first repaint.",
+        "Run with LC_TIME set to such a locale and add the clock applet.",
+        "Fell back to 24-hour format.",
+        Symptom.CRASH, "clock-repaint",
+    ),
+    (
+        _dt.date(1999, 7, 6), "gnome-libs",
+        "recently-used list crashes after exactly 64 entries",
+        "Adding a 65th entry to the recently-used file list overflows the "
+        "fixed menu array and crashes whichever application updates it.",
+        "Open 65 distinct documents in any libs-using application.",
+        "Made the list length dynamic.",
+        Symptom.CRASH, "recent-files",
+    ),
+    (
+        _dt.date(1999, 7, 13), "gnumeric",
+        "undo after deleting a sheet restores cells to the wrong sheet",
+        "Undoing a sheet deletion rebinds the restored cells to the "
+        "current sheet index, corrupting both sheets' contents "
+        "deterministically.",
+        "Delete sheet 2 of 3, then undo.",
+        "Recorded the sheet identity in the undo record.",
+        Symptom.DATA_CORRUPTION, "undo-sheet-delete",
+    ),
+    (
+        _dt.date(1999, 7, 20), "gnome-core",
+        "session save with more than 32 clients truncates the session",
+        "Saving a session with more than 32 registered clients writes past "
+        "the client array, corrupting the saved session file every time.",
+        "Register 33 session clients and log out saving the session.",
+        "Sized the client table dynamically.",
+        Symptom.DATA_CORRUPTION, "save-session",
+    ),
+    (
+        _dt.date(1999, 7, 27), "gmc",
+        "gmc crashes unpacking an archive entry with an absolute path",
+        "Extracting an archive member whose stored name is absolute makes "
+        "the extraction path logic strip the name to an empty string and "
+        "crash.",
+        "Open an archive containing the member /etc/motd and extract it.",
+        "Sanitized member names before extraction.",
+        Symptom.CRASH, "extract-archive",
+    ),
+    (
+        _dt.date(1999, 2, 26), "gnome-core",
+        "applet adding dialog crashes when the applet list is filtered to none",
+        "Filtering the add-applet dialog to an empty result and pressing "
+        "OK dereferences the empty selection and crashes the dialog "
+        "process.",
+        "Type a non-matching filter string and press OK.",
+        "Disabled OK on empty selection.",
+        Symptom.CRASH, "add-applet",
+    ),
+    (
+        _dt.date(1998, 10, 20), "gnumeric",
+        "gnumeric crashes autofitting a column of empty cells",
+        "Autofitting the width of a column that contains no values takes "
+        "the maximum of an empty extent list and crashes.",
+        "Select an empty column and choose autofit width.",
+        "Used the default width for empty columns.",
+        Symptom.CRASH, "autofit-empty",
+    ),
+    (
+        _dt.date(1999, 1, 29), "gmc",
+        "find-file dialog crashes on a pattern of only wildcards",
+        "A search pattern consisting solely of '*' characters collapses "
+        "to an empty compiled pattern and the matcher dereferences it.",
+        "Open find file, enter '***', press start.",
+        "Normalized the pattern before compiling.",
+        Symptom.CRASH, "find-files",
+    ),
+    (
+        _dt.date(1999, 6, 17), "panel",
+        "swallowed application with an empty title crashes the panel",
+        "Swallowing an application window whose title is empty matches "
+        "every window and the panel crashes embedding its own window.",
+        "Add a swallow applet with an empty title field.",
+        "Required a non-empty title for swallowing.",
+        Symptom.CRASH, "swallow-app",
+    ),
+    (
+        _dt.date(1999, 7, 8), "gnome-pim",
+        "exporting an empty address book writes a corrupt file",
+        "Exporting an address book with no entries writes the vCard "
+        "trailer with no header, producing output the importer can never "
+        "read back.",
+        "Export an empty address book and re-import the result.",
+        "Wrote a well-formed empty document.",
+        Symptom.DATA_CORRUPTION, "export-empty",
+    ),
+    (
+        _dt.date(1999, 3, 22), "gnome-libs",
+        "metadata store crashes on keys longer than 255 bytes",
+        "Storing a metadata key longer than 255 bytes truncates it into "
+        "the length byte and corrupts the store, crashing the next "
+        "reader.",
+        "Set metadata with a 300-byte key, then read any key.",
+        "Hashed long keys instead of truncating.",
+        Symptom.CRASH, "metadata-set",
+    ),
+)
+
+
+@functools.lru_cache(maxsize=1)
+def gnome_corpus() -> StudyCorpus:
+    """The curated GNOME corpus (Table 2: 39 / 3 / 3)."""
+    ei_faults = tuple(
+        _fault(
+            index, _EI, date, component, synopsis, description,
+            how_to_repeat, fix, symptom=symptom, workload_op=op,
+        )
+        for index, (date, component, synopsis, description, how_to_repeat,
+                    fix, symptom, op) in enumerate(_EI_SPECS, start=1)
+    )
+    return StudyCorpus(
+        application=Application.GNOME,
+        faults=ei_faults + _EDN_FAULTS + _EDT_FAULTS,
+        expected_counts={_EI: 39, _EDN: 3, _EDT: 3},
+        raw_report_count=500,
+    )

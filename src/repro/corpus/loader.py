@@ -1,0 +1,80 @@
+"""Bundled access to the full study (all three applications).
+
+:func:`full_study` returns a :class:`StudyData` holding the three curated
+corpora, with aggregate views matching Section 5.4 of the paper: 139
+faults total, 14 environment-dependent-nontransient (10%), 12
+environment-dependent-transient (9%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.apache import apache_corpus
+from repro.corpus.gnome import gnome_corpus
+from repro.corpus.mysql import mysql_corpus
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyData:
+    """The full three-application study.
+
+    Attributes:
+        corpora: mapping application -> curated corpus.
+    """
+
+    corpora: dict[Application, StudyCorpus]
+
+    @property
+    def total_faults(self) -> int:
+        """Total study faults across applications (the paper's 139)."""
+        return sum(corpus.total for corpus in self.corpora.values())
+
+    def corpus(self, application: Application) -> StudyCorpus:
+        """One application's corpus."""
+        return self.corpora[application]
+
+    def all_faults(self) -> list[StudyFault]:
+        """Every study fault, Apache then GNOME then MySQL."""
+        faults: list[StudyFault] = []
+        for application in Application:
+            faults.extend(self.corpora[application].faults)
+        return faults
+
+    def aggregate_counts(self) -> dict[FaultClass, int]:
+        """Per-class counts across all applications (Section 5.4)."""
+        counts = {fault_class: 0 for fault_class in FaultClass}
+        for corpus in self.corpora.values():
+            for fault_class, count in corpus.class_counts().items():
+                counts[fault_class] += count
+        return counts
+
+    def ground_truth(self) -> dict[str, FaultClass]:
+        """fault_id -> class for every study fault."""
+        truth: dict[str, FaultClass] = {}
+        for corpus in self.corpora.values():
+            truth.update(corpus.ground_truth())
+        return truth
+
+    def to_database(self, *, attach_evidence: bool = True) -> BugDatabase:
+        """All study faults as one indexed bug database."""
+        db = BugDatabase()
+        for corpus in self.corpora.values():
+            db.add_all(corpus.to_reports(attach_evidence=attach_evidence))
+        return db
+
+
+@functools.lru_cache(maxsize=1)
+def full_study() -> StudyData:
+    """The curated full study (Apache 50, GNOME 45, MySQL 44)."""
+    return StudyData(
+        corpora={
+            Application.APACHE: apache_corpus(),
+            Application.GNOME: gnome_corpus(),
+            Application.MYSQL: mysql_corpus(),
+        }
+    )

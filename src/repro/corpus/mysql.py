@@ -1,0 +1,566 @@
+"""Curated MySQL study corpus: 44 faults (Table 3, Figure 3).
+
+Table 3 of the paper: 38 environment-independent, 4
+environment-dependent-nontransient, 2 environment-dependent-transient.
+The six environment-dependent faults and five itemised
+environment-independent examples come from Section 5.3; the remaining 33
+environment-independent faults are synthesized in the same style
+(ISAM/parser/optimizer-era MySQL 3.21/3.22 defects).
+
+MySQL fault data in the paper came from mailing-list messages matching
+the keywords "crash", "segmentation", "race", and "died" -- every curated
+fault's text therefore contains at least one of those keywords, so the
+keyword-mining stage can find them all.
+
+Figure 3's shape: totals grow with newer releases, and the very last
+release has substantially fewer reports because few users run it yet.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import functools
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom, TriggerKind
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+
+_EI = FaultClass.ENV_INDEPENDENT
+_EDN = FaultClass.ENV_DEP_NONTRANSIENT
+_EDT = FaultClass.ENV_DEP_TRANSIENT
+
+#: MySQL production releases covered by the study, with release dates.
+RELEASES: tuple[tuple[str, _dt.date], ...] = (
+    ("3.21.33", _dt.date(1998, 5, 12)),
+    ("3.22.20", _dt.date(1998, 12, 18)),
+    ("3.22.25", _dt.date(1999, 3, 4)),
+    ("3.22.27", _dt.date(1999, 5, 20)),
+    ("3.22.32", _dt.date(1999, 7, 14)),
+    ("3.23.2", _dt.date(1999, 8, 9)),
+)
+
+_RELEASE_DATES = dict(RELEASES)
+
+
+def _fault(
+    number: int,
+    fault_class: FaultClass,
+    version: str,
+    component: str,
+    synopsis: str,
+    description: str,
+    how_to_repeat: str,
+    fix_summary: str,
+    *,
+    symptom: Symptom = Symptom.CRASH,
+    trigger: TriggerKind = TriggerKind.NONE,
+    reproducible: bool = True,
+    workload_op: str = "",
+    days_after_release: int = 21,
+) -> StudyFault:
+    tag = {_EI: "EI", _EDN: "EDN", _EDT: "EDT"}[fault_class]
+    return StudyFault(
+        fault_id=f"MYSQL-{tag}-{number:02d}",
+        application=Application.MYSQL,
+        component=component,
+        version=version,
+        date=_RELEASE_DATES[version] + _dt.timedelta(days=days_after_release),
+        synopsis=synopsis,
+        description=description,
+        how_to_repeat=how_to_repeat,
+        fix_summary=fix_summary,
+        symptom=symptom,
+        trigger=trigger,
+        fault_class=fault_class,
+        reproducible=reproducible,
+        workload_op=workload_op or f"mysql-op-{tag.lower()}-{number:02d}",
+        severity=Severity.CRITICAL if symptom is Symptom.CRASH else Severity.SERIOUS,
+    )
+
+
+_EDN_FAULTS = (
+    _fault(
+        1, _EDN, "3.22.20", "mysqld",
+        "server died from a shortage of file descriptors",
+        "A shortage of file descriptors due to competition between MySQL "
+        "and a web server on the same machine makes table opens fail and "
+        "the server died under load. A recovery system that preserves all "
+        "application state preserves the descriptor pressure too.",
+        "Run a descriptor-hungry web server beside mysqld and open many "
+        "tables concurrently.",
+        "Documented table_cache/ulimit tuning.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+        workload_op="open-table",
+    ),
+    _fault(
+        2, _EDN, "3.22.25", "mysqld",
+        "server crashes on connections from a host with no reverse DNS",
+        "The server crashes when it receives a connection request from a "
+        "remote machine if reverse DNS is not configured for the remote "
+        "host; the condition persists until the administrator fixes the "
+        "DNS zone.",
+        "Connect from a host whose address has no PTR record.",
+        "Checked the failed lookup before using the hostname.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.DNS_MISCONFIGURED,
+        workload_op="accept-connection",
+    ),
+    _fault(
+        3, _EDN, "3.22.27", "isam",
+        "server crashes once the database file passes the maximum file size",
+        "The size of a database file grows greater than the maximum "
+        "allowed file size on the platform, and inserts crash the server "
+        "from then on.",
+        "Insert rows until the table's data file reaches the platform "
+        "limit (2GB on this filesystem).",
+        "Raised via RAID table layout later; the limit itself persists.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.FILE_SIZE_LIMIT,
+        workload_op="insert-row",
+    ),
+    _fault(
+        4, _EDN, "3.22.32", "mysqld",
+        "full file system prevents all operations on the database",
+        "A full file system prevents all operations on the database: "
+        "writes block or fail, temporary tables cannot be created, and "
+        "queries crash or hang until an administrator frees space.",
+        "Fill the data partition, then run any write query.",
+        "Made the server wait-and-retry on writes later; space must still "
+        "be freed.",
+        symptom=Symptom.ERROR_RETURN,
+        trigger=TriggerKind.DISK_FULL,
+        workload_op="insert-row-full",
+    ),
+)
+
+_EDT_FAULTS = (
+    _fault(
+        1, _EDT, "3.22.27", "mysqld",
+        "race condition between the masking of a signal and its arrival",
+        "A race condition between the masking of a signal and its arrival "
+        "kills the server if the signal wins. Race conditions depend on "
+        "the exact timing of thread scheduling events, and these are "
+        "likely to change during retry.",
+        "Heavy concurrent load; crashes intermittently around shutdown "
+        "signals.",
+        "Reworked the signal-handling thread to mask before spawning "
+        "workers.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.RACE_CONDITION,
+        workload_op="signal-shutdown",
+    ),
+    _fault(
+        2, _EDT, "3.22.32", "mysqld",
+        "race condition between a new user login and administrator commands",
+        "A race condition between a new user login and commands issued by "
+        "the administrator (FLUSH PRIVILEGES during the handshake) makes "
+        "the server read a half-updated grant table and crash.",
+        "Loop logins while the administrator reloads privileges; "
+        "intermittent.",
+        "Locked the grant tables during reload.",
+        symptom=Symptom.CRASH,
+        trigger=TriggerKind.RACE_CONDITION,
+        workload_op="login",
+    ),
+)
+
+# (version, component, synopsis, description, how_to_repeat, fix, symptom, op)
+_EI_SPECS: tuple[tuple[str, str, str, str, str, str, Symptom, str], ...] = (
+    (
+        "3.21.33", "isam",
+        "UPDATE of an indexed column to a value found later in the scan crashes",
+        "Updating an index to a value that will be found later while "
+        "scanning the index tree creates duplicate values in the index "
+        "and will crash MySQL.",
+        "UPDATE t SET k=k+1 on an indexed column where the new value "
+        "collides with a later key.",
+        "Solved by first scanning for all matching rows and then updating "
+        "the found rows.",
+        Symptom.CRASH, "update-index-scan",
+    ),
+    (
+        "3.21.33", "optimizer",
+        "SELECT of zero records with ORDER BY crashes the server",
+        "A query which selects zero records and has an \"order by\" "
+        "clause will cause the server to crash. This was due to some "
+        "missing initialization statements.",
+        "SELECT * FROM t WHERE 0 ORDER BY a; on any table.",
+        "Added the missing initialization statements.",
+        Symptom.CRASH, "select-empty-orderby",
+    ),
+    (
+        "3.22.20", "optimizer",
+        "COUNT on an empty table crashes MySQL",
+        "The use of a \"count\" clause on an empty table causes MySQL to "
+        "crash. This was caused due to a missing check for empty tables.",
+        "CREATE TABLE t (a int); SELECT COUNT(a) FROM t GROUP BY a;",
+        "Added the empty-table check.",
+        Symptom.CRASH, "count-empty",
+    ),
+    (
+        "3.22.20", "isam",
+        "OPTIMIZE TABLE query crashes the server",
+        "An \"OPTIMIZE TABLE\" query crashes the server. This was caused "
+        "by a missing initialization statement in the repair path.",
+        "OPTIMIZE TABLE t; on a table with at least one index.",
+        "Initialized the sort buffer descriptor.",
+        Symptom.CRASH, "optimize-table",
+    ),
+    (
+        "3.22.25", "mysqld",
+        "FLUSH TABLES after LOCK TABLES crashes the server",
+        "A \"FLUSH TABLES\" command after a \"LOCK TABLES\" command "
+        "crashes the server, every time, for any table.",
+        "LOCK TABLES t READ; FLUSH TABLES;",
+        "Made FLUSH honour the session's own locks.",
+        Symptom.CRASH, "flush-after-lock",
+    ),
+    (
+        "3.21.33", "parser",
+        "segmentation fault on SELECT with 300 parenthesised conditions",
+        "A WHERE clause nested in several hundred parentheses overflows "
+        "the parser stack and the server dies with a segmentation fault.",
+        "SELECT 1 FROM t WHERE ((((...1=1...))));",
+        "Bounded the parse depth with a clear error.",
+        Symptom.CRASH, "deep-parens",
+    ),
+    (
+        "3.21.33", "mysqld",
+        "mysqld crashes on a GRANT statement with an empty user name",
+        "GRANT to the user '' with a password dereferences a null ACL "
+        "entry and crashes the server deterministically.",
+        "GRANT SELECT ON db.* TO ''@'%' IDENTIFIED BY 'x';",
+        "Rejected empty user names in GRANT.",
+        Symptom.CRASH, "grant-empty-user",
+    ),
+    (
+        "3.22.20", "parser",
+        "LIKE pattern ending in escape character crashes the matcher",
+        "A LIKE pattern whose final character is the escape character "
+        "reads one byte past the pattern and the server crashes.",
+        "SELECT * FROM t WHERE a LIKE 'x\\\\';",
+        "Treated a trailing escape as a literal.",
+        Symptom.CRASH, "like-trailing-escape",
+    ),
+    (
+        "3.22.20", "isam",
+        "DELETE with a key on a BLOB prefix crashes",
+        "Deleting rows located through a BLOB prefix key compares the "
+        "full BLOB length against the prefix and crashes in the key "
+        "routines.",
+        "CREATE INDEX on a BLOB prefix, then DELETE by that key.",
+        "Compared only the prefix length.",
+        Symptom.CRASH, "delete-blob-key",
+    ),
+    (
+        "3.22.20", "mysqld",
+        "server died after SHOW PROCESSLIST during a dying connection",
+        "Issuing SHOW PROCESSLIST exactly while another thread frees its "
+        "connection structure always crashes when the list walker reads "
+        "the freed entry; with the test driver the sequence is "
+        "deterministic.",
+        "Kill a connection and run SHOW PROCESSLIST in the same tick.",
+        "Locked the thread list during iteration.",
+        Symptom.CRASH, "show-processlist",
+    ),
+    (
+        "3.22.25", "optimizer",
+        "LEFT JOIN on a column compared with itself crashes",
+        "A LEFT JOIN whose ON clause compares a column with itself makes "
+        "the optimizer collapse the condition to a null pointer and "
+        "crash.",
+        "SELECT * FROM a LEFT JOIN b ON b.x=b.x;",
+        "Kept trivially-true conditions out of the null-rejection pass.",
+        Symptom.CRASH, "self-join-condition",
+    ),
+    (
+        "3.22.25", "isam",
+        "table with 32 indexes crashes on key cache flush",
+        "Flushing the key cache of a table with the maximum 32 indexes "
+        "walks one entry past the key descriptor array and crashes.",
+        "CREATE TABLE with 32 keys, fill it, FLUSH TABLES.",
+        "Fixed the off-by-one loop bound.",
+        Symptom.CRASH, "flush-many-keys",
+    ),
+    (
+        "3.22.25", "parser",
+        "comment ending at end-of-query crashes the lexer",
+        "A query ending exactly inside a /* comment makes the lexer read "
+        "past the buffer and the server dies.",
+        "SELECT 1 /* unterminated",
+        "Checked for end-of-buffer in the comment scanner.",
+        Symptom.CRASH, "unterminated-comment",
+    ),
+    (
+        "3.22.25", "mysqld",
+        "segmentation fault in GROUP BY on a column alias of a function",
+        "Grouping by an alias that names a function call makes the "
+        "aggregator reference the unresolved item and die with a "
+        "segmentation fault.",
+        "SELECT LENGTH(a) AS l FROM t GROUP BY l;",
+        "Resolved aliases before setting up aggregation.",
+        Symptom.CRASH, "group-by-alias",
+    ),
+    (
+        "3.22.25", "client",
+        "mysqldump crashes on a table with no columns permitted",
+        "Dumping a table on which the user may see no columns makes "
+        "mysqldump format a null field list and crash.",
+        "Revoke all column privileges and run mysqldump.",
+        "Skipped the table with a warning.",
+        Symptom.CRASH, "dump-no-columns",
+    ),
+    (
+        "3.22.25", "isam",
+        "CHECK TABLE on a table with deleted rows marks good data corrupt",
+        "CHECK TABLE miscounts the deleted-row chain and reports a "
+        "healthy table as crashed, leading operators to run repairs that "
+        "rewrite good data.",
+        "DELETE half the rows of a table, then CHECK TABLE.",
+        "Fixed the deleted-chain accounting.",
+        Symptom.DATA_CORRUPTION, "check-table",
+    ),
+    (
+        "3.22.27", "optimizer",
+        "DISTINCT with a constant expression crashes the server",
+        "SELECT DISTINCT over a constant expression plus a column makes "
+        "the duplicate-elimination setup divide by a zero field count "
+        "and crash.",
+        "SELECT DISTINCT 1, a FROM t;",
+        "Counted constant fields in the distinct key.",
+        Symptom.CRASH, "distinct-constant",
+    ),
+    (
+        "3.22.27", "mysqld",
+        "ALTER TABLE renaming a column used by an index crashes",
+        "Renaming a column that participates in a multi-column index "
+        "leaves the index metadata pointing at the old name; the next "
+        "query on that index crashes the server.",
+        "ALTER TABLE t CHANGE a b int; then SELECT using the index.",
+        "Rewrote index metadata during the rename.",
+        Symptom.CRASH, "alter-rename-indexed",
+    ),
+    (
+        "3.22.27", "parser",
+        "INSERT with more values than columns crashes instead of erroring",
+        "An INSERT listing more values than the table has columns writes "
+        "past the field array and crashes the server rather than "
+        "returning an error.",
+        "INSERT INTO t(a) VALUES (1,2,3);",
+        "Validated the value count first.",
+        Symptom.CRASH, "insert-too-many-values",
+    ),
+    (
+        "3.22.27", "isam",
+        "ISAM log replay dies on a zero-length record",
+        "Replaying the update log stops with a crash when it meets a "
+        "zero-length record written by an aborted statement, making "
+        "point-in-time recovery impossible deterministically for such "
+        "logs.",
+        "Abort an INSERT mid-statement, then replay the update log.",
+        "Skipped zero-length records during replay.",
+        Symptom.CRASH, "log-replay",
+    ),
+    (
+        "3.22.27", "mysqld",
+        "HAVING referencing a column not in GROUP BY crashes",
+        "A HAVING clause that references a bare column absent from the "
+        "GROUP BY list dereferences a null group item and crashes.",
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING b > 0;",
+        "Returned the proper error for the invalid reference.",
+        Symptom.CRASH, "having-bad-column",
+    ),
+    (
+        "3.22.27", "optimizer",
+        "range optimizer crashes on a key compared with an empty IN list",
+        "The range optimizer crashes building intervals for an IN "
+        "predicate that the parser accepted with zero elements via a "
+        "subquery-less extension.",
+        "SELECT * FROM t WHERE k IN ();",
+        "Rejected the empty list at parse time.",
+        Symptom.CRASH, "empty-in-list",
+    ),
+    (
+        "3.22.27", "mysqld",
+        "temporary table name collision crashes the second session",
+        "Two sessions creating temporary tables that hash to the same "
+        "internal name make the second session crash opening the first "
+        "session's file; the collision is deterministic for the given "
+        "names.",
+        "CREATE TEMPORARY TABLE with the two colliding names in two "
+        "sessions.",
+        "Added the thread id to the temp-file name.",
+        Symptom.CRASH, "temp-table-collision",
+    ),
+    (
+        "3.22.27", "client",
+        "mysqlimport dies on a line longer than the net buffer",
+        "Importing a line longer than max_allowed_packet makes the "
+        "client write past the network buffer and die with a "
+        "segmentation fault.",
+        "mysqlimport a file with a 2MB single line.",
+        "Split oversized rows with a clear error.",
+        Symptom.CRASH, "import-long-line",
+    ),
+    (
+        "3.22.32", "mysqld",
+        "REPLACE on a table with an AUTO_INCREMENT key crashes after delete",
+        "REPLACE into a table whose auto-increment counter was rewound by "
+        "a delete writes a duplicate key internally and crashes the "
+        "server deterministically for that sequence.",
+        "DELETE the max row, then REPLACE with the same key.",
+        "Re-read the counter after delete.",
+        Symptom.CRASH, "replace-after-delete",
+    ),
+    (
+        "3.22.32", "optimizer",
+        "ORDER BY RAND() with LIMIT crashes the sort",
+        "Sorting by RAND() with a LIMIT smaller than the row count frees "
+        "the sort buffer twice and crashes.",
+        "SELECT * FROM t ORDER BY RAND() LIMIT 5;",
+        "Cleared the buffer pointer after the first free.",
+        Symptom.CRASH, "order-by-rand",
+    ),
+    (
+        "3.22.32", "parser",
+        "SET with a string value for a numeric variable crashes",
+        "Assigning a quoted string to a numeric server variable makes the "
+        "converter dereference the missing number and crash the session "
+        "thread.",
+        "SET SQL_BIG_TABLES='yes';",
+        "Coerced or rejected with an error.",
+        Symptom.CRASH, "set-bad-type",
+    ),
+    (
+        "3.22.32", "isam",
+        "packed table with all-NULL column crashes on read",
+        "A column that is NULL in every row of a packed (compressed) "
+        "table gets a zero-width encoding the reader cannot decode; any "
+        "SELECT crashes.",
+        "myisampack a table with an all-NULL column, then SELECT.",
+        "Encoded a minimum one-bit width.",
+        Symptom.CRASH, "read-packed",
+    ),
+    (
+        "3.22.32", "mysqld",
+        "wildcard database grant with underscore matches wrong databases",
+        "A grant on db_name with an unescaped underscore matches other "
+        "database names too, giving users access they were never granted; "
+        "the mismatch is deterministic. The server does not crash; the "
+        "access check is silently wrong.",
+        "GRANT on 'db_1' and connect to 'dbx1'.",
+        "Escaped wildcards in database grants by default.",
+        Symptom.SECURITY, "grant-wildcard",
+    ),
+    (
+        "3.22.32", "client",
+        "mysql client died printing a NULL in --html mode",
+        "The command-line client formats NULL fields through a null "
+        "pointer when --html output is selected and died at the first "
+        "NULL value.",
+        "mysql --html -e 'SELECT NULL;'",
+        "Printed NULL as an empty cell.",
+        Symptom.CRASH, "client-html-null",
+    ),
+    (
+        "3.22.32", "mysqld",
+        "KILL of a thread waiting on a table lock crashes the server",
+        "Killing a connection that is waiting for a table lock leaves the "
+        "wait queue pointing at the freed thread and the next unlock "
+        "crashes; the sequence repeats deterministically under the test "
+        "driver.",
+        "Block a query on LOCK TABLES, KILL it, then UNLOCK.",
+        "Removed the thread from the queue on kill.",
+        Symptom.CRASH, "kill-waiting-thread",
+    ),
+    (
+        "3.22.32", "isam",
+        "index on a DECIMAL column misorders negative values",
+        "Negative DECIMAL keys sort after positive ones in the index, so "
+        "range queries silently return wrong rows every time. No crash, "
+        "just wrong answers.",
+        "CREATE INDEX on a DECIMAL column with negative values, run a "
+        "range query.",
+        "Fixed the sign handling in key packing.",
+        Symptom.DATA_CORRUPTION, "decimal-range",
+    ),
+    (
+        "3.22.32", "mysqld",
+        "segmentation fault on SHOW COLUMNS of a merged table union",
+        "SHOW COLUMNS against a table union whose member list is empty "
+        "dereferences the first-member pointer and dies with a "
+        "segmentation fault.",
+        "Create a MERGE table with UNION=() and run SHOW COLUMNS.",
+        "Handled the empty union in metadata paths.",
+        Symptom.CRASH, "show-empty-merge",
+    ),
+    (
+        "3.21.33", "isam",
+        "table repair after unclean shutdown crashes on a 255-column table",
+        "Repairing a table with the maximum 255 columns makes isamchk "
+        "overflow its column-state array and crash, so such tables cannot "
+        "be repaired at all.",
+        "isamchk -r on a 255-column table.",
+        "Sized the state array from the column count.",
+        Symptom.CRASH, "repair-wide-table",
+    ),
+    (
+        "3.22.25", "mysqld",
+        "segmentation fault on a SELECT INTO OUTFILE with empty field terminator",
+        "SELECT INTO OUTFILE with FIELDS TERMINATED BY '' makes the "
+        "writer loop with zero progress and then die with a segmentation "
+        "fault on buffer exhaustion.",
+        "SELECT * INTO OUTFILE '/tmp/x' FIELDS TERMINATED BY '' FROM t;",
+        "Required a non-empty terminator.",
+        Symptom.CRASH, "outfile-empty-terminator",
+    ),
+    (
+        "3.22.27", "mysqld",
+        "UNION of SELECTs with different column counts crashes",
+        "A UNION whose branches return different numbers of columns "
+        "crashes the result writer instead of returning an error.",
+        "SELECT 1 UNION SELECT 1,2;",
+        "Validated branch arity before execution.",
+        Symptom.CRASH, "union-arity",
+    ),
+    (
+        "3.23.2", "replication",
+        "slave thread crashes replaying a LOAD DATA with no file",
+        "The replication slave crashes replaying a LOAD DATA INFILE event "
+        "whose file block was dropped by the master's rotation logic; "
+        "replay of that binlog position always crashes.",
+        "Rotate the binlog mid-LOAD on the master, then start a slave.",
+        "Carried the file block across rotation.",
+        Symptom.CRASH, "replay-load-data",
+    ),
+    (
+        "3.23.2", "mysqld",
+        "CREATE TABLE ... SELECT from the table being created crashes",
+        "CREATE TABLE t AS SELECT from t itself (via a synonym path the "
+        "parser accepted) opens the half-created table and crashes the "
+        "server.",
+        "CREATE TABLE t SELECT * FROM t;",
+        "Rejected self-referential create-select.",
+        Symptom.CRASH, "create-select-self",
+    ),
+)
+
+
+@functools.lru_cache(maxsize=1)
+def mysql_corpus() -> StudyCorpus:
+    """The curated MySQL corpus (Table 3: 38 / 4 / 2)."""
+    ei_faults = tuple(
+        _fault(
+            index, _EI, version, component, synopsis, description,
+            how_to_repeat, fix, symptom=symptom, workload_op=op,
+            days_after_release=14 + 2 * index,
+        )
+        for index, (version, component, synopsis, description, how_to_repeat,
+                    fix, symptom, op) in enumerate(_EI_SPECS, start=1)
+    )
+    return StudyCorpus(
+        application=Application.MYSQL,
+        faults=ei_faults + _EDN_FAULTS + _EDT_FAULTS,
+        expected_counts={_EI: 38, _EDN: 4, _EDT: 2},
+        raw_report_count=44000,
+    )

@@ -1,0 +1,282 @@
+"""Noise-report generators: the archive around the study faults.
+
+The paper narrowed big raw archives to small study sets (5220 Apache
+reports -> 50; ~500 GNOME reports -> 45; ~44,000 MySQL messages -> 44).
+These generators synthesize the surrounding noise so the mining pipeline
+has the same narrowing to do.  Every noise report is constructed to fail
+at least one of the paper's selection criteria:
+
+* Apache -- below-serious severity, non-production versions, non-impact
+  classes (build problems, documentation, enhancement requests), or
+  duplicates of a study fault;
+* GNOME -- components outside the studied set, low severities, wishlist
+  items, or duplicates;
+* MySQL -- messages that contain none of the study keywords, replies
+  inside study threads, or whole duplicate threads re-reporting a study
+  fault (merged by the dedup stage).
+
+Generation is deterministic from a seed.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.model import BugReport
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+from repro.rng import DEFAULT_SEED, make_rng
+
+# Vocabulary is chosen to avoid the MySQL study keywords (crash,
+# segmentation, race, died) as whole words, and to avoid the
+# trigger-evidence phrases, so noise can never be mistaken for a study
+# fault by the downstream stages.
+
+_QUESTION_TOPICS = (
+    "how do I configure virtual hosts",
+    "what does this warning in the log mean",
+    "install fails to find the compiler",
+    "documentation typo in the tutorial chapter",
+    "build breaks on IRIX with the vendor make",
+    "feature request: colored directory listings",
+    "performance tuning question for large sites",
+    "how to compile with the bundled regex library",
+    "license question about bundled libraries",
+    "typo in the man page",
+    "request: add an option to sort output",
+    "startup message is confusing",
+    "configure script mis-detects the threading library",
+    "makefile ignores CFLAGS from the environment",
+    "packaging problem in the binary tarball",
+    "wishlist: theme support for the settings dialog",
+    "question about upgrading between minor versions",
+    "clarify supported platforms in the README",
+)
+
+_QUESTION_BODIES = (
+    "I looked through the manual but could not find the answer. "
+    "Any pointers appreciated.",
+    "This is not a defect as far as I can tell, just unclear behavior. "
+    "It would help to document it.",
+    "The build stops early with a message about a missing header. "
+    "Adding the include path by hand works around it.",
+    "Everything runs fine, I would simply like the option described "
+    "in the subject.",
+    "Asking here because the FAQ does not cover this case.",
+)
+
+_MINOR_BUG_TOPICS = (
+    "cosmetic misalignment in the status output",
+    "misleading error message on bad flag",
+    "log timestamp uses the wrong timezone abbreviation",
+    "help text lists an option twice",
+    "trailing whitespace emitted in generated config",
+    "progress meter overshoots 100 percent",
+    "icon rendered at the wrong size on 8-bit displays",
+    "tooltip text truncated in the preferences dialog",
+    "version banner shows stale build date",
+)
+
+_DEV_VERSION_TOPICS = (
+    "current development snapshot fails self-tests",
+    "regression in yesterday's development tree",
+    "new module in the dev branch returns garbage headers",
+)
+
+
+def _permute_synopsis(synopsis: str, rng: random.Random) -> str:
+    """Reword a synopsis the way a second reporter would.
+
+    Keeps the same content words (so duplicate detection by normalized
+    token set still matches) but changes the order and adds filler.
+    """
+    words = synopsis.split()
+    rng.shuffle(words)
+    return "again: " + " ".join(words)
+
+
+def _spread_date(base: _dt.date, rng: random.Random) -> _dt.date:
+    return base + _dt.timedelta(days=rng.randint(1, 120))
+
+
+def apache_noise(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+) -> list[BugReport]:
+    """Generate Apache noise reports.
+
+    Args:
+        corpus: the curated Apache corpus (duplicates point at its faults).
+        seed: deterministic generation seed.
+        total_reports: raw archive size including the study faults;
+            defaults to the paper's 5220.
+
+    Returns:
+        ``total_reports - len(corpus.faults)`` noise reports.
+    """
+    rng = make_rng(seed, "apache-noise")
+    total = corpus.raw_report_count if total_reports is None else total_reports
+    count = total - corpus.total
+    if count < 0:
+        raise ValueError("total_reports smaller than the study corpus")
+    reports: list[BugReport] = []
+    versions = corpus.versions()
+    for index in range(count):
+        kind = rng.random()
+        if kind < 0.55:
+            reports.append(_question_report(index, Application.APACHE, versions, rng))
+        elif kind < 0.80:
+            reports.append(_minor_bug_report(index, Application.APACHE, versions, rng))
+        elif kind < 0.90:
+            reports.append(_dev_version_report(index, Application.APACHE, rng))
+        else:
+            fault = rng.choice(corpus.faults)
+            reports.append(_duplicate_report(index, fault, rng, mark=rng.random() < 0.5))
+    return reports
+
+
+def gnome_noise(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+    study_components: tuple[str, ...] = (),
+) -> list[BugReport]:
+    """Generate GNOME noise reports (components outside the study set,
+    low severities, wishlist items, duplicates)."""
+    rng = make_rng(seed, "gnome-noise")
+    total = corpus.raw_report_count if total_reports is None else total_reports
+    count = total - corpus.total
+    if count < 0:
+        raise ValueError("total_reports smaller than the study corpus")
+    other_components = ("ee", "balsa", "gtop", "gnibbles", "gedit", "esound")
+    reports: list[BugReport] = []
+    versions = corpus.versions()
+    for index in range(count):
+        kind = rng.random()
+        if kind < 0.40:
+            # High-sounding reports against components outside the study's
+            # scope (core + the four applications).
+            report = _minor_bug_report(index, Application.GNOME, versions, rng)
+            report.component = rng.choice(other_components)
+            report.severity = Severity.CRITICAL
+            report.symptom = Symptom.CRASH
+            report.synopsis = f"{report.component} exits unexpectedly ({index})"
+            reports.append(report)
+        elif kind < 0.70:
+            reports.append(_question_report(index, Application.GNOME, versions, rng))
+        elif kind < 0.88:
+            report = _minor_bug_report(index, Application.GNOME, versions, rng)
+            if study_components:
+                report.component = rng.choice(study_components)
+            reports.append(report)
+        else:
+            fault = rng.choice(corpus.faults)
+            reports.append(_duplicate_report(index, fault, rng, mark=rng.random() < 0.5))
+    return reports
+
+
+def _question_report(
+    index: int,
+    application: Application,
+    versions: list[str],
+    rng: random.Random,
+) -> BugReport:
+    topic = rng.choice(_QUESTION_TOPICS)
+    return BugReport(
+        report_id=f"NOISE-Q-{index:05d}",
+        application=application,
+        component="general",
+        version=rng.choice(versions),
+        date=_spread_date(_dt.date(1998, 6, 1), rng),
+        reporter=f"user{rng.randint(1, 4000)}@example.net",
+        synopsis=topic,
+        severity=rng.choice((Severity.ENHANCEMENT, Severity.NON_CRITICAL)),
+        status=Status.CLOSED,
+        resolution=Resolution.INVALID,
+        symptom=None,
+        description=rng.choice(_QUESTION_BODIES),
+        how_to_repeat="",
+    )
+
+
+def _minor_bug_report(
+    index: int,
+    application: Application,
+    versions: list[str],
+    rng: random.Random,
+) -> BugReport:
+    topic = rng.choice(_MINOR_BUG_TOPICS)
+    return BugReport(
+        report_id=f"NOISE-M-{index:05d}",
+        application=application,
+        component="general",
+        version=rng.choice(versions),
+        date=_spread_date(_dt.date(1998, 6, 1), rng),
+        reporter=f"user{rng.randint(1, 4000)}@example.net",
+        synopsis=topic,
+        severity=Severity.NON_CRITICAL,
+        status=Status.CLOSED,
+        resolution=Resolution.FIXED,
+        symptom=None,
+        description="Small annoyance, does not affect operation.",
+        how_to_repeat="See synopsis.",
+    )
+
+
+def _dev_version_report(
+    index: int,
+    application: Application,
+    rng: random.Random,
+) -> BugReport:
+    topic = rng.choice(_DEV_VERSION_TOPICS)
+    return BugReport(
+        report_id=f"NOISE-D-{index:05d}",
+        application=application,
+        component="general",
+        version="1.3b-dev",
+        date=_spread_date(_dt.date(1998, 6, 1), rng),
+        reporter=f"dev{rng.randint(1, 400)}@example.net",
+        synopsis=topic,
+        severity=Severity.CRITICAL,
+        status=Status.OPEN,
+        symptom=Symptom.CRASH,
+        description="Seen only on the development snapshot, not a release.",
+        how_to_repeat="Build the current snapshot and run the test suite.",
+        is_production_version=False,
+    )
+
+
+def _duplicate_report(
+    index: int,
+    fault: StudyFault,
+    rng: random.Random,
+    *,
+    mark: bool,
+) -> BugReport:
+    """A re-report of a study fault.
+
+    Args:
+        mark: if True, the triager marked it a duplicate (``duplicate_of``
+            set); if False it is unmarked and the dedup stage must catch
+            it by synopsis similarity.
+    """
+    return BugReport(
+        report_id=f"NOISE-DUP-{index:05d}",
+        application=fault.application,
+        component=fault.component,
+        version=fault.version,
+        date=fault.date + _dt.timedelta(days=rng.randint(2, 60)),
+        reporter=f"user{rng.randint(1, 4000)}@example.net",
+        synopsis=_permute_synopsis(fault.synopsis, rng),
+        severity=fault.severity,
+        status=Status.CLOSED,
+        resolution=Resolution.DUPLICATE if mark else Resolution.FIXED,
+        symptom=fault.symptom,
+        description="Looks the same as an earlier report. " + fault.description,
+        how_to_repeat=fault.how_to_repeat,
+        duplicate_of=fault.fault_id if mark else None,
+    )

@@ -1,0 +1,240 @@
+"""Raw-archive renderers: curated faults + noise -> 1999-style archives.
+
+These produce the inputs the mining pipeline consumes:
+
+* :func:`apache_raw_archive` -- a GNATS dump interleaving the 50 study
+  faults with thousands of noise reports;
+* :func:`gnome_raw_archive` -- a debbugs log, likewise;
+* :func:`mysql_raw_archive` -- an mbox of mailing-list threads: one
+  thread per study fault (report mail, follow-ups, a fix mail), duplicate
+  threads re-reporting study faults, and no-keyword chatter threads.
+
+Evidence is never serialized: the pipeline must recover the trigger from
+the free text, as the paper's authors did.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.bugdb.model import BugReport
+from repro.corpus.noise import apache_noise, gnome_noise, _permute_synopsis
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+from repro.rng import DEFAULT_SEED, make_rng
+
+# Chatter vocabulary for MySQL noise threads.  Chosen to avoid the study
+# keywords (crash, segmentation, race, died) as whole words.
+_CHATTER_SUBJECTS = (
+    "How to speed up big joins?",
+    "ODBC driver configuration on NT",
+    "ANNOUNCE: web frontend for table browsing",
+    "Replication roadmap question",
+    "Best index layout for logging tables",
+    "Compile problem on Slackware",
+    "Max connections and memory sizing",
+    "Converting from mSQL, column type mapping",
+    "Backup strategies for live servers",
+    "Question about LEFT JOIN syntax",
+    "ISP hosting: one instance per customer?",
+    "Perl DBI examples wanted",
+    "Date arithmetic in SELECT lists",
+    "Why is my query slow after an import?",
+    "GRANT syntax for read-only users",
+)
+
+_CHATTER_BODIES = (
+    "I have been reading the manual but the section on this is thin.\n"
+    "Has anyone set this up in production?",
+    "We are evaluating the server for an internal project and this is\n"
+    "the last open question before we commit.",
+    "Attached is my config; the numbers look off to me.\n"
+    "Thanks in advance.",
+    "Works fine otherwise, just wondering what the recommended\n"
+    "settings are.",
+)
+
+_REPLY_BODIES = (
+    "We saw the same thing here. Following the thread.",
+    "Try the latest release first, several related fixes went in.",
+    "Can you send the exact statement and the table layout?",
+    "This is a known limitation, see the manual section on table types.",
+)
+
+# A reply that *does* contain a study keyword inside a chatter thread:
+# keyword mining that looks at whole threads would be fooled; root-gated
+# mining is not.
+_KEYWORD_REPLY = (
+    "By the way, unrelated to your question: an old 3.21 build once\n"
+    "crashed for me under heavy load, but 3.22 has been solid."
+)
+
+
+def apache_raw_archive(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+) -> str:
+    """Render the Apache GNATS dump (study faults + noise, shuffled)."""
+    rng = make_rng(seed, "apache-archive-order")
+    reports: list[BugReport] = [
+        fault.to_report(attach_evidence=False) for fault in corpus.faults
+    ]
+    reports.extend(apache_noise(corpus, seed=seed, total_reports=total_reports))
+    rng.shuffle(reports)
+    return gnats.render_archive(reports)
+
+
+def gnome_raw_archive(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+    study_components: tuple[str, ...] = (),
+) -> str:
+    """Render the GNOME debbugs log (study faults + noise, shuffled)."""
+    rng = make_rng(seed, "gnome-archive-order")
+    reports: list[BugReport] = [
+        fault.to_report(attach_evidence=False) for fault in corpus.faults
+    ]
+    reports.extend(
+        gnome_noise(
+            corpus,
+            seed=seed,
+            total_reports=total_reports,
+            study_components=study_components,
+        )
+    )
+    rng.shuffle(reports)
+    return debbugs.render_archive(reports)
+
+
+def fault_thread(fault: StudyFault, *, rng: random.Random) -> list[mbox.MailMessage]:
+    """Render one study fault as a mailing-list thread.
+
+    The root message carries the report (symptoms, version, how to
+    repeat); follow-ups carry discussion; the final reply carries the fix
+    when the paper records one.
+    """
+    root_id = f"{fault.fault_id}.root@lists.mysql.com"
+    body = (
+        f"{fault.description}\n\n"
+        f"mysql version: {fault.version}\n"
+        f"component: {fault.component}\n\n"
+        f"How-To-Repeat:\n{fault.how_to_repeat}"
+    )
+    messages = [
+        mbox.MailMessage(
+            message_id=root_id,
+            sender=f"reporter.{fault.fault_id.lower()}@example.com",
+            date=fault.date,
+            subject=fault.synopsis,
+            body=body,
+        )
+    ]
+    for reply_index in range(rng.randint(1, 3)):
+        messages.append(
+            mbox.MailMessage(
+                message_id=f"{fault.fault_id}.r{reply_index}@lists.mysql.com",
+                sender=f"lister{rng.randint(1, 900)}@example.org",
+                date=fault.date + _dt.timedelta(days=reply_index + 1),
+                subject="Re: " + fault.synopsis,
+                body=rng.choice(_REPLY_BODIES),
+                in_reply_to=root_id,
+            )
+        )
+    if fault.fix_summary:
+        messages.append(
+            mbox.MailMessage(
+                message_id=f"{fault.fault_id}.fix@lists.mysql.com",
+                sender="developer@mysql.com",
+                date=fault.date + _dt.timedelta(days=7),
+                subject="Re: " + fault.synopsis,
+                body="This is now fixed in the source tree.\n\n" + fault.fix_summary,
+                in_reply_to=root_id,
+            )
+        )
+    return messages
+
+
+def _chatter_thread(index: int, rng: random.Random) -> list[mbox.MailMessage]:
+    root_id = f"chatter.{index}@lists.mysql.com"
+    base_date = _dt.date(1998, 6, 1) + _dt.timedelta(days=rng.randint(0, 420))
+    subject = rng.choice(_CHATTER_SUBJECTS)
+    messages = [
+        mbox.MailMessage(
+            message_id=root_id,
+            sender=f"user{rng.randint(1, 9000)}@example.net",
+            date=base_date,
+            subject=f"{subject} ({index})",
+            body=rng.choice(_CHATTER_BODIES),
+        )
+    ]
+    for reply_index in range(rng.randint(0, 2)):
+        body = rng.choice(_REPLY_BODIES)
+        if rng.random() < 0.05:
+            body = _KEYWORD_REPLY
+        messages.append(
+            mbox.MailMessage(
+                message_id=f"chatter.{index}.r{reply_index}@lists.mysql.com",
+                sender=f"user{rng.randint(1, 9000)}@example.net",
+                date=base_date + _dt.timedelta(days=reply_index + 1),
+                subject=f"Re: {subject} ({index})",
+                body=body,
+                in_reply_to=root_id,
+            )
+        )
+    return messages
+
+
+def _duplicate_thread(
+    index: int, fault: StudyFault, rng: random.Random
+) -> list[mbox.MailMessage]:
+    """A whole thread re-reporting a study fault (dedup must merge it)."""
+    root_id = f"dup.{index}@lists.mysql.com"
+    return [
+        mbox.MailMessage(
+            message_id=root_id,
+            sender=f"user{rng.randint(1, 9000)}@example.net",
+            date=fault.date + _dt.timedelta(days=rng.randint(3, 45)),
+            subject=_permute_synopsis(fault.synopsis, rng),
+            body=(
+                "I think I am hitting the same problem someone mentioned:\n"
+                + fault.description
+                + f"\n\nmysql version: {fault.version}"
+            ),
+        )
+    ]
+
+
+def mysql_raw_archive(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_messages: int | None = None,
+) -> str:
+    """Render the MySQL mbox archive.
+
+    Args:
+        corpus: the curated MySQL corpus.
+        seed: deterministic generation seed.
+        total_messages: approximate archive size including study threads;
+            defaults to the paper's ~44,000.  The generator fills with
+            chatter and duplicate threads until the total is reached.
+    """
+    rng = make_rng(seed, "mysql-archive")
+    total = corpus.raw_report_count if total_messages is None else total_messages
+    messages: list[mbox.MailMessage] = []
+    for fault in corpus.faults:
+        messages.extend(fault_thread(fault, rng=rng))
+    duplicate_budget = max(4, corpus.total // 4)
+    for index in range(duplicate_budget):
+        messages.extend(_duplicate_thread(index, rng.choice(corpus.faults), rng))
+    index = 0
+    while len(messages) < total:
+        messages.extend(_chatter_thread(index, rng))
+        index += 1
+    rng.shuffle(messages)
+    return mbox.render_archive(messages)

@@ -1,0 +1,206 @@
+"""Curated study-fault records and corpus-level invariants.
+
+A :class:`StudyFault` is one of the paper's 139 unique, high-impact
+faults, carrying both the raw-report material (synopsis, description,
+"How To Repeat", fix) and the curated ground truth (trigger kind and
+fault class as the paper assigned them).  A :class:`StudyCorpus` bundles
+one application's faults and validates the invariants the paper states:
+exact per-class counts, unique identifiers, environment-dependent faults
+all carrying a trigger, environment-independent faults carrying none.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+
+from repro.bugdb.enums import (
+    Application,
+    FaultClass,
+    Resolution,
+    Severity,
+    Status,
+    Symptom,
+    TriggerKind,
+)
+from repro.bugdb.model import BugReport, Comment, TriggerEvidence
+from repro.errors import CorpusError
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyFault:
+    """One curated fault from the paper's study set.
+
+    Attributes:
+        fault_id: stable study identifier (e.g. ``"APACHE-EDT-03"``).
+        application: which application the fault belongs to.
+        component: sub-component the report was filed against.
+        version: release the fault was reported against.
+        date: report date (drives the Figure 1-3 distributions).
+        synopsis: one-line summary, written in the report's voice.
+        description: failure description (free text).
+        how_to_repeat: the "How To Repeat" field contents.
+        fix_summary: how developers fixed the bug, when the paper says.
+        symptom: high-impact symptom category.
+        trigger: curated environmental trigger (``NONE`` for
+            environment-independent faults).
+        fault_class: the paper's ground-truth class for this fault.
+        workload_dependent_timing: Section 3 workload-timing flag.
+        reproducible: whether developers could repeat the failure.
+        workload_op: operation key used by the recovery-replay driver to
+            trigger the injected defect in the mini applications.
+        severity: tracker severity (study faults are serious/critical).
+    """
+
+    fault_id: str
+    application: Application
+    component: str
+    version: str
+    date: _dt.date
+    synopsis: str
+    description: str
+    how_to_repeat: str
+    fix_summary: str
+    symptom: Symptom
+    trigger: TriggerKind
+    fault_class: FaultClass
+    workload_dependent_timing: bool = False
+    reproducible: bool = True
+    workload_op: str = ""
+    severity: Severity = Severity.CRITICAL
+
+    def __post_init__(self) -> None:
+        env_dependent = self.fault_class is not FaultClass.ENV_INDEPENDENT
+        has_trigger = self.trigger is not TriggerKind.NONE
+        if env_dependent and not (has_trigger or self.workload_dependent_timing):
+            raise CorpusError(
+                f"{self.fault_id}: environment-dependent fault needs a trigger"
+            )
+        if not env_dependent and (has_trigger or self.workload_dependent_timing):
+            raise CorpusError(
+                f"{self.fault_id}: environment-independent fault must not name a trigger"
+            )
+
+    @property
+    def evidence(self) -> TriggerEvidence:
+        """The curated trigger evidence for this fault."""
+        return TriggerEvidence(
+            trigger=self.trigger,
+            reproducible_on_developer_machine=self.reproducible,
+            workload_dependent_timing=self.workload_dependent_timing,
+            notes=self.synopsis,
+        )
+
+    def to_report(self, *, attach_evidence: bool = True) -> BugReport:
+        """Materialise this fault as a bug report.
+
+        Args:
+            attach_evidence: attach the curated evidence (ground truth).
+                Renderers writing raw archives pass False so the pipeline
+                must recover the evidence from text.
+        """
+        fixed = bool(self.fix_summary)
+        comments = []
+        if fixed:
+            comments.append(
+                Comment(
+                    author="dev@" + self.application.value + ".org",
+                    date=self.date + _dt.timedelta(days=14),
+                    text=self.fix_summary,
+                )
+            )
+        return BugReport(
+            report_id=self.fault_id,
+            application=self.application,
+            component=self.component,
+            version=self.version,
+            date=self.date,
+            reporter="user@" + self.application.value + "-users.org",
+            synopsis=self.synopsis,
+            severity=self.severity,
+            status=Status.CLOSED if fixed else Status.ANALYZED,
+            resolution=Resolution.FIXED if fixed else Resolution.UNRESOLVED,
+            symptom=self.symptom,
+            description=self.description,
+            how_to_repeat=self.how_to_repeat,
+            environment=f"{self.application.display_name} {self.version} on Linux 2.2",
+            comments=comments,
+            fix_summary=self.fix_summary,
+            evidence=self.evidence if attach_evidence else None,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyCorpus:
+    """One application's curated study faults plus the paper's targets.
+
+    Attributes:
+        application: the application studied.
+        faults: the curated faults.
+        expected_counts: the paper's Table 1/2/3 per-class counts.
+        raw_report_count: size of the raw archive the paper narrowed from
+            (5220 Apache reports, ~500 GNOME reports, ~44,000 MySQL
+            messages).
+    """
+
+    application: Application
+    faults: tuple[StudyFault, ...]
+    expected_counts: dict[FaultClass, int]
+    raw_report_count: int
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check corpus invariants against the paper's published counts.
+
+        Raises:
+            CorpusError: on any violation.
+        """
+        seen: set[str] = set()
+        for fault in self.faults:
+            if fault.application is not self.application:
+                raise CorpusError(
+                    f"{fault.fault_id}: belongs to {fault.application.value}, "
+                    f"not {self.application.value}"
+                )
+            if fault.fault_id in seen:
+                raise CorpusError(f"duplicate fault id {fault.fault_id}")
+            seen.add(fault.fault_id)
+        actual = self.class_counts()
+        if actual != self.expected_counts:
+            raise CorpusError(
+                f"{self.application.value}: class counts {actual} do not match "
+                f"the paper's {self.expected_counts}"
+            )
+
+    def class_counts(self) -> dict[FaultClass, int]:
+        """Per-class fault counts (all classes present, zero-filled)."""
+        counts = {fault_class: 0 for fault_class in FaultClass}
+        for fault in self.faults:
+            counts[fault.fault_class] += 1
+        return counts
+
+    @property
+    def total(self) -> int:
+        """Number of study faults."""
+        return len(self.faults)
+
+    def ground_truth(self) -> dict[str, FaultClass]:
+        """Mapping fault_id -> ground-truth class."""
+        return {fault.fault_id: fault.fault_class for fault in self.faults}
+
+    def by_class(self, fault_class: FaultClass) -> list[StudyFault]:
+        """All faults of one class."""
+        return [fault for fault in self.faults if fault.fault_class is fault_class]
+
+    def versions(self) -> list[str]:
+        """Distinct versions, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for fault in self.faults:
+            seen.setdefault(fault.version, None)
+        return list(seen)
+
+    def to_reports(self, *, attach_evidence: bool = True) -> list[BugReport]:
+        """Materialise every fault as a bug report."""
+        return [fault.to_report(attach_evidence=attach_evidence) for fault in self.faults]

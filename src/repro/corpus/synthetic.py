@@ -1,0 +1,163 @@
+"""Synthetic study-corpus generator.
+
+Property tests and scalability benchmarks need corpora of arbitrary
+shape, not just the paper's 139 faults.  :func:`synthetic_corpus`
+produces a :class:`~repro.corpus.studyspec.StudyCorpus` with any per-class
+counts; each generated fault's free text is phrased so the evidence
+extractor recovers the intended trigger, mirroring how the curated corpus
+is written.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.bugdb.enums import Application, FaultClass, Symptom, TriggerKind
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+from repro.rng import DEFAULT_SEED, make_rng
+
+# Trigger -> a description phrase the evidence extractor maps back to it.
+_TRIGGER_PHRASES: dict[TriggerKind, str] = {
+    TriggerKind.RESOURCE_LEAK: "an unknown resource leak builds up under high load",
+    TriggerKind.FILE_DESCRIPTOR_EXHAUSTION: "the process runs out of file descriptors",
+    TriggerKind.DISK_FULL: "a full file system stops all writes",
+    TriggerKind.FILE_SIZE_LIMIT: "the data file grows larger than the maximum allowed file size",
+    TriggerKind.DISK_CACHE_FULL: "the disk cache used for temporary objects gets full",
+    TriggerKind.NETWORK_RESOURCE_EXHAUSTION: "an unknown network resource is exhausted",
+    TriggerKind.HARDWARE_REMOVAL: "the PCMCIA network card was removed while running",
+    TriggerKind.HOST_CONFIG_CHANGE: "the hostname of the machine was changed while running",
+    TriggerKind.DNS_MISCONFIGURED: "reverse DNS is not configured for the peer host",
+    TriggerKind.CORRUPT_EXTERNAL_STATE: "a file carries an illegal value in the owner field",
+    TriggerKind.RACE_CONDITION: "a race condition between two threads over shared state",
+    TriggerKind.SIGNAL_TIMING: "the masking of a signal loses to its arrival",
+    TriggerKind.DNS_ERROR: "a call to the Domain Name Service returns an error",
+    TriggerKind.DNS_SLOW: "a slow DNS response stalls the request",
+    TriggerKind.NETWORK_SLOW: "a slow network connection stalls the transfer",
+    TriggerKind.PROCESS_TABLE_FULL: "children consume all available slots in the process table",
+    TriggerKind.PORT_IN_USE: "stale children hang onto required network ports",
+    TriggerKind.WORKLOAD_TIMING: "the user presses stop in the midst of a transfer",
+    TriggerKind.ENTROPY_EXHAUSTION: "there are too few events feeding /dev/random",
+    TriggerKind.UNKNOWN_TRANSIENT: "an unknown condition; the operation works on a retry",
+}
+
+_NONTRANSIENT_TRIGGERS = (
+    TriggerKind.RESOURCE_LEAK,
+    TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+    TriggerKind.DISK_FULL,
+    TriggerKind.FILE_SIZE_LIMIT,
+    TriggerKind.DISK_CACHE_FULL,
+    TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+    TriggerKind.HARDWARE_REMOVAL,
+    TriggerKind.HOST_CONFIG_CHANGE,
+    TriggerKind.DNS_MISCONFIGURED,
+    TriggerKind.CORRUPT_EXTERNAL_STATE,
+)
+
+_TRANSIENT_TRIGGERS = (
+    TriggerKind.RACE_CONDITION,
+    TriggerKind.SIGNAL_TIMING,
+    TriggerKind.DNS_ERROR,
+    TriggerKind.DNS_SLOW,
+    TriggerKind.NETWORK_SLOW,
+    TriggerKind.PROCESS_TABLE_FULL,
+    TriggerKind.PORT_IN_USE,
+    TriggerKind.WORKLOAD_TIMING,
+    TriggerKind.ENTROPY_EXHAUSTION,
+    TriggerKind.UNKNOWN_TRANSIENT,
+)
+
+_EI_SUBJECTS = (
+    "handler mishandles an empty input record",
+    "boundary value overflows an internal counter",
+    "missing initialization in the request path",
+    "off-by-one walking the entry list",
+    "null dereference on an absent optional field",
+    "recursion without a depth bound on nested input",
+)
+
+
+def synthetic_corpus(
+    application: Application,
+    *,
+    env_independent: int,
+    nontransient: int,
+    transient: int,
+    seed: int = DEFAULT_SEED,
+    versions: tuple[str, ...] = ("1.0", "1.1", "2.0"),
+) -> StudyCorpus:
+    """Generate a synthetic study corpus with the given per-class counts.
+
+    Args:
+        application: nominal application identity of the corpus.
+        env_independent: number of environment-independent faults.
+        nontransient: number of environment-dependent-nontransient faults.
+        transient: number of environment-dependent-transient faults.
+        seed: deterministic generation seed.
+        versions: release labels to spread faults over.
+
+    Returns:
+        A validated corpus whose class counts equal the arguments.
+    """
+    rng = make_rng(seed, f"synthetic-{application.value}")
+    base_date = _dt.date(1999, 1, 1)
+    faults: list[StudyFault] = []
+
+    def mint(index: int, fault_class: FaultClass, trigger: TriggerKind) -> StudyFault:
+        if trigger is TriggerKind.NONE:
+            phrase = rng.choice(_EI_SUBJECTS)
+            description = (
+                f"The application crashes because {phrase}; the failure repeats "
+                "deterministically with the same workload."
+            )
+        else:
+            phrase = _TRIGGER_PHRASES[trigger]
+            description = f"The application crashes when {phrase}."
+        tag = {
+            FaultClass.ENV_INDEPENDENT: "EI",
+            FaultClass.ENV_DEP_NONTRANSIENT: "EDN",
+            FaultClass.ENV_DEP_TRANSIENT: "EDT",
+        }[fault_class]
+        return StudyFault(
+            fault_id=f"SYN-{application.value.upper()}-{tag}-{index:04d}",
+            application=application,
+            component="core",
+            version=versions[index % len(versions)],
+            date=base_date + _dt.timedelta(days=rng.randint(0, 365)),
+            synopsis=f"synthetic {tag.lower()} fault {index}: {phrase}",
+            description=description,
+            how_to_repeat="Synthetic reproduction recipe.",
+            fix_summary="Synthetic fix." if rng.random() < 0.8 else "",
+            symptom=Symptom.CRASH,
+            trigger=trigger,
+            fault_class=fault_class,
+            workload_dependent_timing=trigger is TriggerKind.WORKLOAD_TIMING,
+            reproducible=trigger
+            not in (TriggerKind.UNKNOWN_TRANSIENT, TriggerKind.RACE_CONDITION),
+            workload_op=f"syn-op-{index:04d}",
+        )
+
+    index = 0
+    for _ in range(env_independent):
+        faults.append(mint(index, FaultClass.ENV_INDEPENDENT, TriggerKind.NONE))
+        index += 1
+    for _ in range(nontransient):
+        trigger = rng.choice(_NONTRANSIENT_TRIGGERS)
+        faults.append(mint(index, FaultClass.ENV_DEP_NONTRANSIENT, trigger))
+        index += 1
+    for _ in range(transient):
+        trigger = rng.choice(_TRANSIENT_TRIGGERS)
+        faults.append(mint(index, FaultClass.ENV_DEP_TRANSIENT, trigger))
+        index += 1
+
+    return StudyCorpus(
+        application=application,
+        faults=tuple(faults),
+        expected_counts={
+            FaultClass.ENV_INDEPENDENT: env_independent,
+            FaultClass.ENV_DEP_NONTRANSIENT: nontransient,
+            FaultClass.ENV_DEP_TRANSIENT: transient,
+        },
+        raw_report_count=max(
+            10 * (env_independent + nontransient + transient), 1
+        ),
+    )

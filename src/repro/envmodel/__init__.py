@@ -1,0 +1,39 @@
+"""Deterministic operating-environment simulator.
+
+Section 3 of the paper defines the *operating environment* as "states or
+events that occur outside of the application being studied": other
+programs (the DNS server), kernel state (process-table slots, file
+descriptors), hardware conditions (a removed PCMCIA card), and the
+timing of workload requests and thread scheduling.  This package models
+those states explicitly so the miniature applications
+(:mod:`repro.apps`) can depend on them and the recovery experiments
+(:mod:`repro.recovery`) can perturb them on retry.
+
+Everything is deterministic from a seed: "given a fixed operating
+environment, a set of concurrent, sequential processes is completely
+deterministic" -- non-determinism enters only through environment
+changes, exactly as the paper argues.
+"""
+
+from repro.envmodel.clock import SimulationClock
+from repro.envmodel.events import EventQueue, ScheduledEvent
+from repro.envmodel.resources import BoundedResource, DiskVolume, EntropyPool
+from repro.envmodel.dns import DnsServer, DnsState
+from repro.envmodel.network import Network, NetworkState
+from repro.envmodel.scheduler import ThreadScheduler
+from repro.envmodel.environment import Environment
+
+__all__ = [
+    "BoundedResource",
+    "DiskVolume",
+    "DnsServer",
+    "DnsState",
+    "EntropyPool",
+    "Environment",
+    "EventQueue",
+    "Network",
+    "NetworkState",
+    "ScheduledEvent",
+    "SimulationClock",
+    "ThreadScheduler",
+]

@@ -1,0 +1,46 @@
+"""Virtual simulation clock.
+
+All simulated components share one clock; time only moves when the
+simulation advances it, so runs are reproducible and tests are instant.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """A monotonically non-decreasing virtual clock, in seconds.
+
+    Args:
+        start: initial time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward.
+
+        Args:
+            seconds: non-negative amount to advance.
+
+        Returns:
+            The new current time.
+
+        Raises:
+            ValueError: if ``seconds`` is negative.
+        """
+        if seconds < 0:
+            raise ValueError("the clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to an absolute instant (no-op if in the past)."""
+        if when > self._now:
+            self._now = when
+        return self._now

@@ -1,0 +1,104 @@
+"""The Domain Name Service as part of the operating environment.
+
+Three Apache faults and one MySQL fault in the paper hinge on DNS
+behaviour: a lookup returning an error, a slow response, and a peer host
+with no reverse record.  The server models those states explicitly;
+restarting it (the environmental repair the paper expects "without
+application-specific recovery") returns it to health.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SimulationError
+
+
+class DnsState(enum.Enum):
+    """Health of the DNS server."""
+
+    HEALTHY = "healthy"
+    SLOW = "slow"
+    ERROR = "error"
+
+
+class DnsLookupError(SimulationError):
+    """Raised when a lookup fails (SERVFAIL or missing record)."""
+
+
+class DnsServer:
+    """A name server with forward and reverse zones and a health state.
+
+    Args:
+        latency_seconds: lookup latency while healthy.
+        slow_latency_seconds: lookup latency while in the SLOW state.
+    """
+
+    def __init__(self, *, latency_seconds: float = 0.05, slow_latency_seconds: float = 30.0):
+        self.state = DnsState.HEALTHY
+        self.latency_seconds = latency_seconds
+        self.slow_latency_seconds = slow_latency_seconds
+        self._forward: dict[str, str] = {}
+        self._reverse: dict[str, str] = {}
+
+    def add_record(self, hostname: str, address: str, *, with_reverse: bool = True) -> None:
+        """Register a host; optionally also its PTR (reverse) record.
+
+        MySQL's reverse-DNS fault needs hosts that resolve forward but
+        have no reverse record, so ``with_reverse=False`` is allowed.
+        """
+        self._forward[hostname] = address
+        if with_reverse:
+            self._reverse[address] = hostname
+
+    def remove_reverse(self, address: str) -> None:
+        """Drop a PTR record (misconfigure reverse DNS for the address)."""
+        self._reverse.pop(address, None)
+
+    def lookup(self, hostname: str) -> tuple[str, float]:
+        """Resolve a hostname.
+
+        Returns:
+            (address, latency_seconds).
+
+        Raises:
+            DnsLookupError: when the server is erroring or the name is
+                unknown.
+        """
+        latency = self._current_latency()
+        if self.state is DnsState.ERROR:
+            raise DnsLookupError(f"SERVFAIL resolving {hostname}")
+        if hostname not in self._forward:
+            raise DnsLookupError(f"NXDOMAIN: {hostname}")
+        return self._forward[hostname], latency
+
+    def reverse_lookup(self, address: str) -> tuple[str, float]:
+        """Resolve an address to a hostname.
+
+        Raises:
+            DnsLookupError: when the server is erroring or no PTR record
+                exists (the MySQL trigger).
+        """
+        latency = self._current_latency()
+        if self.state is DnsState.ERROR:
+            raise DnsLookupError(f"SERVFAIL resolving {address}")
+        if address not in self._reverse:
+            raise DnsLookupError(f"no PTR record for {address}")
+        return self._reverse[address], latency
+
+    def has_reverse(self, address: str) -> bool:
+        """Whether a PTR record exists for the address."""
+        return address in self._reverse
+
+    def degrade(self, state: DnsState) -> None:
+        """Put the server into a degraded state."""
+        self.state = state
+
+    def restart(self) -> None:
+        """Restart the server, restoring health (records survive)."""
+        self.state = DnsState.HEALTHY
+
+    def _current_latency(self) -> float:
+        if self.state is DnsState.SLOW:
+            return self.slow_latency_seconds
+        return self.latency_seconds

@@ -1,0 +1,104 @@
+"""Deterministic discrete-event queue.
+
+Events fire in (time, insertion-sequence) order, so simulations replay
+identically for the same inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.envmodel.clock import SimulationClock
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    """An event scheduled on the queue (ordered by time, then sequence)."""
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = dataclasses.field(compare=False)
+    label: str = dataclasses.field(compare=False, default="")
+
+
+class EventQueue:
+    """A min-heap of scheduled events bound to a clock.
+
+    Args:
+        clock: the simulation clock to advance while draining.
+    """
+
+    def __init__(self, clock: SimulationClock):
+        self._clock = clock
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], Any], *, label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` to fire ``delay`` seconds from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError("events cannot be scheduled in the past")
+        event = ScheduledEvent(
+            time=self._clock.now + delay,
+            sequence=next(self._sequence),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_next(self) -> ScheduledEvent | None:
+        """Fire the next event, advancing the clock to its time.
+
+        Returns:
+            The fired event, or None if the queue is empty.
+        """
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._clock.advance_to(event.time)
+        event.action()
+        return event
+
+    def run_until(self, deadline: float) -> int:
+        """Fire all events scheduled at or before ``deadline``.
+
+        Returns:
+            The number of events fired.  The clock ends at ``deadline`` or
+            the last event time, whichever is later.
+        """
+        fired = 0
+        while self._heap and self._heap[0].time <= deadline:
+            self.run_next()
+            fired += 1
+        self._clock.advance_to(deadline)
+        return fired
+
+    def drain(self, *, max_events: int = 100_000) -> int:
+        """Fire every scheduled event.
+
+        Args:
+            max_events: safety bound against runaway self-scheduling loops.
+
+        Returns:
+            The number of events fired.
+
+        Raises:
+            RuntimeError: if ``max_events`` is exceeded.
+        """
+        fired = 0
+        while self._heap:
+            if fired >= max_events:
+                raise RuntimeError(f"event queue did not drain within {max_events} events")
+            self.run_next()
+            fired += 1
+        return fired

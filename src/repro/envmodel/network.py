@@ -1,0 +1,91 @@
+"""The network as part of the operating environment.
+
+Models the paper's network-related triggers: a slow connection (which
+"may be fixed by the time Apache recovers"), exhaustion of an unnamed
+kernel network resource (which persists), and physical interface removal
+(the PCMCIA card).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.envmodel.resources import BoundedResource
+from repro.errors import SimulationError
+
+
+class NetworkState(enum.Enum):
+    """Health of the network path."""
+
+    NORMAL = "normal"
+    SLOW = "slow"
+    PARTITIONED = "partitioned"
+
+
+class NetworkDownError(SimulationError):
+    """Raised when no interface is present or the path is partitioned."""
+
+
+class Network:
+    """A network interface plus path state and kernel buffer pool.
+
+    Args:
+        bandwidth_bytes_per_second: throughput while NORMAL.
+        slow_bandwidth_bytes_per_second: throughput while SLOW.
+        buffer_capacity: kernel network-buffer pool size (the "unknown
+            network resource" of Section 5.1).
+    """
+
+    def __init__(
+        self,
+        *,
+        bandwidth_bytes_per_second: float = 1_000_000.0,
+        slow_bandwidth_bytes_per_second: float = 500.0,
+        buffer_capacity: int = 1024,
+    ):
+        self.state = NetworkState.NORMAL
+        self.interface_present = True
+        self.bandwidth = bandwidth_bytes_per_second
+        self.slow_bandwidth = slow_bandwidth_bytes_per_second
+        self.buffers = BoundedResource("network_buffers", buffer_capacity)
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` under the current state.
+
+        Raises:
+            NetworkDownError: if the interface is gone or the path is
+                partitioned.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.require_up()
+        rate = self.slow_bandwidth if self.state is NetworkState.SLOW else self.bandwidth
+        return num_bytes / rate
+
+    def require_up(self) -> None:
+        """Assert the network is usable.
+
+        Raises:
+            NetworkDownError: if the interface is removed or the path is
+                partitioned.
+        """
+        if not self.interface_present:
+            raise NetworkDownError("network interface removed")
+        if self.state is NetworkState.PARTITIONED:
+            raise NetworkDownError("network partitioned")
+
+    def remove_interface(self) -> None:
+        """Eject the (PCMCIA) network card."""
+        self.interface_present = False
+
+    def insert_interface(self) -> None:
+        """Reinsert the network card."""
+        self.interface_present = True
+
+    def degrade(self, state: NetworkState) -> None:
+        """Put the path into a degraded state."""
+        self.state = state
+
+    def repair(self) -> None:
+        """Fix the path (the environmental repair on retry)."""
+        self.state = NetworkState.NORMAL

@@ -1,0 +1,113 @@
+"""Environmental perturbation applied by a recovery attempt.
+
+Generic recovery cannot touch application state (it must restore all of
+it), but recovery *does* change the environment: time passes, the thread
+scheduler draws a fresh interleaving, the recovery system kills the
+application's processes (freeing process slots and ports), and external
+services may be repaired by forces outside the application.  Which of
+these happen is exactly what
+:class:`~repro.classify.recovery_model.RecoveryModel` parameterises; this
+module applies a model's side effects to a live
+:class:`~repro.envmodel.environment.Environment`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.classify.recovery_model import RecoveryModel
+from repro.envmodel.environment import Environment
+
+
+@dataclasses.dataclass
+class ResourceFootprint:
+    """What one application currently holds in the environment.
+
+    Recovery perturbation needs to know which environment units belong to
+    the recovering application: killing its processes frees *its* slots
+    and ports, not the whole machine's.
+
+    Attributes:
+        descriptors: file descriptors held by the application.
+        leaked_descriptors: descriptors the application no longer uses
+            but never closed (reclaimable by OS-resource garbage
+            collection).
+        process_slots: kernel process-table slots held (children).
+        ports: network ports bound.
+        network_buffers: kernel network buffers pinned.
+    """
+
+    descriptors: int = 0
+    leaked_descriptors: int = 0
+    process_slots: int = 0
+    ports: int = 0
+    network_buffers: int = 0
+
+    def release_processes_and_ports(self, env: Environment) -> None:
+        """Kill the application's processes, freeing slots and their ports."""
+        env.process_table.release(self.process_slots)
+        self.process_slots = 0
+        env.ports.release(self.ports)
+        self.ports = 0
+
+    def release_leaked_os_resources(self, env: Environment) -> None:
+        """Garbage-collect unused descriptors and pinned kernel buffers
+        (the Section 6.2 mitigation)."""
+        env.file_descriptors.release(self.leaked_descriptors)
+        self.descriptors -= self.leaked_descriptors
+        self.leaked_descriptors = 0
+        env.network.buffers.release(self.network_buffers)
+        self.network_buffers = 0
+
+    def release_everything(self, env: Environment) -> None:
+        """Release the entire footprint (restart-from-scratch recovery)."""
+        env.file_descriptors.release(self.descriptors)
+        self.descriptors = 0
+        self.leaked_descriptors = 0
+        env.process_table.release(self.process_slots)
+        self.process_slots = 0
+        env.ports.release(self.ports)
+        self.ports = 0
+        env.network.buffers.release(self.network_buffers)
+        self.network_buffers = 0
+
+
+def apply_recovery_perturbation(
+    env: Environment,
+    model: RecoveryModel,
+    footprint: ResourceFootprint | None = None,
+    *,
+    downtime_seconds: float = 30.0,
+    storage_growth_bytes: int = 64 * 1024 * 1024,
+) -> None:
+    """Apply one recovery attempt's environmental side effects.
+
+    Args:
+        env: the environment to perturb.
+        model: which side effects the recovery system has.
+        footprint: the recovering application's held resources, if known.
+        downtime_seconds: virtual time the recovery takes (entropy
+            accumulates; timers move).
+        storage_growth_bytes: how much an elastic system grows storage by.
+    """
+    env.clock.advance(downtime_seconds)
+    env.entropy.accumulate(downtime_seconds)
+    env.reseed_scheduler()
+
+    if footprint is not None:
+        if not model.preserves_all_state:
+            footprint.release_everything(env)
+        else:
+            if model.kills_application_processes:
+                footprint.release_processes_and_ports(env)
+            if model.reclaims_leaked_os_resources:
+                footprint.release_leaked_os_resources(env)
+
+    if model.auto_extends_storage:
+        env.disk.grow(storage_growth_bytes)
+        env.disk_cache.grow(storage_growth_bytes)
+        env.disk.raise_file_limit(None)
+
+    if model.expects_external_repair:
+        env.dns.restart()
+        env.network.repair()

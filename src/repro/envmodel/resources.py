@@ -1,0 +1,213 @@
+"""Finite operating-system resources.
+
+The paper's environment-dependent-nontransient faults are mostly
+"some resource being exhausted, such as file descriptors, sockets, or
+disk space" (Section 6.2).  These classes model such resources with hard
+capacities; exhaustion raises
+:class:`~repro.errors.ResourceExhaustedError`, which the mini
+applications turn into the failures the bug reports describe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceExhaustedError
+
+
+class BoundedResource:
+    """A countable resource with a hard capacity (descriptors, slots, ports).
+
+    Args:
+        name: resource name used in exhaustion errors.
+        capacity: maximum simultaneously held units.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units still acquirable."""
+        return self.capacity - self._in_use
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether no unit can currently be acquired."""
+        return self._in_use >= self.capacity
+
+    def acquire(self, units: int = 1) -> None:
+        """Take ``units`` from the resource.
+
+        Raises:
+            ResourceExhaustedError: if fewer than ``units`` are available.
+        """
+        if units < 0:
+            raise ValueError("units must be non-negative")
+        if self._in_use + units > self.capacity:
+            raise ResourceExhaustedError(
+                self.name,
+                f"{self.name}: requested {units}, available {self.available}",
+            )
+        self._in_use += units
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` to the resource.
+
+        Raises:
+            ValueError: if more units are released than are held.
+        """
+        if units < 0:
+            raise ValueError("units must be non-negative")
+        if units > self._in_use:
+            raise ValueError(f"{self.name}: releasing {units} but only {self._in_use} held")
+        self._in_use -= units
+
+    def release_all(self) -> int:
+        """Return every held unit (recovery killing the application).
+
+        Returns:
+            The number of units freed.
+        """
+        freed = self._in_use
+        self._in_use = 0
+        return freed
+
+    def grow(self, extra_capacity: int) -> None:
+        """Raise the capacity (the 'automatically increase resources' mitigation)."""
+        if extra_capacity < 0:
+            raise ValueError("extra_capacity must be non-negative")
+        self.capacity += extra_capacity
+
+
+class DiskVolume:
+    """A disk volume with total capacity and a per-file size limit.
+
+    Models both Section 5 triggers: "full file system" (volume capacity)
+    and "size of log file is greater than maximum allowed file size"
+    (per-file limit).
+
+    Args:
+        capacity_bytes: total volume capacity.
+        max_file_bytes: per-file size limit (the 2GB-era limit).
+    """
+
+    def __init__(self, capacity_bytes: int, *, max_file_bytes: int | None = None):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.max_file_bytes = max_file_bytes
+        self._files: dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        return sum(self._files.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still writable."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def full(self) -> bool:
+        """Whether no byte can be written."""
+        return self.free_bytes <= 0
+
+    def file_size(self, path: str) -> int:
+        """Size of a file (0 if absent)."""
+        return self._files.get(path, 0)
+
+    def write(self, path: str, num_bytes: int) -> None:
+        """Append ``num_bytes`` to ``path``.
+
+        Raises:
+            ResourceExhaustedError: with resource ``"disk_space"`` when
+                the volume is full, or ``"max_file_size"`` when the file
+                would exceed the per-file limit.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        new_size = self.file_size(path) + num_bytes
+        if self.max_file_bytes is not None and new_size > self.max_file_bytes:
+            raise ResourceExhaustedError(
+                "max_file_size",
+                f"{path}: {new_size} bytes exceeds the {self.max_file_bytes}-byte file limit",
+            )
+        if num_bytes > self.free_bytes:
+            raise ResourceExhaustedError(
+                "disk_space", f"volume full: {self.free_bytes} bytes free, need {num_bytes}"
+            )
+        self._files[path] = new_size
+
+    def delete(self, path: str) -> int:
+        """Remove a file, returning the bytes freed (0 if absent)."""
+        return self._files.pop(path, 0)
+
+    def fill(self) -> None:
+        """Consume all remaining space (an external program filling the disk)."""
+        self._files["<external-filler>"] = self._files.get("<external-filler>", 0) + self.free_bytes
+
+    def free_external(self) -> int:
+        """Delete externally written filler (an administrator freeing space)."""
+        return self.delete("<external-filler>")
+
+    def grow(self, extra_bytes: int) -> None:
+        """Raise the volume capacity (elastic storage mitigation)."""
+        if extra_bytes < 0:
+            raise ValueError("extra_bytes must be non-negative")
+        self.capacity_bytes += extra_bytes
+
+    def raise_file_limit(self, new_limit: int | None) -> None:
+        """Raise or remove the per-file size limit."""
+        self.max_file_bytes = new_limit
+
+
+class EntropyPool:
+    """The /dev/random entropy pool.
+
+    Blocks (raises) when drained; refills as environmental events arrive
+    -- "during recovery, it is likely that more events will be generated
+    for /dev/random" (Section 5.1).
+
+    Args:
+        bits: initial entropy.
+        refill_rate_bits_per_second: refill rate while time passes.
+    """
+
+    def __init__(self, bits: int = 4096, *, refill_rate_bits_per_second: float = 8.0):
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        self.bits = bits
+        self.refill_rate = refill_rate_bits_per_second
+
+    def draw(self, bits: int) -> None:
+        """Consume entropy.
+
+        Raises:
+            ResourceExhaustedError: when the pool holds too few bits.
+        """
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits > self.bits:
+            raise ResourceExhaustedError(
+                "entropy", f"/dev/random: need {bits} bits, pool has {self.bits}"
+            )
+        self.bits -= bits
+
+    def accumulate(self, seconds: float) -> None:
+        """Refill the pool as ``seconds`` of environmental events arrive."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.bits += int(seconds * self.refill_rate)
+
+    def drain(self) -> None:
+        """Empty the pool (an idle headless machine right after boot)."""
+        self.bits = 0

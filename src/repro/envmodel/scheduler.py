@@ -1,0 +1,85 @@
+"""Thread-scheduler interleaving as an environmental input.
+
+"A race condition is non-deterministic because of the different times a
+clock interrupt is delivered to the thread scheduler" (Section 3).  The
+scheduler models exactly that: the *interleaving* of an execution is a
+deterministic function of the scheduler's seed, and retrying after an
+environment change draws a fresh seed -- which is why races are
+environment-dependent-transient.
+"""
+
+from __future__ import annotations
+
+from repro.rng import make_rng
+
+
+class ThreadScheduler:
+    """Deterministic interleaving source.
+
+    Args:
+        seed: the interleaving seed; runs with equal seeds interleave
+            identically.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = make_rng(seed, "scheduler")
+        self.context_switches = 0
+
+    @property
+    def seed(self) -> int:
+        """The current interleaving seed."""
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        """Start a fresh interleaving (the environment changed)."""
+        self._seed = seed
+        self._rng = make_rng(seed, "scheduler")
+        self.context_switches = 0
+
+    def pick(self, runnable: list[str]) -> str:
+        """Pick the next thread to run from ``runnable``.
+
+        Raises:
+            ValueError: if ``runnable`` is empty.
+        """
+        if not runnable:
+            raise ValueError("no runnable threads")
+        self.context_switches += 1
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def race_fires(self, window: float) -> bool:
+        """Whether a racy window of width ``window`` is hit this run.
+
+        Args:
+            window: probability in [0, 1] that the bad interleaving
+                occurs under a uniformly random schedule.
+
+        Returns:
+            True when this interleaving lands inside the window.  The
+            answer is deterministic for a given seed and draw sequence.
+        """
+        if not 0.0 <= window <= 1.0:
+            raise ValueError("window must be within [0, 1]")
+        self.context_switches += 1
+        return self._rng.random() < window
+
+    def interleave(self, threads: dict[str, list[str]]) -> list[tuple[str, str]]:
+        """Produce one full interleaving of per-thread operation lists.
+
+        Args:
+            threads: mapping thread name -> ordered operations.
+
+        Returns:
+            A list of (thread, operation) pairs covering every operation,
+            in scheduler order.
+        """
+        remaining = {name: list(ops) for name, ops in threads.items() if ops}
+        order: list[tuple[str, str]] = []
+        while remaining:
+            name = self.pick(sorted(remaining))
+            ops = remaining[name]
+            order.append((name, ops.pop(0)))
+            if not ops:
+                del remaining[name]
+        return order

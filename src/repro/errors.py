@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Subsystem
+errors form a shallow tree: parsing problems, corpus integrity problems,
+simulation problems, and recovery problems each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when a raw archive (GNATS dump, debbugs log, mbox) is malformed.
+
+    Attributes:
+        source: short description of the input being parsed.
+        line_number: 1-based line where the problem was detected, if known.
+    """
+
+    def __init__(self, message: str, *, source: str = "", line_number: int | None = None):
+        location = source
+        if line_number is not None:
+            location = f"{source or '<input>'}:{line_number}"
+        super().__init__(f"{location}: {message}" if location else message)
+        self.source = source
+        self.line_number = line_number
+
+
+class CorpusError(ReproError):
+    """Raised when a study corpus fails an integrity check.
+
+    The curated corpus carries invariants from the paper (exact per-class
+    counts, unique identifiers, every environment-dependent fault has
+    trigger evidence); violations raise this error.
+    """
+
+
+class ClassificationError(ReproError):
+    """Raised when a fault cannot be classified from the available evidence."""
+
+
+class SimulationError(ReproError):
+    """Base class for operating-environment simulation errors."""
+
+
+class ResourceExhaustedError(SimulationError):
+    """Raised by the environment model when a finite resource runs out.
+
+    Mirrors the operating-system errors (EMFILE, ENOSPC, EAGAIN...) that
+    trigger the paper's environment-dependent-nontransient faults.
+
+    Attributes:
+        resource: name of the exhausted resource (e.g. ``"file_descriptors"``).
+    """
+
+    def __init__(self, resource: str, message: str = ""):
+        super().__init__(message or f"resource exhausted: {resource}")
+        self.resource = resource
+
+
+class ApplicationCrash(SimulationError):
+    """Raised by a mini application when an injected defect fires.
+
+    Attributes:
+        fault_id: identifier of the injected fault that caused the crash.
+        symptom: short symptom string (e.g. ``"segfault"``, ``"hang"``).
+    """
+
+    def __init__(self, fault_id: str, symptom: str = "crash"):
+        super().__init__(f"application crashed ({symptom}) due to fault {fault_id}")
+        self.fault_id = fault_id
+        self.symptom = symptom
+
+
+class ApplicationHang(ApplicationCrash):
+    """Raised when an injected defect makes the application stop responding."""
+
+    def __init__(self, fault_id: str):
+        super().__init__(fault_id, symptom="hang")
+
+
+class RecoveryError(ReproError):
+    """Raised when a recovery mechanism cannot complete its protocol."""
+
+
+class RecoveryExhausted(RecoveryError):
+    """Raised when a recovery mechanism gives up after its retry budget.
+
+    Attributes:
+        attempts: number of retries performed before giving up.
+    """
+
+    def __init__(self, attempts: int, message: str = ""):
+        super().__init__(message or f"recovery gave up after {attempts} attempts")
+        self.attempts = attempts

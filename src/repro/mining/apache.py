@@ -1,0 +1,36 @@
+"""Apache mining: 5220 GNATS problem reports -> 50 unique study bugs.
+
+Section 4: "Of all the bugs reported, we consider bugs on production
+versions of the software that were categorized as severe or critical ...
+we narrow these to 50 unique bug reports meeting these criteria."
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.enums import Severity
+from repro.bugdb.model import BugReport
+from repro.mining.dedup import Deduplicator
+from repro.mining.pipeline import MiningResult, Narrower
+
+
+def mine_apache(
+    reports: list[BugReport],
+    *,
+    min_severity: Severity = Severity.SERIOUS,
+    deduplicator: Deduplicator | None = None,
+) -> MiningResult[BugReport]:
+    """Narrow a raw Apache archive to the unique study bugs.
+
+    Stages: production versions only; severity at least serious
+    ("severe or critical"); high-impact symptoms only (crash, hang,
+    error return, security, leak, corruption); drop triager-marked
+    duplicates; reduce the rest to unique bugs.
+    """
+    dedup = deduplicator or Deduplicator()
+    narrower = Narrower(reports, initial_stage="raw reports")
+    narrower.keep("production versions", lambda r: r.is_production_version)
+    narrower.keep(f"severity>={min_severity.name.lower()}", lambda r: r.severity >= min_severity)
+    narrower.keep("high-impact symptom", lambda r: r.is_high_impact)
+    narrower.keep("not marked duplicate", lambda r: not r.is_duplicate)
+    narrower.transform("unique bugs", dedup.unique)
+    return narrower.result()

@@ -1,0 +1,125 @@
+"""Duplicate-report reduction ("narrowed to N *unique* bugs").
+
+Two stages, both ablatable:
+
+1. **Exact keying** -- reports whose normalized synopses are identical
+   are the same bug.
+2. **Fuzzy merging** -- remaining reports whose content-token Jaccard
+   similarity exceeds a threshold merge into the earlier report
+   (re-reports reword the synopsis but reuse its content words).
+
+The earliest report of each group becomes the *primary*; classification
+runs on primaries, matching the paper's per-unique-bug analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.bugdb.dedup_keys import content_tokens, jaccard_similarity, normalize_synopsis
+from repro.bugdb.model import BugReport
+
+
+@dataclasses.dataclass(frozen=True)
+class DedupGroup:
+    """One group of reports judged to be the same underlying bug."""
+
+    primary: BugReport
+    duplicates: tuple[BugReport, ...]
+
+    @property
+    def size(self) -> int:
+        """Total reports in the group, primary included."""
+        return 1 + len(self.duplicates)
+
+
+@dataclasses.dataclass(frozen=True)
+class DedupResult:
+    """The outcome of duplicate reduction."""
+
+    groups: tuple[DedupGroup, ...]
+
+    @property
+    def primaries(self) -> list[BugReport]:
+        """One report per unique bug."""
+        return [group.primary for group in self.groups]
+
+    @property
+    def duplicate_count(self) -> int:
+        """Reports merged away as duplicates."""
+        return sum(len(group.duplicates) for group in self.groups)
+
+
+class Deduplicator:
+    """Configurable duplicate reduction.
+
+    Args:
+        use_fuzzy: enable the Jaccard fuzzy-merge stage (stage 2).
+        fuzzy_threshold: minimum similarity for a fuzzy merge.
+        key_fn: exact-key function over a report (defaults to the
+            normalized synopsis).
+    """
+
+    def __init__(
+        self,
+        *,
+        use_fuzzy: bool = True,
+        fuzzy_threshold: float = 0.6,
+        key_fn: Callable[[BugReport], str] | None = None,
+    ):
+        if not 0.0 < fuzzy_threshold <= 1.0:
+            raise ValueError("fuzzy_threshold must be in (0, 1]")
+        self.use_fuzzy = use_fuzzy
+        self.fuzzy_threshold = fuzzy_threshold
+        self._key_fn = key_fn or (lambda report: normalize_synopsis(report.synopsis))
+
+    def dedup(self, reports: list[BugReport]) -> DedupResult:
+        """Reduce ``reports`` to unique bugs."""
+        # Stage 1: exact keys.  Insertion order of groups follows first
+        # appearance; within a group the earliest-dated report is primary.
+        by_key: dict[str, list[BugReport]] = {}
+        for report in reports:
+            by_key.setdefault(self._key_fn(report), []).append(report)
+
+        clusters: list[list[BugReport]] = [
+            sorted(group, key=lambda r: (r.date, r.report_id)) for group in by_key.values()
+        ]
+
+        # Stage 2: fuzzy merging of cluster primaries.  Greedy: each
+        # cluster merges into the first earlier cluster whose primary is
+        # similar enough.
+        if self.use_fuzzy:
+            clusters.sort(key=lambda group: (group[0].date, group[0].report_id))
+            merged: list[list[BugReport]] = []
+            merged_tokens: list[frozenset[str]] = []
+            for cluster in clusters:
+                tokens = content_tokens(cluster[0].synopsis)
+                target = None
+                for index, existing_tokens in enumerate(merged_tokens):
+                    if jaccard_similarity(tokens, existing_tokens) >= self.fuzzy_threshold:
+                        target = index
+                        break
+                if target is None:
+                    merged.append(cluster)
+                    merged_tokens.append(tokens)
+                else:
+                    merged[target].extend(cluster)
+            clusters = merged
+
+        groups = tuple(
+            DedupGroup(
+                primary=min(cluster, key=lambda r: (r.date, r.report_id)),
+                duplicates=tuple(
+                    report
+                    for report in cluster
+                    if report is not min(cluster, key=lambda r: (r.date, r.report_id))
+                ),
+            )
+            for cluster in clusters
+        )
+        return DedupResult(groups=groups)
+
+    def unique(self, reports: list[BugReport]) -> list[BugReport]:
+        """Just the unique primaries (convenience for pipelines)."""
+        return self.dedup(reports).primaries

@@ -1,0 +1,103 @@
+"""Narrowing-funnel statistics over mining traces.
+
+The paper's Section 4 is a funnel: thousands of raw reports in, tens of
+unique study bugs out.  This module quantifies the funnel — per-stage
+reduction rates, overall selectivity, and a capture-recapture estimate
+of the true duplicate rate from the dedup stage — so mining behaviour
+can be compared across archives and ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.mining.dedup import DedupResult
+from repro.mining.pipeline import NarrowingTrace
+
+
+@dataclasses.dataclass(frozen=True)
+class StageReduction:
+    """One stage's effect on the candidate population.
+
+    Attributes:
+        name: the stage name.
+        before: candidates entering the stage.
+        after: candidates surviving it.
+    """
+
+    name: str
+    before: int
+    after: int
+
+    @property
+    def kept_fraction(self) -> float:
+        """Fraction of candidates surviving (1.0 for an empty stage)."""
+        if self.before == 0:
+            return 1.0
+        return self.after / self.before
+
+    @property
+    def removed(self) -> int:
+        """Candidates eliminated by the stage."""
+        return self.before - self.after
+
+
+@dataclasses.dataclass(frozen=True)
+class FunnelSummary:
+    """The whole funnel, stage by stage."""
+
+    stages: tuple[StageReduction, ...]
+
+    @property
+    def overall_selectivity(self) -> float:
+        """Final survivors as a fraction of the raw input."""
+        if not self.stages or self.stages[0].before == 0:
+            return 1.0
+        return self.stages[-1].after / self.stages[0].before
+
+    def most_selective_stage(self) -> StageReduction:
+        """The stage that removed the largest fraction of its input.
+
+        Raises:
+            ValueError: for an empty funnel.
+        """
+        if not self.stages:
+            raise ValueError("empty funnel")
+        return min(self.stages, key=lambda stage: stage.kept_fraction)
+
+    def rows(self) -> list[tuple[str, int, int, str]]:
+        """(stage, before, after, kept%) rows for reporting."""
+        return [
+            (stage.name, stage.before, stage.after, f"{stage.kept_fraction:.1%}")
+            for stage in self.stages
+        ]
+
+
+def funnel_from_trace(trace: NarrowingTrace) -> FunnelSummary:
+    """Build a funnel summary from a mining trace."""
+    rows = trace.as_rows()
+    stages = tuple(
+        StageReduction(name=rows[index][0], before=rows[index - 1][1], after=rows[index][1])
+        for index in range(1, len(rows))
+    )
+    return FunnelSummary(stages=stages)
+
+
+def duplicate_rate(result: DedupResult) -> float:
+    """Observed duplicate fraction among the deduplicated reports.
+
+    The paper narrows to "unique bugs"; this is the fraction of incoming
+    reports that were re-reports of another bug (0.0 when no reports).
+    """
+    total = sum(group.size for group in result.groups)
+    if total == 0:
+        return 0.0
+    return result.duplicate_count / total
+
+
+def mean_reports_per_bug(result: DedupResult) -> float:
+    """Average archive reports per unique bug (>= 1.0; 0.0 when empty)."""
+    if not result.groups:
+        return 0.0
+    total = sum(group.size for group in result.groups)
+    return total / len(result.groups)

@@ -1,0 +1,48 @@
+"""GNOME mining: ~500 debbugs reports -> 45 unique study bugs.
+
+Section 4: "We look at faults in the core files and libraries and four
+commonly used GNOME applications: panel ..., gnome-pim ..., gnumeric ...,
+and gmc ... We looked at about 500 bug reports and narrowed them to 45
+unique bugs meeting our criteria."
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.enums import Severity
+from repro.bugdb.model import BugReport
+from repro.mining.dedup import Deduplicator
+from repro.mining.pipeline import MiningResult, Narrower
+
+#: Core files and libraries plus the four studied applications.
+GNOME_STUDY_COMPONENTS: tuple[str, ...] = (
+    "gnome-core",
+    "gnome-libs",
+    "panel",
+    "gnome-pim",
+    "gnumeric",
+    "gmc",
+)
+
+
+def mine_gnome(
+    reports: list[BugReport],
+    *,
+    components: tuple[str, ...] = GNOME_STUDY_COMPONENTS,
+    min_severity: Severity = Severity.SERIOUS,
+    deduplicator: Deduplicator | None = None,
+) -> MiningResult[BugReport]:
+    """Narrow a raw GNOME archive to the unique study bugs.
+
+    Stages: studied components only; severity at least serious;
+    high-impact symptoms only; drop triager-marked duplicates; reduce to
+    unique bugs.
+    """
+    dedup = deduplicator or Deduplicator()
+    component_set = set(components)
+    narrower = Narrower(reports, initial_stage="raw reports")
+    narrower.keep("studied components", lambda r: r.component in component_set)
+    narrower.keep(f"severity>={min_severity.name.lower()}", lambda r: r.severity >= min_severity)
+    narrower.keep("high-impact symptom", lambda r: r.is_high_impact)
+    narrower.keep("not marked duplicate", lambda r: not r.is_duplicate)
+    narrower.transform("unique bugs", dedup.unique)
+    return narrower.result()

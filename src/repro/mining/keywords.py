@@ -1,0 +1,53 @@
+"""Keyword matching for mailing-list mining.
+
+The paper (Section 4): "we use all the messages from the archives that
+matched one of the following keywords: 'crash', 'segmentation', 'race',
+and 'died' (we looked at a few hundred messages and found that these
+keywords were the ones commonly used to describe serious bugs)".
+
+Matching is case-insensitive on word boundaries with suffix stemming
+("crash" also matches "crashes", "crashed"), but never inside another
+word -- "trace" must not match "race".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+#: The paper's MySQL study keywords.
+MYSQL_STUDY_KEYWORDS: tuple[str, ...] = ("crash", "segmentation", "race", "died")
+
+
+class KeywordMatcher:
+    """Compiled word-boundary keyword matcher.
+
+    Args:
+        keywords: keyword stems; each matches itself plus any suffix of
+            word characters (``crash`` -> ``crashes``), anchored at a word
+            boundary on the left.
+    """
+
+    def __init__(self, keywords: Iterable[str]):
+        self.keywords = tuple(keywords)
+        if not self.keywords:
+            raise ValueError("at least one keyword is required")
+        alternatives = "|".join(re.escape(keyword) + r"\w*" for keyword in self.keywords)
+        self._pattern = re.compile(rf"\b(?:{alternatives})\b", re.IGNORECASE)
+
+    def matches(self, text: str) -> bool:
+        """Whether any keyword occurs in ``text``."""
+        return self._pattern.search(text) is not None
+
+    def find_all(self, text: str) -> list[str]:
+        """All (lowercased) keyword occurrences, in order."""
+        return [match.lower() for match in self._pattern.findall(text)]
+
+    def matched_stems(self, text: str) -> set[str]:
+        """Which keyword stems matched ``text`` at least once."""
+        stems: set[str] = set()
+        lowered_hits = self.find_all(text)
+        for stem in self.keywords:
+            if any(hit.startswith(stem.lower()) for hit in lowered_hits):
+                stems.add(stem)
+        return stems

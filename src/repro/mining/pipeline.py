@@ -1,0 +1,94 @@
+"""Mining pipeline plumbing: narrowing traces and results.
+
+A miner is a sequence of narrowing stages; the trace records the
+candidate count after each stage so "5220 reports ... narrowed to 50
+unique bug reports" becomes inspectable data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Generic, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class NarrowingStage:
+    """One stage of a narrowing trace.
+
+    Attributes:
+        name: short stage name (e.g. ``"severity>=serious"``).
+        survivors: number of candidates remaining after the stage.
+    """
+
+    name: str
+    survivors: int
+
+
+@dataclasses.dataclass
+class NarrowingTrace:
+    """Candidate counts through a mining pipeline."""
+
+    stages: list[NarrowingStage] = dataclasses.field(default_factory=list)
+
+    def record(self, name: str, survivors: int) -> None:
+        """Append a stage to the trace."""
+        self.stages.append(NarrowingStage(name=name, survivors=survivors))
+
+    @property
+    def initial(self) -> int:
+        """Candidate count before any narrowing (first recorded stage)."""
+        return self.stages[0].survivors if self.stages else 0
+
+    @property
+    def final(self) -> int:
+        """Candidate count after all narrowing."""
+        return self.stages[-1].survivors if self.stages else 0
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """(stage name, survivors) rows for reporting."""
+        return [(stage.name, stage.survivors) for stage in self.stages]
+
+
+@dataclasses.dataclass
+class MiningResult(Generic[T]):
+    """The outcome of mining one application's archive.
+
+    Attributes:
+        items: the unique study candidates that survived narrowing.
+        trace: per-stage survivor counts.
+    """
+
+    items: list[T]
+    trace: NarrowingTrace
+
+
+class Narrower(Generic[T]):
+    """Applies named narrowing stages to a candidate list, keeping a trace."""
+
+    def __init__(self, candidates: Sequence[T], *, initial_stage: str = "raw"):
+        self._items: list[T] = list(candidates)
+        self.trace = NarrowingTrace()
+        self.trace.record(initial_stage, len(self._items))
+
+    @property
+    def items(self) -> list[T]:
+        """Current surviving candidates."""
+        return self._items
+
+    def keep(self, name: str, predicate: Callable[[T], bool]) -> "Narrower[T]":
+        """Keep only candidates satisfying ``predicate``."""
+        self._items = [item for item in self._items if predicate(item)]
+        self.trace.record(name, len(self._items))
+        return self
+
+    def transform(self, name: str, fn: Callable[[list[T]], list[T]]) -> "Narrower[T]":
+        """Replace the candidate list wholesale (e.g. deduplication)."""
+        self._items = fn(self._items)
+        self.trace.record(name, len(self._items))
+        return self
+
+    def result(self) -> MiningResult[T]:
+        """Finish, returning items plus the trace."""
+        return MiningResult(items=self._items, trace=self.trace)

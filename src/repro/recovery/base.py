@@ -1,0 +1,138 @@
+"""Recovery-technique interface.
+
+A technique ``prepare``\\ s against a running application (capturing
+whatever redundancy it relies on), and on each failure performs one
+``recover`` attempt: restore application state per its semantics and
+apply its environmental side effects
+(:func:`~repro.envmodel.perturb.apply_recovery_perturbation` under its
+:class:`~repro.classify.recovery_model.RecoveryModel`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.apps.base import MiniApplication
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.envmodel.perturb import apply_recovery_perturbation
+from repro.errors import ApplicationCrash, RecoveryError, RecoveryExhausted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.workload import Workload
+
+
+class RecoveryTechnique(abc.ABC):
+    """Base class for recovery techniques.
+
+    Args:
+        model: the technique's environmental side effects.
+        max_attempts: recovery attempts before giving up.
+        downtime_seconds: virtual time one recovery attempt takes.
+
+    Attributes:
+        application_generic: True when the technique uses no
+            application-specific information (the paper's core
+            distinction).
+    """
+
+    name: str = "recovery"
+    application_generic: bool = True
+
+    def __init__(
+        self,
+        model: RecoveryModel = PAPER_DEFAULT,
+        *,
+        max_attempts: int = 3,
+        downtime_seconds: float = 30.0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.model = model
+        self.max_attempts = max_attempts
+        self.downtime_seconds = downtime_seconds
+        self._prepared = False
+
+    def prepare(self, app: MiniApplication) -> None:
+        """Capture the technique's redundancy against a healthy application."""
+        self._do_prepare(app)
+        self._prepared = True
+
+    def recover(self, app: MiniApplication, attempt: int) -> None:
+        """Perform one recovery attempt after a failure.
+
+        Args:
+            app: the failed application.
+            attempt: 1-based attempt number.
+
+        Raises:
+            RecoveryError: if :meth:`prepare` was never called.
+        """
+        if not self._prepared:
+            raise RecoveryError(f"{self.name}: recover() before prepare()")
+        self._restore_state(app, attempt)
+        self._perturb_environment(app, attempt)
+
+    def run_with_recovery(
+        self,
+        app: MiniApplication,
+        workload: "Workload",
+        *,
+        on_recovery: Callable[[int], Any] | None = None,
+    ) -> int:
+        """Run a workload under this technique's protection.
+
+        Prepares (if not already prepared), runs the workload, and on
+        every :class:`~repro.errors.ApplicationCrash` performs one
+        recovery attempt and re-runs the *whole* workload (Section 3: all
+        requested operations must execute).
+
+        Args:
+            app: the protected application.
+            workload: the operation sequence to complete.
+            on_recovery: optional callback invoked with the attempt
+                number after each recovery.
+
+        Returns:
+            The number of recovery attempts consumed (0 = no failure).
+
+        Raises:
+            RecoveryExhausted: when the workload still fails after
+                ``max_attempts`` recoveries.
+        """
+        if not self._prepared:
+            self.prepare(app)
+        attempts = 0
+        while True:
+            try:
+                workload.run(app)
+                return attempts
+            except ApplicationCrash as crash:
+                if attempts >= self.max_attempts:
+                    raise RecoveryExhausted(
+                        attempts,
+                        f"{self.name}: workload still fails after "
+                        f"{attempts} recoveries (last: {crash})",
+                    ) from crash
+                attempts += 1
+                self.recover(app, attempts)
+                if on_recovery is not None:
+                    on_recovery(attempts)
+
+    @abc.abstractmethod
+    def _do_prepare(self, app: MiniApplication) -> None:
+        """Technique-specific preparation."""
+
+    @abc.abstractmethod
+    def _restore_state(self, app: MiniApplication, attempt: int) -> None:
+        """Technique-specific state restoration."""
+
+    def _perturb_environment(self, app: MiniApplication, attempt: int) -> None:
+        """Apply the technique's environmental side effects (overridable)."""
+        apply_recovery_perturbation(
+            app.env,
+            self.model,
+            app.footprint,
+            downtime_seconds=self.downtime_seconds,
+        )

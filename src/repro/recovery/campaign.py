@@ -1,0 +1,163 @@
+"""Parameter-sweep campaigns over the replay experiment.
+
+Two sweeps the replay makes natural:
+
+* **retry budget** -- how transient-fault survival grows with the number
+  of recovery attempts (races re-fire with probability ``race_window``
+  per retry, so survival approaches 1 geometrically);
+* **race window** -- how survival degrades as the racy interleaving
+  window widens.
+
+Both isolate the timing-triggered faults, the only place where retry
+count matters; deterministic environmental repairs either work on the
+first perturbed retry or never.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.apps.faults import InjectedDefect
+from repro.apps.registry import make_application
+from repro.apps.workload import workload_for_fault
+from repro.bugdb.enums import TriggerKind
+from repro.corpus.loader import StudyData
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash
+from repro.recovery.base import RecoveryTechnique
+from repro.rng import DEFAULT_SEED, derive_seed
+
+TIMING_TRIGGERS = frozenset(
+    {
+        TriggerKind.RACE_CONDITION,
+        TriggerKind.SIGNAL_TIMING,
+        TriggerKind.WORKLOAD_TIMING,
+        TriggerKind.UNKNOWN_TRANSIENT,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point of a campaign sweep.
+
+    Attributes:
+        parameter: the swept value (attempts or window).
+        survived: timing faults survived at this point.
+        total: timing-fault replays at this point.
+    """
+
+    parameter: float
+    survived: int
+    total: int
+
+    @property
+    def survival_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.survived / self.total
+
+
+def timing_faults(study: StudyData) -> list[StudyFault]:
+    """The study faults whose defects are timing-triggered."""
+    return [fault for fault in study.all_faults() if fault.trigger in TIMING_TRIGGERS]
+
+
+def _replay_timing_fault(
+    fault: StudyFault,
+    technique: RecoveryTechnique,
+    *,
+    race_window: float,
+    seed: int,
+) -> bool:
+    """Replay one timing fault with an overridden race window.
+
+    Returns:
+        Whether a retry completed the workload.
+    """
+    env = Environment(seed=seed)
+    app = make_application(fault.application, env)
+    defect = InjectedDefect(fault, race_window=race_window)
+    app.injector.inject(defect)
+    defect.arm(env, app)
+    workload = workload_for_fault(fault)
+    technique.prepare(app)
+    try:
+        workload.run(app)
+        return True  # cannot happen: first run is forced to fire
+    except ApplicationCrash:
+        pass
+    for attempt in range(1, technique.max_attempts + 1):
+        technique.recover(app, attempt)
+        try:
+            workload.run(app)
+            return True
+        except ApplicationCrash:
+            continue
+    return False
+
+
+def sweep_retry_budget(
+    study: StudyData,
+    technique_factory: Callable[[int], RecoveryTechnique],
+    *,
+    budgets: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    race_window: float = 0.25,
+    replications: int = 5,
+    seed: int = DEFAULT_SEED,
+) -> list[SweepPoint]:
+    """Sweep the recovery-attempt budget over the timing faults.
+
+    Args:
+        study: the curated study.
+        technique_factory: builds a technique given ``max_attempts``.
+        budgets: attempt budgets to sweep.
+        race_window: racy-window width for every defect.
+        replications: independent seeds per (fault, budget) pair.
+        seed: base seed.
+    """
+    faults = timing_faults(study)
+    points = []
+    for budget in budgets:
+        survived = 0
+        total = 0
+        for fault in faults:
+            for replication in range(replications):
+                run_seed = derive_seed(seed, f"budget:{budget}:{fault.fault_id}:{replication}")
+                technique = technique_factory(budget)
+                if _replay_timing_fault(
+                    fault, technique, race_window=race_window, seed=run_seed
+                ):
+                    survived += 1
+                total += 1
+        points.append(SweepPoint(parameter=float(budget), survived=survived, total=total))
+    return points
+
+
+def sweep_race_window(
+    study: StudyData,
+    technique_factory: Callable[[], RecoveryTechnique],
+    *,
+    windows: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 0.75, 0.95),
+    replications: int = 5,
+    seed: int = DEFAULT_SEED,
+) -> list[SweepPoint]:
+    """Sweep the racy-window width over the timing faults."""
+    faults = timing_faults(study)
+    points = []
+    for window in windows:
+        survived = 0
+        total = 0
+        for fault in faults:
+            for replication in range(replications):
+                run_seed = derive_seed(seed, f"window:{window}:{fault.fault_id}:{replication}")
+                technique = technique_factory()
+                if _replay_timing_fault(
+                    fault, technique, race_window=window, seed=run_seed
+                ):
+                    survived += 1
+                total += 1
+        points.append(SweepPoint(parameter=window, survived=survived, total=total))
+    return points

@@ -1,0 +1,59 @@
+"""Checkpoint storage for rollback-style recovery.
+
+A truly generic recovery mechanism "must preserve all application state
+(e.g. by checkpointing or logging)" (Section 2); the store keeps full
+:class:`~repro.apps.base.AppCheckpoint` snapshots with bounded history.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppCheckpoint, MiniApplication
+from repro.errors import RecoveryError
+
+
+class CheckpointStore:
+    """Bounded stack of application checkpoints.
+
+    Args:
+        capacity: checkpoints retained; older ones are discarded.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._checkpoints: list[AppCheckpoint] = []
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def take(self, app: MiniApplication) -> AppCheckpoint:
+        """Snapshot the application and retain the checkpoint."""
+        checkpoint = app.snapshot()
+        self._checkpoints.append(checkpoint)
+        if len(self._checkpoints) > self.capacity:
+            self._checkpoints.pop(0)
+        return checkpoint
+
+    def latest(self) -> AppCheckpoint:
+        """The most recent checkpoint.
+
+        Raises:
+            RecoveryError: if no checkpoint was ever taken.
+        """
+        if not self._checkpoints:
+            raise RecoveryError("no checkpoint available")
+        return self._checkpoints[-1]
+
+    def rollback_one(self) -> AppCheckpoint:
+        """Discard the newest checkpoint and return the one beneath it.
+
+        Used by escalating strategies that suspect the latest checkpoint
+        already contains the corrupted state.  The last remaining
+        checkpoint is never discarded.
+        """
+        if not self._checkpoints:
+            raise RecoveryError("no checkpoint available")
+        if len(self._checkpoints) > 1:
+            self._checkpoints.pop()
+        return self._checkpoints[-1]

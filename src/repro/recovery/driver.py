@@ -1,0 +1,172 @@
+"""Replay driver: the paper's proposed end-to-end check, executed.
+
+For every curated study fault: build the matching mini application in a
+fresh simulated environment, inject the fault as a defect, arm the
+triggering condition the bug report describes, let the recovery
+technique prepare, drive the workload to failure, then let the technique
+recover and retry until it survives or exhausts its budget.
+
+The paper's hypothesis test becomes measurable: environment-independent
+faults should never survive generic recovery, environment-dependent-
+nontransient faults should rarely survive, and environment-dependent-
+transient faults should usually survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.apps.faults import InjectedDefect
+from repro.apps.registry import make_application
+from repro.apps.workload import workload_for_fault
+from repro.bugdb.enums import FaultClass
+from repro.corpus.loader import StudyData
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash
+from repro.recovery.base import RecoveryTechnique
+from repro.rng import DEFAULT_SEED, derive_seed
+
+TechniqueFactory = Callable[[], RecoveryTechnique]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultReplayOutcome:
+    """The result of replaying one fault under one technique.
+
+    Attributes:
+        fault_id: the study fault replayed.
+        fault_class: its ground-truth class.
+        technique: the recovery technique's name.
+        triggered: whether the injected defect fired on the first run
+            (it always should; False flags a harness problem).
+        survived: whether a retry completed the workload.
+        attempts_used: recovery attempts consumed (0 if never triggered).
+    """
+
+    fault_id: str
+    fault_class: FaultClass
+    technique: str
+    triggered: bool
+    survived: bool
+    attempts_used: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayReport:
+    """Aggregated replay results for one technique over a study."""
+
+    technique: str
+    outcomes: tuple[FaultReplayOutcome, ...]
+
+    def survival_rate(self, fault_class: FaultClass | None = None) -> float:
+        """Fraction of (triggered) faults survived, optionally per class."""
+        relevant = [
+            outcome
+            for outcome in self.outcomes
+            if outcome.triggered
+            and (fault_class is None or outcome.fault_class is fault_class)
+        ]
+        if not relevant:
+            return 0.0
+        return sum(outcome.survived for outcome in relevant) / len(relevant)
+
+    def survived_count(self, fault_class: FaultClass | None = None) -> int:
+        """Number of faults survived, optionally per class."""
+        return sum(
+            outcome.survived
+            for outcome in self.outcomes
+            if fault_class is None or outcome.fault_class is fault_class
+        )
+
+    def total(self, fault_class: FaultClass | None = None) -> int:
+        """Number of faults replayed, optionally per class."""
+        return sum(
+            1
+            for outcome in self.outcomes
+            if fault_class is None or outcome.fault_class is fault_class
+        )
+
+
+def replay_fault(
+    fault: StudyFault,
+    technique: RecoveryTechnique,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> FaultReplayOutcome:
+    """Replay one study fault under one recovery technique.
+
+    Returns:
+        The outcome; ``triggered`` is False only if the injected defect
+        failed to fire on the first run, which indicates a harness bug.
+    """
+    env = Environment(seed=derive_seed(seed, f"replay:{fault.fault_id}"))
+    # Reverse record for the default client so healthy DNS paths work.
+    env.dns.add_record("client.example.net", "10.0.0.99")
+    env.dns.add_record("client5.example.net", "10.0.0.5")
+    app = make_application(fault.application, env)
+    defect = InjectedDefect(fault)
+    app.injector.inject(defect)
+    defect.arm(env, app)
+
+    workload = workload_for_fault(fault)
+    technique.prepare(app)
+
+    try:
+        workload.run(app)
+    except ApplicationCrash:
+        pass
+    else:
+        return FaultReplayOutcome(
+            fault_id=fault.fault_id,
+            fault_class=fault.fault_class,
+            technique=technique.name,
+            triggered=False,
+            survived=True,
+            attempts_used=0,
+        )
+
+    survived = False
+    attempts_used = 0
+    for attempt in range(1, technique.max_attempts + 1):
+        attempts_used = attempt
+        technique.recover(app, attempt)
+        try:
+            workload.run(app)
+        except ApplicationCrash:
+            continue
+        survived = True
+        break
+
+    return FaultReplayOutcome(
+        fault_id=fault.fault_id,
+        fault_class=fault.fault_class,
+        technique=technique.name,
+        triggered=True,
+        survived=survived,
+        attempts_used=attempts_used,
+    )
+
+
+def replay_study(
+    study: StudyData,
+    technique_factory: TechniqueFactory,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> ReplayReport:
+    """Replay every study fault under fresh instances of one technique.
+
+    Args:
+        study: the full curated study.
+        technique_factory: builds a fresh technique per fault (techniques
+            hold per-run state such as checkpoints).
+        seed: base seed; per-fault seeds are derived from it.
+    """
+    outcomes = []
+    technique_name = ""
+    for fault in study.all_faults():
+        technique = technique_factory()
+        technique_name = technique.name
+        outcomes.append(replay_fault(fault, technique, seed=seed))
+    return ReplayReport(technique=technique_name, outcomes=tuple(outcomes))

@@ -1,0 +1,134 @@
+"""Error latency: why Tandem's process pairs looked so good (Section 7).
+
+Lee & Iyer found 82% of Tandem software faults recovered by process
+pairs; the paper attributes much of that to the backup *not* starting
+from the failed primary's state -- its checkpoint predated the state
+corruption ("memory state" and "error latency" categories).  A truly
+generic mechanism that checkpoints *all* state right up to the failure
+re-creates the corruption on the backup and fails again.
+
+This module mechanises that argument with the leak archetype: an
+application leaks one unit of state per operation and crashes when the
+leak crosses a threshold.  A checkpoint captured ``age`` operations
+before the crash restarts the application with that much less leaked
+state; the retry survives iff the checkpoint is *stale enough* that the
+remaining headroom covers the whole task.  Sweeping the checkpoint age
+reproduces Lee & Iyer's paradox: the worse (older) the checkpoint, the
+better the "recovery rate".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyExperiment:
+    """One leak-fault configuration.
+
+    Attributes:
+        leak_limit: leaked units at which the application crashes.
+        task_operations: operations in the requested task, each leaking
+            one unit.  Must not on its own exceed the limit (a fresh
+            application can complete the task).
+    """
+
+    leak_limit: int = 100
+    task_operations: int = 40
+
+    def __post_init__(self) -> None:
+        if self.leak_limit <= 0 or self.task_operations <= 0:
+            raise ValueError("limit and task size must be positive")
+        if self.task_operations > self.leak_limit:
+            raise ValueError("a fresh application must be able to complete the task")
+
+    @property
+    def staleness_needed(self) -> int:
+        """Minimum checkpoint age (in operations) for the retry to survive.
+
+        The primary crashed with ``leak_limit`` units accumulated; a
+        checkpoint taken ``age`` operations earlier restores
+        ``leak_limit - age`` units.  The retry re-executes the whole task
+        (``task_operations`` more units), surviving iff
+        ``leak_limit - age + task_operations <= leak_limit``.
+        """
+        return self.task_operations
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyOutcome:
+    """Result of one checkpoint-age replay.
+
+    Attributes:
+        checkpoint_age: operations between the checkpoint and the crash.
+        restored_leak: leaked units in the restored state.
+        survived: whether the retried task completed.
+    """
+
+    checkpoint_age: int
+    restored_leak: int
+    survived: bool
+
+
+def replay_with_checkpoint_age(
+    experiment: LatencyExperiment, checkpoint_age: int
+) -> LatencyOutcome:
+    """Replay the leak fault with a checkpoint of the given staleness.
+
+    Args:
+        experiment: the leak configuration.
+        checkpoint_age: operations between the checkpoint and the crash
+            (0 = the checkpoint captured the primary's full pre-crash
+            state, the truly generic ideal).
+
+    Raises:
+        ValueError: if ``checkpoint_age`` is negative or older than the
+            crash state itself.
+    """
+    if checkpoint_age < 0 or checkpoint_age > experiment.leak_limit:
+        raise ValueError("checkpoint_age must be within [0, leak_limit]")
+
+    restored_leak = experiment.leak_limit - checkpoint_age
+    # Deterministic leak walk: does the re-executed task cross the limit?
+    leak = restored_leak
+    survived = True
+    for _ in range(experiment.task_operations):
+        leak += 1
+        if leak > experiment.leak_limit:
+            survived = False
+            break
+    return LatencyOutcome(
+        checkpoint_age=checkpoint_age,
+        restored_leak=restored_leak,
+        survived=survived,
+    )
+
+
+def sweep_checkpoint_age(
+    experiment: LatencyExperiment,
+    ages: tuple[int, ...] | None = None,
+) -> list[LatencyOutcome]:
+    """Sweep checkpoint staleness from fresh to maximally stale."""
+    if ages is None:
+        step = max(1, experiment.leak_limit // 10)
+        ages = tuple(range(0, experiment.leak_limit + 1, step))
+    return [replay_with_checkpoint_age(experiment, age) for age in ages]
+
+
+def recovery_rate_with_random_latency(
+    experiment: LatencyExperiment,
+) -> float:
+    """Recovery rate when checkpoint age is uniform over [0, leak_limit].
+
+    This is the field-data situation: checkpoints happen on their own
+    schedule, so a crash lands at a uniformly random offset after the
+    last checkpoint.  The rate is the fraction of ages that survive --
+    analytically ``1 - task_operations / (leak_limit + 1)`` -- and is
+    *higher* for leakier (worse-checkpointed) systems, the Section 7
+    paradox.
+    """
+    survived = sum(
+        replay_with_checkpoint_age(experiment, age).survived
+        for age in range(experiment.leak_limit + 1)
+    )
+    return survived / (experiment.leak_limit + 1)

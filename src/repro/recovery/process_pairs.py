@@ -1,0 +1,53 @@
+"""Process pairs [Gray86].
+
+A primary process runs the workload while a backup on (conceptually)
+another processor mirrors its state through checkpoint messages.  On
+primary failure the backup takes over *with the same state* and retries
+the same operation on the same code.  Survival therefore requires the
+failure to be a Heisenbug: "only a change external to the application
+can allow the application to succeed on retry" (Section 2).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppCheckpoint, MiniApplication
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.errors import RecoveryError
+from repro.recovery.base import RecoveryTechnique
+
+
+class ProcessPairs(RecoveryTechnique):
+    """Primary/backup process pair.
+
+    Args:
+        model: environmental side effects of failover (defaults to the
+            paper's assumptions: processes killed, state preserved).
+        max_attempts: failovers tolerated (primary->backup, then a fresh
+            backup, ...).
+    """
+
+    name = "process-pairs"
+
+    def __init__(
+        self,
+        model: RecoveryModel = PAPER_DEFAULT,
+        *,
+        max_attempts: int = 1,
+        downtime_seconds: float = 5.0,
+    ):
+        super().__init__(model, max_attempts=max_attempts, downtime_seconds=downtime_seconds)
+        self._backup_state: AppCheckpoint | None = None
+        self.failovers = 0
+
+    def checkpoint_message(self, app: MiniApplication) -> None:
+        """Send a state checkpoint from primary to backup."""
+        self._backup_state = app.snapshot()
+
+    def _do_prepare(self, app: MiniApplication) -> None:
+        self.checkpoint_message(app)
+
+    def _restore_state(self, app: MiniApplication, attempt: int) -> None:
+        if self._backup_state is None:
+            raise RecoveryError("backup never received a checkpoint")
+        self.failovers += 1
+        app.restore(self._backup_state)

@@ -1,0 +1,63 @@
+"""Progressive retry [Wang93].
+
+Escalating recovery: early attempts change as little as possible (replay
+with a fresh message/thread ordering only), later attempts apply the
+full environmental perturbation and wait longer.  The paper cites this
+as a technique that "increases the chance that an environment-dependent
+fault will experience a different operating environment ... during
+recovery" -- it never converts environment-independent faults.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApplication
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.envmodel.perturb import apply_recovery_perturbation
+from repro.recovery.base import RecoveryTechnique
+from repro.recovery.checkpoint import CheckpointStore
+
+
+class ProgressiveRetry(RecoveryTechnique):
+    """Checkpoint rollback with escalating perturbation.
+
+    Attempt 1 reorders events only (scheduler reseed); attempt 2 applies
+    the full recovery-model perturbation; later attempts also scale the
+    downtime, giving slow external conditions more time to clear.
+
+    Args:
+        model: side effects applied from attempt 2 onward.
+        max_attempts: total retry budget.
+    """
+
+    name = "progressive-retry"
+
+    def __init__(
+        self,
+        model: RecoveryModel = PAPER_DEFAULT,
+        *,
+        max_attempts: int = 4,
+        downtime_seconds: float = 30.0,
+    ):
+        super().__init__(model, max_attempts=max_attempts, downtime_seconds=downtime_seconds)
+        self.store = CheckpointStore()
+
+    def _do_prepare(self, app: MiniApplication) -> None:
+        self.store.take(app)
+
+    def _restore_state(self, app: MiniApplication, attempt: int) -> None:
+        app.restore(self.store.latest())
+
+    def _perturb_environment(self, app: MiniApplication, attempt: int) -> None:
+        if attempt <= 1:
+            # Step 1: replay with reordered events only.
+            app.env.reseed_scheduler()
+            app.env.clock.advance(1.0)
+            app.env.entropy.accumulate(1.0)
+            return
+        # Step 2+: full perturbation with escalating downtime.
+        apply_recovery_perturbation(
+            app.env,
+            self.model,
+            app.footprint,
+            downtime_seconds=self.downtime_seconds * (attempt - 1),
+        )

@@ -1,0 +1,58 @@
+"""Software rejuvenation [Huang95].
+
+"Software rejuvenation takes advantage of recovery code that is already
+present in the application, e.g. code to re-initialize the application's
+state" (Section 7).  It is therefore **application-specific**: it clears
+application-held leaks by reinitialising state and killing children --
+exactly what Apache's SIGHUP rejuvenation does -- but cannot fix external
+conditions like a full disk.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApplication
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.envmodel.perturb import apply_recovery_perturbation
+from repro.recovery.base import RecoveryTechnique
+
+
+class SoftwareRejuvenation(RecoveryTechnique):
+    """Reactive rejuvenation: reinitialise application state on failure.
+
+    Not application-generic: it relies on the application's own
+    reinitialisation code, so ``application_generic`` is False and the
+    replay report separates its results from the generic techniques.
+    """
+
+    name = "software-rejuvenation"
+    application_generic = False
+
+    def __init__(
+        self,
+        model: RecoveryModel = PAPER_DEFAULT,
+        *,
+        max_attempts: int = 2,
+        downtime_seconds: float = 10.0,
+    ):
+        super().__init__(model, max_attempts=max_attempts, downtime_seconds=downtime_seconds)
+        self.rejuvenations = 0
+
+    def _do_prepare(self, app: MiniApplication) -> None:
+        # Rejuvenation needs no captured redundancy: the application's
+        # own re-initialisation code is the redundancy.
+        return
+
+    def _restore_state(self, app: MiniApplication, attempt: int) -> None:
+        self.rejuvenations += 1
+        app.reset_fresh()
+
+    def _perturb_environment(self, app: MiniApplication, attempt: int) -> None:
+        # Rejuvenation kills children and releases everything the old
+        # incarnation held, regardless of the surrounding model.
+        app.footprint.release_everything(app.env)
+        apply_recovery_perturbation(
+            app.env,
+            self.model,
+            footprint=None,
+            downtime_seconds=self.downtime_seconds,
+        )

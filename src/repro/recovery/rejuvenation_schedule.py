@@ -1,0 +1,172 @@
+"""Proactive rejuvenation scheduling (Section 6.2, [Huang95]).
+
+Apache's HUP rejuvenation is the paper's example of an
+application-specific defence against leak-style
+environment-dependent-nontransient faults: restart before the leak
+crosses the failure threshold.  The knob is the rejuvenation interval —
+too long and the application crashes anyway; too short and planned
+downtime eats the availability the rejuvenation was meant to protect.
+
+:func:`simulate_rejuvenation_schedule` runs that tradeoff
+deterministically: a leak accumulates with the request load, an
+unplanned crash costs a full repair, a planned rejuvenation costs a
+short restart, and the result reports failures, downtime, and
+availability for a given interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RejuvenationPolicy:
+    """The rejuvenation schedule and its cost model.
+
+    Attributes:
+        interval_hours: time between proactive rejuvenations; ``None``
+            disables rejuvenation (the baseline).
+        rejuvenation_downtime_minutes: planned downtime per rejuvenation.
+        crash_repair_hours: unplanned downtime per leak-induced crash.
+    """
+
+    interval_hours: float | None
+    rejuvenation_downtime_minutes: float = 2.0
+    crash_repair_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval_hours is not None and self.interval_hours <= 0:
+            raise ValueError("interval_hours must be positive (or None)")
+        if self.rejuvenation_downtime_minutes < 0 or self.crash_repair_hours < 0:
+            raise ValueError("downtimes must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class LeakModel:
+    """How fast the application leaks toward failure.
+
+    Attributes:
+        leak_per_request: leaked units per served request.
+        failure_threshold: leaked units at which the application crashes.
+        requests_per_hour: request load.
+    """
+
+    leak_per_request: float = 1.0
+    failure_threshold: float = 10_000.0
+    requests_per_hour: float = 500.0
+
+    def __post_init__(self) -> None:
+        if min(self.leak_per_request, self.failure_threshold, self.requests_per_hour) <= 0:
+            raise ValueError("all leak-model parameters must be positive")
+
+    @property
+    def hours_to_failure(self) -> float:
+        """Uptime hours from a fresh start until the leak kills the app."""
+        return self.failure_threshold / (self.leak_per_request * self.requests_per_hour)
+
+
+@dataclasses.dataclass(frozen=True)
+class RejuvenationOutcome:
+    """The result of one simulated schedule.
+
+    Attributes:
+        duration_hours: simulated service lifetime.
+        crashes: unplanned leak-induced failures.
+        rejuvenations: planned restarts performed.
+        downtime_hours: total planned + unplanned downtime.
+    """
+
+    duration_hours: float
+    crashes: int
+    rejuvenations: int
+    downtime_hours: float
+
+    @property
+    def availability(self) -> float:
+        """Uptime fraction in [0, 1]."""
+        if self.duration_hours <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_hours / self.duration_hours)
+
+
+def simulate_rejuvenation_schedule(
+    policy: RejuvenationPolicy,
+    leak: LeakModel | None = None,
+    *,
+    duration_hours: float = 24.0 * 90,
+) -> RejuvenationOutcome:
+    """Simulate one rejuvenation schedule against one leak model.
+
+    The simulation walks virtual time: the leak accumulates while the
+    application is up; whichever comes first — the next scheduled
+    rejuvenation or the leak crossing the threshold — resets the leak
+    and charges its downtime.
+
+    Args:
+        policy: the schedule and cost model.
+        leak: the leak model (default: the module defaults).
+        duration_hours: simulated lifetime.
+    """
+    model = leak or LeakModel()
+    time_to_failure = model.hours_to_failure
+
+    clock = 0.0
+    crashes = 0
+    rejuvenations = 0
+    downtime = 0.0
+    next_rejuvenation = (
+        policy.interval_hours if policy.interval_hours is not None else float("inf")
+    )
+    uptime_since_restart = 0.0
+
+    while clock < duration_hours:
+        hours_until_crash = time_to_failure - uptime_since_restart
+        hours_until_rejuvenation = next_rejuvenation - clock
+        step = min(hours_until_crash, hours_until_rejuvenation, duration_hours - clock)
+        clock += step
+        uptime_since_restart += step
+        if clock >= duration_hours:
+            break
+        if hours_until_crash <= hours_until_rejuvenation:
+            crashes += 1
+            downtime += policy.crash_repair_hours
+            clock += policy.crash_repair_hours
+        else:
+            rejuvenations += 1
+            downtime += policy.rejuvenation_downtime_minutes / 60.0
+            clock += policy.rejuvenation_downtime_minutes / 60.0
+        uptime_since_restart = 0.0
+        if policy.interval_hours is not None:
+            next_rejuvenation = clock + policy.interval_hours
+
+    return RejuvenationOutcome(
+        duration_hours=duration_hours,
+        crashes=crashes,
+        rejuvenations=rejuvenations,
+        downtime_hours=min(downtime, duration_hours),
+    )
+
+
+def sweep_rejuvenation_interval(
+    intervals_hours: tuple[float | None, ...],
+    leak: LeakModel | None = None,
+    *,
+    rejuvenation_downtime_minutes: float = 2.0,
+    crash_repair_hours: float = 1.0,
+    duration_hours: float = 24.0 * 90,
+) -> list[tuple[float | None, RejuvenationOutcome]]:
+    """Sweep the rejuvenation interval, returning (interval, outcome) pairs.
+
+    ``None`` in ``intervals_hours`` runs the no-rejuvenation baseline.
+    """
+    results = []
+    for interval in intervals_hours:
+        policy = RejuvenationPolicy(
+            interval_hours=interval,
+            rejuvenation_downtime_minutes=rejuvenation_downtime_minutes,
+            crash_repair_hours=crash_repair_hours,
+        )
+        results.append(
+            (interval, simulate_rejuvenation_schedule(policy, leak, duration_hours=duration_hours))
+        )
+    return results

@@ -1,0 +1,43 @@
+"""Restart-from-scratch recovery.
+
+Restarting the application and losing all state is *not* truly generic
+recovery (Section 2 requires preserving all state; restart loses any
+in-flight work), but it is the most widely deployed baseline and it
+clears application-held leaks.  Included as the second comparison point.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApplication
+from repro.classify.recovery_model import RESTART_FRESH, RecoveryModel
+from repro.recovery.base import RecoveryTechnique
+
+
+class RestartFresh(RecoveryTechnique):
+    """Kill the application and start a fresh instance.
+
+    Args:
+        model: defaults to
+            :data:`~repro.classify.recovery_model.RESTART_FRESH`
+            (state not preserved).
+    """
+
+    name = "restart-fresh"
+    application_generic = False  # it loses state, so it is not equivalent
+
+    def __init__(
+        self,
+        model: RecoveryModel = RESTART_FRESH,
+        *,
+        max_attempts: int = 2,
+        downtime_seconds: float = 20.0,
+    ):
+        super().__init__(model, max_attempts=max_attempts, downtime_seconds=downtime_seconds)
+        self.restarts = 0
+
+    def _do_prepare(self, app: MiniApplication) -> None:
+        return
+
+    def _restore_state(self, app: MiniApplication, attempt: int) -> None:
+        self.restarts += 1
+        app.reset_fresh()

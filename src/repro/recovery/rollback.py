@@ -1,0 +1,48 @@
+"""Checkpoint/rollback-retry recovery [Elnozahy99, Huang93].
+
+Periodically checkpoint all application state; on failure, roll back to
+the latest checkpoint and re-execute.  Multiple retries are standard;
+each retry re-encounters the environment as recovery left it.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApplication
+from repro.classify.recovery_model import PAPER_DEFAULT, RecoveryModel
+from repro.recovery.base import RecoveryTechnique
+from repro.recovery.checkpoint import CheckpointStore
+
+
+class CheckpointRollback(RecoveryTechnique):
+    """Rollback-recovery from a checkpoint store.
+
+    Args:
+        model: environmental side effects of a recovery attempt.
+        max_attempts: rollback-retry budget.
+        checkpoint_capacity: checkpoints retained.
+    """
+
+    name = "checkpoint-rollback"
+
+    def __init__(
+        self,
+        model: RecoveryModel = PAPER_DEFAULT,
+        *,
+        max_attempts: int = 3,
+        downtime_seconds: float = 30.0,
+        checkpoint_capacity: int = 4,
+    ):
+        super().__init__(model, max_attempts=max_attempts, downtime_seconds=downtime_seconds)
+        self.store = CheckpointStore(capacity=checkpoint_capacity)
+        self.rollbacks = 0
+
+    def checkpoint(self, app: MiniApplication) -> None:
+        """Take a periodic checkpoint."""
+        self.store.take(app)
+
+    def _do_prepare(self, app: MiniApplication) -> None:
+        self.store.take(app)
+
+    def _restore_state(self, app: MiniApplication, attempt: int) -> None:
+        self.rollbacks += 1
+        app.restore(self.store.latest())

@@ -1,0 +1,53 @@
+"""Plain-text figure rendering: stacked horizontal bars for Figures 1-3."""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import FigureSeries
+from repro.bugdb.enums import FaultClass
+
+#: One glyph per class, in stacking order.
+_GLYPHS = {
+    FaultClass.ENV_INDEPENDENT: "#",
+    FaultClass.ENV_DEP_NONTRANSIENT: "o",
+    FaultClass.ENV_DEP_TRANSIENT: "+",
+}
+
+
+def render_figure(series: FigureSeries, *, width: int = 40) -> str:
+    """Render a stacked-bar chart of a fault distribution.
+
+    Args:
+        series: the distribution to draw.
+        width: bar width (in characters) of the largest bucket.
+
+    Returns:
+        A multi-line string: title, legend, one bar per bucket with its
+        total and environment-independent share.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    totals = series.totals()
+    peak = max(totals) if totals else 0
+    label_width = max((len(label) for label in series.labels), default=0)
+
+    lines = [series.title]
+    legend = "  ".join(
+        f"{glyph} {fault_class.value}" for fault_class, glyph in _GLYPHS.items()
+    )
+    lines.append(f"legend: {legend}")
+    for index, label in enumerate(series.labels):
+        bar = ""
+        for fault_class, glyph in _GLYPHS.items():
+            count = series.counts[fault_class][index]
+            cells = round(count / peak * width) if peak else 0
+            # Every non-zero class gets at least one glyph.
+            if count > 0 and cells == 0:
+                cells = 1
+            bar += glyph * cells
+        total = totals[index]
+        share = series.env_independent_fraction(index)
+        lines.append(
+            f"{label.rjust(label_width)} |{bar.ljust(width)}| "
+            f"n={total:<3d} env-indep={share:.0%}"
+        )
+    return "\n".join(lines)

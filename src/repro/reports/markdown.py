@@ -1,0 +1,32 @@
+"""Markdown rendering (for EXPERIMENTS.md-style output)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import ClassificationTable
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table.
+
+    Raises:
+        ValueError: if a row's width differs from the header's.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(str(cell) for cell in row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def markdown_classification_table(table: ClassificationTable) -> str:
+    """Render a Table 1/2/3-style classification table in markdown."""
+    rows: list[list[object]] = [[name, count] for name, count in table.rows()]
+    rows.append(["**total**", f"**{table.total}**"])
+    heading = f"**Classification of faults for {table.application.display_name}**"
+    return heading + "\n\n" + markdown_table(["Class", "# Faults"], rows)

@@ -1,0 +1,58 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import ClassificationTable
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an ASCII table with column alignment.
+
+    Args:
+        headers: column headers.
+        rows: row cell values (stringified).
+        title: optional title line above the table.
+
+    Raises:
+        ValueError: if a row's width differs from the header's.
+    """
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [
+        max(len(str(headers[column])), *(len(row[column]) for row in string_rows))
+        if string_rows
+        else len(str(headers[column]))
+        for column in range(len(headers))
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt([str(header) for header in headers]))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def render_classification_table(table: ClassificationTable) -> str:
+    """Render a Table 1/2/3-style classification table."""
+    rows = [[name, count] for name, count in table.rows()]
+    rows.append(["total", table.total])
+    return format_table(
+        ["Class", "# Faults"],
+        rows,
+        title=f"Classification of faults for {table.application.display_name}",
+    )

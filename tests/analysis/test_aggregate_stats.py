@@ -1,0 +1,157 @@
+"""Tests for aggregate numbers, statistics, and the Lee & Iyer model."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_summary
+from repro.analysis.distributions import release_distribution
+from repro.analysis.leeiyer import LeeIyerReconciliation, lee_iyer_reconciliation
+from repro.analysis.stats import proportion_invariance_chi2, wilson_interval
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.apache import RELEASES as APACHE_RELEASES
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+class TestAggregateSection54:
+    def test_139_faults(self, study):
+        summary = aggregate_summary(study)
+        assert summary.total_faults == 139
+
+    def test_14_nontransient_10_percent(self, study):
+        summary = aggregate_summary(study)
+        assert summary.counts[EDN] == 14
+        assert round(summary.fraction(EDN) * 100) == 10
+
+    def test_12_transient_9_percent(self, study):
+        summary = aggregate_summary(study)
+        assert summary.counts[EDT] == 12
+        assert round(summary.fraction(EDT) * 100) == 9
+
+    def test_abstract_ranges(self, study):
+        summary = aggregate_summary(study)
+        ei_low, ei_high = summary.fraction_range(EI)
+        assert round(ei_low * 100) == 72
+        assert round(ei_high * 100) == 87
+        edt_low, edt_high = summary.fraction_range(EDT)
+        assert round(edt_low * 100) == 5
+        assert round(edt_high * 100) == 14
+
+    def test_generic_recovery_upper_bound(self, study):
+        summary = aggregate_summary(study)
+        assert summary.generic_recovery_upper_bound == 12 / 139
+
+    def test_per_application_fractions(self, study):
+        summary = aggregate_summary(study)
+        assert summary.app_fraction(Application.APACHE, EI) == 36 / 50
+        assert summary.app_fraction(Application.MYSQL, EDT) == 2 / 44
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(12, 139)
+        assert low < 12 / 139 < high
+
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_all_successes(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low < 1.0
+
+    def test_zero_total_is_uninformative(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrower_with_more_data(self):
+        low_small, high_small = wilson_interval(5, 50)
+        low_big, high_big = wilson_interval(50, 500)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+
+    def test_known_value(self):
+        # Wilson 95% interval for 8/10 is approximately (0.490, 0.943).
+        low, high = wilson_interval(8, 10)
+        assert math.isclose(low, 0.490, abs_tol=0.005)
+        assert math.isclose(high, 0.943, abs_tol=0.005)
+
+
+class TestChi2Invariance:
+    def test_apache_proportions_invariant(self, apache):
+        order = tuple(version for version, _ in APACHE_RELEASES)
+        series = release_distribution(apache, release_order=order)
+        result = proportion_invariance_chi2(series)
+        assert result.invariant_at_5pct
+        assert result.degrees_of_freedom == len(order) - 1
+
+    def test_statistic_zero_for_identical_buckets(self, apache):
+        order = tuple(version for version, _ in APACHE_RELEASES)
+        series = release_distribution(apache, release_order=order)
+        result = proportion_invariance_chi2(series)
+        assert result.statistic >= 0.0
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_needs_two_buckets(self, apache):
+        series = release_distribution(apache, release_order=("1.2.4",) + tuple(
+            v for v, _ in APACHE_RELEASES if v != "1.2.4"
+        ))
+        # Collapse everything into a single usable bucket.
+        with pytest.raises(ValueError, match="two non-empty buckets"):
+            proportion_invariance_chi2(series, min_bucket_total=50)
+
+    def test_p_value_agrees_with_scipy(self, apache):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        order = tuple(version for version, _ in APACHE_RELEASES)
+        series = release_distribution(apache, release_order=order)
+        result = proportion_invariance_chi2(series)
+        expected = scipy_stats.chi2.sf(result.statistic, result.degrees_of_freedom)
+        assert math.isclose(result.p_value, expected, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestLeeIyer:
+    def test_published_endpoints(self):
+        reconciliation = lee_iyer_reconciliation()
+        assert reconciliation.reported_recovery_rate == 0.82
+        assert math.isclose(reconciliation.purely_generic_rate, 0.29, abs_tol=1e-12)
+
+    def test_steps_are_monotonically_decreasing(self):
+        steps = lee_iyer_reconciliation().steps()
+        rates = [rate for _, rate in steps]
+        assert rates == sorted(rates, reverse=True)
+        assert len(steps) == 4
+
+    def test_residual_gap_explanations(self):
+        explanations = lee_iyer_reconciliation().residual_gap_explanations()
+        assert len(explanations) == 2
+        assert any("tested more thoroughly" in text for text in explanations)
+        assert any("hardware" in text for text in explanations)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            LeeIyerReconciliation(reported_recovery_rate=1.5)
+
+    def test_generic_rate_floors_at_zero(self):
+        reconciliation = LeeIyerReconciliation(
+            reported_recovery_rate=0.2,
+            app_specific_state_share=0.3,
+        )
+        assert reconciliation.purely_generic_rate == 0.0
+
+    def test_still_above_this_studys_range(self, study):
+        # 29% > 5-14%: the residual gap the paper attributes to Tandem's
+        # testing rigour and OS-hardware coupling.
+        from repro.analysis.aggregate import aggregate_summary
+
+        summary = aggregate_summary(study)
+        _, edt_high = summary.fraction_range(FaultClass.ENV_DEP_TRANSIENT)
+        assert lee_iyer_reconciliation().purely_generic_rate > edt_high

@@ -1,0 +1,63 @@
+"""Tests for the bootstrap resampling analysis."""
+
+import pytest
+
+from repro.analysis.bootstrap import (
+    bootstrap_all_corpora,
+    bootstrap_class_fraction,
+)
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.synthetic import synthetic_corpus
+
+EI = FaultClass.ENV_INDEPENDENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+class TestBootstrapInterval:
+    def test_contains_point_estimate(self, apache):
+        interval = bootstrap_class_fraction(apache, EI, resamples=500)
+        assert interval.point_estimate == 36 / 50
+        assert interval.contains(interval.point_estimate)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_deterministic_for_seed(self, apache):
+        first = bootstrap_class_fraction(apache, EDT, resamples=300, seed=9)
+        second = bootstrap_class_fraction(apache, EDT, resamples=300, seed=9)
+        assert first == second
+
+    def test_interval_narrows_with_confidence(self, apache):
+        wide = bootstrap_class_fraction(apache, EI, resamples=800, confidence=0.99)
+        narrow = bootstrap_class_fraction(apache, EI, resamples=800, confidence=0.5)
+        assert narrow.width <= wide.width
+
+    def test_degenerate_all_one_class(self):
+        corpus = synthetic_corpus(
+            Application.APACHE, env_independent=20, nontransient=0, transient=0
+        )
+        interval = bootstrap_class_fraction(corpus, EI, resamples=200)
+        assert interval.low == interval.high == 1.0
+
+    def test_invalid_parameters(self, apache):
+        with pytest.raises(ValueError):
+            bootstrap_class_fraction(apache, EI, resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_class_fraction(apache, EI, confidence=1.5)
+
+
+class TestStudyWideBootstrap:
+    def test_paper_ranges_inside_bootstrap_intervals(self, study):
+        """Each application's transient fraction is a stable estimate:
+        the observed value sits inside its own 95% interval, and the
+        intervals are wide -- the paper's 5-14% spread is well within
+        sampling noise of a common underlying rate."""
+        intervals = bootstrap_all_corpora(
+            list(study.corpora.values()), EDT, resamples=800
+        )
+        assert set(intervals) == {"apache", "gnome", "mysql"}
+        for interval in intervals.values():
+            assert interval.contains(interval.point_estimate)
+        # Pairwise overlap: no application is a statistical outlier.
+        values = list(intervals.values())
+        for left in values:
+            for right in values:
+                assert left.low <= right.high

@@ -1,0 +1,100 @@
+"""Tests for the Figure 1-3 distributions."""
+
+import pytest
+
+from repro.analysis.distributions import release_distribution, time_distribution
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.apache import RELEASES as APACHE_RELEASES
+from repro.corpus.mysql import RELEASES as MYSQL_RELEASES
+from repro.corpus.synthetic import synthetic_corpus
+
+EI = FaultClass.ENV_INDEPENDENT
+
+
+def apache_release_order():
+    return tuple(version for version, _ in APACHE_RELEASES)
+
+
+class TestFigure1Apache:
+    def test_buckets_cover_all_faults(self, apache):
+        series = release_distribution(apache, release_order=apache_release_order())
+        assert sum(series.totals()) == 50
+
+    def test_totals_grow_with_newer_releases(self, apache):
+        # The paper: "the total number of bugs reported increases with
+        # newer releases of software."
+        totals = release_distribution(apache, release_order=apache_release_order()).totals()
+        assert totals[0] < totals[-1]
+        assert all(b >= a for a, b in zip(totals, totals[1:]))
+
+    def test_env_independent_proportion_roughly_constant(self, apache):
+        series = release_distribution(apache, release_order=apache_release_order())
+        fractions = series.fractions()
+        assert max(fractions) - min(fractions) < 0.25
+
+    def test_unknown_release_rejected(self, apache):
+        with pytest.raises(ValueError, match="outside release_order"):
+            release_distribution(apache, release_order=("9.9.9",))
+
+    def test_default_order_is_first_appearance(self, apache):
+        series = release_distribution(apache)
+        assert set(series.labels) == set(apache.versions())
+
+
+class TestFigure2Gnome:
+    def test_monthly_buckets_cover_all_faults(self, gnome):
+        series = time_distribution(gnome, granularity="month")
+        assert sum(series.totals()) == 45
+
+    def test_dip_then_rise(self, gnome):
+        # The paper: "GNOME shows a decrease in the number of faults
+        # reported for a short interval before increasing again."
+        totals = time_distribution(gnome, granularity="month").totals()
+        trough = min(totals)
+        trough_index = totals.index(trough)
+        assert 0 < trough_index < len(totals) - 1
+        assert max(totals[trough_index:]) > trough
+
+    def test_env_independent_share_high_everywhere(self, gnome):
+        series = time_distribution(gnome, granularity="quarter")
+        for index in range(len(series.labels)):
+            assert series.env_independent_fraction(index) >= 0.75
+
+    def test_quarter_labels(self, gnome):
+        series = time_distribution(gnome, granularity="quarter")
+        assert all("Q" in label for label in series.labels)
+        assert list(series.labels) == sorted(series.labels)
+
+    def test_unknown_granularity(self, gnome):
+        with pytest.raises(ValueError, match="granularity"):
+            time_distribution(gnome, granularity="fortnight")
+
+
+class TestFigure3Mysql:
+    def test_buckets_cover_all_faults(self, mysql):
+        order = tuple(version for version, _ in MYSQL_RELEASES)
+        series = release_distribution(mysql, release_order=order)
+        assert sum(series.totals()) == 44
+
+    def test_last_release_substantially_lower(self, mysql):
+        # The paper: "The last release has a substantially lower number of
+        # faults because the release is very new."
+        order = tuple(version for version, _ in MYSQL_RELEASES)
+        totals = release_distribution(mysql, release_order=order).totals()
+        assert totals[-1] < totals[-2] / 2
+
+    def test_growth_before_last_release(self, mysql):
+        order = tuple(version for version, _ in MYSQL_RELEASES)
+        totals = release_distribution(mysql, release_order=order).totals()
+        assert all(b >= a for a, b in zip(totals[:-1], totals[1:-1]))
+
+
+class TestFigureSeries:
+    def test_fraction_of_empty_bucket_is_zero(self):
+        corpus = synthetic_corpus(
+            Application.APACHE, env_independent=2, nontransient=0, transient=0,
+            versions=("1.0",),
+        )
+        series = release_distribution(corpus, release_order=("1.0", "2.0"))
+        assert series.total(1) == 0
+        assert series.env_independent_fraction(1) == 0.0

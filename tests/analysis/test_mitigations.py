@@ -1,0 +1,90 @@
+"""Tests for the Section 6 mitigation mapping."""
+
+from repro.analysis.mitigations import (
+    MitigationKind,
+    assess_fault,
+    assess_study,
+)
+from repro.bugdb.enums import FaultClass, TriggerKind
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+class TestAssessFault:
+    def test_env_independent_gets_prevention_only(self, apache):
+        fault = next(f for f in apache.faults if f.fault_class is EI)
+        assessment = assess_fault(fault)
+        assert MitigationKind.INSPECTION_AND_TESTING in assessment.mitigations
+        assert MitigationKind.PROCESS_PAIRS not in assessment.mitigations
+        assert not assessment.survivable_without_code_change
+
+    def test_overflow_bug_suggests_type_safety(self, apache):
+        # "dies with a segfault when the submitted URL is very long" was
+        # an overflow; Section 6.1 names Java/Purify for exactly this.
+        fault = next(f for f in apache.faults if "overflow" in f.description)
+        assessment = assess_fault(fault)
+        assert MitigationKind.TYPE_SAFE_LANGUAGE in assessment.mitigations
+        assert MitigationKind.MEMORY_TOOLS in assessment.mitigations
+
+    def test_platform_bug_suggests_standard_libraries(self, apache):
+        fault = next(f for f in apache.faults if "Solaris" in f.description)
+        assert MitigationKind.STANDARD_LIBRARIES in assess_fault(fault).mitigations
+
+    def test_fd_exhaustion_growable_and_reclaimable(self, apache):
+        fault = next(
+            f for f in apache.faults
+            if f.trigger is TriggerKind.FILE_DESCRIPTOR_EXHAUSTION
+        )
+        assessment = assess_fault(fault)
+        assert MitigationKind.GROW_RESOURCE in assessment.mitigations
+        assert MitigationKind.RECLAIM_RESOURCE in assessment.mitigations
+        assert assessment.survivable_without_code_change
+
+    def test_hardware_removal_is_admin_only(self, apache):
+        fault = next(f for f in apache.faults if f.trigger is TriggerKind.HARDWARE_REMOVAL)
+        assessment = assess_fault(fault)
+        assert assessment.mitigations == (MitigationKind.ADMINISTRATOR_ACTION,)
+
+    def test_transient_faults_get_process_pairs(self, mysql):
+        fault = next(f for f in mysql.faults if f.fault_class is EDT)
+        assessment = assess_fault(fault)
+        assert MitigationKind.PROCESS_PAIRS in assessment.mitigations
+
+    def test_race_gets_environment_change_inducement(self, gnome):
+        fault = next(f for f in gnome.faults if f.trigger is TriggerKind.RACE_CONDITION)
+        assert (
+            MitigationKind.ENVIRONMENT_CHANGE_INDUCEMENT
+            in assess_fault(fault).mitigations
+        )
+
+    def test_leak_gets_rejuvenation(self, apache):
+        fault = next(f for f in apache.faults if f.trigger is TriggerKind.RESOURCE_LEAK)
+        assert MitigationKind.REJUVENATION in assess_fault(fault).mitigations
+
+
+class TestAssessStudy:
+    def test_every_fault_assessed_with_a_mitigation(self, study):
+        coverage = assess_study(study)
+        assert coverage.total == 139
+        assert all(assessment.mitigations for assessment in coverage.assessments)
+
+    def test_generic_recovery_coverage_equals_transient_share(self, study):
+        coverage = assess_study(study)
+        assert coverage.generic_recovery_coverage() == 12 / 139
+
+    def test_prevention_only_count_is_env_independent(self, study):
+        # Exactly the environment-independent faults have no runtime
+        # technique -- the paper's "no easy or general technique" claim.
+        coverage = assess_study(study)
+        assert coverage.prevention_only_count() == 113
+
+    def test_counts_by_mitigation_consistency(self, study):
+        coverage = assess_study(study)
+        counts = coverage.counts_by_mitigation()
+        assert counts[MitigationKind.INSPECTION_AND_TESTING] == 113
+        assert counts[MitigationKind.PROCESS_PAIRS] == 12
+        assert sum(counts.values()) == sum(
+            len(assessment.mitigations) for assessment in coverage.assessments
+        )

@@ -1,0 +1,54 @@
+"""Tests for the Section 7 related-work comparison."""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_summary
+from repro.analysis.related import (
+    PRIOR_STUDIES,
+    PriorStudy,
+    related_work_comparison,
+)
+
+
+class TestPriorStudy:
+    def test_published_ranges(self):
+        by_name = {study.name: study for study in PRIOR_STUDIES}
+        sullivan = by_name["Sullivan91/92"]
+        assert (sullivan.transient_low, sullivan.transient_high) == (0.05, 0.13)
+        lee = by_name["Lee93"]
+        assert lee.transient_low == lee.transient_high == 0.14
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            PriorStudy(name="x", systems="y", transient_low=0.5, transient_high=0.2, notes="")
+
+    def test_overlap(self):
+        study = PriorStudy(name="x", systems="y", transient_low=0.1, transient_high=0.2, notes="")
+        assert study.overlaps(0.15, 0.3)
+        assert study.overlaps(0.2, 0.2)
+        assert not study.overlaps(0.25, 0.3)
+
+
+class TestComparison:
+    def test_this_study_range_from_aggregate(self, study):
+        comparison = related_work_comparison(aggregate_summary(study))
+        assert round(comparison.this_study_low * 100) == 5
+        assert round(comparison.this_study_high * 100) == 14
+
+    def test_all_prior_studies_consistent(self, study):
+        # The paper: prior studies "support our conclusion".
+        comparison = related_work_comparison(aggregate_summary(study))
+        assert comparison.all_consistent()
+
+    def test_rows_include_this_study_last(self, study):
+        rows = related_work_comparison(aggregate_summary(study)).rows()
+        assert len(rows) == len(PRIOR_STUDIES) + 1
+        assert rows[-1][0].startswith("this study")
+        assert rows[-1][1] == "Apache, GNOME, MySQL"
+
+    def test_inconsistent_study_detected(self, study):
+        comparison = related_work_comparison(aggregate_summary(study))
+        outlier = PriorStudy(
+            name="outlier", systems="z", transient_low=0.8, transient_high=0.9, notes=""
+        )
+        assert not comparison.consistent_with(outlier)

@@ -1,0 +1,52 @@
+"""Tests for classification tables (Tables 1-3)."""
+
+from repro.analysis.tables import classification_table, classify_and_tabulate
+from repro.bugdb.enums import Application, FaultClass
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+class TestClassificationTable:
+    def test_table_1_apache(self, apache):
+        table = classification_table(apache)
+        assert table.counts == {EI: 36, EDN: 7, EDT: 7}
+        assert table.total == 50
+        assert table.matches({EI: 36, EDN: 7, EDT: 7})
+
+    def test_table_2_gnome(self, gnome):
+        table = classification_table(gnome)
+        assert table.matches({EI: 39, EDN: 3, EDT: 3})
+
+    def test_table_3_mysql(self, mysql):
+        table = classification_table(mysql)
+        assert table.matches({EI: 38, EDN: 4, EDT: 2})
+
+    def test_fractions(self, apache):
+        table = classification_table(apache)
+        assert table.fraction(EI) == 36 / 50
+        assert abs(sum(table.fraction(c) for c in FaultClass) - 1.0) < 1e-12
+
+    def test_rows_in_paper_order(self, apache):
+        rows = classification_table(apache).rows()
+        assert [name for name, _ in rows] == [
+            "environment-independent",
+            "environment-dependent-nontransient",
+            "environment-dependent-transient",
+        ]
+
+    def test_matches_rejects_wrong_counts(self, apache):
+        assert not classification_table(apache).matches({EI: 35, EDN: 8, EDT: 7})
+
+
+class TestClassifyAndTabulate:
+    def test_tabulates_from_text(self, apache):
+        reports = apache.to_reports(attach_evidence=False)
+        table = classify_and_tabulate(Application.APACHE, reports)
+        assert table.matches({EI: 36, EDN: 7, EDT: 7})
+
+    def test_empty_reports(self):
+        table = classify_and_tabulate(Application.APACHE, [])
+        assert table.total == 0
+        assert table.fraction(EI) == 0.0

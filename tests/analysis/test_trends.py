@@ -1,0 +1,93 @@
+"""Tests for the figure trend statistics."""
+
+from repro.analysis.distributions import release_distribution, time_distribution
+from repro.analysis.trends import (
+    dip_analysis,
+    growth_trend,
+    last_release_outlier_ratio,
+)
+from repro.corpus.apache import RELEASES as APACHE_RELEASES
+from repro.corpus.mysql import RELEASES as MYSQL_RELEASES
+
+
+def apache_series(apache):
+    return release_distribution(
+        apache, release_order=tuple(v for v, _ in APACHE_RELEASES)
+    )
+
+
+def mysql_series(mysql):
+    return release_distribution(
+        mysql, release_order=tuple(v for v, _ in MYSQL_RELEASES)
+    )
+
+
+class TestGrowthTrend:
+    def test_apache_totals_grow(self, apache):
+        trend = growth_trend(apache_series(apache))
+        assert trend.is_growing
+        assert trend.slope > 0
+        assert trend.kendall_tau > 0.5
+
+    def test_mysql_grows_once_new_release_discounted(self, mysql):
+        series = mysql_series(mysql)
+        with_last = growth_trend(series)
+        without_last = growth_trend(series, drop_last=True)
+        # The brand-new release drags the naive trend down.
+        assert without_last.kendall_tau > with_last.kendall_tau
+        assert without_last.is_growing
+
+    def test_constant_series_is_not_growing(self, apache):
+        series = apache_series(apache)
+        flat = type(series)(
+            title="flat",
+            labels=("a", "b", "c"),
+            counts={k: (2, 2, 2) for k in series.counts},
+        )
+        trend = growth_trend(flat)
+        assert trend.slope == 0.0
+        assert not trend.is_growing
+
+    def test_single_bucket_trend_is_flat(self, apache):
+        series = apache_series(apache)
+        single = type(series)(
+            title="one",
+            labels=("a",),
+            counts={k: (5,) for k in series.counts},
+        )
+        assert growth_trend(single).slope == 0.0
+
+
+class TestDipAnalysis:
+    def test_gnome_monthly_dip(self, gnome):
+        series = time_distribution(gnome, granularity="month")
+        dip = dip_analysis(series)
+        assert dip.has_interior_dip
+        assert dip.trough_value == min(series.totals())
+        assert dip.recovery_peak > dip.trough_value
+
+    def test_monotone_series_has_no_interior_dip(self, apache):
+        dip = dip_analysis(apache_series(apache))
+        assert not dip.has_interior_dip
+
+    def test_empty_series(self, apache):
+        series = apache_series(apache)
+        empty = type(series)(title="none", labels=(), counts={k: () for k in series.counts})
+        assert not dip_analysis(empty).has_interior_dip
+
+
+class TestLastReleaseOutlier:
+    def test_mysql_new_release_is_an_outlier(self, mysql):
+        ratio = last_release_outlier_ratio(mysql_series(mysql))
+        assert ratio < 0.5
+
+    def test_apache_last_release_is_not(self, apache):
+        ratio = last_release_outlier_ratio(apache_series(apache))
+        assert ratio > 1.0  # 1.3.4 has the most reports
+
+    def test_degenerate_series(self, apache):
+        series = apache_series(apache)
+        single = type(series)(
+            title="one", labels=("a",), counts={k: (5,) for k in series.counts}
+        )
+        assert last_release_outlier_ratio(single) == 1.0

@@ -1,0 +1,116 @@
+"""Tests for the mini-application base machinery."""
+
+import pytest
+
+from repro.apps.base import MiniApplication
+from repro.envmodel.environment import Environment, EnvironmentSpec
+from repro.errors import ResourceExhaustedError
+
+
+class CounterApp(MiniApplication):
+    """A trivial application that counts its operations."""
+
+    def _init_state(self):
+        self.state.setdefault("count", 0)
+
+    def _do_op(self, op):
+        self.state["count"] += 1
+        return self.state["count"]
+
+
+def make_app(**spec_kwargs):
+    env = Environment(spec=EnvironmentSpec(**spec_kwargs)) if spec_kwargs else Environment()
+    return CounterApp(env, name="counter")
+
+
+class TestStateLifecycle:
+    def test_snapshot_restore_round_trip(self):
+        app = make_app()
+        app.run_op("x")
+        app.run_op("x")
+        checkpoint = app.snapshot()
+        app.run_op("x")
+        assert app.state["count"] == 3
+        app.restore(checkpoint)
+        assert app.state["count"] == 2
+
+    def test_snapshot_is_deep(self):
+        app = make_app()
+        app.state["nested"] = {"list": [1, 2]}
+        checkpoint = app.snapshot()
+        app.state["nested"]["list"].append(3)
+        app.restore(checkpoint)
+        assert app.state["nested"]["list"] == [1, 2]
+
+    def test_restore_clears_crashed_flag(self):
+        app = make_app()
+        checkpoint = app.snapshot()
+        app.crashed = True
+        app.restore(checkpoint)
+        assert not app.crashed
+
+    def test_reset_fresh_reinitialises(self):
+        app = make_app()
+        app.run_op("x")
+        app.reset_fresh()
+        assert app.state == {"count": 0}
+
+    def test_reset_fresh_adopts_current_hostname(self):
+        app = make_app()
+        app.env.change_hostname("new.example.com")
+        app.reset_fresh()
+        assert app.boot_hostname == "new.example.com"
+
+    def test_restore_keeps_boot_hostname(self):
+        app = make_app()
+        checkpoint = app.snapshot()
+        app.env.change_hostname("new.example.com")
+        app.restore(checkpoint)
+        assert app.boot_hostname == "server.example.com"
+
+
+class TestEnvironmentFootprint:
+    def test_descriptor_accounting(self):
+        app = make_app(file_descriptors=4)
+        app.open_descriptor()
+        app.open_descriptor(leaked=True)
+        assert app.footprint.descriptors == 2
+        assert app.footprint.leaked_descriptors == 1
+        assert app.env.file_descriptors.in_use == 2
+        app.close_descriptor()
+        assert app.footprint.descriptors == 1
+
+    def test_cannot_close_leaked_descriptor(self):
+        app = make_app()
+        app.open_descriptor(leaked=True)
+        with pytest.raises(ValueError, match="no live descriptor"):
+            app.close_descriptor()
+
+    def test_descriptor_exhaustion_propagates(self):
+        app = make_app(file_descriptors=1)
+        app.open_descriptor()
+        with pytest.raises(ResourceExhaustedError):
+            app.open_descriptor()
+
+    def test_fork_and_reap(self):
+        app = make_app(process_slots=2)
+        app.fork_child()
+        app.fork_child()
+        assert app.env.process_table.exhausted
+        app.reap_child()
+        assert app.footprint.process_slots == 1
+
+    def test_reap_without_children_rejected(self):
+        with pytest.raises(ValueError, match="no child"):
+            make_app().reap_child()
+
+    def test_bind_and_release_port(self):
+        app = make_app(network_ports=1)
+        app.bind_port()
+        assert app.env.ports.exhausted
+        app.release_port()
+        assert app.env.ports.in_use == 0
+
+    def test_release_port_without_binding_rejected(self):
+        with pytest.raises(ValueError, match="no port"):
+            make_app().release_port()

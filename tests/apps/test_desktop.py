@@ -1,0 +1,94 @@
+"""Tests for the mini desktop session."""
+
+import pytest
+
+from repro.apps.desktop import MiniDesktop
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash, SimulationError
+
+
+@pytest.fixture
+def desktop():
+    return MiniDesktop(Environment())
+
+
+class TestPanel:
+    def test_add_and_dispatch(self, desktop):
+        desktop.add_applet("clock")
+        desktop.dispatch_event("clock")
+        assert desktop.state["events_handled"] == 1
+
+    def test_duplicate_applet_rejected(self, desktop):
+        desktop.add_applet("clock")
+        with pytest.raises(SimulationError, match="already present"):
+            desktop.add_applet("clock")
+
+    def test_remove_applet(self, desktop):
+        desktop.add_applet("clock")
+        desktop.remove_applet("clock")
+        with pytest.raises(SimulationError, match="destroyed applet"):
+            desktop.dispatch_event("clock")
+
+    def test_remove_unknown_applet(self, desktop):
+        with pytest.raises(SimulationError, match="no such applet"):
+            desktop.remove_applet("ghost")
+
+
+class TestWindows:
+    def test_open_and_close(self, desktop):
+        desktop.open_window("editor")
+        assert desktop.state["windows"] == ["editor"]
+        assert desktop.env.file_descriptors.in_use == 1
+        desktop.close_window("editor")
+        assert desktop.env.file_descriptors.in_use == 0
+
+    def test_hostname_change_breaks_new_windows(self, desktop):
+        desktop.open_window("before")
+        desktop.env.change_hostname("renamed.example.com")
+        with pytest.raises(ApplicationCrash) as excinfo:
+            desktop.open_window("after")
+        assert excinfo.value.fault_id == "display-auth-failure"
+
+    def test_fresh_restart_adopts_new_hostname(self, desktop):
+        desktop.env.change_hostname("renamed.example.com")
+        desktop.reset_fresh()
+        desktop.open_window("works-now")
+
+    def test_close_unknown_window(self, desktop):
+        with pytest.raises(SimulationError, match="no such window"):
+            desktop.close_window("ghost")
+
+
+class TestSoundAndFiles:
+    def test_sound_event_normally_closes_socket(self, desktop):
+        desktop.play_sound_event()
+        assert desktop.env.file_descriptors.in_use == 0
+
+    def test_leaky_sound_utility(self, desktop):
+        for _ in range(5):
+            desktop.play_sound_event(utility_leaks_socket=True)
+        assert desktop.env.file_descriptors.in_use == 5
+        assert desktop.footprint.leaked_descriptors == 5
+
+    def test_property_editor_on_clean_file(self, desktop):
+        desktop.edit_file_properties("normal-file")
+        assert desktop.state["events_handled"] == 1
+
+    def test_property_editor_on_corrupt_owner(self, desktop):
+        desktop.env.disk.write("file-with-illegal-owner", 1)
+        with pytest.raises(ApplicationCrash) as excinfo:
+            desktop.edit_file_properties("file-with-illegal-owner")
+        assert excinfo.value.fault_id == "illegal-owner-field"
+
+
+class TestOps:
+    def test_applet_action_op_bootstraps_applet(self, desktop):
+        desktop.run_op("applet-action")
+        assert "clock" in desktop.state["applets"]
+
+    def test_open_window_op(self, desktop):
+        desktop.run_op("open-window")
+        assert desktop.state["windows"] == ["untitled"]
+
+    def test_unknown_op_noop(self, desktop):
+        assert desktop.run_op("mystery") is None

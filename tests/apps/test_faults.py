@@ -1,0 +1,206 @@
+"""Tests for fault injection."""
+
+import datetime
+
+import pytest
+
+from repro.apps.base import MiniApplication
+from repro.apps.faults import FaultInjector, InjectedDefect
+from repro.bugdb.enums import Application, FaultClass, Symptom, TriggerKind
+from repro.classify.recovery_model import PAPER_DEFAULT
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.environment import Environment, EnvironmentSpec
+from repro.envmodel.perturb import apply_recovery_perturbation
+from repro.errors import ApplicationCrash, ApplicationHang
+
+
+class PlainApp(MiniApplication):
+    pass
+
+
+def make_fault(trigger, fault_class, *, symptom=Symptom.CRASH, op="the-op"):
+    return StudyFault(
+        fault_id="TEST-1",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1),
+        synopsis="test fault",
+        description="test",
+        how_to_repeat="test",
+        fix_summary="",
+        symptom=symptom,
+        trigger=trigger,
+        fault_class=fault_class,
+        workload_dependent_timing=trigger is TriggerKind.WORKLOAD_TIMING,
+        workload_op=op,
+    )
+
+
+def setup(trigger, fault_class, *, symptom=Symptom.CRASH, spec=None, seed=1):
+    env = Environment(seed=seed, spec=spec or EnvironmentSpec())
+    app = PlainApp(env, name="test-app")
+    defect = InjectedDefect(make_fault(trigger, fault_class, symptom=symptom))
+    app.injector.inject(defect)
+    defect.arm(env, app)
+    return env, app, defect
+
+
+class TestEnvironmentIndependentDefects:
+    def test_fires_every_execution(self):
+        env, app, defect = setup(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT)
+        for _ in range(3):
+            with pytest.raises(ApplicationCrash):
+                app.run_op("the-op")
+
+    def test_other_ops_unaffected(self):
+        env, app, defect = setup(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT)
+        app.run_op("another-op")  # no crash
+
+    def test_hang_symptom_raises_hang(self):
+        env, app, defect = setup(
+            TriggerKind.NONE, FaultClass.ENV_INDEPENDENT, symptom=Symptom.HANG
+        )
+        with pytest.raises(ApplicationHang):
+            app.run_op("the-op")
+
+
+class TestResourceDefects:
+    def test_disk_full_fires_until_space_freed(self):
+        env, app, defect = setup(TriggerKind.DISK_FULL, FaultClass.ENV_DEP_NONTRANSIENT)
+        assert env.disk.full
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        env.disk.free_external()
+        app.run_op("the-op")  # survives once the condition clears
+
+    def test_fd_exhaustion_armed_via_app_leak(self):
+        env, app, defect = setup(
+            TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+            FaultClass.ENV_DEP_NONTRANSIENT,
+            spec=EnvironmentSpec(file_descriptors=8),
+        )
+        assert env.file_descriptors.exhausted
+        assert app.footprint.leaked_descriptors == 8
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+
+    def test_process_table_cleared_by_paper_default_recovery(self):
+        env, app, defect = setup(
+            TriggerKind.PROCESS_TABLE_FULL,
+            FaultClass.ENV_DEP_TRANSIENT,
+            spec=EnvironmentSpec(process_slots=4),
+        )
+        with pytest.raises(ApplicationHang if False else ApplicationCrash):
+            app.run_op("the-op")
+        apply_recovery_perturbation(env, PAPER_DEFAULT, app.footprint)
+        app.run_op("the-op")  # children killed; slots free
+
+    def test_resource_leak_lives_in_app_state(self):
+        env, app, defect = setup(TriggerKind.RESOURCE_LEAK, FaultClass.ENV_DEP_NONTRANSIENT)
+        assert app.state["leaked_objects"] > 0
+        checkpoint = app.snapshot()
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        app.restore(checkpoint)  # state-preserving recovery keeps the leak
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        app.reset_fresh()  # restart-from-scratch clears it
+        app.run_op("the-op")
+
+    def test_hostname_change_condition(self):
+        env, app, defect = setup(TriggerKind.HOST_CONFIG_CHANGE, FaultClass.ENV_DEP_NONTRANSIENT)
+        assert env.hostname != app.boot_hostname
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+
+    def test_entropy_clears_with_time(self):
+        env, app, defect = setup(TriggerKind.ENTROPY_EXHAUSTION, FaultClass.ENV_DEP_TRANSIENT)
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        env.entropy.accumulate(60.0)  # 8 bits/s: enough for 128 bits
+        app.run_op("the-op")
+
+
+class TestTimingDefects:
+    def test_first_execution_always_fires(self):
+        env, app, defect = setup(TriggerKind.RACE_CONDITION, FaultClass.ENV_DEP_TRANSIENT)
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        assert defect.fired_once
+
+    def test_retry_consults_scheduler(self):
+        # Over many seeds, retries should mostly survive (window 0.25)
+        # but sometimes re-fire.
+        survived = 0
+        refired = 0
+        for seed in range(40):
+            env, app, defect = setup(
+                TriggerKind.RACE_CONDITION, FaultClass.ENV_DEP_TRANSIENT, seed=seed
+            )
+            with pytest.raises(ApplicationCrash):
+                app.run_op("the-op")
+            env.reseed_scheduler()
+            try:
+                app.run_op("the-op")
+                survived += 1
+            except ApplicationCrash:
+                refired += 1
+        assert survived > refired
+        assert refired > 0
+
+    def test_workload_timing_first_run_fires(self):
+        env, app, defect = setup(TriggerKind.WORKLOAD_TIMING, FaultClass.ENV_DEP_TRANSIENT)
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+
+
+class TestFaultInjector:
+    def test_duplicate_op_rejected(self):
+        injector = FaultInjector()
+        injector.inject(InjectedDefect(make_fault(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT)))
+        with pytest.raises(ValueError, match="already guards"):
+            injector.inject(
+                InjectedDefect(make_fault(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT))
+            )
+
+    def test_defect_for(self):
+        injector = FaultInjector()
+        defect = InjectedDefect(make_fault(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT))
+        injector.inject(defect)
+        assert injector.defect_for("the-op") is defect
+        assert injector.defect_for("other") is None
+        assert len(injector) == 1
+
+    def test_execution_counter(self):
+        env, app, defect = setup(TriggerKind.DISK_FULL, FaultClass.ENV_DEP_NONTRANSIENT)
+        env.disk.free_external()
+        app.run_op("the-op")
+        app.run_op("the-op")
+        assert defect.executions == 2
+
+
+class TestArmEdgeCases:
+    def test_file_size_limit_without_platform_limit_never_fires(self):
+        from repro.envmodel.environment import EnvironmentSpec
+
+        env = Environment(spec=EnvironmentSpec())
+        env.disk.raise_file_limit(None)
+        app = PlainApp(env, name="edge")
+        defect = InjectedDefect(
+            make_fault(TriggerKind.FILE_SIZE_LIMIT, FaultClass.ENV_DEP_NONTRANSIENT)
+        )
+        app.injector.inject(defect)
+        defect.arm(env, app)
+        app.run_op("the-op")  # no limit on this platform -> no fault
+
+    def test_elastic_recovery_clears_file_size_condition(self):
+        from repro.classify.recovery_model import ELASTIC_ENVIRONMENT
+
+        env, app, defect = setup(
+            TriggerKind.FILE_SIZE_LIMIT, FaultClass.ENV_DEP_NONTRANSIENT
+        )
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        apply_recovery_perturbation(env, ELASTIC_ENVIRONMENT, app.footprint)
+        app.run_op("the-op")

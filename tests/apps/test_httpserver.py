@@ -1,0 +1,100 @@
+"""Tests for the mini HTTP server."""
+
+import pytest
+
+from repro.apps.httpserver import LOG_RECORD_BYTES, MiniHttpServer
+from repro.envmodel.dns import DnsState
+from repro.envmodel.environment import Environment, EnvironmentSpec
+from repro.envmodel.network import NetworkState
+from repro.errors import ApplicationCrash, SimulationError
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    environment.dns.add_record("client.example.net", "10.0.0.5")
+    return environment
+
+
+class TestLifecycle:
+    def test_start_binds_port_and_forks_workers(self, env):
+        server = MiniHttpServer(env, max_children=4)
+        server.start()
+        assert server.running
+        assert env.ports.in_use == 1
+        assert env.process_table.in_use == 4
+
+    def test_double_start_rejected(self, env):
+        server = MiniHttpServer(env)
+        server.start()
+        with pytest.raises(SimulationError, match="already running"):
+            server.start()
+
+    def test_stop_releases_everything(self, env):
+        server = MiniHttpServer(env)
+        server.start()
+        server.stop()
+        assert env.ports.in_use == 0
+        assert env.process_table.in_use == 0
+
+
+class TestRequestHandling:
+    def test_serves_published_document(self, env):
+        server = MiniHttpServer(env)
+        server.add_document("/page", "hello")
+        response = server.handle_request("/page")
+        assert response.status == 200
+        assert response.body == "hello"
+
+    def test_missing_document_is_404(self, env):
+        response = MiniHttpServer(env).handle_request("/none")
+        assert response.status == 404
+
+    def test_request_appends_access_log(self, env):
+        server = MiniHttpServer(env)
+        server.handle_request("/index.html")
+        server.handle_request("/index.html")
+        assert env.disk.file_size("access_log") == 2 * LOG_RECORD_BYTES
+        assert server.state["requests_served"] == 2
+
+    def test_descriptor_released_even_on_failure(self, env):
+        server = MiniHttpServer(env, hostname_logging=True)
+        env.dns.degrade(DnsState.ERROR)
+        with pytest.raises(ApplicationCrash):
+            server.handle_request("/index.html", client_address="10.0.0.5")
+        assert env.file_descriptors.in_use == 0
+
+    def test_hostname_logging_advances_clock_by_latency(self, env):
+        server = MiniHttpServer(env, hostname_logging=True)
+        before = env.clock.now
+        server.handle_request("/index.html", client_address="10.0.0.5")
+        assert env.clock.now > before
+
+    def test_slow_network_times_out_large_transfer(self, env):
+        server = MiniHttpServer(env)
+        server.add_document("/big", "x" * 100_000)
+        env.network.degrade(NetworkState.SLOW)
+        with pytest.raises(ApplicationCrash) as excinfo:
+            server.handle_request("/big")
+        assert excinfo.value.fault_id == "client-timeout"
+
+    def test_entropy_drawn_for_session_key(self, env):
+        server = MiniHttpServer(env)
+        before = env.entropy.bits
+        server.generate_session_key(128)
+        assert env.entropy.bits == before - 128
+
+
+class TestOps:
+    def test_get_page_op(self, env):
+        response = MiniHttpServer(env).run_op("get-page")
+        assert response.status == 200
+
+    def test_unknown_op_is_noop(self, env):
+        assert MiniHttpServer(env).run_op("no-such-op") is None
+
+    def test_accept_connection_pins_buffer(self, env):
+        server = MiniHttpServer(env)
+        server.run_op("accept-connection")
+        assert env.network.buffers.in_use == 1
+        assert server.footprint.network_buffers == 1

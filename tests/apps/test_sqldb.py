@@ -1,0 +1,135 @@
+"""Tests for the mini SQL database."""
+
+import pytest
+
+from repro.apps.sqldb import MiniSqlDatabase, SqlError
+from repro.envmodel.environment import Environment
+from repro.errors import ApplicationCrash
+
+
+@pytest.fixture
+def db():
+    env = Environment()
+    env.dns.add_record("client.example.net", "10.0.0.99")
+    database = MiniSqlDatabase(env)
+    database.execute("CREATE TABLE users (id, name, age)")
+    database.execute("INSERT INTO users VALUES (1, 'ada', 36)")
+    database.execute("INSERT INTO users VALUES (2, 'grace', 45)")
+    database.execute("INSERT INTO users VALUES (3, 'alan', 41)")
+    return database
+
+
+class TestDdlAndDml:
+    def test_create_duplicate_table_rejected(self, db):
+        with pytest.raises(SqlError, match="table exists"):
+            db.execute("CREATE TABLE users (a)")
+
+    def test_create_needs_columns(self, db):
+        with pytest.raises(SqlError, match="at least one column"):
+            db.execute("CREATE TABLE empty ()")
+
+    def test_insert_arity_checked(self, db):
+        with pytest.raises(SqlError, match="3 columns"):
+            db.execute("INSERT INTO users VALUES (4, 'x')")
+
+    def test_insert_charges_disk(self, db):
+        used_before = db.env.disk.file_size("data/users.ISD")
+        db.execute("INSERT INTO users VALUES (4, 'mary', 28)")
+        assert db.env.disk.file_size("data/users.ISD") > used_before
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlError, match="no such table"):
+            db.execute("SELECT * FROM ghosts")
+
+
+class TestSelect:
+    def test_select_star(self, db):
+        rows = db.execute("SELECT * FROM users")
+        assert len(rows) == 3
+
+    def test_select_columns(self, db):
+        rows = db.execute("SELECT name FROM users WHERE id = 2")
+        assert rows == [{"name": "grace"}]
+
+    def test_select_order_by(self, db):
+        rows = db.execute("SELECT name FROM users ORDER BY age")
+        assert [row["name"] for row in rows] == ["ada", "alan", "grace"]
+
+    def test_select_empty_with_order_by(self, db):
+        # The famous Table 3 bug: zero records plus ORDER BY must NOT
+        # crash our implementation.
+        rows = db.execute("SELECT * FROM users WHERE id = 99 ORDER BY age")
+        assert rows == []
+
+    def test_count_empty_table(self, db):
+        db.execute("CREATE TABLE empty (a)")
+        assert db.execute("SELECT COUNT(*) FROM empty") == [{"count": 0}]
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(SqlError, match="no such column"):
+            db.execute("SELECT salary FROM users")
+        with pytest.raises(SqlError, match="no such column"):
+            db.execute("SELECT * FROM users ORDER BY salary")
+
+
+class TestUpdateDelete:
+    def test_update(self, db):
+        changed = db.execute("UPDATE users SET age = 37 WHERE name = 'ada'")
+        assert changed == 1
+        assert db.execute("SELECT age FROM users WHERE name = 'ada'") == [{"age": 37}]
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE users SET age = 1") == 3
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM users WHERE id = 1") == 1
+        assert len(db.execute("SELECT * FROM users")) == 2
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM users") == 3
+
+
+class TestAdminStatements:
+    def test_lock_then_unlock(self, db):
+        db.execute("LOCK TABLES users READ")
+        assert db.state["locks"] == {"users": "READ"}
+        db.execute("UNLOCK TABLES")
+        assert db.state["locks"] == {}
+
+    def test_flush_after_lock_does_not_crash(self, db):
+        # Another Table 3 bug our implementation must not have.
+        db.execute("LOCK TABLES users READ")
+        assert db.execute("FLUSH TABLES") >= 1
+
+    def test_optimize_rewrites_data_file(self, db):
+        db.execute("DELETE FROM users WHERE id = 1")
+        db.execute("OPTIMIZE TABLE users")
+        from repro.apps.sqldb import ROW_BYTES
+
+        assert db.env.disk.file_size("data/users.ISD") == 2 * ROW_BYTES
+
+    def test_unparseable_statement(self, db):
+        with pytest.raises(SqlError, match="cannot parse"):
+            db.execute("EXPLAIN EVERYTHING")
+
+
+class TestConnections:
+    def test_reverse_dns_check(self):
+        env = Environment()
+        env.dns.add_record("client.example.net", "10.0.0.99")
+        db = MiniSqlDatabase(env, check_reverse_dns=True)
+        db.accept_connection("10.0.0.99")  # has PTR: fine
+        env.dns.remove_reverse("10.0.0.99")
+        with pytest.raises(ApplicationCrash) as excinfo:
+            db.accept_connection("10.0.0.99")
+        assert excinfo.value.fault_id == "reverse-dns-failure"
+
+    def test_connection_consumes_descriptor(self, db):
+        before = db.env.file_descriptors.in_use
+        db.accept_connection()
+        assert db.env.file_descriptors.in_use == before + 1
+
+    def test_literal_parsing(self, db):
+        db.execute("CREATE TABLE t (a)")
+        db.execute("INSERT INTO t VALUES (1.5)")
+        assert db.execute("SELECT * FROM t") == [{"a": 1.5}]

@@ -1,0 +1,105 @@
+"""Tests for SQL index maintenance and HTTP access control."""
+
+import pytest
+
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.sqldb import MiniSqlDatabase, SqlError
+from repro.envmodel.environment import Environment
+
+
+@pytest.fixture
+def db():
+    database = MiniSqlDatabase(Environment())
+    database.execute("CREATE TABLE t (k, v)")
+    for key, value in ((1, "a"), (2, "b"), (3, "c"), (3, "d")):
+        database.execute(f"INSERT INTO t VALUES ({key}, '{value}')")
+    database.execute("CREATE INDEX idx_k ON t (k)")
+    return database
+
+
+class TestCreateIndex:
+    def test_index_backed_select(self, db):
+        rows = db.execute("SELECT v FROM t WHERE k = 3 ORDER BY v")
+        assert rows == [{"v": "c"}, {"v": "d"}]
+
+    def test_index_on_unknown_column(self, db):
+        with pytest.raises(SqlError, match="no such column"):
+            db.execute("CREATE INDEX bad ON t (zz)")
+
+    def test_index_on_unknown_table(self, db):
+        with pytest.raises(SqlError, match="no such table"):
+            db.execute("CREATE INDEX bad ON ghosts (k)")
+
+    def test_index_reflects_existing_rows(self, db):
+        table = db.state["tables"]["t"]
+        assert set(table.indexes["k"]) == {1, 2, 3}
+        assert len(table.indexes["k"][3]) == 2
+
+
+class TestIndexMaintenance:
+    def test_insert_updates_index(self, db):
+        db.execute("INSERT INTO t VALUES (9, 'z')")
+        assert db.execute("SELECT v FROM t WHERE k = 9") == [{"v": "z"}]
+
+    def test_delete_updates_index(self, db):
+        db.execute("DELETE FROM t WHERE k = 3")
+        assert db.execute("SELECT * FROM t WHERE k = 3") == []
+        assert 3 not in db.state["tables"]["t"].indexes["k"]
+
+    def test_update_moves_rows_between_buckets(self, db):
+        # The Table 3 fault pattern: update indexed keys to values that
+        # exist later in the scan.  The collect-then-update fix must not
+        # re-visit moved rows.
+        changed = db.execute("UPDATE t SET k = 3 WHERE k = 1")
+        assert changed == 1
+        rows = db.execute("SELECT v FROM t WHERE k = 3 ORDER BY v")
+        assert [row["v"] for row in rows] == ["a", "c", "d"]
+        assert 1 not in db.state["tables"]["t"].indexes["k"]
+
+    def test_update_to_colliding_value_terminates(self, db):
+        # UPDATE k = k-style collision sweep over every row.
+        changed = db.execute("UPDATE t SET k = 3")
+        assert changed == 4
+        assert len(db.execute("SELECT * FROM t WHERE k = 3")) == 4
+
+    def test_index_and_scan_agree(self, db):
+        db.execute("INSERT INTO t VALUES (2, 'x')")
+        db.execute("DELETE FROM t WHERE k = 1")
+        indexed = db.execute("SELECT v FROM t WHERE k = 2 ORDER BY v")
+        table = db.state["tables"]["t"]
+        scanned = sorted(row["v"] for row in table.rows if row["k"] == 2)
+        assert [row["v"] for row in indexed] == scanned
+
+
+class TestHttpAccessControl:
+    @pytest.fixture
+    def server(self):
+        instance = MiniHttpServer(Environment())
+        instance.add_document("/private/secret.html", "classified")
+        instance.add_document("/public.html", "open")
+        instance.protect("/private", {"ada": "countess"})
+        return instance
+
+    def test_unprotected_path_open(self, server):
+        assert server.handle_request("/public.html").status == 200
+
+    def test_protected_path_requires_credentials(self, server):
+        assert server.handle_request("/private/secret.html").status == 401
+
+    def test_valid_credentials_accepted(self, server):
+        response = server.handle_request(
+            "/private/secret.html", credentials=("ada", "countess")
+        )
+        assert response.status == 200
+        assert response.body == "classified"
+
+    def test_wrong_password_rejected(self, server):
+        response = server.handle_request(
+            "/private/secret.html", credentials=("ada", "wrong")
+        )
+        assert response.status == 401
+
+    def test_prefix_matches_whole_segments(self, server):
+        # /privateer must NOT fall under the /private realm.
+        server.add_document("/privateer.html", "ship")
+        assert server.handle_request("/privateer.html").status == 200

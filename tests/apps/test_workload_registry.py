@@ -1,0 +1,60 @@
+"""Tests for workloads and the application registry."""
+
+import pytest
+
+from repro.apps.desktop import MiniDesktop
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.registry import make_application
+from repro.apps.sqldb import MiniSqlDatabase
+from repro.apps.workload import Workload, workload_for_fault
+from repro.bugdb.enums import Application
+from repro.envmodel.environment import Environment
+
+
+class TestWorkload:
+    def test_requires_operations(self):
+        with pytest.raises(ValueError):
+            Workload(ops=())
+
+    def test_runs_ops_in_order(self):
+        executed = []
+
+        class RecordingApp(MiniDesktop):
+            def _do_op(self, op):
+                executed.append(op)
+
+        app = RecordingApp(Environment())
+        Workload(ops=("a", "b", "c")).run(app)
+        assert executed == ["a", "b", "c"]
+
+    def test_len(self):
+        assert len(Workload(ops=("a", "b"))) == 2
+
+    def test_workload_for_fault_ends_with_trigger_op(self, apache):
+        fault = apache.faults[0]
+        workload = workload_for_fault(fault)
+        assert workload.ops[-1] == fault.workload_op
+        assert len(workload) == 3
+
+    def test_warmup_count_configurable(self, apache):
+        workload = workload_for_fault(apache.faults[0], warmup_ops=0)
+        assert len(workload) == 1
+
+
+class TestRegistry:
+    def test_apache_gets_http_server(self):
+        app = make_application(Application.APACHE, Environment())
+        assert isinstance(app, MiniHttpServer)
+
+    def test_gnome_gets_desktop(self):
+        app = make_application(Application.GNOME, Environment())
+        assert isinstance(app, MiniDesktop)
+
+    def test_mysql_gets_database(self):
+        app = make_application(Application.MYSQL, Environment())
+        assert isinstance(app, MiniSqlDatabase)
+
+    def test_app_bound_to_environment(self):
+        env = Environment()
+        app = make_application(Application.APACHE, env)
+        assert app.env is env

@@ -1,0 +1,99 @@
+"""Tests for the indexed bug database."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.enums import Application, Severity, Symptom
+from repro.bugdb.model import BugReport
+from repro.errors import CorpusError
+
+
+def make_report(report_id, *, app=Application.APACHE, component="core",
+                version="1.3.4", severity=Severity.CRITICAL):
+    return BugReport(
+        report_id=report_id,
+        application=app,
+        component=component,
+        version=version,
+        date=datetime.date(1999, 1, 1),
+        reporter="user@example.net",
+        synopsis=f"synopsis {report_id}",
+        severity=severity,
+        symptom=Symptom.CRASH,
+    )
+
+
+class TestBugDatabase:
+    def test_add_and_len(self):
+        db = BugDatabase([make_report("A"), make_report("B")])
+        assert len(db) == 2
+
+    def test_duplicate_key_rejected(self):
+        db = BugDatabase([make_report("A")])
+        with pytest.raises(CorpusError, match="duplicate report id"):
+            db.add(make_report("A"))
+
+    def test_same_id_different_application_allowed(self):
+        db = BugDatabase()
+        db.add(make_report("A", app=Application.APACHE))
+        db.add(make_report("A", app=Application.GNOME))
+        assert len(db) == 2
+
+    def test_get(self):
+        db = BugDatabase([make_report("A")])
+        assert db.get(Application.APACHE, "A").report_id == "A"
+        with pytest.raises(KeyError):
+            db.get(Application.APACHE, "missing")
+
+    def test_contains(self):
+        db = BugDatabase([make_report("A")])
+        assert (Application.APACHE, "A") in db
+        assert (Application.GNOME, "A") not in db
+
+    def test_for_application(self):
+        db = BugDatabase(
+            [make_report("A"), make_report("B", app=Application.GNOME)]
+        )
+        assert [r.report_id for r in db.for_application(Application.APACHE)] == ["A"]
+        assert db.for_application(Application.MYSQL) == []
+
+    def test_for_component_index(self):
+        db = BugDatabase(
+            [make_report("A", component="core"), make_report("B", component="mod_cgi")]
+        )
+        assert [r.report_id for r in db.for_component(Application.APACHE, "mod_cgi")] == ["B"]
+
+    def test_for_version_index(self):
+        db = BugDatabase(
+            [make_report("A", version="1.2.4"), make_report("B", version="1.3.4")]
+        )
+        assert [r.report_id for r in db.for_version(Application.APACHE, "1.2.4")] == ["A"]
+
+    def test_at_least_severity(self):
+        db = BugDatabase(
+            [
+                make_report("A", severity=Severity.CRITICAL),
+                make_report("B", severity=Severity.SERIOUS),
+                make_report("C", severity=Severity.NON_CRITICAL),
+            ]
+        )
+        ids = sorted(r.report_id for r in db.at_least_severity(Severity.SERIOUS))
+        assert ids == ["A", "B"]
+
+    def test_select_full_scan(self):
+        db = BugDatabase([make_report("A"), make_report("B")])
+        assert [r.report_id for r in db.select(lambda r: r.report_id == "B")] == ["B"]
+
+    def test_applications_and_versions(self):
+        db = BugDatabase(
+            [make_report("A", version="1.2.4"), make_report("B", version="1.3.4"),
+             make_report("C", version="1.2.4")]
+        )
+        assert db.applications() == [Application.APACHE]
+        assert db.versions(Application.APACHE) == ["1.2.4", "1.3.4"]
+
+    def test_iteration_order_is_insertion_order(self):
+        db = BugDatabase([make_report("B"), make_report("A")])
+        assert [r.report_id for r in db] == ["B", "A"]

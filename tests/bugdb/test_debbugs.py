@@ -1,0 +1,108 @@
+"""Tests for the debbugs archive format (GNOME)."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.debbugs import parse_archive, parse_report, render_archive, render_report
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.model import BugReport, Comment
+from repro.errors import ParseError
+
+
+def make_report(**overrides):
+    defaults = dict(
+        report_id="1234",
+        application=Application.GNOME,
+        component="gnumeric",
+        version="1.0",
+        date=datetime.date(1999, 3, 5),
+        reporter="user@example.net",
+        synopsis="gnumeric crashes on tab in define-name dialog",
+        severity=Severity.CRITICAL,
+        status=Status.CLOSED,
+        resolution=Resolution.FIXED,
+        symptom=Symptom.CRASH,
+        description="Pressing tab crashes the application.",
+        how_to_repeat="Open the dialog and press tab.",
+        environment="GNOME 1.0 on Linux 2.2",
+        fix_summary="Initialized the focus chain.",
+        comments=[
+            Comment(author="dev@gnome.org", date=datetime.date(1999, 3, 12),
+                    text="Reproduced; patch attached."),
+        ],
+    )
+    defaults.update(overrides)
+    return BugReport(**defaults)
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self):
+        original = make_report()
+        parsed = parse_report(render_report(original))
+        assert parsed.report_id == original.report_id
+        assert parsed.application is Application.GNOME
+        assert parsed.component == original.component
+        assert parsed.version == original.version
+        assert parsed.date == original.date
+        assert parsed.reporter == original.reporter
+        assert parsed.synopsis == original.synopsis
+        assert parsed.severity is original.severity
+        assert parsed.status is Status.CLOSED
+        assert parsed.resolution is Resolution.FIXED
+        assert parsed.symptom is Symptom.CRASH
+        assert parsed.description == original.description
+        assert parsed.how_to_repeat == original.how_to_repeat
+        assert parsed.fix_summary == original.fix_summary
+
+    def test_comment_round_trip(self):
+        parsed = parse_report(render_report(make_report()))
+        assert len(parsed.comments) == 1
+        assert parsed.comments[0].author == "dev@gnome.org"
+        assert parsed.comments[0].text == "Reproduced; patch attached."
+
+    def test_open_report_round_trip(self):
+        original = make_report(status=Status.OPEN, resolution=Resolution.UNRESOLVED,
+                               fix_summary="", comments=[])
+        parsed = parse_report(render_report(original))
+        assert parsed.status is Status.OPEN
+        assert parsed.resolution is Resolution.UNRESOLVED
+        assert parsed.fix_summary == ""
+
+    def test_merge_control_round_trip(self):
+        parsed = parse_report(render_report(make_report(duplicate_of="1200")))
+        assert parsed.duplicate_of == "1200"
+
+    def test_unreleased_tag_round_trip(self):
+        parsed = parse_report(render_report(make_report(is_production_version=False)))
+        assert not parsed.is_production_version
+
+    @pytest.mark.parametrize("severity", list(Severity))
+    def test_all_severities_round_trip(self, severity):
+        parsed = parse_report(render_report(make_report(severity=severity)))
+        assert parsed.severity is severity
+
+    def test_archive_round_trip(self):
+        reports = [make_report(report_id=str(1000 + index)) for index in range(4)]
+        parsed = parse_archive(render_archive(reports))
+        assert [r.report_id for r in parsed] == ["1000", "1001", "1002", "1003"]
+
+
+class TestParseErrors:
+    def test_bad_header(self):
+        with pytest.raises(ParseError, match="bad report header"):
+            parse_report("not a report header\nbody")
+
+    def test_empty_block(self):
+        with pytest.raises(ParseError, match="empty report block"):
+            parse_report("")
+
+    def test_missing_pseudo_header(self):
+        text = render_report(make_report()).replace("  Version: 1.0\n", "")
+        with pytest.raises(ParseError, match="Version"):
+            parse_report(text)
+
+    def test_unknown_severity(self):
+        text = render_report(make_report()).replace("Severity: grave", "Severity: meh")
+        with pytest.raises(ParseError, match="unknown severity"):
+            parse_report(text)

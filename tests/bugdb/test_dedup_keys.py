@@ -1,0 +1,62 @@
+"""Tests for duplicate-detection keys and similarity."""
+
+from repro.bugdb.dedup_keys import (
+    content_tokens,
+    jaccard_similarity,
+    normalize_synopsis,
+)
+
+
+class TestNormalizeSynopsis:
+    def test_case_and_punctuation_insensitive(self):
+        assert normalize_synopsis("Server CRASHES, badly!") == normalize_synopsis(
+            "server crashes badly"
+        )
+
+    def test_word_order_insensitive(self):
+        assert normalize_synopsis("segfault on long URL") == normalize_synopsis(
+            "long URL segfault on"
+        )
+
+    def test_version_numbers_removed(self):
+        assert normalize_synopsis("crash in 1.3.4 handler") == normalize_synopsis(
+            "crash in 3.22.25 handler"
+        )
+
+    def test_stopwords_removed(self):
+        assert normalize_synopsis("the server crashes when it is loaded") == normalize_synopsis(
+            "server crashes loaded"
+        )
+
+    def test_distinct_bugs_have_distinct_keys(self):
+        key_a = normalize_synopsis("COUNT on an empty table crashes MySQL")
+        key_b = normalize_synopsis("OPTIMIZE TABLE query crashes the server")
+        assert key_a != key_b
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        tokens = content_tokens("segfault long url handler")
+        assert jaccard_similarity(tokens, tokens) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_empty_sets_are_dissimilar(self):
+        assert jaccard_similarity(frozenset(), frozenset()) == 0.0
+        assert jaccard_similarity(frozenset({"a"}), frozenset()) == 0.0
+
+    def test_partial_overlap(self):
+        left = frozenset({"a", "b", "c"})
+        right = frozenset({"b", "c", "d"})
+        assert jaccard_similarity(left, right) == 2 / 4
+
+    def test_symmetry(self):
+        left = content_tokens("segfault parsing long headers")
+        right = content_tokens("long headers make parsing die")
+        assert jaccard_similarity(left, right) == jaccard_similarity(right, left)
+
+    def test_reworded_duplicate_scores_high(self):
+        original = content_tokens("dies with a segfault when the submitted URL is very long")
+        duplicate = content_tokens("again: dies very long segfault submitted URL when with the a is")
+        assert jaccard_similarity(original, duplicate) > 0.6

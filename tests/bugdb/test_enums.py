@@ -1,0 +1,99 @@
+"""Tests for the bug-report enumerations."""
+
+import pytest
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom, TriggerKind
+
+
+class TestApplication:
+    def test_display_names(self):
+        assert Application.APACHE.display_name == "Apache"
+        assert Application.GNOME.display_name == "GNOME"
+        assert Application.MYSQL.display_name == "MySQL"
+
+    def test_three_applications(self):
+        assert len(Application) == 3
+
+
+class TestSeverity:
+    def test_ordering_means_at_least_as_severe(self):
+        assert Severity.CRITICAL > Severity.SERIOUS > Severity.NON_CRITICAL > Severity.ENHANCEMENT
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("critical", Severity.CRITICAL),
+            ("grave", Severity.CRITICAL),
+            ("serious", Severity.SERIOUS),
+            ("severe", Severity.SERIOUS),
+            ("important", Severity.SERIOUS),
+            ("normal", Severity.NON_CRITICAL),
+            ("non-critical", Severity.NON_CRITICAL),
+            ("minor", Severity.NON_CRITICAL),
+            ("wishlist", Severity.ENHANCEMENT),
+            ("enhancement", Severity.ENHANCEMENT),
+        ],
+    )
+    def test_from_text_aliases(self, text, expected):
+        assert Severity.from_text(text) is expected
+
+    def test_from_text_is_case_insensitive(self):
+        assert Severity.from_text("  CRITICAL ") is Severity.CRITICAL
+
+    def test_from_text_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_text("catastrophic")
+
+
+class TestFaultClass:
+    def test_only_env_independent_is_deterministic(self):
+        assert FaultClass.ENV_INDEPENDENT.is_deterministic
+        assert not FaultClass.ENV_DEP_NONTRANSIENT.is_deterministic
+        assert not FaultClass.ENV_DEP_TRANSIENT.is_deterministic
+
+    def test_only_transient_is_generic_recoverable(self):
+        assert FaultClass.ENV_DEP_TRANSIENT.generic_recovery_likely
+        assert not FaultClass.ENV_INDEPENDENT.generic_recovery_likely
+        assert not FaultClass.ENV_DEP_NONTRANSIENT.generic_recovery_likely
+
+    def test_values_match_paper_vocabulary(self):
+        assert FaultClass.ENV_INDEPENDENT.value == "environment-independent"
+        assert FaultClass.ENV_DEP_NONTRANSIENT.value == "environment-dependent-nontransient"
+        assert FaultClass.ENV_DEP_TRANSIENT.value == "environment-dependent-transient"
+
+
+class TestTriggerKind:
+    def test_none_marks_environment_independence(self):
+        assert TriggerKind.NONE.value == "none"
+
+    def test_paper_triggers_present(self):
+        # Every trigger the paper itemises in Section 5 must exist.
+        for name in (
+            "RESOURCE_LEAK",
+            "FILE_DESCRIPTOR_EXHAUSTION",
+            "DISK_FULL",
+            "FILE_SIZE_LIMIT",
+            "DISK_CACHE_FULL",
+            "NETWORK_RESOURCE_EXHAUSTION",
+            "HARDWARE_REMOVAL",
+            "HOST_CONFIG_CHANGE",
+            "DNS_MISCONFIGURED",
+            "CORRUPT_EXTERNAL_STATE",
+            "RACE_CONDITION",
+            "SIGNAL_TIMING",
+            "DNS_ERROR",
+            "DNS_SLOW",
+            "NETWORK_SLOW",
+            "PROCESS_TABLE_FULL",
+            "PORT_IN_USE",
+            "WORKLOAD_TIMING",
+            "ENTROPY_EXHAUSTION",
+            "UNKNOWN_TRANSIENT",
+        ):
+            assert hasattr(TriggerKind, name)
+
+
+class TestSymptom:
+    def test_all_symptoms_high_impact(self):
+        for symptom in Symptom:
+            assert symptom.is_high_impact

@@ -1,0 +1,115 @@
+"""Tests for the GNATS archive format (Apache)."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.gnats import parse_archive, parse_pr, render_archive, render_pr
+from repro.bugdb.model import BugReport, Comment
+from repro.errors import ParseError
+
+
+def make_report(**overrides):
+    defaults = dict(
+        report_id="PR-3487",
+        application=Application.APACHE,
+        component="mod_cgi",
+        version="1.3.4",
+        date=datetime.date(1999, 2, 1),
+        reporter="user@example.net",
+        synopsis="child crashes on CGI output with no headers",
+        severity=Severity.CRITICAL,
+        status=Status.CLOSED,
+        resolution=Resolution.FIXED,
+        symptom=Symptom.CRASH,
+        description="Multi-line\ndescription text.",
+        how_to_repeat="Install a one-line CGI.\nRequest it.",
+        environment="Apache 1.3.4 on Linux 2.2",
+        fix_summary="Defaulted the content type.",
+        comments=[
+            Comment(author="dev@apache.org", date=datetime.date(1999, 2, 14),
+                    text="Confirmed on two platforms.\nFix committed."),
+        ],
+    )
+    defaults.update(overrides)
+    return BugReport(**defaults)
+
+
+class TestRoundTrip:
+    def test_single_pr_round_trip(self):
+        original = make_report()
+        parsed = parse_pr(render_pr(original))
+        assert parsed.report_id == original.report_id
+        assert parsed.component == original.component
+        assert parsed.version == original.version
+        assert parsed.date == original.date
+        assert parsed.synopsis == original.synopsis
+        assert parsed.severity is original.severity
+        assert parsed.status is original.status
+        assert parsed.resolution is original.resolution
+        assert parsed.symptom is original.symptom
+        assert parsed.description == original.description
+        assert parsed.how_to_repeat == original.how_to_repeat
+        assert parsed.environment == original.environment
+        assert parsed.fix_summary == original.fix_summary
+        assert parsed.is_production_version == original.is_production_version
+
+    def test_comments_round_trip(self):
+        parsed = parse_pr(render_pr(make_report()))
+        assert len(parsed.comments) == 1
+        comment = parsed.comments[0]
+        assert comment.author == "dev@apache.org"
+        assert comment.date == datetime.date(1999, 2, 14)
+        assert comment.text == "Confirmed on two platforms.\nFix committed."
+
+    def test_duplicate_marker_round_trip(self):
+        parsed = parse_pr(render_pr(make_report(duplicate_of="PR-100")))
+        assert parsed.duplicate_of == "PR-100"
+
+    def test_non_production_round_trip(self):
+        parsed = parse_pr(render_pr(make_report(is_production_version=False)))
+        assert not parsed.is_production_version
+
+    def test_evidence_never_serialized(self):
+        parsed = parse_pr(render_pr(make_report()))
+        assert parsed.evidence is None
+
+    def test_archive_round_trip_many(self):
+        reports = [make_report(report_id=f"PR-{index}") for index in range(5)]
+        parsed = parse_archive(render_archive(reports))
+        assert [r.report_id for r in parsed] == [f"PR-{index}" for index in range(5)]
+
+    @pytest.mark.parametrize("severity", list(Severity))
+    def test_all_severities_round_trip(self, severity):
+        parsed = parse_pr(render_pr(make_report(severity=severity)))
+        assert parsed.severity is severity
+
+    @pytest.mark.parametrize("symptom", list(Symptom) + [None])
+    def test_all_symptoms_round_trip(self, symptom):
+        parsed = parse_pr(render_pr(make_report(symptom=symptom)))
+        assert parsed.symptom is symptom
+
+
+class TestParseErrors:
+    def test_missing_required_field(self):
+        text = render_pr(make_report()).replace(">Number:         PR-3487\n", "")
+        with pytest.raises(ParseError, match="Number"):
+            parse_pr(text)
+
+    def test_bad_date(self):
+        text = render_pr(make_report()).replace("1999-02-01", "not-a-date")
+        with pytest.raises(ParseError, match="bad field value"):
+            parse_pr(text)
+
+    def test_bad_severity(self):
+        text = render_pr(make_report()).replace("critical", "catastrophic")
+        with pytest.raises(ParseError, match="bad field value"):
+            parse_pr(text)
+
+    def test_content_outside_section(self):
+        with pytest.raises(ParseError, match="outside any section"):
+            parse_pr("stray line\n" + render_pr(make_report()))
+
+    def test_empty_archive_parses_to_nothing(self):
+        assert parse_archive("") == []

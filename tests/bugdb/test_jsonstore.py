@@ -1,0 +1,68 @@
+"""Tests for JSON persistence of bug databases."""
+
+import json
+
+import pytest
+
+from repro.bugdb.jsonstore import (
+    dump_database,
+    load_database,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.errors import ParseError
+
+
+class TestRoundTrip:
+    def test_full_study_round_trips(self, study, tmp_path):
+        db = study.to_database(attach_evidence=True)
+        path = tmp_path / "study.json"
+        dump_database(db, path)
+        loaded = load_database(path)
+        assert len(loaded) == 139
+        for report in db:
+            restored = loaded.get(report.application, report.report_id)
+            assert restored == report
+
+    def test_evidence_round_trips(self, apache, tmp_path):
+        db = apache.to_reports(attach_evidence=True)
+        data = report_to_dict(db[0])
+        restored = report_from_dict(data)
+        assert restored.evidence == db[0].evidence
+
+    def test_reports_without_evidence_round_trip(self, apache):
+        report = apache.faults[0].to_report(attach_evidence=False)
+        assert report_from_dict(report_to_dict(report)).evidence is None
+
+    def test_serialized_form_is_plain_json(self, apache, tmp_path):
+        from repro.bugdb.database import BugDatabase
+
+        path = tmp_path / "a.json"
+        dump_database(BugDatabase(apache.to_reports()), path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["reports"]) == 50
+
+
+class TestErrors:
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ParseError, match="invalid JSON"):
+            load_database(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "reports": []}))
+        with pytest.raises(ParseError, match="unsupported format version"):
+            load_database(path)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ParseError, match="bad report record"):
+            report_from_dict({"report_id": "only-this"})
+
+    def test_bad_enum_value_rejected(self, apache):
+        data = report_to_dict(apache.faults[0].to_report())
+        data["severity"] = "apocalyptic"
+        with pytest.raises(ParseError):
+            report_from_dict(data)

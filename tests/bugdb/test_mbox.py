@@ -1,0 +1,145 @@
+"""Tests for the mbox mailing-list format (MySQL)."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.mbox import MailMessage, parse_archive, render_archive, render_message
+from repro.errors import ParseError
+
+
+def make_message(**overrides):
+    defaults = dict(
+        message_id="msg-1@lists.mysql.com",
+        sender="reporter@example.com",
+        date=datetime.date(1999, 6, 10),
+        subject="server crashes on ORDER BY with zero records",
+        body="SELECT with order by crashes.\nmysql version: 3.22.25",
+    )
+    defaults.update(overrides)
+    return MailMessage(**defaults)
+
+
+class TestMailMessage:
+    def test_normalized_subject_strips_re_prefixes(self):
+        message = make_message(subject="Re: Re: server crashes")
+        assert message.normalized_subject == "server crashes"
+
+    def test_normalized_subject_is_case_insensitive_on_re(self):
+        message = make_message(subject="RE: re: server crashes")
+        assert message.normalized_subject == "server crashes"
+
+    def test_is_reply_by_header(self):
+        assert make_message(in_reply_to="root@x").is_reply
+        assert not make_message().is_reply
+
+    def test_is_reply_by_subject(self):
+        assert make_message(subject="Re: anything").is_reply
+
+
+class TestRoundTrip:
+    def test_single_message_round_trip(self):
+        original = make_message()
+        parsed = parse_archive(render_message(original))
+        assert len(parsed) == 1
+        message = parsed[0]
+        assert message.message_id == original.message_id
+        assert message.sender == original.sender
+        assert message.date == original.date
+        assert message.subject == original.subject
+        assert message.body == original.body
+        assert message.in_reply_to is None
+
+    def test_reply_round_trip(self):
+        original = make_message(message_id="r1@x", in_reply_to="msg-1@lists.mysql.com",
+                                subject="Re: server crashes")
+        parsed = parse_archive(render_message(original))[0]
+        assert parsed.in_reply_to == "msg-1@lists.mysql.com"
+
+    def test_from_stuffing(self):
+        # Body lines starting with "From " must survive the round trip.
+        original = make_message(body="From here it looks bad.\nFrom  the logs: nothing.")
+        parsed = parse_archive(render_message(original))[0]
+        assert parsed.body == original.body
+
+    def test_archive_round_trip_many(self):
+        messages = [make_message(message_id=f"m{index}@x", subject=f"subject {index}")
+                    for index in range(6)]
+        parsed = parse_archive(render_archive(messages))
+        assert [m.message_id for m in parsed] == [f"m{index}@x" for index in range(6)]
+
+    def test_multiline_bodies_preserved(self):
+        body = "line one\n\nline three after a blank"
+        parsed = parse_archive(render_message(make_message(body=body)))[0]
+        assert parsed.body == body
+
+
+class TestParseErrors:
+    def test_missing_subject(self):
+        text = render_message(make_message()).replace("Subject: server crashes on ORDER BY with zero records\n", "")
+        with pytest.raises(ParseError, match="subject"):
+            parse_archive(text)
+
+    def test_bad_date(self):
+        text = render_message(make_message()).replace("Date: 1999-06-10", "Date: June 10")
+        with pytest.raises(ParseError, match="bad Date"):
+            parse_archive(text)
+
+    def test_content_before_first_separator(self):
+        with pytest.raises(ParseError, match="before first separator"):
+            parse_archive("garbage\nFrom x 1999-06-10\nMessage-ID: <a@b>\nFrom: x\nDate: 1999-06-10\nSubject: s\n\nbody")
+
+    def test_malformed_header_line(self):
+        bad = "From x 1999-06-10\nMessage-ID <a@b>\n\nbody"
+        with pytest.raises(ParseError, match="malformed header"):
+            parse_archive(bad)
+
+    def test_empty_archive(self):
+        assert parse_archive("") == []
+
+
+class TestMailDateParsing:
+    def test_rfc822_with_weekday(self):
+        from repro.bugdb.mbox import parse_mail_date
+        import datetime
+
+        assert parse_mail_date("Thu, 10 Jun 1999 12:01:02 +0200") == datetime.date(1999, 6, 10)
+
+    def test_rfc822_without_weekday(self):
+        from repro.bugdb.mbox import parse_mail_date
+        import datetime
+
+        assert parse_mail_date("10 Jun 1999") == datetime.date(1999, 6, 10)
+
+    def test_two_digit_year(self):
+        from repro.bugdb.mbox import parse_mail_date
+        import datetime
+
+        assert parse_mail_date("3 Mar 99") == datetime.date(1999, 3, 3)
+
+    def test_iso_still_accepted(self):
+        from repro.bugdb.mbox import parse_mail_date
+        import datetime
+
+        assert parse_mail_date("1999-06-10") == datetime.date(1999, 6, 10)
+
+    def test_garbage_rejected(self):
+        from repro.bugdb.mbox import parse_mail_date
+
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_mail_date("sometime last week")
+
+    def test_rfc822_date_in_archive(self):
+        text = (
+            "From x 1999-06-10\n"
+            "Message-ID: <a@b>\n"
+            "From: x@example.com\n"
+            "Date: Thu, 10 Jun 1999 12:01:02 +0200\n"
+            "Subject: s\n"
+            "\n"
+            "body"
+        )
+        message = parse_archive(text)[0]
+        import datetime
+
+        assert message.date == datetime.date(1999, 6, 10)

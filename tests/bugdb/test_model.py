@@ -1,0 +1,80 @@
+"""Tests for the bug-report data model."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import Application, Severity, Symptom, TriggerKind
+from repro.bugdb.model import BugReport, Comment, TriggerEvidence
+
+
+def make_report(**overrides):
+    defaults = dict(
+        report_id="PR-1",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 2, 1),
+        reporter="user@example.net",
+        synopsis="server crashes on long URL",
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+        description="The server dies with a segmentation fault.",
+        how_to_repeat="Request a very long URL.",
+    )
+    defaults.update(overrides)
+    return BugReport(**defaults)
+
+
+class TestBugReport:
+    def test_requires_report_id(self):
+        with pytest.raises(ValueError, match="report_id"):
+            make_report(report_id="")
+
+    def test_requires_version(self):
+        with pytest.raises(ValueError, match="version"):
+            make_report(version="")
+
+    def test_high_impact_iff_symptom_present(self):
+        assert make_report().is_high_impact
+        assert not make_report(symptom=None).is_high_impact
+
+    def test_duplicate_detection(self):
+        assert not make_report().is_duplicate
+        assert make_report(duplicate_of="PR-0").is_duplicate
+
+    def test_full_text_concatenates_all_fields(self):
+        report = make_report(fix_summary="Bounds-checked the hash.")
+        report.add_comment(
+            Comment(author="dev@a.org", date=datetime.date(1999, 2, 10), text="confirmed here")
+        )
+        text = report.full_text
+        assert "long URL" in text
+        assert "segmentation fault" in text
+        assert "Request a very long URL." in text
+        assert "Bounds-checked the hash." in text
+        assert "confirmed here" in text
+
+    def test_full_text_skips_empty_fields(self):
+        report = make_report(description="", how_to_repeat="")
+        assert report.full_text == "server crashes on long URL"
+
+    def test_matches_keywords_case_insensitive(self):
+        report = make_report()
+        assert report.matches_keywords(["SEGMENTATION"])
+        assert report.matches_keywords(["nothing", "crash"])
+        assert not report.matches_keywords(["deadlock"])
+
+
+class TestTriggerEvidence:
+    def test_default_is_environment_independent(self):
+        assert not TriggerEvidence().environment_dependent
+
+    def test_any_trigger_is_environment_dependent(self):
+        evidence = TriggerEvidence(trigger=TriggerKind.DISK_FULL)
+        assert evidence.environment_dependent
+
+    def test_evidence_is_immutable(self):
+        evidence = TriggerEvidence()
+        with pytest.raises(AttributeError):
+            evidence.trigger = TriggerKind.DISK_FULL

@@ -1,0 +1,112 @@
+"""Tests for the composable query layer."""
+
+import datetime
+
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.model import BugReport
+from repro.bugdb.query import Query
+
+
+def make_report(report_id, **overrides):
+    defaults = dict(
+        report_id=report_id,
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 15),
+        reporter="user@example.net",
+        synopsis=f"report {report_id} crashes",
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+    )
+    defaults.update(overrides)
+    return BugReport(**defaults)
+
+
+def build_db():
+    return BugDatabase(
+        [
+            make_report("A"),
+            make_report("B", severity=Severity.NON_CRITICAL),
+            make_report("C", application=Application.GNOME, component="panel"),
+            make_report("D", is_production_version=False),
+            make_report("E", duplicate_of="A"),
+            make_report("F", date=datetime.date(1998, 3, 1), version="1.2.4"),
+            make_report("G", status=Status.CLOSED, resolution=Resolution.FIXED,
+                        synopsis="hang in logging", symptom=Symptom.HANG),
+        ]
+    )
+
+
+class TestQueryRefinements:
+    def test_query_is_immutable_builder(self):
+        base = Query()
+        refined = base.where_application(Application.APACHE)
+        assert base.application is None
+        assert refined.application is Application.APACHE
+
+    def test_application_filter(self):
+        ids = {r.report_id for r in Query().where_application(Application.GNOME).run(build_db())}
+        assert ids == {"C"}
+
+    def test_min_severity(self):
+        ids = {r.report_id for r in Query().where_min_severity(Severity.SERIOUS).run(build_db())}
+        assert "B" not in ids
+        assert "A" in ids
+
+    def test_production_only(self):
+        ids = {r.report_id for r in Query().where_production_only().run(build_db())}
+        assert "D" not in ids
+
+    def test_not_duplicate(self):
+        ids = {r.report_id for r in Query().where_not_duplicate().run(build_db())}
+        assert "E" not in ids
+
+    def test_date_between(self):
+        query = Query().where_date_between(datetime.date(1999, 1, 1), datetime.date(1999, 12, 31))
+        ids = {r.report_id for r in query.run(build_db())}
+        assert "F" not in ids
+        assert "A" in ids
+
+    def test_keywords(self):
+        ids = {r.report_id for r in Query().where_keywords("hang").run(build_db())}
+        assert ids == {"G"}
+
+    def test_symptom_filter(self):
+        ids = {r.report_id for r in Query().where_symptom(Symptom.HANG).run(build_db())}
+        assert ids == {"G"}
+
+    def test_status_filter(self):
+        ids = {r.report_id for r in Query().where_status(Status.CLOSED).run(build_db())}
+        assert ids == {"G"}
+
+    def test_component_filter_uses_index(self):
+        query = Query().where_application(Application.GNOME).where_component("panel")
+        ids = {r.report_id for r in query.run(build_db())}
+        assert ids == {"C"}
+
+    def test_version_filter_uses_index(self):
+        query = Query().where_application(Application.APACHE).where_version("1.2.4")
+        ids = {r.report_id for r in query.run(build_db())}
+        assert ids == {"F"}
+
+    def test_extra_predicate(self):
+        query = Query().where(lambda r: r.report_id in ("A", "B"))
+        assert query.count(build_db()) == 2
+
+    def test_chained_filters_conjunction(self):
+        query = (
+            Query()
+            .where_application(Application.APACHE)
+            .where_min_severity(Severity.SERIOUS)
+            .where_production_only()
+            .where_not_duplicate()
+        )
+        ids = {r.report_id for r in query.run(build_db())}
+        assert ids == {"A", "F", "G"}
+
+    def test_count_matches_run_length(self):
+        query = Query().where_application(Application.APACHE)
+        db = build_db()
+        assert query.count(db) == len(query.run(db))

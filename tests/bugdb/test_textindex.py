@@ -1,0 +1,73 @@
+"""Tests for the inverted text index."""
+
+from repro.bugdb.textindex import TextIndex
+from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
+
+
+class TestTextIndex:
+    def build(self):
+        index = TextIndex()
+        index.add("d1", "the server crashed during startup")
+        index.add("d2", "question about LEFT JOIN syntax")
+        index.add("d3", "a race between two threads; crashes often")
+        index.add("d4", "the stack trace shows nothing")
+        return index
+
+    def test_exact_lookup(self):
+        index = self.build()
+        assert index.lookup("crashed") == {"d1"}
+        assert index.lookup("server") == {"d1"}
+        assert index.lookup("missing") == set()
+
+    def test_lookup_is_case_insensitive(self):
+        index = self.build()
+        assert index.lookup("LEFT") == {"d2"}
+
+    def test_prefix_lookup(self):
+        index = self.build()
+        assert index.lookup_prefix("crash") == {"d1", "d3"}
+
+    def test_prefix_does_not_cross_word_boundaries(self):
+        # "trace" contains "race" but the token is "trace", so a "race"
+        # prefix query must not match d4.
+        index = self.build()
+        assert index.lookup_prefix("race") == {"d3"}
+
+    def test_search_any(self):
+        index = self.build()
+        assert index.search_any(("crash", "race")) == {"d1", "d3"}
+
+    def test_search_all(self):
+        index = self.build()
+        assert index.search_all(("race", "crash")) == {"d3"}
+        assert index.search_all(("race", "join")) == set()
+
+    def test_search_all_empty_keywords(self):
+        assert self.build().search_all(()) == set()
+
+    def test_counts(self):
+        index = self.build()
+        assert index.document_count == 4
+        assert index.token_count > 0
+
+    def test_incremental_add_after_prefix_query(self):
+        index = self.build()
+        assert index.lookup_prefix("crash") == {"d1", "d3"}
+        index.add("d5", "another crashing report")
+        assert index.lookup_prefix("crash") == {"d1", "d3", "d5"}
+
+    def test_agrees_with_keyword_matcher_on_archive(self, mysql):
+        """Index-based search finds the same messages as the linear scan."""
+        from repro.corpus.render import mysql_raw_archive
+        from repro.bugdb import mbox
+
+        messages = mbox.parse_archive(mysql_raw_archive(mysql, total_messages=1200))
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        index = TextIndex()
+        linear_hits = set()
+        for message in messages:
+            text = message.subject + "\n" + message.body
+            index.add(message.message_id, text)
+            if matcher.matches(text):
+                linear_hits.add(message.message_id)
+        assert index.search_any(MYSQL_STUDY_KEYWORDS) == linear_hits

@@ -1,0 +1,53 @@
+"""Tests for trigger-ambiguity auditing of report texts."""
+
+from repro.bugdb.enums import TriggerKind
+from repro.classify.evidence import ambiguity_report, match_all_triggers
+
+
+class TestMatchAllTriggers:
+    def test_single_trigger_text(self):
+        matches = match_all_triggers("the process runs out of file descriptors")
+        assert matches == [TriggerKind.FILE_DESCRIPTOR_EXHAUSTION]
+
+    def test_multi_trigger_text_ordered_by_priority(self):
+        text = (
+            "a race condition between the masking of a signal and its arrival"
+        )
+        matches = match_all_triggers(text)
+        assert matches[0] is TriggerKind.RACE_CONDITION
+        assert TriggerKind.SIGNAL_TIMING in matches
+
+    def test_clean_text_has_no_matches(self):
+        assert match_all_triggers("null dereference on empty input") == []
+
+
+class TestCuratedCorpusAmbiguity:
+    def test_env_independent_texts_are_trigger_free(self, study):
+        """No environment-independent fault's text matches any trigger
+        pattern -- otherwise the end-to-end table counts would be luck."""
+        for corpus in study.corpora.values():
+            for fault in corpus.faults:
+                if fault.trigger is TriggerKind.NONE:
+                    report = fault.to_report(attach_evidence=False)
+                    assert match_all_triggers(report.full_text) == [], fault.fault_id
+
+    def test_env_dependent_first_match_is_ground_truth(self, study):
+        """For environment-dependent faults, the *first* matching pattern
+        must be the curated trigger; later matches are tolerated only if
+        they classify the same way (documented ambiguity)."""
+        from repro.classify.recovery_model import PAPER_DEFAULT
+
+        for corpus in study.corpora.values():
+            for fault in corpus.faults:
+                if fault.trigger is TriggerKind.NONE:
+                    continue
+                report = fault.to_report(attach_evidence=False)
+                matches = match_all_triggers(report.full_text)
+                assert matches, fault.fault_id
+                assert matches[0] is fault.trigger, fault.fault_id
+                for extra in ambiguity_report(report):
+                    assert PAPER_DEFAULT.condition_clears_on_retry(
+                        extra
+                    ) == PAPER_DEFAULT.condition_clears_on_retry(fault.trigger), (
+                        f"{fault.fault_id}: ambiguous with {extra}"
+                    )

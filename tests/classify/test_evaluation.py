@@ -1,0 +1,110 @@
+"""Tests for classifier evaluation (confusion matrix, accuracy)."""
+
+import datetime
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom
+from repro.bugdb.model import BugReport
+from repro.classify.evaluation import (
+    ConfusionMatrix,
+    class_distribution,
+    evaluate_classifier,
+)
+from repro.classify.rules import Classification
+from repro.bugdb.enums import TriggerKind
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+class StubClassifier:
+    """Predicts a fixed class per report id."""
+
+    def __init__(self, predictions):
+        self.predictions = predictions
+
+    def classify_report(self, report):
+        return Classification(
+            fault_class=self.predictions[report.report_id],
+            trigger=TriggerKind.NONE,
+            rationale="stub",
+        )
+
+
+def make_report(report_id):
+    return BugReport(
+        report_id=report_id,
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1),
+        reporter="u@x",
+        synopsis=report_id,
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+    )
+
+
+class TestConfusionMatrix:
+    def test_perfect_accuracy(self):
+        matrix = ConfusionMatrix(counts={(EI, EI): 10, (EDT, EDT): 5})
+        assert matrix.accuracy == 1.0
+        assert matrix.misclassified() == 0
+        assert matrix.total == 15
+
+    def test_mixed_accuracy(self):
+        matrix = ConfusionMatrix(counts={(EI, EI): 8, (EI, EDT): 2})
+        assert matrix.accuracy == 0.8
+        assert matrix.misclassified() == 2
+
+    def test_empty_matrix(self):
+        matrix = ConfusionMatrix(counts={})
+        assert matrix.accuracy == 0.0
+        assert matrix.total == 0
+
+    def test_precision_and_recall(self):
+        matrix = ConfusionMatrix(counts={(EI, EI): 8, (EDN, EI): 2, (EDN, EDN): 3})
+        assert matrix.precision(EI) == 8 / 10
+        assert matrix.recall(EI) == 1.0
+        assert matrix.precision(EDN) == 1.0
+        assert matrix.recall(EDN) == 3 / 5
+
+    def test_precision_of_never_predicted_class_is_one(self):
+        matrix = ConfusionMatrix(counts={(EI, EI): 5})
+        assert matrix.precision(EDT) == 1.0
+
+    def test_recall_of_absent_class_is_one(self):
+        matrix = ConfusionMatrix(counts={(EI, EI): 5})
+        assert matrix.recall(EDT) == 1.0
+
+
+class TestEvaluateClassifier:
+    def test_counts_truth_vs_prediction(self):
+        reports = [make_report("a"), make_report("b"), make_report("c")]
+        truth = {"a": EI, "b": EDN, "c": EDT}
+        classifier = StubClassifier({"a": EI, "b": EDT, "c": EDT})
+        matrix = evaluate_classifier(classifier, reports, truth)
+        assert matrix.counts[(EI, EI)] == 1
+        assert matrix.counts[(EDN, EDT)] == 1
+        assert matrix.counts[(EDT, EDT)] == 1
+        assert matrix.accuracy == 2 / 3
+
+    def test_reports_without_ground_truth_are_skipped(self):
+        reports = [make_report("a"), make_report("noise")]
+        classifier = StubClassifier({"a": EI, "noise": EI})
+        matrix = evaluate_classifier(classifier, reports, {"a": EI})
+        assert matrix.total == 1
+
+
+class TestClassDistribution:
+    def test_zero_filled(self):
+        distribution = class_distribution([])
+        assert distribution == {EI: 0, EDN: 0, EDT: 0}
+
+    def test_counts(self):
+        classifications = [
+            Classification(fault_class=EI, trigger=TriggerKind.NONE, rationale=""),
+            Classification(fault_class=EI, trigger=TriggerKind.NONE, rationale=""),
+            Classification(fault_class=EDT, trigger=TriggerKind.RACE_CONDITION, rationale=""),
+        ]
+        assert class_distribution(classifications) == {EI: 2, EDN: 0, EDT: 1}

@@ -1,0 +1,112 @@
+"""Tests for trigger-evidence extraction from free text."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import Application, Severity, Symptom, TriggerKind
+from repro.bugdb.model import BugReport
+from repro.classify.evidence import extract_evidence, match_trigger
+
+
+def make_report(description, *, synopsis="a failure", how_to_repeat=""):
+    return BugReport(
+        report_id="X-1",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1),
+        reporter="user@example.net",
+        synopsis=synopsis,
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+        description=description,
+        how_to_repeat=how_to_repeat,
+    )
+
+
+class TestMatchTrigger:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a race condition between two threads", TriggerKind.RACE_CONDITION),
+            ("the masking of a signal loses to its arrival", TriggerKind.SIGNAL_TIMING),
+            ("reverse DNS is not configured for the host", TriggerKind.DNS_MISCONFIGURED),
+            ("a slow DNS response stalls everything", TriggerKind.DNS_SLOW),
+            ("the DNS lookup returns an error", TriggerKind.DNS_ERROR),
+            ("a slow network connection times out", TriggerKind.NETWORK_SLOW),
+            ("an unknown network resource is exhausted", TriggerKind.NETWORK_RESOURCE_EXHAUSTION),
+            ("children consume all slots in the kernel's process table", TriggerKind.PROCESS_TABLE_FULL),
+            ("stale children hang onto required network ports", TriggerKind.PORT_IN_USE),
+            ("the process runs out of file descriptors", TriggerKind.FILE_DESCRIPTOR_EXHAUSTION),
+            ("too many open files", TriggerKind.FILE_DESCRIPTOR_EXHAUSTION),
+            ("the disk cache used for temporaries gets full", TriggerKind.DISK_CACHE_FULL),
+            ("log grows greater than the maximum allowed file size", TriggerKind.FILE_SIZE_LIMIT),
+            ("a full file system blocks writes", TriggerKind.DISK_FULL),
+            ("no space left on device", TriggerKind.DISK_FULL),
+            ("an unknown resource leak under high load", TriggerKind.RESOURCE_LEAK),
+            ("fails after the PCMCIA card is ejected", TriggerKind.HARDWARE_REMOVAL),
+            ("the hostname of the machine was changed", TriggerKind.HOST_CONFIG_CHANGE),
+            ("an illegal value in the owner field of a file", TriggerKind.CORRUPT_EXTERNAL_STATE),
+            ("not enough entropy in /dev/random", TriggerKind.ENTROPY_EXHAUSTION),
+            ("the user presses stop during the download", TriggerKind.WORKLOAD_TIMING),
+            ("the operation works on a retry", TriggerKind.UNKNOWN_TRANSIENT),
+        ],
+    )
+    def test_trigger_phrases(self, text, expected):
+        assert match_trigger(text) is expected
+
+    def test_no_trigger_in_plain_bug_text(self):
+        assert match_trigger("null dereference on an empty input record") is TriggerKind.NONE
+
+    def test_matching_is_case_insensitive(self):
+        assert match_trigger("RACE CONDITION in the panel") is TriggerKind.RACE_CONDITION
+
+    def test_trace_does_not_match_race(self):
+        assert match_trigger("the stack trace shows a null pointer") is TriggerKind.NONE
+
+    def test_most_specific_pattern_wins(self):
+        # "race condition ... masking of a signal": the race-condition
+        # pattern is checked first, matching the paper's own wording.
+        text = "a race condition between the masking of a signal and its arrival"
+        assert match_trigger(text) is TriggerKind.RACE_CONDITION
+
+    def test_disk_cache_not_confused_with_disk_full(self):
+        assert match_trigger("the disk cache gets full") is TriggerKind.DISK_CACHE_FULL
+
+
+class TestExtractEvidence:
+    def test_environment_independent_report(self):
+        evidence = extract_evidence(make_report("null dereference on empty input"))
+        assert evidence.trigger is TriggerKind.NONE
+        assert evidence.reproducible_on_developer_machine
+        assert not evidence.workload_dependent_timing
+
+    def test_reads_how_to_repeat_field(self):
+        report = make_report("the server dies", how_to_repeat="fill the file system until full")
+        evidence = extract_evidence(report)
+        assert evidence.trigger is TriggerKind.DISK_FULL
+
+    def test_non_reproducible_without_trigger_is_unknown_transient(self):
+        report = make_report("server died; developers could not reproduce the failure")
+        evidence = extract_evidence(report)
+        assert evidence.trigger is TriggerKind.UNKNOWN_TRANSIENT
+        assert not evidence.reproducible_on_developer_machine
+
+    def test_workload_timing_flag_set(self):
+        report = make_report("crashes when the user presses stop mid-transfer")
+        evidence = extract_evidence(report)
+        assert evidence.workload_dependent_timing
+
+    def test_resource_name_attached(self):
+        report = make_report("the process ran out of file descriptors")
+        assert extract_evidence(report).resource == "file_descriptors"
+
+    def test_notes_carry_synopsis(self):
+        report = make_report("whatever", synopsis="the synopsis line")
+        assert extract_evidence(report).notes == "the synopsis line"
+
+    def test_report_not_modified(self):
+        report = make_report("a race condition somewhere")
+        extract_evidence(report)
+        assert report.evidence is None

@@ -1,0 +1,130 @@
+"""Tests for the parameterised recovery model."""
+
+import pytest
+
+from repro.bugdb.enums import TriggerKind
+from repro.classify.recovery_model import (
+    ELASTIC_ENVIRONMENT,
+    PAPER_DEFAULT,
+    RESTART_FRESH,
+    RecoveryModel,
+)
+
+ALWAYS_TRANSIENT = (
+    TriggerKind.RACE_CONDITION,
+    TriggerKind.SIGNAL_TIMING,
+    TriggerKind.WORKLOAD_TIMING,
+    TriggerKind.ENTROPY_EXHAUSTION,
+    TriggerKind.UNKNOWN_TRANSIENT,
+)
+
+ALWAYS_NONTRANSIENT = (
+    TriggerKind.HARDWARE_REMOVAL,
+    TriggerKind.DNS_MISCONFIGURED,
+    TriggerKind.CORRUPT_EXTERNAL_STATE,
+)
+
+
+class TestPaperDefault:
+    @pytest.mark.parametrize("trigger", ALWAYS_TRANSIENT)
+    def test_timing_triggers_clear(self, trigger):
+        assert PAPER_DEFAULT.condition_clears_on_retry(trigger)
+
+    @pytest.mark.parametrize(
+        "trigger",
+        [
+            TriggerKind.RESOURCE_LEAK,
+            TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+            TriggerKind.DISK_FULL,
+            TriggerKind.FILE_SIZE_LIMIT,
+            TriggerKind.DISK_CACHE_FULL,
+            TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+            TriggerKind.HOST_CONFIG_CHANGE,
+        ]
+        + list(ALWAYS_NONTRANSIENT),
+    )
+    def test_persistent_conditions_do_not_clear(self, trigger):
+        assert not PAPER_DEFAULT.condition_clears_on_retry(trigger)
+
+    @pytest.mark.parametrize(
+        "trigger",
+        [TriggerKind.PROCESS_TABLE_FULL, TriggerKind.PORT_IN_USE],
+    )
+    def test_process_kill_clears_process_conditions(self, trigger):
+        assert PAPER_DEFAULT.condition_clears_on_retry(trigger)
+
+    @pytest.mark.parametrize(
+        "trigger",
+        [TriggerKind.DNS_ERROR, TriggerKind.DNS_SLOW, TriggerKind.NETWORK_SLOW],
+    )
+    def test_external_services_expected_repaired(self, trigger):
+        assert PAPER_DEFAULT.condition_clears_on_retry(trigger)
+
+    def test_no_trigger_is_rejected(self):
+        with pytest.raises(ValueError, match="no trigger condition"):
+            PAPER_DEFAULT.condition_clears_on_retry(TriggerKind.NONE)
+
+
+class TestModelVariants:
+    def test_restart_fresh_clears_application_leaks(self):
+        assert RESTART_FRESH.condition_clears_on_retry(TriggerKind.RESOURCE_LEAK)
+        assert RESTART_FRESH.condition_clears_on_retry(TriggerKind.FILE_DESCRIPTOR_EXHAUSTION)
+        assert RESTART_FRESH.condition_clears_on_retry(TriggerKind.NETWORK_RESOURCE_EXHAUSTION)
+
+    def test_restart_fresh_does_not_fix_the_disk(self):
+        assert not RESTART_FRESH.condition_clears_on_retry(TriggerKind.DISK_FULL)
+
+    def test_restart_fresh_adopts_a_changed_hostname(self):
+        # The stale cached identity is application state; a fresh start
+        # authenticates against the new name.
+        assert RESTART_FRESH.condition_clears_on_retry(TriggerKind.HOST_CONFIG_CHANGE)
+        assert not PAPER_DEFAULT.condition_clears_on_retry(TriggerKind.HOST_CONFIG_CHANGE)
+
+    def test_elastic_environment_fixes_storage(self):
+        for trigger in (
+            TriggerKind.DISK_FULL,
+            TriggerKind.FILE_SIZE_LIMIT,
+            TriggerKind.DISK_CACHE_FULL,
+        ):
+            assert ELASTIC_ENVIRONMENT.condition_clears_on_retry(trigger)
+
+    def test_elastic_environment_reclaims_descriptors(self):
+        assert ELASTIC_ENVIRONMENT.condition_clears_on_retry(
+            TriggerKind.FILE_DESCRIPTOR_EXHAUSTION
+        )
+
+    def test_elastic_environment_keeps_state_leaks_nontransient(self):
+        # An in-memory leak lives in checkpointed state; elasticity of the
+        # environment does not help.
+        assert not ELASTIC_ENVIRONMENT.condition_clears_on_retry(TriggerKind.RESOURCE_LEAK)
+
+    def test_no_process_kill_makes_process_conditions_persist(self):
+        model = RecoveryModel(kills_application_processes=False)
+        assert not model.condition_clears_on_retry(TriggerKind.PROCESS_TABLE_FULL)
+        assert not model.condition_clears_on_retry(TriggerKind.PORT_IN_USE)
+
+    def test_no_external_repair_makes_dns_persist(self):
+        model = RecoveryModel(expects_external_repair=False)
+        assert not model.condition_clears_on_retry(TriggerKind.DNS_ERROR)
+        assert not model.condition_clears_on_retry(TriggerKind.NETWORK_SLOW)
+
+    @pytest.mark.parametrize("trigger", ALWAYS_NONTRANSIENT)
+    def test_admin_conditions_never_clear_under_any_model(self, trigger):
+        generous = RecoveryModel(
+            preserves_all_state=False,
+            auto_extends_storage=True,
+            reclaims_leaked_os_resources=True,
+        )
+        assert not generous.condition_clears_on_retry(trigger)
+
+    @pytest.mark.parametrize("trigger", ALWAYS_TRANSIENT)
+    def test_timing_conditions_clear_under_any_model(self, trigger):
+        stingy = RecoveryModel(
+            kills_application_processes=False,
+            expects_external_repair=False,
+        )
+        assert stingy.condition_clears_on_retry(trigger)
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_DEFAULT.auto_extends_storage = True

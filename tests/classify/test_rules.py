@@ -1,0 +1,99 @@
+"""Tests for the evidence-rule classifier."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom, TriggerKind
+from repro.bugdb.model import BugReport, TriggerEvidence
+from repro.classify.recovery_model import ELASTIC_ENVIRONMENT, RecoveryModel
+from repro.classify.rules import RuleClassifier
+from repro.errors import ClassificationError
+
+
+def evidence(trigger=TriggerKind.NONE, **kwargs):
+    return TriggerEvidence(trigger=trigger, **kwargs)
+
+
+class TestRuleClassifier:
+    def test_no_trigger_is_environment_independent(self):
+        result = RuleClassifier().classify_evidence(evidence())
+        assert result.fault_class is FaultClass.ENV_INDEPENDENT
+        assert result.trigger is TriggerKind.NONE
+        assert "deterministic" in result.rationale
+
+    def test_persistent_trigger_is_nontransient(self):
+        result = RuleClassifier().classify_evidence(evidence(TriggerKind.DISK_FULL))
+        assert result.fault_class is FaultClass.ENV_DEP_NONTRANSIENT
+        assert "persist" in result.rationale
+
+    def test_clearing_trigger_is_transient(self):
+        result = RuleClassifier().classify_evidence(evidence(TriggerKind.RACE_CONDITION))
+        assert result.fault_class is FaultClass.ENV_DEP_TRANSIENT
+        assert "fixed during retry" in result.rationale
+
+    def test_workload_timing_flag_forces_environment_dependence(self):
+        # Section 3: request timing is environmental even with no OS
+        # resource named.
+        result = RuleClassifier().classify_evidence(
+            evidence(TriggerKind.NONE, workload_dependent_timing=True)
+        )
+        assert result.fault_class is FaultClass.ENV_DEP_TRANSIENT
+        assert result.trigger is TriggerKind.WORKLOAD_TIMING
+
+    def test_recovery_model_moves_the_boundary(self):
+        disk_full = evidence(TriggerKind.DISK_FULL)
+        default = RuleClassifier().classify_evidence(disk_full)
+        elastic = RuleClassifier(ELASTIC_ENVIRONMENT).classify_evidence(disk_full)
+        assert default.fault_class is FaultClass.ENV_DEP_NONTRANSIENT
+        assert elastic.fault_class is FaultClass.ENV_DEP_TRANSIENT
+
+    def test_recovery_model_never_moves_environment_independent(self):
+        generous = RuleClassifier(
+            RecoveryModel(
+                preserves_all_state=False,
+                auto_extends_storage=True,
+                reclaims_leaked_os_resources=True,
+            )
+        )
+        assert generous.classify_evidence(evidence()).fault_class is FaultClass.ENV_INDEPENDENT
+
+    def test_survivability_property(self):
+        transient = RuleClassifier().classify_evidence(evidence(TriggerKind.DNS_ERROR))
+        nontransient = RuleClassifier().classify_evidence(evidence(TriggerKind.DISK_FULL))
+        independent = RuleClassifier().classify_evidence(evidence())
+        assert transient.survivable_by_generic_recovery
+        assert not nontransient.survivable_by_generic_recovery
+        assert not independent.survivable_by_generic_recovery
+
+    def test_classify_report_requires_evidence(self):
+        report = BugReport(
+            report_id="X-1",
+            application=Application.APACHE,
+            component="core",
+            version="1.3.4",
+            date=datetime.date(1999, 1, 1),
+            reporter="user@example.net",
+            synopsis="crash",
+            severity=Severity.CRITICAL,
+            symptom=Symptom.CRASH,
+        )
+        with pytest.raises(ClassificationError, match="no trigger evidence"):
+            RuleClassifier().classify_report(report)
+
+    def test_classify_report_uses_attached_evidence(self):
+        report = BugReport(
+            report_id="X-1",
+            application=Application.APACHE,
+            component="core",
+            version="1.3.4",
+            date=datetime.date(1999, 1, 1),
+            reporter="user@example.net",
+            synopsis="crash",
+            severity=Severity.CRITICAL,
+            symptom=Symptom.CRASH,
+            evidence=TriggerEvidence(trigger=TriggerKind.PORT_IN_USE),
+        )
+        result = RuleClassifier().classify_report(report)
+        assert result.fault_class is FaultClass.ENV_DEP_TRANSIENT
+        assert result.trigger is TriggerKind.PORT_IN_USE

@@ -1,0 +1,80 @@
+"""Tests for the end-to-end text classifier."""
+
+import datetime
+
+from repro.bugdb.enums import Application, FaultClass, Severity, Symptom, TriggerKind
+from repro.bugdb.model import BugReport, TriggerEvidence
+from repro.classify.recovery_model import ELASTIC_ENVIRONMENT, PAPER_DEFAULT
+from repro.classify.text import TextClassifier
+
+
+def make_report(description, *, evidence=None):
+    return BugReport(
+        report_id="X-1",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1),
+        reporter="user@example.net",
+        synopsis="a failure",
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+        description=description,
+        evidence=evidence,
+    )
+
+
+class TestTextClassifier:
+    def test_classifies_from_text_when_no_evidence(self):
+        report = make_report("a race condition between two threads")
+        result = TextClassifier().classify_report(report)
+        assert result.fault_class is FaultClass.ENV_DEP_TRANSIENT
+        assert result.trigger is TriggerKind.RACE_CONDITION
+
+    def test_prefers_curated_evidence_over_text(self):
+        # The text says race, but the curated evidence says disk-full;
+        # curated ground truth wins.
+        report = make_report(
+            "a race condition between two threads",
+            evidence=TriggerEvidence(trigger=TriggerKind.DISK_FULL),
+        )
+        result = TextClassifier().classify_report(report)
+        assert result.fault_class is FaultClass.ENV_DEP_NONTRANSIENT
+
+    def test_plain_bug_is_environment_independent(self):
+        report = make_report("missing initialization in the request path")
+        result = TextClassifier().classify_report(report)
+        assert result.fault_class is FaultClass.ENV_INDEPENDENT
+
+    def test_recovery_model_is_carried_through(self):
+        report = make_report("a full file system blocks all writes")
+        default = TextClassifier(PAPER_DEFAULT).classify_report(report)
+        elastic = TextClassifier(ELASTIC_ENVIRONMENT).classify_report(report)
+        assert default.fault_class is FaultClass.ENV_DEP_NONTRANSIENT
+        assert elastic.fault_class is FaultClass.ENV_DEP_TRANSIENT
+
+    def test_recovery_model_property(self):
+        assert TextClassifier(ELASTIC_ENVIRONMENT).recovery_model is ELASTIC_ENVIRONMENT
+
+    def test_classify_all_preserves_order(self):
+        reports = [
+            make_report("a race condition between threads"),
+            make_report("missing initialization"),
+            make_report("a full file system"),
+        ]
+        results = TextClassifier().classify_all(reports)
+        assert [r.fault_class for r in results] == [
+            FaultClass.ENV_DEP_TRANSIENT,
+            FaultClass.ENV_INDEPENDENT,
+            FaultClass.ENV_DEP_NONTRANSIENT,
+        ]
+
+
+class TestClassifierOnCuratedCorpora:
+    def test_text_classifier_recovers_all_ground_truth(self, study):
+        classifier = TextClassifier()
+        for corpus in study.corpora.values():
+            truth = corpus.ground_truth()
+            for report in corpus.to_reports(attach_evidence=False):
+                predicted = classifier.classify_report(report).fault_class
+                assert predicted is truth[report.report_id], report.report_id

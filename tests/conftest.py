@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.corpus import apache_corpus, full_study, gnome_corpus, mysql_corpus
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full curated study (cached for the whole session)."""
+    return full_study()
+
+
+@pytest.fixture(scope="session")
+def apache():
+    """The curated Apache corpus."""
+    return apache_corpus()
+
+
+@pytest.fixture(scope="session")
+def gnome():
+    """The curated GNOME corpus."""
+    return gnome_corpus()
+
+
+@pytest.fixture(scope="session")
+def mysql():
+    """The curated MySQL corpus."""
+    return mysql_corpus()

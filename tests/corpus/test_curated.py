@@ -1,0 +1,144 @@
+"""Tests for the three curated corpora against the paper's published data."""
+
+import pytest
+
+from repro.bugdb.enums import Application, FaultClass, Severity, TriggerKind
+from repro.corpus.apache import RELEASES as APACHE_RELEASES
+from repro.corpus.mysql import RELEASES as MYSQL_RELEASES
+from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+class TestTableCounts:
+    def test_apache_table_1(self, apache):
+        assert apache.class_counts() == {EI: 36, EDN: 7, EDT: 7}
+        assert apache.total == 50
+
+    def test_gnome_table_2(self, gnome):
+        assert gnome.class_counts() == {EI: 39, EDN: 3, EDT: 3}
+        assert gnome.total == 45
+
+    def test_mysql_table_3(self, mysql):
+        assert mysql.class_counts() == {EI: 38, EDN: 4, EDT: 2}
+        assert mysql.total == 44
+
+    def test_raw_archive_sizes_match_paper(self, apache, gnome, mysql):
+        assert apache.raw_report_count == 5220
+        assert gnome.raw_report_count == 500
+        assert mysql.raw_report_count == 44000
+
+
+class TestApacheEnvironmentDependentFaults:
+    """Section 5.1 itemises all 14 environment-dependent Apache faults."""
+
+    def test_nontransient_triggers(self, apache):
+        triggers = sorted(f.trigger.value for f in apache.by_class(EDN))
+        assert triggers == sorted(
+            [
+                "resource-leak",
+                "file-descriptor-exhaustion",
+                "disk-cache-full",
+                "file-size-limit",
+                "disk-full",
+                "network-resource-exhaustion",
+                "hardware-removal",
+            ]
+        )
+
+    def test_transient_triggers(self, apache):
+        triggers = sorted(f.trigger.value for f in apache.by_class(EDT))
+        assert triggers == sorted(
+            [
+                "dns-error",
+                "process-table-full",
+                "workload-timing",
+                "port-in-use",
+                "dns-slow",
+                "network-slow",
+                "entropy-exhaustion",
+            ]
+        )
+
+
+class TestGnomeEnvironmentDependentFaults:
+    """Section 5.2 itemises all 6 environment-dependent GNOME faults."""
+
+    def test_nontransient_triggers(self, gnome):
+        triggers = sorted(f.trigger.value for f in gnome.by_class(EDN))
+        assert triggers == sorted(
+            ["host-config-change", "file-descriptor-exhaustion", "corrupt-external-state"]
+        )
+
+    def test_transient_triggers(self, gnome):
+        triggers = sorted(f.trigger.value for f in gnome.by_class(EDT))
+        assert triggers == sorted(
+            ["unknown-transient", "race-condition", "race-condition"]
+        )
+
+    def test_components_are_in_study_scope(self, gnome):
+        allowed = {"gnome-core", "gnome-libs", "panel", "gnome-pim", "gnumeric", "gmc"}
+        for fault in gnome.faults:
+            assert fault.component in allowed, fault.fault_id
+
+
+class TestMysqlEnvironmentDependentFaults:
+    """Section 5.3 itemises all 6 environment-dependent MySQL faults."""
+
+    def test_nontransient_triggers(self, mysql):
+        triggers = sorted(f.trigger.value for f in mysql.by_class(EDN))
+        assert triggers == sorted(
+            ["file-descriptor-exhaustion", "dns-misconfigured", "file-size-limit", "disk-full"]
+        )
+
+    def test_transient_are_both_races(self, mysql):
+        triggers = [f.trigger for f in mysql.by_class(EDT)]
+        assert triggers == [TriggerKind.RACE_CONDITION, TriggerKind.RACE_CONDITION]
+
+    def test_every_fault_text_matches_a_study_keyword(self, mysql):
+        # Section 4: MySQL faults were found by keyword search; every
+        # curated fault must therefore be findable by those keywords.
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        for fault in mysql.faults:
+            text = "\n".join(
+                [fault.synopsis, fault.description, fault.how_to_repeat, fault.fix_summary]
+            )
+            assert matcher.matches(text), fault.fault_id
+
+
+class TestCurationQuality:
+    @pytest.mark.parametrize("corpus_name", ["apache", "gnome", "mysql"])
+    def test_all_faults_severe_or_critical(self, corpus_name, request):
+        corpus = request.getfixturevalue(corpus_name)
+        for fault in corpus.faults:
+            assert fault.severity >= Severity.SERIOUS, fault.fault_id
+
+    @pytest.mark.parametrize("corpus_name", ["apache", "gnome", "mysql"])
+    def test_every_fault_has_repro_and_description(self, corpus_name, request):
+        corpus = request.getfixturevalue(corpus_name)
+        for fault in corpus.faults:
+            assert fault.description, fault.fault_id
+            assert fault.how_to_repeat, fault.fault_id
+            assert fault.workload_op, fault.fault_id
+
+    @pytest.mark.parametrize("corpus_name", ["apache", "gnome", "mysql"])
+    def test_workload_ops_unique_within_corpus(self, corpus_name, request):
+        corpus = request.getfixturevalue(corpus_name)
+        ops = [fault.workload_op for fault in corpus.faults]
+        assert len(ops) == len(set(ops))
+
+    def test_apache_versions_are_known_releases(self, apache):
+        known = {version for version, _ in APACHE_RELEASES}
+        assert set(apache.versions()) <= known
+
+    def test_mysql_versions_are_known_releases(self, mysql):
+        known = {version for version, _ in MYSQL_RELEASES}
+        assert set(mysql.versions()) <= known
+
+    def test_dates_within_study_period(self, study):
+        import datetime
+
+        for fault in study.all_faults():
+            assert datetime.date(1997, 1, 1) <= fault.date <= datetime.date(2000, 6, 1)

@@ -1,0 +1,40 @@
+"""Tests for the bundled study loader."""
+
+from repro.bugdb.enums import Application, FaultClass
+from repro.corpus.loader import full_study
+
+
+class TestFullStudy:
+    def test_total_is_139(self, study):
+        assert study.total_faults == 139
+
+    def test_cached_instance(self):
+        assert full_study() is full_study()
+
+    def test_aggregate_counts_match_section_5_4(self, study):
+        counts = study.aggregate_counts()
+        assert counts[FaultClass.ENV_INDEPENDENT] == 113
+        assert counts[FaultClass.ENV_DEP_NONTRANSIENT] == 14
+        assert counts[FaultClass.ENV_DEP_TRANSIENT] == 12
+
+    def test_all_faults_ordered_by_application(self, study):
+        faults = study.all_faults()
+        assert len(faults) == 139
+        apps = [fault.application for fault in faults]
+        # Apache block, then GNOME, then MySQL.
+        assert apps == sorted(apps, key=lambda a: list(Application).index(a))
+
+    def test_ground_truth_covers_everything(self, study):
+        truth = study.ground_truth()
+        assert len(truth) == 139
+
+    def test_to_database(self, study):
+        db = study.to_database()
+        assert len(db) == 139
+        assert len(db.for_application(Application.APACHE)) == 50
+        assert len(db.for_application(Application.GNOME)) == 45
+        assert len(db.for_application(Application.MYSQL)) == 44
+
+    def test_to_database_without_evidence(self, study):
+        db = study.to_database(attach_evidence=False)
+        assert all(report.evidence is None for report in db)

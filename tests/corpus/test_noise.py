@@ -1,0 +1,80 @@
+"""Tests for the noise-report generators."""
+
+import pytest
+
+from repro.bugdb.enums import Severity
+from repro.corpus.noise import apache_noise, gnome_noise
+from repro.mining.gnome import GNOME_STUDY_COMPONENTS
+from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
+
+
+class TestApacheNoise:
+    def test_count_fills_to_total(self, apache):
+        noise = apache_noise(apache, total_reports=300)
+        assert len(noise) == 300 - apache.total
+
+    def test_default_total_is_paper_size(self, apache):
+        noise = apache_noise(apache)
+        assert len(noise) == 5220 - 50
+
+    def test_total_below_corpus_rejected(self, apache):
+        with pytest.raises(ValueError, match="smaller than the study corpus"):
+            apache_noise(apache, total_reports=10)
+
+    def test_deterministic_for_seed(self, apache):
+        first = apache_noise(apache, seed=7, total_reports=200)
+        second = apache_noise(apache, seed=7, total_reports=200)
+        assert [r.report_id for r in first] == [r.report_id for r in second]
+        assert [r.synopsis for r in first] == [r.synopsis for r in second]
+
+    def test_different_seeds_differ(self, apache):
+        first = apache_noise(apache, seed=1, total_reports=200)
+        second = apache_noise(apache, seed=2, total_reports=200)
+        assert [r.synopsis for r in first] != [r.synopsis for r in second]
+
+    def test_every_noise_report_fails_some_study_criterion(self, apache):
+        study_ids = {fault.fault_id for fault in apache.faults}
+        for report in apache_noise(apache, total_reports=400):
+            survives = (
+                report.is_production_version
+                and report.severity >= Severity.SERIOUS
+                and report.is_high_impact
+                and not report.is_duplicate
+            )
+            if survives:
+                # The only surviving noise must be an (unmarked) duplicate
+                # of a study fault, which the dedup stage removes.
+                assert report.report_id.startswith("NOISE-DUP-"), report.report_id
+
+    def test_unique_report_ids(self, apache):
+        noise = apache_noise(apache, total_reports=500)
+        ids = [report.report_id for report in noise]
+        assert len(ids) == len(set(ids))
+
+
+class TestGnomeNoise:
+    def test_count_fills_to_total(self, gnome):
+        noise = gnome_noise(gnome, study_components=GNOME_STUDY_COMPONENTS)
+        assert len(noise) == 500 - 45
+
+    def test_noise_never_survives_gnome_criteria(self, gnome):
+        components = set(GNOME_STUDY_COMPONENTS)
+        for report in gnome_noise(gnome, study_components=GNOME_STUDY_COMPONENTS):
+            survives = (
+                report.component in components
+                and report.severity >= Severity.SERIOUS
+                and report.is_high_impact
+                and not report.is_duplicate
+            )
+            if survives:
+                assert report.report_id.startswith("NOISE-DUP-"), report.report_id
+
+    def test_mysql_keywords_absent_from_generic_noise(self, gnome):
+        # Noise vocabulary must not collide with the MySQL study keywords
+        # (the same templates feed all generators).
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        for report in gnome_noise(gnome, study_components=GNOME_STUDY_COMPONENTS):
+            if report.report_id.startswith(("NOISE-Q-", "NOISE-M-")):
+                assert not matcher.matches(report.synopsis + "\n" + report.description), (
+                    report.report_id
+                )

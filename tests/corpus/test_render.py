@@ -1,0 +1,93 @@
+"""Tests for the raw-archive renderers."""
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.corpus.render import (
+    apache_raw_archive,
+    fault_thread,
+    gnome_raw_archive,
+    mysql_raw_archive,
+)
+from repro.mining.gnome import GNOME_STUDY_COMPONENTS
+from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
+from repro.rng import make_rng
+
+
+class TestApacheArchive:
+    def test_parses_back_to_total(self, apache):
+        text = apache_raw_archive(apache, total_reports=200)
+        reports = gnats.parse_archive(text)
+        assert len(reports) == 200
+
+    def test_contains_all_study_faults(self, apache):
+        text = apache_raw_archive(apache, total_reports=200)
+        ids = {report.report_id for report in gnats.parse_archive(text)}
+        assert {fault.fault_id for fault in apache.faults} <= ids
+
+    def test_no_evidence_serialized(self, apache):
+        text = apache_raw_archive(apache, total_reports=100)
+        assert all(report.evidence is None for report in gnats.parse_archive(text))
+
+    def test_deterministic(self, apache):
+        assert apache_raw_archive(apache, total_reports=120, seed=3) == apache_raw_archive(
+            apache, total_reports=120, seed=3
+        )
+
+    def test_shuffled_not_grouped(self, apache):
+        text = apache_raw_archive(apache, total_reports=200)
+        ids = [report.report_id for report in gnats.parse_archive(text)]
+        study_positions = [i for i, report_id in enumerate(ids) if report_id.startswith("APACHE-")]
+        # Study faults must be interleaved with noise, not a contiguous block.
+        assert study_positions[-1] - study_positions[0] > len(study_positions)
+
+
+class TestGnomeArchive:
+    def test_parses_back_to_total(self, gnome):
+        text = gnome_raw_archive(gnome, study_components=GNOME_STUDY_COMPONENTS)
+        assert len(debbugs.parse_archive(text)) == 500
+
+    def test_contains_all_study_faults(self, gnome):
+        text = gnome_raw_archive(gnome, study_components=GNOME_STUDY_COMPONENTS)
+        ids = {report.report_id for report in debbugs.parse_archive(text)}
+        assert {fault.fault_id for fault in gnome.faults} <= ids
+
+
+class TestMysqlArchive:
+    def test_message_count_reaches_total(self, mysql):
+        text = mysql_raw_archive(mysql, total_messages=1500)
+        messages = mbox.parse_archive(text)
+        assert len(messages) >= 1500
+
+    def test_every_fault_has_a_root_message(self, mysql):
+        text = mysql_raw_archive(mysql, total_messages=1000)
+        ids = {message.message_id for message in mbox.parse_archive(text)}
+        for fault in mysql.faults:
+            assert f"{fault.fault_id}.root@lists.mysql.com" in ids
+
+    def test_fault_thread_root_carries_report_material(self, mysql):
+        fault = mysql.faults[0]
+        thread = fault_thread(fault, rng=make_rng(1))
+        root = thread[0]
+        assert root.subject == fault.synopsis
+        assert fault.description in root.body
+        assert "How-To-Repeat:" in root.body
+        assert f"mysql version: {fault.version}" in root.body
+
+    def test_fault_thread_replies_reference_root(self, mysql):
+        fault = mysql.faults[0]
+        thread = fault_thread(fault, rng=make_rng(1))
+        for reply in thread[1:]:
+            assert reply.in_reply_to == thread[0].message_id
+
+    def test_fixed_fault_thread_ends_with_fix_mail(self, mysql):
+        fault = next(f for f in mysql.faults if f.fix_summary)
+        thread = fault_thread(fault, rng=make_rng(1))
+        assert "fixed" in thread[-1].body.lower()
+
+    def test_chatter_roots_never_match_keywords(self, mysql):
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        text = mysql_raw_archive(mysql, total_messages=2000)
+        for message in mbox.parse_archive(text):
+            if message.message_id.startswith("chatter.") and not message.is_reply:
+                assert not matcher.matches(message.subject + "\n" + message.body), (
+                    message.message_id
+                )

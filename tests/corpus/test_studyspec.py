@@ -1,0 +1,160 @@
+"""Tests for study-fault records and corpus invariants."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import (
+    Application,
+    FaultClass,
+    Resolution,
+    Status,
+    Symptom,
+    TriggerKind,
+)
+from repro.corpus.studyspec import StudyCorpus, StudyFault
+from repro.errors import CorpusError
+
+
+def make_fault(fault_id="F-1", fault_class=FaultClass.ENV_INDEPENDENT,
+               trigger=TriggerKind.NONE, app=Application.APACHE, **overrides):
+    defaults = dict(
+        fault_id=fault_id,
+        application=app,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 2, 1),
+        synopsis="a crash",
+        description="It crashes.",
+        how_to_repeat="Do the thing.",
+        fix_summary="Fixed it.",
+        symptom=Symptom.CRASH,
+        trigger=trigger,
+        fault_class=fault_class,
+    )
+    defaults.update(overrides)
+    return StudyFault(**defaults)
+
+
+class TestStudyFault:
+    def test_env_dependent_requires_trigger(self):
+        with pytest.raises(CorpusError, match="needs a trigger"):
+            make_fault(fault_class=FaultClass.ENV_DEP_TRANSIENT, trigger=TriggerKind.NONE)
+
+    def test_env_independent_must_not_name_trigger(self):
+        with pytest.raises(CorpusError, match="must not name a trigger"):
+            make_fault(fault_class=FaultClass.ENV_INDEPENDENT, trigger=TriggerKind.DISK_FULL)
+
+    def test_workload_timing_counts_as_trigger(self):
+        fault = make_fault(
+            fault_class=FaultClass.ENV_DEP_TRANSIENT,
+            trigger=TriggerKind.WORKLOAD_TIMING,
+            workload_dependent_timing=True,
+        )
+        assert fault.evidence.workload_dependent_timing
+
+    def test_evidence_reflects_curation(self):
+        fault = make_fault(
+            fault_class=FaultClass.ENV_DEP_NONTRANSIENT,
+            trigger=TriggerKind.DISK_FULL,
+            reproducible=False,
+        )
+        evidence = fault.evidence
+        assert evidence.trigger is TriggerKind.DISK_FULL
+        assert not evidence.reproducible_on_developer_machine
+        assert evidence.notes == fault.synopsis
+
+    def test_to_report_with_evidence(self):
+        report = make_fault().to_report(attach_evidence=True)
+        assert report.evidence is not None
+        assert report.report_id == "F-1"
+        assert report.status is Status.CLOSED
+        assert report.resolution is Resolution.FIXED
+
+    def test_to_report_without_evidence(self):
+        report = make_fault().to_report(attach_evidence=False)
+        assert report.evidence is None
+
+    def test_unfixed_fault_stays_open(self):
+        report = make_fault(fix_summary="").to_report()
+        assert report.status is Status.ANALYZED
+        assert report.resolution is Resolution.UNRESOLVED
+        assert report.comments == []
+
+    def test_fixed_fault_gets_developer_comment(self):
+        report = make_fault().to_report()
+        assert len(report.comments) == 1
+        assert "Fixed it." in report.comments[0].text
+
+
+class TestStudyCorpus:
+    def _counts(self, ei, edn, edt):
+        return {
+            FaultClass.ENV_INDEPENDENT: ei,
+            FaultClass.ENV_DEP_NONTRANSIENT: edn,
+            FaultClass.ENV_DEP_TRANSIENT: edt,
+        }
+
+    def test_valid_corpus(self):
+        corpus = StudyCorpus(
+            application=Application.APACHE,
+            faults=(make_fault("A"), make_fault("B")),
+            expected_counts=self._counts(2, 0, 0),
+            raw_report_count=100,
+        )
+        assert corpus.total == 2
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(CorpusError, match="do not match"):
+            StudyCorpus(
+                application=Application.APACHE,
+                faults=(make_fault("A"),),
+                expected_counts=self._counts(2, 0, 0),
+                raw_report_count=100,
+            )
+
+    def test_duplicate_fault_id_rejected(self):
+        with pytest.raises(CorpusError, match="duplicate fault id"):
+            StudyCorpus(
+                application=Application.APACHE,
+                faults=(make_fault("A"), make_fault("A")),
+                expected_counts=self._counts(2, 0, 0),
+                raw_report_count=100,
+            )
+
+    def test_wrong_application_rejected(self):
+        with pytest.raises(CorpusError, match="belongs to"):
+            StudyCorpus(
+                application=Application.GNOME,
+                faults=(make_fault("A", app=Application.APACHE),),
+                expected_counts=self._counts(1, 0, 0),
+                raw_report_count=100,
+            )
+
+    def test_by_class_and_ground_truth(self):
+        edt = make_fault("T", fault_class=FaultClass.ENV_DEP_TRANSIENT,
+                         trigger=TriggerKind.RACE_CONDITION)
+        corpus = StudyCorpus(
+            application=Application.APACHE,
+            faults=(make_fault("A"), edt),
+            expected_counts=self._counts(1, 0, 1),
+            raw_report_count=100,
+        )
+        assert corpus.by_class(FaultClass.ENV_DEP_TRANSIENT) == [edt]
+        assert corpus.ground_truth() == {
+            "A": FaultClass.ENV_INDEPENDENT,
+            "T": FaultClass.ENV_DEP_TRANSIENT,
+        }
+
+    def test_versions_first_appearance_order(self):
+        corpus = StudyCorpus(
+            application=Application.APACHE,
+            faults=(
+                make_fault("A", version="1.3.4"),
+                make_fault("B", version="1.2.4"),
+                make_fault("C", version="1.3.4"),
+            ),
+            expected_counts=self._counts(3, 0, 0),
+            raw_report_count=100,
+        )
+        assert corpus.versions() == ["1.3.4", "1.2.4"]

@@ -1,0 +1,51 @@
+"""Tests for the synthetic-corpus generator."""
+
+import pytest
+
+from repro.bugdb.enums import Application, FaultClass
+from repro.classify.text import TextClassifier
+from repro.corpus.synthetic import synthetic_corpus
+
+
+class TestSyntheticCorpus:
+    def test_counts_match_arguments(self):
+        corpus = synthetic_corpus(
+            Application.APACHE, env_independent=10, nontransient=4, transient=6
+        )
+        assert corpus.class_counts() == {
+            FaultClass.ENV_INDEPENDENT: 10,
+            FaultClass.ENV_DEP_NONTRANSIENT: 4,
+            FaultClass.ENV_DEP_TRANSIENT: 6,
+        }
+
+    def test_deterministic_for_seed(self):
+        first = synthetic_corpus(Application.MYSQL, env_independent=5, nontransient=2, transient=2, seed=9)
+        second = synthetic_corpus(Application.MYSQL, env_independent=5, nontransient=2, transient=2, seed=9)
+        assert [f.synopsis for f in first.faults] == [f.synopsis for f in second.faults]
+
+    def test_zero_counts_allowed(self):
+        corpus = synthetic_corpus(Application.GNOME, env_independent=0, nontransient=0, transient=3)
+        assert corpus.total == 3
+
+    def test_text_classifier_recovers_synthetic_ground_truth(self):
+        corpus = synthetic_corpus(
+            Application.APACHE, env_independent=20, nontransient=15, transient=15, seed=4
+        )
+        classifier = TextClassifier()
+        truth = corpus.ground_truth()
+        for report in corpus.to_reports(attach_evidence=False):
+            assert classifier.classify_report(report).fault_class is truth[report.report_id], (
+                report.report_id
+            )
+
+    def test_versions_spread_over_releases(self):
+        corpus = synthetic_corpus(
+            Application.APACHE, env_independent=9, nontransient=0, transient=0,
+            versions=("1.0", "2.0", "3.0"),
+        )
+        assert set(corpus.versions()) == {"1.0", "2.0", "3.0"}
+
+    @pytest.mark.parametrize("application", list(Application))
+    def test_all_applications_supported(self, application):
+        corpus = synthetic_corpus(application, env_independent=2, nontransient=1, transient=1)
+        assert corpus.application is application

@@ -1,0 +1,87 @@
+"""Tests for the simulation clock and event queue."""
+
+import pytest
+
+from repro.envmodel.clock import SimulationClock
+from repro.envmodel.events import EventQueue
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.advance(2.5) == 7.5
+
+    def test_cannot_move_backwards(self):
+        with pytest.raises(ValueError):
+            SimulationClock().advance(-1.0)
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimulationClock(start=10.0)
+        assert clock.advance_to(5.0) == 10.0
+
+    def test_advance_to_future(self):
+        clock = SimulationClock()
+        assert clock.advance_to(42.0) == 42.0
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        clock = SimulationClock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("late"))
+        queue.schedule(1.0, lambda: fired.append("early"))
+        queue.drain()
+        assert fired == ["early", "late"]
+        assert clock.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue(SimulationClock())
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("first"))
+        queue.schedule(1.0, lambda: fired.append("second"))
+        queue.drain()
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue(SimulationClock())
+        with pytest.raises(ValueError):
+            queue.schedule(-0.5, lambda: None)
+
+    def test_run_until_deadline(self):
+        clock = SimulationClock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(5.0, lambda: fired.append(5))
+        assert queue.run_until(2.0) == 1
+        assert fired == [1]
+        assert clock.now == 2.0
+        assert len(queue) == 1
+
+    def test_run_next_empty_queue(self):
+        assert EventQueue(SimulationClock()).run_next() is None
+
+    def test_self_scheduling_bounded(self):
+        clock = SimulationClock()
+        queue = EventQueue(clock)
+
+        def reschedule():
+            queue.schedule(1.0, reschedule)
+
+        queue.schedule(1.0, reschedule)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            queue.drain(max_events=50)
+
+    def test_events_can_schedule_followups(self):
+        clock = SimulationClock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(1.0, lambda: queue.schedule(1.0, lambda: fired.append("child")))
+        assert queue.drain() == 2
+        assert fired == ["child"]
+        assert clock.now == 2.0

@@ -1,0 +1,120 @@
+"""Tests for the DNS server and network models."""
+
+import pytest
+
+from repro.envmodel.dns import DnsLookupError, DnsServer, DnsState
+from repro.envmodel.network import Network, NetworkDownError, NetworkState
+
+
+class TestDnsServer:
+    def test_forward_lookup(self):
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1")
+        address, latency = dns.lookup("host.example.com")
+        assert address == "10.0.0.1"
+        assert latency == dns.latency_seconds
+
+    def test_reverse_lookup(self):
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1")
+        hostname, _ = dns.reverse_lookup("10.0.0.1")
+        assert hostname == "host.example.com"
+
+    def test_record_without_reverse(self):
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1", with_reverse=False)
+        assert not dns.has_reverse("10.0.0.1")
+        with pytest.raises(DnsLookupError, match="no PTR record"):
+            dns.reverse_lookup("10.0.0.1")
+
+    def test_remove_reverse(self):
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1")
+        dns.remove_reverse("10.0.0.1")
+        assert not dns.has_reverse("10.0.0.1")
+
+    def test_unknown_name(self):
+        with pytest.raises(DnsLookupError, match="NXDOMAIN"):
+            DnsServer().lookup("nobody.example.com")
+
+    def test_error_state_fails_all_lookups(self):
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1")
+        dns.degrade(DnsState.ERROR)
+        with pytest.raises(DnsLookupError, match="SERVFAIL"):
+            dns.lookup("host.example.com")
+        with pytest.raises(DnsLookupError, match="SERVFAIL"):
+            dns.reverse_lookup("10.0.0.1")
+
+    def test_slow_state_raises_latency(self):
+        dns = DnsServer(slow_latency_seconds=30.0)
+        dns.add_record("host.example.com", "10.0.0.1")
+        dns.degrade(DnsState.SLOW)
+        _, latency = dns.lookup("host.example.com")
+        assert latency == 30.0
+
+    def test_restart_restores_health_and_records(self):
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1")
+        dns.degrade(DnsState.ERROR)
+        dns.restart()
+        assert dns.state is DnsState.HEALTHY
+        assert dns.lookup("host.example.com")[0] == "10.0.0.1"
+
+    def test_restart_does_not_recreate_removed_records(self):
+        # Restarting DNS fixes its health, not its zone data: a missing
+        # PTR record is an administrator problem (the MySQL trigger).
+        dns = DnsServer()
+        dns.add_record("host.example.com", "10.0.0.1")
+        dns.remove_reverse("10.0.0.1")
+        dns.restart()
+        assert not dns.has_reverse("10.0.0.1")
+
+
+class TestNetwork:
+    def test_normal_transfer_time(self):
+        network = Network(bandwidth_bytes_per_second=1000)
+        assert network.transfer_seconds(500) == 0.5
+
+    def test_slow_state(self):
+        network = Network(slow_bandwidth_bytes_per_second=10)
+        network.degrade(NetworkState.SLOW)
+        assert network.transfer_seconds(100) == 10.0
+
+    def test_repair(self):
+        network = Network()
+        network.degrade(NetworkState.SLOW)
+        network.repair()
+        assert network.state is NetworkState.NORMAL
+
+    def test_partition_blocks_transfers(self):
+        network = Network()
+        network.degrade(NetworkState.PARTITIONED)
+        with pytest.raises(NetworkDownError, match="partitioned"):
+            network.transfer_seconds(10)
+
+    def test_interface_removal(self):
+        network = Network()
+        network.remove_interface()
+        with pytest.raises(NetworkDownError, match="interface removed"):
+            network.require_up()
+        network.insert_interface()
+        network.require_up()
+
+    def test_repair_does_not_reinsert_interface(self):
+        # Fixing the network path cannot reinsert a removed card -- the
+        # hardware trigger stays nontransient.
+        network = Network()
+        network.remove_interface()
+        network.repair()
+        with pytest.raises(NetworkDownError):
+            network.require_up()
+
+    def test_buffer_pool(self):
+        network = Network(buffer_capacity=2)
+        network.buffers.acquire(2)
+        assert network.buffers.exhausted
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Network().transfer_seconds(-1)

@@ -1,0 +1,90 @@
+"""Tests for the discrete-event load generator."""
+
+import pytest
+
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.sqldb import MiniSqlDatabase
+from repro.envmodel.environment import Environment
+from repro.envmodel.loadgen import LoadProfile, generate_load
+
+
+class TestLoadProfile:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LoadProfile(requests_per_second=0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            LoadProfile(jitter=2.0)
+
+
+class TestGenerateLoad:
+    def test_requests_scale_with_rate_and_duration(self):
+        app = MiniHttpServer(Environment())
+        result = generate_load(
+            app, "get-page", LoadProfile(requests_per_second=20, duration_seconds=10)
+        )
+        assert 150 <= result.requests_issued <= 250
+        assert result.failure_free
+        assert app.state["requests_served"] == result.requests_issued
+
+    def test_virtual_time_advances_past_duration(self):
+        app = MiniHttpServer(Environment())
+        result = generate_load(
+            app, "get-page", LoadProfile(requests_per_second=5, duration_seconds=30)
+        )
+        assert result.virtual_seconds >= 30 - 1
+
+    def test_deterministic_for_seed(self):
+        first = generate_load(
+            MiniHttpServer(Environment()), "get-page",
+            LoadProfile(requests_per_second=7, duration_seconds=5), seed=3,
+        )
+        second = generate_load(
+            MiniHttpServer(Environment()), "get-page",
+            LoadProfile(requests_per_second=7, duration_seconds=5), seed=3,
+        )
+        assert first.requests_issued == second.requests_issued
+
+    def test_failures_counted_not_raised(self):
+        env = Environment()
+        app = MiniSqlDatabase(env)
+        env.disk.fill()  # every insert hits the full file system
+
+        crashes = []
+        from repro.apps.faults import InjectedDefect
+        from repro.corpus import mysql_corpus
+        from repro.bugdb.enums import TriggerKind
+
+        fault = next(
+            f for f in mysql_corpus().faults if f.trigger is TriggerKind.DISK_FULL
+        )
+        defect = InjectedDefect(fault)
+        app.injector.inject(defect)
+
+        result = generate_load(
+            app,
+            fault.workload_op,
+            LoadProfile(requests_per_second=10, duration_seconds=2),
+            on_failure=crashes.append,
+        )
+        assert result.failures == result.requests_issued
+        assert len(crashes) == result.failures
+        assert not result.failure_free
+
+    def test_zero_duration_issues_nothing(self):
+        app = MiniHttpServer(Environment())
+        result = generate_load(
+            app, "get-page", LoadProfile(requests_per_second=10, duration_seconds=0)
+        )
+        assert result.requests_issued == 0
+
+    def test_periodic_load_without_jitter(self):
+        app = MiniHttpServer(Environment())
+        result = generate_load(
+            app, "get-page",
+            LoadProfile(requests_per_second=10, duration_seconds=1, jitter=0.0),
+        )
+        # Float accumulation of the 0.1 s gap may fit one extra arrival
+        # fractionally before the 1 s boundary.
+        assert result.requests_issued in (10, 11)

@@ -1,0 +1,137 @@
+"""Tests for finite OS resources."""
+
+import pytest
+
+from repro.envmodel.resources import BoundedResource, DiskVolume, EntropyPool
+from repro.errors import ResourceExhaustedError
+
+
+class TestBoundedResource:
+    def test_acquire_release_cycle(self):
+        resource = BoundedResource("fds", 4)
+        resource.acquire(3)
+        assert resource.in_use == 3
+        assert resource.available == 1
+        resource.release(2)
+        assert resource.in_use == 1
+
+    def test_exhaustion_raises_named_error(self):
+        resource = BoundedResource("fds", 2)
+        resource.acquire(2)
+        assert resource.exhausted
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            resource.acquire()
+        assert excinfo.value.resource == "fds"
+
+    def test_over_release_rejected(self):
+        resource = BoundedResource("fds", 4)
+        resource.acquire(1)
+        with pytest.raises(ValueError):
+            resource.release(2)
+
+    def test_release_all(self):
+        resource = BoundedResource("slots", 10)
+        resource.acquire(7)
+        assert resource.release_all() == 7
+        assert resource.in_use == 0
+
+    def test_grow(self):
+        resource = BoundedResource("fds", 2)
+        resource.acquire(2)
+        resource.grow(2)
+        resource.acquire(2)
+        assert resource.in_use == 4
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedResource("x", -1)
+
+    def test_negative_units_rejected(self):
+        resource = BoundedResource("x", 5)
+        with pytest.raises(ValueError):
+            resource.acquire(-1)
+        with pytest.raises(ValueError):
+            resource.release(-1)
+
+
+class TestDiskVolume:
+    def test_write_and_sizes(self):
+        disk = DiskVolume(1000)
+        disk.write("log", 300)
+        disk.write("log", 200)
+        assert disk.file_size("log") == 500
+        assert disk.used_bytes == 500
+        assert disk.free_bytes == 500
+
+    def test_volume_full(self):
+        disk = DiskVolume(100)
+        disk.write("a", 100)
+        assert disk.full
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            disk.write("b", 1)
+        assert excinfo.value.resource == "disk_space"
+
+    def test_per_file_limit(self):
+        disk = DiskVolume(10_000, max_file_bytes=100)
+        disk.write("log", 100)
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            disk.write("log", 1)
+        assert excinfo.value.resource == "max_file_size"
+
+    def test_raise_file_limit_clears_condition(self):
+        disk = DiskVolume(10_000, max_file_bytes=100)
+        disk.write("log", 100)
+        disk.raise_file_limit(None)
+        disk.write("log", 50)
+        assert disk.file_size("log") == 150
+
+    def test_delete_frees_space(self):
+        disk = DiskVolume(100)
+        disk.write("a", 60)
+        assert disk.delete("a") == 60
+        assert disk.free_bytes == 100
+        assert disk.delete("missing") == 0
+
+    def test_fill_and_free_external(self):
+        disk = DiskVolume(100)
+        disk.write("mine", 30)
+        disk.fill()
+        assert disk.full
+        disk.free_external()
+        assert disk.free_bytes == 70
+        assert disk.file_size("mine") == 30
+
+    def test_grow(self):
+        disk = DiskVolume(100)
+        disk.fill()
+        disk.grow(50)
+        assert not disk.full
+        disk.write("x", 50)
+        assert disk.full
+
+
+class TestEntropyPool:
+    def test_draw_and_refill(self):
+        pool = EntropyPool(bits=100, refill_rate_bits_per_second=10)
+        pool.draw(60)
+        assert pool.bits == 40
+        pool.accumulate(6.0)
+        assert pool.bits == 100
+
+    def test_exhaustion(self):
+        pool = EntropyPool(bits=10)
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            pool.draw(11)
+        assert excinfo.value.resource == "entropy"
+
+    def test_drain(self):
+        pool = EntropyPool(bits=500)
+        pool.drain()
+        assert pool.bits == 0
+
+    def test_negative_arguments_rejected(self):
+        pool = EntropyPool(bits=10)
+        with pytest.raises(ValueError):
+            pool.draw(-1)
+        with pytest.raises(ValueError):
+            pool.accumulate(-1.0)

@@ -1,0 +1,83 @@
+"""Cross-validation: the classifier's verdicts agree with the replay.
+
+The paper reasons *from bug reports* about what generic recovery would
+do; our replay driver *executes* generic recovery against injected
+faults.  The two must agree: a fault classified transient should survive
+generic recovery in the replay, and vice versa.  This is the paper's
+proposed "end-to-end check on whether the bug report had a complete list
+of environmental dependencies" (Section 5.4), automated.
+"""
+
+import pytest
+
+from repro.bugdb.enums import FaultClass, TriggerKind
+from repro.classify.recovery_model import ELASTIC_ENVIRONMENT, RESTART_FRESH
+from repro.classify.rules import RuleClassifier
+from repro.recovery import CheckpointRollback, RestartFresh, replay_fault
+
+TIMING_TRIGGERS = {
+    TriggerKind.RACE_CONDITION,
+    TriggerKind.SIGNAL_TIMING,
+    TriggerKind.WORKLOAD_TIMING,
+    TriggerKind.UNKNOWN_TRANSIENT,
+}
+
+
+class TestClassifierPredictsReplay:
+    def test_paper_default_agreement(self, study):
+        """Classification under the paper model predicts rollback survival."""
+        classifier = RuleClassifier()
+        for fault in study.all_faults():
+            predicted = classifier.classify_evidence(fault.evidence)
+            outcome = replay_fault(fault, CheckpointRollback(max_attempts=3))
+            if predicted.fault_class is FaultClass.ENV_DEP_TRANSIENT:
+                if fault.trigger not in TIMING_TRIGGERS:
+                    # Deterministic environmental repairs always work.
+                    assert outcome.survived, fault.fault_id
+            else:
+                assert not outcome.survived, fault.fault_id
+
+    def test_timing_faults_usually_survive_with_budget(self, study):
+        timing_faults = [
+            fault for fault in study.all_faults() if fault.trigger in TIMING_TRIGGERS
+        ]
+        survived = sum(
+            replay_fault(fault, CheckpointRollback(max_attempts=4)).survived
+            for fault in timing_faults
+        )
+        assert survived >= 0.75 * len(timing_faults)
+
+    def test_restart_fresh_model_agreement(self, study):
+        """Reclassifying under RESTART_FRESH predicts RestartFresh replay."""
+        classifier = RuleClassifier(RESTART_FRESH)
+        for fault in study.all_faults():
+            predicted = classifier.classify_evidence(fault.evidence)
+            outcome = replay_fault(fault, RestartFresh(max_attempts=3))
+            if predicted.fault_class is FaultClass.ENV_INDEPENDENT:
+                assert not outcome.survived, fault.fault_id
+            elif (
+                predicted.fault_class is FaultClass.ENV_DEP_TRANSIENT
+                and fault.trigger not in TIMING_TRIGGERS
+            ):
+                assert outcome.survived, fault.fault_id
+            elif predicted.fault_class is FaultClass.ENV_DEP_NONTRANSIENT:
+                assert not outcome.survived, fault.fault_id
+
+    def test_elastic_model_agreement(self, study):
+        """The elastic environment makes storage faults survivable."""
+        classifier = RuleClassifier(ELASTIC_ENVIRONMENT)
+        storage_triggers = {
+            TriggerKind.DISK_FULL,
+            TriggerKind.FILE_SIZE_LIMIT,
+            TriggerKind.DISK_CACHE_FULL,
+            TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+        }
+        for fault in study.all_faults():
+            if fault.trigger not in storage_triggers:
+                continue
+            predicted = classifier.classify_evidence(fault.evidence)
+            assert predicted.fault_class is FaultClass.ENV_DEP_TRANSIENT
+            outcome = replay_fault(
+                fault, CheckpointRollback(ELASTIC_ENVIRONMENT, max_attempts=2)
+            )
+            assert outcome.survived, fault.fault_id

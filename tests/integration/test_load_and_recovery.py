@@ -1,0 +1,142 @@
+"""Integration: generated load, naturally arising faults, and recovery.
+
+These tests tie the substrate layers together without any arm()
+shortcuts: the load generator drives the mini HTTP server through the
+event queue until an environmental condition arises *from the load
+itself*, and a recovery technique either survives it or doesn't —
+according to the taxonomy.
+"""
+
+import datetime
+
+import pytest
+
+from repro.apps.faults import InjectedDefect
+from repro.apps.httpserver import MiniHttpServer
+from repro.apps.workload import Workload
+from repro.bugdb.enums import Application, FaultClass, Symptom, TriggerKind
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.environment import Environment, EnvironmentSpec
+from repro.envmodel.loadgen import LoadProfile, generate_load
+from repro.errors import ApplicationCrash, RecoveryExhausted
+from repro.recovery import CheckpointRollback, ProcessPairs
+
+
+def make_fault(trigger, fault_class, op):
+    return StudyFault(
+        fault_id=f"LOAD-{trigger.value}",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1),
+        synopsis="load-driven fault",
+        description="x",
+        how_to_repeat="x",
+        fix_summary="",
+        symptom=Symptom.CRASH,
+        trigger=trigger,
+        fault_class=fault_class,
+        workload_op=op,
+    )
+
+
+class TestLoadDrivenFaults:
+    def test_fork_per_request_exhausts_process_table_under_load(self):
+        """Peak load fills the process table; the defect then fires on
+        its own, with no artificial arming."""
+        env = Environment(spec=EnvironmentSpec(process_slots=32))
+        server = MiniHttpServer(env)
+        fault = make_fault(
+            TriggerKind.PROCESS_TABLE_FULL, FaultClass.ENV_DEP_TRANSIENT, "fork-child"
+        )
+        server.injector.inject(InjectedDefect(fault))
+
+        result = generate_load(
+            server,
+            "fork-child",
+            LoadProfile(requests_per_second=10, duration_seconds=10),
+        )
+        # The first 32 forks succeed; every later request finds the table
+        # full and crashes.
+        assert result.failures == result.requests_issued - 32
+
+    def test_recovery_under_load_frees_the_table(self):
+        env = Environment(spec=EnvironmentSpec(process_slots=16))
+        server = MiniHttpServer(env)
+        fault = make_fault(
+            TriggerKind.PROCESS_TABLE_FULL, FaultClass.ENV_DEP_TRANSIENT, "fork-child"
+        )
+        server.injector.inject(InjectedDefect(fault))
+        technique = ProcessPairs()
+        technique.prepare(server)
+
+        for _ in range(16):
+            server.run_op("fork-child")
+        with pytest.raises(ApplicationCrash):
+            server.run_op("fork-child")
+        technique.recover(server, attempt=1)
+        server.run_op("fork-child")  # slots freed by the failover kill
+
+    def test_log_growth_under_load_hits_the_file_limit(self):
+        """Sustained serving fills the access log to the platform's
+        per-file limit; requests then fail environmentally."""
+        env = Environment(
+            spec=EnvironmentSpec(max_file_bytes=120 * 50, disk_capacity_bytes=10**9)
+        )
+        server = MiniHttpServer(env)
+        served = 0
+        with pytest.raises(Exception):
+            for _ in range(100):
+                server.handle_request("/index.html")
+                served += 1
+        assert served == 50  # exactly the limit's worth of log records
+
+
+class TestRunWithRecovery:
+    def _crashing_server(self, fault_class, trigger, *, arm=True):
+        env = Environment(spec=EnvironmentSpec(process_slots=8))
+        env.dns.add_record("client.example.net", "10.0.0.99")
+        server = MiniHttpServer(env)
+        fault = make_fault(trigger, fault_class, "the-op")
+        defect = InjectedDefect(fault)
+        server.injector.inject(defect)
+        if arm:
+            defect.arm(env, server)
+        return server
+
+    def test_transient_fault_completes_with_one_recovery(self):
+        server = self._crashing_server(
+            FaultClass.ENV_DEP_TRANSIENT, TriggerKind.PROCESS_TABLE_FULL
+        )
+        technique = CheckpointRollback()
+        attempts = technique.run_with_recovery(server, Workload(ops=("warm", "the-op")))
+        assert attempts == 1
+
+    def test_clean_workload_needs_no_recovery(self):
+        server = self._crashing_server(
+            FaultClass.ENV_DEP_TRANSIENT, TriggerKind.PROCESS_TABLE_FULL, arm=False
+        )
+        technique = CheckpointRollback()
+        # Timing defect families are armed implicitly; a resource defect
+        # whose condition never arises stays silent.
+        assert technique.run_with_recovery(server, Workload(ops=("warm",))) == 0
+
+    def test_nontransient_fault_exhausts_recovery(self):
+        server = self._crashing_server(
+            FaultClass.ENV_DEP_NONTRANSIENT, TriggerKind.DISK_FULL
+        )
+        technique = CheckpointRollback(max_attempts=2)
+        with pytest.raises(RecoveryExhausted) as excinfo:
+            technique.run_with_recovery(server, Workload(ops=("the-op",)))
+        assert excinfo.value.attempts == 2
+
+    def test_on_recovery_callback_invoked(self):
+        server = self._crashing_server(
+            FaultClass.ENV_DEP_TRANSIENT, TriggerKind.DNS_ERROR
+        )
+        attempts_seen = []
+        technique = CheckpointRollback()
+        technique.run_with_recovery(
+            server, Workload(ops=("the-op",)), on_recovery=attempts_seen.append
+        )
+        assert attempts_seen == [1]

@@ -1,0 +1,123 @@
+"""Tests for duplicate-report reduction."""
+
+import datetime
+
+from repro.bugdb.enums import Application, Severity, Symptom
+from repro.bugdb.model import BugReport
+from repro.mining.dedup import Deduplicator
+
+import pytest
+
+
+def make_report(report_id, synopsis, *, day=1):
+    return BugReport(
+        report_id=report_id,
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, day),
+        reporter="u@x",
+        synopsis=synopsis,
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+    )
+
+
+class TestExactDedup:
+    def test_identical_synopses_merge(self):
+        reports = [
+            make_report("A", "segfault on long URL", day=1),
+            make_report("B", "segfault on long URL", day=5),
+        ]
+        result = Deduplicator(use_fuzzy=False).dedup(reports)
+        assert len(result.groups) == 1
+        assert result.groups[0].primary.report_id == "A"
+        assert result.duplicate_count == 1
+
+    def test_earliest_report_is_primary(self):
+        reports = [
+            make_report("B", "segfault on long URL", day=9),
+            make_report("A", "segfault on long URL", day=2),
+        ]
+        result = Deduplicator(use_fuzzy=False).dedup(reports)
+        assert result.groups[0].primary.report_id == "A"
+
+    def test_word_order_does_not_matter(self):
+        reports = [
+            make_report("A", "long URL segfault"),
+            make_report("B", "segfault long URL"),
+        ]
+        assert len(Deduplicator(use_fuzzy=False).dedup(reports).groups) == 1
+
+    def test_distinct_bugs_stay_separate(self):
+        reports = [
+            make_report("A", "segfault on long URL"),
+            make_report("B", "hang in directory listing"),
+        ]
+        assert len(Deduplicator(use_fuzzy=False).dedup(reports).groups) == 2
+
+
+class TestFuzzyDedup:
+    def test_reworded_duplicate_merges(self):
+        reports = [
+            make_report("A", "dies with a segfault when the submitted URL is very long", day=1),
+            make_report("B", "again: very long submitted URL segfault dies with", day=8),
+        ]
+        result = Deduplicator(use_fuzzy=True).dedup(reports)
+        assert len(result.groups) == 1
+        assert result.groups[0].primary.report_id == "A"
+
+    def test_fuzzy_disabled_keeps_them_separate(self):
+        reports = [
+            make_report("A", "dies with a segfault when the submitted URL is very long", day=1),
+            make_report("B", "again: very long submitted URL segfault dies with", day=8),
+        ]
+        assert len(Deduplicator(use_fuzzy=False).dedup(reports).groups) == 2
+
+    def test_threshold_controls_merging(self):
+        reports = [
+            make_report("A", "segfault parsing chunked encoding header", day=1),
+            make_report("B", "segfault parsing cookie header", day=3),
+        ]
+        strict = Deduplicator(use_fuzzy=True, fuzzy_threshold=0.9)
+        loose = Deduplicator(use_fuzzy=True, fuzzy_threshold=0.3)
+        assert len(strict.dedup(reports).groups) == 2
+        assert len(loose.dedup(reports).groups) == 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Deduplicator(fuzzy_threshold=0.0)
+        with pytest.raises(ValueError):
+            Deduplicator(fuzzy_threshold=1.5)
+
+    def test_unique_returns_primaries_only(self):
+        reports = [
+            make_report("A", "one bug here"),
+            make_report("B", "another bug there"),
+            make_report("C", "one bug here", day=9),
+        ]
+        unique = Deduplicator().unique(reports)
+        assert sorted(r.report_id for r in unique) == ["A", "B"]
+
+    def test_custom_key_function(self):
+        dedup = Deduplicator(use_fuzzy=False, key_fn=lambda report: report.version)
+        reports = [make_report("A", "x"), make_report("B", "completely different")]
+        assert len(dedup.dedup(reports).groups) == 1  # same version
+
+    def test_group_size(self):
+        reports = [
+            make_report("A", "one bug here", day=1),
+            make_report("B", "one bug here", day=2),
+            make_report("C", "one bug here", day=3),
+        ]
+        group = Deduplicator().dedup(reports).groups[0]
+        assert group.size == 3
+        assert len(group.duplicates) == 2
+
+    def test_curated_study_faults_never_merge(self, study):
+        # Fuzzy dedup at the pipeline threshold must keep all 139 unique
+        # bugs distinct -- otherwise the paper's counts would be wrong.
+        dedup = Deduplicator()
+        for corpus in study.corpora.values():
+            reports = corpus.to_reports()
+            assert len(dedup.dedup(reports).groups) == corpus.total

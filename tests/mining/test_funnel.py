@@ -1,0 +1,98 @@
+"""Tests for the narrowing-funnel statistics."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import Application, Severity, Symptom
+from repro.bugdb.model import BugReport
+from repro.mining.dedup import Deduplicator
+from repro.mining.funnel import (
+    duplicate_rate,
+    funnel_from_trace,
+    mean_reports_per_bug,
+)
+from repro.mining.pipeline import NarrowingTrace
+
+
+def make_trace(*counts, names=None):
+    trace = NarrowingTrace()
+    for index, count in enumerate(counts):
+        trace.record(names[index] if names else f"stage-{index}", count)
+    return trace
+
+
+class TestFunnelSummary:
+    def test_stage_reductions(self):
+        funnel = funnel_from_trace(make_trace(100, 40, 10))
+        assert len(funnel.stages) == 2
+        assert funnel.stages[0].before == 100
+        assert funnel.stages[0].after == 40
+        assert funnel.stages[0].kept_fraction == 0.4
+        assert funnel.stages[0].removed == 60
+
+    def test_overall_selectivity(self):
+        funnel = funnel_from_trace(make_trace(1000, 500, 50))
+        assert funnel.overall_selectivity == 0.05
+
+    def test_most_selective_stage(self):
+        funnel = funnel_from_trace(
+            make_trace(100, 90, 9, names=["raw", "mild", "harsh"])
+        )
+        assert funnel.most_selective_stage().name == "harsh"
+
+    def test_rows(self):
+        rows = funnel_from_trace(make_trace(10, 5)).rows()
+        assert rows == [("stage-1", 10, 5, "50.0%")]
+
+    def test_empty_funnel(self):
+        funnel = funnel_from_trace(NarrowingTrace())
+        assert funnel.overall_selectivity == 1.0
+        with pytest.raises(ValueError):
+            funnel.most_selective_stage()
+
+    def test_apache_funnel_end_to_end(self, apache):
+        from repro.bugdb import gnats
+        from repro.corpus.render import apache_raw_archive
+        from repro.mining import mine_apache
+
+        reports = gnats.parse_archive(apache_raw_archive(apache, total_reports=500))
+        funnel = funnel_from_trace(mine_apache(reports).trace)
+        assert funnel.overall_selectivity == 50 / 500
+        assert all(0.0 <= stage.kept_fraction <= 1.0 for stage in funnel.stages)
+
+
+class TestDuplicateStatistics:
+    def _reports(self):
+        def make(report_id, synopsis, day):
+            return BugReport(
+                report_id=report_id,
+                application=Application.APACHE,
+                component="core",
+                version="1.3.4",
+                date=datetime.date(1999, 1, day),
+                reporter="u@x",
+                synopsis=synopsis,
+                severity=Severity.CRITICAL,
+                symptom=Symptom.CRASH,
+            )
+
+        return [
+            make("A", "one bug here", 1),
+            make("B", "one bug here", 2),
+            make("C", "one bug here", 3),
+            make("D", "different thing entirely", 1),
+        ]
+
+    def test_duplicate_rate(self):
+        result = Deduplicator().dedup(self._reports())
+        assert duplicate_rate(result) == 2 / 4
+
+    def test_mean_reports_per_bug(self):
+        result = Deduplicator().dedup(self._reports())
+        assert mean_reports_per_bug(result) == 2.0
+
+    def test_empty(self):
+        result = Deduplicator().dedup([])
+        assert duplicate_rate(result) == 0.0
+        assert mean_reports_per_bug(result) == 0.0

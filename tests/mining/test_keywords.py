@@ -1,0 +1,59 @@
+"""Tests for keyword matching."""
+
+import pytest
+
+from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
+
+
+class TestKeywordMatcher:
+    def test_paper_keywords(self):
+        assert MYSQL_STUDY_KEYWORDS == ("crash", "segmentation", "race", "died")
+
+    def test_requires_keywords(self):
+        with pytest.raises(ValueError):
+            KeywordMatcher([])
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "the server crashes on startup",
+            "it CRASHED again",
+            "died with a segmentation fault",
+            "a race between two threads",
+            "mysqld died last night",
+        ],
+    )
+    def test_matches_study_texts(self, text):
+        assert KeywordMatcher(MYSQL_STUDY_KEYWORDS).matches(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "the stack trace shows nothing",  # trace != race
+            "embraced the new API",           # embraced != race
+            "gracefully restarted",           # grace != race
+            "how do I tune the key cache",
+            "",
+        ],
+    )
+    def test_no_match_inside_other_words(self, text):
+        assert not KeywordMatcher(MYSQL_STUDY_KEYWORDS).matches(text)
+
+    def test_suffix_stemming(self):
+        matcher = KeywordMatcher(["crash"])
+        assert matcher.matches("crashing hard")
+        assert matcher.matches("many crashes")
+        assert not matcher.matches("ucrash")  # left word boundary required
+
+    def test_find_all_in_order(self):
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        hits = matcher.find_all("it crashed, then died; the crash repeated")
+        assert hits == ["crashed", "died", "crash"]
+
+    def test_matched_stems(self):
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        stems = matcher.matched_stems("crashed with a segmentation fault")
+        assert stems == {"crash", "segmentation"}
+
+    def test_case_insensitive(self):
+        assert KeywordMatcher(["died"]).matches("the server DIED")

@@ -1,0 +1,110 @@
+"""End-to-end miner tests: raw archives -> the paper's study sets."""
+
+import pytest
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.bugdb.enums import Severity
+from repro.corpus.render import apache_raw_archive, gnome_raw_archive, mysql_raw_archive
+from repro.mining import (
+    GNOME_STUDY_COMPONENTS,
+    mine_apache,
+    mine_gnome,
+    mine_mysql,
+)
+from repro.mining.dedup import Deduplicator
+
+
+@pytest.fixture(scope="module")
+def apache_reports(apache):
+    return gnats.parse_archive(apache_raw_archive(apache, total_reports=600))
+
+
+@pytest.fixture(scope="module")
+def gnome_reports(gnome):
+    return debbugs.parse_archive(
+        gnome_raw_archive(gnome, study_components=GNOME_STUDY_COMPONENTS)
+    )
+
+
+@pytest.fixture(scope="module")
+def mysql_messages(mysql):
+    return mbox.parse_archive(mysql_raw_archive(mysql, total_messages=2500))
+
+
+class TestMineApache:
+    def test_narrows_to_exactly_50_unique_bugs(self, apache_reports):
+        result = mine_apache(apache_reports)
+        assert len(result.items) == 50
+
+    def test_survivors_are_the_study_faults(self, apache_reports, apache):
+        result = mine_apache(apache_reports)
+        assert {r.report_id for r in result.items} == {
+            f.fault_id for f in apache.faults
+        }
+
+    def test_trace_has_paper_stages(self, apache_reports):
+        trace = mine_apache(apache_reports).trace
+        names = [name for name, _ in trace.as_rows()]
+        assert names == [
+            "raw reports",
+            "production versions",
+            "severity>=serious",
+            "high-impact symptom",
+            "not marked duplicate",
+            "unique bugs",
+        ]
+        counts = [count for _, count in trace.as_rows()]
+        assert counts == sorted(counts, reverse=True)  # monotone narrowing
+
+    def test_min_severity_is_configurable(self, apache_reports):
+        strict = mine_apache(apache_reports, min_severity=Severity.CRITICAL)
+        assert len(strict.items) < 50  # serious-only faults drop out
+
+    def test_exact_dedup_alone_misses_reworded_duplicates(self, apache_reports):
+        loose = mine_apache(apache_reports, deduplicator=Deduplicator(use_fuzzy=False))
+        assert len(loose.items) > 50
+
+
+class TestMineGnome:
+    def test_narrows_to_exactly_45_unique_bugs(self, gnome_reports):
+        assert len(mine_gnome(gnome_reports).items) == 45
+
+    def test_survivors_are_the_study_faults(self, gnome_reports, gnome):
+        result = mine_gnome(gnome_reports)
+        assert {r.report_id for r in result.items} == {f.fault_id for f in gnome.faults}
+
+    def test_component_scope_is_configurable(self, gnome_reports):
+        result = mine_gnome(gnome_reports, components=("gnumeric",))
+        assert 0 < len(result.items) < 45
+        assert all(r.component == "gnumeric" for r in result.items)
+
+
+class TestMineMysql:
+    def test_narrows_to_exactly_44_unique_bugs(self, mysql_messages):
+        assert len(mine_mysql(mysql_messages).items) == 44
+
+    def test_trace_records_keyword_and_thread_stages(self, mysql_messages):
+        trace = mine_mysql(mysql_messages).trace
+        names = [name for name, _ in trace.as_rows()]
+        assert names[0] == "raw messages"
+        assert names[-1] == "unique bugs"
+        assert any("keyword" in name for name in names)
+        assert any("thread" in name for name in names)
+
+    def test_candidate_reports_carry_version_and_repro(self, mysql_messages, mysql):
+        result = mine_mysql(mysql_messages)
+        versions = {f.version for f in mysql.faults}
+        for report in result.items:
+            assert report.version in versions
+            assert report.how_to_repeat
+
+    def test_restricting_keywords_loses_bugs(self, mysql_messages):
+        result = mine_mysql(mysql_messages, keywords=("segmentation",))
+        assert len(result.items) < 44
+
+    def test_reply_only_keywords_do_not_create_bugs(self, mysql_messages):
+        # Chatter threads where only a reply mentions a crash must not
+        # produce candidate bugs (root-gated mining).
+        result = mine_mysql(mysql_messages)
+        for report in result.items:
+            assert not report.report_id.startswith("chatter.")

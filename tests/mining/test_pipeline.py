@@ -1,0 +1,56 @@
+"""Tests for the narrowing pipeline plumbing."""
+
+from repro.mining.pipeline import Narrower, NarrowingTrace
+
+
+class TestNarrowingTrace:
+    def test_empty_trace(self):
+        trace = NarrowingTrace()
+        assert trace.initial == 0
+        assert trace.final == 0
+        assert trace.as_rows() == []
+
+    def test_records_stages_in_order(self):
+        trace = NarrowingTrace()
+        trace.record("raw", 100)
+        trace.record("filtered", 40)
+        trace.record("unique", 25)
+        assert trace.initial == 100
+        assert trace.final == 25
+        assert trace.as_rows() == [("raw", 100), ("filtered", 40), ("unique", 25)]
+
+
+class TestNarrower:
+    def test_keep_filters_and_traces(self):
+        narrower = Narrower(range(10), initial_stage="numbers")
+        narrower.keep("even", lambda n: n % 2 == 0)
+        result = narrower.result()
+        assert result.items == [0, 2, 4, 6, 8]
+        assert result.trace.as_rows() == [("numbers", 10), ("even", 5)]
+
+    def test_transform_replaces_items(self):
+        narrower = Narrower([3, 1, 2])
+        narrower.transform("sorted-head", lambda items: sorted(items)[:2])
+        assert narrower.result().items == [1, 2]
+
+    def test_chaining(self):
+        result = (
+            Narrower(range(100))
+            .keep("lt-50", lambda n: n < 50)
+            .keep("even", lambda n: n % 2 == 0)
+            .transform("head", lambda items: items[:5])
+            .result()
+        )
+        assert result.items == [0, 2, 4, 6, 8]
+        assert result.trace.final == 5
+        assert [name for name, _ in result.trace.as_rows()] == [
+            "raw",
+            "lt-50",
+            "even",
+            "head",
+        ]
+
+    def test_empty_input(self):
+        result = Narrower([]).keep("any", lambda _: True).result()
+        assert result.items == []
+        assert result.trace.initial == 0

@@ -1,0 +1,85 @@
+"""Tests for mailing-list thread reconstruction."""
+
+import datetime
+
+from repro.bugdb.mbox import MailMessage
+from repro.mining.threads import group_threads
+
+
+def make_message(message_id, subject, *, day=1, in_reply_to=None):
+    return MailMessage(
+        message_id=message_id,
+        sender="u@x",
+        date=datetime.date(1999, 5, day),
+        subject=subject,
+        body="body",
+        in_reply_to=in_reply_to,
+    )
+
+
+class TestGroupThreads:
+    def test_reply_chain_groups(self):
+        messages = [
+            make_message("root@x", "server crashes", day=1),
+            make_message("r1@x", "Re: server crashes", day=2, in_reply_to="root@x"),
+            make_message("r2@x", "Re: server crashes", day=3, in_reply_to="r1@x"),
+        ]
+        threads = group_threads(messages)
+        assert len(threads) == 1
+        assert threads[0].size == 3
+        assert threads[0].root.message_id == "root@x"
+
+    def test_subject_fallback_without_headers(self):
+        messages = [
+            make_message("root@x", "server crashes", day=1),
+            make_message("r1@x", "Re: server crashes", day=2),  # header dropped
+        ]
+        threads = group_threads(messages)
+        assert len(threads) == 1
+
+    def test_distinct_subjects_stay_separate(self):
+        messages = [
+            make_message("a@x", "crash in parser"),
+            make_message("b@x", "replication question"),
+        ]
+        assert len(group_threads(messages)) == 2
+
+    def test_root_is_earliest_non_reply(self):
+        messages = [
+            make_message("late@x", "server crashes", day=9),
+            make_message("early@x", "Re: server crashes", day=1, in_reply_to="late@x"),
+        ]
+        thread = group_threads(messages)[0]
+        assert thread.root.message_id == "late@x"
+
+    def test_all_replies_falls_back_to_earliest(self):
+        messages = [
+            make_message("r1@x", "Re: lost root", day=2),
+            make_message("r2@x", "Re: lost root", day=5),
+        ]
+        thread = group_threads(messages)[0]
+        assert thread.root.message_id == "r1@x"
+
+    def test_threads_ordered_by_root_date(self):
+        messages = [
+            make_message("b@x", "second subject", day=8),
+            make_message("a@x", "first subject", day=2),
+        ]
+        threads = group_threads(messages)
+        assert [t.root.message_id for t in threads] == ["a@x", "b@x"]
+
+    def test_reply_to_unknown_message_still_grouped_by_subject(self):
+        messages = [
+            make_message("root@x", "crash report", day=1),
+            make_message("r1@x", "Re: crash report", day=2, in_reply_to="missing@x"),
+        ]
+        assert len(group_threads(messages)) == 1
+
+    def test_full_text_includes_subject_and_bodies(self):
+        messages = [make_message("root@x", "crash report")]
+        thread = group_threads(messages)[0]
+        assert "crash report" in thread.full_text
+        assert "body" in thread.full_text
+
+    def test_empty_input(self):
+        assert group_threads([]) == []

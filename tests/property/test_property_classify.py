@@ -1,0 +1,100 @@
+"""Property tests: classification invariants over all models and corpora."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import wilson_interval
+from repro.bugdb.enums import Application, FaultClass, TriggerKind
+from repro.bugdb.model import TriggerEvidence
+from repro.classify.recovery_model import RecoveryModel
+from repro.classify.rules import RuleClassifier
+from repro.classify.text import TextClassifier
+from repro.corpus.synthetic import synthetic_corpus
+
+recovery_models = st.builds(
+    RecoveryModel,
+    preserves_all_state=st.booleans(),
+    kills_application_processes=st.booleans(),
+    auto_extends_storage=st.booleans(),
+    reclaims_leaked_os_resources=st.booleans(),
+    expects_external_repair=st.booleans(),
+)
+
+triggers = st.sampled_from(list(TriggerKind))
+
+
+class TestClassifierInvariants:
+    @given(model=recovery_models)
+    @settings(max_examples=32, deadline=None)
+    def test_no_trigger_is_always_environment_independent(self, model):
+        result = RuleClassifier(model).classify_evidence(TriggerEvidence())
+        assert result.fault_class is FaultClass.ENV_INDEPENDENT
+
+    @given(model=recovery_models, trigger=triggers)
+    @settings(max_examples=100, deadline=None)
+    def test_any_trigger_is_environment_dependent(self, model, trigger):
+        evidence = TriggerEvidence(trigger=trigger)
+        result = RuleClassifier(model).classify_evidence(evidence)
+        if trigger is TriggerKind.NONE:
+            assert result.fault_class is FaultClass.ENV_INDEPENDENT
+        else:
+            assert result.fault_class in (
+                FaultClass.ENV_DEP_NONTRANSIENT,
+                FaultClass.ENV_DEP_TRANSIENT,
+            )
+
+    @given(model=recovery_models, trigger=triggers)
+    @settings(max_examples=100, deadline=None)
+    def test_classification_is_deterministic(self, model, trigger):
+        evidence = TriggerEvidence(trigger=trigger)
+        classifier = RuleClassifier(model)
+        assert (
+            classifier.classify_evidence(evidence).fault_class
+            is classifier.classify_evidence(evidence).fault_class
+        )
+
+    @given(model=recovery_models, trigger=triggers)
+    @settings(max_examples=100, deadline=None)
+    def test_transient_iff_condition_clears(self, model, trigger):
+        if trigger is TriggerKind.NONE:
+            return
+        result = RuleClassifier(model).classify_evidence(TriggerEvidence(trigger=trigger))
+        expected_transient = model.condition_clears_on_retry(trigger)
+        assert (result.fault_class is FaultClass.ENV_DEP_TRANSIENT) == expected_transient
+
+
+class TestSyntheticCorpusRecovery:
+    @given(
+        ei=st.integers(0, 20),
+        edn=st.integers(0, 10),
+        edt=st.integers(0, 10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_text_classifier_recovers_any_synthetic_mix(self, ei, edn, edt, seed):
+        if ei + edn + edt == 0:
+            return
+        corpus = synthetic_corpus(
+            Application.MYSQL, env_independent=ei, nontransient=edn, transient=edt, seed=seed
+        )
+        classifier = TextClassifier()
+        truth = corpus.ground_truth()
+        for report in corpus.to_reports(attach_evidence=False):
+            assert classifier.classify_report(report).fault_class is truth[report.report_id]
+
+
+class TestWilsonProperties:
+    @given(total=st.integers(1, 500), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_interval_contains_point_estimate(self, total, data):
+        successes = data.draw(st.integers(0, total))
+        low, high = wilson_interval(successes, total)
+        assert 0.0 <= low <= successes / total <= high <= 1.0
+
+    @given(total=st.integers(1, 200), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_higher_confidence_is_wider(self, total, data):
+        successes = data.draw(st.integers(0, total))
+        low95, high95 = wilson_interval(successes, total, z=1.96)
+        low99, high99 = wilson_interval(successes, total, z=2.58)
+        assert high99 - low99 >= high95 - low95

@@ -1,0 +1,105 @@
+"""Property tests: deduplication invariants."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bugdb.dedup_keys import content_tokens, jaccard_similarity, normalize_synopsis
+from repro.bugdb.enums import Application, Severity, Symptom
+from repro.bugdb.model import BugReport
+from repro.mining.dedup import Deduplicator
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=10)
+synopses = st.lists(words, min_size=2, max_size=8).map(" ".join)
+
+
+def make_report(index, synopsis, day):
+    return BugReport(
+        report_id=f"R-{index}",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1) + datetime.timedelta(days=day),
+        reporter="u@x",
+        synopsis=synopsis,
+        severity=Severity.CRITICAL,
+        symptom=Symptom.CRASH,
+    )
+
+
+@st.composite
+def report_lists(draw):
+    synopsis_pool = draw(st.lists(synopses, min_size=1, max_size=6, unique=True))
+    count = draw(st.integers(1, 15))
+    return [
+        make_report(
+            index,
+            draw(st.sampled_from(synopsis_pool)),
+            draw(st.integers(0, 300)),
+        )
+        for index in range(count)
+    ]
+
+
+class TestDedupProperties:
+    @given(reports=report_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_covers_all_reports(self, reports):
+        result = Deduplicator().dedup(reports)
+        seen = [group.primary for group in result.groups]
+        for group in result.groups:
+            seen.extend(group.duplicates)
+        assert sorted(r.report_id for r in seen) == sorted(r.report_id for r in reports)
+
+    @given(reports=report_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_primary_is_earliest_in_group(self, reports):
+        for group in Deduplicator().dedup(reports).groups:
+            for duplicate in group.duplicates:
+                assert (group.primary.date, group.primary.report_id) <= (
+                    duplicate.date,
+                    duplicate.report_id,
+                )
+
+    @given(reports=report_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_synopses_always_merge(self, reports):
+        result = Deduplicator(use_fuzzy=False).dedup(reports)
+        keys = [normalize_synopsis(group.primary.synopsis) for group in result.groups]
+        assert len(keys) == len(set(keys))
+
+    @given(reports=report_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_fuzzy_never_yields_more_groups_than_exact(self, reports):
+        exact = Deduplicator(use_fuzzy=False).dedup(reports)
+        fuzzy = Deduplicator(use_fuzzy=True).dedup(reports)
+        assert len(fuzzy.groups) <= len(exact.groups)
+
+    @given(reports=report_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_unique_count_plus_duplicates_is_total(self, reports):
+        result = Deduplicator().dedup(reports)
+        assert len(result.primaries) + result.duplicate_count == len(reports)
+
+
+class TestSimilarityProperties:
+    @given(left=synopses, right=synopses)
+    @settings(max_examples=80, deadline=None)
+    def test_jaccard_bounds_and_symmetry(self, left, right):
+        lt, rt = content_tokens(left), content_tokens(right)
+        similarity = jaccard_similarity(lt, rt)
+        assert 0.0 <= similarity <= 1.0
+        assert similarity == jaccard_similarity(rt, lt)
+
+    @given(synopsis=synopses)
+    @settings(max_examples=80, deadline=None)
+    def test_normalize_is_idempotent(self, synopsis):
+        once = normalize_synopsis(synopsis)
+        assert normalize_synopsis(once) == once
+
+    @given(synopsis=synopses, extra=words)
+    @settings(max_examples=80, deadline=None)
+    def test_word_order_invariance(self, synopsis, extra):
+        shuffled = " ".join(reversed((synopsis + " " + extra).split()))
+        assert normalize_synopsis(synopsis + " " + extra) == normalize_synopsis(shuffled)

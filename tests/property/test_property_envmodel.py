@@ -1,0 +1,121 @@
+"""Property tests: environment-model invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.envmodel.clock import SimulationClock
+from repro.envmodel.resources import BoundedResource, DiskVolume
+from repro.envmodel.scheduler import ThreadScheduler
+from repro.errors import ResourceExhaustedError
+
+
+class TestBoundedResourceInvariants:
+    @given(
+        capacity=st.integers(0, 100),
+        operations=st.lists(st.tuples(st.booleans(), st.integers(0, 20)), max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_in_use_never_exceeds_capacity_or_goes_negative(self, capacity, operations):
+        resource = BoundedResource("r", capacity)
+        for is_acquire, units in operations:
+            try:
+                if is_acquire:
+                    resource.acquire(units)
+                else:
+                    resource.release(units)
+            except (ResourceExhaustedError, ValueError):
+                pass
+            assert 0 <= resource.in_use <= resource.capacity
+            assert resource.available == resource.capacity - resource.in_use
+
+    @given(capacity=st.integers(0, 50), acquired=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_release_all_restores_full_availability(self, capacity, acquired):
+        assume(acquired <= capacity)
+        resource = BoundedResource("r", capacity)
+        resource.acquire(acquired)
+        assert resource.release_all() == acquired
+        assert resource.available == capacity
+
+
+class TestDiskInvariants:
+    @given(
+        capacity=st.integers(0, 10_000),
+        writes=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3000)), max_size=20
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_used_never_exceeds_capacity(self, capacity, writes):
+        disk = DiskVolume(capacity)
+        for path, size in writes:
+            try:
+                disk.write(path, size)
+            except ResourceExhaustedError:
+                pass
+            assert 0 <= disk.used_bytes <= disk.capacity_bytes
+            assert disk.free_bytes == disk.capacity_bytes - disk.used_bytes
+
+    @given(capacity=st.integers(1, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_fill_then_free_is_identity(self, capacity):
+        disk = DiskVolume(capacity)
+        disk.fill()
+        assert disk.full
+        disk.free_external()
+        assert disk.free_bytes == capacity
+
+    @given(
+        capacity=st.integers(100, 10_000),
+        limit=st.integers(1, 99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_file_limit_enforced(self, capacity, limit):
+        disk = DiskVolume(capacity, max_file_bytes=limit)
+        disk.write("f", limit)
+        try:
+            disk.write("f", 1)
+            assert False, "limit not enforced"
+        except ResourceExhaustedError as exc:
+            assert exc.resource == "max_file_size"
+
+
+class TestClockInvariants:
+    @given(advances=st.lists(st.floats(0, 1e6, allow_nan=False), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_time_is_monotone(self, advances):
+        clock = SimulationClock()
+        previous = clock.now
+        for amount in advances:
+            clock.advance(amount)
+            assert clock.now >= previous
+            previous = clock.now
+
+
+class TestSchedulerInvariants:
+    @given(
+        seed=st.integers(0, 2**32),
+        thread_ops=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.lists(st.integers(0, 9), min_size=1, max_size=5),
+            min_size=1,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleaving_is_a_permutation_preserving_program_order(self, seed, thread_ops):
+        threads = {
+            name: [f"{name}{i}" for i in range(len(ops))] for name, ops in thread_ops.items()
+        }
+        order = ThreadScheduler(seed=seed).interleave(threads)
+        assert sorted(op for _, op in order) == sorted(
+            op for ops in threads.values() for op in ops
+        )
+        for name, ops in threads.items():
+            assert [op for n, op in order if n == name] == ops
+
+    @given(seed=st.integers(0, 2**32), window=st.floats(0, 1, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_race_fires_deterministic(self, seed, window):
+        assert ThreadScheduler(seed=seed).race_fires(window) == ThreadScheduler(
+            seed=seed
+        ).race_fires(window)

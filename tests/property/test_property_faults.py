@@ -1,0 +1,118 @@
+"""Property test: the reproduction's central coherence theorem.
+
+For every deterministic (non-timing) environmental trigger and every
+recovery model: arm the trigger's condition in a fresh environment, run
+one recovery's worth of state handling and environmental perturbation,
+and the condition must still hold **iff** the model classifies it as
+persisting.  This ties :mod:`repro.apps.faults` (what the injected
+defects check), :mod:`repro.envmodel.perturb` (what recovery does to the
+environment), and :mod:`repro.classify.recovery_model` (what the
+classifier assumes) into one mutually consistent system -- which is what
+makes the classification-vs-replay agreement a theorem rather than a
+coincidence.
+"""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import MiniApplication
+from repro.apps.faults import InjectedDefect
+from repro.bugdb.enums import Application, FaultClass, Symptom, TriggerKind
+from repro.classify.recovery_model import RecoveryModel
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.environment import Environment, EnvironmentSpec
+from repro.envmodel.perturb import apply_recovery_perturbation
+
+#: Every trigger whose condition is a deterministic environment/state
+#: predicate (timing triggers are stochastic and tested separately).
+DETERMINISTIC_TRIGGERS = (
+    TriggerKind.RESOURCE_LEAK,
+    TriggerKind.FILE_DESCRIPTOR_EXHAUSTION,
+    TriggerKind.DISK_FULL,
+    TriggerKind.FILE_SIZE_LIMIT,
+    TriggerKind.DISK_CACHE_FULL,
+    TriggerKind.NETWORK_RESOURCE_EXHAUSTION,
+    TriggerKind.HARDWARE_REMOVAL,
+    TriggerKind.HOST_CONFIG_CHANGE,
+    TriggerKind.DNS_MISCONFIGURED,
+    TriggerKind.CORRUPT_EXTERNAL_STATE,
+    TriggerKind.PROCESS_TABLE_FULL,
+    TriggerKind.PORT_IN_USE,
+    TriggerKind.DNS_ERROR,
+    TriggerKind.DNS_SLOW,
+    TriggerKind.NETWORK_SLOW,
+    TriggerKind.ENTROPY_EXHAUSTION,
+)
+
+recovery_models = st.builds(
+    RecoveryModel,
+    preserves_all_state=st.booleans(),
+    kills_application_processes=st.booleans(),
+    auto_extends_storage=st.booleans(),
+    reclaims_leaked_os_resources=st.booleans(),
+    expects_external_repair=st.booleans(),
+)
+
+
+class PlainApp(MiniApplication):
+    pass
+
+
+def arm_defect(trigger: TriggerKind):
+    env = Environment(
+        seed=7,
+        spec=EnvironmentSpec(file_descriptors=16, process_slots=8, network_ports=8),
+    )
+    app = PlainApp(env, name="prop-app")
+    fault = StudyFault(
+        fault_id=f"PROP-{trigger.value}",
+        application=Application.APACHE,
+        component="core",
+        version="1.3.4",
+        date=datetime.date(1999, 1, 1),
+        synopsis="property fault",
+        description="x",
+        how_to_repeat="x",
+        fix_summary="",
+        symptom=Symptom.CRASH,
+        trigger=trigger,
+        fault_class=FaultClass.ENV_DEP_NONTRANSIENT
+        if not RecoveryModel().condition_clears_on_retry(trigger)
+        else FaultClass.ENV_DEP_TRANSIENT,
+        workload_op="the-op",
+    )
+    defect = InjectedDefect(fault)
+    defect.arm(env, app)
+    return env, app, defect
+
+
+class TestConditionPerturbationCoherence:
+    @given(model=recovery_models, trigger=st.sampled_from(DETERMINISTIC_TRIGGERS))
+    @settings(max_examples=200, deadline=None)
+    def test_condition_clears_iff_model_says_so(self, model, trigger):
+        env, app, defect = arm_defect(trigger)
+        checkpoint = app.snapshot()
+        assert defect.condition_holds(env, app), "arming must establish the condition"
+
+        # One recovery's worth of effects: environmental perturbation per
+        # the model, and the matching state handling (restore for truly
+        # generic recovery, re-initialise for restart-from-scratch).
+        apply_recovery_perturbation(env, model, app.footprint)
+        if model.preserves_all_state:
+            app.restore(checkpoint)
+        else:
+            app.reset_fresh()
+
+        still_holds = defect.condition_holds(env, app)
+        assert still_holds == (not model.condition_clears_on_retry(trigger)), (
+            f"{trigger.value} under {model}"
+        )
+
+    @given(trigger=st.sampled_from(DETERMINISTIC_TRIGGERS))
+    @settings(max_examples=50, deadline=None)
+    def test_arming_is_idempotent_for_condition(self, trigger):
+        env, app, defect = arm_defect(trigger)
+        assert defect.condition_holds(env, app)
+        assert defect.condition_holds(env, app)  # checking has no side effect

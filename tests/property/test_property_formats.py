@@ -1,0 +1,122 @@
+"""Property tests: archive formats round-trip arbitrary reports."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
+from repro.bugdb.model import BugReport, Comment
+
+# Text that survives line-oriented formats: no newlines, no leading/
+# trailing whitespace ambiguity.
+line_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters="\n\r"),
+    min_size=1,
+    max_size=60,
+).map(str.strip).filter(bool)
+
+# Multi-line bodies: lines must not collide with structural markers.
+body_line = line_text.filter(
+    lambda s: not s.startswith((">", "From ", "Control:", "Message from", "  "))
+    and ":" not in s.split(" ")[0]
+    and s != "To reproduce:"
+)
+body_text = st.lists(body_line, min_size=0, max_size=4).map("\n".join)
+
+dates = st.dates(min_value=datetime.date(1997, 1, 1), max_value=datetime.date(2000, 1, 1))
+
+identifiers = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20)
+
+
+@st.composite
+def bug_reports(draw, application=Application.APACHE):
+    fixed = draw(st.booleans())
+    return BugReport(
+        report_id=draw(identifiers),
+        application=application,
+        component=draw(identifiers),
+        version=draw(st.sampled_from(["1.2.4", "1.3.4", "3.22.25", "1.0"])),
+        date=draw(dates),
+        reporter=draw(identifiers) + "@example.net",
+        synopsis=draw(body_line),
+        severity=draw(st.sampled_from(list(Severity))),
+        status=Status.CLOSED if fixed else Status.OPEN,
+        resolution=Resolution.FIXED if fixed else Resolution.UNRESOLVED,
+        symptom=draw(st.sampled_from(list(Symptom) + [None])),
+        description=draw(body_text),
+        how_to_repeat=draw(body_text),
+        environment=draw(body_line),
+        comments=[
+            Comment(author=draw(identifiers), date=draw(dates), text=draw(body_text))
+            for _ in range(draw(st.integers(0, 2)))
+        ],
+        fix_summary=draw(body_text) if fixed else "",
+        is_production_version=draw(st.booleans()),
+    )
+
+
+class TestGnatsRoundTrip:
+    @given(report=bug_reports())
+    @settings(max_examples=60, deadline=None)
+    def test_core_fields_survive(self, report):
+        parsed = gnats.parse_pr(gnats.render_pr(report))
+        assert parsed.report_id == report.report_id
+        assert parsed.component == report.component
+        assert parsed.version == report.version
+        assert parsed.date == report.date
+        assert parsed.synopsis == report.synopsis
+        assert parsed.severity is report.severity
+        assert parsed.symptom is report.symptom
+        assert parsed.description == report.description
+        assert parsed.how_to_repeat == report.how_to_repeat
+        assert parsed.is_production_version == report.is_production_version
+        assert len(parsed.comments) == len(report.comments)
+
+
+class TestDebbugsRoundTrip:
+    @given(report=bug_reports(application=Application.GNOME))
+    @settings(max_examples=60, deadline=None)
+    def test_core_fields_survive(self, report):
+        parsed = debbugs.parse_report(debbugs.render_report(report))
+        assert parsed.report_id == report.report_id
+        assert parsed.component == report.component
+        assert parsed.version == report.version
+        assert parsed.severity is report.severity
+        assert parsed.status is report.status
+        assert parsed.is_production_version == report.is_production_version
+
+
+@st.composite
+def mail_messages(draw):
+    return mbox.MailMessage(
+        message_id=draw(identifiers) + "@lists.example.com",
+        sender=draw(identifiers) + "@example.net",
+        date=draw(dates),
+        subject=draw(body_line),
+        body=draw(st.lists(line_text, min_size=0, max_size=5).map("\n".join)),
+        in_reply_to=draw(st.none() | identifiers.map(lambda s: s + "@lists.example.com")),
+    )
+
+
+class TestMboxRoundTrip:
+    @given(message=mail_messages())
+    @settings(max_examples=60, deadline=None)
+    def test_message_survives(self, message):
+        parsed = mbox.parse_archive(mbox.render_message(message))
+        assert len(parsed) == 1
+        assert parsed[0] == mbox.MailMessage(
+            message_id=message.message_id,
+            sender=message.sender,
+            date=message.date,
+            subject=message.subject,
+            body=message.body.strip("\n"),
+            in_reply_to=message.in_reply_to,
+        )
+
+    @given(messages=st.lists(mail_messages(), min_size=0, max_size=8, unique_by=lambda m: m.message_id))
+    @settings(max_examples=30, deadline=None)
+    def test_archive_preserves_count_and_order(self, messages):
+        parsed = mbox.parse_archive(mbox.render_archive(messages)) if messages else []
+        assert [m.message_id for m in parsed] == [m.message_id for m in messages]

@@ -1,0 +1,87 @@
+"""Property tests: the text index agrees with a naive scan."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bugdb.textindex import TextIndex
+
+words = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+documents = st.lists(
+    st.lists(words, min_size=0, max_size=8).map(" ".join), min_size=0, max_size=12
+)
+
+
+def naive_token_hits(texts, token):
+    pattern = re.compile(rf"\b{re.escape(token)}\b")
+    return {index for index, text in enumerate(texts) if pattern.search(text)}
+
+
+def naive_prefix_hits(texts, prefix):
+    pattern = re.compile(rf"\b{re.escape(prefix)}[a-z0-9]*")
+    return {index for index, text in enumerate(texts) if pattern.search(text)}
+
+
+class TestIndexAgainstScan:
+    @given(texts=documents, token=words)
+    @settings(max_examples=80, deadline=None)
+    def test_exact_lookup_agrees_with_scan(self, texts, token):
+        index = TextIndex()
+        index.add_all(enumerate(texts))
+        assert index.lookup(token) == naive_token_hits(texts, token)
+
+    @given(texts=documents, prefix=words)
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_lookup_agrees_with_scan(self, texts, prefix):
+        index = TextIndex()
+        index.add_all(enumerate(texts))
+        assert index.lookup_prefix(prefix) == naive_prefix_hits(texts, prefix)
+
+    @given(texts=documents, keywords=st.lists(words, min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_search_any_is_union(self, texts, keywords):
+        index = TextIndex()
+        index.add_all(enumerate(texts))
+        expected = set()
+        for keyword in keywords:
+            expected |= naive_prefix_hits(texts, keyword)
+        assert index.search_any(keywords) == expected
+
+    @given(texts=documents, keywords=st.lists(words, min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_search_all_is_intersection(self, texts, keywords):
+        index = TextIndex()
+        index.add_all(enumerate(texts))
+        expected = None
+        for keyword in keywords:
+            hits = naive_prefix_hits(texts, keyword)
+            expected = hits if expected is None else expected & hits
+        assert index.search_all(keywords) == (expected or set())
+
+
+class TestJsonRoundTripProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        counts=st.tuples(st.integers(0, 6), st.integers(0, 4), st.integers(0, 4)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_synthetic_corpus_round_trips_through_json(self, seed, counts, tmp_path_factory):
+        from repro.bugdb.database import BugDatabase
+        from repro.bugdb.enums import Application
+        from repro.bugdb.jsonstore import dump_database, load_database
+        from repro.corpus.synthetic import synthetic_corpus
+
+        ei, edn, edt = counts
+        if ei + edn + edt == 0:
+            return
+        corpus = synthetic_corpus(
+            Application.GNOME, env_independent=ei, nontransient=edn, transient=edt, seed=seed
+        )
+        db = BugDatabase(corpus.to_reports(attach_evidence=True))
+        path = tmp_path_factory.mktemp("json") / "corpus.json"
+        dump_database(db, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(db)
+        for report in db:
+            assert loaded.get(report.application, report.report_id) == report

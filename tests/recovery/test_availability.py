@@ -1,0 +1,91 @@
+"""Tests for the availability simulation."""
+
+import pytest
+
+from repro.recovery import CheckpointRollback, ProcessPairs, RestartFresh, replay_study
+from repro.recovery.availability import (
+    AvailabilityParameters,
+    simulate_availability,
+)
+from repro.recovery.driver import ReplayReport
+
+
+@pytest.fixture(scope="module")
+def rollback_report(study):
+    return replay_study(study, CheckpointRollback)
+
+
+class TestParameters:
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ValueError):
+            AvailabilityParameters(mean_time_between_faults_hours=0)
+
+    def test_rejects_negative_downtime(self):
+        with pytest.raises(ValueError):
+            AvailabilityParameters(manual_repair_hours=-1)
+
+
+class TestSimulation:
+    def test_deterministic_for_seed(self, rollback_report):
+        first = simulate_availability(rollback_report, seed=5)
+        second = simulate_availability(rollback_report, seed=5)
+        assert first == second
+
+    def test_availability_in_unit_interval(self, rollback_report):
+        result = simulate_availability(rollback_report)
+        assert 0.0 <= result.availability <= 1.0
+        assert result.uptime_hours <= result.simulated_hours
+
+    def test_counts_are_consistent(self, rollback_report):
+        result = simulate_availability(rollback_report)
+        assert result.automatic_recoveries + result.manual_repairs == result.fault_arrivals
+
+    def test_more_faults_means_less_availability(self, rollback_report):
+        rare = simulate_availability(
+            rollback_report,
+            parameters=AvailabilityParameters(mean_time_between_faults_hours=24 * 30),
+        )
+        frequent = simulate_availability(
+            rollback_report,
+            parameters=AvailabilityParameters(mean_time_between_faults_hours=24),
+        )
+        assert frequent.availability < rare.availability
+
+    def test_cheaper_manual_repair_raises_availability(self, rollback_report):
+        slow = simulate_availability(
+            rollback_report,
+            parameters=AvailabilityParameters(manual_repair_hours=8.0),
+        )
+        fast = simulate_availability(
+            rollback_report,
+            parameters=AvailabilityParameters(manual_repair_hours=0.5),
+        )
+        assert fast.availability > slow.availability
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError, match="no triggered faults"):
+            simulate_availability(ReplayReport(technique="x", outcomes=()))
+
+    def test_nines_bounds(self, rollback_report):
+        result = simulate_availability(rollback_report)
+        assert 0.0 <= result.nines <= 9.0
+
+
+class TestPaperShape:
+    def test_generic_recovery_dominated_by_manual_repairs(self, rollback_report):
+        # ~91% of faults are unsurvivable, so operator pages dominate.
+        result = simulate_availability(rollback_report)
+        assert result.manual_repairs > 5 * result.automatic_recoveries
+
+    def test_state_losing_restart_beats_pure_generic(self, study, rollback_report):
+        restart_report = replay_study(study, RestartFresh)
+        generic = simulate_availability(rollback_report, seed=3)
+        restart = simulate_availability(restart_report, seed=3)
+        assert restart.availability > generic.availability
+
+    def test_process_pairs_availability_close_to_rollback(self, study, rollback_report):
+        pairs_report = replay_study(study, ProcessPairs)
+        pairs = simulate_availability(pairs_report, seed=3)
+        rollback = simulate_availability(rollback_report, seed=3)
+        # Both are dominated by the unsurvivable majority.
+        assert abs(pairs.availability - rollback.availability) < 0.02

@@ -1,0 +1,132 @@
+"""Tests for the replay driver: the paper's end-to-end check."""
+
+import pytest
+
+from repro.bugdb.enums import FaultClass, TriggerKind
+from repro.recovery import (
+    CheckpointRollback,
+    ProcessPairs,
+    RestartFresh,
+    replay_fault,
+    replay_study,
+)
+
+EI = FaultClass.ENV_INDEPENDENT
+EDN = FaultClass.ENV_DEP_NONTRANSIENT
+EDT = FaultClass.ENV_DEP_TRANSIENT
+
+
+@pytest.fixture(scope="module")
+def rollback_report(study):
+    return replay_study(study, CheckpointRollback)
+
+
+@pytest.fixture(scope="module")
+def pairs_report(study):
+    return replay_study(study, ProcessPairs)
+
+
+class TestReplayFault:
+    def test_env_independent_fault_never_survives(self, apache):
+        fault = next(f for f in apache.faults if f.fault_class is EI)
+        outcome = replay_fault(fault, CheckpointRollback(max_attempts=5))
+        assert outcome.triggered
+        assert not outcome.survived
+        assert outcome.attempts_used == 5
+
+    def test_disk_full_persists_under_generic_recovery(self, apache):
+        fault = next(f for f in apache.faults if f.trigger is TriggerKind.DISK_FULL)
+        outcome = replay_fault(fault, CheckpointRollback())
+        assert not outcome.survived
+
+    def test_process_table_fault_survives_one_failover(self, apache):
+        fault = next(f for f in apache.faults if f.trigger is TriggerKind.PROCESS_TABLE_FULL)
+        outcome = replay_fault(fault, ProcessPairs())
+        assert outcome.survived
+        assert outcome.attempts_used == 1
+
+    def test_dns_error_survives_via_external_repair(self, apache):
+        fault = next(f for f in apache.faults if f.trigger is TriggerKind.DNS_ERROR)
+        assert replay_fault(fault, CheckpointRollback()).survived
+
+    def test_resource_leak_survives_only_state_losing_recovery(self, apache):
+        fault = next(f for f in apache.faults if f.trigger is TriggerKind.RESOURCE_LEAK)
+        assert not replay_fault(fault, CheckpointRollback()).survived
+        assert replay_fault(fault, RestartFresh()).survived
+
+    def test_deterministic_for_seed(self, apache):
+        fault = next(f for f in apache.faults if f.fault_class is EDT)
+        first = replay_fault(fault, CheckpointRollback(), seed=11)
+        second = replay_fault(fault, CheckpointRollback(), seed=11)
+        assert first == second
+
+    def test_outcome_records_identity(self, apache):
+        fault = apache.faults[0]
+        outcome = replay_fault(fault, ProcessPairs())
+        assert outcome.fault_id == fault.fault_id
+        assert outcome.fault_class is fault.fault_class
+        assert outcome.technique == "process-pairs"
+
+
+class TestReplayStudy:
+    def test_every_fault_triggered(self, rollback_report):
+        assert all(outcome.triggered for outcome in rollback_report.outcomes)
+        assert len(rollback_report.outcomes) == 139
+
+    def test_generic_recovery_never_survives_env_independent(self, rollback_report):
+        assert rollback_report.survival_rate(EI) == 0.0
+
+    def test_generic_recovery_never_survives_nontransient(self, rollback_report):
+        assert rollback_report.survival_rate(EDN) == 0.0
+
+    def test_generic_recovery_survives_most_transient(self, rollback_report):
+        assert rollback_report.survival_rate(EDT) >= 0.75
+
+    def test_overall_survival_matches_paper_range(self, rollback_report):
+        # The paper: only 5-14% of faults are transient, so overall
+        # generic-recovery survival must fall at or below that band.
+        overall = rollback_report.survival_rate()
+        assert 0.04 <= overall <= 0.14
+
+    def test_process_pairs_bounded_by_transient_share(self, pairs_report, study):
+        transient_share = 12 / 139
+        assert pairs_report.survival_rate() <= transient_share + 1e-9
+
+    def test_counts_consistent(self, rollback_report):
+        assert rollback_report.total() == 139
+        assert rollback_report.total(EI) == 113
+        assert rollback_report.total(EDN) == 14
+        assert rollback_report.total(EDT) == 12
+        assert rollback_report.survived_count() == sum(
+            rollback_report.survived_count(c) for c in (EI, EDN, EDT)
+        )
+
+    def test_restart_fresh_beats_pure_generic_on_nontransient(self, study, rollback_report):
+        restart_report = replay_study(study, RestartFresh)
+        assert restart_report.survival_rate(EDN) > rollback_report.survival_rate(EDN)
+        # ...but restart still cannot touch deterministic faults.
+        assert restart_report.survival_rate(EI) == 0.0
+
+
+class TestReplayReportHelpers:
+    def test_empty_class_survival_rate_is_zero(self):
+        from repro.recovery.driver import ReplayReport
+
+        report = ReplayReport(technique="x", outcomes=())
+        assert report.survival_rate() == 0.0
+        assert report.total() == 0
+        assert report.survived_count() == 0
+
+    def test_untriggered_outcomes_excluded_from_rate(self):
+        from repro.recovery.driver import FaultReplayOutcome, ReplayReport
+
+        triggered = FaultReplayOutcome(
+            fault_id="a", fault_class=EI, technique="x",
+            triggered=True, survived=False, attempts_used=1,
+        )
+        ghost = FaultReplayOutcome(
+            fault_id="b", fault_class=EI, technique="x",
+            triggered=False, survived=True, attempts_used=0,
+        )
+        report = ReplayReport(technique="x", outcomes=(triggered, ghost))
+        assert report.survival_rate() == 0.0  # the ghost does not count

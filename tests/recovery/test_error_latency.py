@@ -1,0 +1,82 @@
+"""Tests for the error-latency (checkpoint staleness) experiment."""
+
+import pytest
+
+from repro.recovery.error_latency import (
+    LatencyExperiment,
+    recovery_rate_with_random_latency,
+    replay_with_checkpoint_age,
+    sweep_checkpoint_age,
+)
+
+
+class TestLatencyExperiment:
+    def test_staleness_needed(self):
+        experiment = LatencyExperiment(leak_limit=100, task_operations=40)
+        assert experiment.staleness_needed == 40
+
+    def test_task_must_be_completable_fresh(self):
+        with pytest.raises(ValueError, match="fresh application"):
+            LatencyExperiment(leak_limit=10, task_operations=11)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyExperiment(leak_limit=0)
+
+
+class TestReplay:
+    def test_fresh_checkpoint_recreates_the_failure(self):
+        # A checkpoint of the full pre-crash state (the truly generic
+        # ideal) restores the leak too -- retry fails immediately.
+        outcome = replay_with_checkpoint_age(LatencyExperiment(), 0)
+        assert outcome.restored_leak == 100
+        assert not outcome.survived
+
+    def test_stale_enough_checkpoint_survives(self):
+        experiment = LatencyExperiment(leak_limit=100, task_operations=40)
+        outcome = replay_with_checkpoint_age(experiment, 40)
+        assert outcome.survived
+
+    def test_exact_threshold(self):
+        experiment = LatencyExperiment(leak_limit=100, task_operations=40)
+        assert not replay_with_checkpoint_age(experiment, 39).survived
+        assert replay_with_checkpoint_age(experiment, 40).survived
+
+    def test_age_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            replay_with_checkpoint_age(LatencyExperiment(), -1)
+        with pytest.raises(ValueError):
+            replay_with_checkpoint_age(LatencyExperiment(), 101)
+
+
+class TestSweep:
+    def test_survival_is_monotone_in_staleness(self):
+        outcomes = sweep_checkpoint_age(LatencyExperiment())
+        survived_flags = [outcome.survived for outcome in outcomes]
+        # Once survival starts, it never stops: monotone in age.
+        assert survived_flags == sorted(survived_flags)
+
+    def test_default_sweep_covers_both_regimes(self):
+        outcomes = sweep_checkpoint_age(LatencyExperiment())
+        assert any(not outcome.survived for outcome in outcomes)
+        assert any(outcome.survived for outcome in outcomes)
+
+
+class TestRandomLatencyRate:
+    def test_matches_analytic_rate(self):
+        experiment = LatencyExperiment(leak_limit=100, task_operations=40)
+        rate = recovery_rate_with_random_latency(experiment)
+        assert rate == pytest.approx(1 - 40 / 101)
+
+    def test_the_section_7_paradox(self):
+        # The *longer* the error latency a system tolerates (bigger gap
+        # between corruption and crash), the higher its apparent
+        # process-pair recovery rate -- with no actual fault-tolerance
+        # improvement.  Exactly the paper's reading of Lee & Iyer.
+        tight = LatencyExperiment(leak_limit=50, task_operations=40)
+        loose = LatencyExperiment(leak_limit=400, task_operations=40)
+        assert recovery_rate_with_random_latency(loose) > recovery_rate_with_random_latency(tight)
+
+    def test_rate_bounds(self):
+        rate = recovery_rate_with_random_latency(LatencyExperiment())
+        assert 0.0 <= rate <= 1.0

@@ -1,0 +1,107 @@
+"""Tests for proactive rejuvenation scheduling."""
+
+import pytest
+
+from repro.recovery.rejuvenation_schedule import (
+    LeakModel,
+    RejuvenationOutcome,
+    RejuvenationPolicy,
+    simulate_rejuvenation_schedule,
+    sweep_rejuvenation_interval,
+)
+
+# With the defaults: 10,000 units / (1 unit/request * 500 requests/hour)
+# = 20 hours of uptime to failure.
+LEAK = LeakModel()
+
+
+class TestModels:
+    def test_hours_to_failure(self):
+        assert LEAK.hours_to_failure == 20.0
+
+    def test_invalid_leak_model(self):
+        with pytest.raises(ValueError):
+            LeakModel(leak_per_request=0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            RejuvenationPolicy(interval_hours=0)
+        with pytest.raises(ValueError):
+            RejuvenationPolicy(interval_hours=1, crash_repair_hours=-1)
+
+
+class TestSimulation:
+    def test_no_rejuvenation_baseline_crashes_repeatedly(self):
+        outcome = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=None), LEAK, duration_hours=210.0
+        )
+        # 20h up + 1h repair per cycle -> 10 crashes in 210 hours.
+        assert outcome.crashes == 10
+        assert outcome.rejuvenations == 0
+        assert outcome.downtime_hours == pytest.approx(10.0)
+
+    def test_frequent_rejuvenation_prevents_all_crashes(self):
+        outcome = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=12.0), LEAK, duration_hours=24.0 * 30
+        )
+        assert outcome.crashes == 0
+        assert outcome.rejuvenations > 0
+
+    def test_interval_beyond_failure_time_does_not_help(self):
+        outcome = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=30.0), LEAK, duration_hours=24.0 * 30
+        )
+        assert outcome.crashes > 0
+        assert outcome.rejuvenations == 0  # the crash always wins
+
+    def test_availability_bounds(self):
+        outcome = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=10.0), LEAK
+        )
+        assert 0.0 <= outcome.availability <= 1.0
+
+    def test_rejuvenation_beats_baseline_availability(self):
+        baseline = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=None), LEAK
+        )
+        scheduled = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=12.0), LEAK
+        )
+        assert scheduled.availability > baseline.availability
+
+    def test_too_frequent_rejuvenation_wastes_uptime(self):
+        hourly = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=1.0, rejuvenation_downtime_minutes=10.0), LEAK
+        )
+        daily_ish = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=15.0, rejuvenation_downtime_minutes=10.0), LEAK
+        )
+        assert daily_ish.availability > hourly.availability
+
+    def test_zero_duration(self):
+        outcome = simulate_rejuvenation_schedule(
+            RejuvenationPolicy(interval_hours=5.0), LEAK, duration_hours=0.0
+        )
+        assert outcome == RejuvenationOutcome(
+            duration_hours=0.0, crashes=0, rejuvenations=0, downtime_hours=0.0
+        )
+
+
+class TestSweep:
+    def test_sweep_has_interior_optimum(self):
+        results = sweep_rejuvenation_interval(
+            (None, 0.5, 4.0, 12.0, 18.0, 30.0),
+            LEAK,
+            rejuvenation_downtime_minutes=10.0,
+        )
+        availabilities = [outcome.availability for _, outcome in results]
+        best = max(range(len(results)), key=lambda index: availabilities[index])
+        # The best interval is a proactive one, strictly better than both
+        # the no-rejuvenation baseline and the too-eager schedule.
+        assert results[best][0] not in (None, 0.5)
+        assert availabilities[best] > availabilities[0]
+
+    def test_sweep_includes_baseline(self):
+        results = sweep_rejuvenation_interval((None, 10.0), LEAK)
+        assert results[0][0] is None
+        assert results[0][1].rejuvenations == 0

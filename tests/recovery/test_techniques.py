@@ -1,0 +1,205 @@
+"""Tests for the recovery techniques (unit level)."""
+
+import pytest
+
+from repro.apps.desktop import MiniDesktop
+from repro.classify.recovery_model import PAPER_DEFAULT
+from repro.envmodel.environment import Environment
+from repro.errors import RecoveryError
+from repro.recovery import (
+    CheckpointRollback,
+    CheckpointStore,
+    ProcessPairs,
+    ProgressiveRetry,
+    RestartFresh,
+    SoftwareRejuvenation,
+)
+
+
+@pytest.fixture
+def app():
+    desktop = MiniDesktop(Environment())
+    desktop.add_applet("clock")
+    return desktop
+
+
+class TestCheckpointStore:
+    def test_take_and_latest(self, app):
+        store = CheckpointStore()
+        store.take(app)
+        app.add_applet("pager")
+        store.take(app)
+        assert store.latest().state["applets"] == ["clock", "pager"]
+        assert len(store) == 2
+
+    def test_capacity_bound(self, app):
+        store = CheckpointStore(capacity=2)
+        for _ in range(5):
+            store.take(app)
+        assert len(store) == 2
+
+    def test_rollback_one_never_empties(self, app):
+        store = CheckpointStore()
+        store.take(app)
+        first = store.rollback_one()
+        assert store.rollback_one() is first
+
+    def test_latest_without_checkpoint(self):
+        with pytest.raises(RecoveryError, match="no checkpoint"):
+            CheckpointStore().latest()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(capacity=0)
+
+
+class TestProcessPairs:
+    def test_failover_restores_backup_state(self, app):
+        pairs = ProcessPairs()
+        pairs.prepare(app)
+        app.add_applet("pager")
+        pairs.recover(app, attempt=1)
+        assert app.state["applets"] == ["clock"]
+        assert pairs.failovers == 1
+
+    def test_checkpoint_message_updates_backup(self, app):
+        pairs = ProcessPairs()
+        pairs.prepare(app)
+        app.add_applet("pager")
+        pairs.checkpoint_message(app)
+        app.remove_applet("pager")
+        pairs.recover(app, attempt=1)
+        assert "pager" in app.state["applets"]
+
+    def test_recover_before_prepare_rejected(self, app):
+        with pytest.raises(RecoveryError, match="before prepare"):
+            ProcessPairs().recover(app, attempt=1)
+
+    def test_default_single_failover(self):
+        assert ProcessPairs().max_attempts == 1
+
+    def test_is_application_generic(self):
+        assert ProcessPairs.application_generic
+
+
+class TestCheckpointRollback:
+    def test_rollback_restores_latest_checkpoint(self, app):
+        rollback = CheckpointRollback()
+        rollback.prepare(app)
+        app.add_applet("pager")
+        rollback.checkpoint(app)
+        app.add_applet("tasklist")
+        rollback.recover(app, attempt=1)
+        assert app.state["applets"] == ["clock", "pager"]
+        assert rollback.rollbacks == 1
+
+    def test_multiple_attempts_allowed(self):
+        assert CheckpointRollback().max_attempts == 3
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointRollback(max_attempts=0)
+
+
+class TestProgressiveRetry:
+    def test_first_attempt_only_reseeds(self, app):
+        progressive = ProgressiveRetry()
+        progressive.prepare(app)
+        from repro.envmodel.dns import DnsState
+
+        app.env.dns.degrade(DnsState.ERROR)
+        seed_before = app.env.scheduler.seed
+        progressive.recover(app, attempt=1)
+        assert app.env.scheduler.seed != seed_before
+        assert app.env.dns.state is DnsState.ERROR  # untouched on step 1
+
+    def test_second_attempt_applies_full_perturbation(self, app):
+        progressive = ProgressiveRetry()
+        progressive.prepare(app)
+        from repro.envmodel.dns import DnsState
+
+        app.env.dns.degrade(DnsState.ERROR)
+        progressive.recover(app, attempt=2)
+        assert app.env.dns.state is DnsState.HEALTHY
+
+    def test_downtime_escalates(self, app):
+        progressive = ProgressiveRetry(downtime_seconds=10.0)
+        progressive.prepare(app)
+        progressive.recover(app, attempt=2)
+        after_second = app.env.clock.now
+        progressive.recover(app, attempt=3)
+        assert app.env.clock.now - after_second > after_second  # 20 > 10
+
+
+class TestRestartFresh:
+    def test_loses_state(self, app):
+        restart = RestartFresh()
+        restart.prepare(app)
+        app.state["scratch"] = "data"
+        restart.recover(app, attempt=1)
+        assert "scratch" not in app.state
+        assert restart.restarts == 1
+
+    def test_releases_footprint(self, app):
+        restart = RestartFresh()
+        restart.prepare(app)
+        app.open_descriptor(leaked=True)
+        restart.recover(app, attempt=1)
+        assert app.env.file_descriptors.in_use == 0
+
+    def test_not_application_generic(self):
+        assert not RestartFresh.application_generic
+
+
+class TestSoftwareRejuvenation:
+    def test_reinitialises_state(self, app):
+        rejuvenation = SoftwareRejuvenation()
+        rejuvenation.prepare(app)
+        app.state["leaked_objects"] = 9999
+        rejuvenation.recover(app, attempt=1)
+        assert "leaked_objects" not in app.state
+        assert rejuvenation.rejuvenations == 1
+
+    def test_kills_children(self, app):
+        rejuvenation = SoftwareRejuvenation()
+        rejuvenation.prepare(app)
+        app.fork_child()
+        app.fork_child()
+        rejuvenation.recover(app, attempt=1)
+        assert app.env.process_table.in_use == 0
+
+    def test_cannot_fix_the_disk(self, app):
+        rejuvenation = SoftwareRejuvenation()
+        rejuvenation.prepare(app)
+        app.env.disk.fill()
+        rejuvenation.recover(app, attempt=1)
+        assert app.env.disk.full
+
+    def test_not_application_generic(self):
+        assert not SoftwareRejuvenation.application_generic
+
+
+class TestPerturbationThroughTechnique:
+    def test_recovery_advances_virtual_time(self, app):
+        technique = CheckpointRollback(downtime_seconds=42.0)
+        technique.prepare(app)
+        technique.recover(app, attempt=1)
+        assert app.env.clock.now == 42.0
+
+    def test_recovery_reseeds_scheduler(self, app):
+        technique = ProcessPairs()
+        technique.prepare(app)
+        seed_before = app.env.scheduler.seed
+        technique.recover(app, attempt=1)
+        assert app.env.scheduler.seed != seed_before
+
+    def test_model_is_respected(self, app):
+        from repro.classify.recovery_model import RecoveryModel
+
+        technique = CheckpointRollback(RecoveryModel(expects_external_repair=False))
+        technique.prepare(app)
+        from repro.envmodel.dns import DnsState
+
+        app.env.dns.degrade(DnsState.ERROR)
+        technique.recover(app, attempt=1)
+        assert app.env.dns.state is DnsState.ERROR

@@ -1,0 +1,115 @@
+"""Tests for table and figure rendering."""
+
+import pytest
+
+from repro.analysis.distributions import release_distribution, time_distribution
+from repro.analysis.tables import classification_table
+from repro.reports.figures import render_figure
+from repro.reports.markdown import markdown_classification_table, markdown_table
+from repro.reports.tableformat import format_table, render_classification_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "n"], [["short", 1], ["a-much-longer-name", 22]])
+        lines = text.splitlines()
+        # All rows the same width.
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestClassificationTableRendering:
+    def test_contains_paper_vocabulary_and_counts(self, apache):
+        text = render_classification_table(classification_table(apache))
+        assert "Classification of faults for Apache" in text
+        assert "environment-independent" in text
+        assert "36" in text
+        assert "total" in text
+        assert "50" in text
+
+
+class TestRenderFigure:
+    def test_release_figure_lines(self, apache):
+        series = release_distribution(apache)
+        text = render_figure(series)
+        lines = text.splitlines()
+        assert series.title == lines[0]
+        assert lines[1].startswith("legend:")
+        assert len(lines) == 2 + len(series.labels)
+
+    def test_bars_scale_with_counts(self, apache):
+        series = release_distribution(apache)
+        text = render_figure(series, width=20)
+        bar_lines = text.splitlines()[2:]
+        peak = max(series.totals())
+        peak_line = bar_lines[series.totals().index(peak)]
+        assert peak_line.count("#") + peak_line.count("o") + peak_line.count("+") >= 20
+
+    def test_every_nonzero_class_visible(self, gnome):
+        series = time_distribution(gnome, granularity="quarter")
+        for index, line in enumerate(render_figure(series).splitlines()[2:]):
+            from repro.bugdb.enums import FaultClass
+
+            if series.counts[FaultClass.ENV_DEP_TRANSIENT][index] > 0:
+                assert "+" in line
+
+    def test_shares_annotated(self, apache):
+        text = render_figure(release_distribution(apache))
+        assert "env-indep=" in text
+        assert "n=" in text
+
+    def test_invalid_width(self, apache):
+        with pytest.raises(ValueError):
+            render_figure(release_distribution(apache), width=0)
+
+
+class TestMarkdown:
+    def test_markdown_table_shape(self):
+        text = markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_markdown_width_mismatch(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+    def test_markdown_classification_table(self, mysql):
+        text = markdown_classification_table(classification_table(mysql))
+        assert text.startswith("**Classification of faults for MySQL**")
+        assert "| environment-independent | 38 |" in text
+        assert "**44**" in text
+
+
+class TestRenderFigureEdgeCases:
+    def test_all_empty_buckets(self):
+        from repro.analysis.distributions import FigureSeries
+        from repro.bugdb.enums import FaultClass
+
+        series = FigureSeries(
+            title="empty",
+            labels=("a", "b"),
+            counts={fault_class: (0, 0) for fault_class in FaultClass},
+        )
+        text = render_figure(series)
+        assert "n=0" in text
+        assert "env-indep=0%" in text

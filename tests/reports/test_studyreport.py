@@ -1,0 +1,92 @@
+"""Tests for the full study report generator."""
+
+import pytest
+
+from repro.recovery import ProcessPairs, replay_study
+from repro.reports.studyreport import render_study_report
+
+
+@pytest.fixture(scope="module")
+def report_text(study):
+    return render_study_report(study)
+
+
+class TestStudyReport:
+    def test_contains_all_three_tables(self, report_text):
+        for name in ("Apache", "GNOME", "MySQL"):
+            assert f"Classification of faults for {name}" in report_text
+
+    def test_contains_all_three_figures(self, report_text):
+        assert "Distribution of faults for Apache over software releases" in report_text
+        assert "Distribution of faults for GNOME over time" in report_text
+        assert "Distribution of faults for MySQL over software releases" in report_text
+
+    def test_contains_aggregate_numbers(self, report_text):
+        assert "139" in report_text
+        assert "72%-87%" in report_text
+        assert "5%-14%" in report_text
+
+    def test_contains_invariance_statistics(self, report_text):
+        assert "class-proportion invariance" in report_text
+        assert "invariant" in report_text
+
+    def test_contains_lee_iyer_steps(self, report_text):
+        assert "Lee & Iyer reconciliation" in report_text
+        assert "0.82" in report_text
+        assert "0.29" in report_text
+
+    def test_contains_mitigation_coverage(self, report_text):
+        assert "Mitigation coverage" in report_text
+        assert "process pairs / rollback-retry" in report_text
+
+    def test_conclusion_states_the_thesis(self, report_text):
+        assert "application-generic recovery" in report_text
+        assert "application-specific knowledge" in report_text
+
+    def test_replay_section_optional(self, study, report_text):
+        assert "Generic-recovery replay" not in report_text
+        replay = replay_study(study, ProcessPairs)
+        with_replay = render_study_report(study, replay_reports=[replay])
+        assert "Generic-recovery replay" in with_replay
+        assert "process-pairs" in with_replay
+
+
+class TestMarkdownStudyReport:
+    def test_markdown_contains_all_sections(self, study):
+        from repro.reports.studyreport import render_study_report_markdown
+
+        text = render_study_report_markdown(study)
+        assert text.startswith("# Whither Generic Recovery")
+        assert "## Tables 1–3" in text
+        assert "## Figures 1–3" in text
+        assert "## Aggregate (Section 5.4)" in text
+        assert "## Lee & Iyer reconciliation (Section 7)" in text
+        assert "| **total** | **139** |" not in text  # per-app tables only
+        assert "**Conclusion:**" in text
+
+    def test_markdown_replay_section(self, study):
+        from repro.recovery import ProcessPairs, replay_study
+        from repro.reports.studyreport import render_study_report_markdown
+
+        replay = replay_study(study, ProcessPairs)
+        text = render_study_report_markdown(study, replay_reports=[replay])
+        assert "## Generic-recovery replay" in text
+        assert "process-pairs" in text
+
+
+class TestFaultCatalog:
+    def test_catalog_covers_every_fault(self, study):
+        from repro.reports.catalog import render_fault_catalog
+
+        text = render_fault_catalog(study)
+        for fault in study.all_faults():
+            assert fault.fault_id in text
+
+    def test_paper_examples_marked(self, study):
+        from repro.reports.catalog import render_fault_catalog
+
+        text = render_fault_catalog(study)
+        assert text.count("(paper)") >= 15
+        assert "**APACHE-EI-01** (paper)" in text
+        assert "**APACHE-EI-06** (" in text  # synthesized: unmarked
+        assert "**APACHE-EI-06** (paper)" not in text

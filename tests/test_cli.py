@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTableCommand:
+    def test_apache_table(self, capsys):
+        assert main(["table", "apache"]) == 0
+        out = capsys.readouterr().out
+        assert "Classification of faults for Apache" in out
+        assert "36" in out
+
+    def test_unknown_application(self):
+        with pytest.raises(SystemExit, match="unknown application"):
+            main(["table", "solaris"])
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("application", ["apache", "gnome", "mysql"])
+    def test_each_figure_renders(self, capsys, application):
+        assert main(["figure", application]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "env-indep=" in out
+
+    def test_width_option(self, capsys):
+        main(["figure", "apache", "--width", "10"])
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_gnome_quarter_granularity(self, capsys):
+        main(["figure", "gnome", "--granularity", "quarter"])
+        assert "1998Q4" in capsys.readouterr().out
+
+
+class TestAggregateCommand:
+    def test_prints_section_5_4(self, capsys):
+        assert main(["aggregate"]) == 0
+        out = capsys.readouterr().out
+        assert "139" in out
+        assert "72%-87%" in out
+
+
+class TestMineCommand:
+    def test_gnome_mine_prints_trace_and_table(self, capsys):
+        assert main(["mine", "gnome"]) == 0
+        out = capsys.readouterr().out
+        assert "Mining narrowing for GNOME" in out
+        assert "unique bugs" in out
+        assert "45" in out
+
+    def test_apache_mine_scaled(self, capsys):
+        assert main(["mine", "apache", "--scale", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "300" in out
+        assert "50" in out
+
+
+class TestReplayCommand:
+    def test_single_technique(self, capsys):
+        assert main(["replay", "--technique", "process-pairs"]) == 0
+        out = capsys.readouterr().out
+        assert "process-pairs" in out
+        assert "Recovery replay" in out
+
+
+class TestReportCommand:
+    def test_report_without_replay(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+        assert "Lee & Iyer" in out
+
+
+class TestExportCommand:
+    def test_export_apache_archive(self, capsys, tmp_path):
+        path = tmp_path / "apache.gnats"
+        assert main(["export-archive", "apache", str(path), "--scale", "120"]) == 0
+        from repro.bugdb import gnats
+
+        reports = gnats.parse_archive(path.read_text())
+        assert len(reports) == 120
+
+    def test_export_mysql_archive(self, capsys, tmp_path):
+        path = tmp_path / "mysql.mbox"
+        assert main(["export-archive", "mysql", str(path), "--scale", "600"]) == 0
+        from repro.bugdb import mbox
+
+        assert len(mbox.parse_archive(path.read_text())) >= 600
+
+
+class TestCsvCommand:
+    def test_table_csv(self, capsys):
+        assert main(["csv", "table", "apache"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("application,class,faults")
+        assert "apache,environment-independent,36" in out
+
+    def test_figure_csv(self, capsys):
+        assert main(["csv", "figure", "mysql"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("bucket,")
+        assert "3.23.2" in out
+
+
+class TestFunnelCommand:
+    def test_gnome_funnel(self, capsys):
+        assert main(["funnel", "gnome"]) == 0
+        out = capsys.readouterr().out
+        assert "Narrowing funnel for GNOME" in out
+        assert "overall selectivity: 9.00%" in out
+
+    def test_apache_funnel_scaled(self, capsys):
+        assert main(["funnel", "apache", "--scale", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "most selective stage" in out
+
+
+class TestMarkdownReport:
+    def test_markdown_format(self, capsys):
+        assert main(["report", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Whither Generic Recovery")
+        assert "| environment-independent | 36 |" in out
+        assert "**Conclusion:**" in out
+
+
+class TestCatalogCommand:
+    def test_catalog_lists_all_faults(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Fault catalog")
+        assert out.count("- **APACHE-") == 50
+        assert out.count("- **GNOME-") == 45
+        assert out.count("- **MYSQL-") == 44
+
+
+class TestReportWithReplay:
+    def test_with_replay_includes_replay_section(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.recovery.driver import FaultReplayOutcome, ReplayReport
+        from repro.bugdb.enums import FaultClass
+
+        def stub_replay(study, factory):
+            outcome = FaultReplayOutcome(
+                fault_id="STUB-1",
+                fault_class=FaultClass.ENV_DEP_TRANSIENT,
+                technique=factory.name,
+                triggered=True,
+                survived=True,
+                attempts_used=1,
+            )
+            return ReplayReport(technique=factory.name, outcomes=(outcome,))
+
+        monkeypatch.setattr(cli_module, "replay_study", stub_replay)
+        assert main(["report", "--with-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "Generic-recovery replay" in out
+        assert "process-pairs" in out

@@ -1,0 +1,85 @@
+"""Tests for the exception hierarchy and deterministic RNG helpers."""
+
+import pytest
+
+from repro.errors import (
+    ApplicationCrash,
+    ApplicationHang,
+    ClassificationError,
+    CorpusError,
+    ParseError,
+    RecoveryError,
+    RecoveryExhausted,
+    ReproError,
+    ResourceExhaustedError,
+    SimulationError,
+)
+from repro.rng import DEFAULT_SEED, derive_seed, make_rng
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ParseError("x"),
+            CorpusError("x"),
+            ClassificationError("x"),
+            SimulationError("x"),
+            ResourceExhaustedError("fds"),
+            ApplicationCrash("F-1"),
+            ApplicationHang("F-1"),
+            RecoveryError("x"),
+            RecoveryExhausted(3),
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, error):
+        assert isinstance(error, ReproError)
+
+    def test_parse_error_location(self):
+        error = ParseError("bad field", source="archive.txt", line_number=12)
+        assert "archive.txt:12" in str(error)
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("bad field")) == "bad field"
+
+    def test_resource_exhausted_carries_resource(self):
+        error = ResourceExhaustedError("file_descriptors")
+        assert error.resource == "file_descriptors"
+        assert "file_descriptors" in str(error)
+
+    def test_application_crash_fields(self):
+        error = ApplicationCrash("APACHE-EI-01", symptom="segfault")
+        assert error.fault_id == "APACHE-EI-01"
+        assert error.symptom == "segfault"
+
+    def test_hang_is_a_crash(self):
+        assert isinstance(ApplicationHang("F"), ApplicationCrash)
+        assert ApplicationHang("F").symptom == "hang"
+
+    def test_recovery_exhausted_attempts(self):
+        assert RecoveryExhausted(4).attempts == 4
+
+
+class TestRng:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(42, "stream") == derive_seed(42, "stream")
+
+    def test_derive_seed_differs_by_label(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_derive_seed_differs_by_parent(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_non_negative_63_bit(self):
+        for label in ("x", "y", "z"):
+            seed = derive_seed(DEFAULT_SEED, label)
+            assert 0 <= seed < 2**63
+
+    def test_make_rng_reproducible(self):
+        assert make_rng(7, "s").random() == make_rng(7, "s").random()
+
+    def test_make_rng_labels_independent(self):
+        assert make_rng(7, "a").random() != make_rng(7, "b").random()
+
+    def test_make_rng_without_label(self):
+        assert make_rng(7).random() == make_rng(7).random()
