@@ -1,0 +1,86 @@
+"""Harness scaling: full-study replay wall time at 1/2/4 workers.
+
+Real fault-injection campaigns are dominated by per-replay stalls
+(process spawn, I/O, timeouts) rather than Python compute -- ZOFI-style
+injection runs scale near-linearly with workers because every unit
+mostly *waits*.  The miniature study replays in microseconds, so this
+benchmark reintroduces that regime: every work unit carries a fixed
+simulated stall, and the harness must convert 4 workers into > 1.5x
+wall-time speedup while producing verdicts bit-identical to the serial
+baseline.
+"""
+
+import time
+
+from repro.harness import ReplayContext, build_replay_units, outcome_from_result, run_campaign
+from repro.harness.campaigns import replay_runner
+from repro.recovery import CheckpointRollback, replay_study
+from repro.rng import DEFAULT_SEED
+
+#: Simulated per-replay stall (process spawn / I/O) in seconds.
+STALL_SECONDS = 0.008
+
+#: Timing repetitions per worker count (min is reported).
+REPETITIONS = 3
+
+
+def stalled_runner(unit, context):
+    """The real replay runner behind a fixed per-unit stall.
+
+    Module-level so forked pool workers resolve it by reference.
+    """
+    time.sleep(STALL_SECONDS)
+    return replay_runner(unit, context)
+
+
+def _run_stalled_campaign(study, workers):
+    faults = study.all_faults()
+    units = build_replay_units(faults, "checkpoint-rollback", DEFAULT_SEED)
+    context = ReplayContext(
+        faults={fault.fault_id: fault for fault in faults},
+        technique_for=lambda unit: CheckpointRollback(),
+    )
+    return run_campaign(units, stalled_runner, context=context, workers=workers)
+
+
+def test_bench_harness_scaling(benchmark, study):
+    baseline = replay_study(study, CheckpointRollback)
+
+    wall = {}
+    outcomes = {}
+    for workers in (1, 2, 4):
+        best = float("inf")
+        for _ in range(REPETITIONS):
+            started = time.perf_counter()
+            campaign = _run_stalled_campaign(study, workers)
+            best = min(best, time.perf_counter() - started)
+        wall[workers] = best
+        outcomes[workers] = tuple(
+            outcome_from_result(result) for result in campaign.results
+        )
+
+    # Verdict equality: the parallel campaign is the same experiment.
+    for workers, replayed in outcomes.items():
+        assert replayed == baseline.outcomes, f"verdict drift at workers={workers}"
+
+    speedup_2 = wall[1] / wall[2]
+    speedup_4 = wall[1] / wall[4]
+    assert speedup_4 > 1.5, (
+        f"4 workers must beat serial by >1.5x on a stall-bound campaign, "
+        f"got {speedup_4:.2f}x ({wall[1]:.3f}s -> {wall[4]:.3f}s)"
+    )
+
+    benchmark.pedantic(
+        _run_stalled_campaign, args=(study, 4), rounds=2, iterations=1
+    )
+    benchmark.extra_info["wall_seconds"] = {
+        str(workers): round(seconds, 4) for workers, seconds in wall.items()
+    }
+    benchmark.extra_info["speedup"] = (
+        f"2 workers {speedup_2:.2f}x, 4 workers {speedup_4:.2f}x "
+        f"over serial ({len(baseline.outcomes)} units, "
+        f"{STALL_SECONDS * 1000:.0f} ms stall each)"
+    )
+    benchmark.extra_info["determinism"] = (
+        "verdicts bit-identical to serial replay_study at 1/2/4 workers"
+    )

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
     repro aggregate               # Section 5.4 numbers
     repro mine mysql              # run the mining pipeline, print the trace
     repro replay --technique process-pairs
+    repro campaign run --workers 4 --journal run.jsonl   # parallel, resumable
+    repro campaign status --journal run.jsonl
     repro report                  # the full study report
     repro export-archive apache apache.gnats   # write a raw archive
 """
@@ -42,6 +44,7 @@ from repro.recovery import (
 from repro.reports.figures import render_figure
 from repro.reports.studyreport import render_study_report
 from repro.reports.tableformat import format_table, render_classification_table
+from repro.rng import DEFAULT_SEED as _CAMPAIGN_DEFAULT_SEED
 
 _TECHNIQUES = {
     "process-pairs": ProcessPairs,
@@ -169,6 +172,115 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.harness import ProgressReporter, Telemetry, load_journal
+    from repro.harness.campaigns import KIND_REPLAY, run_replay_campaign
+    from repro.rng import DEFAULT_SEED
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+
+    def load(path: str):
+        try:
+            return load_journal(path)
+        except FileNotFoundError:
+            raise SystemExit(f"no journal at {path!r}") from None
+
+    if args.action == "status":
+        if not args.journal:
+            raise SystemExit("campaign status requires --journal")
+        contents = load(args.journal)
+        meta = contents.meta
+        total = meta.get("total_units", "?")
+        survived = sum(
+            1 for record in contents.records.values()
+            if record["result"].get("survived")
+        )
+        rows = [
+            ["kind", meta.get("kind", "?")],
+            ["technique", meta.get("technique", "?")],
+            ["seed", meta.get("seed", "?")],
+            ["scope", meta.get("application") or "full study"],
+            ["completed units", f"{contents.completed}/{total}"],
+            ["survived so far", survived],
+        ]
+        if contents.skipped_lines:
+            rows.append(["corrupt lines skipped", contents.skipped_lines])
+        print(format_table(["field", "value"], rows, title=f"Campaign journal {args.journal}"))
+        return 0
+
+    if args.action == "resume":
+        if not args.journal:
+            raise SystemExit("campaign resume requires --journal")
+        meta = load(args.journal).meta
+        if meta.get("kind") != KIND_REPLAY:
+            raise SystemExit(
+                f"journal {args.journal!r} has no resumable replay-campaign header"
+            )
+        technique_name = meta.get("technique", args.technique)
+        seed = meta.get("seed", DEFAULT_SEED)
+        application = meta.get("application")
+        limit = meta.get("limit")
+    else:  # run
+        technique_name = args.technique
+        seed = args.seed
+        application = args.application
+        limit = args.limit
+
+    try:
+        factory = _TECHNIQUES[technique_name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown technique {technique_name!r}; choose from " + ", ".join(_TECHNIQUES)
+        ) from None
+
+    study = full_study()
+    if application is not None:
+        faults = list(study.corpus(_application(application)).faults)
+    else:
+        faults = study.all_faults()
+    if limit is not None:
+        faults = faults[: limit]
+
+    telemetry = Telemetry()
+    report = run_replay_campaign(
+        faults,
+        factory,
+        seed=seed,
+        workers=args.workers,
+        journal_path=args.journal,
+        journal_meta={
+            "kind": KIND_REPLAY,
+            "technique": technique_name,
+            "seed": seed,
+            "application": application,
+            "limit": limit,
+            "total_units": len(faults),
+        },
+        telemetry=telemetry,
+        progress=ProgressReporter(len(faults), label=f"campaign {technique_name}"),
+    )
+    print(
+        format_table(
+            ["technique", "EI", "EDN", "EDT", "overall"],
+            [[
+                report.technique,
+                f"{report.survival_rate(FaultClass.ENV_INDEPENDENT):.0%}",
+                f"{report.survival_rate(FaultClass.ENV_DEP_NONTRANSIENT):.0%}",
+                f"{report.survival_rate(FaultClass.ENV_DEP_TRANSIENT):.0%}",
+                f"{report.survival_rate():.1%}",
+            ]],
+            title=f"Campaign replay over {len(faults)} study faults "
+            f"(workers={args.workers})",
+        )
+    )
+    for line in telemetry.summary_lines():
+        print(line)
+    if args.journal:
+        print(f"journal: {args.journal}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.reports.studyreport import render_study_report_markdown
 
@@ -293,6 +405,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="technique to replay (repeatable; default: all)",
     )
     replay.set_defaults(func=_cmd_replay)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a parallel, resumable replay campaign (repro.harness)",
+    )
+    campaign.add_argument(
+        "action", nargs="?", choices=("run", "resume", "status"), default="run",
+        help="run a campaign, resume one from its journal, or inspect a journal",
+    )
+    campaign.add_argument(
+        "--technique", choices=sorted(_TECHNIQUES), default="checkpoint-rollback",
+        help="recovery technique to replay",
+    )
+    campaign.add_argument(
+        "--application", choices=[app.value for app in Application], default=None,
+        help="restrict the campaign to one application's faults",
+    )
+    campaign.add_argument(
+        "--limit", type=int, default=None, help="replay only the first N faults"
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (verdicts are identical for any count)",
+    )
+    campaign.add_argument(
+        "--journal", default=None,
+        help="JSONL run log; reruns with the same journal resume completed units",
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=_CAMPAIGN_DEFAULT_SEED, help="base campaign seed"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     report = subparsers.add_parser("report", help="print the full study report")
     report.add_argument(

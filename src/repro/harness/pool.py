@@ -1,0 +1,175 @@
+"""Worker pool: fork-based process parallelism with a serial fallback.
+
+The pool runs a campaign's work units through a runner callable, either
+inline (``workers=1``) or across a ``concurrent.futures``
+``ProcessPoolExecutor`` using the **fork** start method.  Fork matters
+for two reasons:
+
+* **per-worker caching** -- the parent builds the campaign context once
+  (study fault map, technique factories, the loaded
+  :func:`~repro.corpus.loader.full_study` cache) and every worker
+  inherits it at fork time for free, instead of re-deserialising it per
+  task;
+* **arbitrary factories** -- technique factories are often lambdas or
+  closures, which cannot cross a pickle boundary; under fork they never
+  have to.
+
+On platforms without fork (or when ``workers <= 1``) the pool degrades
+to the inline serial path, which is also the reference path for the
+determinism contract: because every unit carries its own derived seed,
+the verdicts are identical either way.
+
+Failures propagate: if a runner raises, the campaign aborts with that
+exception.  Completed units are already journaled, so rerunning resumes
+past them.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, Sequence
+
+from repro.harness.shard import shard_count_for, shard_units
+from repro.harness.workunit import WorkUnit
+
+#: Runner signature: (unit, campaign context) -> JSON-serialisable result.
+UnitRunner = Callable[[WorkUnit, Any], dict[str, Any]]
+
+# Campaign runtime inherited by forked workers.  Set by WorkerPool.execute
+# immediately before the pool forks and cleared after; one campaign
+# executes at a time per process (nested campaigns should use workers=1).
+_RUNTIME: tuple[UnitRunner, Any] | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitExecution:
+    """One executed unit, as reported back from a worker.
+
+    Attributes:
+        key: the unit's content hash.
+        result: the runner's JSON-serialisable result.
+        wall_seconds: time spent inside the runner.
+        queue_seconds: submission-to-start latency (includes time spent
+            behind earlier units in the same shard).
+        worker_pid: the executing process id.
+    """
+
+    key: str
+    result: dict[str, Any]
+    wall_seconds: float
+    queue_seconds: float
+    worker_pid: int
+
+
+def _execute_shard(
+    shard: Sequence[WorkUnit], submitted_at: float
+) -> list[UnitExecution]:
+    """Run one shard of units in the current process (worker side)."""
+    runner, context = _RUNTIME  # type: ignore[misc]  # set before fork
+    executions = []
+    for unit in shard:
+        started = time.monotonic()
+        result = runner(unit, context)
+        finished = time.monotonic()
+        executions.append(
+            UnitExecution(
+                key=unit.key(),
+                result=result,
+                wall_seconds=finished - started,
+                queue_seconds=max(0.0, started - submitted_at),
+                worker_pid=os.getpid(),
+            )
+        )
+    return executions
+
+
+def fork_available() -> bool:
+    """Whether the fork start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class WorkerPool:
+    """Executes work units, in-process or across forked workers.
+
+    Args:
+        workers: requested worker count; ``1`` (or an unavailable fork
+            start method) selects the inline serial path.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.parallel = workers > 1 and fork_available()
+
+    def execute(
+        self,
+        units: Sequence[WorkUnit],
+        runner: UnitRunner,
+        context: Any,
+        *,
+        on_unit: Callable[[UnitExecution], None],
+    ) -> None:
+        """Run every unit, invoking ``on_unit`` as each completes.
+
+        Serial execution preserves unit order; parallel execution
+        completes in scheduling order.  Callers must therefore key any
+        state they accumulate by ``UnitExecution.key`` (the engine does).
+        """
+        if not units:
+            return
+        if not self.parallel:
+            self._execute_serial(units, runner, context, on_unit)
+        else:
+            self._execute_parallel(units, runner, context, on_unit)
+
+    def _execute_serial(
+        self,
+        units: Sequence[WorkUnit],
+        runner: UnitRunner,
+        context: Any,
+        on_unit: Callable[[UnitExecution], None],
+    ) -> None:
+        global _RUNTIME
+        previous = _RUNTIME
+        _RUNTIME = (runner, context)
+        try:
+            submitted = time.monotonic()
+            # One unit at a time so completions reach the caller (and the
+            # journal) before a later unit can fail the campaign.
+            for unit in units:
+                for execution in _execute_shard([unit], submitted):
+                    on_unit(execution)
+        finally:
+            _RUNTIME = previous
+
+    def _execute_parallel(
+        self,
+        units: Sequence[WorkUnit],
+        runner: UnitRunner,
+        context: Any,
+        on_unit: Callable[[UnitExecution], None],
+    ) -> None:
+        global _RUNTIME
+        previous = _RUNTIME
+        # Workers inherit the runtime at fork time; nothing is pickled.
+        _RUNTIME = (runner, context)
+        shards = shard_units(units, shard_count_for(len(units), self.workers))
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as executor:
+                futures = [
+                    executor.submit(_execute_shard, shard, time.monotonic())
+                    for shard in shards
+                ]
+                for future in concurrent.futures.as_completed(futures):
+                    for execution in future.result():
+                        on_unit(execution)
+        finally:
+            _RUNTIME = previous

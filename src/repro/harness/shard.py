@@ -1,0 +1,71 @@
+"""Sharding: batching work units for the worker pool.
+
+Units are tiny (a dataclass of scalars) but numerous, so the pool ships
+them in contiguous *shards* -- several units per inter-process round
+trip -- to amortise pickling and queue overhead.  Results come back
+keyed by unit content hash and are reassembled into the original
+submission order, so sharding (and hence worker count and completion
+order) can never reorder a campaign's results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence, TypeVar
+
+from repro.harness.workunit import WorkUnit
+
+T = TypeVar("T")
+
+#: Shards per worker: enough slack for load balancing without drowning
+#: the queue in tiny messages.
+CHUNKS_PER_WORKER = 4
+
+
+def shard_count_for(unit_count: int, workers: int) -> int:
+    """How many shards to cut ``unit_count`` units into for ``workers``."""
+    if unit_count <= 0:
+        return 0
+    return max(1, min(unit_count, workers * CHUNKS_PER_WORKER))
+
+
+def shard_units(
+    units: Sequence[WorkUnit], shard_count: int
+) -> list[list[WorkUnit]]:
+    """Split ``units`` into ``shard_count`` contiguous, near-equal shards.
+
+    Every unit lands in exactly one shard; shard sizes differ by at most
+    one unit.
+    """
+    if shard_count <= 0:
+        return []
+    shard_count = min(shard_count, len(units))
+    base, extra = divmod(len(units), shard_count)
+    shards = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(units[start : start + size]))
+        start += size
+    return shards
+
+
+def assemble_results(
+    units: Sequence[WorkUnit], results_by_key: Mapping[str, T]
+) -> list[T]:
+    """Order results to match the original unit stream.
+
+    Args:
+        units: the campaign's units in submission order.
+        results_by_key: unit content hash -> result.
+
+    Raises:
+        KeyError: if any unit has no result (a harness bug or a journal
+            claiming completion it does not contain).
+    """
+    ordered = []
+    for unit in units:
+        key = unit.key()
+        if key not in results_by_key:
+            raise KeyError(f"no result for work unit {unit.fault_id} (key {key})")
+        ordered.append(results_by_key[key])
+    return ordered

@@ -11,6 +11,12 @@ Two sweeps the replay makes natural:
 Both isolate the timing-triggered faults, the only place where retry
 count matters; deterministic environmental repairs either work on the
 first perturbed retry or never.
+
+Both sweeps run on the :mod:`repro.harness` campaign engine: pass
+``workers=N`` to shard the replays across processes, ``journal=`` to
+make an interrupted sweep resumable.  Seeds are derived per
+``(parameter, fault, replication)`` unit, so verdicts are identical for
+any worker count.
 """
 
 from __future__ import annotations
@@ -18,16 +24,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Sequence
 
-from repro.apps.faults import InjectedDefect
-from repro.apps.registry import make_application
-from repro.apps.workload import workload_for_fault
 from repro.bugdb.enums import TriggerKind
 from repro.corpus.loader import StudyData
 from repro.corpus.studyspec import StudyFault
 from repro.envmodel.environment import Environment
-from repro.errors import ApplicationCrash
 from repro.recovery.base import RecoveryTechnique
-from repro.rng import DEFAULT_SEED, derive_seed
+from repro.recovery.driver import run_replay_attempts
+from repro.rng import DEFAULT_SEED
 
 TIMING_TRIGGERS = frozenset(
     {
@@ -74,29 +77,17 @@ def _replay_timing_fault(
 ) -> bool:
     """Replay one timing fault with an overridden race window.
 
+    A thin wrapper over the driver's shared inject->fail->retry core
+    (:func:`repro.recovery.driver.run_replay_attempts`): the only sweep
+    specifics are the raw per-unit seed and the window override.
+
     Returns:
         Whether a retry completed the workload.
     """
-    env = Environment(seed=seed)
-    app = make_application(fault.application, env)
-    defect = InjectedDefect(fault, race_window=race_window)
-    app.injector.inject(defect)
-    defect.arm(env, app)
-    workload = workload_for_fault(fault)
-    technique.prepare(app)
-    try:
-        workload.run(app)
-        return True  # cannot happen: first run is forced to fire
-    except ApplicationCrash:
-        pass
-    for attempt in range(1, technique.max_attempts + 1):
-        technique.recover(app, attempt)
-        try:
-            workload.run(app)
-            return True
-        except ApplicationCrash:
-            continue
-    return False
+    _, survived, _ = run_replay_attempts(
+        fault, technique, env=Environment(seed=seed), race_window=race_window
+    )
+    return survived
 
 
 def sweep_retry_budget(
@@ -107,6 +98,8 @@ def sweep_retry_budget(
     race_window: float = 0.25,
     replications: int = 5,
     seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    journal: str | None = None,
 ) -> list[SweepPoint]:
     """Sweep the recovery-attempt budget over the timing faults.
 
@@ -117,23 +110,21 @@ def sweep_retry_budget(
         race_window: racy-window width for every defect.
         replications: independent seeds per (fault, budget) pair.
         seed: base seed.
+        workers: worker processes (default: in-process serial execution).
+        journal: optional JSONL run-log path for resumable sweeps.
     """
-    faults = timing_faults(study)
-    points = []
-    for budget in budgets:
-        survived = 0
-        total = 0
-        for fault in faults:
-            for replication in range(replications):
-                run_seed = derive_seed(seed, f"budget:{budget}:{fault.fault_id}:{replication}")
-                technique = technique_factory(budget)
-                if _replay_timing_fault(
-                    fault, technique, race_window=race_window, seed=run_seed
-                ):
-                    survived += 1
-                total += 1
-        points.append(SweepPoint(parameter=float(budget), survived=survived, total=total))
-    return points
+    from repro.harness.campaigns import run_sweep_retry_budget
+
+    return run_sweep_retry_budget(
+        study,
+        technique_factory,
+        budgets=budgets,
+        race_window=race_window,
+        replications=replications,
+        seed=seed,
+        workers=1 if workers is None else workers,
+        journal_path=journal,
+    )
 
 
 def sweep_race_window(
@@ -143,21 +134,18 @@ def sweep_race_window(
     windows: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 0.75, 0.95),
     replications: int = 5,
     seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    journal: str | None = None,
 ) -> list[SweepPoint]:
     """Sweep the racy-window width over the timing faults."""
-    faults = timing_faults(study)
-    points = []
-    for window in windows:
-        survived = 0
-        total = 0
-        for fault in faults:
-            for replication in range(replications):
-                run_seed = derive_seed(seed, f"window:{window}:{fault.fault_id}:{replication}")
-                technique = technique_factory()
-                if _replay_timing_fault(
-                    fault, technique, race_window=window, seed=run_seed
-                ):
-                    survived += 1
-                total += 1
-        points.append(SweepPoint(parameter=window, survived=survived, total=total))
-    return points
+    from repro.harness.campaigns import run_sweep_race_window
+
+    return run_sweep_race_window(
+        study,
+        technique_factory,
+        windows=windows,
+        replications=replications,
+        seed=seed,
+        workers=1 if workers is None else workers,
+        journal_path=journal,
+    )

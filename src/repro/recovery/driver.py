@@ -89,6 +89,58 @@ class ReplayReport:
         )
 
 
+def run_replay_attempts(
+    fault: StudyFault,
+    technique: RecoveryTechnique,
+    *,
+    env: Environment,
+    race_window: float | None = None,
+) -> tuple[bool, bool, int]:
+    """The shared inject -> fail -> recover -> retry core.
+
+    Builds the fault's application in ``env``, injects and arms the
+    defect (with ``race_window`` overriding the racy-window width when
+    given), drives the workload to failure, then retries under the
+    technique until it survives or exhausts its budget.  Callers own the
+    environment (seeding, DNS records) so campaign variants can differ
+    only in setup.
+
+    Returns:
+        ``(triggered, survived, attempts_used)``; ``triggered`` is False
+        only if the defect failed to fire on the first run.
+    """
+    app = make_application(fault.application, env)
+    if race_window is None:
+        defect = InjectedDefect(fault)
+    else:
+        defect = InjectedDefect(fault, race_window=race_window)
+    app.injector.inject(defect)
+    defect.arm(env, app)
+
+    workload = workload_for_fault(fault)
+    technique.prepare(app)
+
+    try:
+        workload.run(app)
+    except ApplicationCrash:
+        pass
+    else:
+        return (False, True, 0)
+
+    survived = False
+    attempts_used = 0
+    for attempt in range(1, technique.max_attempts + 1):
+        attempts_used = attempt
+        technique.recover(app, attempt)
+        try:
+            workload.run(app)
+        except ApplicationCrash:
+            continue
+        survived = True
+        break
+    return (True, survived, attempts_used)
+
+
 def replay_fault(
     fault: StudyFault,
     technique: RecoveryTechnique,
@@ -105,45 +157,14 @@ def replay_fault(
     # Reverse record for the default client so healthy DNS paths work.
     env.dns.add_record("client.example.net", "10.0.0.99")
     env.dns.add_record("client5.example.net", "10.0.0.5")
-    app = make_application(fault.application, env)
-    defect = InjectedDefect(fault)
-    app.injector.inject(defect)
-    defect.arm(env, app)
-
-    workload = workload_for_fault(fault)
-    technique.prepare(app)
-
-    try:
-        workload.run(app)
-    except ApplicationCrash:
-        pass
-    else:
-        return FaultReplayOutcome(
-            fault_id=fault.fault_id,
-            fault_class=fault.fault_class,
-            technique=technique.name,
-            triggered=False,
-            survived=True,
-            attempts_used=0,
-        )
-
-    survived = False
-    attempts_used = 0
-    for attempt in range(1, technique.max_attempts + 1):
-        attempts_used = attempt
-        technique.recover(app, attempt)
-        try:
-            workload.run(app)
-        except ApplicationCrash:
-            continue
-        survived = True
-        break
-
+    triggered, survived, attempts_used = run_replay_attempts(
+        fault, technique, env=env
+    )
     return FaultReplayOutcome(
         fault_id=fault.fault_id,
         fault_class=fault.fault_class,
         technique=technique.name,
-        triggered=True,
+        triggered=triggered,
         survived=survived,
         attempts_used=attempts_used,
     )
@@ -154,19 +175,30 @@ def replay_study(
     technique_factory: TechniqueFactory,
     *,
     seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    journal: str | None = None,
 ) -> ReplayReport:
     """Replay every study fault under fresh instances of one technique.
+
+    Runs on the :mod:`repro.harness` campaign engine; verdicts are
+    bit-identical for any worker count (seeds are derived per fault,
+    never from scheduling), so ``workers`` only changes wall time.
 
     Args:
         study: the full curated study.
         technique_factory: builds a fresh technique per fault (techniques
             hold per-run state such as checkpoints).
         seed: base seed; per-fault seeds are derived from it.
+        workers: worker processes (default: in-process serial execution).
+        journal: optional JSONL run-log path; an interrupted campaign
+            rerun with the same journal resumes without recomputation.
     """
-    outcomes = []
-    technique_name = ""
-    for fault in study.all_faults():
-        technique = technique_factory()
-        technique_name = technique.name
-        outcomes.append(replay_fault(fault, technique, seed=seed))
-    return ReplayReport(technique=technique_name, outcomes=tuple(outcomes))
+    from repro.harness.campaigns import run_replay_study
+
+    return run_replay_study(
+        study,
+        technique_factory,
+        seed=seed,
+        workers=1 if workers is None else workers,
+        journal_path=journal,
+    )

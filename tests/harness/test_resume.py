@@ -1,0 +1,99 @@
+"""Resume semantics for replay campaigns: kill, truncate, rerun.
+
+A journal truncated mid-campaign must resume to the same final
+``ReplayReport`` without re-running completed units -- the acceptance
+criterion for interrupted campaigns.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import Telemetry, load_journal
+from repro.harness.campaigns import run_replay_campaign
+from repro.recovery import CheckpointRollback, replay_study
+
+
+@pytest.fixture()
+def faults(study):
+    return study.all_faults()[:30]
+
+
+@pytest.fixture()
+def baseline(faults):
+    return run_replay_campaign(faults, CheckpointRollback)
+
+
+class TestJournaledCampaign:
+    def test_journal_records_every_unit(self, faults, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_replay_campaign(faults, CheckpointRollback, journal_path=journal)
+        contents = load_journal(journal)
+        assert contents.completed == len(faults)
+        assert contents.meta["kind"] == "replay"
+        assert contents.meta["technique"] == "checkpoint-rollback"
+
+    def test_rerun_resumes_everything(self, faults, baseline, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_replay_campaign(faults, CheckpointRollback, journal_path=journal)
+        telemetry = Telemetry()
+        resumed = run_replay_campaign(
+            faults, CheckpointRollback, journal_path=journal, telemetry=telemetry
+        )
+        assert resumed == baseline
+        assert telemetry.counter("units.executed") == 0
+        assert telemetry.counter("units.resumed") == len(faults)
+
+
+class TestTruncatedJournalResume:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_truncated_journal_resumes_to_same_report(
+        self, faults, baseline, tmp_path, workers
+    ):
+        journal = tmp_path / "run.jsonl"
+        run_replay_campaign(faults, CheckpointRollback, journal_path=str(journal))
+
+        # Simulate a kill mid-campaign: keep the header, the first 11
+        # complete records, and a torn 12th line.
+        lines = journal.read_text().splitlines()
+        kept = lines[: 1 + 11]
+        torn = lines[1 + 11][: len(lines[1 + 11]) // 2]
+        journal.write_text("\n".join(kept + [torn]) + "\n")
+
+        telemetry = Telemetry()
+        resumed = run_replay_campaign(
+            faults,
+            CheckpointRollback,
+            journal_path=str(journal),
+            workers=workers,
+            telemetry=telemetry,
+        )
+        assert resumed == baseline
+        assert telemetry.counter("units.resumed") == 11
+        assert telemetry.counter("units.executed") == len(faults) - 11
+        # The journal is whole again after the resume.
+        assert load_journal(journal).completed == len(faults)
+
+    def test_resume_applies_to_replay_study_entry_point(self, study, tmp_path):
+        journal = tmp_path / "full.jsonl"
+        expected = replay_study(study, CheckpointRollback)
+        replay_study(study, CheckpointRollback, journal=str(journal))
+
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:70]) + "\n")
+
+        resumed = replay_study(study, CheckpointRollback, journal=str(journal))
+        assert resumed == expected
+
+
+class TestJournalUnitIdentity:
+    def test_journaled_units_are_self_describing(self, faults, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_replay_campaign(faults, CheckpointRollback, journal_path=str(journal))
+        for line in journal.read_text().splitlines()[1:3]:
+            record = json.loads(line)
+            unit = record["unit"]
+            assert unit["kind"] == "replay"
+            assert unit["technique"] == "checkpoint-rollback"
+            assert isinstance(unit["seed"], int)
+            assert record["result"]["fault_id"] == unit["fault_id"]

@@ -1,0 +1,49 @@
+"""Tests for shard planning and order-preserving reassembly."""
+
+import pytest
+
+from repro.harness import WorkUnit, assemble_results, shard_count_for, shard_units
+
+
+def _units(count):
+    return [WorkUnit.build("replay", f"F-{i}", seed=i) for i in range(count)]
+
+
+class TestShardCount:
+    def test_zero_units(self):
+        assert shard_count_for(0, 4) == 0
+
+    def test_small_campaign_one_shard_per_unit_at_most(self):
+        assert shard_count_for(3, 4) == 3
+
+    def test_large_campaign_chunks_per_worker(self):
+        assert shard_count_for(1000, 4) == 16
+
+
+class TestShardUnits:
+    def test_partition_covers_everything_once(self):
+        units = _units(139)
+        shards = shard_units(units, shard_count_for(139, 4))
+        flattened = [unit for shard in shards for unit in shard]
+        assert flattened == units  # contiguous, order-preserving, complete
+
+    def test_sizes_differ_by_at_most_one(self):
+        shards = shard_units(_units(10), 3)
+        sizes = sorted(len(shard) for shard in shards)
+        assert sizes == [3, 3, 4]
+
+    def test_more_shards_than_units_collapses(self):
+        shards = shard_units(_units(2), 8)
+        assert len(shards) == 2
+
+
+class TestAssemble:
+    def test_orders_results_by_submission(self):
+        units = _units(5)
+        shuffled = {unit.key(): unit.fault_id for unit in reversed(units)}
+        assert assemble_results(units, shuffled) == [u.fault_id for u in units]
+
+    def test_missing_result_raises(self):
+        units = _units(2)
+        with pytest.raises(KeyError, match="no result"):
+            assemble_results(units, {units[0].key(): "x"})

@@ -1,0 +1,61 @@
+"""Tests for the self-describing work-unit model."""
+
+import pytest
+
+from repro.harness import WorkUnit, check_unique
+
+
+class TestBuild:
+    def test_params_are_sorted_canonically(self):
+        a = WorkUnit.build("replay", "F-1", params={"b": 2, "a": 1}, seed=7)
+        b = WorkUnit.build("replay", "F-1", params={"a": 1, "b": 2}, seed=7)
+        assert a == b
+        assert a.params == (("a", 1), ("b", 2))
+
+    def test_params_dict_roundtrip(self):
+        unit = WorkUnit.build("replay", "F-1", params={"window": 0.25}, seed=3)
+        assert unit.params_dict() == {"window": 0.25}
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            WorkUnit.build("replay", "F-1", params={"bad": [1, 2]})
+
+
+class TestKey:
+    def test_key_is_content_hash(self):
+        a = WorkUnit.build("replay", "F-1", technique="t", seed=7)
+        b = WorkUnit.build("replay", "F-1", technique="t", seed=7)
+        assert a.key() == b.key()
+
+    def test_key_changes_with_any_field(self):
+        base = WorkUnit.build("replay", "F-1", technique="t", seed=7)
+        variants = [
+            WorkUnit.build("sweep", "F-1", technique="t", seed=7),
+            WorkUnit.build("replay", "F-2", technique="t", seed=7),
+            WorkUnit.build("replay", "F-1", technique="u", seed=7),
+            WorkUnit.build("replay", "F-1", technique="t", seed=8),
+            WorkUnit.build("replay", "F-1", technique="t", params={"x": 1}, seed=7),
+        ]
+        keys = {unit.key() for unit in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_stable_across_dict_roundtrip(self):
+        unit = WorkUnit.build(
+            "retry-budget", "F-9", technique="t",
+            params={"budget": 4, "replication": 2, "race_window": 0.25}, seed=99,
+        )
+        assert WorkUnit.from_dict(unit.to_dict()) == unit
+        assert WorkUnit.from_dict(unit.to_dict()).key() == unit.key()
+
+
+class TestCheckUnique:
+    def test_accepts_distinct_units(self):
+        check_unique(
+            [WorkUnit.build("replay", f"F-{i}", seed=i) for i in range(5)]
+        )
+
+    def test_rejects_duplicates(self):
+        unit = WorkUnit.build("replay", "F-1", seed=1)
+        with pytest.raises(ValueError, match="duplicate work units"):
+            check_unique([unit, unit])

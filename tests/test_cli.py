@@ -137,6 +137,55 @@ class TestCatalogCommand:
         assert out.count("- **MYSQL-") == 44
 
 
+class TestCampaignCommand:
+    def test_run_with_workers_and_journal(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "campaign", "run", "--application", "apache", "--limit", "12",
+                    "--workers", "2", "--journal", str(journal),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Campaign replay over 12 study faults" in out
+        assert "12 executed" in out
+        assert journal.exists()
+
+    def test_default_action_is_run(self, capsys):
+        assert main(["campaign", "--application", "gnome", "--limit", "5"]) == 0
+        assert "Campaign replay over 5 study faults" in capsys.readouterr().out
+
+    def test_status_reports_progress(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        main(["campaign", "run", "--application", "mysql", "--limit", "8", "--journal", journal])
+        capsys.readouterr()
+        assert main(["campaign", "status", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign journal" in out
+        assert "8/8" in out
+        assert "checkpoint-rollback" in out
+
+    def test_resume_skips_completed_units(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        main(["campaign", "run", "--application", "apache", "--limit", "10", "--journal", journal])
+        capsys.readouterr()
+        assert main(["campaign", "resume", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        assert "10 resumed from journal" in out
+
+    def test_status_requires_journal(self):
+        with pytest.raises(SystemExit, match="requires --journal"):
+            main(["campaign", "status"])
+
+    def test_resume_requires_existing_journal(self, tmp_path):
+        with pytest.raises(SystemExit, match="no journal"):
+            main(["campaign", "resume", "--journal", str(tmp_path / "absent.jsonl")])
+
+
 class TestReportWithReplay:
     def test_with_replay_includes_replay_section(self, capsys, monkeypatch):
         import repro.cli as cli_module
