@@ -86,18 +86,27 @@ def render_archive(reports: Iterable[BugReport]) -> str:
     return "\n\n\x0c\n".join(render_report(report) for report in reports) + "\n"
 
 
+def split_archive(text: str) -> list[str]:
+    """Split a debbugs log into per-report chunks without parsing them.
+
+    Record boundaries are the form-feed separators, so the split is one
+    cheap string scan; the chunks can then be parsed independently (in
+    parallel shards, by :mod:`repro.pipeline`).
+    """
+    return [
+        stripped
+        for block in text.split("\x0c")
+        if (stripped := block.strip("\n")).strip()
+    ]
+
+
 def parse_archive(text: str, *, source: str = "debbugs") -> list[BugReport]:
     """Parse a debbugs log archive.
 
     Raises:
         ParseError: on malformed blocks.
     """
-    reports = []
-    for block in text.split("\x0c"):
-        block = block.strip("\n")
-        if block.strip():
-            reports.append(parse_report(block, source=source))
-    return reports
+    return [parse_report(block, source=source) for block in split_archive(text)]
 
 
 def parse_report(text: str, *, source: str = "debbugs") -> BugReport:

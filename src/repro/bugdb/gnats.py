@@ -111,18 +111,27 @@ def render_archive(reports: Iterable[BugReport]) -> str:
     return f"\n{_PR_SEPARATOR}\n".join(blocks) + "\n"
 
 
+def split_archive(text: str) -> list[str]:
+    """Split a GNATS dump into per-PR chunks without parsing them.
+
+    Record boundaries are the ``=`` separator lines, so the split is one
+    cheap string scan; the chunks can then be parsed independently (in
+    parallel shards, by :mod:`repro.pipeline`).
+    """
+    return [
+        stripped
+        for block in text.split(_PR_SEPARATOR)
+        if (stripped := block.strip("\n")).strip()
+    ]
+
+
 def parse_archive(text: str, *, source: str = "gnats") -> list[BugReport]:
     """Parse a GNATS archive dump into reports.
 
     Raises:
         ParseError: on malformed records.
     """
-    reports = []
-    for block in text.split(_PR_SEPARATOR):
-        block = block.strip("\n")
-        if block.strip():
-            reports.append(parse_pr(block, source=source))
-    return reports
+    return [parse_pr(block, source=source) for block in split_archive(text)]
 
 
 def parse_pr(text: str, *, source: str = "gnats") -> BugReport:

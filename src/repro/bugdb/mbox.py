@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import datetime as _dt
+import re
 from typing import Iterable
 
 from repro.errors import ParseError
@@ -30,8 +31,14 @@ def parse_mail_date(value: str) -> _dt.date:
     and ``10 Jun 1999``; time-of-day and zone are ignored (the study
     works at day granularity).
 
+    Two-digit years are accepted only in the 70-99 window (1970-1999, the
+    archives' era).  00-69 would silently mean 1900-1969 under the old
+    pivot while almost certainly being 2000-era mail, so they are
+    rejected instead of mis-filed.
+
     Raises:
-        ValueError: when neither form parses.
+        ValueError: when neither form parses, or a two-digit year falls
+            outside the 70-99 window.
     """
     text = value.strip()
     try:
@@ -47,11 +54,20 @@ def parse_mail_date(value: str) -> _dt.date:
         if month is not None:
             try:
                 year = int(year_text)
-                if year < 100:  # two-digit 1990s years
-                    year += 1900
-                return _dt.date(year, month, int(day_text))
+                day = int(day_text)
             except ValueError:
-                pass
+                raise ValueError(f"unparseable mail date: {value!r}") from None
+            if year < 100:
+                if not 70 <= year <= 99:
+                    raise ValueError(
+                        f"ambiguous two-digit year {year:02d} "
+                        f"(outside the 1970-1999 window) in mail date: {value!r}"
+                    )
+                year += 1900
+            try:
+                return _dt.date(year, month, day)
+            except ValueError:
+                raise ValueError(f"unparseable mail date: {value!r}") from None
     raise ValueError(f"unparseable mail date: {value!r}")
 
 
@@ -114,26 +130,54 @@ def render_archive(messages: Iterable[MailMessage]) -> str:
     return "\n\n".join(render_message(message) for message in messages) + "\n"
 
 
+# A message starts at any line beginning "From " (the mbox separator);
+# true body lines that look like separators are From-stuffed on render.
+_MESSAGE_BOUNDARY = re.compile(r"^From ", re.MULTILINE)
+
+
+def split_archive(text: str, *, source: str = "mbox") -> list[str]:
+    """Split an mbox archive into per-message chunks without parsing them.
+
+    The record-boundary scan is a single regex pass, so large archives
+    can be cut into chunks cheaply and the chunks parsed independently
+    (in parallel shards, by :mod:`repro.pipeline`).  Concatenating the
+    chunks reproduces the archive text exactly from the first separator.
+
+    Raises:
+        ParseError: on non-blank content before the first separator.
+    """
+    boundaries = [match.start() for match in _MESSAGE_BOUNDARY.finditer(text)]
+    preamble = text[: boundaries[0]] if boundaries else text
+    for line in preamble.splitlines():
+        if line.strip():
+            raise ParseError(f"content before first separator: {line!r}", source=source)
+    if not boundaries:
+        return []
+    return [
+        text[start:end]
+        for start, end in zip(boundaries, boundaries[1:] + [len(text)])
+    ]
+
+
+def parse_message(chunk: str, *, source: str = "mbox") -> MailMessage:
+    """Parse one message chunk (as produced by :func:`split_archive`).
+
+    Raises:
+        ParseError: on missing required headers.
+    """
+    return _parse_message(chunk.splitlines(), source=source)
+
+
 def parse_archive(text: str, *, source: str = "mbox") -> list[MailMessage]:
     """Parse an mbox archive into messages.
 
     Raises:
         ParseError: on messages missing required headers.
     """
-    messages: list[MailMessage] = []
-    current: list[str] | None = None
-    for line in text.splitlines():
-        if line.startswith("From ") and not line.startswith("From:"):
-            if current is not None:
-                messages.append(_parse_message(current, source=source))
-            current = [line]
-        elif current is not None:
-            current.append(line)
-        elif line.strip():
-            raise ParseError(f"content before first separator: {line!r}", source=source)
-    if current is not None:
-        messages.append(_parse_message(current, source=source))
-    return messages
+    return [
+        parse_message(chunk, source=source)
+        for chunk in split_archive(text, source=source)
+    ]
 
 
 def _parse_message(lines: list[str], *, source: str) -> MailMessage:

@@ -53,6 +53,21 @@ class TextIndex(Generic[DocId]):
         for doc_id, text in documents:
             self.add(doc_id, text)
 
+    def merge(self, other: "TextIndex[DocId]") -> None:
+        """Fold another index's postings into this one.
+
+        Used to combine per-shard partial indexes built in parallel:
+        each shard indexes its documents under globally unique ids, and
+        the merged index is identical to indexing every document
+        serially.  Document counts add, so callers are responsible for
+        keeping id spaces disjoint (shared ids merge into one document's
+        posting set but still count twice).
+        """
+        for token, documents in other._postings.items():
+            self._postings.setdefault(token, set()).update(documents)
+        self._documents += other._documents
+        self._sorted_tokens = None
+
     def lookup(self, token: str) -> set[DocId]:
         """Documents containing the exact token."""
         return set(self._postings.get(token.lower(), ()))

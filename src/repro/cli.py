@@ -116,6 +116,8 @@ def _cmd_aggregate(_args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.application == "run":
+        return _cmd_mine_run(args)
     application = _application(args.application)
     study = full_study()
     corpus = study.corpus(application)
@@ -138,6 +140,37 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     table = classify_and_tabulate(application, result.items)
     print()
     print(render_classification_table(table))
+    return 0
+
+
+def _cmd_mine_run(args: argparse.Namespace) -> int:
+    from repro.harness.telemetry import Telemetry
+    from repro.pipeline import mine_application
+
+    if not args.target_application:
+        raise SystemExit("mine run requires --application")
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    application = _application(args.target_application)
+    run = mine_application(
+        application,
+        scale=args.scale,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        telemetry=Telemetry(),
+    )
+    print(
+        format_table(
+            ["stage", "survivors"],
+            run.result.trace.as_rows(),
+            title=f"Mining narrowing for {application.display_name} "
+            f"(workers={args.workers})",
+        )
+    )
+    print(f"final unique bugs: {len(run.result.items)}")
+    for line in run.summary_lines():
+        print(line)
     return 0
 
 
@@ -392,10 +425,31 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.set_defaults(func=_cmd_aggregate)
 
     mine = subparsers.add_parser("mine", help="run the mining pipeline on a generated archive")
-    mine.add_argument("application", help="apache | gnome | mysql")
+    mine.add_argument(
+        "application",
+        help="apache | gnome | mysql, or 'run' for the fast archive path "
+        "(repro mine run --application mysql --workers 4)",
+    )
     mine.add_argument(
         "--scale", type=int, default=None,
         help="raw archive size (defaults to the paper's full scale)",
+    )
+    mine.add_argument(
+        "--application", dest="target_application", default=None,
+        metavar="APP", help="(mine run) application to mine",
+    )
+    mine.add_argument(
+        "--workers", type=int, default=1,
+        help="(mine run) parse-shard worker processes "
+        "(traces are identical for any count)",
+    )
+    mine.add_argument(
+        "--cache-dir", default=None,
+        help="(mine run) content-addressed parse/mine cache directory",
+    )
+    mine.add_argument(
+        "--no-cache", action="store_true",
+        help="(mine run) bypass the cache entirely, even with --cache-dir",
     )
     mine.set_defaults(func=_cmd_mine)
 

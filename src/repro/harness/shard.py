@@ -28,13 +28,13 @@ def shard_count_for(unit_count: int, workers: int) -> int:
     return max(1, min(unit_count, workers * CHUNKS_PER_WORKER))
 
 
-def shard_units(
-    units: Sequence[WorkUnit], shard_count: int
-) -> list[list[WorkUnit]]:
+def shard_units(units: Sequence[T], shard_count: int) -> list[list[T]]:
     """Split ``units`` into ``shard_count`` contiguous, near-equal shards.
 
     Every unit lands in exactly one shard; shard sizes differ by at most
-    one unit.
+    one unit.  Generic over the element type: campaigns shard
+    :class:`WorkUnit` streams, the mining pipeline shards raw archive
+    chunks.
     """
     if shard_count <= 0:
         return []

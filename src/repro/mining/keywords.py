@@ -12,11 +12,24 @@ word -- "trace" must not match "race".
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import Iterable
 
 #: The paper's MySQL study keywords.
 MYSQL_STUDY_KEYWORDS: tuple[str, ...] = ("crash", "segmentation", "race", "died")
+
+
+@functools.lru_cache(maxsize=128)
+def _compile_keywords(keywords: tuple[str, ...]) -> re.Pattern[str]:
+    """Compile the word-boundary pattern for ``keywords`` once per set.
+
+    Matchers are constructed freely at call sites (one per mined thread,
+    one per archive); caching by keyword tuple makes repeat construction
+    a dict lookup instead of a regex compilation.
+    """
+    alternatives = "|".join(re.escape(keyword) + r"\w*" for keyword in keywords)
+    return re.compile(rf"\b(?:{alternatives})\b", re.IGNORECASE)
 
 
 class KeywordMatcher:
@@ -32,8 +45,8 @@ class KeywordMatcher:
         self.keywords = tuple(keywords)
         if not self.keywords:
             raise ValueError("at least one keyword is required")
-        alternatives = "|".join(re.escape(keyword) + r"\w*" for keyword in self.keywords)
-        self._pattern = re.compile(rf"\b(?:{alternatives})\b", re.IGNORECASE)
+        self._pattern = _compile_keywords(self.keywords)
+        self._lowered_stems = tuple((stem, stem.lower()) for stem in self.keywords)
 
     def matches(self, text: str) -> bool:
         """Whether any keyword occurs in ``text``."""
@@ -44,10 +57,20 @@ class KeywordMatcher:
         return [match.lower() for match in self._pattern.findall(text)]
 
     def matched_stems(self, text: str) -> set[str]:
-        """Which keyword stems matched ``text`` at least once."""
+        """Which keyword stems matched ``text`` at least once.
+
+        Single streaming pass: each occurrence credits every stem that
+        prefixes it (overlapping stems such as ``crash``/``crashes`` can
+        share one hit), and the scan stops as soon as every stem has been
+        seen -- no per-call hit-list materialisation.
+        """
         stems: set[str] = set()
-        lowered_hits = self.find_all(text)
-        for stem in self.keywords:
-            if any(hit.startswith(stem.lower()) for hit in lowered_hits):
-                stems.add(stem)
+        total = len({stem for stem, _ in self._lowered_stems})
+        for match in self._pattern.finditer(text):
+            hit = match.group().lower()
+            for stem, lowered in self._lowered_stems:
+                if stem not in stems and hit.startswith(lowered):
+                    stems.add(stem)
+            if len(stems) == total:
+                break
         return stems

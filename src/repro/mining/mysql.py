@@ -16,6 +16,7 @@ import re
 
 from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
 from repro.bugdb.mbox import MailMessage
+from repro.bugdb.textindex import TextIndex
 from repro.bugdb.model import BugReport, Comment
 from repro.mining.dedup import Deduplicator
 from repro.mining.keywords import KeywordMatcher, MYSQL_STUDY_KEYWORDS
@@ -34,8 +35,60 @@ _SYMPTOM_BY_STEM = {
     "race": Symptom.CRASH,
 }
 
+#: The study matcher, hoisted to module level: mining constructs one per
+#: reporting thread otherwise, and the archive holds tens of them.
+_STUDY_MATCHER = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
 
-def report_from_thread(thread: Thread) -> BugReport:
+
+def message_search_text(message: MailMessage) -> str:
+    """The text keyword filtering runs over: subject plus body."""
+    return message.subject + "\n" + message.body
+
+
+def build_message_index(messages: list[MailMessage]) -> TextIndex[int]:
+    """Inverted index over an archive, keyed by message position.
+
+    Positional ids (not message ids) keep the index mergeable across
+    contiguous shards: a shard indexes its messages under their global
+    archive positions and the merged index is identical to indexing the
+    whole archive serially.
+    """
+    index: TextIndex[int] = TextIndex()
+    for position, message in enumerate(messages):
+        index.add(position, message_search_text(message))
+    return index
+
+
+def keyword_matching_messages(
+    messages: list[MailMessage],
+    matcher: KeywordMatcher,
+    *,
+    index: TextIndex[int] | None = None,
+) -> list[MailMessage]:
+    """Messages whose subject+body match ``matcher``, in archive order.
+
+    With a positional ``index``, the inverted index narrows the archive
+    to candidate positions first and only candidates are regex-confirmed
+    -- the confirm step guarantees the hit set equals the linear scan's
+    even where tokenization is looser than regex word boundaries (the
+    index splits ``my_race`` into ``my``/``race``; ``\\b`` does not).
+    """
+    if index is None:
+        return [
+            message for message in messages
+            if matcher.matches(message_search_text(message))
+        ]
+    candidates = index.search_any(matcher.keywords)
+    return [
+        message
+        for position, message in enumerate(messages)
+        if position in candidates and matcher.matches(message_search_text(message))
+    ]
+
+
+def report_from_thread(
+    thread: Thread, *, matcher: KeywordMatcher = _STUDY_MATCHER
+) -> BugReport:
     """Build a candidate bug report from a reporting thread."""
     root = thread.root
     body = root.body
@@ -46,7 +99,6 @@ def report_from_thread(thread: Thread) -> BugReport:
     version_match = _VERSION_PATTERN.search(body)
     component_match = _COMPONENT_PATTERN.search(body)
 
-    matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
     stems = matcher.matched_stems(root.subject + "\n" + body)
     symptom = next(
         (_SYMPTOM_BY_STEM[stem] for stem in MYSQL_STUDY_KEYWORDS if stem in stems),
@@ -88,24 +140,36 @@ def mine_mysql(
     *,
     keywords: tuple[str, ...] = MYSQL_STUDY_KEYWORDS,
     deduplicator: Deduplicator | None = None,
+    index: TextIndex[int] | None = None,
+    use_index: bool = True,
 ) -> MiningResult[BugReport]:
     """Narrow a raw mailing-list archive to the unique study bugs.
+
+    The keyword stage is index-backed by default: an inverted
+    :class:`~repro.bugdb.textindex.TextIndex` prefilters the archive to
+    candidate messages, and only candidates are confirmed against the
+    compiled matcher, so the hit set is identical to a linear scan (the
+    linear path is kept as the verification oracle in the tests).
 
     Args:
         messages: the parsed mbox archive.
         keywords: keyword stems to filter messages with (ablatable).
         deduplicator: duplicate-reduction strategy.
+        index: prebuilt positional index over ``messages`` (as built by
+            :func:`build_message_index`, possibly merged from parallel
+            shards); built here when omitted.
+        use_index: set False to force the linear reference scan.
     """
     dedup = deduplicator or Deduplicator()
     matcher = KeywordMatcher(keywords)
     trace = NarrowingTrace()
     trace.record("raw messages", len(messages))
 
-    matching = [
-        message
-        for message in messages
-        if matcher.matches(message.subject + "\n" + message.body)
-    ]
+    if index is None and use_index:
+        index = build_message_index(messages)
+    matching = keyword_matching_messages(
+        messages, matcher, index=index if use_index else None
+    )
     trace.record("keyword-matching messages", len(matching))
 
     # Threads are rebuilt over the *full* archive so replies that matched

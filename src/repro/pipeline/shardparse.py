@@ -1,0 +1,182 @@
+"""Parallel sharded archive parsing on the repro.harness worker pool.
+
+The splitters in :mod:`repro.bugdb` cut an archive into per-record
+chunks with one cheap boundary scan; this module shards those chunks
+contiguously and parses the shards on the fork-based
+:class:`~repro.harness.pool.WorkerPool`.  Results are reassembled in
+submission order (keyed by work-unit content hash), so the record list
+is bit-identical to the serial ``parse_archive`` path for any worker
+count -- sharding can reorder *completion*, never *output*.
+
+When the format defines :attr:`~repro.pipeline.formats.ArchiveFormat.
+index_text`, every shard also builds a partial inverted index over its
+records (keyed by global archive position) as a parse by-product; the
+partials merge into one :class:`~repro.bugdb.textindex.TextIndex`
+identical to indexing the archive serially.  This is what makes the
+index-backed keyword prefilter effectively free on the parallel path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Any
+
+from repro.bugdb.textindex import TextIndex
+from repro.harness.pool import UnitExecution, WorkerPool
+from repro.harness.shard import assemble_results, shard_count_for, shard_units
+from repro.harness.telemetry import Telemetry
+from repro.harness.workunit import WorkUnit
+from repro.pipeline.formats import ArchiveFormat
+
+#: Work-unit kind for parse shards (appears in unit keys and telemetry).
+KIND_PARSE_SHARD = "parse-shard"
+
+
+@dataclasses.dataclass
+class ParsedArchive:
+    """The outcome of parsing one archive.
+
+    Attributes:
+        records: parsed records in archive order (identical to the
+            serial ``parse_archive`` output for any worker count).
+        index: merged positional inverted index over the records, when
+            the format defines ``index_text``; None otherwise.
+        shards: number of shards the parse ran in (1 on the serial path).
+        workers: worker processes requested.
+        worker_pids: distinct process ids that executed shards.
+        wall_seconds: end-to-end parse wall time.
+    """
+
+    records: list[Any]
+    index: TextIndex | None
+    shards: int
+    workers: int
+    worker_pids: tuple[int, ...]
+    wall_seconds: float
+
+    @property
+    def shard_utilization(self) -> float:
+        """Fraction of usable workers that actually executed shards."""
+        usable = max(1, min(self.workers, self.shards))
+        return len(self.worker_pids) / usable
+
+
+def _build_partial_index(
+    fmt: ArchiveFormat, records: list[Any], start: int
+) -> TextIndex | None:
+    if fmt.index_text is None:
+        return None
+    index: TextIndex = TextIndex()
+    for offset, record in enumerate(records):
+        index.add(start + offset, fmt.index_text(record))
+    return index
+
+
+def _parse_shard_runner(unit: WorkUnit, context: Any) -> dict[str, Any]:
+    """Parse one shard of chunks (worker side).
+
+    The chunk shards travel to workers through fork inheritance (the
+    pool's context), not pickling, so the archive text is never copied
+    through the result queue; only parsed records come back.
+    """
+    fmt, shards = context
+    params = unit.params_dict()
+    chunks = shards[params["shard"]]
+    records = [fmt.parse_record(chunk) for chunk in chunks]
+    return {
+        "records": records,
+        "index": _build_partial_index(fmt, records, params["start"]),
+    }
+
+
+def parse_archive_sharded(
+    fmt: ArchiveFormat,
+    text: str,
+    *,
+    workers: int = 1,
+    telemetry: Telemetry | None = None,
+) -> ParsedArchive:
+    """Parse an archive, in parallel shards when ``workers > 1``.
+
+    Args:
+        fmt: the archive's format descriptor.
+        text: raw archive text.
+        workers: worker processes; 1 (or a platform without fork)
+            selects the serial reference path.
+        telemetry: optional sink for parse timers/counters/gauges.
+
+    The record list (and merged index) is identical to the serial path
+    for any worker count.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    started = time.monotonic()
+    chunks = fmt.split(text)
+    telemetry.observe("parse.split", time.monotonic() - started)
+    telemetry.count("parse.chunks", len(chunks))
+
+    pool = WorkerPool(max(1, workers))
+    if not pool.parallel or len(chunks) < 2:
+        records = [fmt.parse_record(chunk) for chunk in chunks]
+        index = _build_partial_index(fmt, records, 0)
+        wall = time.monotonic() - started
+        telemetry.observe("parse.wall", wall)
+        telemetry.gauge("parse.shards", 1)
+        telemetry.gauge("parse.worker_processes", 1)
+        telemetry.gauge("parse.shard_utilization", 1.0)
+        return ParsedArchive(
+            records=records,
+            index=index,
+            shards=1,
+            workers=pool.workers,
+            worker_pids=(os.getpid(),),
+            wall_seconds=wall,
+        )
+
+    shards = shard_units(chunks, shard_count_for(len(chunks), pool.workers))
+    starts, offset = [], 0
+    for shard in shards:
+        starts.append(offset)
+        offset += len(shard)
+    units = [
+        WorkUnit.build(
+            KIND_PARSE_SHARD,
+            f"{fmt.application.value}:shard{position:05d}",
+            params={"shard": position, "start": starts[position], "chunks": len(shard)},
+        )
+        for position, shard in enumerate(shards)
+    ]
+
+    executions: dict[str, UnitExecution] = {}
+
+    def on_unit(execution: UnitExecution) -> None:
+        executions[execution.key] = execution
+        telemetry.observe("parse.shard.wall", execution.wall_seconds)
+        telemetry.observe("parse.shard.queue", execution.queue_seconds)
+
+    pool.execute(units, _parse_shard_runner, (fmt, shards), on_unit=on_unit)
+    ordered = assemble_results(units, executions)
+
+    records: list[Any] = []
+    index: TextIndex | None = TextIndex() if fmt.index_text is not None else None
+    for execution in ordered:
+        records.extend(execution.result["records"])
+        if index is not None:
+            index.merge(execution.result["index"])
+
+    pids = tuple(sorted({execution.worker_pid for execution in ordered}))
+    wall = time.monotonic() - started
+    telemetry.observe("parse.wall", wall)
+    telemetry.gauge("parse.shards", len(shards))
+    telemetry.gauge("parse.worker_processes", len(pids))
+    parsed = ParsedArchive(
+        records=records,
+        index=index,
+        shards=len(shards),
+        workers=pool.workers,
+        worker_pids=pids,
+        wall_seconds=wall,
+    )
+    telemetry.gauge("parse.shard_utilization", parsed.shard_utilization)
+    return parsed

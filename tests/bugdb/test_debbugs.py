@@ -106,3 +106,26 @@ class TestParseErrors:
         text = render_report(make_report()).replace("Severity: grave", "Severity: meh")
         with pytest.raises(ParseError, match="unknown severity"):
             parse_report(text)
+
+
+class TestSplitArchive:
+    def test_split_then_parse_equals_parse_archive(self):
+        from repro.bugdb.debbugs import render_archive, split_archive
+
+        reports = [make_report(report_id=str(2000 + i)) for i in range(7)]
+        text = render_archive(reports)
+        chunks = split_archive(text)
+        assert len(chunks) == 7
+        assert [parse_report(chunk) for chunk in chunks] == parse_archive(text)
+
+    def test_form_feeds_never_leak_into_chunks(self):
+        from repro.bugdb.debbugs import render_archive, split_archive
+
+        text = render_archive([make_report(report_id=str(2000 + i)) for i in range(3)])
+        for chunk in split_archive(text):
+            assert "\x0c" not in chunk
+
+    def test_empty_text(self):
+        from repro.bugdb.debbugs import split_archive
+
+        assert split_archive("") == []

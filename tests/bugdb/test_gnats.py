@@ -113,3 +113,27 @@ class TestParseErrors:
 
     def test_empty_archive_parses_to_nothing(self):
         assert parse_archive("") == []
+
+
+class TestSplitArchive:
+    def test_split_then_parse_equals_parse_archive(self):
+        from repro.bugdb.gnats import render_archive, split_archive
+
+        reports = [make_report(report_id=f"PR-{3500 + i}") for i in range(7)]
+        text = render_archive(reports)
+        chunks = split_archive(text)
+        assert len(chunks) == 7
+        assert [parse_pr(chunk) for chunk in chunks] == parse_archive(text)
+
+    def test_separator_lines_never_leak_into_chunks(self):
+        from repro.bugdb.gnats import render_archive, split_archive
+
+        text = render_archive([make_report(report_id=f"PR-{3500 + i}") for i in range(3)])
+        for chunk in split_archive(text):
+            assert ">Number:" in chunk
+            assert not chunk.startswith("=")
+
+    def test_empty_text(self):
+        from repro.bugdb.gnats import split_archive
+
+        assert split_archive("") == []

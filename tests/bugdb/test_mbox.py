@@ -117,6 +117,28 @@ class TestMailDateParsing:
 
         assert parse_mail_date("3 Mar 99") == datetime.date(1999, 3, 3)
 
+    def test_two_digit_year_window_boundaries(self):
+        from repro.bugdb.mbox import parse_mail_date
+        import datetime
+
+        # The study era only spans 1970-1999, so only 70-99 are safe.
+        assert parse_mail_date("1 Jan 70") == datetime.date(1970, 1, 1)
+        assert parse_mail_date("31 Dec 99") == datetime.date(1999, 12, 31)
+
+    @pytest.mark.parametrize("value", ["1 Jan 69", "1 Jan 00", "15 Jun 04"])
+    def test_two_digit_year_outside_window_is_ambiguous(self, value):
+        from repro.bugdb.mbox import parse_mail_date
+
+        with pytest.raises(ValueError, match="ambiguous two-digit year"):
+            parse_mail_date(value)
+
+    def test_four_digit_years_bypass_the_window(self):
+        from repro.bugdb.mbox import parse_mail_date
+        import datetime
+
+        # 2004 is outside the study era but unambiguous as written.
+        assert parse_mail_date("15 Jun 2004") == datetime.date(2004, 6, 15)
+
     def test_iso_still_accepted(self):
         from repro.bugdb.mbox import parse_mail_date
         import datetime
@@ -143,3 +165,57 @@ class TestMailDateParsing:
         import datetime
 
         assert message.date == datetime.date(1999, 6, 10)
+
+
+class TestSplitArchive:
+    def make_archive(self, count=5):
+        messages = [
+            make_message(
+                message_id=f"m{i}@lists.mysql.com",
+                subject=f"crash report {i}",
+                body=f"body {i}\nFrom the start it crashed",
+            )
+            for i in range(count)
+        ]
+        return render_archive(messages), messages
+
+    def test_split_then_parse_equals_parse_archive(self):
+        from repro.bugdb.mbox import parse_message, split_archive
+
+        text, _ = self.make_archive()
+        chunks = split_archive(text)
+        assert len(chunks) == 5
+        assert [parse_message(chunk) for chunk in chunks] == parse_archive(text)
+
+    def test_chunks_are_contiguous_slices(self):
+        from repro.bugdb.mbox import split_archive
+
+        text, _ = self.make_archive()
+        assert "".join(split_archive(text)) == text
+
+    def test_from_stuffed_bodies_do_not_split(self):
+        from repro.bugdb.mbox import split_archive
+
+        # "From " inside a body is escaped by the renderer, so the body
+        # line above never becomes a record boundary.
+        text, messages = self.make_archive(count=2)
+        assert len(split_archive(text)) == 2
+        assert parse_archive(text) == messages
+
+    def test_blank_preamble_tolerated(self):
+        from repro.bugdb.mbox import split_archive
+
+        text, _ = self.make_archive(count=2)
+        assert len(split_archive("\n\n" + text)) == 2
+
+    def test_non_blank_preamble_rejected(self):
+        from repro.bugdb.mbox import split_archive
+
+        text, _ = self.make_archive(count=1)
+        with pytest.raises(ParseError, match="content before first separator"):
+            split_archive("not a separator\n" + text)
+
+    def test_empty_text(self):
+        from repro.bugdb.mbox import split_archive
+
+        assert split_archive("") == []

@@ -71,3 +71,54 @@ class TestTextIndex:
             if matcher.matches(text):
                 linear_hits.add(message.message_id)
         assert index.search_any(MYSQL_STUDY_KEYWORDS) == linear_hits
+
+
+class TestMerge:
+    def test_merge_combines_postings(self):
+        left = TextIndex()
+        left.add("d1", "server crashed")
+        right = TextIndex()
+        right.add("d2", "another crash; a race too")
+        left.merge(right)
+        assert left.lookup("crashed") == {"d1"}
+        assert left.lookup("crash") == {"d2"}
+        assert left.lookup("race") == {"d2"}
+
+    def test_merge_equals_serial_indexing(self):
+        texts = [
+            "server crashed during startup",
+            "question about LEFT JOIN",
+            "a race between threads",
+            "segmentation fault in the parser",
+        ]
+        serial = TextIndex()
+        for position, text in enumerate(texts):
+            serial.add(position, text)
+        left, right = TextIndex(), TextIndex()
+        for position, text in enumerate(texts):
+            (left if position < 2 else right).add(position, text)
+        left.merge(right)
+        assert left.document_count == serial.document_count
+        assert left.search_any(MYSQL_STUDY_KEYWORDS) == (
+            serial.search_any(MYSQL_STUDY_KEYWORDS)
+        )
+        for token in ("server", "race", "segmentation", "join"):
+            assert left.lookup_prefix(token) == serial.lookup_prefix(token)
+
+    def test_prefix_queries_see_merged_tokens(self):
+        # merge must invalidate the sorted-token cache built by an
+        # earlier prefix query.
+        left = TextIndex()
+        left.add("d1", "server crashed")
+        assert left.lookup_prefix("crash") == {"d1"}
+        right = TextIndex()
+        right.add("d2", "crashing again")
+        left.merge(right)
+        assert left.lookup_prefix("crash") == {"d1", "d2"}
+
+    def test_merge_empty_index_is_a_no_op(self):
+        index = TextIndex()
+        index.add("d1", "server crashed")
+        index.merge(TextIndex())
+        assert index.document_count == 1
+        assert index.lookup("crashed") == {"d1"}

@@ -11,6 +11,17 @@ class TestFullStudy:
     def test_cached_instance(self):
         assert full_study() is full_study()
 
+    def test_fresh_bypasses_the_memo(self):
+        cached = full_study()
+        fresh = full_study(fresh=True)
+        assert fresh is not cached
+        assert fresh.total_faults == cached.total_faults
+
+    def test_fresh_leaves_the_memo_untouched(self):
+        cached = full_study()
+        full_study(fresh=True)
+        assert full_study() is cached
+
     def test_aggregate_counts_match_section_5_4(self, study):
         counts = study.aggregate_counts()
         assert counts[FaultClass.ENV_INDEPENDENT] == 113

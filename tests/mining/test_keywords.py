@@ -55,5 +55,40 @@ class TestKeywordMatcher:
         stems = matcher.matched_stems("crashed with a segmentation fault")
         assert stems == {"crash", "segmentation"}
 
+    def test_matched_stems_credits_overlapping_stems(self):
+        # One hit word can satisfy several stems; all must be credited.
+        matcher = KeywordMatcher(["crash", "crashes"])
+        assert matcher.matched_stems("many crashes today") == {"crash", "crashes"}
+        assert matcher.matched_stems("one crash today") == {"crash"}
+
+    def test_matched_stems_no_hits(self):
+        matcher = KeywordMatcher(MYSQL_STUDY_KEYWORDS)
+        assert matcher.matched_stems("all quiet on the server") == set()
+
+    def test_matched_stems_single_pass_equals_per_stem_scan(self):
+        # The single-pass implementation must agree with the brute-force
+        # one-regex-per-stem reference on mixed text.
+        keywords = ("crash", "crashes", "race", "died", "segmentation")
+        matcher = KeywordMatcher(keywords)
+        text = (
+            "Crashes everywhere: the server crashed, a race appeared, "
+            "then mysqld died during the raced segment. Segmentation "
+            "faults followed; it races on."
+        )
+        import re
+
+        reference = {
+            stem
+            for stem in keywords
+            if re.search(rf"\b{re.escape(stem)}\w*\b", text, re.IGNORECASE)
+        }
+        assert matcher.matched_stems(text) == reference
+
+    def test_matched_stems_stops_after_all_stems_found(self):
+        # Early exit must not change the answer on long tails.
+        matcher = KeywordMatcher(["crash"])
+        text = "crash " * 3 + "nothing else " * 100
+        assert matcher.matched_stems(text) == {"crash"}
+
     def test_case_insensitive(self):
         assert KeywordMatcher(["died"]).matches("the server DIED")
