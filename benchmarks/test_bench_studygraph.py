@@ -1,0 +1,121 @@
+"""Study-graph scheduling: cold parallel and warm memoized full-study runs.
+
+Real experiment campaigns are dominated by per-node stalls (process
+spawn, archive I/O, injection timeouts) rather than Python compute, and
+the wave scheduler must convert independent nodes into overlapped
+stalls.  The miniature study's producers run in milliseconds, so -- as
+in the harness-scaling benchmark -- every node here carries a fixed
+simulated stall, and the scheduler must turn 4 workers into > 1.5x
+wall-time speedup over the serial reference while producing payloads
+bit-identical to an unstalled serial run.  A warm re-run resolves every
+node from the memo cache (skipping producers, stalls and all) and must
+beat the cold parallel run by > 5x.
+
+Archives run at reduced scale so the stall regime dominates; the
+full-scale graph equivalence is covered by tests/studygraph/ and the CI
+study-smoke job.
+"""
+
+import dataclasses
+import functools
+import time
+
+from repro.studygraph import StudyContext, default_registry, run_study
+from repro.studygraph.registry import Registry
+
+#: Simulated per-node stall (process spawn / archive I/O) in seconds.
+STALL_SECONDS = 0.08
+
+#: Reduced archive scales: the stall, not the parse, must dominate.
+SCALE_OVERRIDES = {
+    "parsed.apache": {"scale": 300},
+    "parsed.mysql": {"scale": 800},
+}
+
+
+def _stalled(producer, ctx, inputs, params):
+    """One real producer behind a fixed stall.
+
+    Module-level (wrapped via ``functools.partial``) so forked pool
+    workers resolve it by reference.
+    """
+    time.sleep(STALL_SECONDS)
+    return producer(ctx, inputs, params)
+
+
+def _scaled_registry():
+    return default_registry().with_overrides(SCALE_OVERRIDES)
+
+
+def _stalled_registry():
+    return Registry(
+        dataclasses.replace(
+            node, producer=functools.partial(_stalled, node.producer)
+        )
+        for node in _scaled_registry().nodes()
+    )
+
+
+def _run(registry, *, workers=1, cache_dir=None):
+    context = StudyContext.default(workers=workers, cache_dir=cache_dir)
+    return run_study(context, registry=registry)
+
+
+def test_bench_studygraph(benchmark, tmp_path):
+    reference = _run(_scaled_registry())
+
+    stalled = _stalled_registry()
+    started = time.perf_counter()
+    serial = _run(stalled)
+    serial_wall = time.perf_counter() - started
+
+    cache_dir = tmp_path / "memo"
+    started = time.perf_counter()
+    cold = _run(stalled, workers=4, cache_dir=cache_dir)
+    cold_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = _run(stalled, workers=4, cache_dir=cache_dir)
+    warm_wall = time.perf_counter() - started
+
+    # Equality first: parallelism, stalls, and the memo cache must never
+    # change a payload (the unstalled serial run is the reference).
+    assert serial.outputs == reference.outputs
+    assert cold.outputs == reference.outputs
+    assert warm.outputs == reference.outputs
+    for name, run in reference.runs.items():
+        assert cold.runs[name].digest == run.digest, f"digest drift at {name}"
+        assert warm.runs[name].digest == run.digest, f"digest drift at {name}"
+    assert cold.executed == len(reference.runs)
+    assert warm.executed == 0 and warm.cached == len(reference.runs)
+
+    cold_speedup = serial_wall / cold_wall
+    assert cold_speedup > 1.5, (
+        f"4 workers must beat serial by >1.5x on a stall-bound study, "
+        f"got {cold_speedup:.2f}x ({serial_wall:.3f}s -> {cold_wall:.3f}s)"
+    )
+    warm_speedup = cold_wall / warm_wall
+    assert warm_speedup > 5, (
+        f"the warm memoized re-run must beat the cold parallel run by >5x, "
+        f"got {warm_speedup:.1f}x ({cold_wall:.3f}s -> {warm_wall:.3f}s)"
+    )
+
+    benchmark.pedantic(
+        _run, args=(stalled,),
+        kwargs={"workers": 4, "cache_dir": cache_dir},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["wall_seconds"] = {
+        "serial_cold": round(serial_wall, 4),
+        "parallel_cold_4": round(cold_wall, 4),
+        "parallel_warm_4": round(warm_wall, 4),
+    }
+    benchmark.extra_info["speedup"] = (
+        f"cold @4 workers {cold_speedup:.2f}x over serial, "
+        f"warm {warm_speedup:.1f}x over cold ({len(reference.runs)} nodes, "
+        f"{STALL_SECONDS * 1000:.0f} ms stall each)"
+    )
+    benchmark.extra_info["equality"] = (
+        "payloads and digests bit-identical across serial, 4-worker cold, "
+        "and fully-memoized warm runs"
+    )

@@ -11,8 +11,13 @@ from __future__ import annotations
 import dataclasses
 import datetime as _dt
 
-from repro.bugdb.enums import FaultClass
+from typing import TYPE_CHECKING
+
+from repro.bugdb.enums import Application, FaultClass
 from repro.corpus.studyspec import StudyCorpus, StudyFault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.loader import StudyData
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,3 +133,33 @@ def time_distribution(corpus: StudyCorpus, *, granularity: str = "quarter") -> F
         labels,
         by_bucket,
     )
+
+
+def study_figure_series(
+    study: "StudyData",
+    application: Application,
+    *,
+    granularity: str = "month",
+) -> FigureSeries:
+    """The paper's figure series for one application (Figures 1-3).
+
+    The single dispatch point the CLI, the study report, and the F1-F3
+    graph nodes all share: Apache and MySQL bucket by release in the
+    paper's release order, GNOME buckets over time.
+
+    Args:
+        study: the curated study.
+        application: which figure to build.
+        granularity: GNOME time bucketing (ignored for the others).
+    """
+    from repro.corpus.apache import RELEASES as APACHE_RELEASES
+    from repro.corpus.mysql import RELEASES as MYSQL_RELEASES
+
+    corpus = study.corpus(application)
+    if application is Application.APACHE:
+        order = tuple(version for version, _ in APACHE_RELEASES)
+        return release_distribution(corpus, release_order=order)
+    if application is Application.MYSQL:
+        order = tuple(version for version, _ in MYSQL_RELEASES)
+        return release_distribution(corpus, release_order=order)
+    return time_distribution(corpus, granularity=granularity)

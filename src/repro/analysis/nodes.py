@@ -1,0 +1,113 @@
+"""Study-graph adapters for the analysis layer (T1-T3, F1-F3, A1, A2).
+
+Each adapter renders exactly what the corresponding classic CLI command
+prints, so graph outputs are byte-identical to the per-command paths;
+the CLI itself now invokes these nodes, keeping the two in lockstep by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.analysis.aggregate import aggregate_summary
+from repro.analysis.distributions import study_figure_series
+from repro.analysis.leeiyer import lee_iyer_reconciliation
+from repro.analysis.tables import classification_table
+from repro.bugdb.enums import Application, FaultClass
+from repro.reports.figures import render_figure
+from repro.reports.tableformat import format_table, render_classification_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.studygraph.context import StudyContext
+
+
+def table_text(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment T1/T2/T3: one application's classification table.
+
+    Params:
+        application: ``apache | gnome | mysql``.
+    """
+    application = Application(params["application"])
+    table = classification_table(ctx.study.corpus(application))
+    return {
+        "application": application.value,
+        "counts": {
+            fault_class.value: count for fault_class, count in table.counts.items()
+        },
+        "text": render_classification_table(table),
+    }
+
+
+def figure_text(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment F1/F2/F3: one application's figure, ASCII-rendered.
+
+    Params:
+        application: ``apache | gnome | mysql``.
+        width: bar width in characters.
+        granularity: GNOME time bucketing (ignored elsewhere).
+    """
+    application = Application(params["application"])
+    series = study_figure_series(
+        ctx.study, application, granularity=params.get("granularity", "month")
+    )
+    return {
+        "application": application.value,
+        "labels": list(series.labels),
+        "text": render_figure(series, width=params["width"]),
+    }
+
+
+def aggregate_text(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment A1: the Section 5.4 aggregate numbers."""
+    summary = aggregate_summary(ctx.study)
+    ei = summary.fraction_range(FaultClass.ENV_INDEPENDENT)
+    edt = summary.fraction_range(FaultClass.ENV_DEP_TRANSIENT)
+    text = format_table(
+        ["quantity", "value"],
+        [
+            ["total unique faults", summary.total_faults],
+            ["environment-independent", summary.counts[FaultClass.ENV_INDEPENDENT]],
+            [
+                "environment-dependent-nontransient",
+                summary.counts[FaultClass.ENV_DEP_NONTRANSIENT],
+            ],
+            [
+                "environment-dependent-transient",
+                summary.counts[FaultClass.ENV_DEP_TRANSIENT],
+            ],
+            ["EI range across apps", f"{ei[0]:.0%}-{ei[1]:.0%}"],
+            ["transient range across apps", f"{edt[0]:.0%}-{edt[1]:.0%}"],
+        ],
+        title="Section 5.4 aggregate",
+    )
+    return {
+        "total_faults": summary.total_faults,
+        "counts": {
+            fault_class.value: count for fault_class, count in summary.counts.items()
+        },
+        "text": text,
+    }
+
+
+def leeiyer_text(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment A2: the Section 7 Lee & Iyer reconciliation."""
+    reconciliation = lee_iyer_reconciliation()
+    steps = reconciliation.steps()
+    text = format_table(
+        ["step", "recovery rate"],
+        [[description, f"{rate:.2f}"] for description, rate in steps],
+        title="Lee & Iyer reconciliation (Section 7)",
+    )
+    return {
+        "steps": [[description, rate] for description, rate in steps],
+        "text": text,
+    }

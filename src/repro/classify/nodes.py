@@ -1,0 +1,102 @@
+"""Study-graph adapters for the classification layer (C1 + ablation).
+
+C1 is the methodology-fidelity check: the mechanical text classifier
+must recover the paper's hand labels for all 139 faults.  The
+recovery-model ablation moves the transient/nontransient boundary the
+paper says "depends upon the recovery system in place" and verifies the
+environment-independent majority never moves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.bugdb.enums import FaultClass
+from repro.classify.evaluation import evaluate_classifier
+from repro.classify.recovery_model import (
+    ELASTIC_ENVIRONMENT,
+    PAPER_DEFAULT,
+    RESTART_FRESH,
+    RecoveryModel,
+)
+from repro.classify.rules import RuleClassifier
+from repro.classify.text import TextClassifier
+from repro.reports.tableformat import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.studygraph.context import StudyContext
+
+#: Section 5.4 recovery-model ablation points.
+RECOVERY_MODELS: tuple[tuple[str, RecoveryModel], ...] = (
+    ("paper-default", PAPER_DEFAULT),
+    ("restart-fresh", RESTART_FRESH),
+    ("elastic-environment", ELASTIC_ENVIRONMENT),
+    (
+        "pessimal",
+        RecoveryModel(kills_application_processes=False, expects_external_repair=False),
+    ),
+)
+
+
+def classifier_fidelity(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment C1: text-classifier accuracy vs. the paper's labels."""
+    classifier = TextClassifier()
+    reports = []
+    truth = {}
+    for corpus in ctx.study.corpora.values():
+        reports.extend(corpus.to_reports(attach_evidence=False))
+        truth.update(corpus.ground_truth())
+    matrix = evaluate_classifier(classifier, reports, truth)
+    rows = [
+        [
+            fault_class.value,
+            f"{matrix.precision(fault_class):.0%}",
+            f"{matrix.recall(fault_class):.0%}",
+        ]
+        for fault_class in FaultClass
+    ]
+    rows.append(["accuracy", f"{matrix.accuracy:.0%}", f"n={matrix.total}"])
+    text = format_table(
+        ["class", "precision", "recall"],
+        rows,
+        title="Classifier fidelity vs. ground truth (C1)",
+    )
+    return {
+        "total": matrix.total,
+        "accuracy": matrix.accuracy,
+        "misclassified": matrix.misclassified(),
+        "text": text,
+    }
+
+
+def ablate_recovery_model(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Section 5.4 ablation: reclassify under four recovery models."""
+    faults = ctx.study.all_faults()
+    rows = []
+    counts_by_model: dict[str, dict[str, int]] = {}
+    for label, model in RECOVERY_MODELS:
+        classifier = RuleClassifier(model)
+        counts = {fault_class: 0 for fault_class in FaultClass}
+        for fault in faults:
+            counts[classifier.classify_evidence(fault.evidence).fault_class] += 1
+        counts_by_model[label] = {
+            fault_class.value: count for fault_class, count in counts.items()
+        }
+        rows.append(
+            [
+                label,
+                counts[FaultClass.ENV_INDEPENDENT],
+                counts[FaultClass.ENV_DEP_NONTRANSIENT],
+                counts[FaultClass.ENV_DEP_TRANSIENT],
+            ]
+        )
+    text = format_table(
+        ["recovery model", "EI", "EDN", "EDT"],
+        rows,
+        title="Recovery-model ablation: the boundary moves, the EI majority does not",
+    )
+    return {"counts": counts_by_model, "text": text}

@@ -2,57 +2,43 @@
 
 Usage (after ``pip install -e .``, or via ``python -m repro``)::
 
+    repro study run --workers 4   # every experiment, parallel + memoized
+    repro study status            # per-node memo state, nothing executed
+    repro study graph             # the node catalog and its edges
     repro table apache            # Table 1 / 2 / 3
     repro figure gnome            # Figure 1 / 2 / 3 (ASCII)
     repro aggregate               # Section 5.4 numbers
     repro mine mysql              # run the mining pipeline, print the trace
+    repro mine run --application mysql --workers 4   # fast archive path
     repro replay --technique process-pairs
     repro campaign run --workers 4 --journal run.jsonl   # parallel, resumable
     repro campaign status --journal run.jsonl
     repro report                  # the full study report
     repro export-archive apache apache.gnats   # write a raw archive
+
+Every classic experiment command (``table``, ``figure``, ``aggregate``,
+``mine <app>``, ``replay``, ``report``, ``catalog``, ``funnel``) is a
+single-node invocation of the study graph: the command resolves its
+registered node, applies flag overrides, and prints the node's rendered
+text.  ``repro study run`` executes the same graph wholesale.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
-from repro.analysis.aggregate import aggregate_summary
-from repro.analysis.distributions import release_distribution, time_distribution
-from repro.analysis.tables import classification_table, classify_and_tabulate
-from repro.bugdb import debbugs, gnats, mbox
 from repro.bugdb.enums import Application, FaultClass
-from repro.corpus.apache import RELEASES as APACHE_RELEASES
-from repro.corpus.loader import full_study
-from repro.corpus.mysql import RELEASES as MYSQL_RELEASES
-from repro.corpus.render import (
-    apache_raw_archive,
-    gnome_raw_archive,
-    mysql_raw_archive,
-)
-from repro.mining import GNOME_STUDY_COMPONENTS, mine_apache, mine_gnome, mine_mysql
-from repro.recovery import (
-    CheckpointRollback,
-    ProcessPairs,
-    ProgressiveRetry,
-    RestartFresh,
-    SoftwareRejuvenation,
-    replay_study,
-)
-from repro.reports.figures import render_figure
-from repro.reports.studyreport import render_study_report
-from repro.reports.tableformat import format_table, render_classification_table
+from repro.recovery.nodes import TECHNIQUES as _TECHNIQUES
+from repro.reports.tableformat import format_table
 from repro.rng import DEFAULT_SEED as _CAMPAIGN_DEFAULT_SEED
 
-_TECHNIQUES = {
-    "process-pairs": ProcessPairs,
-    "checkpoint-rollback": CheckpointRollback,
-    "progressive-retry": ProgressiveRetry,
-    "restart-fresh": RestartFresh,
-    "software-rejuvenation": SoftwareRejuvenation,
-}
+#: Default memo directory for ``repro study`` (gitignored).
+DEFAULT_STUDY_CACHE = ".repro-study-cache"
+
+_TABLE_NODES = {"apache": "T1", "gnome": "T2", "mysql": "T3"}
+_FIGURE_NODES = {"apache": "F1", "gnome": "F2", "mysql": "F3"}
 
 
 def _application(name: str) -> Application:
@@ -65,81 +51,38 @@ def _application(name: str) -> Application:
         ) from None
 
 
+def _node_text(name: str, overrides: Mapping[str, Mapping[str, Any]] | None = None) -> str:
+    """Run one study-graph node serially and return its rendered text."""
+    from repro.studygraph import run_single_node
+
+    return run_single_node(name, overrides=overrides)["text"]
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
-    corpus = full_study().corpus(_application(args.application))
-    print(render_classification_table(classification_table(corpus)))
+    application = _application(args.application)
+    print(_node_text(_TABLE_NODES[application.value]))
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     application = _application(args.application)
-    corpus = full_study().corpus(application)
-    if application is Application.APACHE:
-        series = release_distribution(
-            corpus, release_order=tuple(v for v, _ in APACHE_RELEASES)
-        )
-    elif application is Application.MYSQL:
-        series = release_distribution(
-            corpus, release_order=tuple(v for v, _ in MYSQL_RELEASES)
-        )
-    else:
-        series = time_distribution(corpus, granularity=args.granularity)
-    print(render_figure(series, width=args.width))
+    node = _FIGURE_NODES[application.value]
+    params: dict[str, Any] = {"width": args.width}
+    if application is Application.GNOME:
+        params["granularity"] = args.granularity
+    print(_node_text(node, overrides={node: params}))
     return 0
 
 
 def _cmd_aggregate(_args: argparse.Namespace) -> int:
-    summary = aggregate_summary(full_study())
-    ei = summary.fraction_range(FaultClass.ENV_INDEPENDENT)
-    edt = summary.fraction_range(FaultClass.ENV_DEP_TRANSIENT)
-    print(
-        format_table(
-            ["quantity", "value"],
-            [
-                ["total unique faults", summary.total_faults],
-                ["environment-independent", summary.counts[FaultClass.ENV_INDEPENDENT]],
-                [
-                    "environment-dependent-nontransient",
-                    summary.counts[FaultClass.ENV_DEP_NONTRANSIENT],
-                ],
-                [
-                    "environment-dependent-transient",
-                    summary.counts[FaultClass.ENV_DEP_TRANSIENT],
-                ],
-                ["EI range across apps", f"{ei[0]:.0%}-{ei[1]:.0%}"],
-                ["transient range across apps", f"{edt[0]:.0%}-{edt[1]:.0%}"],
-            ],
-            title="Section 5.4 aggregate",
-        )
-    )
+    print(_node_text("A1"))
     return 0
 
 
-def _cmd_mine(args: argparse.Namespace) -> int:
-    if args.application == "run":
-        return _cmd_mine_run(args)
+def _cmd_mine_app(args: argparse.Namespace) -> int:
     application = _application(args.application)
-    study = full_study()
-    corpus = study.corpus(application)
-    if application is Application.APACHE:
-        archive = apache_raw_archive(corpus, total_reports=args.scale)
-        result = mine_apache(gnats.parse_archive(archive))
-    elif application is Application.GNOME:
-        archive = gnome_raw_archive(corpus, study_components=GNOME_STUDY_COMPONENTS)
-        result = mine_gnome(debbugs.parse_archive(archive))
-    else:
-        archive = mysql_raw_archive(corpus, total_messages=args.scale)
-        result = mine_mysql(mbox.parse_archive(archive))
-    print(
-        format_table(
-            ["stage", "survivors"],
-            result.trace.as_rows(),
-            title=f"Mining narrowing for {application.display_name}",
-        )
-    )
-    table = classify_and_tabulate(application, result.items)
-    print()
-    print(render_classification_table(table))
+    overrides = {f"parsed.{application.value}": {"scale": args.scale}}
+    print(_node_text(f"mine.{application.value}", overrides=overrides))
     return 0
 
 
@@ -176,36 +119,12 @@ def _cmd_mine_run(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     names = args.technique or list(_TECHNIQUES)
-    study = full_study()
-    rows = []
-    for name in names:
-        try:
-            factory = _TECHNIQUES[name]
-        except KeyError:
-            raise SystemExit(
-                f"unknown technique {name!r}; choose from " + ", ".join(_TECHNIQUES)
-            ) from None
-        report = replay_study(study, factory)
-        rows.append(
-            [
-                report.technique,
-                f"{report.survival_rate(FaultClass.ENV_INDEPENDENT):.0%}",
-                f"{report.survival_rate(FaultClass.ENV_DEP_NONTRANSIENT):.0%}",
-                f"{report.survival_rate(FaultClass.ENV_DEP_TRANSIENT):.0%}",
-                f"{report.survival_rate():.1%}",
-            ]
-        )
-    print(
-        format_table(
-            ["technique", "EI", "EDN", "EDT", "overall"],
-            rows,
-            title="Recovery replay over all 139 study faults",
-        )
-    )
+    print(_node_text("E1", overrides={"E1": {"techniques": ",".join(names)}}))
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.corpus.loader import full_study
     from repro.harness import ProgressReporter, Telemetry, load_journal
     from repro.harness.campaigns import KIND_REPLAY, run_replay_campaign
     from repro.rng import DEFAULT_SEED
@@ -315,88 +234,149 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.reports.studyreport import render_study_report_markdown
-
-    study = full_study()
-    replays = []
-    if args.with_replay:
-        for factory in (ProcessPairs, CheckpointRollback, RestartFresh):
-            replays.append(replay_study(study, factory))
-    if args.format == "markdown":
-        print(render_study_report_markdown(study, replay_reports=replays))
-    else:
-        print(render_study_report(study, replay_reports=replays))
+    overrides = {
+        "report": {"format": args.format, "with_replay": bool(args.with_replay)}
+    }
+    print(_node_text("report", overrides=overrides))
     return 0
 
 
 def _cmd_catalog(_args: argparse.Namespace) -> int:
-    from repro.reports.catalog import render_fault_catalog
-
-    print(render_fault_catalog(full_study()))
+    print(_node_text("catalog"))
     return 0
 
 
 def _cmd_funnel(args: argparse.Namespace) -> int:
-    from repro.mining.funnel import funnel_from_trace
-
     application = _application(args.application)
-    corpus = full_study().corpus(application)
-    if application is Application.APACHE:
-        archive = apache_raw_archive(corpus, total_reports=args.scale)
-        result = mine_apache(gnats.parse_archive(archive))
-    elif application is Application.GNOME:
-        archive = gnome_raw_archive(corpus, study_components=GNOME_STUDY_COMPONENTS)
-        result = mine_gnome(debbugs.parse_archive(archive))
-    else:
-        archive = mysql_raw_archive(corpus, total_messages=args.scale)
-        result = mine_mysql(mbox.parse_archive(archive))
-    funnel = funnel_from_trace(result.trace)
-    print(
-        format_table(
-            ["stage", "before", "after", "kept"],
-            funnel.rows(),
-            title=f"Narrowing funnel for {application.display_name}",
-        )
-    )
-    print(f"overall selectivity: {funnel.overall_selectivity:.2%}")
-    print(f"most selective stage: {funnel.most_selective_stage().name}")
+    overrides = {f"parsed.{application.value}": {"scale": args.scale}}
+    print(_node_text(f"funnel.{application.value}", overrides=overrides))
     return 0
 
 
 def _cmd_csv(args: argparse.Namespace) -> int:
+    from repro.analysis.distributions import study_figure_series
+    from repro.analysis.tables import classification_table
+    from repro.corpus.loader import full_study
     from repro.reports.csvexport import classification_table_csv, figure_series_csv
 
     application = _application(args.application)
-    corpus = full_study().corpus(application)
+    study = full_study()
     if args.kind == "table":
-        print(classification_table_csv(classification_table(corpus)), end="")
+        table = classification_table(study.corpus(application))
+        print(classification_table_csv(table), end="")
     else:
-        if application is Application.APACHE:
-            series = release_distribution(
-                corpus, release_order=tuple(v for v, _ in APACHE_RELEASES)
-            )
-        elif application is Application.MYSQL:
-            series = release_distribution(
-                corpus, release_order=tuple(v for v, _ in MYSQL_RELEASES)
-            )
-        else:
-            series = time_distribution(corpus, granularity="month")
+        series = study_figure_series(study, application)
         print(figure_series_csv(series), end="")
     return 0
 
 
 def _cmd_export_archive(args: argparse.Namespace) -> int:
+    from repro.corpus.loader import full_study
+    from repro.pipeline.formats import format_for
+
     application = _application(args.application)
     corpus = full_study().corpus(application)
-    if application is Application.APACHE:
-        text = apache_raw_archive(corpus, total_reports=args.scale)
-    elif application is Application.GNOME:
-        text = gnome_raw_archive(corpus, study_components=GNOME_STUDY_COMPONENTS)
-    else:
-        text = mysql_raw_archive(corpus, total_messages=args.scale)
+    text = format_for(application).render(corpus, args.scale)
     with open(args.path, "w", encoding="utf-8") as handle:
         handle.write(text)
     print(f"wrote {len(text)} bytes to {args.path}")
+    return 0
+
+
+def _study_nodes(args: argparse.Namespace) -> list[str] | None:
+    """Flatten repeatable, comma-separated ``--nodes`` values."""
+    if not args.nodes:
+        return None
+    names: list[str] = []
+    for value in args.nodes:
+        names.extend(part for part in value.split(",") if part)
+    return names or None
+
+
+def _study_cache_dir(args: argparse.Namespace) -> str | None:
+    return None if args.no_cache else args.cache_dir
+
+
+def _cmd_study_run(args: argparse.Namespace) -> int:
+    from repro.harness.telemetry import Telemetry
+    from repro.studygraph import StudyContext, run_study
+    from repro.studygraph.registry import GraphError
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    telemetry = Telemetry()
+    context = StudyContext.default(
+        workers=args.workers,
+        cache_dir=_study_cache_dir(args),
+        telemetry=telemetry,
+    )
+    nodes = _study_nodes(args)
+    try:
+        result = run_study(
+            context,
+            nodes=nodes,
+            outputs=[args.show] if args.show else None,
+        )
+    except GraphError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        format_table(
+            ["node", "status", "wall ms", "digest"],
+            result.summary_rows(),
+            title=f"Study run: {result.executed} executed, {result.cached} cached, "
+            f"{result.waves} waves (workers={args.workers})",
+        )
+    )
+    for line in telemetry.summary_lines():
+        print(line)
+    if args.show:
+        print()
+        print(result.output_text(args.show))
+    return 0
+
+
+def _cmd_study_status(args: argparse.Namespace) -> int:
+    from repro.studygraph import StudyContext, study_status
+    from repro.studygraph.registry import GraphError
+
+    cache_dir = _study_cache_dir(args)
+    context = StudyContext.default(cache_dir=cache_dir)
+    try:
+        rows = study_status(context, nodes=_study_nodes(args))
+    except GraphError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        format_table(
+            ["node", "kind", "state", "digest"],
+            rows,
+            title=f"Study memo status ({cache_dir or 'cache disabled'})",
+        )
+    )
+    return 0
+
+
+def _cmd_study_graph(_args: argparse.Namespace) -> int:
+    from repro.studygraph import default_registry
+
+    registry = default_registry()
+    rows = [
+        [
+            node.name,
+            node.kind,
+            ", ".join(node.deps) if node.deps else "-",
+            node.title,
+        ]
+        for name in registry.topo_order()
+        for node in (registry.node(name),)
+    ]
+    print(
+        format_table(
+            ["node", "kind", "depends on", "title"],
+            rows,
+            title=f"Study graph: {len(registry)} nodes, "
+            f"{len(registry.edges())} edges (topological order)",
+        )
+    )
     return 0
 
 
@@ -424,34 +404,43 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate = subparsers.add_parser("aggregate", help="print the Section 5.4 numbers")
     aggregate.set_defaults(func=_cmd_aggregate)
 
-    mine = subparsers.add_parser("mine", help="run the mining pipeline on a generated archive")
-    mine.add_argument(
-        "application",
-        help="apache | gnome | mysql, or 'run' for the fast archive path "
-        "(repro mine run --application mysql --workers 4)",
+    mine = subparsers.add_parser(
+        "mine", help="run the mining pipeline on a generated archive"
     )
-    mine.add_argument(
+    mine_sub = mine.add_subparsers(dest="mine_command", required=True)
+    for app in Application:
+        mine_app = mine_sub.add_parser(
+            app.value, help=f"mine the generated {app.display_name} archive"
+        )
+        mine_app.add_argument(
+            "--scale", type=int, default=None,
+            help="raw archive size (defaults to the paper's full scale)",
+        )
+        mine_app.set_defaults(func=_cmd_mine_app, application=app.value)
+    mine_run = mine_sub.add_parser(
+        "run", help="fast archive path: parallel sharded parse + mine"
+    )
+    mine_run.add_argument(
+        "--application", dest="target_application", default=None,
+        metavar="APP", help="application to mine (required)",
+    )
+    mine_run.add_argument(
         "--scale", type=int, default=None,
         help="raw archive size (defaults to the paper's full scale)",
     )
-    mine.add_argument(
-        "--application", dest="target_application", default=None,
-        metavar="APP", help="(mine run) application to mine",
-    )
-    mine.add_argument(
+    mine_run.add_argument(
         "--workers", type=int, default=1,
-        help="(mine run) parse-shard worker processes "
-        "(traces are identical for any count)",
+        help="parse-shard worker processes (traces are identical for any count)",
     )
-    mine.add_argument(
+    mine_run.add_argument(
         "--cache-dir", default=None,
-        help="(mine run) content-addressed parse/mine cache directory",
+        help="content-addressed parse/mine cache directory",
     )
-    mine.add_argument(
+    mine_run.add_argument(
         "--no-cache", action="store_true",
-        help="(mine run) bypass the cache entirely, even with --cache-dir",
+        help="bypass the cache entirely, even with --cache-dir",
     )
-    mine.set_defaults(func=_cmd_mine)
+    mine_run.set_defaults(func=_cmd_mine_run)
 
     replay = subparsers.add_parser("replay", help="replay all faults under recovery techniques")
     replay.add_argument(
@@ -527,6 +516,58 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("path", help="output file")
     export.add_argument("--scale", type=int, default=None, help="archive size")
     export.set_defaults(func=_cmd_export_archive)
+
+    study = subparsers.add_parser(
+        "study", help="execute the whole study as a memoized artifact graph"
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+
+    study_run = study_sub.add_parser(
+        "run", help="run every experiment node (parallel, memoized, resumable)"
+    )
+    study_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (outputs are identical for any count)",
+    )
+    study_run.add_argument(
+        "--nodes", action="append", default=None, metavar="NAME[,NAME...]",
+        help="run only these nodes plus dependencies (repeatable)",
+    )
+    study_run.add_argument(
+        "--show", default=None, metavar="NODE",
+        help="print one node's rendered text after the run summary",
+    )
+    study_run.add_argument(
+        "--cache-dir", default=DEFAULT_STUDY_CACHE,
+        help="node memo directory (warm reruns resolve from it)",
+    )
+    study_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable memoization entirely",
+    )
+    study_run.set_defaults(func=_cmd_study_run)
+
+    study_status_cmd = study_sub.add_parser(
+        "status", help="per-node memo state (nothing is executed)"
+    )
+    study_status_cmd.add_argument(
+        "--nodes", action="append", default=None, metavar="NAME[,NAME...]",
+        help="restrict to these nodes plus dependencies (repeatable)",
+    )
+    study_status_cmd.add_argument(
+        "--cache-dir", default=DEFAULT_STUDY_CACHE,
+        help="node memo directory to inspect",
+    )
+    study_status_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="report against a disabled cache (every node shows missing)",
+    )
+    study_status_cmd.set_defaults(func=_cmd_study_status)
+
+    study_graph_cmd = study_sub.add_parser(
+        "graph", help="print the node catalog and dependency edges"
+    )
+    study_graph_cmd.set_defaults(func=_cmd_study_graph)
 
     return parser
 

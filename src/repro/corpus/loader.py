@@ -4,12 +4,19 @@
 corpora, with aggregate views matching Section 5.4 of the paper: 139
 faults total, 14 environment-dependent-nontransient (10%), 12
 environment-dependent-transient (9%).
+
+The shared instance is explicit module state managed by
+:func:`default_study` / :func:`set_default_study` (not a hidden
+``lru_cache``), so the study-graph layer can thread the same data
+through an explicit :class:`~repro.studygraph.context.StudyContext`
+while direct callers keep the memoized convenience path.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
+import types
+from typing import Mapping
 
 from repro.bugdb.database import BugDatabase
 from repro.bugdb.enums import Application, FaultClass
@@ -24,10 +31,22 @@ class StudyData:
     """The full three-application study.
 
     Attributes:
-        corpora: mapping application -> curated corpus.
+        corpora: read-only mapping application -> curated corpus.  The
+            instance returned by :func:`full_study` is shared
+            process-wide, so the mapping is wrapped in a
+            ``MappingProxyType`` -- callers cannot corrupt the memo by
+            assigning into it (build a fresh instance via
+            ``full_study(fresh=True)`` to customise).
     """
 
-    corpora: dict[Application, StudyCorpus]
+    corpora: Mapping[Application, StudyCorpus]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "corpora", types.MappingProxyType(dict(self.corpora)))
+
+    def __reduce__(self):
+        # MappingProxyType is not picklable; rebuild from a plain dict.
+        return (StudyData, (dict(self.corpora),))
 
     @property
     def total_faults(self) -> int:
@@ -68,11 +87,6 @@ class StudyData:
         return db
 
 
-@functools.lru_cache(maxsize=1)
-def _cached_study() -> StudyData:
-    return _build_study()
-
-
 def _build_study() -> StudyData:
     return StudyData(
         corpora={
@@ -81,6 +95,28 @@ def _build_study() -> StudyData:
             Application.MYSQL: mysql_corpus(),
         }
     )
+
+
+# The process-wide shared instance; built lazily on first use.
+_DEFAULT_STUDY: StudyData | None = None
+
+
+def default_study() -> StudyData:
+    """The shared study instance, building it on first use."""
+    global _DEFAULT_STUDY
+    if _DEFAULT_STUDY is None:
+        _DEFAULT_STUDY = _build_study()
+    return _DEFAULT_STUDY
+
+
+def set_default_study(study: StudyData | None) -> None:
+    """Replace (or with None, drop) the shared study instance.
+
+    Tests and embedding applications can install a customised study;
+    ``None`` forces the next :func:`default_study` call to rebuild.
+    """
+    global _DEFAULT_STUDY
+    _DEFAULT_STUDY = study
 
 
 def full_study(*, fresh: bool = False) -> StudyData:
@@ -92,10 +128,10 @@ def full_study(*, fresh: bool = False) -> StudyData:
     faults each time.
 
     Args:
-        fresh: build (and return) a new, uncached instance -- for callers
-            that mutate corpora in place or need isolation from the
-            shared instance.  The memoized instance is left untouched.
+        fresh: build (and return) a new, uncached instance -- for
+            callers that need isolation from the shared instance.  The
+            shared instance is left untouched.
     """
     if fresh:
         return _build_study()
-    return _cached_study()
+    return default_study()

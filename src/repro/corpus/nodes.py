@@ -1,0 +1,50 @@
+"""Study-graph adapters for the curated corpora (the graph's roots).
+
+One node per application: its payload fingerprints the curated corpus
+(a content digest over every fault's full serialized form), so any edit
+to a curated fault -- a date, a trigger, a synopsis -- changes the root
+artifact's digest and invalidates exactly the downstream cone of
+memoized experiment results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.bugdb.enums import Application
+from repro.studygraph.artifact import canonical_json, jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.studygraph.context import StudyContext
+
+
+def corpus_fingerprint(corpus: Any) -> str:
+    """SHA-256 over a corpus's canonical serialized content."""
+    content = {
+        "application": corpus.application.value,
+        "raw_report_count": corpus.raw_report_count,
+        "expected_counts": jsonable(corpus.expected_counts),
+        "faults": [jsonable(dataclasses.asdict(fault)) for fault in corpus.faults],
+    }
+    return hashlib.sha256(canonical_json(content).encode("utf-8")).hexdigest()
+
+
+def corpus_artifact(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Root artifact: one application's curated corpus, fingerprinted.
+
+    Params:
+        application: ``apache | gnome | mysql``.
+    """
+    application = Application(params["application"])
+    corpus = ctx.study.corpus(application)
+    return {
+        "application": application.value,
+        "total": corpus.total,
+        "raw_report_count": corpus.raw_report_count,
+        "class_counts": jsonable(corpus.class_counts()),
+        "content_digest": corpus_fingerprint(corpus),
+    }

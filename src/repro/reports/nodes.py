@@ -1,0 +1,54 @@
+"""Study-graph adapters for the top-level reports.
+
+The full study report and the 139-fault catalog are leaf experiments:
+they consume the curated corpora and (optionally, for ``--with-replay``)
+run the recovery replay inline, exactly as the classic CLI commands do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.recovery import CheckpointRollback, ProcessPairs, RestartFresh, replay_study
+from repro.reports.catalog import render_fault_catalog
+from repro.reports.studyreport import (
+    render_study_report,
+    render_study_report_markdown,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.studygraph.context import StudyContext
+
+#: The three techniques ``repro report --with-replay`` includes.
+REPORT_REPLAY_FACTORIES = (ProcessPairs, CheckpointRollback, RestartFresh)
+
+
+def report_text(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment: the full study report.
+
+    Params:
+        format: ``text | markdown``.
+        with_replay: include the recovery replay section.
+    """
+    replays = []
+    if params["with_replay"]:
+        for factory in REPORT_REPLAY_FACTORIES:
+            replays.append(replay_study(ctx.study, factory))
+    if params["format"] == "markdown":
+        text = render_study_report_markdown(ctx.study, replay_reports=replays)
+    else:
+        text = render_study_report(ctx.study, replay_reports=replays)
+    return {
+        "format": params["format"],
+        "with_replay": bool(params["with_replay"]),
+        "text": text,
+    }
+
+
+def catalog_text(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Experiment: the 139-fault markdown catalog."""
+    return {"text": render_fault_catalog(ctx.study)}

@@ -1,0 +1,133 @@
+"""Typed node specifications: the study graph's unit of declaration.
+
+A :class:`NodeSpec` declares one experiment or intermediate artifact:
+its name, the artifacts it consumes (``deps``), scalar parameters, a
+version tag, and the producer adapter that computes its payload.  The
+spec is pure data plus a function reference -- scheduling, parallelism,
+and memoization live in :mod:`repro.studygraph.scheduler`.
+
+Memo keys are content-addressed: :meth:`NodeSpec.cache_digest` hashes
+the node's identity (name, version, params) together with the digests
+of its input artifacts, so editing an upstream corpus or bumping a
+node's version invalidates exactly the downstream cone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Callable, Mapping, TYPE_CHECKING
+
+from repro.studygraph.artifact import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.studygraph.context import StudyContext
+
+#: Producer signature: ``(context, inputs, params) -> JSON payload``.
+#: ``inputs`` maps each dependency name to its payload.
+Producer = Callable[["StudyContext", Mapping[str, Any], Mapping[str, Any]], dict[str, Any]]
+
+#: Node roles: experiments are the default ``repro study run`` targets;
+#: artifacts are intermediate data (corpora, parsed archives, mined sets).
+KIND_EXPERIMENT = "experiment"
+KIND_ARTIFACT = "artifact"
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _canonical_params(params: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    """Sort and validate node parameters into a hashable tuple."""
+    if not params:
+        return ()
+    items = []
+    for name in sorted(params):
+        value = params[name]
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"node parameter {name!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+        items.append((name, value))
+    return tuple(items)
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """One declared node of the study graph.
+
+    Attributes:
+        name: unique node name (``"T1"``, ``"parsed.mysql"``, ...).
+        producer: the adapter computing this node's payload.
+        deps: names of the input artifacts, in declaration order.
+        params: canonicalized scalar parameters, part of the memo key.
+        version: bump to invalidate memoized results after a behavioural
+            change in the producer (or anything it calls).
+        kind: ``"experiment"`` or ``"artifact"``.
+        title: human-readable one-liner for catalogs and ``study graph``.
+    """
+
+    name: str
+    producer: Producer
+    deps: tuple[str, ...] = ()
+    params: tuple[tuple[str, Any], ...] = ()
+    version: str = "1"
+    kind: str = KIND_EXPERIMENT
+    title: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        producer: Producer,
+        *,
+        deps: tuple[str, ...] = (),
+        params: Mapping[str, Any] | None = None,
+        version: str = "1",
+        kind: str = KIND_EXPERIMENT,
+        title: str = "",
+    ) -> "NodeSpec":
+        """Construct a spec, canonicalising the parameters."""
+        return cls(
+            name=name,
+            producer=producer,
+            deps=tuple(deps),
+            params=_canonical_params(params),
+            version=version,
+            kind=kind,
+            title=title,
+        )
+
+    def params_dict(self) -> dict[str, Any]:
+        """The parameters as a plain dict (what the producer receives)."""
+        return dict(self.params)
+
+    def with_params(self, **overrides: Any) -> "NodeSpec":
+        """A copy with some parameters overridden (same name and deps).
+
+        Unknown parameter names are rejected so CLI flags cannot drift
+        from the node's declaration.
+        """
+        current = self.params_dict()
+        for key in overrides:
+            if key not in current:
+                raise KeyError(f"node {self.name!r} has no parameter {key!r}")
+        current.update(overrides)
+        return dataclasses.replace(self, params=_canonical_params(current))
+
+    def cache_digest(self, input_digests: Mapping[str, str]) -> str:
+        """The content-addressed memo key for this node.
+
+        Args:
+            input_digests: dependency name -> output artifact digest;
+                must cover exactly :attr:`deps`.
+        """
+        missing = [dep for dep in self.deps if dep not in input_digests]
+        if missing:
+            raise KeyError(f"node {self.name!r} missing input digests for {missing}")
+        identity = {
+            "node": self.name,
+            "version": self.version,
+            "params": [[key, value] for key, value in self.params],
+            "inputs": {dep: input_digests[dep] for dep in self.deps},
+        }
+        return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()

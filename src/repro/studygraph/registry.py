@@ -1,0 +1,153 @@
+"""The node registry: every experiment, declaratively wired.
+
+A :class:`Registry` maps node names to :class:`~repro.studygraph.node.
+NodeSpec`\\ s and answers the structural questions the scheduler and the
+CLI ask: dependency closures, deterministic topological order, the
+experiment catalog.  :func:`default_registry` builds (once per process)
+the full study graph from the per-subsystem adapters -- see
+:mod:`repro.studygraph.nodes` for the wiring itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.studygraph.node import KIND_EXPERIMENT, NodeSpec
+
+
+class GraphError(ReproError):
+    """Structural problem in the study graph (unknown node, cycle, ...)."""
+
+
+class Registry:
+    """A named collection of study-graph nodes."""
+
+    def __init__(self, nodes: Iterable[NodeSpec] = ()):
+        self._nodes: dict[str, NodeSpec] = {}
+        for node in nodes:
+            self.register(node)
+
+    def register(self, node: NodeSpec) -> NodeSpec:
+        """Add a node; duplicate names are a wiring bug.
+
+        Raises:
+            GraphError: if the name is already registered.
+        """
+        if node.name in self._nodes:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        return node
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> NodeSpec:
+        """Look up one node.
+
+        Raises:
+            GraphError: unknown name (with the known names listed).
+        """
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(
+                f"unknown study-graph node {name!r}; known: "
+                + ", ".join(sorted(self._nodes))
+            ) from None
+
+    def names(self) -> list[str]:
+        """All node names, in registration order."""
+        return list(self._nodes)
+
+    def nodes(self) -> list[NodeSpec]:
+        """All nodes, in registration order."""
+        return list(self._nodes.values())
+
+    def experiments(self) -> list[NodeSpec]:
+        """The experiment-kind nodes (the default ``study run`` targets)."""
+        return [node for node in self._nodes.values() if node.kind == KIND_EXPERIMENT]
+
+    def closure(self, targets: Iterable[str]) -> list[str]:
+        """Targets plus every transitive dependency, in registration order."""
+        needed: set[str] = set()
+        stack = list(targets)
+        while stack:
+            name = stack.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            stack.extend(self.node(name).deps)
+        return [name for name in self._nodes if name in needed]
+
+    def topo_order(self, targets: Iterable[str] | None = None) -> list[str]:
+        """Dependency-respecting order over the closure of ``targets``.
+
+        Deterministic: among ready nodes, registration order breaks
+        ties, so the serial reference execution is reproducible.
+
+        Raises:
+            GraphError: on a dependency cycle.
+        """
+        names = self.closure(targets) if targets is not None else self.names()
+        in_set = set(names)
+        pending = {
+            name: [dep for dep in self.node(name).deps if dep in in_set]
+            for name in names
+        }
+        order: list[str] = []
+        placed: set[str] = set()
+        while pending:
+            ready = [name for name, deps in pending.items()
+                     if all(dep in placed for dep in deps)]
+            if not ready:
+                raise GraphError(
+                    "dependency cycle among study-graph nodes: "
+                    + ", ".join(sorted(pending))
+                )
+            for name in ready:
+                order.append(name)
+                placed.add(name)
+                del pending[name]
+        return order
+
+    def edges(self) -> list[tuple[str, str]]:
+        """``(dependency, node)`` pairs for every declared edge."""
+        return [
+            (dep, node.name) for node in self._nodes.values() for dep in node.deps
+        ]
+
+    def with_overrides(self, overrides: Mapping[str, Mapping[str, object]]) -> "Registry":
+        """A copy with per-node parameter overrides applied.
+
+        The CLI uses this to run ad-hoc variants (``figure gnome
+        --granularity quarter``) through exactly the registered wiring:
+        overridden params flow into the nodes' memo keys, so variants
+        never collide with the canonical entries.
+        """
+        for name in overrides:
+            self.node(name)  # raise early on unknown names
+        return Registry(
+            node.with_params(**overrides[node.name]) if node.name in overrides else node
+            for node in self._nodes.values()
+        )
+
+
+_DEFAULT: Registry | None = None
+
+
+def default_registry() -> Registry:
+    """The full study graph, built once per process.
+
+    The wiring lives in :mod:`repro.studygraph.nodes`; importing it is
+    deferred so the registry layer stays free of domain imports.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        from repro.studygraph.nodes import build_registry
+
+        _DEFAULT = build_registry()
+    return _DEFAULT

@@ -1,0 +1,384 @@
+"""The study-graph scheduler: parallel, memoized node execution.
+
+:func:`run_study` executes a set of target nodes (every registered
+experiment by default) plus their dependency closure:
+
+1. the closure is topo-sorted (:meth:`~repro.studygraph.registry.
+   Registry.topo_order`) and executed in dependency *waves* -- every
+   node whose inputs are resolved runs in the current wave;
+2. each wave's cache misses run as self-describing
+   :class:`~repro.harness.workunit.WorkUnit`\\ s on the existing
+   :mod:`repro.harness` campaign engine, so node execution inherits the
+   pool's fork semantics, telemetry, and determinism contract;
+3. every node is memoized through the :class:`~repro.pipeline.cache.
+   ParseMineCache`: the memo key is the node's content digest over
+   (name, version, params, input artifact digests).  Hits resolve from
+   a tiny metadata entry -- the payload itself is loaded lazily, only
+   if a downstream miss (or a requested output) needs it, so a fully
+   warm re-run does no heavy deserialization at all.
+
+Equivalence contract: for any worker count and any cache state, every
+node's payload is identical to the serial cold execution -- producers
+are deterministic functions of (study, inputs, params), seeds never
+derive from scheduling, and memo hits are content-addressed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.harness.engine import run_campaign
+from repro.harness.telemetry import Telemetry
+from repro.harness.workunit import WorkUnit
+from repro.studygraph.artifact import (
+    DATA_TAG,
+    META_TAG,
+    ArtifactStore,
+    artifact_digest,
+)
+from repro.studygraph.context import StudyContext
+from repro.studygraph.node import NodeSpec
+from repro.studygraph.registry import GraphError, Registry, default_registry
+
+#: WorkUnit.kind for study-graph node executions.
+KIND_STUDYGRAPH = "studygraph"
+
+#: Memo payload format version (bump to invalidate every node entry).
+MEMO_VERSION = 1
+
+STATUS_EXECUTED = "executed"
+STATUS_CACHED = "cached"
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeRun:
+    """How one node was satisfied during a run.
+
+    Attributes:
+        name: the node.
+        status: ``"executed"`` (producer ran) or ``"cached"`` (memo hit).
+        digest: the output artifact's content digest.
+        key: the node's memo key for this run.
+        wall_seconds: producer wall time (0.0 for memo hits).
+    """
+
+    name: str
+    status: str
+    digest: str
+    key: str
+    wall_seconds: float
+
+
+@dataclasses.dataclass
+class StudyRunResult:
+    """One completed study-graph execution.
+
+    Attributes:
+        runs: per-node outcome, in topological execution order.
+        outputs: materialized payloads for the requested output nodes.
+        telemetry: counters/timers accumulated across all waves.
+        waves: number of dependency waves executed.
+    """
+
+    runs: dict[str, NodeRun]
+    outputs: dict[str, dict[str, Any]]
+    telemetry: Telemetry
+    waves: int
+
+    @property
+    def executed(self) -> int:
+        """Nodes whose producer actually ran."""
+        return sum(1 for run in self.runs.values() if run.status == STATUS_EXECUTED)
+
+    @property
+    def cached(self) -> int:
+        """Nodes satisfied from the memo cache."""
+        return sum(1 for run in self.runs.values() if run.status == STATUS_CACHED)
+
+    def output_text(self, name: str) -> str:
+        """The rendered text of one output node.
+
+        Raises:
+            KeyError: the node was not requested as an output, or its
+                payload carries no ``"text"`` field.
+        """
+        return self.outputs[name]["text"]
+
+    def summary_rows(self) -> list[list[Any]]:
+        """``[node, status, wall ms, digest prefix]`` rows for the CLI."""
+        return [
+            [
+                run.name,
+                run.status,
+                f"{run.wall_seconds * 1000:.1f}",
+                run.digest[:12],
+            ]
+            for run in self.runs.values()
+        ]
+
+
+@dataclasses.dataclass
+class _WaveContext:
+    """Shared state a wave's forked workers inherit (never pickled)."""
+
+    ctx: StudyContext
+    nodes: dict[str, NodeSpec]
+    inputs: dict[str, dict[str, Any]]
+
+
+def _node_runner(unit: WorkUnit, wave: _WaveContext) -> dict[str, Any]:
+    """Execute one node inside a pool worker.
+
+    The unit's ``fault_id`` carries the node name; inputs were
+    materialized by the parent before the fork.  The payload digest is
+    computed worker-side so the parent never re-encodes large payloads.
+    """
+    node = wave.nodes[unit.fault_id]
+    inputs = {dep: wave.inputs[dep] for dep in node.deps}
+    started = time.monotonic()
+    payload = node.producer(wave.ctx, inputs, node.params_dict())
+    wall = time.monotonic() - started
+    return {
+        "payload": payload,
+        "digest": artifact_digest(payload),
+        "wall_seconds": wall,
+    }
+
+
+def _make_store(
+    context: StudyContext,
+    registry: Registry,
+    runs: dict[str, NodeRun],
+) -> ArtifactStore:
+    """An artifact store whose misses resolve through the memo cache.
+
+    If a cached node's data entry has vanished or rotted (the cache
+    treats corruption as a miss, never an error), the node is re-executed
+    inline from its own (recursively materialized) inputs.
+    """
+
+    def load(name: str) -> dict[str, Any]:
+        run = runs.get(name)
+        if run is not None and context.cache is not None:
+            entry = context.cache.load(run.key, DATA_TAG)
+            if entry is not None and "payload" in entry:
+                return entry["payload"]
+        node = registry.node(name)
+        inputs = {dep: store.get(dep) for dep in node.deps}
+        context.telemetry.count("studygraph.payload_rebuilds")
+        return node.producer(context, inputs, node.params_dict())
+
+    store = ArtifactStore(loader=load)
+    return store
+
+
+def run_study(
+    context: StudyContext | None = None,
+    *,
+    nodes: Sequence[str] | None = None,
+    outputs: Sequence[str] | None = None,
+    registry: Registry | None = None,
+) -> StudyRunResult:
+    """Execute the study graph; see the module docstring for the story.
+
+    Args:
+        context: execution context (defaults to a serial, uncached
+            context over the shared curated study).
+        nodes: target node names (default: every registered experiment).
+        outputs: node names whose payloads to materialize in the result
+            (default: the targets).  Anything in the executed closure
+            may be requested.
+        registry: node registry (default: the full study graph).
+
+    Returns:
+        Per-node outcomes, requested payloads, and telemetry.
+    """
+    context = context if context is not None else StudyContext.default()
+    registry = registry if registry is not None else default_registry()
+    targets = list(nodes) if nodes is not None else [
+        node.name for node in registry.experiments()
+    ]
+    outputs = list(outputs) if outputs is not None else list(targets)
+    order = registry.topo_order(targets)
+    for name in outputs:
+        if name not in order:
+            raise GraphError(
+                f"requested output {name!r} is not in the executed closure"
+            )
+
+    telemetry = context.telemetry
+    cache = context.cache
+    digests: dict[str, str] = {}
+    runs: dict[str, NodeRun] = {}
+    store = _make_store(context, registry, runs)
+    node_map = {name: registry.node(name) for name in order}
+
+    waves = 0
+    remaining = list(order)
+    with telemetry.timed("studygraph.wall"):
+        while remaining:
+            ready = [
+                name
+                for name in remaining
+                if all(dep in digests for dep in node_map[name].deps)
+            ]
+            if not ready:  # topo_order guarantees progress; belt and braces
+                raise GraphError(
+                    "scheduler stalled; unresolved nodes: " + ", ".join(remaining)
+                )
+            waves += 1
+
+            to_run: list[tuple[str, str]] = []
+            for name in ready:
+                node = node_map[name]
+                key = node.cache_digest({dep: digests[dep] for dep in node.deps})
+                meta = cache.load(key, META_TAG) if cache is not None else None
+                if (
+                    meta is not None
+                    and meta.get("memo_version") == MEMO_VERSION
+                    and "digest" in meta
+                ):
+                    digests[name] = meta["digest"]
+                    runs[name] = NodeRun(name, STATUS_CACHED, meta["digest"], key, 0.0)
+                    telemetry.count("studygraph.nodes.cached")
+                else:
+                    to_run.append((name, key))
+
+            if to_run:
+                needed = sorted(
+                    {dep for name, _ in to_run for dep in node_map[name].deps}
+                )
+                wave_ctx = _WaveContext(
+                    ctx=_worker_context(context),
+                    nodes=node_map,
+                    inputs=store.subset(tuple(needed)),
+                )
+                units = [
+                    WorkUnit.build(KIND_STUDYGRAPH, name, params={"key": key})
+                    for name, key in to_run
+                ]
+                keys = dict(to_run)
+                campaign = run_campaign(
+                    units,
+                    _node_runner,
+                    context=wave_ctx,
+                    workers=context.workers,
+                    telemetry=telemetry,
+                )
+                for unit, result in campaign.pairs():
+                    name = unit.fault_id
+                    payload = result["payload"]
+                    digest = result["digest"]
+                    store.put(name, payload)
+                    digests[name] = digest
+                    runs[name] = NodeRun(
+                        name, STATUS_EXECUTED, digest, keys[name],
+                        result["wall_seconds"],
+                    )
+                    telemetry.count("studygraph.nodes.executed")
+                    if cache is not None:
+                        cache.store(keys[name], DATA_TAG, {"payload": payload})
+                        cache.store(
+                            keys[name],
+                            META_TAG,
+                            {
+                                "memo_version": MEMO_VERSION,
+                                "node": name,
+                                "digest": digest,
+                            },
+                        )
+
+            remaining = [name for name in remaining if name not in digests]
+
+    ordered_runs = {name: runs[name] for name in order}
+    return StudyRunResult(
+        runs=ordered_runs,
+        outputs={name: store.get(name) for name in outputs},
+        telemetry=telemetry,
+        waves=waves,
+    )
+
+
+def _worker_context(context: StudyContext) -> StudyContext:
+    """The context handed to producers inside pool workers.
+
+    Producers always see ``workers=1`` so any nested campaign they start
+    (the replay nodes run on the harness themselves) stays inline
+    instead of forking from a forked worker.
+    """
+    return StudyContext(
+        study=context.study,
+        workers=1,
+        cache=None,
+        telemetry=Telemetry(),
+    )
+
+
+def run_single_node(
+    name: str,
+    *,
+    overrides: Mapping[str, Mapping[str, Any]] | None = None,
+    context: StudyContext | None = None,
+    registry: Registry | None = None,
+) -> dict[str, Any]:
+    """Execute one node (plus dependencies) serially; return its payload.
+
+    This is the CLI's per-command path: each classic command resolves
+    its registered node, applies flag overrides, and prints the node's
+    rendered text -- single-node invocations of the same graph that
+    ``study run`` executes wholesale.
+    """
+    registry = registry if registry is not None else default_registry()
+    if overrides:
+        registry = registry.with_overrides(overrides)
+    result = run_study(
+        context if context is not None else StudyContext.default(),
+        nodes=[name],
+        outputs=[name],
+        registry=registry,
+    )
+    return result.outputs[name]
+
+
+def study_status(
+    context: StudyContext,
+    *,
+    nodes: Sequence[str] | None = None,
+    registry: Registry | None = None,
+) -> list[list[str]]:
+    """Per-node memo state without executing anything.
+
+    Walks the closure in topo order resolving digests from metadata
+    entries alone.  A node is ``cached`` when its memo entry exists,
+    ``missing`` when its inputs resolve but no entry does, and
+    ``unknown`` when an upstream miss makes its key uncomputable.
+
+    Returns:
+        ``[node, kind, state, digest-or-"-"]`` rows.
+    """
+    registry = registry if registry is not None else default_registry()
+    targets = list(nodes) if nodes is not None else [
+        node.name for node in registry.experiments()
+    ]
+    order = registry.topo_order(targets)
+    digests: dict[str, str] = {}
+    rows: list[list[str]] = []
+    for name in order:
+        node = registry.node(name)
+        if any(dep not in digests for dep in node.deps):
+            rows.append([name, node.kind, "unknown", "-"])
+            continue
+        key = node.cache_digest({dep: digests[dep] for dep in node.deps})
+        meta = context.cache.load(key, META_TAG) if context.cache is not None else None
+        if (
+            meta is not None
+            and meta.get("memo_version") == MEMO_VERSION
+            and "digest" in meta
+        ):
+            digests[name] = meta["digest"]
+            rows.append([name, node.kind, "cached", meta["digest"][:12]])
+        else:
+            rows.append([name, node.kind, "missing", "-"])
+    return rows

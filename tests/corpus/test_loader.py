@@ -49,3 +49,52 @@ class TestFullStudy:
     def test_to_database_without_evidence(self, study):
         db = study.to_database(attach_evidence=False)
         assert all(report.evidence is None for report in db)
+
+
+class TestStudyDataImmutability:
+    def test_corpora_mapping_rejects_assignment(self, study):
+        import pytest
+
+        with pytest.raises(TypeError):
+            study.corpora[Application.APACHE] = None
+
+    def test_corpora_mapping_rejects_deletion(self, study):
+        import pytest
+
+        with pytest.raises(TypeError):
+            del study.corpora[Application.APACHE]
+
+    def test_dataclass_is_frozen(self, study):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            study.corpora = {}
+
+    def test_pickle_round_trip(self, study):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(study))
+        assert clone.total_faults == study.total_faults
+        assert clone.ground_truth() == study.ground_truth()
+
+
+class TestDefaultStudy:
+    def test_full_study_is_the_shared_instance(self):
+        from repro.corpus.loader import default_study
+
+        assert full_study() is default_study()
+
+    def test_set_default_study_installs_and_resets(self):
+        from repro.corpus.loader import default_study, set_default_study
+
+        original = default_study()
+        try:
+            replacement = full_study(fresh=True)
+            set_default_study(replacement)
+            assert default_study() is replacement
+            assert full_study() is replacement
+        finally:
+            set_default_study(original)
+        assert default_study() is original

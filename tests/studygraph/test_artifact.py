@@ -1,0 +1,83 @@
+"""Tests for content-addressed artifacts (canonical JSON + store)."""
+
+import datetime
+
+import pytest
+
+from repro.bugdb.enums import Application, FaultClass
+from repro.studygraph.artifact import (
+    ArtifactStore,
+    artifact_digest,
+    canonical_json,
+    jsonable,
+)
+
+
+class TestJsonable:
+    def test_enums_become_values(self):
+        assert jsonable(Application.APACHE) == "apache"
+        assert jsonable(FaultClass.ENV_INDEPENDENT) == "environment-independent"
+
+    def test_dates_become_iso_strings(self):
+        assert jsonable(datetime.date(1999, 3, 14)) == "1999-03-14"
+
+    def test_tuples_become_lists(self):
+        assert jsonable((1, ("a", 2))) == [1, ["a", 2]]
+
+    def test_enum_keyed_mappings_use_values(self):
+        assert jsonable({Application.MYSQL: 44}) == {"mysql": 44}
+
+    def test_scalars_pass_through(self):
+        for value in ("x", 3, 2.5, True, None):
+            assert jsonable(value) == value
+
+    def test_unconvertible_objects_are_rejected(self):
+        with pytest.raises(TypeError, match="JSON-compatible"):
+            jsonable(object())
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_non_ascii_is_escaped(self):
+        assert "\\u" in canonical_json({"s": "café"})
+
+
+class TestArtifactDigest:
+    def test_stable_for_equal_payloads(self):
+        assert artifact_digest({"x": 1, "y": 2}) == artifact_digest({"y": 2, "x": 1})
+
+    def test_differs_on_content_change(self):
+        assert artifact_digest({"x": 1}) != artifact_digest({"x": 2})
+
+
+class TestArtifactStore:
+    def test_put_then_get(self):
+        store = ArtifactStore()
+        store.put("a", {"v": 1})
+        assert store.has("a")
+        assert store.get("a") == {"v": 1}
+
+    def test_missing_without_loader_raises(self):
+        with pytest.raises(KeyError, match="not materialized"):
+            ArtifactStore().get("ghost")
+
+    def test_loader_runs_once_per_name(self):
+        calls = []
+
+        def load(name):
+            calls.append(name)
+            return {"name": name}
+
+        store = ArtifactStore(loader=load)
+        assert store.get("a") == {"name": "a"}
+        assert store.get("a") == {"name": "a"}
+        assert calls == ["a"]
+
+    def test_subset_materializes_each_name(self):
+        store = ArtifactStore(loader=lambda name: {"name": name})
+        assert store.subset(("a", "b")) == {"a": {"name": "a"}, "b": {"name": "b"}}

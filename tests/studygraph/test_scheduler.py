@@ -1,0 +1,181 @@
+"""Scheduler mechanics on a toy graph: waves, memoization, laziness.
+
+The toy producers are module-level so forked pool workers resolve them
+by reference; the domain-level graph is covered by test_equivalence.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.studygraph.context import StudyContext
+from repro.studygraph.node import KIND_ARTIFACT, NodeSpec
+from repro.studygraph.registry import GraphError, Registry
+from repro.studygraph.scheduler import (
+    run_single_node,
+    run_study,
+    study_status,
+)
+
+
+def _root(ctx, inputs, params):
+    return {"value": params["value"], "workers_seen": ctx.workers}
+
+
+def _double(ctx, inputs, params):
+    return {"value": inputs["root"]["value"] * 2}
+
+
+def _total(ctx, inputs, params):
+    total = inputs["root"]["value"] + inputs["double"]["value"]
+    return {"total": total, "text": f"total: {total}"}
+
+
+def _indep(ctx, inputs, params):
+    return {"n": params["n"], "text": f"n: {params['n']}"}
+
+
+def toy_registry():
+    return Registry(
+        [
+            NodeSpec.build(
+                "root", _root, params={"value": 3}, kind=KIND_ARTIFACT
+            ),
+            NodeSpec.build("double", _double, deps=("root",), kind=KIND_ARTIFACT),
+            NodeSpec.build("total", _total, deps=("root", "double")),
+            NodeSpec.build("indep", _indep, params={"n": 5}),
+        ]
+    )
+
+
+def _ctx(tmp_path=None, workers=1):
+    return StudyContext.default(
+        workers=workers,
+        cache_dir=None if tmp_path is None else tmp_path / "memo",
+    )
+
+
+def _data_path(context, key):
+    return Path(context.cache.root) / key[:2] / f"{key}.sgdata.json"
+
+
+class TestColdExecution:
+    def test_executes_closure_in_waves(self):
+        result = run_study(_ctx(), registry=toy_registry())
+        assert result.executed == 4
+        assert result.cached == 0
+        assert result.waves >= 3  # root -> double -> total
+        assert result.outputs["total"]["total"] == 9
+        assert result.output_text("indep") == "n: 5"
+
+    def test_targets_restrict_the_closure(self):
+        result = run_study(_ctx(), nodes=["indep"], registry=toy_registry())
+        assert set(result.runs) == {"indep"}
+
+    def test_output_outside_closure_is_rejected(self):
+        with pytest.raises(GraphError, match="not in the executed closure"):
+            run_study(
+                _ctx(), nodes=["indep"], outputs=["total"], registry=toy_registry()
+            )
+
+    def test_producers_always_see_serial_context(self):
+        result = run_study(
+            _ctx(workers=2),
+            nodes=["total"],
+            outputs=["root"],
+            registry=toy_registry(),
+        )
+        # Nested campaigns must stay inline inside pool workers.
+        assert result.outputs["root"]["workers_seen"] == 1
+
+
+class TestParallelEquality:
+    def test_worker_count_never_changes_payloads(self):
+        serial = run_study(_ctx(), registry=toy_registry())
+        parallel = run_study(_ctx(workers=2), registry=toy_registry())
+        assert parallel.outputs == serial.outputs
+        assert {name: run.digest for name, run in parallel.runs.items()} == {
+            name: run.digest for name, run in serial.runs.items()
+        }
+
+
+class TestMemoization:
+    def test_warm_rerun_is_fully_cached(self, tmp_path):
+        cold = run_study(_ctx(tmp_path), registry=toy_registry())
+        warm = run_study(_ctx(tmp_path), registry=toy_registry())
+        assert warm.executed == 0
+        assert warm.cached == len(cold.runs)
+        assert warm.outputs == cold.outputs
+        assert {name: run.digest for name, run in warm.runs.items()} == {
+            name: run.digest for name, run in cold.runs.items()
+        }
+
+    def test_param_override_invalidates_only_its_cone(self, tmp_path):
+        run_study(_ctx(tmp_path), registry=toy_registry())
+        patched = toy_registry().with_overrides({"indep": {"n": 8}})
+        rerun = run_study(_ctx(tmp_path), registry=patched)
+        assert rerun.runs["indep"].status == "executed"
+        assert rerun.runs["total"].status == "cached"
+        assert rerun.output_text("indep") == "n: 8"
+
+    def test_upstream_param_change_invalidates_downstream(self, tmp_path):
+        run_study(_ctx(tmp_path), registry=toy_registry())
+        patched = toy_registry().with_overrides({"root": {"value": 10}})
+        rerun = run_study(_ctx(tmp_path), registry=patched)
+        statuses = {name: run.status for name, run in rerun.runs.items()}
+        assert statuses["root"] == "executed"
+        assert statuses["double"] == "executed"
+        assert statuses["total"] == "executed"
+        assert statuses["indep"] == "cached"
+        assert rerun.outputs["total"]["total"] == 30
+
+    def test_warm_run_never_loads_unneeded_payloads(self, tmp_path):
+        context = _ctx(tmp_path)
+        cold = run_study(context, registry=toy_registry())
+        # Destroy the heavy intermediate payloads; metadata stays intact.
+        for name in ("root", "double"):
+            _data_path(context, cold.runs[name].key).unlink()
+        warm = run_study(_ctx(tmp_path), outputs=["total"], registry=toy_registry())
+        assert warm.cached == 4
+        assert warm.outputs["total"]["total"] == 9
+
+    def test_rotted_data_entry_rebuilds_inline(self, tmp_path):
+        context = _ctx(tmp_path)
+        cold = run_study(context, registry=toy_registry())
+        _data_path(context, cold.runs["total"].key).unlink()
+        warm_context = _ctx(tmp_path)
+        warm = run_study(warm_context, outputs=["total"], registry=toy_registry())
+        assert warm.runs["total"].status == "cached"
+        assert warm.outputs["total"]["total"] == 9
+        assert warm_context.telemetry.counter("studygraph.payload_rebuilds") >= 1
+
+
+class TestRunSingleNode:
+    def test_returns_the_payload(self):
+        payload = run_single_node("total", registry=toy_registry())
+        assert payload["total"] == 9
+
+    def test_overrides_flow_into_the_run(self):
+        payload = run_single_node(
+            "total",
+            overrides={"root": {"value": 7}},
+            registry=toy_registry(),
+        )
+        assert payload["total"] == 21
+
+
+class TestStudyStatus:
+    def test_states_progress_from_missing_to_cached(self, tmp_path):
+        registry = toy_registry()
+        before = dict(
+            (row[0], row[2])
+            for row in study_status(_ctx(tmp_path), registry=registry)
+        )
+        assert before["root"] == "missing"
+        assert before["double"] == "unknown"  # upstream miss hides its key
+        run_study(_ctx(tmp_path), registry=registry)
+        after = dict(
+            (row[0], row[2])
+            for row in study_status(_ctx(tmp_path), registry=registry)
+        )
+        assert set(after.values()) == {"cached"}

@@ -188,7 +188,7 @@ class TestCampaignCommand:
 
 class TestReportWithReplay:
     def test_with_replay_includes_replay_section(self, capsys, monkeypatch):
-        import repro.cli as cli_module
+        import repro.reports.nodes as report_nodes
         from repro.recovery.driver import FaultReplayOutcome, ReplayReport
         from repro.bugdb.enums import FaultClass
 
@@ -203,8 +203,99 @@ class TestReportWithReplay:
             )
             return ReplayReport(technique=factory.name, outcomes=(outcome,))
 
-        monkeypatch.setattr(cli_module, "replay_study", stub_replay)
+        monkeypatch.setattr(report_nodes, "replay_study", stub_replay)
         assert main(["report", "--with-replay"]) == 0
         out = capsys.readouterr().out
         assert "Generic-recovery replay" in out
         assert "process-pairs" in out
+
+
+class TestEverySubcommandSmoke:
+    """Satellite coverage: each subcommand exits 0 with non-empty stdout."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table", "gnome"],
+            ["figure", "mysql", "--width", "20"],
+            ["aggregate"],
+            ["mine", "gnome"],
+            ["mine", "run", "--application", "gnome"],
+            ["replay", "--technique", "restart-fresh"],
+            ["campaign", "run", "--application", "gnome", "--limit", "3"],
+            ["report"],
+            ["catalog"],
+            ["funnel", "gnome"],
+            ["csv", "table", "mysql"],
+            ["csv", "figure", "gnome"],
+            ["study", "graph"],
+        ],
+        ids=lambda argv: "-".join(argv[:2]),
+    )
+    def test_exits_zero_with_output(self, capsys, argv):
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_export_archive(self, capsys, tmp_path):
+        path = tmp_path / "gnome.debbugs"
+        assert main(["export-archive", "gnome", str(path)]) == 0
+        assert capsys.readouterr().out.strip()
+        assert path.stat().st_size > 0
+
+    def test_study_run_and_status(self, capsys, tmp_path):
+        cache = str(tmp_path / "memo")
+        args = ["--nodes", "T1,A1", "--cache-dir", cache]
+        assert main(["study", "run", *args]) == 0
+        cold = capsys.readouterr().out
+        assert "Study run: 5 executed, 0 cached" in cold
+        assert main(["study", "run", *args, "--show", "T1"]) == 0
+        warm = capsys.readouterr().out
+        assert "Study run: 0 executed, 5 cached" in warm
+        assert "Classification of faults for Apache" in warm
+        assert main(["study", "status", *args]) == 0
+        assert capsys.readouterr().out.count("cached") == 5
+
+    def test_study_run_unknown_node_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown study-graph node"):
+            main(["study", "run", "--nodes", "bogus",
+                  "--cache-dir", str(tmp_path / "memo")])
+
+    def test_mine_run_rejects_positional_soup(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", "run", "apache"])
+        assert excinfo.value.code == 2
+        assert "unrecognized arguments: apache" in capsys.readouterr().err
+
+    def test_mine_run_still_requires_application_flag(self):
+        with pytest.raises(SystemExit, match="requires --application"):
+            main(["mine", "run"])
+
+
+class TestGoldenOutputs:
+    """Exact-stdout checks for the two most-quoted commands."""
+
+    def test_table_apache_golden(self, capsys):
+        assert main(["table", "apache"]) == 0
+        assert capsys.readouterr().out == (
+            "Classification of faults for Apache\n"
+            "Class                              | # Faults\n"
+            "-----------------------------------+---------\n"
+            "environment-independent            | 36      \n"
+            "environment-dependent-nontransient | 7       \n"
+            "environment-dependent-transient    | 7       \n"
+            "total                              | 50      \n"
+        )
+
+    def test_aggregate_golden(self, capsys):
+        assert main(["aggregate"]) == 0
+        assert capsys.readouterr().out == (
+            "Section 5.4 aggregate\n"
+            "quantity                           | value  \n"
+            "-----------------------------------+--------\n"
+            "total unique faults                | 139    \n"
+            "environment-independent            | 113    \n"
+            "environment-dependent-nontransient | 14     \n"
+            "environment-dependent-transient    | 12     \n"
+            "EI range across apps               | 72%-87%\n"
+            "transient range across apps        | 5%-14% \n"
+        )
