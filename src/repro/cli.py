@@ -3,8 +3,12 @@
 Usage (after ``pip install -e .``, or via ``python -m repro``)::
 
     repro study run --workers 4   # every experiment, parallel + memoized
+    repro study run --trace run.trace --workers 4   # same, traced
     repro study status            # per-node memo state, nothing executed
+    repro study diff cache-a cache-b   # node-by-node digest drift report
     repro study graph             # the node catalog and its edges
+    repro trace summary run.trace # wall-time attribution from a trace
+    repro trace export run.trace --out run.json   # chrome://tracing JSON
     repro table apache            # Table 1 / 2 / 3
     repro figure gnome            # Figure 1 / 2 / 3 (ASCII)
     repro aggregate               # Section 5.4 numbers
@@ -210,7 +214,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "total_units": len(faults),
         },
         telemetry=telemetry,
-        progress=ProgressReporter(len(faults), label=f"campaign {technique_name}"),
+        progress=ProgressReporter.if_interactive(
+            len(faults),
+            quiet=args.quiet,
+            label=f"campaign {technique_name}",
+        ),
     )
     print(
         format_table(
@@ -298,8 +306,11 @@ def _study_cache_dir(args: argparse.Namespace) -> str | None:
 
 
 def _cmd_study_run(args: argparse.Namespace) -> int:
-    from repro.harness.telemetry import Telemetry
-    from repro.studygraph import StudyContext, run_study
+    import contextlib
+
+    from repro import obs
+    from repro.harness.telemetry import ProgressReporter, Telemetry
+    from repro.studygraph import StudyContext, default_registry, run_study
     from repro.studygraph.registry import GraphError
 
     if args.workers < 1:
@@ -311,12 +322,25 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
         telemetry=telemetry,
     )
     nodes = _study_nodes(args)
+    registry = default_registry()
     try:
-        result = run_study(
-            context,
-            nodes=nodes,
-            outputs=[args.show] if args.show else None,
+        targets = nodes if nodes is not None else [
+            node.name for node in registry.experiments()
+        ]
+        closure = registry.topo_order(targets)
+        tracing = (
+            obs.tracing(args.trace) if args.trace else contextlib.nullcontext()
         )
+        with tracing:
+            result = run_study(
+                context,
+                nodes=nodes,
+                outputs=[args.show] if args.show else None,
+                registry=registry,
+                progress=ProgressReporter.if_interactive(
+                    len(closure), quiet=args.quiet, label="study"
+                ),
+            )
     except GraphError as exc:
         raise SystemExit(str(exc)) from None
     print(
@@ -329,9 +353,88 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     )
     for line in telemetry.summary_lines():
         print(line)
+    if args.trace:
+        print(f"trace: {args.trace}")
     if args.show:
         print()
         print(result.output_text(args.show))
+    return 0
+
+
+def _cmd_study_diff(args: argparse.Namespace) -> int:
+    from repro.studygraph import diff_caches
+    from repro.studygraph.registry import GraphError
+
+    try:
+        report = diff_caches(args.cache_a, args.cache_b, nodes=_study_nodes(args))
+    except GraphError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        format_table(
+            ["node", "kind", "state", "digest a", "digest b", "Δwall ms"],
+            report.rows(),
+            title=f"Study memo diff: {args.cache_a} vs {args.cache_b}",
+        )
+    )
+    if report.clean:
+        print("no drift")
+        return 0
+    print(f"{len(report.drifted)} node(s) drifted")
+    return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    try:
+        records = obs.read_trace(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"no trace file at {args.path!r}") from None
+    if not records:
+        raise SystemExit(f"no trace records in {args.path!r}")
+
+    if args.trace_command == "summary":
+        summary = obs.summarize_trace(records, top=args.top)
+        root_name = summary.root.get("name", "?") if summary.root else "-"
+        print(
+            format_table(
+                ["field", "value"],
+                [
+                    ["spans", summary.spans],
+                    ["processes", summary.processes],
+                    ["root span", root_name],
+                    ["root wall ms", f"{summary.root_seconds * 1000:.1f}"],
+                    ["root coverage", f"{summary.coverage:.1%}"],
+                ],
+                title=f"Trace summary: {args.path}",
+            )
+        )
+        print(
+            format_table(
+                ["phase", "spans", "total ms", "max ms"],
+                summary.phase_rows(),
+                title="Wall time by phase",
+            )
+        )
+        print(
+            format_table(
+                ["span", "wall ms", "pid", "parent"],
+                summary.slowest_rows(),
+                title=f"Slowest {len(summary.slowest)} spans",
+            )
+        )
+        return 0
+
+    # export
+    payload = obs.chrome_trace(records)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+    print(
+        f"wrote {len(payload['traceEvents'])} events to {args.out} "
+        "(load in chrome://tracing or https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -347,7 +450,7 @@ def _cmd_study_status(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from None
     print(
         format_table(
-            ["node", "kind", "state", "digest"],
+            ["node", "kind", "state", "digest", "wall ms"],
             rows,
             title=f"Study memo status ({cache_dir or 'cache disabled'})",
         )
@@ -479,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--seed", type=int, default=_CAMPAIGN_DEFAULT_SEED, help="base campaign seed"
     )
+    campaign.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress output (auto-suppressed when stderr is not a TTY)",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     report = subparsers.add_parser("report", help="print the full study report")
@@ -545,6 +652,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable memoization entirely",
     )
+    study_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace to this JSONL file (see 'repro trace')",
+    )
+    study_run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress output (auto-suppressed when stderr is not a TTY)",
+    )
     study_run.set_defaults(func=_cmd_study_run)
 
     study_status_cmd = study_sub.add_parser(
@@ -568,6 +683,41 @@ def build_parser() -> argparse.ArgumentParser:
         "graph", help="print the node catalog and dependency edges"
     )
     study_graph_cmd.set_defaults(func=_cmd_study_graph)
+
+    study_diff_cmd = study_sub.add_parser(
+        "diff", help="node-by-node digest drift between two memo caches"
+    )
+    study_diff_cmd.add_argument("cache_a", help="baseline memo directory")
+    study_diff_cmd.add_argument("cache_b", help="candidate memo directory")
+    study_diff_cmd.add_argument(
+        "--nodes", action="append", default=None, metavar="NAME[,NAME...]",
+        help="restrict to these nodes plus dependencies (repeatable)",
+    )
+    study_diff_cmd.set_defaults(func=_cmd_study_diff)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect or export a span trace recorded with --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="wall-time attribution: phases, coverage, slowest spans"
+    )
+    trace_summary.add_argument("path", help="trace JSONL file")
+    trace_summary.add_argument(
+        "--top", type=int, default=10, help="how many slowest spans to list"
+    )
+    trace_summary.set_defaults(func=_cmd_trace)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a trace to Chrome trace_event JSON"
+    )
+    trace_export.add_argument("path", help="trace JSONL file")
+    trace_export.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="output JSON file (load in chrome://tracing or Perfetto)",
+    )
+    trace_export.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -27,6 +27,7 @@ import dataclasses
 import time
 from typing import Any, Mapping, Sequence
 
+from repro import obs
 from repro.harness.journal import JournalWriter, load_journal
 from repro.harness.pool import UnitExecution, UnitRunner, WorkerPool
 from repro.harness.shard import assemble_results
@@ -154,7 +155,13 @@ def run_campaign(
             progress.update(done[0], resumed=resumed)
 
     try:
-        pool.execute(pending, runner, context, on_unit=on_unit)
+        with obs.span(
+            "campaign",
+            units=len(pending),
+            resumed=resumed,
+            workers=pool.workers if pool.parallel else 1,
+        ):
+            pool.execute(pending, runner, context, on_unit=on_unit)
     finally:
         if writer is not None:
             writer.close()

@@ -33,6 +33,7 @@ import os
 import time
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.harness.shard import shard_count_for, shard_units
 from repro.harness.workunit import WorkUnit
 
@@ -56,6 +57,9 @@ class UnitExecution:
         queue_seconds: submission-to-start latency (includes time spent
             behind earlier units in the same shard).
         worker_pid: the executing process id.
+        spans: trace-span records captured while the unit ran (empty
+            when tracing is disabled); the dispatching side feeds them
+            to its sink so a trace has exactly one writer process.
     """
 
     key: str
@@ -63,17 +67,31 @@ class UnitExecution:
     wall_seconds: float
     queue_seconds: float
     worker_pid: int
+    spans: tuple[dict[str, Any], ...] = ()
 
 
 def _execute_shard(
-    shard: Sequence[WorkUnit], submitted_at: float
+    shard: Sequence[WorkUnit],
+    submitted_at: float,
+    trace_parent: dict[str, Any] | None = None,
 ) -> list[UnitExecution]:
-    """Run one shard of units in the current process (worker side)."""
+    """Run one shard of units in the current process (worker side).
+
+    ``trace_parent`` is the dispatcher's span context: every unit span
+    recorded here is parented under it, so worker-side spans link to the
+    dispatching wave across the process boundary.
+    """
     runner, context = _RUNTIME  # type: ignore[misc]  # set before fork
     executions = []
     for unit in shard:
         started = time.monotonic()
-        result = runner(unit, context)
+        with obs.capture(trace_parent) as captured:
+            attrs: dict[str, Any] = {"unit": unit.fault_id}
+            if unit.technique:
+                attrs["technique"] = unit.technique
+            with obs.span(f"unit:{unit.kind}", **attrs) as unit_span:
+                result = runner(unit, context)
+                unit_span.set(queue_ms=round((started - submitted_at) * 1000, 3))
         finished = time.monotonic()
         executions.append(
             UnitExecution(
@@ -82,6 +100,7 @@ def _execute_shard(
                 wall_seconds=finished - started,
                 queue_seconds=max(0.0, started - submitted_at),
                 worker_pid=os.getpid(),
+                spans=tuple(captured),
             )
         )
     return executions
@@ -122,10 +141,21 @@ class WorkerPool:
         """
         if not units:
             return
+
+        # Unit spans captured in workers (or buffered on the serial path)
+        # are sunk here, in the dispatching process, before the caller
+        # sees the completion -- one writer per trace, whatever the
+        # worker count.
+        def deliver(execution: UnitExecution) -> None:
+            if execution.spans:
+                obs.ingest(execution.spans)
+            on_unit(execution)
+
+        trace_parent = obs.current_context()
         if not self.parallel:
-            self._execute_serial(units, runner, context, on_unit)
+            self._execute_serial(units, runner, context, deliver, trace_parent)
         else:
-            self._execute_parallel(units, runner, context, on_unit)
+            self._execute_parallel(units, runner, context, deliver, trace_parent)
 
     def _execute_serial(
         self,
@@ -133,6 +163,7 @@ class WorkerPool:
         runner: UnitRunner,
         context: Any,
         on_unit: Callable[[UnitExecution], None],
+        trace_parent: dict[str, Any] | None,
     ) -> None:
         global _RUNTIME
         previous = _RUNTIME
@@ -142,7 +173,7 @@ class WorkerPool:
             # One unit at a time so completions reach the caller (and the
             # journal) before a later unit can fail the campaign.
             for unit in units:
-                for execution in _execute_shard([unit], submitted):
+                for execution in _execute_shard([unit], submitted, trace_parent):
                     on_unit(execution)
         finally:
             _RUNTIME = previous
@@ -153,6 +184,7 @@ class WorkerPool:
         runner: UnitRunner,
         context: Any,
         on_unit: Callable[[UnitExecution], None],
+        trace_parent: dict[str, Any] | None,
     ) -> None:
         global _RUNTIME
         previous = _RUNTIME
@@ -165,7 +197,9 @@ class WorkerPool:
                 mp_context=multiprocessing.get_context("fork"),
             ) as executor:
                 futures = [
-                    executor.submit(_execute_shard, shard, time.monotonic())
+                    executor.submit(
+                        _execute_shard, shard, time.monotonic(), trace_parent
+                    )
                     for shard in shards
                 ]
                 for future in concurrent.futures.as_completed(futures):

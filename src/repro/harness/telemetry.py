@@ -3,154 +3,34 @@
 The engine records per-unit wall time, queue latency, worker
 utilization, and survival counters here; the CLI renders a summary after
 the run and a :class:`ProgressReporter` line while it is going.
-Everything is plain Python -- cheap enough to leave on for every
-campaign, including the serial ``workers=1`` path.
+
+The metrics implementation lives in :mod:`repro.obs.metrics` --
+:class:`Telemetry` is the :class:`~repro.obs.metrics.MetricsRegistry`
+under its historical name, kept so harness callers (and everything that
+imports ``repro.harness.Telemetry``) keep working while harness,
+pipeline, and studygraph all report into the same registry type.  The
+move also fixed gauge folding: merged gauges reduce deterministically by
+shard id instead of last-write-wins across arrival order.
 """
 
 from __future__ import annotations
 
-import contextlib
-import dataclasses
 import sys
 import time
-from typing import Any, Iterator, TextIO
+from typing import TextIO
+
+from repro.obs.metrics import MetricsRegistry, TimerStats
+
+__all__ = ["ProgressReporter", "Telemetry", "TimerStats"]
 
 
-@dataclasses.dataclass(frozen=True)
-class TimerStats:
-    """Aggregate statistics for one named timer."""
-
-    count: int
-    total: float
-    min: float
-    max: float
-
-    @property
-    def mean(self) -> float:
-        if self.count == 0:
-            return 0.0
-        return self.total / self.count
-
-
-class Telemetry:
-    """Named counters, timers, and gauges for one campaign run.
+class Telemetry(MetricsRegistry):
+    """The campaign metrics registry, under its historical harness name.
 
     Counters accumulate integers (``units.executed``, ``units.survived``);
     timers accumulate observed durations (``unit.wall``, ``unit.queue``);
-    gauges hold last-written floats (``workers.utilization``).
+    gauges hold last-written floats per shard (``workers.utilization``).
     """
-
-    def __init__(self) -> None:
-        self._counters: dict[str, int] = {}
-        self._timers: dict[str, list[float]] = {}  # [count, total, min, max]
-        self._gauges: dict[str, float] = {}
-
-    # -- counters ------------------------------------------------------ #
-
-    def count(self, name: str, amount: int = 1) -> None:
-        """Add ``amount`` to counter ``name``."""
-        self._counters[name] = self._counters.get(name, 0) + amount
-
-    def counter(self, name: str) -> int:
-        """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
-
-    # -- timers -------------------------------------------------------- #
-
-    def observe(self, name: str, seconds: float) -> None:
-        """Record one observed duration under timer ``name``."""
-        stats = self._timers.get(name)
-        if stats is None:
-            self._timers[name] = [1, seconds, seconds, seconds]
-        else:
-            stats[0] += 1
-            stats[1] += seconds
-            stats[2] = min(stats[2], seconds)
-            stats[3] = max(stats[3], seconds)
-
-    @contextlib.contextmanager
-    def timed(self, name: str) -> Iterator[None]:
-        """Context manager observing the enclosed block's wall time."""
-        started = time.monotonic()
-        try:
-            yield
-        finally:
-            self.observe(name, time.monotonic() - started)
-
-    def timer(self, name: str) -> TimerStats:
-        """Aggregate stats for timer ``name`` (zeros if never observed)."""
-        stats = self._timers.get(name)
-        if stats is None:
-            return TimerStats(count=0, total=0.0, min=0.0, max=0.0)
-        return TimerStats(count=stats[0], total=stats[1], min=stats[2], max=stats[3])
-
-    # -- gauges -------------------------------------------------------- #
-
-    def gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value`` (last write wins)."""
-        self._gauges[name] = value
-
-    def gauge_value(self, name: str, default: float = 0.0) -> float:
-        """Current value of gauge ``name``."""
-        return self._gauges.get(name, default)
-
-    # -- snapshots ----------------------------------------------------- #
-
-    def snapshot(self) -> dict[str, Any]:
-        """All telemetry as one JSON-serialisable dict."""
-        return {
-            "counters": dict(self._counters),
-            "timers": {
-                name: dataclasses.asdict(self.timer(name)) for name in self._timers
-            },
-            "gauges": dict(self._gauges),
-        }
-
-    def merge(self, snapshot: dict[str, Any]) -> None:
-        """Fold another run's :meth:`snapshot` into this telemetry."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.count(name, value)
-        for name, stats in snapshot.get("timers", {}).items():
-            current = self._timers.get(name)
-            if current is None:
-                self._timers[name] = [
-                    stats["count"], stats["total"], stats["min"], stats["max"],
-                ]
-            else:
-                current[0] += stats["count"]
-                current[1] += stats["total"]
-                current[2] = min(current[2], stats["min"])
-                current[3] = max(current[3], stats["max"])
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name, value)
-
-    def summary_lines(self) -> list[str]:
-        """Human-readable one-liners for the CLI footer."""
-        lines = []
-        executed = self.counter("units.executed")
-        resumed = self.counter("units.resumed")
-        lines.append(
-            f"units: {self.counter('units.total')} total, "
-            f"{executed} executed, {resumed} resumed from journal"
-        )
-        wall = self.timer("unit.wall")
-        if wall.count:
-            lines.append(
-                f"unit wall time: mean {wall.mean * 1000:.2f} ms, "
-                f"max {wall.max * 1000:.2f} ms"
-            )
-        queue = self.timer("unit.queue")
-        if queue.count:
-            lines.append(f"queue latency: mean {queue.mean * 1000:.2f} ms")
-        if "workers.utilization" in self._gauges:
-            lines.append(
-                f"workers: {self.gauge_value('workers.count'):.0f} "
-                f"({self.gauge_value('workers.utilization'):.0%} utilized)"
-            )
-        survived = self.counter("units.survived")
-        if executed or survived:
-            lines.append(f"survived: {survived}/{self.counter('units.finished')}")
-        return lines
 
 
 class ProgressReporter:
@@ -177,6 +57,27 @@ class ProgressReporter:
         self._last_emit = self._started
         self._done = 0
         self._emitted_done: int | None = None
+
+    @classmethod
+    def if_interactive(
+        cls,
+        total: int,
+        *,
+        quiet: bool = False,
+        stream: TextIO | None = None,
+        interval: float = 1.0,
+        label: str = "campaign",
+    ) -> "ProgressReporter | None":
+        """A reporter only when progress lines will reach a person.
+
+        Returns None when ``quiet`` is set or the stream is not a TTY
+        (redirected CI logs must not be flooded with progress lines).
+        """
+        target = stream if stream is not None else sys.stderr
+        isatty = getattr(target, "isatty", None)
+        if quiet or isatty is None or not isatty():
+            return None
+        return cls(total, stream=target, interval=interval, label=label)
 
     def update(self, done: int, *, resumed: int = 0, force: bool = False) -> None:
         """Report ``done`` completed units (emits only when due)."""

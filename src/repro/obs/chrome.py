@@ -1,0 +1,75 @@
+"""Chrome ``trace_event`` export: open a study run in Perfetto.
+
+:func:`chrome_trace` converts span records (the JSONL trace format) into
+the Trace Event JSON object format understood by ``chrome://tracing``
+and https://ui.perfetto.dev: one complete (``"ph": "X"``) event per
+span, microsecond timestamps rebased to the earliest span, one track per
+recording process.  Because span timestamps are CLOCK_MONOTONIC --
+system-wide on Linux -- parent and forked-worker spans land on one
+coherent timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _microseconds(seconds: float) -> float:
+    return round(seconds * 1_000_000, 3)
+
+
+def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Span records -> Chrome Trace Event Format (JSON object form).
+
+    Events are sorted by timestamp; ``ts`` is rebased so the earliest
+    span starts at 0 and every ``dur`` is non-negative.  Span ids,
+    parent ids, and attributes ride along in ``args`` so the original
+    hierarchy stays inspectable in the UI.
+    """
+    spans = [r for r in records if "start" in r and "end" in r]
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    epoch = min(r["start"] for r in spans)
+    events: list[dict[str, Any]] = []
+    pids = []
+    for record in spans:
+        pid = record.get("pid", 0)
+        if pid not in pids:
+            pids.append(pid)
+        args = dict(record.get("attrs", {}))
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        name = record.get("name", "span")
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(":", 1)[0],
+                "ph": "X",
+                "ts": _microseconds(record["start"] - epoch),
+                "dur": _microseconds(max(0.0, record["end"] - record["start"])),
+                "pid": pid,
+                "tid": pid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: (event["ts"], -event["dur"]))
+
+    # The dispatching process is the one that recorded the earliest span.
+    main_pid = pids and min(
+        (r["start"], r.get("pid", 0)) for r in spans
+    )[1]
+    for pid in sorted(pids):
+        label = "repro (main)" if pid == main_pid else f"repro worker {pid}"
+        events.insert(
+            0,
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": label},
+            },
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,275 @@
+"""Hierarchical trace spans with cross-process propagation.
+
+One ambient :class:`Tracer` per process (installed with
+:func:`install` / :func:`tracing`) turns :func:`span` calls into timed,
+parent-linked records.  When no tracer is installed -- the default --
+:func:`span` returns a shared no-op object and :func:`current_context`
+returns None, so instrumented hot paths cost one module-global check.
+
+Timestamps are ``time.monotonic()``.  On Linux that is CLOCK_MONOTONIC,
+which is system-wide, so spans recorded in forked pool workers are
+directly comparable with the parent's -- the Chrome exporter relies on
+this to draw one coherent timeline across processes.
+
+Cross-process propagation: the dispatching side captures
+:func:`current_context` (trace id + active span id) and serialises it
+with the work it ships to a worker.  The worker wraps execution in
+:func:`capture`, which (a) parents new spans under the dispatcher's span
+id and (b) buffers finished records in memory instead of writing to the
+fork-inherited sink.  The buffered records travel back in the worker's
+result and the dispatcher feeds them to the real sink with
+:func:`ingest` -- so a trace file has exactly one writer process, and
+worker-side spans still carry parent ids that link them under the
+dispatching span.
+
+Span ids embed the recording pid plus a per-process counter, so ids
+never collide across forked workers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import time
+import uuid
+from typing import Any, Iterator
+
+from repro.obs.sinks import MemorySink, NullSink
+
+#: Serialized span context: {"trace_id": str, "span_id": str | None}.
+SpanContext = dict[str, Any]
+
+_ACTIVE: "Tracer | None" = None
+
+
+class Span:
+    """One live span; becomes a record when its ``with`` block exits."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._new_span_id()
+        self.parent_id: str | None = None
+        self.start = 0.0
+        self.end = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.parent_id = self._tracer._current_span_id()
+        self._tracer._push(self.span_id)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.end = time.monotonic()
+        self._tracer._pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._emit(self.to_record())
+        return False
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-serialisable span record handed to sinks."""
+        record = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self._tracer.trace_id,
+            "start": self.start,
+            "end": self.end,
+            "pid": os.getpid(),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled-tracing path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Per-process span factory, stack, and sink.
+
+    Args:
+        sink: destination for finished span records (defaults to a
+            :class:`~repro.obs.sinks.NullSink`).
+        trace_id: run identity stamped on every record; generated when
+            omitted, inherited from the dispatcher inside
+            :meth:`capture`.
+    """
+
+    def __init__(self, sink: Any = None, *, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
+        self._sinks: list[Any] = [sink if sink is not None else NullSink()]
+        self._stack: list[str] = []
+        self._ids = itertools.count(1)
+
+    # -- span bookkeeping ---------------------------------------------- #
+
+    def _new_span_id(self) -> str:
+        # pid-qualified so ids from forked workers never collide.
+        return f"{os.getpid():x}-{next(self._ids):x}"
+
+    def _current_span_id(self) -> str | None:
+        return self._stack[-1] if self._stack else None
+
+    def _push(self, span_id: str) -> None:
+        self._stack.append(span_id)
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        self._sinks[-1].emit(record)
+
+    # -- public API ---------------------------------------------------- #
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span, parented under the currently active span."""
+        return Span(self, name, attrs)
+
+    def current_context(self) -> SpanContext:
+        """The serialisable context a dispatcher ships with its work."""
+        return {"trace_id": self.trace_id, "span_id": self._current_span_id()}
+
+    @contextlib.contextmanager
+    def capture(
+        self, parent: SpanContext | None = None
+    ) -> Iterator[list[dict[str, Any]]]:
+        """Buffer finished spans instead of sinking them.
+
+        Used on the worker side of a process boundary: spans opened
+        inside the block parent under ``parent`` (the dispatcher's
+        context) and their records accumulate in the yielded list, to be
+        shipped back and :meth:`ingest`-ed by the dispatcher.  Nested
+        captures (a node producer running an inline campaign) stack.
+        """
+        buffer = MemorySink()
+        self._sinks.append(buffer)
+        adopted = parent is not None and parent.get("span_id") is not None
+        previous_trace = self.trace_id
+        if adopted:
+            self._stack.append(parent["span_id"])
+            self.trace_id = parent.get("trace_id", previous_trace)
+        try:
+            yield buffer.records
+        finally:
+            self._sinks.pop()
+            if adopted:
+                self._stack.pop()
+                self.trace_id = previous_trace
+
+    def ingest(self, records: Any) -> None:
+        """Write already-finished records (a worker's capture) to the sink."""
+        for record in records:
+            self._emit(record)
+
+    def close(self) -> None:
+        """Close the root sink."""
+        self._sinks[0].close()
+
+
+# -- ambient tracer ---------------------------------------------------- #
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process's ambient tracer (returns it)."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Remove the ambient tracer (spans become no-ops again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_tracer() -> Tracer | None:
+    """The ambient tracer, or None when tracing is disabled."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """A span under the ambient tracer, or a shared no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+def current_context() -> SpanContext | None:
+    """The ambient tracer's dispatch context, or None when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.current_context()
+
+
+@contextlib.contextmanager
+def capture(parent: SpanContext | None) -> Iterator[Any]:
+    """Worker-side capture under the ambient tracer.
+
+    Yields the growing record list, or an empty tuple when tracing is
+    disabled (callers can always ``tuple()`` the yielded value).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        yield ()
+        return
+    with tracer.capture(parent) as records:
+        yield records
+
+
+def ingest(records: Any) -> None:
+    """Feed shipped-back worker records to the ambient tracer's sink."""
+    tracer = _ACTIVE
+    if tracer is not None and records:
+        tracer.ingest(records)
+
+
+@contextlib.contextmanager
+def tracing(sink_or_path: Any) -> Iterator[Tracer]:
+    """Install a tracer for the block; close its sink on the way out.
+
+    Args:
+        sink_or_path: a sink object, or a filesystem path that becomes a
+            :class:`~repro.obs.sinks.JsonlSink`.
+    """
+    global _ACTIVE
+    from repro.obs.sinks import JsonlSink
+
+    if isinstance(sink_or_path, (str, os.PathLike)):
+        sink = JsonlSink(sink_or_path)
+    else:
+        sink = sink_or_path
+    previous = _ACTIVE
+    tracer = Tracer(sink)
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+        tracer.close()

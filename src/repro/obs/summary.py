@@ -1,0 +1,137 @@
+"""Trace summaries: wall-time attribution from span records.
+
+:func:`summarize_trace` turns a list of span records into the numbers
+the ``repro trace summary`` CLI prints: per-phase and per-span-name
+wall-time aggregates, the top-N slowest spans, and *root coverage* --
+the fraction of the root span's wall time attributed to its direct
+children.  For a study run the root is ``study.run`` and its children
+are the ``wave`` spans, so coverage answers "how much of the scheduler's
+wall time do named spans account for?" (the acceptance bar is >= 95%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+
+def _duration(record: dict[str, Any]) -> float:
+    return max(0.0, record.get("end", 0.0) - record.get("start", 0.0))
+
+
+def _phase(name: str) -> str:
+    return name.split(":", 1)[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class NameStats:
+    """Aggregate wall time for one span name (or phase)."""
+
+    name: str
+    count: int
+    total_seconds: float
+    max_seconds: float
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """Everything ``repro trace summary`` renders.
+
+    Attributes:
+        spans: total span records in the trace.
+        processes: distinct recording pids.
+        root: the root span record (no parent; earliest start wins ties),
+            or None for an empty trace.
+        root_seconds: the root span's wall time.
+        coverage: fraction of the root's wall time covered by its direct
+            children (0.0 with no root or a zero-length root).
+        phases: per-phase aggregates (span name before the first ``:``),
+            sorted by total time descending.
+        names: per-full-name aggregates, sorted by total time descending.
+        slowest: the top-N span records by duration, longest first.
+    """
+
+    spans: int
+    processes: int
+    root: dict[str, Any] | None
+    root_seconds: float
+    coverage: float
+    phases: list[NameStats]
+    names: list[NameStats]
+    slowest: list[dict[str, Any]]
+
+    def phase_rows(self) -> list[list[Any]]:
+        """``[phase, spans, total ms, max ms]`` rows for the CLI."""
+        return [
+            [s.name, s.count, f"{s.total_seconds * 1000:.1f}",
+             f"{s.max_seconds * 1000:.1f}"]
+            for s in self.phases
+        ]
+
+    def name_rows(self, limit: int | None = None) -> list[list[Any]]:
+        """``[name, spans, total ms, max ms]`` rows for the CLI."""
+        names = self.names if limit is None else self.names[:limit]
+        return [
+            [s.name, s.count, f"{s.total_seconds * 1000:.1f}",
+             f"{s.max_seconds * 1000:.1f}"]
+            for s in names
+        ]
+
+    def slowest_rows(self) -> list[list[Any]]:
+        """``[name, wall ms, pid, parent]`` rows, longest span first."""
+        return [
+            [
+                record.get("name", "?"),
+                f"{_duration(record) * 1000:.1f}",
+                record.get("pid", "?"),
+                (record.get("parent_id") or "-"),
+            ]
+            for record in self.slowest
+        ]
+
+
+def _aggregate(records: list[dict[str, Any]], key) -> list[NameStats]:
+    totals: dict[str, list[float]] = {}
+    for record in records:
+        name = key(record.get("name", "?"))
+        duration = _duration(record)
+        stats = totals.setdefault(name, [0, 0.0, 0.0])
+        stats[0] += 1
+        stats[1] += duration
+        stats[2] = max(stats[2], duration)
+    return sorted(
+        (
+            NameStats(name=name, count=int(c), total_seconds=t, max_seconds=m)
+            for name, (c, t, m) in totals.items()
+        ),
+        key=lambda s: s.total_seconds,
+        reverse=True,
+    )
+
+
+def summarize_trace(
+    records: Iterable[dict[str, Any]], *, top: int = 10
+) -> TraceSummary:
+    """Aggregate span records into a :class:`TraceSummary`."""
+    spans = [r for r in records if "start" in r and "end" in r]
+    roots = [r for r in spans if not r.get("parent_id")]
+    root = min(roots, key=lambda r: r["start"]) if roots else None
+
+    root_seconds = _duration(root) if root else 0.0
+    coverage = 0.0
+    if root is not None and root_seconds > 0:
+        child_total = sum(
+            _duration(r) for r in spans if r.get("parent_id") == root["span_id"]
+        )
+        coverage = min(1.0, child_total / root_seconds)
+
+    return TraceSummary(
+        spans=len(spans),
+        processes=len({r.get("pid") for r in spans}),
+        root=root,
+        root_seconds=root_seconds,
+        coverage=coverage,
+        phases=_aggregate(spans, _phase),
+        names=_aggregate(spans, lambda name: name),
+        slowest=sorted(spans, key=_duration, reverse=True)[:top],
+    )

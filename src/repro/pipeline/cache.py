@@ -30,6 +30,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro import obs
+
 #: Cache format version, embedded in every payload for debuggability.
 CACHE_FORMAT_VERSION = 1
 
@@ -61,44 +63,49 @@ class ParseMineCache:
         Corrupt or unreadable entries are misses, never errors.
         """
         path = self._entry_path(digest, tag)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.misses += 1
-            return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("cache_format") != CACHE_FORMAT_VERSION
-        ):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload.get("data", {})
+        with obs.span("cache:load", tag=tag) as load_span:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                self.misses += 1
+                load_span.set(hit=False)
+                return None
+            if (
+                not isinstance(payload, dict)
+                or payload.get("cache_format") != CACHE_FORMAT_VERSION
+            ):
+                self.misses += 1
+                load_span.set(hit=False)
+                return None
+            self.hits += 1
+            load_span.set(hit=True)
+            return payload.get("data", {})
 
     def store(self, digest: str, tag: str, data: dict[str, Any]) -> Path:
         """Atomically write a payload for (digest, tag); returns its path."""
         path = self._entry_path(digest, tag)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "cache_format": CACHE_FORMAT_VERSION,
-            "digest": digest,
-            "tag": tag,
-            "data": data,
-        }
-        handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream, separators=(",", ":"))
-            os.replace(temp_name, path)
-        except BaseException:
+        with obs.span("cache:store", tag=tag):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "cache_format": CACHE_FORMAT_VERSION,
+                "digest": digest,
+                "tag": tag,
+                "data": data,
+            }
+            handle, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream, separators=(",", ":"))
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            return path
 
     def entry_paths(self, digest: str | None = None) -> list[Path]:
         """All entry files, optionally restricted to one archive digest."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from pathlib import Path
 
+from repro import obs
 from repro.bugdb.enums import Application
 from repro.corpus.loader import full_study
 from repro.corpus.studyspec import StudyCorpus
@@ -103,12 +104,15 @@ def mine_archive_text(
     mine_cache_hit = False
     parse_cache_hit = False
 
-    with telemetry.timed("pipeline.wall"):
+    with telemetry.timed("pipeline.wall"), obs.span(
+        f"pipeline:{application.value}", workers=workers
+    ) as pipeline_span:
         if cache is not None:
             telemetry.count("cache.lookups")
             payload = cache.load(digest, fmt.mine_tag)
             if payload is not None:
                 telemetry.count("cache.mine.hits")
+                pipeline_span.set(mine_cache_hit=True)
                 result = _records.result_from_payload(payload, fmt.item_from_dict)
                 return PipelineRun(
                     application=application,
@@ -127,6 +131,7 @@ def mine_archive_text(
             if payload is not None:
                 telemetry.count("cache.parse.hits")
                 parse_cache_hit = True
+                pipeline_span.set(parse_cache_hit=True)
                 with telemetry.timed("parse.decode"):
                     records = [
                         fmt.record_from_dict(data)
@@ -148,7 +153,9 @@ def mine_archive_text(
                         {"records": [fmt.record_to_dict(r) for r in records]},
                     )
 
-        with telemetry.timed("mine.wall"):
+        with telemetry.timed("mine.wall"), obs.span(
+            f"mine:{application.value}", records=len(records)
+        ):
             result = fmt.mine(records, index)
 
         if cache is not None:

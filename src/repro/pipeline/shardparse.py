@@ -23,6 +23,7 @@ import os
 import time
 from typing import Any
 
+from repro import obs
 from repro.bugdb.textindex import TextIndex
 from repro.harness.pool import UnitExecution, WorkerPool
 from repro.harness.shard import assemble_results, shard_count_for, shard_units
@@ -111,72 +112,83 @@ def parse_archive_sharded(
     for any worker count.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
-    started = time.monotonic()
-    chunks = fmt.split(text)
-    telemetry.observe("parse.split", time.monotonic() - started)
-    telemetry.count("parse.chunks", len(chunks))
+    with obs.span(
+        f"parse:{fmt.application.value}", workers=max(1, workers)
+    ) as parse_span:
+        started = time.monotonic()
+        chunks = fmt.split(text)
+        telemetry.observe("parse.split", time.monotonic() - started)
+        telemetry.count("parse.chunks", len(chunks))
+        parse_span.set(chunks=len(chunks))
 
-    pool = WorkerPool(max(1, workers))
-    if not pool.parallel or len(chunks) < 2:
-        records = [fmt.parse_record(chunk) for chunk in chunks]
-        index = _build_partial_index(fmt, records, 0)
+        pool = WorkerPool(max(1, workers))
+        if not pool.parallel or len(chunks) < 2:
+            records = [fmt.parse_record(chunk) for chunk in chunks]
+            index = _build_partial_index(fmt, records, 0)
+            wall = time.monotonic() - started
+            telemetry.observe("parse.wall", wall)
+            telemetry.gauge("parse.shards", 1)
+            telemetry.gauge("parse.worker_processes", 1)
+            telemetry.gauge("parse.shard_utilization", 1.0)
+            parse_span.set(shards=1)
+            return ParsedArchive(
+                records=records,
+                index=index,
+                shards=1,
+                workers=pool.workers,
+                worker_pids=(os.getpid(),),
+                wall_seconds=wall,
+            )
+
+        shards = shard_units(chunks, shard_count_for(len(chunks), pool.workers))
+        starts, offset = [], 0
+        for shard in shards:
+            starts.append(offset)
+            offset += len(shard)
+        units = [
+            WorkUnit.build(
+                KIND_PARSE_SHARD,
+                f"{fmt.application.value}:shard{position:05d}",
+                params={
+                    "shard": position,
+                    "start": starts[position],
+                    "chunks": len(shard),
+                },
+            )
+            for position, shard in enumerate(shards)
+        ]
+
+        executions: dict[str, UnitExecution] = {}
+
+        def on_unit(execution: UnitExecution) -> None:
+            executions[execution.key] = execution
+            telemetry.observe("parse.shard.wall", execution.wall_seconds)
+            telemetry.observe("parse.shard.queue", execution.queue_seconds)
+
+        pool.execute(units, _parse_shard_runner, (fmt, shards), on_unit=on_unit)
+        ordered = assemble_results(units, executions)
+
+        with obs.span("parse:merge", shards=len(shards)):
+            records = []
+            index = TextIndex() if fmt.index_text is not None else None
+            for execution in ordered:
+                records.extend(execution.result["records"])
+                if index is not None:
+                    index.merge(execution.result["index"])
+
+        pids = tuple(sorted({execution.worker_pid for execution in ordered}))
         wall = time.monotonic() - started
         telemetry.observe("parse.wall", wall)
-        telemetry.gauge("parse.shards", 1)
-        telemetry.gauge("parse.worker_processes", 1)
-        telemetry.gauge("parse.shard_utilization", 1.0)
-        return ParsedArchive(
+        telemetry.gauge("parse.shards", len(shards))
+        telemetry.gauge("parse.worker_processes", len(pids))
+        parse_span.set(shards=len(shards))
+        parsed = ParsedArchive(
             records=records,
             index=index,
-            shards=1,
+            shards=len(shards),
             workers=pool.workers,
-            worker_pids=(os.getpid(),),
+            worker_pids=pids,
             wall_seconds=wall,
         )
-
-    shards = shard_units(chunks, shard_count_for(len(chunks), pool.workers))
-    starts, offset = [], 0
-    for shard in shards:
-        starts.append(offset)
-        offset += len(shard)
-    units = [
-        WorkUnit.build(
-            KIND_PARSE_SHARD,
-            f"{fmt.application.value}:shard{position:05d}",
-            params={"shard": position, "start": starts[position], "chunks": len(shard)},
-        )
-        for position, shard in enumerate(shards)
-    ]
-
-    executions: dict[str, UnitExecution] = {}
-
-    def on_unit(execution: UnitExecution) -> None:
-        executions[execution.key] = execution
-        telemetry.observe("parse.shard.wall", execution.wall_seconds)
-        telemetry.observe("parse.shard.queue", execution.queue_seconds)
-
-    pool.execute(units, _parse_shard_runner, (fmt, shards), on_unit=on_unit)
-    ordered = assemble_results(units, executions)
-
-    records: list[Any] = []
-    index: TextIndex | None = TextIndex() if fmt.index_text is not None else None
-    for execution in ordered:
-        records.extend(execution.result["records"])
-        if index is not None:
-            index.merge(execution.result["index"])
-
-    pids = tuple(sorted({execution.worker_pid for execution in ordered}))
-    wall = time.monotonic() - started
-    telemetry.observe("parse.wall", wall)
-    telemetry.gauge("parse.shards", len(shards))
-    telemetry.gauge("parse.worker_processes", len(pids))
-    parsed = ParsedArchive(
-        records=records,
-        index=index,
-        shards=len(shards),
-        workers=pool.workers,
-        worker_pids=pids,
-        wall_seconds=wall,
-    )
-    telemetry.gauge("parse.shard_utilization", parsed.shard_utilization)
-    return parsed
+        telemetry.gauge("parse.shard_utilization", parsed.shard_utilization)
+        return parsed

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from repro import obs
 from repro.apps.faults import InjectedDefect
 from repro.apps.registry import make_application
 from repro.apps.workload import workload_for_fault
@@ -109,36 +110,41 @@ def run_replay_attempts(
         ``(triggered, survived, attempts_used)``; ``triggered`` is False
         only if the defect failed to fire on the first run.
     """
-    app = make_application(fault.application, env)
-    if race_window is None:
-        defect = InjectedDefect(fault)
-    else:
-        defect = InjectedDefect(fault, race_window=race_window)
-    app.injector.inject(defect)
-    defect.arm(env, app)
+    with obs.span(
+        f"replay:{fault.fault_id}", technique=technique.name
+    ) as replay_span:
+        app = make_application(fault.application, env)
+        if race_window is None:
+            defect = InjectedDefect(fault)
+        else:
+            defect = InjectedDefect(fault, race_window=race_window)
+        app.injector.inject(defect)
+        defect.arm(env, app)
 
-    workload = workload_for_fault(fault)
-    technique.prepare(app)
+        workload = workload_for_fault(fault)
+        technique.prepare(app)
 
-    try:
-        workload.run(app)
-    except ApplicationCrash:
-        pass
-    else:
-        return (False, True, 0)
-
-    survived = False
-    attempts_used = 0
-    for attempt in range(1, technique.max_attempts + 1):
-        attempts_used = attempt
-        technique.recover(app, attempt)
         try:
             workload.run(app)
         except ApplicationCrash:
-            continue
-        survived = True
-        break
-    return (True, survived, attempts_used)
+            pass
+        else:
+            replay_span.set(triggered=False, survived=True, attempts=0)
+            return (False, True, 0)
+
+        survived = False
+        attempts_used = 0
+        for attempt in range(1, technique.max_attempts + 1):
+            attempts_used = attempt
+            technique.recover(app, attempt)
+            try:
+                workload.run(app)
+            except ApplicationCrash:
+                continue
+            survived = True
+            break
+        replay_span.set(triggered=True, survived=survived, attempts=attempts_used)
+        return (True, survived, attempts_used)
 
 
 def replay_fault(

@@ -23,6 +23,7 @@ none of those import back (the CLI is the only caller above this layer).
 
 from repro.studygraph.artifact import ArtifactStore, artifact_digest, canonical_json
 from repro.studygraph.context import StudyContext
+from repro.studygraph.diff import DiffReport, NodeDiff, diff_caches
 from repro.studygraph.node import NodeSpec
 from repro.studygraph.registry import Registry, default_registry
 from repro.studygraph.scheduler import (
@@ -35,6 +36,8 @@ from repro.studygraph.scheduler import (
 
 __all__ = [
     "ArtifactStore",
+    "DiffReport",
+    "NodeDiff",
     "NodeRun",
     "NodeSpec",
     "Registry",
@@ -43,6 +46,7 @@ __all__ = [
     "artifact_digest",
     "canonical_json",
     "default_registry",
+    "diff_caches",
     "run_single_node",
     "run_study",
     "study_status",

@@ -29,8 +29,9 @@ import dataclasses
 import time
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.harness.engine import run_campaign
-from repro.harness.telemetry import Telemetry
+from repro.harness.telemetry import ProgressReporter, Telemetry
 from repro.harness.workunit import WorkUnit
 from repro.studygraph.artifact import (
     DATA_TAG,
@@ -138,7 +139,8 @@ def _node_runner(unit: WorkUnit, wave: _WaveContext) -> dict[str, Any]:
     node = wave.nodes[unit.fault_id]
     inputs = {dep: wave.inputs[dep] for dep in node.deps}
     started = time.monotonic()
-    payload = node.producer(wave.ctx, inputs, node.params_dict())
+    with obs.span(f"node:{node.name}", kind=node.kind):
+        payload = node.producer(wave.ctx, inputs, node.params_dict())
     wall = time.monotonic() - started
     return {
         "payload": payload,
@@ -168,7 +170,8 @@ def _make_store(
         node = registry.node(name)
         inputs = {dep: store.get(dep) for dep in node.deps}
         context.telemetry.count("studygraph.payload_rebuilds")
-        return node.producer(context, inputs, node.params_dict())
+        with obs.span(f"rebuild:{name}"):
+            return node.producer(context, inputs, node.params_dict())
 
     store = ArtifactStore(loader=load)
     return store
@@ -180,6 +183,7 @@ def run_study(
     nodes: Sequence[str] | None = None,
     outputs: Sequence[str] | None = None,
     registry: Registry | None = None,
+    progress: ProgressReporter | None = None,
 ) -> StudyRunResult:
     """Execute the study graph; see the module docstring for the story.
 
@@ -191,6 +195,8 @@ def run_study(
             (default: the targets).  Anything in the executed closure
             may be requested.
         registry: node registry (default: the full study graph).
+        progress: optional reporter driven once per wave (resolved nodes
+            out of the closure size).
 
     Returns:
         Per-node outcomes, requested payloads, and telemetry.
@@ -217,7 +223,9 @@ def run_study(
 
     waves = 0
     remaining = list(order)
-    with telemetry.timed("studygraph.wall"):
+    with telemetry.timed("studygraph.wall"), obs.span(
+        "study.run", nodes=len(order), targets=len(targets), workers=context.workers
+    ):
         while remaining:
             ready = [
                 name
@@ -230,68 +238,87 @@ def run_study(
                 )
             waves += 1
 
-            to_run: list[tuple[str, str]] = []
-            for name in ready:
-                node = node_map[name]
-                key = node.cache_digest({dep: digests[dep] for dep in node.deps})
-                meta = cache.load(key, META_TAG) if cache is not None else None
-                if (
-                    meta is not None
-                    and meta.get("memo_version") == MEMO_VERSION
-                    and "digest" in meta
-                ):
-                    digests[name] = meta["digest"]
-                    runs[name] = NodeRun(name, STATUS_CACHED, meta["digest"], key, 0.0)
-                    telemetry.count("studygraph.nodes.cached")
-                else:
-                    to_run.append((name, key))
-
-            if to_run:
-                needed = sorted(
-                    {dep for name, _ in to_run for dep in node_map[name].deps}
-                )
-                wave_ctx = _WaveContext(
-                    ctx=_worker_context(context),
-                    nodes=node_map,
-                    inputs=store.subset(tuple(needed)),
-                )
-                units = [
-                    WorkUnit.build(KIND_STUDYGRAPH, name, params={"key": key})
-                    for name, key in to_run
-                ]
-                keys = dict(to_run)
-                campaign = run_campaign(
-                    units,
-                    _node_runner,
-                    context=wave_ctx,
-                    workers=context.workers,
-                    telemetry=telemetry,
-                )
-                for unit, result in campaign.pairs():
-                    name = unit.fault_id
-                    payload = result["payload"]
-                    digest = result["digest"]
-                    store.put(name, payload)
-                    digests[name] = digest
-                    runs[name] = NodeRun(
-                        name, STATUS_EXECUTED, digest, keys[name],
-                        result["wall_seconds"],
+            with obs.span("wave", index=waves, ready=len(ready)) as wave_span:
+                to_run: list[tuple[str, str]] = []
+                for name in ready:
+                    node = node_map[name]
+                    key = node.cache_digest(
+                        {dep: digests[dep] for dep in node.deps}
                     )
-                    telemetry.count("studygraph.nodes.executed")
-                    if cache is not None:
-                        cache.store(keys[name], DATA_TAG, {"payload": payload})
-                        cache.store(
-                            keys[name],
-                            META_TAG,
-                            {
-                                "memo_version": MEMO_VERSION,
-                                "node": name,
-                                "digest": digest,
-                            },
+                    with obs.span(f"memo:{name}") as memo_span:
+                        meta = (
+                            cache.load(key, META_TAG) if cache is not None else None
                         )
+                        hit = (
+                            meta is not None
+                            and meta.get("memo_version") == MEMO_VERSION
+                            and "digest" in meta
+                        )
+                        memo_span.set(hit=hit)
+                    if hit:
+                        digests[name] = meta["digest"]
+                        runs[name] = NodeRun(
+                            name, STATUS_CACHED, meta["digest"], key,
+                            0.0,
+                        )
+                        telemetry.count("studygraph.nodes.cached")
+                    else:
+                        to_run.append((name, key))
+                wave_span.set(executed=len(to_run), cached=len(ready) - len(to_run))
+
+                if to_run:
+                    needed = sorted(
+                        {dep for name, _ in to_run for dep in node_map[name].deps}
+                    )
+                    wave_ctx = _WaveContext(
+                        ctx=_worker_context(context),
+                        nodes=node_map,
+                        inputs=store.subset(tuple(needed)),
+                    )
+                    units = [
+                        WorkUnit.build(KIND_STUDYGRAPH, name, params={"key": key})
+                        for name, key in to_run
+                    ]
+                    keys = dict(to_run)
+                    campaign = run_campaign(
+                        units,
+                        _node_runner,
+                        context=wave_ctx,
+                        workers=context.workers,
+                        telemetry=telemetry,
+                    )
+                    for unit, result in campaign.pairs():
+                        name = unit.fault_id
+                        payload = result["payload"]
+                        digest = result["digest"]
+                        store.put(name, payload)
+                        digests[name] = digest
+                        runs[name] = NodeRun(
+                            name, STATUS_EXECUTED, digest, keys[name],
+                            result["wall_seconds"],
+                        )
+                        telemetry.count("studygraph.nodes.executed")
+                        if cache is not None:
+                            cache.store(keys[name], DATA_TAG, {"payload": payload})
+                            cache.store(
+                                keys[name],
+                                META_TAG,
+                                {
+                                    "memo_version": MEMO_VERSION,
+                                    "node": name,
+                                    "digest": digest,
+                                    "wall_seconds": round(
+                                        result["wall_seconds"], 6
+                                    ),
+                                },
+                            )
 
             remaining = [name for name in remaining if name not in digests]
+            if progress is not None:
+                progress.update(len(digests))
 
+    if progress is not None:
+        progress.finish()
     ordered_runs = {name: runs[name] for name in order}
     return StudyRunResult(
         runs=ordered_runs,
@@ -356,7 +383,9 @@ def study_status(
     ``unknown`` when an upstream miss makes its key uncomputable.
 
     Returns:
-        ``[node, kind, state, digest-or-"-"]`` rows.
+        ``[node, kind, state, digest-or-"-", wall-ms-or-"-"]`` rows; the
+        wall column is the producer time recorded when the cached entry
+        was originally executed (cached-vs-executed cost at a glance).
     """
     registry = registry if registry is not None else default_registry()
     targets = list(nodes) if nodes is not None else [
@@ -368,7 +397,7 @@ def study_status(
     for name in order:
         node = registry.node(name)
         if any(dep not in digests for dep in node.deps):
-            rows.append([name, node.kind, "unknown", "-"])
+            rows.append([name, node.kind, "unknown", "-", "-"])
             continue
         key = node.cache_digest({dep: digests[dep] for dep in node.deps})
         meta = context.cache.load(key, META_TAG) if context.cache is not None else None
@@ -378,7 +407,16 @@ def study_status(
             and "digest" in meta
         ):
             digests[name] = meta["digest"]
-            rows.append([name, node.kind, "cached", meta["digest"][:12]])
+            wall = meta.get("wall_seconds")
+            rows.append(
+                [
+                    name,
+                    node.kind,
+                    "cached",
+                    meta["digest"][:12],
+                    f"{wall * 1000:.1f}" if wall is not None else "-",
+                ]
+            )
         else:
-            rows.append([name, node.kind, "missing", "-"])
+            rows.append([name, node.kind, "missing", "-", "-"])
     return rows

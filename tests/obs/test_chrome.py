@@ -1,0 +1,94 @@
+"""Chrome trace_event export and trace summaries."""
+
+import json
+
+from repro import obs
+from repro.obs import chrome_trace, summarize_trace
+from repro.obs.sinks import MemorySink
+
+
+def _toy_records():
+    sink = MemorySink()
+    with obs.tracing(sink):
+        with obs.span("study.run"):
+            with obs.span("wave", index=1):
+                with obs.span("unit:echo"):
+                    pass
+            with obs.span("wave", index=2):
+                pass
+    return sink.records
+
+
+def test_export_is_valid_json_with_one_event_per_span():
+    records = _toy_records()
+    payload = chrome_trace(records)
+    json.loads(json.dumps(payload))  # round-trips as plain JSON
+    events = payload["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(records)
+    assert len(metadata) == 1  # one recording process
+    assert metadata[0]["args"]["name"] == "repro (main)"
+    assert payload["displayTimeUnit"] == "ms"
+
+
+def test_ts_and_dur_are_rebased_microseconds():
+    records = _toy_records()
+    payload = chrome_trace(records)
+    complete = {
+        (e["name"], e["args"]["span_id"]): e
+        for e in payload["traceEvents"]
+        if e["ph"] == "X"
+    }
+    epoch = min(r["start"] for r in records)
+    for record in records:
+        event = complete[(record["name"], record["span_id"])]
+        expected_ts = (record["start"] - epoch) * 1_000_000
+        expected_dur = (record["end"] - record["start"]) * 1_000_000
+        assert abs(event["ts"] - expected_ts) < 0.01
+        assert abs(event["dur"] - expected_dur) < 0.01
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+    # Complete events are timestamp-sorted.
+    ts_values = [e["ts"] for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert ts_values == sorted(ts_values)
+
+
+def test_export_carries_hierarchy_in_args():
+    records = _toy_records()
+    by_name = {r["name"]: r for r in records if r["name"].startswith("unit")}
+    payload = chrome_trace(records)
+    [unit_event] = [
+        e for e in payload["traceEvents"] if e.get("name") == "unit:echo"
+    ]
+    assert unit_event["cat"] == "unit"
+    assert unit_event["args"]["span_id"] == by_name["unit:echo"]["span_id"]
+    assert unit_event["args"]["parent_id"] == by_name["unit:echo"]["parent_id"]
+
+
+def test_export_of_empty_trace():
+    assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+def test_summary_attribution_and_coverage():
+    records = _toy_records()
+    summary = summarize_trace(records, top=2)
+    assert summary.spans == 4
+    assert summary.processes == 1
+    assert summary.root["name"] == "study.run"
+    assert 0.0 < summary.coverage <= 1.0
+    phases = {stats.name for stats in summary.phases}
+    assert {"study.run", "wave", "unit"} <= phases
+    assert len(summary.slowest) == 2
+    assert summary.slowest[0]["name"] == "study.run"
+    wave = next(stats for stats in summary.phases if stats.name == "wave")
+    assert wave.count == 2
+    assert wave.total_seconds >= wave.max_seconds
+
+
+def test_summary_of_empty_trace():
+    summary = summarize_trace([])
+    assert summary.spans == 0
+    assert summary.root is None
+    assert summary.coverage == 0.0
+    assert summary.phases == []

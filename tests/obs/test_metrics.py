@@ -1,0 +1,89 @@
+"""Deterministic metrics merging, the fix for order-dependent gauges."""
+
+import itertools
+
+from repro.obs import LOCAL_SHARD, MetricsRegistry
+
+
+def _shard_snapshots():
+    """Three shard registries with distinct gauge values."""
+    snapshots = []
+    for index, utilization in ((0, 0.25), (1, 0.75), (2, 0.5)):
+        shard = MetricsRegistry(shard=f"shard{index:04d}")
+        shard.count("units.executed", index + 1)
+        shard.observe("unit.wall", 0.010 * (index + 1))
+        shard.gauge("workers.utilization", utilization)
+        snapshots.append(shard.snapshot())
+    return snapshots
+
+
+def test_merge_is_order_independent():
+    snapshots = _shard_snapshots()
+    baselines = None
+    for permutation in itertools.permutations(snapshots):
+        merged = MetricsRegistry()
+        for snapshot in permutation:
+            merged.merge(snapshot)
+        wall = merged.timer("unit.wall")
+        observed = (
+            merged.counter("units.executed"),
+            # Round the float sum: addition order may differ in the last ulp.
+            (wall.count, round(wall.total, 9), wall.min, wall.max),
+            merged.gauge_value("workers.utilization"),
+            merged.gauge_max("workers.utilization"),
+        )
+        if baselines is None:
+            baselines = observed
+        assert observed == baselines
+    assert baselines[0] == 6
+    assert baselines[1][0] == 3
+    # Last-by-shard-id: shard0002 wrote 0.5; keyed max is shard0001's 0.75.
+    assert baselines[2] == 0.5
+    assert baselines[3] == 0.75
+
+
+def test_gauge_value_is_last_write_within_a_shard():
+    registry = MetricsRegistry()
+    registry.gauge("depth", 3.0)
+    registry.gauge("depth", 7.0)
+    assert registry.gauge_value("depth") == 7.0
+    assert registry.gauge_shards("depth") == {LOCAL_SHARD: 7.0}
+
+
+def test_merge_accepts_legacy_snapshot_without_gauge_shards():
+    legacy = {
+        "counters": {"units.executed": 2},
+        "timers": {"unit.wall": {"count": 1, "total": 0.5, "min": 0.5, "max": 0.5}},
+        "gauges": {"workers.count": 4.0},
+    }
+    merged = MetricsRegistry()
+    merged.merge(legacy)
+    assert merged.counter("units.executed") == 2
+    assert merged.gauge_value("workers.count") == 4.0
+    assert merged.gauge_shards("workers.count") == {LOCAL_SHARD: 4.0}
+
+
+def test_timer_stats_combine_across_merges():
+    a, b = MetricsRegistry(shard="a"), MetricsRegistry(shard="b")
+    a.observe("wall", 0.2)
+    b.observe("wall", 0.6)
+    b.observe("wall", 0.4)
+    merged = MetricsRegistry()
+    merged.merge(a.snapshot())
+    merged.merge(b.snapshot())
+    stats = merged.timer("wall")
+    assert stats.count == 3
+    assert stats.min == 0.2
+    assert stats.max == 0.6
+    assert abs(stats.total - 1.2) < 1e-9
+    assert abs(stats.mean - 0.4) < 1e-9
+
+
+def test_snapshot_round_trips_through_merge():
+    source = MetricsRegistry(shard="shard0042")
+    source.count("hits", 5)
+    source.gauge("ratio", 0.9)
+    copy = MetricsRegistry()
+    copy.merge(source.snapshot())
+    assert copy.snapshot()["counters"] == {"hits": 5}
+    assert copy.gauge_shards("ratio") == {"shard0042": 0.9}

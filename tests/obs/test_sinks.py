@@ -1,0 +1,60 @@
+"""Sink behaviour, especially crash-truncation tolerance of JSONL traces."""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, read_trace
+
+
+def test_jsonl_sink_round_trips(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    sink.emit({"name": "a", "start": 1.0})
+    sink.emit({"name": "b", "start": 2.0})
+    sink.close()
+    assert sink.emitted == 2
+    records = read_trace(path)
+    assert [r["name"] for r in records] == ["a", "b"]
+
+
+def test_jsonl_sink_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "trace.jsonl"
+    sink = JsonlSink(path)
+    sink.emit({"name": "x"})
+    sink.close()
+    assert read_trace(path) == [{"name": "x"}]
+
+
+def test_read_trace_tolerates_truncated_tail(tmp_path):
+    """A crashed writer leaves a partial last line; reads keep the prefix."""
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    for index in range(3):
+        sink.emit({"name": f"span{index}"})
+    sink.close()
+    intact = path.read_text(encoding="utf-8")
+    # Chop the last line mid-record, as a crash mid-write would.
+    path.write_text(intact[: intact.rfind('"name"') + 3], encoding="utf-8")
+    records = read_trace(path)
+    assert [r["name"] for r in records] == ["span0", "span1"]
+
+
+def test_read_trace_stops_at_first_corrupt_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    lines = [json.dumps({"name": "good"}), "{not json", json.dumps({"name": "after"})]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    assert [r["name"] for r in read_trace(path)] == ["good"]
+
+
+def test_read_trace_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_trace(tmp_path / "nope.jsonl")
+
+
+def test_memory_sink_accumulates_in_order():
+    sink = MemorySink()
+    sink.emit({"n": 1})
+    sink.emit({"n": 2})
+    sink.close()
+    assert [r["n"] for r in sink.records] == [1, 2]

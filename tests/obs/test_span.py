@@ -1,0 +1,121 @@
+"""Span mechanics: nesting, parent links, attrs, the disabled path."""
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import MemorySink
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    """Every test starts and ends with tracing disabled."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def test_nested_spans_link_parent_ids():
+    sink = MemorySink()
+    with obs.tracing(sink):
+        with obs.span("outer") as outer:
+            with obs.span("middle") as middle:
+                with obs.span("inner:leaf") as inner:
+                    pass
+    by_name = {record["name"]: record for record in sink.records}
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["inner:leaf"]["parent_id"] == by_name["middle"]["span_id"]
+    # Emission order is close-order (inner first).
+    assert [r["name"] for r in sink.records] == ["inner:leaf", "middle", "outer"]
+    assert outer.span_id != middle.span_id != inner.span_id
+
+
+def test_sibling_spans_share_a_parent():
+    sink = MemorySink()
+    with obs.tracing(sink):
+        with obs.span("root") as root:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+    by_name = {record["name"]: record for record in sink.records}
+    assert by_name["a"]["parent_id"] == root.span_id
+    assert by_name["b"]["parent_id"] == root.span_id
+
+
+def test_records_carry_monotonic_window_and_trace_id():
+    sink = MemorySink()
+    with obs.tracing(sink) as tracer:
+        with obs.span("timed", flavor="x"):
+            pass
+    [record] = sink.records
+    assert record["end"] >= record["start"] > 0
+    assert record["trace_id"] == tracer.trace_id
+    assert record["attrs"] == {"flavor": "x"}
+
+
+def test_set_updates_attrs_on_live_span():
+    sink = MemorySink()
+    with obs.tracing(sink):
+        with obs.span("work", hit=False) as span:
+            span.set(hit=True, items=3)
+    [record] = sink.records
+    assert record["attrs"] == {"hit": True, "items": 3}
+
+
+def test_exception_records_error_attr_and_propagates():
+    sink = MemorySink()
+    with obs.tracing(sink):
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("nope")
+    [record] = sink.records
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_disabled_tracing_returns_shared_noop():
+    assert obs.active_tracer() is None
+    first = obs.span("anything", attr=1)
+    second = obs.span("else")
+    assert first is second  # the shared no-op singleton
+    with first as span:
+        span.set(ignored=True)
+    assert obs.current_context() is None
+
+
+def test_tracing_restores_previous_tracer():
+    outer_sink, inner_sink = MemorySink(), MemorySink()
+    with obs.tracing(outer_sink) as outer:
+        with obs.tracing(inner_sink) as inner:
+            assert obs.active_tracer() is inner
+            with obs.span("inner-only"):
+                pass
+        assert obs.active_tracer() is outer
+        with obs.span("outer-only"):
+            pass
+    assert obs.active_tracer() is None
+    assert [r["name"] for r in inner_sink.records] == ["inner-only"]
+    assert [r["name"] for r in outer_sink.records] == ["outer-only"]
+
+
+def test_capture_adopts_parent_and_buffers():
+    sink = MemorySink()
+    with obs.tracing(sink):
+        with obs.span("dispatch") as dispatch:
+            parent = obs.current_context()
+            with obs.capture(parent) as captured:
+                with obs.span("worker-side"):
+                    pass
+            assert [r["name"] for r in captured] == ["worker-side"]
+            assert captured[0]["parent_id"] == dispatch.span_id
+            # Buffered, not sunk.
+            assert sink.records == []
+            obs.ingest(captured)
+        names = [r["name"] for r in sink.records]
+    assert names == ["worker-side", "dispatch"]
+
+
+def test_capture_without_tracer_yields_empty():
+    with obs.capture({"trace_id": "t", "span_id": "s"}) as captured:
+        assert tuple(captured) == ()
+    obs.ingest([])  # no tracer: a no-op, not an error

@@ -1,0 +1,118 @@
+"""Cache-diff semantics on a toy graph.
+
+Payload drift is synthesised by registering *different producers* under
+the same node identity (name, version, params): the memo keys agree, so
+both caches resolve the node, but the output digests differ -- exactly
+the "same declared code, different behaviour" case the diff exists to
+catch.  Downstream nodes then report inherited drift because their memo
+keys chain through the drifted digest.
+"""
+
+from repro.studygraph.context import StudyContext
+from repro.studygraph.diff import (
+    STATE_ABSENT,
+    STATE_INHERITED_DRIFT,
+    STATE_MATCH,
+    STATE_ONLY_A,
+    STATE_ONLY_B,
+    STATE_PAYLOAD_DRIFT,
+    diff_caches,
+)
+from repro.studygraph.node import KIND_ARTIFACT, NodeSpec
+from repro.studygraph.registry import Registry
+from repro.studygraph.scheduler import run_study
+
+
+def _root(ctx, inputs, params):
+    return {"value": 3}
+
+
+def _root_drifted(ctx, inputs, params):
+    return {"value": 4}
+
+
+def _double(ctx, inputs, params):
+    return {"value": inputs["root"]["value"] * 2}
+
+
+def _indep(ctx, inputs, params):
+    return {"n": 5}
+
+
+def _registry(root_producer=_root):
+    return Registry(
+        [
+            NodeSpec.build("root", root_producer, kind=KIND_ARTIFACT),
+            NodeSpec.build("double", _double, deps=("root",)),
+            NodeSpec.build("indep", _indep),
+        ]
+    )
+
+
+def _populate(cache_dir, *, nodes, registry=None):
+    registry = registry if registry is not None else _registry()
+    run_study(
+        StudyContext.default(cache_dir=cache_dir),
+        nodes=nodes,
+        registry=registry,
+    )
+
+
+def test_identical_runs_diff_clean(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    _populate(a, nodes=["double", "indep"])
+    _populate(b, nodes=["double", "indep"])
+    report = diff_caches(a, b, nodes=["double", "indep"], registry=_registry())
+    assert report.clean
+    assert {node.state for node in report.nodes} == {STATE_MATCH}
+    assert all(node.wall_a is not None for node in report.nodes)
+
+
+def test_payload_drift_and_inherited_drift(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    _populate(a, nodes=["double"])
+    _populate(b, nodes=["double"], registry=_registry(_root_drifted))
+    report = diff_caches(a, b, nodes=["double"], registry=_registry())
+    states = {node.name: node.state for node in report.nodes}
+    assert states == {
+        "root": STATE_PAYLOAD_DRIFT,
+        "double": STATE_INHERITED_DRIFT,
+    }
+    assert not report.clean
+    assert {node.name for node in report.drifted} == {"root", "double"}
+    root = next(node for node in report.nodes if node.name == "root")
+    assert root.digest_a != root.digest_b
+
+
+def test_one_sided_and_absent_nodes(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    _populate(a, nodes=["double"])
+    _populate(b, nodes=["indep"])
+    report = diff_caches(
+        a, b, nodes=["double", "indep"], registry=_registry()
+    )
+    states = {node.name: node.state for node in report.nodes}
+    assert states["root"] == STATE_ONLY_A
+    assert states["double"] == STATE_ONLY_A
+    assert states["indep"] == STATE_ONLY_B
+    assert not report.clean
+
+
+def test_empty_caches_are_absent_not_drifted(tmp_path):
+    report = diff_caches(
+        tmp_path / "a", tmp_path / "b", nodes=["double"], registry=_registry()
+    )
+    assert {node.state for node in report.nodes} == {STATE_ABSENT}
+    assert report.clean  # nothing resolvable disagrees
+
+
+def test_rows_render_digest_prefixes_and_deltas(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    _populate(a, nodes=["indep"])
+    _populate(b, nodes=["indep"])
+    report = diff_caches(a, b, nodes=["indep"], registry=_registry())
+    [row] = report.rows()
+    assert row[0] == "indep"
+    assert row[2] == STATE_MATCH
+    assert len(row[3]) == 12 and row[3] == row[4]
+    assert row[5] == "-" or row[5][0] in "+-"

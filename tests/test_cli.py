@@ -299,3 +299,85 @@ class TestGoldenOutputs:
             "EI range across apps               | 72%-87%\n"
             "transient range across apps        | 5%-14% \n"
         )
+
+
+class TestTraceAndDiffCommands:
+    """The observability surface: study run --trace, trace, study diff."""
+
+    def _traced_run(self, tmp_path, capsys, name="a"):
+        cache = str(tmp_path / f"cache-{name}")
+        trace = str(tmp_path / f"{name}.trace")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", cache,
+            "--trace", trace, "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        return cache, trace
+
+    def test_traced_run_writes_a_loadable_trace(self, capsys, tmp_path):
+        _, trace = self._traced_run(tmp_path, capsys)
+        records = json_lines(trace)
+        names = {record["name"] for record in records}
+        assert "study.run" in names
+        assert any(name.startswith("node:") for name in names)
+
+    def test_trace_summary(self, capsys, tmp_path):
+        _, trace = self._traced_run(tmp_path, capsys)
+        assert main(["trace", "summary", trace, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "root span" in out and "study.run" in out
+        assert "root coverage" in out
+        assert "Wall time by phase" in out
+        assert "Slowest 3 spans" in out
+
+    def test_trace_export_is_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        _, trace = self._traced_run(tmp_path, capsys)
+        out_path = str(tmp_path / "trace.json")
+        assert main(["trace", "export", trace, "--out", out_path]) == 0
+        assert "events" in capsys.readouterr().out
+        with open(out_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+        assert all("ph" in event for event in payload["traceEvents"])
+
+    def test_trace_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace file"):
+            main(["trace", "summary", str(tmp_path / "nope.trace")])
+
+    def test_study_diff_clean_between_identical_runs(self, capsys, tmp_path):
+        cache_a, _ = self._traced_run(tmp_path, capsys, "a")
+        cache_b, _ = self._traced_run(tmp_path, capsys, "b")
+        assert main(["study", "diff", cache_a, cache_b, "--nodes", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+        assert "match" in out
+
+    def test_study_diff_empty_vs_populated_exits_nonzero(self, capsys, tmp_path):
+        cache_a, _ = self._traced_run(tmp_path, capsys, "a")
+        empty = str(tmp_path / "cache-empty")
+        assert main(["study", "diff", cache_a, empty, "--nodes", "T1"]) == 1
+        out = capsys.readouterr().out
+        assert "only-a" in out
+        assert "drifted" in out
+
+    def test_quiet_suppresses_progress(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache-q")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", cache, "--quiet",
+        ]) == 0
+        assert "study:" not in capsys.readouterr().err
+
+    def test_campaign_quiet_flag(self, capsys):
+        assert main(["campaign", "run", "--limit", "1", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "Campaign replay over 1 study faults" in captured.out
+        assert "campaign" not in captured.err
+
+
+def json_lines(path):
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
