@@ -1,0 +1,109 @@
+"""Live monitoring overhead: a monitored study run must cost < 5%.
+
+``repro study run --live`` hooks a :class:`repro.obs.RunMonitor` into
+the scheduler and the campaign dispatcher; every dispatch and completion
+updates in-memory counters, and snapshot writes are throttled to the
+monitor's interval.  That whole path has the same budget as enabled
+tracing: less than 5% wall time over an unmonitored run on a
+stall-bound study -- and, like tracing, it must never change a payload
+(the monitor sees names and wall times, never unit content).
+
+Same stall-bound setup as the tracing benchmark: every node behind a
+fixed simulated stall, archives at reduced scale.
+"""
+
+import dataclasses
+import functools
+import json
+import time
+
+from repro import obs
+from repro.studygraph import StudyContext, default_registry, run_study
+from repro.studygraph.registry import Registry
+
+#: Simulated per-node stall (process spawn / archive I/O) in seconds.
+STALL_SECONDS = 0.08
+
+#: Reduced archive scales: the stall, not the parse, must dominate.
+SCALE_OVERRIDES = {
+    "parsed.apache": {"scale": 300},
+    "parsed.mysql": {"scale": 800},
+}
+
+#: Enabled-monitoring wall-time budget over the unmonitored run.
+OVERHEAD_BUDGET = 0.05
+
+
+def _stalled(producer, ctx, inputs, params):
+    """One real producer behind a fixed stall (module-level for fork)."""
+    time.sleep(STALL_SECONDS)
+    return producer(ctx, inputs, params)
+
+
+def _stalled_registry():
+    return Registry(
+        dataclasses.replace(
+            node, producer=functools.partial(_stalled, node.producer)
+        )
+        for node in default_registry().with_overrides(SCALE_OVERRIDES).nodes()
+    )
+
+
+def _run(registry, monitor=None):
+    return run_study(StudyContext.default(), registry=registry, monitor=monitor)
+
+
+def test_bench_monitoring_overhead(benchmark, tmp_path):
+    registry = _stalled_registry()
+    snapshot_path = tmp_path / "live.json"
+
+    # Interleave plain/monitored pairs so drift in machine load hits both.
+    plain_walls, monitored_walls = [], []
+    plain = monitored = None
+    for _ in range(2):
+        started = time.perf_counter()
+        plain = _run(registry)
+        plain_walls.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        monitored = _run(registry, monitor=obs.RunMonitor(snapshot_path))
+        monitored_walls.append(time.perf_counter() - started)
+
+    # Monitoring must never change a payload.
+    assert monitored.outputs == plain.outputs
+    for name, run in plain.runs.items():
+        assert monitored.runs[name].digest == run.digest, (
+            f"digest drift at {name}"
+        )
+
+    plain_wall = min(plain_walls)
+    monitored_wall = min(monitored_walls)
+    overhead = monitored_wall / plain_wall - 1.0
+    assert overhead < OVERHEAD_BUDGET, (
+        f"live monitoring must cost < {OVERHEAD_BUDGET:.0%} on a stall-bound "
+        f"study run, measured {overhead:.1%} "
+        f"({plain_wall:.3f}s -> {monitored_wall:.3f}s)"
+    )
+
+    # The snapshot the overhead paid for must describe the finished run.
+    snapshot = obs.read_snapshot(snapshot_path)
+    assert snapshot is not None, "monitor never wrote its snapshot"
+    assert snapshot["state"] == "finished"
+    assert snapshot["done"] == snapshot["total"] == len(monitored.runs)
+    assert not snapshot["in_flight"]
+    # And it must be real JSON on disk (the watch CLI reads this file).
+    with open(snapshot_path, encoding="utf-8") as handle:
+        assert json.load(handle)["state"] == "finished"
+
+    def _monitored_run():
+        return _run(registry, monitor=obs.RunMonitor(tmp_path / "round.json"))
+
+    benchmark.pedantic(_monitored_run, rounds=2, iterations=1)
+    benchmark.extra_info["wall_seconds"] = {
+        "plain_serial": round(plain_wall, 4),
+        "monitored_serial": round(monitored_wall, 4),
+    }
+    benchmark.extra_info["overhead"] = (
+        f"{overhead:+.2%} with dispatch/completion hooks and throttled "
+        "atomic snapshot writes"
+    )

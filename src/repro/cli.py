@@ -4,11 +4,19 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
 
     repro study run --workers 4   # every experiment, parallel + memoized
     repro study run --trace run.trace --workers 4   # same, traced
+    repro study run --live live.json --perfdb perf.jsonl   # monitored + recorded
+    repro study watch live.json   # refreshing status line for a live run
     repro study status            # per-node memo state, nothing executed
+    repro study status --trace run.trace   # plus traced wall-ms per node
     repro study diff cache-a cache-b   # node-by-node digest drift report
     repro study graph             # the node catalog and its edges
-    repro trace summary run.trace # wall-time attribution from a trace
+    repro trace summary run.trace --flame   # attribution + ASCII icicle
     repro trace export run.trace --out run.json   # chrome://tracing JSON
+    repro trace export run.trace --format folded --out run.folded
+    repro trace export run.trace --format speedscope --out run.speedscope.json
+    repro perf record --db perf.jsonl --trace run.trace   # append to history
+    repro perf report --db perf.jsonl   # longitudinal per-node view
+    repro perf check --db perf.jsonl    # gate vs rolling baseline (exit 1)
     repro table apache            # Table 1 / 2 / 3
     repro figure gnome            # Figure 1 / 2 / 3 (ASCII)
     repro aggregate               # Section 5.4 numbers
@@ -305,6 +313,33 @@ def _study_cache_dir(args: argparse.Namespace) -> str | None:
     return None if args.no_cache else args.cache_dir
 
 
+def _record_study_run(
+    result: Any, context: Any, registry: Any, *, workers: int
+) -> Any:
+    """Build the perfdb record for one completed ``study run``."""
+    from repro import obs
+
+    nodes = {}
+    for name, run in result.runs.items():
+        nodes[name] = obs.NodePerf(
+            wall_seconds=run.wall_seconds,
+            status=run.status,
+            version=registry.node(name).version,
+        )
+    counters: dict[str, float] = {
+        "nodes.executed": result.executed,
+        "nodes.cached": result.cached,
+        "waves": result.waves,
+    }
+    if context.cache is not None:
+        stats = context.cache.stats()
+        counters["cache.hits"] = stats["hits"]
+        counters["cache.misses"] = stats["misses"]
+    return obs.PerfRecord.new(
+        nodes, source="study-run", workers=workers, counters=counters
+    )
+
+
 def _cmd_study_run(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -323,6 +358,7 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     )
     nodes = _study_nodes(args)
     registry = default_registry()
+    monitor = obs.RunMonitor(args.live) if args.live else None
     try:
         targets = nodes if nodes is not None else [
             node.name for node in registry.experiments()
@@ -340,6 +376,7 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
                 progress=ProgressReporter.if_interactive(
                     len(closure), quiet=args.quiet, label="study"
                 ),
+                monitor=monitor,
             )
     except GraphError as exc:
         raise SystemExit(str(exc)) from None
@@ -355,10 +392,147 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
         print(line)
     if args.trace:
         print(f"trace: {args.trace}")
+    if args.live:
+        print(f"live snapshot: {args.live}")
+    if args.perfdb:
+        record = _record_study_run(result, context, registry, workers=args.workers)
+        obs.PerfDB(args.perfdb).append(record)
+        print(
+            f"perfdb: recorded {len(record.nodes)} node(s) as run "
+            f"{record.run_id} -> {args.perfdb}"
+        )
     if args.show:
         print()
         print(result.output_text(args.show))
     return 0
+
+
+def _cmd_study_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro import obs
+
+    history = None
+    if args.perfdb:
+        history = obs.node_medians(obs.PerfDB(args.perfdb).read()) or None
+    deadline = time.monotonic() + args.timeout if args.timeout else None
+    while True:
+        snapshot = obs.read_snapshot(args.snapshot)
+        print(
+            obs.render_watch_line(
+                snapshot, history=history, stale_after=args.stale_after
+            ),
+            flush=True,
+        )
+        if snapshot is not None and snapshot.get("state") == "finished":
+            return 0
+        if args.once:
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            print("watch timed out before the run finished", file=sys.stderr)
+            return 1
+        time.sleep(args.interval)
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    db = obs.PerfDB(args.db)
+
+    if args.perf_command == "record":
+        from repro.studygraph import StudyContext, default_registry, memo_walls
+
+        try:
+            records = obs.read_trace(args.trace)
+        except FileNotFoundError:
+            raise SystemExit(f"no trace file at {args.trace!r}") from None
+        if not records:
+            raise SystemExit(f"no trace records in {args.trace!r}")
+        versions = {
+            node.name: node.version for node in default_registry().nodes()
+        }
+        memo = {}
+        if args.cache_dir:
+            memo = memo_walls(StudyContext.default(cache_dir=args.cache_dir))
+        record = obs.record_from_trace(
+            records, versions=versions, memo_walls=memo, label=args.label
+        )
+        if not record.nodes:
+            raise SystemExit(
+                f"trace {args.trace!r} has no node:* spans to record"
+            )
+        db.append(record)
+        traced = sum(1 for p in record.nodes.values() if p.status == "traced")
+        print(
+            f"recorded run {record.run_id} ({traced} traced node(s), "
+            f"{len(record.nodes) - traced} from memo META, git {record.git_sha[:10]}) "
+            f"-> {args.db}"
+        )
+        return 0
+
+    records = db.read()
+    if args.perf_command == "report":
+        if not records:
+            print(f"perf history {args.db} is empty")
+            return 0
+        print(
+            format_table(
+                ["run", "recorded at", "git", "source", "workers", "nodes", "total s"],
+                obs.perfdb.run_rows(records, limit=args.runs),
+                title=f"Perf history: {len(records)} run(s) in {args.db}",
+            )
+        )
+        print(
+            format_table(
+                ["node", "ver", "runs", "latest ms", "median ms", "best ms", "vs median"],
+                obs.perfdb.report_rows(records),
+                title="Per-node history (measured runs only)",
+            )
+        )
+        return 0
+
+    # check
+    latest, regressions = obs.check_regressions(
+        records,
+        window=args.window,
+        tolerance=args.tolerance,
+        min_seconds=args.min_ms / 1000.0,
+    )
+    if latest is None:
+        print(f"perf history {args.db} is empty; nothing to check")
+        return 0
+    baseline_runs = sum(
+        1 for record in records[:-1] if record.source == latest.source
+    )
+    if not regressions:
+        print(
+            f"no regressions: run {latest.run_id} vs a "
+            f"{min(baseline_runs, args.window)}-run baseline window "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+        return 0
+    print(
+        format_table(
+            ["node", "baseline ms", "latest ms", "ratio", "samples"],
+            [
+                [
+                    r.node,
+                    f"{r.baseline_seconds * 1000:.1f}",
+                    f"{r.latest_seconds * 1000:.1f}",
+                    f"{r.ratio:.2f}x",
+                    r.samples,
+                ]
+                for r in regressions
+            ],
+            title=f"PERF REGRESSION: run {latest.run_id} vs median of "
+            f"{min(baseline_runs, args.window)} baseline run(s), "
+            f"tolerance {args.tolerance:.0%}",
+        )
+    )
+    if args.warn_only:
+        print("warn-only mode: not failing the check")
+        return 0
+    return 1
 
 
 def _cmd_study_diff(args: argparse.Namespace) -> int:
@@ -398,16 +572,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "summary":
         summary = obs.summarize_trace(records, top=args.top)
         root_name = summary.root.get("name", "?") if summary.root else "-"
+        fields = [
+            ["spans", summary.spans],
+            ["processes", summary.processes],
+            ["root span", root_name],
+            ["root wall ms", f"{summary.root_seconds * 1000:.1f}"],
+            ["root coverage", f"{summary.coverage:.1%}"],
+        ]
+        if summary.orphaned:
+            fields.append(["orphaned spans", summary.orphaned])
         print(
             format_table(
                 ["field", "value"],
-                [
-                    ["spans", summary.spans],
-                    ["processes", summary.processes],
-                    ["root span", root_name],
-                    ["root wall ms", f"{summary.root_seconds * 1000:.1f}"],
-                    ["root coverage", f"{summary.coverage:.1%}"],
-                ],
+                fields,
                 title=f"Trace summary: {args.path}",
             )
         )
@@ -425,9 +602,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 title=f"Slowest {len(summary.slowest)} spans",
             )
         )
+        if args.flame:
+            print()
+            print(
+                obs.render_icicle(
+                    records, width=args.flame_width, max_depth=args.flame_depth
+                )
+            )
         return 0
 
     # export
+    if args.format == "folded":
+        text = obs.format_folded(records)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(text.splitlines())} folded stacks to {args.out} "
+            "(feed to flamegraph.pl or speedscope)"
+        )
+        return 0
+    if args.format == "speedscope":
+        payload = obs.speedscope_document(records, name=args.path)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        print(
+            f"wrote {len(payload['profiles'])} profile(s), "
+            f"{len(payload['shared']['frames'])} frames to {args.out} "
+            "(load at https://www.speedscope.app)"
+        )
+        return 0
     payload = obs.chrome_trace(records)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, separators=(",", ":"))
@@ -444,13 +647,26 @@ def _cmd_study_status(args: argparse.Namespace) -> int:
 
     cache_dir = _study_cache_dir(args)
     context = StudyContext.default(cache_dir=cache_dir)
+    trace_records = None
+    if getattr(args, "trace", None):
+        from repro import obs
+
+        try:
+            trace_records = obs.read_trace(args.trace)
+        except FileNotFoundError:
+            raise SystemExit(f"no trace file at {args.trace!r}") from None
     try:
-        rows = study_status(context, nodes=_study_nodes(args))
+        rows = study_status(
+            context, nodes=_study_nodes(args), trace_records=trace_records
+        )
     except GraphError as exc:
         raise SystemExit(str(exc)) from None
+    headers = ["node", "kind", "state", "digest", "wall ms"]
+    if trace_records is not None:
+        headers.append("traced ms")
     print(
         format_table(
-            ["node", "kind", "state", "digest", "wall ms"],
+            headers,
             rows,
             title=f"Study memo status ({cache_dir or 'cache disabled'})",
         )
@@ -660,7 +876,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress progress output (auto-suppressed when stderr is not a TTY)",
     )
+    study_run.add_argument(
+        "--live", default=None, metavar="PATH",
+        help="write an atomic live-status snapshot here (see 'repro study watch')",
+    )
+    study_run.add_argument(
+        "--perfdb", default=None, metavar="PATH",
+        help="append this run's per-node wall times to a perf history JSONL",
+    )
     study_run.set_defaults(func=_cmd_study_run)
+
+    study_watch = study_sub.add_parser(
+        "watch", help="refreshing status line for a run started with --live"
+    )
+    study_watch.add_argument("snapshot", help="snapshot file written by --live")
+    study_watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default 1.0)",
+    )
+    study_watch.add_argument(
+        "--once", action="store_true",
+        help="print one status line and exit",
+    )
+    study_watch.add_argument(
+        "--perfdb", default=None, metavar="PATH",
+        help="perf history used to estimate per-node ETAs",
+    )
+    study_watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit 1) if the run has not finished by then",
+    )
+    study_watch.add_argument(
+        "--stale-after", type=float, default=30.0, metavar="SECONDS",
+        help="flag the snapshot as stale past this age (default 30)",
+    )
+    study_watch.set_defaults(func=_cmd_study_watch)
 
     study_status_cmd = study_sub.add_parser(
         "status", help="per-node memo state (nothing is executed)"
@@ -676,6 +926,10 @@ def build_parser() -> argparse.ArgumentParser:
     study_status_cmd.add_argument(
         "--no-cache", action="store_true",
         help="report against a disabled cache (every node shows missing)",
+    )
+    study_status_cmd.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="join per-node wall time from this trace into the table",
     )
     study_status_cmd.set_defaults(func=_cmd_study_status)
 
@@ -707,17 +961,95 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument(
         "--top", type=int, default=10, help="how many slowest spans to list"
     )
+    trace_summary.add_argument(
+        "--flame", action="store_true",
+        help="render an ASCII icicle (caller-over-callee flame view)",
+    )
+    trace_summary.add_argument(
+        "--flame-width", type=int, default=80, metavar="COLS",
+        help="icicle width in columns (default 80)",
+    )
+    trace_summary.add_argument(
+        "--flame-depth", type=int, default=6, metavar="N",
+        help="deepest stack level to render (default 6)",
+    )
     trace_summary.set_defaults(func=_cmd_trace)
 
     trace_export = trace_sub.add_parser(
-        "export", help="convert a trace to Chrome trace_event JSON"
+        "export", help="convert a trace to chrome / folded-stack / speedscope form"
     )
     trace_export.add_argument("path", help="trace JSONL file")
     trace_export.add_argument(
         "--out", required=True, metavar="PATH",
-        help="output JSON file (load in chrome://tracing or Perfetto)",
+        help="output file",
+    )
+    trace_export.add_argument(
+        "--format", choices=("chrome", "folded", "speedscope"), default="chrome",
+        help="chrome trace_event JSON (default), Brendan Gregg folded "
+        "stacks, or a speedscope profile document",
     )
     trace_export.set_defaults(func=_cmd_trace)
+
+    perf = subparsers.add_parser(
+        "perf", help="trace-backed perf history: record runs, report, gate regressions"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_record = perf_sub.add_parser(
+        "record", help="append one traced run's per-node wall times to the history"
+    )
+    perf_record.add_argument(
+        "--db", required=True, metavar="PATH",
+        help="perf history JSONL (created if missing)",
+    )
+    perf_record.add_argument(
+        "--trace", required=True, metavar="PATH",
+        help="span trace recorded with 'study run --trace'",
+    )
+    perf_record.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="also record memoized nodes' original wall times from this memo cache",
+    )
+    perf_record.add_argument(
+        "--label", default=None,
+        help="free-form label stored with the run (e.g. a branch name)",
+    )
+    perf_record.set_defaults(func=_cmd_perf)
+
+    perf_report = perf_sub.add_parser(
+        "report", help="run log plus longitudinal per-node timing table"
+    )
+    perf_report.add_argument(
+        "--db", required=True, metavar="PATH", help="perf history JSONL"
+    )
+    perf_report.add_argument(
+        "--runs", type=int, default=10, help="how many recent runs to list"
+    )
+    perf_report.set_defaults(func=_cmd_perf)
+
+    perf_check = perf_sub.add_parser(
+        "check", help="gate the latest run against a rolling baseline (exit 1 on regression)"
+    )
+    perf_check.add_argument(
+        "--db", required=True, metavar="PATH", help="perf history JSONL"
+    )
+    perf_check.add_argument(
+        "--window", type=int, default=3,
+        help="baseline window: median of up to N prior runs (default 3)",
+    )
+    perf_check.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed slowdown over the baseline median (default 0.25 = 25%%)",
+    )
+    perf_check.add_argument(
+        "--min-ms", type=float, default=1.0,
+        help="ignore nodes faster than this in every sample (default 1.0 ms)",
+    )
+    perf_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 (CI soak-in mode)",
+    )
+    perf_check.set_defaults(func=_cmd_perf)
 
     return parser
 

@@ -80,6 +80,7 @@ def run_campaign(
     resume: bool = True,
     telemetry: Telemetry | None = None,
     progress: ProgressReporter | None = None,
+    heartbeat: Any = None,
 ) -> CampaignResult:
     """Execute a campaign; see the module docstring for the full story.
 
@@ -97,6 +98,11 @@ def run_campaign(
         telemetry: accumulate into an existing instance (a fresh one is
             created otherwise).
         progress: optional progress reporter to drive.
+        heartbeat: optional live monitor (e.g. :class:`repro.obs.
+            RunMonitor`) driven as the dispatcher submits and drains
+            units: ``campaign_started``/``dispatched``/``completed``/
+            ``campaign_finished``.  Monitoring never touches unit
+            content, results, or the journal.
 
     Returns:
         The result stream in submission order plus telemetry.
@@ -153,7 +159,14 @@ def run_campaign(
         done[0] += 1
         if progress is not None:
             progress.update(done[0], resumed=resumed)
+        if heartbeat is not None:
+            heartbeat.completed(
+                by_key[execution.key].fault_id,
+                wall_seconds=execution.wall_seconds,
+            )
 
+    if heartbeat is not None:
+        heartbeat.campaign_started(total=len(pending), resumed=resumed)
     try:
         with obs.span(
             "campaign",
@@ -161,10 +174,18 @@ def run_campaign(
             resumed=resumed,
             workers=pool.workers if pool.parallel else 1,
         ):
-            pool.execute(pending, runner, context, on_unit=on_unit)
+            pool.execute(
+                pending,
+                runner,
+                context,
+                on_unit=on_unit,
+                on_dispatch=heartbeat.dispatched if heartbeat is not None else None,
+            )
     finally:
         if writer is not None:
             writer.close()
+        if heartbeat is not None:
+            heartbeat.campaign_finished()
 
     span = time.monotonic() - started
     if pending and span > 0:

@@ -132,12 +132,18 @@ class WorkerPool:
         context: Any,
         *,
         on_unit: Callable[[UnitExecution], None],
+        on_dispatch: Callable[[Sequence[WorkUnit]], None] | None = None,
     ) -> None:
         """Run every unit, invoking ``on_unit`` as each completes.
 
         Serial execution preserves unit order; parallel execution
         completes in scheduling order.  Callers must therefore key any
         state they accumulate by ``UnitExecution.key`` (the engine does).
+
+        ``on_dispatch`` (if given) fires in the dispatching process as
+        units are handed to workers -- per unit on the serial path, per
+        shard at submission on the parallel path -- so live monitors can
+        track which units are in flight between dispatch and completion.
         """
         if not units:
             return
@@ -153,9 +159,13 @@ class WorkerPool:
 
         trace_parent = obs.current_context()
         if not self.parallel:
-            self._execute_serial(units, runner, context, deliver, trace_parent)
+            self._execute_serial(
+                units, runner, context, deliver, trace_parent, on_dispatch
+            )
         else:
-            self._execute_parallel(units, runner, context, deliver, trace_parent)
+            self._execute_parallel(
+                units, runner, context, deliver, trace_parent, on_dispatch
+            )
 
     def _execute_serial(
         self,
@@ -164,6 +174,7 @@ class WorkerPool:
         context: Any,
         on_unit: Callable[[UnitExecution], None],
         trace_parent: dict[str, Any] | None,
+        on_dispatch: Callable[[Sequence[WorkUnit]], None] | None,
     ) -> None:
         global _RUNTIME
         previous = _RUNTIME
@@ -173,6 +184,8 @@ class WorkerPool:
             # One unit at a time so completions reach the caller (and the
             # journal) before a later unit can fail the campaign.
             for unit in units:
+                if on_dispatch is not None:
+                    on_dispatch([unit])
                 for execution in _execute_shard([unit], submitted, trace_parent):
                     on_unit(execution)
         finally:
@@ -185,6 +198,7 @@ class WorkerPool:
         context: Any,
         on_unit: Callable[[UnitExecution], None],
         trace_parent: dict[str, Any] | None,
+        on_dispatch: Callable[[Sequence[WorkUnit]], None] | None,
     ) -> None:
         global _RUNTIME
         previous = _RUNTIME
@@ -196,12 +210,15 @@ class WorkerPool:
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context("fork"),
             ) as executor:
-                futures = [
-                    executor.submit(
-                        _execute_shard, shard, time.monotonic(), trace_parent
+                futures = []
+                for shard in shards:
+                    if on_dispatch is not None:
+                        on_dispatch(shard)
+                    futures.append(
+                        executor.submit(
+                            _execute_shard, shard, time.monotonic(), trace_parent
+                        )
                     )
-                    for shard in shards
-                ]
                 for future in concurrent.futures.as_completed(futures):
                     for execution in future.result():
                         on_unit(execution)

@@ -20,7 +20,14 @@ report into:
 * :mod:`~repro.obs.chrome` -- Chrome ``trace_event`` export, loadable
   in ``chrome://tracing`` / Perfetto;
 * :mod:`~repro.obs.summary` -- wall-time attribution for ``repro trace
-  summary``.
+  summary``;
+* :mod:`~repro.obs.flame` -- folded stacks, ASCII icicles, and
+  speedscope export (``repro trace summary --flame`` / ``repro trace
+  export --format folded|speedscope``);
+* :mod:`~repro.obs.perfdb` -- the append-only JSONL perf history with
+  rolling-baseline regression gating (``repro perf record|report|check``);
+* :mod:`~repro.obs.livestatus` -- atomic heartbeat snapshots and the
+  ``repro study watch`` renderer for live run monitoring.
 
 **Zero overhead by default**: with no tracer installed, :func:`span`
 returns a shared no-op object and :func:`current_context` returns None;
@@ -32,7 +39,31 @@ every other subsystem may instrument itself freely.
 """
 
 from repro.obs.chrome import chrome_trace
+from repro.obs.flame import (
+    ORPHAN_FRAME,
+    fold_stacks,
+    format_folded,
+    parse_folded,
+    render_icicle,
+    speedscope_document,
+)
+from repro.obs.livestatus import (
+    RunMonitor,
+    eta_seconds,
+    read_snapshot,
+    render_watch_line,
+    write_snapshot,
+)
 from repro.obs.metrics import LOCAL_SHARD, MetricsRegistry, TimerStats
+from repro.obs.perfdb import (
+    NodePerf,
+    PerfDB,
+    PerfRecord,
+    Regression,
+    check_regressions,
+    node_medians,
+    record_from_trace,
+)
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, read_trace
 from repro.obs.span import (
     Span,
@@ -46,7 +77,12 @@ from repro.obs.span import (
     tracing,
     uninstall,
 )
-from repro.obs.summary import NameStats, TraceSummary, summarize_trace
+from repro.obs.summary import (
+    ORPHAN_PHASE,
+    NameStats,
+    TraceSummary,
+    summarize_trace,
+)
 
 __all__ = [
     "JsonlSink",
@@ -54,20 +90,39 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NameStats",
+    "NodePerf",
     "NullSink",
+    "ORPHAN_FRAME",
+    "ORPHAN_PHASE",
+    "PerfDB",
+    "PerfRecord",
+    "Regression",
+    "RunMonitor",
     "Span",
     "TimerStats",
     "TraceSummary",
     "Tracer",
     "active_tracer",
     "capture",
+    "check_regressions",
     "chrome_trace",
     "current_context",
+    "eta_seconds",
+    "fold_stacks",
+    "format_folded",
     "ingest",
     "install",
+    "node_medians",
+    "parse_folded",
+    "read_snapshot",
     "read_trace",
+    "record_from_trace",
+    "render_icicle",
+    "render_watch_line",
     "span",
+    "speedscope_document",
     "summarize_trace",
     "tracing",
     "uninstall",
+    "write_snapshot",
 ]

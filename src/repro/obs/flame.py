@@ -1,0 +1,283 @@
+"""Flame output: folded stacks, ASCII icicles, and speedscope export.
+
+Span records already form a caller/callee tree (parent ids link every
+span under its dispatching span, across process boundaries).  This
+module folds that tree into the three flame representations the
+``repro trace`` CLI serves:
+
+* :func:`fold_stacks` / :func:`format_folded` -- Brendan-Gregg folded
+  stacks (``root;wave;node:T1 1234``), one line per unique root-to-span
+  path with the span's *self* time (wall time not covered by child
+  spans) in integer microseconds.  Output is sorted, so the same trace
+  always folds to byte-identical text;
+* :func:`render_icicle` -- a top-down ASCII icicle for ``repro trace
+  summary --flame``: the root span occupies the full configured width
+  and every descendant's bar is positioned and sized by its share of
+  the root's wall time;
+* :func:`speedscope_document` -- the speedscope JSON file format
+  (https://www.speedscope.app/file-format-schema.json), one evented
+  profile per recording process, loadable at https://speedscope.app.
+
+Orphaned spans -- records whose parent was lost to a truncated trace --
+are rooted under a synthetic :data:`ORPHAN_FRAME` so their time stays
+visible instead of silently vanishing (mirroring ``summarize_trace``'s
+``(orphaned)`` phase).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+#: Synthetic frame adopting spans whose parent record is missing.
+ORPHAN_FRAME = "(orphaned)"
+
+
+def _duration(record: dict[str, Any]) -> float:
+    return max(0.0, record.get("end", 0.0) - record.get("start", 0.0))
+
+
+@dataclasses.dataclass
+class _Node:
+    """One span in the reconstructed caller/callee tree."""
+
+    record: dict[str, Any]
+    children: list["_Node"] = dataclasses.field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record.get("name", "?")
+
+    @property
+    def start(self) -> float:
+        return self.record.get("start", 0.0)
+
+    @property
+    def end(self) -> float:
+        return self.record.get("end", 0.0)
+
+    @property
+    def seconds(self) -> float:
+        return _duration(self.record)
+
+
+def build_tree(
+    records: Iterable[dict[str, Any]],
+) -> tuple[list[_Node], list[_Node]]:
+    """Reconstruct the span tree: ``(roots, orphans)``.
+
+    Roots are spans with no parent id; orphans are spans whose parent id
+    points at a record missing from the trace (the truncated-trace
+    case).  Children are sorted by start time, then span id, so the tree
+    -- and everything folded from it -- is deterministic.
+    """
+    spans = [r for r in records if "start" in r and "end" in r]
+    nodes = {r["span_id"]: _Node(r) for r in spans if "span_id" in r}
+    roots: list[_Node] = []
+    orphans: list[_Node] = []
+    for record in spans:
+        node = nodes.get(record.get("span_id"))
+        if node is None:  # span without an id: treat as its own root
+            roots.append(_Node(record))
+            continue
+        parent_id = record.get("parent_id")
+        if not parent_id:
+            roots.append(node)
+        elif parent_id in nodes:
+            nodes[parent_id].children.append(node)
+        else:
+            orphans.append(node)
+    order = lambda n: (n.start, str(n.record.get("span_id", "")))  # noqa: E731
+    for node in nodes.values():
+        node.children.sort(key=order)
+    roots.sort(key=order)
+    orphans.sort(key=order)
+    return roots, orphans
+
+
+def fold_stacks(
+    records: Iterable[dict[str, Any]],
+) -> list[tuple[tuple[str, ...], float]]:
+    """Fold span records into ``(stack, self_seconds)`` pairs.
+
+    Each pair is a root-to-span name path and the span's *self* time:
+    its wall time minus the wall time of its direct children (clamped at
+    zero, so overlapping child clocks never go negative).  Identical
+    stacks (same-named siblings, repeated waves) merge by summing.
+    Orphaned spans fold under a leading :data:`ORPHAN_FRAME` frame.
+    Pairs come back sorted by stack, so folding is deterministic.
+    """
+    roots, orphans = build_tree(records)
+    totals: dict[tuple[str, ...], float] = {}
+
+    def walk(node: _Node, prefix: tuple[str, ...]) -> None:
+        stack = prefix + (node.name,)
+        child_seconds = sum(child.seconds for child in node.children)
+        self_seconds = max(0.0, node.seconds - child_seconds)
+        totals[stack] = totals.get(stack, 0.0) + self_seconds
+        for child in node.children:
+            walk(child, stack)
+
+    for root in roots:
+        walk(root, ())
+    for orphan in orphans:
+        walk(orphan, (ORPHAN_FRAME,))
+    return sorted(totals.items())
+
+
+def format_folded(records: Iterable[dict[str, Any]]) -> str:
+    """Folded-stacks text: ``frame;frame;frame <microseconds>`` lines.
+
+    Values are integer microseconds; zero-self-time stacks are kept (a
+    pure dispatcher frame is still part of the hierarchy).  The same
+    trace always formats to byte-identical text.
+    """
+    lines = [
+        f"{';'.join(stack)} {int(round(seconds * 1_000_000))}"
+        for stack, seconds in fold_stacks(records)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_folded(text: str) -> list[tuple[tuple[str, ...], int]]:
+    """Parse folded-stacks text back into ``(stack, microseconds)`` pairs.
+
+    The inverse of :func:`format_folded` (used by the round-trip tests
+    and anyone feeding the export into flamegraph.pl-style tooling).
+    Malformed lines are skipped.
+    """
+    pairs: list[tuple[tuple[str, ...], int]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack_text, _, value = line.rpartition(" ")
+        if not stack_text:
+            continue
+        try:
+            pairs.append((tuple(stack_text.split(";")), int(value)))
+        except ValueError:
+            continue
+    return pairs
+
+
+def render_icicle(
+    records: Iterable[dict[str, Any]],
+    *,
+    width: int = 80,
+    max_depth: int = 6,
+) -> str:
+    """An ASCII icicle of the span tree, one row per depth.
+
+    The root span's bar spans exactly ``width`` columns -- the full bar
+    *is* the root's wall time -- and each descendant occupies the
+    columns matching its start/end offsets within the root.  Bars start
+    with ``|``, carry the (truncated) span name, and pad with ``-``.
+    Sub-column spans collapse into a bare ``|`` tick.
+    """
+    spans = [r for r in records if "start" in r and "end" in r]
+    roots, _ = build_tree(spans)
+    if not roots:
+        return "(empty trace: nothing to render)"
+    root = min(roots, key=lambda n: (n.start, str(n.record.get("span_id", ""))))
+    root_seconds = root.seconds
+    header = (
+        f"icicle: {width} cols = {root_seconds * 1000:.1f} ms "
+        f"(root {root.name})"
+    )
+    if root_seconds <= 0:
+        return header + "\n(zero-length root: nothing to render)"
+
+    def column(moment: float) -> int:
+        offset = (moment - root.start) / root_seconds
+        return max(0, min(width, int(round(offset * width))))
+
+    rows: list[str] = []
+    level = [root]
+    for _depth in range(max_depth):
+        if not level:
+            break
+        cells = [" "] * width
+        cursor = 0
+        for node in level:
+            lo = max(column(node.start), cursor)
+            hi = max(column(node.end), lo + 1)
+            if lo >= width:
+                break
+            hi = min(hi, width)
+            label = ("|" + node.name)[: hi - lo]
+            bar = label + "-" * (hi - lo - len(label))
+            cells[lo:hi] = list(bar)
+            cursor = hi
+        rows.append("".join(cells).rstrip())
+        level = [child for node in level for child in node.children]
+    return "\n".join([header] + rows)
+
+
+def speedscope_document(
+    records: Iterable[dict[str, Any]],
+    *,
+    name: str = "repro trace",
+) -> dict[str, Any]:
+    """Span records -> a speedscope JSON document.
+
+    One ``evented`` profile per recording process (ordered by pid), all
+    sharing one frame table.  Timestamps rebase to the earliest span and
+    stay in seconds; child intervals are clamped inside their parent so
+    the open/close events are always well nested, which the speedscope
+    importer requires.  Spans whose parent lives in another process (the
+    cross-process propagation case) open a new top-level stack in their
+    own process's profile.
+    """
+    spans = [r for r in records if "start" in r and "end" in r]
+    frame_names = sorted({r.get("name", "?") for r in spans})
+    frame_index = {frame: i for i, frame in enumerate(frame_names)}
+    document: dict[str, Any] = {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": [{"name": frame} for frame in frame_names]},
+        "profiles": [],
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro.obs.flame",
+    }
+    if not spans:
+        return document
+
+    epoch = min(r["start"] for r in spans)
+    by_pid: dict[int, list[dict[str, Any]]] = {}
+    for record in spans:
+        by_pid.setdefault(record.get("pid", 0), []).append(record)
+
+    for pid in sorted(by_pid):
+        pid_spans = by_pid[pid]
+        roots, orphans = build_tree(pid_spans)
+        events: list[dict[str, Any]] = []
+        end_value = 0.0
+
+        def emit(node: _Node, lo: float, hi: float) -> None:
+            nonlocal end_value
+            start = min(max(node.start, lo), hi)
+            end = min(max(node.end, start), hi)
+            end_value = max(end_value, end - epoch)
+            index = frame_index[node.name]
+            events.append({"type": "O", "frame": index, "at": start - epoch})
+            for child in node.children:
+                emit(child, start, end)
+            events.append({"type": "C", "frame": index, "at": end - epoch})
+
+        for top in sorted(
+            roots + orphans,
+            key=lambda n: (n.start, str(n.record.get("span_id", ""))),
+        ):
+            emit(top, top.start, max(top.end, top.start))
+        document["profiles"].append(
+            {
+                "type": "evented",
+                "name": f"pid {pid}",
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": end_value,
+                "events": events,
+            }
+        )
+    return document

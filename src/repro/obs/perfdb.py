@@ -1,0 +1,517 @@
+"""The perf history database: append-only, trace-backed, gated.
+
+Every traced run so far threw its numbers away when the process exited;
+this module is where they accrue instead.  A :class:`PerfDB` is one
+JSONL file of :class:`PerfRecord`\\ s -- per-node wall seconds, cache
+hit/miss counters, and worker counts, keyed by node version tags and
+the recording git SHA -- written append-only with one flushed line per
+run, so a crashed writer can lose at most its own in-flight record and
+:meth:`PerfDB.read` tolerates the truncated tail (the same crash-safety
+stance as the harness journal and the JSONL trace sink).
+
+On top of the history sit the two consumers:
+
+* :func:`check_regressions` -- ``repro perf check``'s engine: the
+  latest run's per-node wall seconds against the median of a rolling
+  baseline window (same node, same version tag, same source), flagging
+  anything slower than ``median * (1 + tolerance)``;
+* :func:`node_history` / :func:`node_medians` -- the longitudinal view
+  ``repro perf report`` renders and ``repro study watch`` uses for
+  ETAs.
+
+Longitudinal fault/perf studies (*Faults in Linux 2.6*, the multi-fault
+repository analyses) draw their conclusions from trends, not snapshots;
+this is the same lens pointed at the reproduction's own performance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import json
+import os
+import statistics
+import subprocess
+import uuid
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+#: Perf record format version (bump on incompatible shape changes).
+PERFDB_VERSION = 1
+
+#: Environment override for the recording git SHA (tests, CI).
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+
+#: Node statuses a record can carry.
+STATUS_EXECUTED = "executed"  # producer ran; wall measured worker-side
+STATUS_CACHED = "cached"  # memo hit; wall is the recorded historical one
+STATUS_TRACED = "traced"  # wall taken from a node:* span in a trace
+STATUS_BENCH = "benchmark"  # wall is a pytest-benchmark timing
+
+
+def git_sha() -> str:
+    """The recording git SHA: env override, then ``git rev-parse HEAD``.
+
+    Falls back to ``"unknown"`` outside a git checkout -- a perfdb must
+    stay usable from an exported tarball.
+    """
+    override = os.environ.get(GIT_SHA_ENV)
+    if override:
+        return override
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = probe.stdout.strip()
+    return sha if probe.returncode == 0 and sha else "unknown"
+
+
+def utc_timestamp() -> str:
+    """The current UTC time as an ISO-8601 string."""
+    return _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-digit run id."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodePerf:
+    """One node's timing inside one recorded run.
+
+    Attributes:
+        wall_seconds: producer (or benchmark) wall time.
+        status: how the number was obtained (see the STATUS_* constants).
+        version: the node's version tag at recording time; regression
+            checks only compare runs whose tags match.
+    """
+
+    wall_seconds: float
+    status: str = STATUS_EXECUTED
+    version: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "status": self.status,
+        }
+        if self.version is not None:
+            data["version"] = self.version
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodePerf":
+        return cls(
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            status=str(data.get("status", STATUS_EXECUTED)),
+            version=data.get("version"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfRecord:
+    """One run's perf snapshot: the unit the history accumulates.
+
+    Attributes:
+        run_id: unique id for this record.
+        recorded_at: ISO-8601 UTC timestamp.
+        git_sha: the recording checkout's HEAD (or ``"unknown"``).
+        source: what produced the numbers (``"study-run"``, ``"trace"``,
+            ``"benchmark"``); checks never compare across sources.
+        workers: worker processes the run used.
+        trace_id: the originating trace's id, when there was one.
+        nodes: per-node timings.
+        counters: run-level counters (cache hits/misses, node counts).
+        label: free-form annotation (``--label`` on ``perf record``).
+    """
+
+    run_id: str
+    recorded_at: str
+    git_sha: str
+    source: str
+    workers: int
+    nodes: dict[str, NodePerf]
+    counters: dict[str, float] = dataclasses.field(default_factory=dict)
+    trace_id: str | None = None
+    label: str | None = None
+
+    @classmethod
+    def new(
+        cls,
+        nodes: Mapping[str, NodePerf],
+        *,
+        source: str,
+        workers: int = 1,
+        counters: Mapping[str, float] | None = None,
+        trace_id: str | None = None,
+        label: str | None = None,
+        sha: str | None = None,
+    ) -> "PerfRecord":
+        """A record stamped with a fresh id, timestamp, and git SHA."""
+        return cls(
+            run_id=new_run_id(),
+            recorded_at=utc_timestamp(),
+            git_sha=sha if sha is not None else git_sha(),
+            source=source,
+            workers=workers,
+            nodes=dict(nodes),
+            counters=dict(counters or {}),
+            trace_id=trace_id,
+            label=label,
+        )
+
+    def total_wall_seconds(self) -> float:
+        """Sum of every node's wall seconds in this record."""
+        return sum(perf.wall_seconds for perf in self.nodes.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "perfdb_version": PERFDB_VERSION,
+            "run_id": self.run_id,
+            "recorded_at": self.recorded_at,
+            "git_sha": self.git_sha,
+            "source": self.source,
+            "workers": self.workers,
+            "nodes": {
+                name: self.nodes[name].to_dict() for name in sorted(self.nodes)
+            },
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+        }
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+        if self.label is not None:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PerfRecord":
+        return cls(
+            run_id=str(data.get("run_id", "")),
+            recorded_at=str(data.get("recorded_at", "")),
+            git_sha=str(data.get("git_sha", "unknown")),
+            source=str(data.get("source", "unknown")),
+            workers=int(data.get("workers", 1)),
+            nodes={
+                str(name): NodePerf.from_dict(perf)
+                for name, perf in data.get("nodes", {}).items()
+                if isinstance(perf, Mapping)
+            },
+            counters={
+                str(name): float(value)
+                for name, value in data.get("counters", {}).items()
+            },
+            trace_id=data.get("trace_id"),
+            label=data.get("label"),
+        )
+
+
+class PerfDB:
+    """One append-only JSONL perf history file.
+
+    Appends open the file per call in append mode and flush one complete
+    line, so concurrent recorders interleave whole records and a crashed
+    writer truncates at most its own line -- which :meth:`read` skips.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: PerfRecord) -> None:
+        """Append one record as a single flushed JSON line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), separators=(",", ":"), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(line + "\n")
+            stream.flush()
+
+    def read(self) -> list[PerfRecord]:
+        """Every readable record, oldest first.
+
+        A truncated or corrupt tail ends the read without raising;
+        records with a different format version are skipped.
+        """
+        records: list[PerfRecord] = []
+        try:
+            stream = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        with stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                if (
+                    isinstance(data, dict)
+                    and data.get("perfdb_version") == PERFDB_VERSION
+                ):
+                    records.append(PerfRecord.from_dict(data))
+        return records
+
+    def runs(self, *, source: str | None = None) -> list[PerfRecord]:
+        """Records, optionally restricted to one source."""
+        records = self.read()
+        if source is None:
+            return records
+        return [record for record in records if record.source == source]
+
+
+# -- building records from traces --------------------------------------- #
+
+
+def record_from_trace(
+    trace_records: Iterable[dict[str, Any]],
+    *,
+    versions: Mapping[str, str] | None = None,
+    memo_walls: Mapping[str, float] | None = None,
+    label: str | None = None,
+    sha: str | None = None,
+) -> PerfRecord:
+    """Build a :class:`PerfRecord` from span records.
+
+    Per-node wall seconds come from ``node:*`` spans (summed across
+    repeats); cache hit/miss counters from ``memo:*`` and ``cache:*``
+    span attributes; workers and trace id from the root span.
+    ``memo_walls`` adds nodes the traced run satisfied from the memo
+    cache, carrying the historical wall seconds their META entry
+    recorded.  ``versions`` stamps each node's version tag so later
+    regression checks compare like with like.
+    """
+    spans = [r for r in trace_records if "start" in r and "end" in r]
+    versions = dict(versions or {})
+
+    nodes: dict[str, NodePerf] = {}
+    counters: dict[str, float] = {}
+    workers = 1
+    trace_id = None
+
+    roots = [r for r in spans if not r.get("parent_id")]
+    if roots:
+        root = min(roots, key=lambda r: r["start"])
+        trace_id = root.get("trace_id")
+        attrs = root.get("attrs", {})
+        try:
+            workers = int(attrs.get("workers", 1))
+        except (TypeError, ValueError):
+            workers = 1
+
+    walls: dict[str, float] = {}
+    for record in spans:
+        name = record.get("name", "")
+        seconds = max(0.0, record.get("end", 0.0) - record.get("start", 0.0))
+        attrs = record.get("attrs", {})
+        if name.startswith("node:"):
+            node = name[len("node:"):]
+            walls[node] = walls.get(node, 0.0) + seconds
+        elif name.startswith("memo:"):
+            key = "memo.hits" if attrs.get("hit") else "memo.misses"
+            counters[key] = counters.get(key, 0) + 1
+        elif name.startswith("cache:load"):
+            key = "cache.hits" if attrs.get("hit") else "cache.misses"
+            counters[key] = counters.get(key, 0) + 1
+
+    for node, seconds in walls.items():
+        nodes[node] = NodePerf(
+            wall_seconds=seconds,
+            status=STATUS_TRACED,
+            version=versions.get(node),
+        )
+    for node, seconds in (memo_walls or {}).items():
+        if node not in nodes:
+            nodes[node] = NodePerf(
+                wall_seconds=seconds,
+                status=STATUS_CACHED,
+                version=versions.get(node),
+            )
+
+    return PerfRecord.new(
+        nodes,
+        source="trace",
+        workers=workers,
+        counters=counters,
+        trace_id=trace_id,
+        label=label,
+        sha=sha,
+    )
+
+
+# -- history views ------------------------------------------------------- #
+
+#: Statuses whose wall seconds describe an actual fresh execution.
+_MEASURED = (STATUS_EXECUTED, STATUS_TRACED, STATUS_BENCH)
+
+
+def node_history(
+    records: Iterable[PerfRecord],
+    *,
+    version_of: Mapping[str, str] | None = None,
+) -> dict[str, list[tuple[PerfRecord, NodePerf]]]:
+    """Measured samples per node, oldest first.
+
+    Only fresh executions count -- memo hits replay an old number and
+    would flatten any trend.  With ``version_of``, samples whose version
+    tag disagrees with the current one are dropped (a version bump
+    deliberately resets a node's history).
+    """
+    history: dict[str, list[tuple[PerfRecord, NodePerf]]] = {}
+    for record in records:
+        for name, perf in record.nodes.items():
+            if perf.status not in _MEASURED:
+                continue
+            if version_of is not None and perf.version is not None:
+                if version_of.get(name, perf.version) != perf.version:
+                    continue
+            history.setdefault(name, []).append((record, perf))
+    return history
+
+
+def node_medians(records: Iterable[PerfRecord]) -> dict[str, float]:
+    """Median measured wall seconds per node (the ETA model)."""
+    return {
+        name: statistics.median(perf.wall_seconds for _, perf in samples)
+        for name, samples in node_history(records).items()
+        if samples
+    }
+
+
+# -- regression gating --------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class Regression:
+    """One node flagged by :func:`check_regressions`.
+
+    Attributes:
+        node: the regressed node.
+        latest_seconds: the latest run's wall seconds.
+        baseline_seconds: the baseline window's median wall seconds.
+        ratio: ``latest / baseline`` (>= 1 + tolerance by construction).
+        samples: how many baseline runs backed the median.
+    """
+
+    node: str
+    latest_seconds: float
+    baseline_seconds: float
+    ratio: float
+    samples: int
+
+
+def check_regressions(
+    records: list[PerfRecord],
+    *,
+    window: int = 3,
+    tolerance: float = 0.25,
+    min_seconds: float = 0.001,
+) -> tuple[PerfRecord | None, list[Regression]]:
+    """Gate the latest run against a rolling baseline window.
+
+    The latest record is compared node-by-node against the median wall
+    seconds of the (up to) ``window`` most recent *earlier* records from
+    the same source.  A node regresses when its latest measured time
+    exceeds ``median * (1 + tolerance)``.  Comparisons only happen
+    between matching version tags, between measured (non-cached)
+    samples, and above ``min_seconds`` -- sub-millisecond producers are
+    all scheduling noise.
+
+    Returns:
+        ``(latest_record, regressions)``; ``(None, [])`` on an empty
+        history, ``(latest, [])`` when there is no baseline yet.
+    """
+    if not records:
+        return None, []
+    latest = records[-1]
+    baseline_pool = [
+        record for record in records[:-1] if record.source == latest.source
+    ]
+    regressions: list[Regression] = []
+    for name in sorted(latest.nodes):
+        perf = latest.nodes[name]
+        if perf.status not in _MEASURED or perf.wall_seconds < min_seconds:
+            continue
+        samples: list[float] = []
+        for record in reversed(baseline_pool):
+            base = record.nodes.get(name)
+            if base is None or base.status not in _MEASURED:
+                continue
+            if base.version != perf.version:
+                continue
+            if base.wall_seconds < min_seconds:
+                continue
+            samples.append(base.wall_seconds)
+            if len(samples) >= window:
+                break
+        if not samples:
+            continue
+        baseline = statistics.median(samples)
+        if baseline <= 0:
+            continue
+        ratio = perf.wall_seconds / baseline
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                Regression(
+                    node=name,
+                    latest_seconds=perf.wall_seconds,
+                    baseline_seconds=baseline,
+                    ratio=ratio,
+                    samples=len(samples),
+                )
+            )
+    return latest, regressions
+
+
+# -- CLI row shaping ------------------------------------------------------ #
+
+
+def report_rows(records: list[PerfRecord]) -> list[list[Any]]:
+    """``[node, version, runs, latest ms, median ms, best ms, vs median]``
+    rows for ``repro perf report``, one per node, sorted by name."""
+    history = node_history(records)
+    rows: list[list[Any]] = []
+    for name in sorted(history):
+        samples = history[name]
+        walls = [perf.wall_seconds for _, perf in samples]
+        latest = walls[-1]
+        median = statistics.median(walls)
+        delta = (latest / median - 1.0) if median > 0 else 0.0
+        version = samples[-1][1].version or "-"
+        rows.append(
+            [
+                name,
+                version,
+                len(walls),
+                f"{latest * 1000:.1f}",
+                f"{median * 1000:.1f}",
+                f"{min(walls) * 1000:.1f}",
+                f"{delta:+.1%}",
+            ]
+        )
+    return rows
+
+
+def run_rows(records: list[PerfRecord], *, limit: int = 10) -> list[list[Any]]:
+    """``[run, recorded at, sha, source, workers, nodes, total s]`` rows
+    for the newest ``limit`` runs, newest first."""
+    return [
+        [
+            record.run_id,
+            record.recorded_at,
+            record.git_sha[:10],
+            record.source,
+            record.workers,
+            len(record.nodes),
+            f"{record.total_wall_seconds():.2f}",
+        ]
+        for record in reversed(records[-limit:])
+    ]

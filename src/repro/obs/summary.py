@@ -33,6 +33,10 @@ class NameStats:
     max_seconds: float
 
 
+#: Synthetic phase adopting spans whose parent record is missing.
+ORPHAN_PHASE = "(orphaned)"
+
+
 @dataclasses.dataclass
 class TraceSummary:
     """Everything ``repro trace summary`` renders.
@@ -44,7 +48,11 @@ class TraceSummary:
             or None for an empty trace.
         root_seconds: the root span's wall time.
         coverage: fraction of the root's wall time covered by its direct
-            children (0.0 with no root or a zero-length root).
+            children plus orphaned subtrees (0.0 with no root or a
+            zero-length root).
+        orphaned: spans whose parent record is missing from the trace
+            (a truncated trace); they aggregate under the synthetic
+            :data:`ORPHAN_PHASE` phase and still count toward coverage.
         phases: per-phase aggregates (span name before the first ``:``),
             sorted by total time descending.
         names: per-full-name aggregates, sorted by total time descending.
@@ -56,6 +64,7 @@ class TraceSummary:
     root: dict[str, Any] | None
     root_seconds: float
     coverage: float
+    orphaned: int
     phases: list[NameStats]
     names: list[NameStats]
     slowest: list[dict[str, Any]]
@@ -93,7 +102,7 @@ class TraceSummary:
 def _aggregate(records: list[dict[str, Any]], key) -> list[NameStats]:
     totals: dict[str, list[float]] = {}
     for record in records:
-        name = key(record.get("name", "?"))
+        name = key(record)
         duration = _duration(record)
         stats = totals.setdefault(name, [0, 0.0, 0.0])
         stats[0] += 1
@@ -112,18 +121,40 @@ def _aggregate(records: list[dict[str, Any]], key) -> list[NameStats]:
 def summarize_trace(
     records: Iterable[dict[str, Any]], *, top: int = 10
 ) -> TraceSummary:
-    """Aggregate span records into a :class:`TraceSummary`."""
+    """Aggregate span records into a :class:`TraceSummary`.
+
+    Spans whose parent record is missing from the trace (a crashed
+    writer truncated the file mid-run) are *orphans*: they aggregate
+    under the synthetic :data:`ORPHAN_PHASE` phase and their wall time
+    counts toward root coverage, so a truncated trace never silently
+    loses whole worker subtrees from the attribution.
+    """
     spans = [r for r in records if "start" in r and "end" in r]
     roots = [r for r in spans if not r.get("parent_id")]
     root = min(roots, key=lambda r: r["start"]) if roots else None
+
+    present_ids = {r.get("span_id") for r in spans}
+    orphan_ids = {
+        r.get("span_id")
+        for r in spans
+        if r.get("parent_id") and r["parent_id"] not in present_ids
+    }
 
     root_seconds = _duration(root) if root else 0.0
     coverage = 0.0
     if root is not None and root_seconds > 0:
         child_total = sum(
-            _duration(r) for r in spans if r.get("parent_id") == root["span_id"]
+            _duration(r)
+            for r in spans
+            if r.get("parent_id") == root["span_id"]
+            or r.get("span_id") in orphan_ids
         )
         coverage = min(1.0, child_total / root_seconds)
+
+    def _phase_key(record: dict[str, Any]) -> str:
+        if record.get("span_id") in orphan_ids:
+            return ORPHAN_PHASE
+        return _phase(record.get("name", "?"))
 
     return TraceSummary(
         spans=len(spans),
@@ -131,7 +162,8 @@ def summarize_trace(
         root=root,
         root_seconds=root_seconds,
         coverage=coverage,
-        phases=_aggregate(spans, _phase),
-        names=_aggregate(spans, lambda name: name),
+        orphaned=len(orphan_ids),
+        phases=_aggregate(spans, _phase_key),
+        names=_aggregate(spans, lambda record: record.get("name", "?")),
         slowest=sorted(spans, key=_duration, reverse=True)[:top],
     )

@@ -29,9 +29,11 @@ from repro.studygraph.registry import Registry, default_registry
 from repro.studygraph.scheduler import (
     NodeRun,
     StudyRunResult,
+    memo_walls,
     run_single_node,
     run_study,
     study_status,
+    traced_node_walls,
 )
 
 __all__ = [
@@ -47,7 +49,9 @@ __all__ = [
     "canonical_json",
     "default_registry",
     "diff_caches",
+    "memo_walls",
     "run_single_node",
     "run_study",
     "study_status",
+    "traced_node_walls",
 ]

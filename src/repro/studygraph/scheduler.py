@@ -184,6 +184,7 @@ def run_study(
     outputs: Sequence[str] | None = None,
     registry: Registry | None = None,
     progress: ProgressReporter | None = None,
+    monitor: Any = None,
 ) -> StudyRunResult:
     """Execute the study graph; see the module docstring for the story.
 
@@ -197,6 +198,11 @@ def run_study(
         registry: node registry (default: the full study graph).
         progress: optional reporter driven once per wave (resolved nodes
             out of the closure size).
+        monitor: optional live monitor (e.g. :class:`repro.obs.
+            RunMonitor`): receives run/wave/node lifecycle events here
+            and the unit heartbeat from the campaign engine, and writes
+            the snapshot ``repro study watch`` renders.  Monitoring
+            never touches node payloads or memo keys.
 
     Returns:
         Per-node outcomes, requested payloads, and telemetry.
@@ -223,6 +229,10 @@ def run_study(
 
     waves = 0
     remaining = list(order)
+    if monitor is not None:
+        monitor.run_started(
+            total=len(order), workers=context.workers, pending=list(order)
+        )
     with telemetry.timed("studygraph.wall"), obs.span(
         "study.run", nodes=len(order), targets=len(targets), workers=context.workers
     ):
@@ -237,6 +247,8 @@ def run_study(
                     "scheduler stalled; unresolved nodes: " + ", ".join(remaining)
                 )
             waves += 1
+            if monitor is not None:
+                monitor.wave_started(waves, ready=len(ready))
 
             with obs.span("wave", index=waves, ready=len(ready)) as wave_span:
                 to_run: list[tuple[str, str]] = []
@@ -262,6 +274,8 @@ def run_study(
                             0.0,
                         )
                         telemetry.count("studygraph.nodes.cached")
+                        if monitor is not None:
+                            monitor.node_finished(name, status=STATUS_CACHED)
                     else:
                         to_run.append((name, key))
                 wave_span.set(executed=len(to_run), cached=len(ready) - len(to_run))
@@ -286,6 +300,7 @@ def run_study(
                         context=wave_ctx,
                         workers=context.workers,
                         telemetry=telemetry,
+                        heartbeat=monitor,
                     )
                     for unit, result in campaign.pairs():
                         name = unit.fault_id
@@ -319,6 +334,8 @@ def run_study(
 
     if progress is not None:
         progress.finish()
+    if monitor is not None:
+        monitor.run_finished()
     ordered_runs = {name: runs[name] for name in order}
     return StudyRunResult(
         runs=ordered_runs,
@@ -374,6 +391,7 @@ def study_status(
     *,
     nodes: Sequence[str] | None = None,
     registry: Registry | None = None,
+    trace_records: Sequence[Mapping[str, Any]] | None = None,
 ) -> list[list[str]]:
     """Per-node memo state without executing anything.
 
@@ -386,37 +404,106 @@ def study_status(
         ``[node, kind, state, digest-or-"-", wall-ms-or-"-"]`` rows; the
         wall column is the producer time recorded when the cached entry
         was originally executed (cached-vs-executed cost at a glance).
+        With ``trace_records`` (the spans of a traced run) every row
+        gains a ``traced-ms-or-"-"`` column: the summed wall time of
+        that node's ``node:*`` spans, so recorded META time and traced
+        time sit side by side.
     """
     registry = registry if registry is not None else default_registry()
     targets = list(nodes) if nodes is not None else [
         node.name for node in registry.experiments()
     ]
     order = registry.topo_order(targets)
+    traced = (
+        traced_node_walls(trace_records) if trace_records is not None else None
+    )
     digests: dict[str, str] = {}
     rows: list[list[str]] = []
     for name in order:
         node = registry.node(name)
         if any(dep not in digests for dep in node.deps):
-            rows.append([name, node.kind, "unknown", "-", "-"])
-            continue
-        key = node.cache_digest({dep: digests[dep] for dep in node.deps})
-        meta = context.cache.load(key, META_TAG) if context.cache is not None else None
-        if (
-            meta is not None
-            and meta.get("memo_version") == MEMO_VERSION
-            and "digest" in meta
-        ):
-            digests[name] = meta["digest"]
-            wall = meta.get("wall_seconds")
-            rows.append(
-                [
+            row = [name, node.kind, "unknown", "-", "-"]
+        else:
+            key = node.cache_digest({dep: digests[dep] for dep in node.deps})
+            meta = (
+                context.cache.load(key, META_TAG)
+                if context.cache is not None
+                else None
+            )
+            if (
+                meta is not None
+                and meta.get("memo_version") == MEMO_VERSION
+                and "digest" in meta
+            ):
+                digests[name] = meta["digest"]
+                wall = meta.get("wall_seconds")
+                row = [
                     name,
                     node.kind,
                     "cached",
                     meta["digest"][:12],
                     f"{wall * 1000:.1f}" if wall is not None else "-",
                 ]
-            )
-        else:
-            rows.append([name, node.kind, "missing", "-", "-"])
+            else:
+                row = [name, node.kind, "missing", "-", "-"]
+        if traced is not None:
+            seconds = traced.get(name)
+            row.append(f"{seconds * 1000:.1f}" if seconds is not None else "-")
+        rows.append(row)
     return rows
+
+
+def traced_node_walls(
+    trace_records: Sequence[Mapping[str, Any]],
+) -> dict[str, float]:
+    """Wall seconds per node from a trace's ``node:*`` spans.
+
+    Repeated executions of one node (a rebuild after payload rot) sum.
+    """
+    walls: dict[str, float] = {}
+    for record in trace_records:
+        name = record.get("name", "")
+        if not name.startswith("node:") or "start" not in record or "end" not in record:
+            continue
+        node = name[len("node:"):]
+        seconds = max(0.0, record.get("end", 0.0) - record.get("start", 0.0))
+        walls[node] = walls.get(node, 0.0) + seconds
+    return walls
+
+
+def memo_walls(
+    context: StudyContext,
+    *,
+    nodes: Sequence[str] | None = None,
+    registry: Registry | None = None,
+) -> dict[str, float]:
+    """Recorded producer wall seconds for memo-satisfied nodes.
+
+    The same metadata walk as :func:`study_status`, reduced to
+    ``{node: wall_seconds}`` for every node whose memo entry resolves
+    and recorded a producer time -- the join ``repro perf record`` uses
+    to carry cache-satisfied nodes into the perf history.
+    """
+    registry = registry if registry is not None else default_registry()
+    targets = list(nodes) if nodes is not None else [
+        node.name for node in registry.experiments()
+    ]
+    if context.cache is None:
+        return {}
+    digests: dict[str, str] = {}
+    walls: dict[str, float] = {}
+    for name in registry.topo_order(targets):
+        node = registry.node(name)
+        if any(dep not in digests for dep in node.deps):
+            continue
+        key = node.cache_digest({dep: digests[dep] for dep in node.deps})
+        meta = context.cache.load(key, META_TAG)
+        if (
+            meta is not None
+            and meta.get("memo_version") == MEMO_VERSION
+            and "digest" in meta
+        ):
+            digests[name] = meta["digest"]
+            if meta.get("wall_seconds") is not None:
+                walls[name] = float(meta["wall_seconds"])
+    return walls

@@ -1,0 +1,244 @@
+"""Folded stacks, the ASCII icicle, and the speedscope export."""
+
+import json
+
+import pytest
+
+from repro.obs.flame import (
+    ORPHAN_FRAME,
+    build_tree,
+    fold_stacks,
+    format_folded,
+    parse_folded,
+    render_icicle,
+    speedscope_document,
+)
+
+
+def span(
+    name,
+    span_id,
+    start,
+    end,
+    parent_id=None,
+    pid=100,
+    trace_id="t1",
+    **attrs,
+):
+    record = {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "trace_id": trace_id,
+        "start": float(start),
+        "end": float(end),
+        "pid": pid,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+@pytest.fixture
+def simple_trace():
+    """root(0..10) -> a(1..4), b(5..9); a -> leaf(2..3)."""
+    return [
+        span("root", "r", 0.0, 10.0),
+        span("a", "a", 1.0, 4.0, parent_id="r"),
+        span("leaf", "l", 2.0, 3.0, parent_id="a"),
+        span("b", "b", 5.0, 9.0, parent_id="r"),
+    ]
+
+
+class TestBuildTree:
+    def test_reconstructs_parent_child_links(self, simple_trace):
+        roots, orphans = build_tree(simple_trace)
+        assert [r.name for r in roots] == ["root"]
+        assert not orphans
+        root = roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_missing_parent_becomes_orphan(self):
+        roots, orphans = build_tree(
+            [span("lost", "x", 1.0, 2.0, parent_id="gone")]
+        )
+        assert not roots
+        assert [o.name for o in orphans] == ["lost"]
+
+    def test_children_sorted_by_start_then_id(self):
+        records = [
+            span("root", "r", 0.0, 10.0),
+            span("late", "z", 5.0, 6.0, parent_id="r"),
+            span("early", "a", 1.0, 2.0, parent_id="r"),
+            span("tie-b", "b2", 3.0, 4.0, parent_id="r"),
+            span("tie-a", "b1", 3.0, 4.0, parent_id="r"),
+        ]
+        roots, _ = build_tree(records)
+        assert [c.name for c in roots[0].children] == [
+            "early", "tie-a", "tie-b", "late",
+        ]
+
+
+class TestFoldStacks:
+    def test_self_time_excludes_children(self, simple_trace):
+        folded = dict(fold_stacks(simple_trace))
+        # root: 10s total minus a (3s) and b (4s) = 3s self.
+        assert folded[("root",)] == pytest.approx(3.0)
+        # a: 3s total minus leaf (1s) = 2s self.
+        assert folded[("root", "a")] == pytest.approx(2.0)
+        assert folded[("root", "a", "leaf")] == pytest.approx(1.0)
+        assert folded[("root", "b")] == pytest.approx(4.0)
+
+    def test_total_self_time_equals_root_wall(self, simple_trace):
+        assert sum(s for _, s in fold_stacks(simple_trace)) == pytest.approx(
+            10.0
+        )
+
+    def test_identical_stacks_merge(self):
+        records = [
+            span("root", "r", 0.0, 10.0),
+            span("wave", "w1", 0.0, 2.0, parent_id="r"),
+            span("wave", "w2", 3.0, 6.0, parent_id="r"),
+        ]
+        folded = dict(fold_stacks(records))
+        assert folded[("root", "wave")] == pytest.approx(5.0)
+
+    def test_overlapping_children_clamp_at_zero(self):
+        # Children sum past the parent's wall; self time must not go
+        # negative.
+        records = [
+            span("root", "r", 0.0, 2.0),
+            span("a", "a", 0.0, 2.0, parent_id="r"),
+            span("b", "b", 0.0, 2.0, parent_id="r"),
+        ]
+        folded = dict(fold_stacks(records))
+        assert folded[("root",)] == 0.0
+
+    def test_orphans_fold_under_synthetic_frame(self):
+        folded = dict(
+            fold_stacks([span("lost", "x", 1.0, 3.0, parent_id="gone")])
+        )
+        assert folded[(ORPHAN_FRAME, "lost")] == pytest.approx(2.0)
+
+
+class TestFoldedText:
+    def test_round_trip(self, simple_trace):
+        text = format_folded(simple_trace)
+        pairs = parse_folded(text)
+        assert pairs == [
+            (stack, int(round(seconds * 1_000_000)))
+            for stack, seconds in fold_stacks(simple_trace)
+        ]
+
+    def test_byte_identical_across_record_order(self, simple_trace):
+        shuffled = list(reversed(simple_trace))
+        assert format_folded(simple_trace) == format_folded(shuffled)
+
+    def test_empty_trace_formats_empty(self):
+        assert format_folded([]) == ""
+
+    def test_parse_skips_malformed_lines(self):
+        text = "a;b 100\nnot a folded line\n;c notanint\n"
+        assert parse_folded(text) == [(("a", "b"), 100)]
+
+
+class TestIcicle:
+    def test_root_bar_spans_full_width(self, simple_trace):
+        out = render_icicle(simple_trace, width=40)
+        lines = out.splitlines()
+        assert lines[0] == "icicle: 40 cols = 10000.0 ms (root root)"
+        root_row = lines[1]
+        assert len(root_row) == 40
+        assert root_row.startswith("|root")
+        assert root_row[5:] == "-" * 35
+
+    def test_child_bars_positioned_by_offset(self, simple_trace):
+        rows = render_icicle(simple_trace, width=40).splitlines()
+        child_row = rows[2]
+        # a runs 1..4 of 0..10 -> columns 4..16; b runs 5..9 -> 20..36.
+        assert child_row.index("|a") == 4
+        assert child_row.index("|b") == 20
+
+    def test_depth_limit(self, simple_trace):
+        rows = render_icicle(simple_trace, width=40, max_depth=1).splitlines()
+        assert len(rows) == 2  # header + root row only
+
+    def test_empty_trace_message(self):
+        assert render_icicle([]) == "(empty trace: nothing to render)"
+
+    def test_zero_length_root_message(self):
+        out = render_icicle([span("root", "r", 5.0, 5.0)])
+        assert "zero-length root" in out
+
+    def test_single_span_trace(self):
+        out = render_icicle([span("only", "o", 0.0, 1.0)], width=20)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].startswith("|only")
+
+
+class TestSpeedscope:
+    def test_document_matches_schema_shape(self, simple_trace):
+        doc = speedscope_document(simple_trace, name="test trace")
+        assert (
+            doc["$schema"]
+            == "https://www.speedscope.app/file-format-schema.json"
+        )
+        assert doc["name"] == "test trace"
+        assert doc["activeProfileIndex"] == 0
+        assert [f["name"] for f in doc["shared"]["frames"]] == sorted(
+            {"root", "a", "b", "leaf"}
+        )
+        assert len(doc["profiles"]) == 1
+        profile = doc["profiles"][0]
+        assert profile["type"] == "evented"
+        assert profile["unit"] == "seconds"
+        assert profile["startValue"] == 0.0
+        assert profile["endValue"] == pytest.approx(10.0)
+
+    def test_events_well_nested(self, simple_trace):
+        profile = speedscope_document(simple_trace)["profiles"][0]
+        stack = []
+        last_at = 0.0
+        for event in profile["events"]:
+            assert event["at"] >= last_at - 1e-9
+            last_at = event["at"]
+            if event["type"] == "O":
+                stack.append(event["frame"])
+            else:
+                assert stack.pop() == event["frame"]
+        assert not stack
+
+    def test_child_clamped_inside_parent(self):
+        # A child whose clock leaks past its parent still nests.
+        records = [
+            span("root", "r", 0.0, 5.0),
+            span("leaky", "l", 4.0, 7.0, parent_id="r"),
+        ]
+        profile = speedscope_document(records)["profiles"][0]
+        close_times = {
+            e["frame"]: e["at"] for e in profile["events"] if e["type"] == "C"
+        }
+        frames = [f["name"] for f in speedscope_document(records)["shared"]["frames"]]
+        assert close_times[frames.index("leaky")] <= close_times[
+            frames.index("root")
+        ]
+
+    def test_one_profile_per_pid(self):
+        records = [
+            span("root", "r", 0.0, 10.0, pid=1),
+            span("unit", "u", 2.0, 4.0, parent_id="r", pid=2),
+        ]
+        doc = speedscope_document(records)
+        assert [p["name"] for p in doc["profiles"]] == ["pid 1", "pid 2"]
+        # The cross-process child opens a top-level stack in its own pid.
+        assert len(doc["profiles"][1]["events"]) == 2
+
+    def test_document_is_json_serialisable(self, simple_trace):
+        json.dumps(speedscope_document(simple_trace))
+
+    def test_empty_trace(self):
+        doc = speedscope_document([])
+        assert doc["profiles"] == []
+        assert doc["shared"]["frames"] == []

@@ -12,9 +12,11 @@ from repro.studygraph.context import StudyContext
 from repro.studygraph.node import KIND_ARTIFACT, NodeSpec
 from repro.studygraph.registry import GraphError, Registry
 from repro.studygraph.scheduler import (
+    memo_walls,
     run_single_node,
     run_study,
     study_status,
+    traced_node_walls,
 )
 
 
@@ -179,3 +181,85 @@ class TestStudyStatus:
             for row in study_status(_ctx(tmp_path), registry=registry)
         )
         assert set(after.values()) == {"cached"}
+
+    def test_trace_records_add_a_traced_column(self, tmp_path):
+        registry = toy_registry()
+        run_study(_ctx(tmp_path), registry=registry)
+        trace = [
+            {"name": "node:root", "span_id": "a", "parent_id": "w",
+             "start": 0.0, "end": 0.25, "pid": 1},
+            {"name": "node:root", "span_id": "b", "parent_id": "w",
+             "start": 1.0, "end": 1.25, "pid": 1},
+        ]
+        rows = study_status(
+            _ctx(tmp_path), registry=registry, trace_records=trace
+        )
+        by_name = {row[0]: row for row in rows}
+        assert len(by_name["root"]) == 6
+        assert by_name["root"][5] == "500.0"  # both spans summed
+        assert by_name["double"][5] == "-"  # not in the trace
+
+
+class TestWallHelpers:
+    def test_traced_node_walls_sums_node_spans(self):
+        trace = [
+            {"name": "node:T1", "start": 0.0, "end": 1.0},
+            {"name": "node:T1", "start": 2.0, "end": 2.5},
+            {"name": "node:F1", "start": 0.0, "end": 0.25},
+            {"name": "wave", "start": 0.0, "end": 9.0},
+            {"name": "node:broken", "start": 5.0},  # no end: skipped
+        ]
+        walls = traced_node_walls(trace)
+        assert walls == {
+            "T1": pytest.approx(1.5),
+            "F1": pytest.approx(0.25),
+        }
+
+    def test_memo_walls_reports_memoized_nodes(self, tmp_path):
+        registry = toy_registry()
+        assert memo_walls(_ctx(tmp_path), registry=registry) == {}
+        run_study(_ctx(tmp_path), registry=registry)
+        walls = memo_walls(_ctx(tmp_path), registry=registry)
+        assert set(walls) == {"root", "double", "total", "indep"}
+        assert all(seconds >= 0.0 for seconds in walls.values())
+
+    def test_memo_walls_without_cache_is_empty(self):
+        assert memo_walls(_ctx(), registry=toy_registry()) == {}
+
+
+class TestRunMonitorIntegration:
+    def test_monitor_sees_cached_and_executed_nodes(self, tmp_path):
+        from repro.obs import RunMonitor, read_snapshot
+
+        registry = toy_registry()
+        snapshot_path = tmp_path / "live.json"
+        monitor = RunMonitor(snapshot_path, interval=0.0)
+        cold = run_study(_ctx(tmp_path), registry=registry, monitor=monitor)
+        snapshot = read_snapshot(snapshot_path)
+        assert snapshot["state"] == "finished"
+        assert snapshot["total"] == len(cold.runs)
+        assert snapshot["executed"] == cold.executed
+        assert snapshot["cached"] == 0
+        assert snapshot["pending"] == []
+
+        warm_monitor = RunMonitor(snapshot_path, interval=0.0)
+        warm = run_study(
+            _ctx(tmp_path), registry=registry, monitor=warm_monitor
+        )
+        snapshot = read_snapshot(snapshot_path)
+        assert snapshot["cached"] == warm.cached == len(cold.runs)
+        assert snapshot["executed"] == 0
+
+    def test_monitoring_never_changes_payloads(self, tmp_path):
+        from repro.obs import RunMonitor
+
+        plain = run_study(_ctx(), registry=toy_registry())
+        monitored = run_study(
+            _ctx(),
+            registry=toy_registry(),
+            monitor=RunMonitor(tmp_path / "live.json", interval=0.0),
+        )
+        assert monitored.outputs == plain.outputs
+        assert {name: run.digest for name, run in monitored.runs.items()} == {
+            name: run.digest for name, run in plain.runs.items()
+        }

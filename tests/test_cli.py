@@ -376,6 +376,202 @@ class TestTraceAndDiffCommands:
         assert "campaign" not in captured.err
 
 
+class TestPerfIntelligenceCommands:
+    """Flame output, the perf history verbs, and live monitoring."""
+
+    def _traced_run(self, tmp_path, capsys, name="a", extra=()):
+        cache = str(tmp_path / f"cache-{name}")
+        trace = str(tmp_path / f"{name}.trace")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", cache,
+            "--trace", trace, "--quiet", *extra,
+        ]) == 0
+        capsys.readouterr()
+        return cache, trace
+
+    def test_trace_summary_flame_renders_icicle(self, capsys, tmp_path):
+        _, trace = self._traced_run(tmp_path, capsys)
+        assert main([
+            "trace", "summary", trace, "--flame", "--flame-width", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "icicle: 60 cols" in out
+        assert "root study.run" in out
+        assert "|study.run" in out
+
+    def test_trace_export_folded_round_trips(self, capsys, tmp_path):
+        from repro.obs.flame import parse_folded
+
+        _, trace = self._traced_run(tmp_path, capsys)
+        out_path = tmp_path / "run.folded"
+        assert main([
+            "trace", "export", trace, "--format", "folded",
+            "--out", str(out_path),
+        ]) == 0
+        assert "folded stacks" in capsys.readouterr().out
+        pairs = parse_folded(out_path.read_text(encoding="utf-8"))
+        assert pairs
+        assert all(stack[0] == "study.run" for stack, _ in pairs)
+
+    def test_trace_export_speedscope_schema(self, capsys, tmp_path):
+        import json
+
+        _, trace = self._traced_run(tmp_path, capsys)
+        out_path = tmp_path / "run.speedscope.json"
+        assert main([
+            "trace", "export", trace, "--format", "speedscope",
+            "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        with open(out_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        assert doc["profiles"][0]["events"]
+
+    def test_perf_record_report_check(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedface00")
+        db = str(tmp_path / "perf.jsonl")
+        for name in ("a", "b"):
+            _, trace = self._traced_run(tmp_path, capsys, name)
+            assert main(["perf", "record", "--db", db, "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "recorded run" in out
+
+        assert main(["perf", "report", "--db", db]) == 0
+        report = capsys.readouterr().out
+        assert "Perf history: 2 run(s)" in report
+        # Every executed node appears in the longitudinal table.
+        assert "T1" in report and "corpus.apache" in report
+        assert "feedface00"[:10] in report
+
+        assert main(["perf", "check", "--db", db]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_perf_check_flags_injected_slowdown(self, capsys, tmp_path):
+        import json
+
+        db_path = tmp_path / "perf.jsonl"
+        db = str(db_path)
+        for name in ("a", "b", "c"):
+            _, trace = self._traced_run(tmp_path, capsys, name)
+            assert main(["perf", "record", "--db", db, "--trace", trace]) == 0
+        capsys.readouterr()
+
+        # Inject a >=25% slowdown into a copy of the latest record.
+        lines = db_path.read_text(encoding="utf-8").splitlines()
+        slow = json.loads(lines[-1])
+        slow["run_id"] = "injected00ff"
+        for node in slow["nodes"].values():
+            node["wall_seconds"] = node["wall_seconds"] * 2.0
+        with open(db_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(slow) + "\n")
+
+        assert main(["perf", "check", "--db", db, "--window", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "PERF REGRESSION" in out
+        assert "injected00ff" in out
+
+        assert main(["perf", "check", "--db", db, "--warn-only"]) == 0
+        assert "warn-only" in capsys.readouterr().out
+
+    def test_perf_check_empty_db(self, capsys, tmp_path):
+        assert main([
+            "perf", "check", "--db", str(tmp_path / "empty.jsonl"),
+        ]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_perf_record_missing_trace_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace file"):
+            main([
+                "perf", "record", "--db", str(tmp_path / "perf.jsonl"),
+                "--trace", str(tmp_path / "nope.trace"),
+            ])
+
+    def test_study_run_perfdb_records_run(self, capsys, tmp_path):
+        from repro.obs.perfdb import PerfDB
+
+        db = tmp_path / "perf.jsonl"
+        cache = str(tmp_path / "cache-perfdb")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", cache,
+            "--perfdb", str(db), "--quiet",
+        ]) == 0
+        assert "perfdb: recorded" in capsys.readouterr().out
+        records = PerfDB(db).read()
+        assert len(records) == 1
+        assert records[0].source == "study-run"
+        assert set(records[0].nodes) == {"T1", "corpus.apache"}
+        assert records[0].counters["nodes.executed"] == 2
+
+    def test_study_run_live_writes_finished_snapshot(self, capsys, tmp_path):
+        from repro.obs.livestatus import read_snapshot
+
+        live = tmp_path / "live.json"
+        cache = str(tmp_path / "cache-live")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", cache,
+            "--live", str(live), "--quiet",
+        ]) == 0
+        assert "live snapshot:" in capsys.readouterr().out
+        snapshot = read_snapshot(live)
+        assert snapshot["state"] == "finished"
+        assert snapshot["done"] == snapshot["total"] == 2
+
+    def test_study_watch_once(self, capsys, tmp_path):
+        live = tmp_path / "live.json"
+        cache = str(tmp_path / "cache-watch")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", cache,
+            "--live", str(live), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["study", "watch", str(live), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[study]" in out
+        assert "finished" in out
+
+    def test_study_watch_missing_snapshot_once(self, capsys, tmp_path):
+        assert main([
+            "study", "watch", str(tmp_path / "absent.json"), "--once",
+        ]) == 0
+        assert "waiting for snapshot" in capsys.readouterr().out
+
+    def test_study_status_trace_attribution(self, capsys, tmp_path):
+        cache, trace = self._traced_run(tmp_path, capsys)
+        assert main([
+            "study", "status", "--nodes", "T1", "--cache-dir", cache,
+            "--trace", trace,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "traced ms" in out
+        # Both executed nodes carry a traced wall-time cell.
+        for line in out.splitlines():
+            if line.startswith(("T1 ", "corpus.apache ")):
+                assert line.rstrip().split("|")[-1].strip() != "-"
+
+    def test_determinism_monitoring_never_changes_digests(self, capsys, tmp_path):
+        plain_cache = str(tmp_path / "cache-plain")
+        monitored_cache = str(tmp_path / "cache-mon")
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", plain_cache,
+            "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "study", "run", "--nodes", "T1", "--cache-dir", monitored_cache,
+            "--quiet", "--live", str(tmp_path / "live.json"),
+            "--perfdb", str(tmp_path / "perf.jsonl"),
+            "--trace", str(tmp_path / "mon.trace"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "study", "diff", plain_cache, monitored_cache, "--nodes", "T1",
+        ]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+
 def json_lines(path):
     import json
 
