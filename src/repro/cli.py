@@ -17,6 +17,11 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
     repro perf record --db perf.jsonl --trace run.trace   # append to history
     repro perf report --db perf.jsonl   # longitudinal per-node view
     repro perf check --db perf.jsonl    # gate vs rolling baseline (exit 1)
+    repro serve start --workers 4 --warm T1,report   # warm daemon, detached
+    repro serve request study --param node=T1        # served in milliseconds
+    repro serve request ping --repeat 2000 --concurrency 8   # burst + p99
+    repro serve status            # health, admission, request counters
+    repro serve stop              # graceful drain and shutdown
     repro table apache            # Table 1 / 2 / 3
     repro figure gnome            # Figure 1 / 2 / 3 (ASCII)
     repro aggregate               # Section 5.4 numbers
@@ -699,6 +704,251 @@ def _cmd_study_graph(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default unix socket for ``repro serve`` (beware the ~100-byte OS
+#: limit on unix socket paths when overriding).
+DEFAULT_SERVE_SOCKET = ".repro-serve.sock"
+
+
+def _serve_params(pairs: Sequence[str]) -> dict[str, Any]:
+    """``--param key=value`` pairs as a request params object.
+
+    Values parse as JSON when they can (numbers, booleans, objects) and
+    fall back to plain strings, so ``--param scale=3`` sends an int and
+    ``--param node=T1`` sends a string.
+    """
+    import json
+
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param must look like key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _cmd_serve_start(args: argparse.Namespace) -> int:
+    from repro.serve import run_server, wait_for_server
+
+    warm_nodes = [
+        name for chunk in (args.warm or []) for name in chunk.split(",") if name
+    ]
+    if args.foreground:
+        run_server(
+            args.socket,
+            cache_dir=_study_cache_dir(args),
+            workers=args.workers,
+            max_pending=args.max_pending,
+            quota_capacity=args.quota_burst,
+            quota_refill_per_second=args.quota_rps,
+            warm_nodes=warm_nodes,
+        )
+        return 0
+
+    # Detach: re-exec ourselves with --foreground in a new session so the
+    # daemon survives this shell, then block until it answers a ping.
+    import subprocess
+    from pathlib import Path
+
+    log_path = Path(args.log) if args.log else Path(str(args.socket) + ".log")
+    command = [
+        sys.executable, "-m", "repro", "serve", "start", "--foreground",
+        "--socket", str(args.socket),
+        "--workers", str(args.workers),
+        "--max-pending", str(args.max_pending),
+        "--quota-rps", str(args.quota_rps),
+    ]
+    cache_dir = _study_cache_dir(args)
+    if cache_dir is None:
+        command.append("--no-cache")
+    else:
+        command += ["--cache-dir", str(cache_dir)]
+    if args.quota_burst is not None:
+        command += ["--quota-burst", str(args.quota_burst)]
+    for node in warm_nodes:
+        command += ["--warm", node]
+    with open(log_path, "ab") as log:
+        process = subprocess.Popen(
+            command, stdout=log, stderr=log, start_new_session=True
+        )
+    if not wait_for_server(args.socket, timeout=args.startup_timeout):
+        process.poll()
+        raise SystemExit(
+            f"serve daemon did not come up on {args.socket} within "
+            f"{args.startup_timeout:.0f}s (log: {log_path})"
+        )
+    print(f"serve daemon ready: pid {process.pid}, socket {args.socket}")
+    return 0
+
+
+def _cmd_serve_stop(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import time
+
+    from repro.serve import pid_path_for
+
+    pid_path = pid_path_for(args.socket)
+    try:
+        pid = int(pid_path.read_text(encoding="utf-8").strip())
+    except (FileNotFoundError, ValueError):
+        raise SystemExit(
+            f"no serve daemon pidfile at {pid_path} (is one running?)"
+        ) from None
+    try:
+        os.kill(pid, signal.SIGTERM)
+    except ProcessLookupError:
+        pid_path.unlink(missing_ok=True)
+        raise SystemExit(
+            f"stale pidfile {pid_path}: no process {pid} (removed)"
+        ) from None
+    deadline = time.monotonic() + args.timeout
+    from pathlib import Path
+
+    socket_path = Path(args.socket)
+    while time.monotonic() < deadline:
+        if not socket_path.exists():
+            print(f"serve daemon (pid {pid}) drained and stopped")
+            return 0
+        time.sleep(0.05)
+    raise SystemExit(
+        f"daemon (pid {pid}) still draining after {args.timeout:.0f}s; "
+        "in-flight requests may be long-running"
+    )
+
+
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.serve import (
+        ServeClient,
+        ServeConnectionError,
+        status_path_for,
+    )
+
+    payload = None
+    try:
+        with ServeClient(args.socket, client="status", timeout=args.timeout) as client:
+            response = client.request("status")
+            if response.ok:
+                payload = dict(response.payload)
+    except (ServeConnectionError, OSError):
+        payload = None
+
+    if payload is None:
+        # Daemon unreachable (busy, draining, or dead): fall back to the
+        # heartbeat snapshot file, which requests keep fresh.
+        snapshot = obs.read_snapshot(status_path_for(args.socket))
+        healthz = obs.healthz_view(snapshot)
+        rows = [[key, healthz[key]] for key in sorted(healthz)]
+        print(
+            format_table(
+                ["field", "value"],
+                rows,
+                title=f"Serve status (snapshot fallback): {args.socket}",
+            )
+        )
+        return 0 if healthz.get("healthy") else 1
+
+    healthz = payload.get("healthz", {})
+    requests = payload.get("requests", {})
+    admission = payload.get("admission", {})
+    warm = payload.get("warm", {})
+    rows = [
+        ["healthy", healthz.get("healthy")],
+        ["state", healthz.get("state")],
+        ["uptime s", payload.get("uptime_seconds")],
+        ["in flight", admission.get("pending")],
+        ["max pending", admission.get("max_pending")],
+        ["draining", admission.get("draining")],
+        ["requests", requests.get("requests")],
+        ["ok", requests.get("ok")],
+        ["errors", requests.get("errors")],
+        ["rejected", requests.get("rejected")],
+        ["memo hits", requests.get("memo_hits")],
+        ["memo entries", payload.get("memo_entries")],
+        ["clients", admission.get("clients")],
+        ["faults loaded", warm.get("faults")],
+        ["graph nodes", warm.get("nodes")],
+        ["workers", warm.get("workers")],
+    ]
+    print(
+        format_table(
+            ["field", "value"], rows, title=f"Serve status: {args.socket}"
+        )
+    )
+    return 0 if healthz.get("healthy", False) else 1
+
+
+def _cmd_serve_request(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    params = _serve_params(args.param or [])
+
+    if args.repeat > 1 or args.concurrency > 1:
+        return _serve_burst(args, params)
+
+    with ServeClient(args.socket, client=args.client, timeout=args.timeout) as client:
+        response = client.request(args.kind, params)
+    if response.ok:
+        text = response.payload.get("text")
+        if text is not None and not args.json:
+            # Plain print(), like every batch node command: served stdout
+            # is byte-for-byte the batch output -- CI diffs on this.
+            print(text)
+        else:
+            print(json.dumps(response.payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{response.status}: {response.error}", file=sys.stderr)
+    return 3 if response.rejected else 1
+
+
+def _serve_burst(args: argparse.Namespace, params: dict[str, Any]) -> int:
+    """Closed-loop request burst: throughput and latency percentiles."""
+    import threading
+
+    from repro.envmodel.loadgen import run_closed_loop
+    from repro.serve import ServeClient
+
+    local = threading.local()
+
+    def send(index: int) -> None:
+        client = getattr(local, "client", None)
+        if client is None:
+            client = local.client = ServeClient(
+                args.socket, client=args.client, timeout=args.timeout
+            )
+        response = client.request(args.kind, params)
+        if not response.ok:
+            raise RuntimeError(f"{response.status}: {response.error}")
+
+    result = run_closed_loop(
+        send, requests=args.repeat, concurrency=args.concurrency
+    )
+    rows = [
+        ["requests", result.requests_issued],
+        ["failures", result.failures],
+        ["concurrency", args.concurrency],
+        ["wall s", f"{result.wall_seconds:.3f}"],
+        ["req/s", f"{result.throughput:.0f}"],
+        ["p50 ms", f"{result.p50 * 1000:.2f}"],
+        ["p95 ms", f"{result.p95 * 1000:.2f}"],
+        ["p99 ms", f"{result.p99 * 1000:.2f}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Serve burst: {args.repeat} x {args.kind}",
+        )
+    )
+    return 0 if result.failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1050,6 +1300,135 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions but always exit 0 (CI soak-in mode)",
     )
     perf_check.set_defaults(func=_cmd_perf)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="persistent study service: warm daemon answering study/mine/"
+        "replay/trace-summary requests over a local socket",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_start = serve_sub.add_parser(
+        "start", help="launch the daemon (detached by default)"
+    )
+    serve_start.add_argument(
+        "--socket", default=DEFAULT_SERVE_SOCKET, metavar="PATH",
+        help="unix socket to listen on (default %(default)s; OS caps "
+        "socket paths near 100 bytes)",
+    )
+    serve_start.add_argument(
+        "--cache-dir", default=DEFAULT_STUDY_CACHE, metavar="DIR",
+        help="shared node-memo cache (same default as 'study run', so the "
+        "daemon and batch CLIs share warm state)",
+    )
+    serve_start.add_argument(
+        "--no-cache", action="store_true",
+        help="no on-disk cache; only the in-memory response memo",
+    )
+    serve_start.add_argument(
+        "--workers", type=int, default=1,
+        help="harness-pool workers for cold node execution (default 1)",
+    )
+    serve_start.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission bound: requests in service before new ones are "
+        "rejected busy (default 64)",
+    )
+    serve_start.add_argument(
+        "--quota-burst", type=float, default=None, metavar="N",
+        help="per-client token-bucket burst size (default: quotas off)",
+    )
+    serve_start.add_argument(
+        "--quota-rps", type=float, default=0.0, metavar="RATE",
+        help="per-client sustained requests/second refill (with --quota-burst)",
+    )
+    serve_start.add_argument(
+        "--warm", action="append", metavar="NODE[,NODE...]",
+        help="pre-execute these study-graph nodes at startup (repeatable)",
+    )
+    serve_start.add_argument(
+        "--foreground", action="store_true",
+        help="run in this process until SIGTERM/SIGINT (default: detach)",
+    )
+    serve_start.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="detached daemon's log file (default: <socket>.log)",
+    )
+    serve_start.add_argument(
+        "--startup-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for the detached daemon to answer (default 30)",
+    )
+    serve_start.set_defaults(func=_cmd_serve_start)
+
+    serve_stop = serve_sub.add_parser(
+        "stop", help="SIGTERM the daemon and wait for its graceful drain"
+    )
+    serve_stop.add_argument(
+        "--socket", default=DEFAULT_SERVE_SOCKET, metavar="PATH",
+        help="the daemon's unix socket (default %(default)s)",
+    )
+    serve_stop.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for the drain to finish (default 30)",
+    )
+    serve_stop.set_defaults(func=_cmd_serve_stop)
+
+    serve_status = serve_sub.add_parser(
+        "status",
+        help="health, admission, and request counters (falls back to the "
+        "heartbeat snapshot when the daemon is unreachable; exit 1 when "
+        "unhealthy)",
+    )
+    serve_status.add_argument(
+        "--socket", default=DEFAULT_SERVE_SOCKET, metavar="PATH",
+        help="the daemon's unix socket (default %(default)s)",
+    )
+    serve_status.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="status request timeout before the snapshot fallback (default 5)",
+    )
+    serve_status.set_defaults(func=_cmd_serve_status)
+
+    serve_request = serve_sub.add_parser(
+        "request",
+        help="send one request (or a --repeat burst) to the daemon",
+    )
+    serve_request.add_argument(
+        "kind",
+        choices=["study", "mine", "replay", "trace-summary", "status", "ping"],
+        help="request kind",
+    )
+    serve_request.add_argument(
+        "--socket", default=DEFAULT_SERVE_SOCKET, metavar="PATH",
+        help="the daemon's unix socket (default %(default)s)",
+    )
+    serve_request.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="request parameter (repeatable); values parse as JSON when "
+        "possible, e.g. --param node=T1 --param scale=3",
+    )
+    serve_request.add_argument(
+        "--client", default="cli",
+        help="quota identity sent with the request (default %(default)s)",
+    )
+    serve_request.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request socket timeout (default 60)",
+    )
+    serve_request.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="send the request N times closed-loop and print throughput "
+        "and latency percentiles instead of the payload",
+    )
+    serve_request.add_argument(
+        "--concurrency", type=int, default=1, metavar="C",
+        help="closed-loop client threads for --repeat (default 1)",
+    )
+    serve_request.add_argument(
+        "--json", action="store_true",
+        help="print the full JSON payload even when the node has rendered text",
+    )
+    serve_request.set_defaults(func=_cmd_serve_request)
 
     return parser
 

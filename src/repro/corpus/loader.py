@@ -15,6 +15,7 @@ while direct callers keep the memoized convenience path.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import types
 from typing import Mapping
 
@@ -97,16 +98,31 @@ def _build_study() -> StudyData:
     )
 
 
-# The process-wide shared instance; built lazily on first use.
+# The process-wide shared instance; built lazily on first use.  The lock
+# makes first use safe under concurrent requests (the `repro serve`
+# daemon): exactly one thread builds, everyone else blocks until the
+# fully-constructed immutable instance is published -- no double build,
+# no half-set memo.
 _DEFAULT_STUDY: StudyData | None = None
+_DEFAULT_STUDY_LOCK = threading.Lock()
 
 
 def default_study() -> StudyData:
-    """The shared study instance, building it on first use."""
+    """The shared study instance, building it on first use.
+
+    Thread-safe: concurrent first calls build the study exactly once
+    (double-checked under a lock) and every caller receives the same
+    fully-constructed, immutable :class:`StudyData` atomically.
+    """
     global _DEFAULT_STUDY
-    if _DEFAULT_STUDY is None:
-        _DEFAULT_STUDY = _build_study()
-    return _DEFAULT_STUDY
+    study = _DEFAULT_STUDY
+    if study is None:
+        with _DEFAULT_STUDY_LOCK:
+            study = _DEFAULT_STUDY
+            if study is None:
+                study = _build_study()
+                _DEFAULT_STUDY = study
+    return study
 
 
 def set_default_study(study: StudyData | None) -> None:
@@ -116,7 +132,8 @@ def set_default_study(study: StudyData | None) -> None:
     ``None`` forces the next :func:`default_study` call to rebuild.
     """
     global _DEFAULT_STUDY
-    _DEFAULT_STUDY = study
+    with _DEFAULT_STUDY_LOCK:
+        _DEFAULT_STUDY = study
 
 
 def full_study(*, fresh: bool = False) -> StudyData:

@@ -1,16 +1,28 @@
-"""Discrete-event load generation for the mini applications.
+"""Load generation: discrete-event arrivals and closed-loop clients.
 
-Drives an application through the environment's event queue: request
-arrivals are scheduled as events with deterministic inter-arrival
-jitter, so virtual time, resource pressure, and application state evolve
-together.  This is the "high load" and "peak load" from the Apache bug
-reports, reproduced as simulation.
+Two modes share one result type:
+
+* :func:`generate_load` drives a mini application through the
+  environment's event queue: request arrivals are scheduled as events
+  with deterministic inter-arrival jitter, so virtual time, resource
+  pressure, and application state evolve together.  This is the "high
+  load" and "peak load" from the Apache bug reports, reproduced as
+  simulation.
+* :func:`run_closed_loop` drives a *real* target (the ``repro serve``
+  daemon, any callable) with N concurrent clients, each issuing its
+  next request the moment the previous response lands -- the classic
+  closed-loop load generator.  It measures wall-clock throughput and
+  per-request latency, reported as p50/p95/p99 percentiles on
+  :class:`LoadResult`, so a serving benchmark sees tail latency rather
+  than just aggregate rate.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+import threading
+import time
+from typing import Any, Callable
 
 from repro.apps.base import MiniApplication
 from repro.errors import ApplicationCrash
@@ -44,18 +56,62 @@ class LoadResult:
     """Outcome of one generated load run.
 
     Attributes:
-        requests_issued: arrivals delivered to the application.
-        failures: requests that raised :class:`ApplicationCrash`.
-        virtual_seconds: simulated time consumed.
+        requests_issued: arrivals delivered to the target.
+        failures: requests that raised (:class:`ApplicationCrash` in
+            event mode, any exception in closed-loop mode).
+        virtual_seconds: simulated time consumed (event mode only).
+        wall_seconds: real time consumed (closed-loop mode only).
+        latencies: per-request wall latencies in seconds (closed-loop
+            mode only; empty in event mode, where requests complete
+            instantaneously in virtual time).
     """
 
     requests_issued: int = 0
     failures: int = 0
     virtual_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    latencies: list[float] = dataclasses.field(default_factory=list)
 
     @property
     def failure_free(self) -> bool:
         return self.failures == 0
+
+    @property
+    def throughput(self) -> float:
+        """Achieved requests per wall second (0.0 when unmeasured)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests_issued / self.wall_seconds
+
+    def latency_percentile(self, fraction: float) -> float | None:
+        """The latency at ``fraction`` (0..1], or None without samples.
+
+        Nearest-rank on the sorted sample: p99 of 100 samples is the
+        99th smallest, never an interpolated value that no request
+        actually experienced.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float | None:
+        """Median request latency in seconds."""
+        return self.latency_percentile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        """95th-percentile request latency in seconds."""
+        return self.latency_percentile(0.95)
+
+    @property
+    def p99(self) -> float | None:
+        """99th-percentile request latency in seconds."""
+        return self.latency_percentile(0.99)
 
 
 def generate_load(
@@ -110,3 +166,83 @@ def generate_load(
     app.env.events.drain(max_events=scheduled + 16)
     result.virtual_seconds = app.env.clock.now - start_time
     return result
+
+
+def run_closed_loop(
+    send: Callable[[int], Any],
+    *,
+    requests: int,
+    concurrency: int = 1,
+    on_failure: Callable[[int, Exception], None] | None = None,
+) -> LoadResult:
+    """Issue ``requests`` calls to ``send`` from closed-loop clients.
+
+    ``concurrency`` worker threads share one request counter; each
+    thread claims the next request index, calls ``send(index)``, records
+    the wall latency, and immediately claims the next -- so offered load
+    tracks service capacity instead of a fixed arrival rate, and the
+    result's percentiles describe the latency the clients actually saw.
+
+    A ``send`` that raises counts as a failure (its latency is still
+    recorded: a rejected request has a response time too); the run never
+    stops early.
+
+    Args:
+        send: one request; receives the global request index.
+        requests: total requests to issue across all clients.
+        concurrency: closed-loop client threads.
+        on_failure: optional callback ``(index, exception)`` per failed
+            request, called from the issuing thread.
+
+    Returns:
+        The load outcome with ``wall_seconds``, ``latencies``, and the
+        p50/p95/p99 views filled in.
+    """
+    if requests < 0:
+        raise ValueError("requests must be non-negative")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+
+    counter = iter(range(requests))
+    counter_lock = threading.Lock()
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    issued = [0] * concurrency
+    failures = [0] * concurrency
+
+    def client(slot: int) -> None:
+        while True:
+            with counter_lock:
+                index = next(counter, None)
+            if index is None:
+                return
+            issued[slot] += 1
+            started = time.perf_counter()
+            try:
+                send(index)
+            except Exception as exc:  # noqa: BLE001 -- load gen observes, never dies
+                failures[slot] += 1
+                if on_failure is not None:
+                    on_failure(index, exc)
+            finally:
+                latencies[slot].append(time.perf_counter() - started)
+
+    started = time.perf_counter()
+    if concurrency == 1:
+        client(0)
+    else:
+        threads = [
+            threading.Thread(target=client, args=(slot,), daemon=True)
+            for slot in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall = time.perf_counter() - started
+
+    return LoadResult(
+        requests_issued=sum(issued),
+        failures=sum(failures),
+        wall_seconds=wall,
+        latencies=[sample for slot in latencies for sample in slot],
+    )

@@ -30,6 +30,7 @@ import concurrent.futures
 import dataclasses
 import multiprocessing
 import os
+import threading
 import time
 from typing import Any, Callable, Sequence
 
@@ -40,10 +41,14 @@ from repro.harness.workunit import WorkUnit
 #: Runner signature: (unit, campaign context) -> JSON-serialisable result.
 UnitRunner = Callable[[WorkUnit, Any], dict[str, Any]]
 
-# Campaign runtime inherited by forked workers.  Set by WorkerPool.execute
-# immediately before the pool forks and cleared after; one campaign
-# executes at a time per process (nested campaigns should use workers=1).
+# Campaign runtime inherited by forked workers.  Only the *parallel*
+# path uses it (workers read their forked copy inside _execute_shard);
+# the serial path passes the runtime explicitly and is fully re-entrant,
+# so concurrent serial campaigns (the serve daemon's request threads)
+# never touch this global.  _RUNTIME_LOCK serialises concurrent parallel
+# campaigns around the fork window.
 _RUNTIME: tuple[UnitRunner, Any] | None = None
+_RUNTIME_LOCK = threading.Lock()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,14 +79,18 @@ def _execute_shard(
     shard: Sequence[WorkUnit],
     submitted_at: float,
     trace_parent: dict[str, Any] | None = None,
+    runtime: tuple[UnitRunner, Any] | None = None,
 ) -> list[UnitExecution]:
     """Run one shard of units in the current process (worker side).
 
     ``trace_parent`` is the dispatcher's span context: every unit span
     recorded here is parented under it, so worker-side spans link to the
     dispatching wave across the process boundary.
+
+    ``runtime`` is passed explicitly on the serial path; forked workers
+    leave it None and read the module global inherited at fork time.
     """
-    runner, context = _RUNTIME  # type: ignore[misc]  # set before fork
+    runner, context = runtime if runtime is not None else _RUNTIME  # type: ignore[misc]
     executions = []
     for unit in shard:
         started = time.monotonic()
@@ -176,20 +185,17 @@ class WorkerPool:
         trace_parent: dict[str, Any] | None,
         on_dispatch: Callable[[Sequence[WorkUnit]], None] | None,
     ) -> None:
-        global _RUNTIME
-        previous = _RUNTIME
-        _RUNTIME = (runner, context)
-        try:
-            submitted = time.monotonic()
-            # One unit at a time so completions reach the caller (and the
-            # journal) before a later unit can fail the campaign.
-            for unit in units:
-                if on_dispatch is not None:
-                    on_dispatch([unit])
-                for execution in _execute_shard([unit], submitted, trace_parent):
-                    on_unit(execution)
-        finally:
-            _RUNTIME = previous
+        runtime = (runner, context)
+        submitted = time.monotonic()
+        # One unit at a time so completions reach the caller (and the
+        # journal) before a later unit can fail the campaign.
+        for unit in units:
+            if on_dispatch is not None:
+                on_dispatch([unit])
+            for execution in _execute_shard(
+                [unit], submitted, trace_parent, runtime
+            ):
+                on_unit(execution)
 
     def _execute_parallel(
         self,
@@ -201,26 +207,29 @@ class WorkerPool:
         on_dispatch: Callable[[Sequence[WorkUnit]], None] | None,
     ) -> None:
         global _RUNTIME
-        previous = _RUNTIME
         # Workers inherit the runtime at fork time; nothing is pickled.
-        _RUNTIME = (runner, context)
-        shards = shard_units(units, shard_count_for(len(units), self.workers))
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"),
-            ) as executor:
-                futures = []
-                for shard in shards:
-                    if on_dispatch is not None:
-                        on_dispatch(shard)
-                    futures.append(
-                        executor.submit(
-                            _execute_shard, shard, time.monotonic(), trace_parent
+        # The lock serialises concurrent parallel campaigns (forked
+        # workers spawn lazily, so the global must hold *this* campaign's
+        # runtime for the executor's whole lifetime).
+        with _RUNTIME_LOCK:
+            _RUNTIME = (runner, context)
+            shards = shard_units(units, shard_count_for(len(units), self.workers))
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                ) as executor:
+                    futures = []
+                    for shard in shards:
+                        if on_dispatch is not None:
+                            on_dispatch(shard)
+                        futures.append(
+                            executor.submit(
+                                _execute_shard, shard, time.monotonic(), trace_parent
+                            )
                         )
-                    )
-                for future in concurrent.futures.as_completed(futures):
-                    for execution in future.result():
-                        on_unit(execution)
-        finally:
-            _RUNTIME = previous
+                    for future in concurrent.futures.as_completed(futures):
+                        for execution in future.result():
+                            on_unit(execution)
+            finally:
+                _RUNTIME = None

@@ -50,6 +50,7 @@ from repro.obs.flame import (
 from repro.obs.livestatus import (
     RunMonitor,
     eta_seconds,
+    healthz_view,
     read_snapshot,
     render_watch_line,
     write_snapshot,
@@ -110,6 +111,7 @@ __all__ = [
     "eta_seconds",
     "fold_stacks",
     "format_folded",
+    "healthz_view",
     "ingest",
     "install",
     "node_medians",

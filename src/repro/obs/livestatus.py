@@ -129,6 +129,7 @@ class RunMonitor:
         self._pending: set[str] = set()
         self._in_flight: dict[str, float] = {}
         self._done_wall = 0.0
+        self._info: dict[str, Any] = {}
 
     # -- scheduler lifecycle ------------------------------------------- #
 
@@ -160,6 +161,21 @@ class RunMonitor:
         self._state = STATE_FINISHED
         self._in_flight.clear()
         self._write(force=True)
+
+    def set_info(self, **fields: Any) -> None:
+        """Merge owner-specific fields into the snapshot's ``info`` map.
+
+        Long-running owners (the ``repro serve`` daemon) use this to
+        publish state the run/wave protocol has no slot for -- queue
+        depth, rejection counters, client counts.  Values must be
+        JSON-serialisable; setting a key to None removes it.
+        """
+        for key, value in fields.items():
+            if value is None:
+                self._info.pop(key, None)
+            else:
+                self._info[key] = value
+        self._write()
 
     # -- harness heartbeat protocol ------------------------------------ #
 
@@ -207,7 +223,7 @@ class RunMonitor:
             ),
             key=lambda entry: (-entry["seconds"], entry["name"]),
         )
-        return {
+        snapshot = {
             "version": SNAPSHOT_VERSION,
             "state": self._state,
             "label": self.label,
@@ -224,6 +240,9 @@ class RunMonitor:
             "in_flight_total": len(in_flight),
             "pending": sorted(self._pending),
         }
+        if self._info:
+            snapshot["info"] = dict(self._info)
+        return snapshot
 
     def _write(self, *, force: bool = False) -> None:
         now = time.monotonic()
@@ -231,6 +250,54 @@ class RunMonitor:
             return
         self._last_write = now
         write_snapshot(self.path, self.snapshot())
+
+
+# -- the health side ----------------------------------------------------- #
+
+
+def healthz_view(
+    snapshot: Mapping[str, Any] | None,
+    *,
+    now: float | None = None,
+    stale_after: float = DEFAULT_STALE_AFTER,
+) -> dict[str, Any]:
+    """A service-health summary derived from a :class:`RunMonitor` snapshot.
+
+    The serve daemon keeps one long-lived monitor heartbeating its
+    snapshot file; this view reduces that snapshot to the fields an
+    operator (or ``repro serve status``) asks about: liveness, uptime,
+    in-flight work, queue depth, and whether the heartbeat has gone
+    quiet.  Pure given its inputs (pass ``now`` in tests).
+
+    Returns:
+        ``{"healthy", "state", "uptime_seconds", "in_flight",
+        "queue_depth", "requests_done", "heartbeat_age_seconds",
+        "stale", ...}`` -- with ``state`` ``"missing"`` (and ``healthy``
+        False) when there is no snapshot at all.  Owner ``info`` fields
+        (see :meth:`RunMonitor.set_info`) are merged in verbatim.
+    """
+    if snapshot is None:
+        return {"healthy": False, "state": "missing", "stale": True}
+    now = now if now is not None else time.time()
+    age = max(0.0, now - snapshot.get("updated_at", now))
+    stale = age > stale_after
+    state = snapshot.get("state", "unknown")
+    info = snapshot.get("info", {})
+    view = {
+        "healthy": state == STATE_RUNNING and not stale,
+        "state": state,
+        "label": snapshot.get("label", "run"),
+        "uptime_seconds": snapshot.get("elapsed_seconds", 0.0),
+        "in_flight": snapshot.get("in_flight_total", 0),
+        "queue_depth": info.get("queue_depth", 0),
+        "requests_done": snapshot.get("done", 0),
+        "workers": snapshot.get("workers", 1),
+        "heartbeat_age_seconds": round(age, 3),
+        "stale": stale,
+    }
+    for key, value in info.items():
+        view.setdefault(key, value)
+    return view
 
 
 # -- the watch side ------------------------------------------------------ #

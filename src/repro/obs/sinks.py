@@ -17,6 +17,7 @@ cover the subsystem's needs:
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -57,14 +58,17 @@ class JsonlSink:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._stream = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
         self.emitted = 0
 
     def emit(self, record: dict[str, Any]) -> None:
-        self._stream.write(
-            json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
-        )
-        self._stream.flush()
-        self.emitted += 1
+        # Lock-guarded so concurrent request threads (the serve daemon)
+        # never interleave two records on one line.
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._stream.flush()
+            self.emitted += 1
 
     def close(self) -> None:
         if not self._stream.closed:

@@ -24,6 +24,12 @@ dispatching span.
 
 Span ids embed the recording pid plus a per-process counter, so ids
 never collide across forked workers.
+
+Thread re-entrancy: the active-span stack is *per thread*, so
+concurrent request threads (the ``repro serve`` daemon) each build
+their own parent chain instead of interleaving into one corrupted
+stack.  A forked worker continues the forking thread, so cross-process
+propagation through :func:`capture` is unaffected.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from __future__ import annotations
 import contextlib
 import itertools
 import os
+import threading
 import time
 import uuid
 from typing import Any, Iterator
@@ -123,23 +130,33 @@ class Tracer:
     def __init__(self, sink: Any = None, *, trace_id: str | None = None) -> None:
         self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
         self._sinks: list[Any] = [sink if sink is not None else NullSink()]
-        self._stack: list[str] = []
+        self._local = threading.local()
         self._ids = itertools.count(1)
 
     # -- span bookkeeping ---------------------------------------------- #
 
+    def _stack(self) -> list[str]:
+        # Per-thread active-span stack: concurrent request threads each
+        # keep their own parent chain.  Created lazily per thread.
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def _new_span_id(self) -> str:
-        # pid-qualified so ids from forked workers never collide.
+        # pid-qualified so ids from forked workers never collide; the
+        # counter increment is atomic under the GIL.
         return f"{os.getpid():x}-{next(self._ids):x}"
 
     def _current_span_id(self) -> str | None:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     def _push(self, span_id: str) -> None:
-        self._stack.append(span_id)
+        self._stack().append(span_id)
 
     def _pop(self) -> None:
-        self._stack.pop()
+        self._stack().pop()
 
     def _emit(self, record: dict[str, Any]) -> None:
         self._sinks[-1].emit(record)
@@ -171,14 +188,14 @@ class Tracer:
         adopted = parent is not None and parent.get("span_id") is not None
         previous_trace = self.trace_id
         if adopted:
-            self._stack.append(parent["span_id"])
+            self._stack().append(parent["span_id"])
             self.trace_id = parent.get("trace_id", previous_trace)
         try:
             yield buffer.records
         finally:
             self._sinks.pop()
             if adopted:
-                self._stack.pop()
+                self._stack().pop()
                 self.trace_id = previous_trace
 
     def ingest(self, records: Any) -> None:

@@ -1,0 +1,213 @@
+"""Admission control: bounded concurrency and per-client token quotas.
+
+A long-running service dies two ways under load: it accepts everything
+and thrashes, or one greedy client starves the rest.  This module is
+the front door that prevents both:
+
+* a **bounded slot count** caps requests in service (running or
+  waiting on a worker); when it is full, new requests are *rejected
+  immediately* with ``queue-full`` -- explicit backpressure the client
+  can see and back off from, never an invisible unbounded queue;
+* a **token bucket per client** enforces a sustained request rate with
+  a burst allowance; an exhausted bucket rejects with
+  ``quota-exhausted`` while other clients sail on;
+* a **drain flag** flips every subsequent decision to ``draining`` so a
+  graceful shutdown stops admitting without dropping in-flight work.
+
+Everything is lock-guarded and clock-injectable: decisions are
+deterministic given (clock, call order), which is what the admission
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Callable
+
+#: Rejection reasons (carried in the response's ``error`` field).
+REASON_QUEUE_FULL = "queue-full"
+REASON_QUOTA = "quota-exhausted"
+REASON_DRAINING = "draining"
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one request.
+
+    Attributes:
+        admitted: the request may run (the caller MUST pair this with
+            exactly one :meth:`AdmissionController.release`).
+        reason: why not, when refused (one of the ``REASON_*`` values).
+    """
+
+    admitted: bool
+    reason: str = ""
+
+
+class TokenBucket:
+    """A standard token bucket: burst capacity, steady refill rate.
+
+    Args:
+        capacity: maximum (and starting) token count -- the burst size.
+        refill_per_second: tokens added per second, up to ``capacity``.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_second: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if refill_per_second < 0:
+            raise ValueError("refill rate must be non-negative")
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        if elapsed and self.refill_per_second:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_second
+            )
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens + 1e-9 >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Current token count (after refill), for introspection."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class AdmissionController:
+    """The service's front door; see the module docstring.
+
+    Args:
+        max_pending: requests allowed in service at once (running plus
+            waiting for a worker thread).  The bound *is* the queue: a
+            request past it is rejected, not parked.
+        quota_capacity: per-client token-bucket burst size; None
+            disables quotas entirely.
+        quota_refill_per_second: per-client sustained request rate.
+        clock: monotonic time source shared by every bucket.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 64,
+        quota_capacity: float | None = None,
+        quota_refill_per_second: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.max_pending = max_pending
+        self.quota_capacity = quota_capacity
+        self.quota_refill_per_second = quota_refill_per_second
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._draining = False
+        self._buckets: dict[str, TokenBucket] = {}
+        self._counters = {
+            "admitted": 0,
+            "rejected_queue": 0,
+            "rejected_quota": 0,
+            "rejected_draining": 0,
+        }
+
+    # -- decisions ----------------------------------------------------- #
+
+    def admit(self, client: str) -> AdmissionDecision:
+        """Decide one request; an admitted caller must later release().
+
+        Order matters and is deliberate: the drain flag wins (shutdown
+        semantics beat everything), then backpressure (protect the
+        service before metering clients), then the client quota --
+        so a full queue never silently burns a client's tokens.
+        """
+        with self._lock:
+            if self._draining:
+                self._counters["rejected_draining"] += 1
+                return AdmissionDecision(False, REASON_DRAINING)
+            if self._pending >= self.max_pending:
+                self._counters["rejected_queue"] += 1
+                return AdmissionDecision(False, REASON_QUEUE_FULL)
+            bucket = self._bucket(client)
+            if bucket is not None and not bucket.try_acquire():
+                self._counters["rejected_quota"] += 1
+                return AdmissionDecision(False, REASON_QUOTA)
+            self._pending += 1
+            self._counters["admitted"] += 1
+            return AdmissionDecision(True)
+
+    def release(self) -> None:
+        """One admitted request finished (however it ended)."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError("release() without a matching admit()")
+            self._pending -= 1
+
+    def begin_drain(self) -> None:
+        """Refuse all future admissions; in-flight work is untouched."""
+        with self._lock:
+            self._draining = True
+
+    # -- introspection ------------------------------------------------- #
+
+    def _bucket(self, client: str) -> TokenBucket | None:
+        if self.quota_capacity is None:
+            return None
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.quota_capacity,
+                self.quota_refill_per_second,
+                clock=self._clock,
+            )
+        return bucket
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters and limits, JSON-serialisable (for healthz)."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "draining": self._draining,
+                "clients": len(self._buckets),
+                "quota_capacity": self.quota_capacity,
+                "quota_refill_per_second": self.quota_refill_per_second,
+                **self._counters,
+            }

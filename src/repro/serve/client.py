@@ -1,0 +1,158 @@
+"""Client side of the serve protocol: connect, request, decode.
+
+:class:`ServeClient` holds one connection and speaks the line protocol
+synchronously -- send a request line, read the response line.  That is
+all the daemon needs from a client, and it keeps the client usable from
+any thread as long as each thread owns its own client (the class is
+intentionally *not* thread-safe; the load generator opens one client
+per closed-loop slot).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    DEFAULT_CLIENT,
+    ProtocolError,
+    Request,
+    Response,
+    decode_response,
+    encode_line,
+)
+
+
+class ServeConnectionError(ReproError):
+    """Could not reach (or lost) the serve daemon."""
+
+
+class ServeClient:
+    """One synchronous connection to a serve daemon.
+
+    Args:
+        socket_path: the daemon's unix socket.
+        client: quota identity sent with every request (requests from
+            one identity share a token bucket server-side).
+        timeout: per-operation socket timeout in seconds.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        client: str = DEFAULT_CLIENT,
+        timeout: float = 30.0,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.client = client
+        self._sequence = 0
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ServeConnectionError(
+                f"cannot connect to serve daemon at {self.socket_path}: {exc}"
+            ) from None
+        self._sock: socket.socket | None = sock
+        self._reader = sock.makefile("rb")
+
+    # -- requests -------------------------------------------------------- #
+
+    def request(
+        self,
+        kind: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        id: str | None = None,
+    ) -> Response:
+        """Send one request and block for its response.
+
+        Raises:
+            ServeConnectionError: the connection is closed or dropped
+                mid-exchange (e.g. a non-drain shutdown).
+            ProtocolError: the daemon answered with a malformed line.
+        """
+        if self._sock is None:
+            raise ServeConnectionError("client is closed")
+        self._sequence += 1
+        request = Request(
+            kind=kind,
+            params=dict(params or {}),
+            client=self.client,
+            id=id if id is not None else f"c{self._sequence}",
+        )
+        try:
+            self._sock.sendall(encode_line(request))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"connection to {self.socket_path} lost: {exc}"
+            ) from None
+        if not line:
+            raise ServeConnectionError(
+                f"serve daemon at {self.socket_path} closed the connection"
+            )
+        return decode_response(line)
+
+    def ping(self) -> bool:
+        """True when the daemon answers a ping on this connection."""
+        try:
+            return self.request("ping").ok
+        except (ServeConnectionError, ProtocolError):
+            return False
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def wait_for_server(
+    socket_path: str | Path,
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.05,
+) -> bool:
+    """Poll until a daemon answers a ping on ``socket_path``.
+
+    Used after launching a detached daemon: the socket file appearing is
+    not enough (the listener may not be accepting yet), so this round-
+    trips an actual request.
+
+    Returns:
+        True once the daemon answers; False on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(socket_path, client="probe", timeout=interval * 10) as probe:
+                if probe.request("ping").ok:
+                    return True
+        except (ServeConnectionError, ProtocolError, OSError):
+            pass
+        time.sleep(interval)
+    return False

@@ -10,6 +10,7 @@ the full study graph from the per-subsystem adapters -- see
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping
 
 from repro.errors import ReproError
@@ -137,6 +138,7 @@ class Registry:
 
 
 _DEFAULT: Registry | None = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def default_registry() -> Registry:
@@ -144,10 +146,20 @@ def default_registry() -> Registry:
 
     The wiring lives in :mod:`repro.studygraph.nodes`; importing it is
     deferred so the registry layer stays free of domain imports.
+
+    Thread-safe: concurrent first calls (the ``repro serve`` daemon's
+    request threads) build the graph exactly once under a lock and every
+    caller receives the same fully-wired registry; the scheduler never
+    mutates it mid-request (:meth:`Registry.with_overrides` copies).
     """
     global _DEFAULT
-    if _DEFAULT is None:
-        from repro.studygraph.nodes import build_registry
+    registry = _DEFAULT
+    if registry is None:
+        with _DEFAULT_LOCK:
+            registry = _DEFAULT
+            if registry is None:
+                from repro.studygraph.nodes import build_registry
 
-        _DEFAULT = build_registry()
-    return _DEFAULT
+                registry = build_registry()
+                _DEFAULT = registry
+    return registry

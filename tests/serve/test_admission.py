@@ -1,0 +1,181 @@
+"""Admission control: buckets, backpressure, quotas, drain -- all on a
+fake clock, so every decision is deterministic."""
+
+import pytest
+
+from repro.serve.admission import (
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    REASON_QUOTA,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        clock = FakeClock()
+        bucket = TokenBucket(3, 1.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 0.5, clock=clock)
+        bucket.try_acquire(), bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(2.0)  # 2 s * 0.5/s = 1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 10.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_zero_refill_never_recovers(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 0.0, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(1e6)
+        assert not bucket.try_acquire()
+
+    @pytest.mark.parametrize("capacity,rate", [(0, 1.0), (-1, 1.0), (1, -0.1)])
+    def test_invalid_parameters(self, capacity, rate):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity, rate)
+
+
+class TestBackpressure:
+    def test_bound_is_enforced(self):
+        controller = AdmissionController(max_pending=2)
+        assert controller.admit("a").admitted
+        assert controller.admit("b").admitted
+        decision = controller.admit("c")
+        assert not decision.admitted
+        assert decision.reason == REASON_QUEUE_FULL
+
+    def test_release_reopens_a_slot(self):
+        controller = AdmissionController(max_pending=1)
+        assert controller.admit("a").admitted
+        assert not controller.admit("a").admitted
+        controller.release()
+        assert controller.admit("a").admitted
+
+    def test_unmatched_release_raises(self):
+        controller = AdmissionController(max_pending=1)
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_max_pending_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+
+
+class TestQuotas:
+    def test_per_client_exhaustion(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=100, quota_capacity=2, clock=clock
+        )
+        assert controller.admit("greedy").admitted
+        assert controller.admit("greedy").admitted
+        decision = controller.admit("greedy")
+        assert not decision.admitted and decision.reason == REASON_QUOTA
+
+    def test_clients_are_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=100, quota_capacity=1, clock=clock
+        )
+        assert controller.admit("greedy").admitted
+        assert not controller.admit("greedy").admitted
+        assert controller.admit("polite").admitted  # unaffected
+
+    def test_refill_restores_quota(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=100,
+            quota_capacity=1,
+            quota_refill_per_second=1.0,
+            clock=clock,
+        )
+        assert controller.admit("a").admitted
+        assert not controller.admit("a").admitted
+        clock.advance(1.0)
+        assert controller.admit("a").admitted
+
+    def test_full_queue_does_not_burn_tokens(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=1, quota_capacity=1, clock=clock
+        )
+        assert controller.admit("a").admitted
+        # Queue is full: client b is rejected for backpressure, and the
+        # rejection must not consume b's only token.
+        decision = controller.admit("b")
+        assert decision.reason == REASON_QUEUE_FULL
+        controller.release()
+        assert controller.admit("b").admitted
+
+
+class TestDrain:
+    def test_drain_rejects_everything(self):
+        controller = AdmissionController(max_pending=10)
+        assert controller.admit("a").admitted
+        controller.begin_drain()
+        decision = controller.admit("b")
+        assert not decision.admitted and decision.reason == REASON_DRAINING
+
+    def test_drain_wins_over_quota_and_queue(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=1, quota_capacity=1, clock=clock
+        )
+        assert controller.admit("a").admitted  # queue now full, quota spent
+        controller.begin_drain()
+        assert controller.admit("a").reason == REASON_DRAINING
+
+    def test_inflight_unaffected(self):
+        controller = AdmissionController(max_pending=2)
+        controller.admit("a")
+        controller.begin_drain()
+        assert controller.pending == 1
+        controller.release()
+        assert controller.pending == 0
+
+
+class TestSnapshot:
+    def test_counters_track_decisions(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=1, quota_capacity=1, clock=clock
+        )
+        controller.admit("a")       # admitted
+        controller.admit("b")       # queue-full
+        controller.release()
+        controller.admit("a")       # quota-exhausted
+        controller.begin_drain()
+        controller.admit("a")       # draining
+        snapshot = controller.snapshot()
+        assert snapshot["admitted"] == 1
+        assert snapshot["rejected_queue"] == 1
+        assert snapshot["rejected_quota"] == 1
+        assert snapshot["rejected_draining"] == 1
+        assert snapshot["max_pending"] == 1
+        assert snapshot["draining"] is True
+        # Only "a" ever reached the quota check ("b" bounced off the
+        # full queue first), so only one bucket exists.
+        assert snapshot["clients"] == 1

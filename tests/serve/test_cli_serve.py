@@ -1,0 +1,111 @@
+"""The ``repro serve`` CLI surface against an in-process daemon."""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.serve import AdmissionController, StudyServer, StudyService
+
+
+@pytest.fixture
+def sock_dir():
+    path = Path(tempfile.mkdtemp(dir="/tmp", prefix="repro-serve-cli-"))
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@pytest.fixture
+def server(sock_dir):
+    service = StudyService(admission=AdmissionController(max_pending=8))
+    server = StudyServer(service, sock_dir / "s.sock")
+    server.start()
+    yield server
+    server.shutdown()
+
+
+class TestServeParams:
+    def test_json_values_parse(self):
+        params = cli._serve_params(["node=T1", "scale=3", "flag=true"])
+        assert params == {"node": "T1", "scale": 3, "flag": True}
+
+    def test_malformed_pair_exits(self):
+        with pytest.raises(SystemExit):
+            cli._serve_params(["no-equals-sign"])
+
+
+class TestServeRequestCommand:
+    def test_request_prints_node_text(self, server, capsys):
+        rc = cli.main(
+            [
+                "serve", "request", "study",
+                "--socket", str(server.socket_path),
+                "--param", "node=T1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Classification of faults for Apache" in out
+
+    def test_request_matches_batch_output(self, server, capsys):
+        cli.main(
+            [
+                "serve", "request", "study",
+                "--socket", str(server.socket_path),
+                "--param", "node=catalog",
+            ]
+        )
+        served = capsys.readouterr().out
+        cli.main(["catalog"])
+        batch = capsys.readouterr().out
+        assert served == batch
+
+    def test_error_reports_on_stderr(self, server, capsys):
+        rc = cli.main(
+            [
+                "serve", "request", "study",
+                "--socket", str(server.socket_path),
+                "--param", "node=nope",
+            ]
+        )
+        assert rc == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_burst_prints_percentiles(self, server, capsys):
+        rc = cli.main(
+            [
+                "serve", "request", "ping",
+                "--socket", str(server.socket_path),
+                "--repeat", "20", "--concurrency", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "p99 ms" in out
+
+
+class TestServeStatusCommand:
+    def test_status_against_live_daemon(self, server, capsys):
+        rc = cli.main(
+            ["serve", "status", "--socket", str(server.socket_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out and "True" in out
+
+    def test_status_snapshot_fallback_after_shutdown(self, sock_dir, capsys):
+        server = StudyServer(StudyService(), sock_dir / "s.sock")
+        server.start()
+        server.shutdown()
+        rc = cli.main(
+            ["serve", "status", "--socket", str(server.socket_path)]
+        )
+        out = capsys.readouterr().out
+        assert "snapshot fallback" in out
+        assert rc == 1  # finished daemon is not healthy
+
+    def test_stop_without_daemon_exits(self, sock_dir):
+        with pytest.raises(SystemExit):
+            cli.main(["serve", "stop", "--socket", str(sock_dir / "none.sock")])

@@ -1,0 +1,94 @@
+"""Wire format: encode/decode round trips and structural validation."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    STATUS_REJECTED_BUSY,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_line,
+)
+
+
+class TestRequestCodec:
+    def test_round_trip(self):
+        request = Request(
+            kind="study", params={"node": "T1"}, client="ci", id="r-1"
+        )
+        decoded = decode_request(encode_line(request))
+        assert decoded == request
+
+    def test_line_terminated_and_canonical(self):
+        line = encode_line(Request(kind="ping"))
+        assert line.endswith(b"\n")
+        # Canonical encoding: sorted keys, no whitespace.
+        assert line == json.dumps(
+            json.loads(line), separators=(",", ":"), sort_keys=True
+        ).encode() + b"\n"
+
+    def test_defaults(self):
+        decoded = decode_request(b'{"kind": "ping"}\n')
+        assert decoded.params == {}
+        assert decoded.client == "anonymous"
+        assert decoded.id == ""
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json\n",
+            b"[1, 2]\n",
+            b'{"kind": "launch-missiles"}\n',
+            b'{"kind": "study", "params": [1]}\n',
+            b'{"kind": "study", "client": ""}\n',
+            b'{"kind": "study", "id": 7}\n',
+            "caf\xe9".encode("latin-1"),
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_oversized_encode_rejected(self):
+        request = Request(kind="study", params={"blob": "x" * MAX_LINE_BYTES})
+        with pytest.raises(ProtocolError):
+            encode_line(request)
+
+
+class TestResponseCodec:
+    def test_round_trip(self):
+        response = Response(id="r-1", status=STATUS_OK, payload={"n": 1})
+        decoded = decode_response(encode_line(response))
+        assert decoded == response
+        assert decoded.ok
+
+    def test_version_stamped(self):
+        data = json.loads(encode_line(Response(id="", status=STATUS_OK)))
+        assert data["version"] == PROTOCOL_VERSION
+
+    def test_rejection_flags(self):
+        response = decode_response(
+            b'{"id": "x", "status": "rejected-busy", "error": "queue-full"}'
+        )
+        assert response.rejected and not response.ok
+        assert response.status == STATUS_REJECTED_BUSY
+        assert response.error == "queue-full"
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_response(b'{"id": "x", "status": "maybe"}')
+
+    def test_empty_payload_omitted_on_wire(self):
+        data = json.loads(encode_line(Response(id="x", status=STATUS_OK)))
+        assert "payload" not in data and "error" not in data
