@@ -25,9 +25,21 @@ from repro.bugdb.model import BugReport, Comment, TriggerEvidence
 from repro.bugdb.database import BugDatabase
 from repro.bugdb.query import Query
 from repro.bugdb.textindex import TextIndex
+from repro.bugdb.segments import (
+    CompactionStats,
+    SegmentedTextIndex,
+    SegmentInfo,
+    segment_from_index,
+    segmented_equal_to_monolithic,
+)
 from repro.bugdb.jsonstore import dump_database, load_database
 
 __all__ = [
+    "CompactionStats",
+    "SegmentInfo",
+    "SegmentedTextIndex",
+    "segment_from_index",
+    "segmented_equal_to_monolithic",
     "TextIndex",
     "dump_database",
     "load_database",

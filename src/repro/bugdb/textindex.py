@@ -29,12 +29,12 @@ class TextIndex(Generic[DocId]):
     def __init__(self):
         self._postings: dict[str, set[DocId]] = {}
         self._sorted_tokens: list[str] | None = None
-        self._documents = 0
+        self._doc_ids: set[DocId] = set()
 
     @property
     def document_count(self) -> int:
-        """Number of indexed documents."""
-        return self._documents
+        """Number of distinct indexed documents."""
+        return len(self._doc_ids)
 
     @property
     def token_count(self) -> int:
@@ -42,11 +42,22 @@ class TextIndex(Generic[DocId]):
         return len(self._postings)
 
     def add(self, doc_id: DocId, text: str) -> None:
-        """Index one document (repeat calls extend the same document)."""
-        self._documents += 1
-        self._sorted_tokens = None
+        """Index one document (repeat calls extend the same document).
+
+        The sorted-token cache behind prefix queries survives adds that
+        introduce no new token; a genuinely new token is inserted into
+        the cache in place, so interleaved add/query workloads never
+        rebuild the full sorted list.
+        """
+        self._doc_ids.add(doc_id)
         for token in set(_TOKEN.findall(text.lower())):
-            self._postings.setdefault(token, set()).add(doc_id)
+            postings = self._postings.get(token)
+            if postings is not None:
+                postings.add(doc_id)
+                continue
+            self._postings[token] = {doc_id}
+            if self._sorted_tokens is not None:
+                bisect.insort(self._sorted_tokens, token)
 
     def add_all(self, documents: Iterable[tuple[DocId, str]]) -> None:
         """Index many (doc_id, text) pairs."""
@@ -59,14 +70,33 @@ class TextIndex(Generic[DocId]):
         Used to combine per-shard partial indexes built in parallel:
         each shard indexes its documents under globally unique ids, and
         the merged index is identical to indexing every document
-        serially.  Document counts add, so callers are responsible for
-        keeping id spaces disjoint (shared ids merge into one document's
-        posting set but still count twice).
+        serially.  Document counts are exact for any id spaces: a doc id
+        present on both sides merges into one document (its postings
+        union), never counting twice.
         """
+        new_tokens = False
         for token, documents in other._postings.items():
-            self._postings.setdefault(token, set()).update(documents)
-        self._documents += other._documents
-        self._sorted_tokens = None
+            postings = self._postings.get(token)
+            if postings is not None:
+                postings.update(documents)
+            else:
+                self._postings[token] = set(documents)
+                new_tokens = True
+        self._doc_ids |= other._doc_ids
+        if new_tokens:
+            self._sorted_tokens = None
+
+    def iter_postings(self) -> Iterable[tuple[str, list[DocId]]]:
+        """``(token, sorted doc ids)`` pairs in ascending token order.
+
+        This is the export surface segment writers consume
+        (:mod:`repro.bugdb.segments`): every posting list is sorted, so
+        dumping an index to an immutable on-disk segment is one linear
+        pass.  Doc ids must be orderable (the segmented index uses
+        ints).
+        """
+        for token in sorted(self._postings):
+            yield token, sorted(self._postings[token])
 
     def lookup(self, token: str) -> set[DocId]:
         """Documents containing the exact token."""

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.bugdb.enums import Application, FaultClass
@@ -106,20 +107,50 @@ def _cmd_mine_app(args: argparse.Namespace) -> int:
 def _cmd_mine_run(args: argparse.Namespace) -> int:
     from repro.harness.telemetry import Telemetry
     from repro.pipeline import mine_application
+    from repro.pipeline.cache import ParseMineCache
+    from repro.pipeline.runner import mine_archive_file
 
-    if not args.target_application:
-        raise SystemExit("mine run requires --application")
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
+    if args.max_shard_bytes is not None and args.max_shard_bytes < 1:
+        raise SystemExit("--max-shard-bytes must be positive")
+    if not args.target_application:
+        raise SystemExit("mine run requires --application")
     application = _application(args.target_application)
-    run = mine_application(
-        application,
-        scale=args.scale,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        telemetry=Telemetry(),
-    )
+
+    if args.archive is not None:
+        # Streaming byte-range path: the archive file is never loaded
+        # whole; shards are record-aligned byte ranges.
+        from repro.pipeline.streamsplit import DEFAULT_MAX_SHARD_BYTES
+
+        cache = (
+            ParseMineCache(args.cache_dir)
+            if (args.cache_dir is not None and not args.no_cache)
+            else None
+        )
+        run = mine_archive_file(
+            application,
+            args.archive,
+            max_shard_bytes=args.max_shard_bytes or DEFAULT_MAX_SHARD_BYTES,
+            workers=args.workers,
+            cache=cache,
+            telemetry=Telemetry(),
+            index_dir=args.index_dir,
+        )
+    else:
+        if args.max_shard_bytes is not None or args.index_dir is not None:
+            raise SystemExit(
+                "--max-shard-bytes/--index-dir require --archive "
+                "(the streaming file path)"
+            )
+        run = mine_application(
+            application,
+            scale=args.scale,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            telemetry=Telemetry(),
+        )
     print(
         format_table(
             ["stage", "survivors"],
@@ -132,6 +163,60 @@ def _cmd_mine_run(args: argparse.Namespace) -> int:
     for line in run.summary_lines():
         print(line)
     return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.bugdb.segments import SegmentedTextIndex
+
+    root = Path(args.dir)
+    if not (root / "manifest.json").exists():
+        raise SystemExit(f"no segment manifest under {args.dir!r}")
+    index = SegmentedTextIndex(root)
+    if args.index_action == "status":
+        status = index.status()
+        rows = [
+            ["documents", status["documents"]],
+            ["segments", status["segment_count"]],
+            ["size", f"{status['size_bytes'] / (1024 * 1024):.2f} MB"],
+            ["memtable docs", status["memtable_documents"]],
+            ["compactable tiers", len(status["compaction_candidates"])],
+        ]
+        print(format_table(["field", "value"], rows, title=f"Segment index {root}"))
+        if args.segments:
+            seg_rows = [
+                [
+                    seg["name"],
+                    seg["doc_base"],
+                    seg["doc_count"],
+                    seg["token_count"],
+                    f"{seg['size_bytes'] / 1024:.1f} KB",
+                ]
+                for seg in status["segments"]
+            ]
+            print(
+                format_table(
+                    ["segment", "doc base", "docs", "tokens", "size"],
+                    seg_rows,
+                )
+            )
+        return 0
+    if args.index_action == "compact":
+        stats = index.compact(full=args.full, tier_fanout=args.tier_fanout)
+        if not stats.compacted:
+            print("nothing to compact (no tier holds enough segments)")
+        else:
+            print(
+                f"merged {stats.merged_segments} segment(s) into "
+                f"{stats.produced_segments} "
+                f"({stats.bytes_read / (1024 * 1024):.2f} MB read, "
+                f"{stats.bytes_written / (1024 * 1024):.2f} MB written)"
+            )
+        print(
+            f"now {index.segment_count} segment(s), "
+            f"{index.document_count} document(s)"
+        )
+        return 0
+    raise SystemExit(f"unknown index action {args.index_action!r}")
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -1009,7 +1094,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the cache entirely, even with --cache-dir",
     )
+    mine_run.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="mine an archive file through the streaming byte-range path "
+        "instead of rendering one in memory",
+    )
+    mine_run.add_argument(
+        "--max-shard-bytes", type=int, default=None, metavar="N",
+        help="byte budget per streaming shard (requires --archive; "
+        "bounds per-worker memory)",
+    )
+    mine_run.add_argument(
+        "--index-dir", default=None, metavar="DIR",
+        help="build/extend an LSM-style segment index here while streaming "
+        "(requires --archive)",
+    )
     mine_run.set_defaults(func=_cmd_mine_run)
+
+    index = subparsers.add_parser(
+        "index", help="inspect and compact an on-disk segment text index"
+    )
+    index_sub = index.add_subparsers(dest="index_action", required=True)
+    index_status = index_sub.add_parser(
+        "status", help="segment count, sizes, doc totals, compactable tiers"
+    )
+    index_status.add_argument("dir", help="segment index directory")
+    index_status.add_argument(
+        "--segments", action="store_true", help="also list every segment"
+    )
+    index_status.set_defaults(func=_cmd_index)
+    index_compact = index_sub.add_parser(
+        "compact", help="run size-tiered compaction to a fixed point"
+    )
+    index_compact.add_argument("dir", help="segment index directory")
+    index_compact.add_argument(
+        "--full", action="store_true",
+        help="merge everything into a single segment regardless of tiers",
+    )
+    index_compact.add_argument(
+        "--tier-fanout", type=int, default=4, metavar="N",
+        help="segments per size tier before a merge triggers (default 4)",
+    )
+    index_compact.set_defaults(func=_cmd_index)
 
     replay = subparsers.add_parser("replay", help="replay all faults under recovery techniques")
     replay.add_argument(

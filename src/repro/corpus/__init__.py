@@ -19,13 +19,30 @@ from repro.corpus.apache import apache_corpus
 from repro.corpus.gnome import gnome_corpus
 from repro.corpus.mysql import mysql_corpus
 from repro.corpus.loader import full_study, StudyData
+from repro.corpus.stream import (
+    ArchiveWriteStats,
+    iter_apache_reports,
+    iter_gnome_reports,
+    iter_mysql_messages,
+    write_archive,
+    write_records,
+)
+from repro.corpus.synthetic import iter_synthetic_faults, synthetic_corpus
 
 __all__ = [
+    "ArchiveWriteStats",
     "StudyCorpus",
     "StudyData",
     "StudyFault",
     "apache_corpus",
     "full_study",
     "gnome_corpus",
+    "iter_apache_reports",
+    "iter_gnome_reports",
+    "iter_mysql_messages",
+    "iter_synthetic_faults",
     "mysql_corpus",
+    "synthetic_corpus",
+    "write_archive",
+    "write_records",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import random
+from typing import Iterator
 
 from repro.bugdb.enums import Application, Resolution, Severity, Status, Symptom
 from repro.bugdb.model import BugReport
@@ -100,6 +101,45 @@ def _spread_date(base: _dt.date, rng: random.Random) -> _dt.date:
     return base + _dt.timedelta(days=rng.randint(1, 120))
 
 
+def _noise_count(corpus: StudyCorpus, total_reports: int | None) -> int:
+    total = corpus.raw_report_count if total_reports is None else total_reports
+    count = total - corpus.total
+    if count < 0:
+        raise ValueError("total_reports smaller than the study corpus")
+    return count
+
+
+def iter_apache_noise(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+) -> Iterator[BugReport]:
+    """Generate Apache noise reports one at a time.
+
+    Yields ``total_reports - len(corpus.faults)`` reports with O(1)
+    memory — the streaming archive writers consume this directly, so a
+    million-report archive never materializes a report list.
+    Deterministic from ``seed``: the RNG call order is identical to the
+    legacy list API, so :func:`apache_noise` is exactly
+    ``list(iter_apache_noise(...))``.
+    """
+    rng = make_rng(seed, "apache-noise")
+    count = _noise_count(corpus, total_reports)
+    versions = corpus.versions()
+    for index in range(count):
+        kind = rng.random()
+        if kind < 0.55:
+            yield _question_report(index, Application.APACHE, versions, rng)
+        elif kind < 0.80:
+            yield _minor_bug_report(index, Application.APACHE, versions, rng)
+        elif kind < 0.90:
+            yield _dev_version_report(index, Application.APACHE, rng)
+        else:
+            fault = rng.choice(corpus.faults)
+            yield _duplicate_report(index, fault, rng, mark=rng.random() < 0.5)
+
+
 def apache_noise(
     corpus: StudyCorpus,
     *,
@@ -117,43 +157,23 @@ def apache_noise(
     Returns:
         ``total_reports - len(corpus.faults)`` noise reports.
     """
-    rng = make_rng(seed, "apache-noise")
-    total = corpus.raw_report_count if total_reports is None else total_reports
-    count = total - corpus.total
-    if count < 0:
-        raise ValueError("total_reports smaller than the study corpus")
-    reports: list[BugReport] = []
-    versions = corpus.versions()
-    for index in range(count):
-        kind = rng.random()
-        if kind < 0.55:
-            reports.append(_question_report(index, Application.APACHE, versions, rng))
-        elif kind < 0.80:
-            reports.append(_minor_bug_report(index, Application.APACHE, versions, rng))
-        elif kind < 0.90:
-            reports.append(_dev_version_report(index, Application.APACHE, rng))
-        else:
-            fault = rng.choice(corpus.faults)
-            reports.append(_duplicate_report(index, fault, rng, mark=rng.random() < 0.5))
-    return reports
+    return list(
+        iter_apache_noise(corpus, seed=seed, total_reports=total_reports)
+    )
 
 
-def gnome_noise(
+def iter_gnome_noise(
     corpus: StudyCorpus,
     *,
     seed: int = DEFAULT_SEED,
     total_reports: int | None = None,
     study_components: tuple[str, ...] = (),
-) -> list[BugReport]:
-    """Generate GNOME noise reports (components outside the study set,
-    low severities, wishlist items, duplicates)."""
+) -> Iterator[BugReport]:
+    """Generate GNOME noise reports one at a time (see
+    :func:`iter_apache_noise` for the streaming contract)."""
     rng = make_rng(seed, "gnome-noise")
-    total = corpus.raw_report_count if total_reports is None else total_reports
-    count = total - corpus.total
-    if count < 0:
-        raise ValueError("total_reports smaller than the study corpus")
+    count = _noise_count(corpus, total_reports)
     other_components = ("ee", "balsa", "gtop", "gnibbles", "gedit", "esound")
-    reports: list[BugReport] = []
     versions = corpus.versions()
     for index in range(count):
         kind = rng.random()
@@ -165,18 +185,36 @@ def gnome_noise(
             report.severity = Severity.CRITICAL
             report.symptom = Symptom.CRASH
             report.synopsis = f"{report.component} exits unexpectedly ({index})"
-            reports.append(report)
+            yield report
         elif kind < 0.70:
-            reports.append(_question_report(index, Application.GNOME, versions, rng))
+            yield _question_report(index, Application.GNOME, versions, rng)
         elif kind < 0.88:
             report = _minor_bug_report(index, Application.GNOME, versions, rng)
             if study_components:
                 report.component = rng.choice(study_components)
-            reports.append(report)
+            yield report
         else:
             fault = rng.choice(corpus.faults)
-            reports.append(_duplicate_report(index, fault, rng, mark=rng.random() < 0.5))
-    return reports
+            yield _duplicate_report(index, fault, rng, mark=rng.random() < 0.5)
+
+
+def gnome_noise(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+    study_components: tuple[str, ...] = (),
+) -> list[BugReport]:
+    """Generate GNOME noise reports (components outside the study set,
+    low severities, wishlist items, duplicates)."""
+    return list(
+        iter_gnome_noise(
+            corpus,
+            seed=seed,
+            total_reports=total_reports,
+            study_components=study_components,
+        )
+    )
 
 
 def _question_report(

@@ -1,0 +1,241 @@
+"""Streaming archive generation: million-report archives, bounded memory.
+
+The legacy renderers (:mod:`repro.corpus.render`) materialize every
+report, shuffle the full list, and join one giant string — fine at the
+paper's scale, impossible at 1M+ reports.  This module writes the same
+archive *formats* record-by-record:
+
+* :func:`iter_apache_reports` / :func:`iter_gnome_reports` /
+  :func:`iter_mysql_messages` — generator record streams combining the
+  curated study faults with the noise/chatter generators.  Noise
+  generation is byte-identical to the legacy list APIs (same RNG call
+  order); only the *interleaving* differs, since a true global shuffle
+  requires materializing the list.  Study faults land at seeded random
+  positions (Apache/GNOME) or threads pass through a seeded block
+  shuffle (MySQL), so large archives still interleave signal and noise.
+* :func:`write_records` — chunked archive writer: renders each record
+  and emits it with the format's separator, producing bytes identical
+  to ``render_archive`` of the same record sequence, at O(record)
+  memory.
+* :func:`write_archive` — the convenience that ties both together, the
+  scale benchmark's and CI's way to mint a multi-GB archive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.bugdb.enums import Application
+from repro.bugdb.model import BugReport
+from repro.corpus.noise import iter_apache_noise, iter_gnome_noise
+from repro.corpus.render import _chatter_thread, _duplicate_thread, fault_thread
+from repro.corpus.studyspec import StudyCorpus
+from repro.rng import DEFAULT_SEED, make_rng
+
+#: Per-application (record renderer, separator) pairs.  Joining rendered
+#: records with the separator and a trailing newline reproduces
+#: ``render_archive`` byte-for-byte.
+_WRITERS: dict[Application, tuple[Callable[[Any], str], str]] = {
+    Application.APACHE: (gnats.render_pr, "\n" + "=" * 72 + "\n"),
+    Application.GNOME: (debbugs.render_report, "\n\n\x0c\n"),
+    Application.MYSQL: (mbox.render_message, "\n\n"),
+}
+
+DEFAULT_SHUFFLE_BUFFER = 4096
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchiveWriteStats:
+    """What one streamed archive write produced."""
+
+    path: Path
+    records: int
+    bytes: int
+
+    @property
+    def megabytes(self) -> float:
+        return self.bytes / (1024 * 1024)
+
+
+def _block_shuffle(
+    stream: Iterable[Any], rng: random.Random, buffer_size: int
+) -> Iterator[Any]:
+    """Shuffle a stream within a bounded buffer (windowed, seeded)."""
+    block: list[Any] = []
+    for item in stream:
+        block.append(item)
+        if len(block) >= buffer_size:
+            rng.shuffle(block)
+            yield from block
+            block = []
+    if block:
+        rng.shuffle(block)
+        yield from block
+
+
+def _interleave_faults(
+    faults: list[BugReport],
+    noise: Iterator[BugReport],
+    total: int,
+    rng: random.Random,
+) -> Iterator[BugReport]:
+    """Yield ``total`` reports with faults at seeded random positions."""
+    rng.shuffle(faults)
+    positions = sorted(rng.sample(range(total), len(faults))) if faults else []
+    slot = 0
+    for position in range(total):
+        if slot < len(positions) and positions[slot] == position:
+            yield faults[slot]
+            slot += 1
+        else:
+            yield next(noise)
+
+
+def iter_apache_reports(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+) -> Iterator[BugReport]:
+    """Stream the Apache raw archive's reports (faults + noise).
+
+    Same report population as :func:`~repro.corpus.render.
+    apache_raw_archive` for the same seed; the interleaving is a seeded
+    fault-placement rather than a full-list shuffle.
+    """
+    total = corpus.raw_report_count if total_reports is None else total_reports
+    rng = make_rng(seed, "apache-stream-order")
+    faults = [fault.to_report(attach_evidence=False) for fault in corpus.faults]
+    noise = iter_apache_noise(corpus, seed=seed, total_reports=total_reports)
+    yield from _interleave_faults(faults, noise, total, rng)
+
+
+def iter_gnome_reports(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_reports: int | None = None,
+    study_components: tuple[str, ...] = (),
+) -> Iterator[BugReport]:
+    """Stream the GNOME raw archive's reports (faults + noise)."""
+    total = corpus.raw_report_count if total_reports is None else total_reports
+    rng = make_rng(seed, "gnome-stream-order")
+    faults = [fault.to_report(attach_evidence=False) for fault in corpus.faults]
+    noise = iter_gnome_noise(
+        corpus,
+        seed=seed,
+        total_reports=total_reports,
+        study_components=study_components,
+    )
+    yield from _interleave_faults(faults, noise, total, rng)
+
+
+def iter_mysql_messages(
+    corpus: StudyCorpus,
+    *,
+    seed: int = DEFAULT_SEED,
+    total_messages: int | None = None,
+    shuffle_buffer: int = DEFAULT_SHUFFLE_BUFFER,
+) -> Iterator[mbox.MailMessage]:
+    """Stream the MySQL mbox archive's messages.
+
+    Thread generation is identical to :func:`~repro.corpus.render.
+    mysql_raw_archive` (same RNG label, same call order), so the message
+    *population* matches the legacy renderer exactly; ordering passes
+    through a seeded block shuffle of ``shuffle_buffer`` messages
+    instead of a whole-archive shuffle.
+    """
+    rng = make_rng(seed, "mysql-archive")
+    order_rng = make_rng(seed, "mysql-stream-order")
+    total = corpus.raw_report_count if total_messages is None else total_messages
+
+    def generated() -> Iterator[mbox.MailMessage]:
+        count = 0
+        for fault in corpus.faults:
+            thread = fault_thread(fault, rng=rng)
+            count += len(thread)
+            yield from thread
+        duplicate_budget = max(4, corpus.total // 4)
+        for index in range(duplicate_budget):
+            thread = _duplicate_thread(index, rng.choice(corpus.faults), rng)
+            count += len(thread)
+            yield from thread
+        index = 0
+        while count < total:
+            thread = _chatter_thread(index, rng)
+            count += len(thread)
+            yield from thread
+            index += 1
+
+    yield from _block_shuffle(generated(), order_rng, shuffle_buffer)
+
+
+def write_records(
+    path: str | os.PathLike,
+    application: Application,
+    records: Iterable[Any],
+) -> ArchiveWriteStats:
+    """Write a record stream as an archive file, chunk by chunk.
+
+    Output bytes are identical to ``render_archive`` of the same record
+    sequence, but only one rendered record is ever in memory.
+    """
+    render, separator = _WRITERS[application]
+    sep_bytes = separator.encode("utf-8")
+    path = Path(path)
+    count = 0
+    written = 0
+    with open(path, "wb") as handle:
+        for record in records:
+            if count:
+                handle.write(sep_bytes)
+                written += len(sep_bytes)
+            payload = render(record).encode("utf-8")
+            handle.write(payload)
+            written += len(payload)
+            count += 1
+        handle.write(b"\n")
+        written += 1
+    return ArchiveWriteStats(path=path, records=count, bytes=written)
+
+
+def write_archive(
+    path: str | os.PathLike,
+    application: Application,
+    corpus: StudyCorpus,
+    *,
+    scale: int | None = None,
+    seed: int = DEFAULT_SEED,
+    study_components: tuple[str, ...] = (),
+    shuffle_buffer: int = DEFAULT_SHUFFLE_BUFFER,
+) -> ArchiveWriteStats:
+    """Stream-write one application's raw archive at any scale.
+
+    ``scale`` is the total record count (reports for Apache/GNOME,
+    approximate messages for MySQL); None uses the corpus's paper-scale
+    default.  Memory stays O(record + shuffle buffer) regardless of
+    ``scale`` — this is how the benchmarks mint 1M-report archives.
+    """
+    if application is Application.APACHE:
+        stream: Iterable[Any] = iter_apache_reports(
+            corpus, seed=seed, total_reports=scale
+        )
+    elif application is Application.GNOME:
+        stream = iter_gnome_reports(
+            corpus,
+            seed=seed,
+            total_reports=scale,
+            study_components=study_components,
+        )
+    elif application is Application.MYSQL:
+        stream = iter_mysql_messages(
+            corpus, seed=seed, total_messages=scale, shuffle_buffer=shuffle_buffer
+        )
+    else:
+        raise ValueError(f"no streaming writer for {application}")
+    return write_records(path, application, stream)

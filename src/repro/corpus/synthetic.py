@@ -11,6 +11,7 @@ is written.
 from __future__ import annotations
 
 import datetime as _dt
+from typing import Iterator
 
 from repro.bugdb.enums import Application, FaultClass, Symptom, TriggerKind
 from repro.corpus.studyspec import StudyCorpus, StudyFault
@@ -76,7 +77,7 @@ _EI_SUBJECTS = (
 )
 
 
-def synthetic_corpus(
+def iter_synthetic_faults(
     application: Application,
     *,
     env_independent: int,
@@ -84,23 +85,16 @@ def synthetic_corpus(
     transient: int,
     seed: int = DEFAULT_SEED,
     versions: tuple[str, ...] = ("1.0", "1.1", "2.0"),
-) -> StudyCorpus:
-    """Generate a synthetic study corpus with the given per-class counts.
+) -> Iterator[StudyFault]:
+    """Generate synthetic study faults one at a time.
 
-    Args:
-        application: nominal application identity of the corpus.
-        env_independent: number of environment-independent faults.
-        nontransient: number of environment-dependent-nontransient faults.
-        transient: number of environment-dependent-transient faults.
-        seed: deterministic generation seed.
-        versions: release labels to spread faults over.
-
-    Returns:
-        A validated corpus whose class counts equal the arguments.
+    The streaming form of :func:`synthetic_corpus`: identical faults in
+    identical order (same RNG call sequence), but O(1) memory — large
+    fault populations feed the chunked archive writers without ever
+    existing as a list.
     """
     rng = make_rng(seed, f"synthetic-{application.value}")
     base_date = _dt.date(1999, 1, 1)
-    faults: list[StudyFault] = []
 
     def mint(index: int, fault_class: FaultClass, trigger: TriggerKind) -> StudyFault:
         if trigger is TriggerKind.NONE:
@@ -138,20 +132,54 @@ def synthetic_corpus(
 
     index = 0
     for _ in range(env_independent):
-        faults.append(mint(index, FaultClass.ENV_INDEPENDENT, TriggerKind.NONE))
+        yield mint(index, FaultClass.ENV_INDEPENDENT, TriggerKind.NONE)
         index += 1
     for _ in range(nontransient):
         trigger = rng.choice(_NONTRANSIENT_TRIGGERS)
-        faults.append(mint(index, FaultClass.ENV_DEP_NONTRANSIENT, trigger))
+        yield mint(index, FaultClass.ENV_DEP_NONTRANSIENT, trigger)
         index += 1
     for _ in range(transient):
         trigger = rng.choice(_TRANSIENT_TRIGGERS)
-        faults.append(mint(index, FaultClass.ENV_DEP_TRANSIENT, trigger))
+        yield mint(index, FaultClass.ENV_DEP_TRANSIENT, trigger)
         index += 1
+
+
+def synthetic_corpus(
+    application: Application,
+    *,
+    env_independent: int,
+    nontransient: int,
+    transient: int,
+    seed: int = DEFAULT_SEED,
+    versions: tuple[str, ...] = ("1.0", "1.1", "2.0"),
+) -> StudyCorpus:
+    """Generate a synthetic study corpus with the given per-class counts.
+
+    Args:
+        application: nominal application identity of the corpus.
+        env_independent: number of environment-independent faults.
+        nontransient: number of environment-dependent-nontransient faults.
+        transient: number of environment-dependent-transient faults.
+        seed: deterministic generation seed.
+        versions: release labels to spread faults over.
+
+    Returns:
+        A validated corpus whose class counts equal the arguments.
+    """
+    faults = tuple(
+        iter_synthetic_faults(
+            application,
+            env_independent=env_independent,
+            nontransient=nontransient,
+            transient=transient,
+            seed=seed,
+            versions=versions,
+        )
+    )
 
     return StudyCorpus(
         application=application,
-        faults=tuple(faults),
+        faults=faults,
         expected_counts={
             FaultClass.ENV_INDEPENDENT: env_independent,
             FaultClass.ENV_DEP_NONTRANSIENT: nontransient,

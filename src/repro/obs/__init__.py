@@ -64,6 +64,8 @@ from repro.obs.perfdb import (
     check_regressions,
     node_medians,
     record_from_trace,
+    throughput_counters,
+    throughput_record,
 )
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, read_trace
 from repro.obs.span import (
@@ -124,6 +126,8 @@ __all__ = [
     "span",
     "speedscope_document",
     "summarize_trace",
+    "throughput_counters",
+    "throughput_record",
     "tracing",
     "uninstall",
     "write_snapshot",

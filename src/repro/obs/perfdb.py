@@ -268,6 +268,62 @@ class PerfDB:
         return [record for record in records if record.source == source]
 
 
+# -- throughput records --------------------------------------------------- #
+
+
+def throughput_counters(
+    name: str,
+    *,
+    wall_seconds: float,
+    bytes_count: float,
+    records_count: float,
+) -> dict[str, float]:
+    """Throughput counters (`<name>.mb_per_s` etc.) for one ingest span."""
+    counters = {
+        f"{name}.bytes": float(bytes_count),
+        f"{name}.records": float(records_count),
+    }
+    if wall_seconds > 0:
+        counters[f"{name}.mb_per_s"] = bytes_count / (1024 * 1024) / wall_seconds
+        counters[f"{name}.reports_per_s"] = records_count / wall_seconds
+    return counters
+
+
+def throughput_record(
+    name: str,
+    *,
+    wall_seconds: float,
+    bytes_count: int,
+    records_count: int,
+    workers: int = 1,
+    source: str = "stream",
+    status: str = STATUS_EXECUTED,
+    version: str | None = None,
+    label: str | None = None,
+    sha: str | None = None,
+) -> PerfRecord:
+    """A :class:`PerfRecord` for one streaming-ingest measurement.
+
+    The direct (no-trace) way the scale benchmark and ``repro mine run
+    --max-shard-bytes`` land MB/s and reports/sec in the history: one
+    node carrying the wall time, plus throughput counters from
+    :func:`throughput_counters`.
+    """
+    return PerfRecord.new(
+        {name: NodePerf(wall_seconds=wall_seconds, status=status, version=version)},
+        source=source,
+        workers=workers,
+        counters=throughput_counters(
+            name,
+            wall_seconds=wall_seconds,
+            bytes_count=float(bytes_count),
+            records_count=float(records_count),
+        ),
+        label=label,
+        sha=sha,
+    )
+
+
 # -- building records from traces --------------------------------------- #
 
 
@@ -284,6 +340,10 @@ def record_from_trace(
     Per-node wall seconds come from ``node:*`` spans (summed across
     repeats); cache hit/miss counters from ``memo:*`` and ``cache:*``
     span attributes; workers and trace id from the root span.
+    ``stream:parse:*`` spans (the streaming archive parser) become
+    nodes too, and their ``bytes``/``records`` attributes land as
+    throughput counters (``<span>.mb_per_s``, ``<span>.reports_per_s``)
+    so ingest rates accrue in the history alongside wall times.
     ``memo_walls`` adds nodes the traced run satisfied from the memo
     cache, carrying the historical wall seconds their META entry
     recorded.  ``versions`` stamps each node's version tag so later
@@ -308,6 +368,8 @@ def record_from_trace(
             workers = 1
 
     walls: dict[str, float] = {}
+    stream_walls: dict[str, float] = {}
+    stream_totals: dict[str, dict[str, float]] = {}
     for record in spans:
         name = record.get("name", "")
         seconds = max(0.0, record.get("end", 0.0) - record.get("start", 0.0))
@@ -315,6 +377,14 @@ def record_from_trace(
         if name.startswith("node:"):
             node = name[len("node:"):]
             walls[node] = walls.get(node, 0.0) + seconds
+        elif name.startswith("stream:parse:"):
+            stream_walls[name] = stream_walls.get(name, 0.0) + seconds
+            totals = stream_totals.setdefault(name, {"bytes": 0.0, "records": 0.0})
+            for key in ("bytes", "records"):
+                try:
+                    totals[key] += float(attrs.get(key, 0) or 0)
+                except (TypeError, ValueError):
+                    pass
         elif name.startswith("memo:"):
             key = "memo.hits" if attrs.get("hit") else "memo.misses"
             counters[key] = counters.get(key, 0) + 1
@@ -327,6 +397,21 @@ def record_from_trace(
             wall_seconds=seconds,
             status=STATUS_TRACED,
             version=versions.get(node),
+        )
+    for name, seconds in stream_walls.items():
+        nodes[name] = NodePerf(
+            wall_seconds=seconds,
+            status=STATUS_TRACED,
+            version=versions.get(name),
+        )
+        totals = stream_totals.get(name, {})
+        counters.update(
+            throughput_counters(
+                name,
+                wall_seconds=seconds,
+                bytes_count=totals.get("bytes", 0.0),
+                records_count=totals.get("records", 0.0),
+            )
         )
     for node, seconds in (memo_walls or {}).items():
         if node not in nodes:

@@ -12,6 +12,11 @@ traces bit-identical to the serial path:
 * :mod:`~repro.pipeline.shardparse` -- sharded parsing on the fork-based
   :mod:`repro.harness` pool with order-preserving merge, building
   partial inverted indexes as a parse by-product;
+* :mod:`~repro.pipeline.streamsplit` -- byte-offset record boundaries
+  over archive *files*: record-aligned shard byte-ranges scanned with
+  bounded memory, so multi-GB archives stream through
+  :func:`~repro.pipeline.shardparse.parse_archive_streamed` and land in
+  an LSM-style :class:`~repro.bugdb.segments.SegmentedTextIndex`;
 * :mod:`~repro.pipeline.cache` -- content-addressed (SHA-256 + version
   tag) on-disk parse/mine store with explicit invalidation;
 * :mod:`~repro.pipeline.records` -- JSON codecs for cached records;
@@ -29,21 +34,39 @@ from repro.pipeline.formats import FORMATS, ArchiveFormat, format_for
 from repro.pipeline.runner import PipelineRun, mine_application, mine_archive_text
 from repro.pipeline.shardparse import (
     KIND_PARSE_SHARD,
+    KIND_STREAM_SHARD,
     ParsedArchive,
+    StreamedParse,
     parse_archive_sharded,
+    parse_archive_streamed,
+)
+from repro.pipeline.streamsplit import (
+    ByteRange,
+    format_byte_ranges,
+    read_range,
+    shard_byte_ranges,
+    split_file,
 )
 
 __all__ = [
     "ArchiveFormat",
+    "ByteRange",
     "CACHE_FORMAT_VERSION",
     "FORMATS",
     "KIND_PARSE_SHARD",
+    "KIND_STREAM_SHARD",
     "ParseMineCache",
     "ParsedArchive",
     "PipelineRun",
+    "StreamedParse",
     "archive_digest",
+    "format_byte_ranges",
     "format_for",
     "mine_application",
     "mine_archive_text",
     "parse_archive_sharded",
+    "parse_archive_streamed",
+    "read_range",
+    "shard_byte_ranges",
+    "split_file",
 ]

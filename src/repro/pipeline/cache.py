@@ -41,6 +41,23 @@ def archive_digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def archive_file_digest(path: str | Path, *, block_size: int = 1 << 20) -> str:
+    """SHA-256 of an archive file, streamed in blocks.
+
+    Equals :func:`archive_digest` of the file's decoded text (the file
+    is the UTF-8 encoding), so file-fed and text-fed pipeline runs share
+    cache entries.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(block_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
 class ParseMineCache:
     """On-disk parse/mine cache rooted at ``cache_dir``.
 

@@ -59,6 +59,13 @@ class ArchiveFormat:
         index_text: when set, the text to index per record -- the
             sharded parser then builds per-shard partial indexes as a
             parse by-product and merges them for :attr:`mine`.
+        boundary_marker: the record-boundary marker :attr:`split` cuts
+            on, as text -- lets :mod:`repro.pipeline.streamsplit` find
+            the same boundaries as byte offsets in a file without
+            loading it.  None means the format has no streaming path.
+        boundary_line_anchored: the marker only counts at a line start
+            (mbox ``^From ``); False means plain substring semantics
+            (gnats/debbugs ``str.split``).
     """
 
     application: Application
@@ -73,6 +80,8 @@ class ArchiveFormat:
     item_to_dict: Callable[[Any], dict[str, Any]] = _records.report_to_dict
     item_from_dict: Callable[[dict[str, Any]], Any] = _records.report_from_dict
     index_text: Callable[[Any], str] | None = None
+    boundary_marker: str | None = None
+    boundary_line_anchored: bool = False
 
     @property
     def parse_tag(self) -> str:
@@ -129,6 +138,7 @@ FORMATS: dict[Application, ArchiveFormat] = {
         mine=_mine_apache,
         record_to_dict=_records.report_to_dict,
         record_from_dict=_records.report_from_dict,
+        boundary_marker="=" * 72,
     ),
     Application.GNOME: ArchiveFormat(
         application=Application.GNOME,
@@ -140,6 +150,7 @@ FORMATS: dict[Application, ArchiveFormat] = {
         mine=_mine_gnome,
         record_to_dict=_records.report_to_dict,
         record_from_dict=_records.report_from_dict,
+        boundary_marker="\x0c",
     ),
     Application.MYSQL: ArchiveFormat(
         application=Application.MYSQL,
@@ -152,6 +163,8 @@ FORMATS: dict[Application, ArchiveFormat] = {
         record_to_dict=_records.message_to_dict,
         record_from_dict=_records.message_from_dict,
         index_text=message_search_text,
+        boundary_marker="From ",
+        boundary_line_anchored=True,
     ),
 }
 

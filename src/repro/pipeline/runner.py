@@ -25,9 +25,10 @@ from repro.corpus.studyspec import StudyCorpus
 from repro.harness.telemetry import Telemetry
 from repro.mining.pipeline import MiningResult
 from repro.pipeline import records as _records
-from repro.pipeline.cache import ParseMineCache, archive_digest
+from repro.pipeline.cache import ParseMineCache, archive_digest, archive_file_digest
 from repro.pipeline.formats import ArchiveFormat, format_for
-from repro.pipeline.shardparse import parse_archive_sharded
+from repro.pipeline.shardparse import parse_archive_sharded, parse_archive_streamed
+from repro.pipeline.streamsplit import DEFAULT_MAX_SHARD_BYTES
 
 
 @dataclasses.dataclass
@@ -64,6 +65,17 @@ class PipelineRun:
                 f"worker process(es) "
                 f"({self.telemetry.gauge_value('parse.shard_utilization'):.0%} "
                 "shard utilization)"
+            )
+        stream = self.telemetry.timer("stream.wall")
+        if stream.count:
+            mb = self.telemetry.counter("stream.bytes") / (1024 * 1024)
+            records = self.telemetry.counter("stream.records")
+            wall = stream.total
+            rate = f", {mb / wall:.1f} MB/s, {records / wall:.0f} records/s" if wall > 0 else ""
+            lines.append(
+                f"stream: {wall * 1000:.1f} ms over "
+                f"{self.telemetry.counter('stream.ranges'):.0f} byte-range(s), "
+                f"{mb:.1f} MB, {records:.0f} record(s){rate}"
             )
         mine = self.telemetry.timer("mine.wall")
         if mine.count:
@@ -171,6 +183,115 @@ def mine_archive_text(
         result=result,
         digest=digest,
         mine_cache_hit=mine_cache_hit,
+        parse_cache_hit=parse_cache_hit,
+        telemetry=telemetry,
+    )
+
+
+def mine_archive_file(
+    application: Application,
+    path: str | Path,
+    *,
+    max_shard_bytes: int = DEFAULT_MAX_SHARD_BYTES,
+    workers: int = 1,
+    cache: ParseMineCache | None = None,
+    telemetry: Telemetry | None = None,
+    index_dir: str | Path | None = None,
+) -> PipelineRun:
+    """Mine an archive **file** through the streaming byte-range path.
+
+    The archive text is never loaded whole: shards are record-aligned
+    byte-ranges of at most ``max_shard_bytes`` (each worker's memory is
+    bounded by the shard budget), and with ``index_dir`` the parse
+    appends write-ahead segments to an LSM-style
+    :class:`~repro.bugdb.segments.SegmentedTextIndex` that the miner
+    then queries in place of the monolithic in-memory index.  Mining
+    itself still holds the parsed records; for parse+index-only
+    workloads at extreme scale, call
+    :func:`~repro.pipeline.shardparse.parse_archive_streamed` directly.
+
+    The mined result is identical to :func:`mine_archive_text` on the
+    file's contents, and the two share cache entries (same digest).
+    """
+    fmt = format_for(application)
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    digest = archive_file_digest(path)
+    parse_cache_hit = False
+
+    with telemetry.timed("pipeline.wall"), obs.span(
+        f"pipeline:{application.value}", workers=workers, streaming=True
+    ) as pipeline_span:
+        if cache is not None:
+            telemetry.count("cache.lookups")
+            payload = cache.load(digest, fmt.mine_tag)
+            if payload is not None:
+                telemetry.count("cache.mine.hits")
+                pipeline_span.set(mine_cache_hit=True)
+                result = _records.result_from_payload(payload, fmt.item_from_dict)
+                return PipelineRun(
+                    application=application,
+                    result=result,
+                    digest=digest,
+                    mine_cache_hit=True,
+                    parse_cache_hit=False,
+                    telemetry=telemetry,
+                )
+            telemetry.count("cache.mine.misses")
+
+        records = None
+        index = None
+        if cache is not None:
+            payload = cache.load(digest, fmt.parse_tag)
+            if payload is not None:
+                telemetry.count("cache.parse.hits")
+                parse_cache_hit = True
+                pipeline_span.set(parse_cache_hit=True)
+                with telemetry.timed("parse.decode"):
+                    records = [
+                        fmt.record_from_dict(data)
+                        for data in payload.get("records", [])
+                    ]
+            else:
+                telemetry.count("cache.parse.misses")
+
+        if records is None:
+            use_index = index_dir is not None and fmt.index_text is not None
+            parsed = parse_archive_streamed(
+                fmt,
+                path,
+                max_shard_bytes=max_shard_bytes,
+                workers=workers,
+                telemetry=telemetry,
+                index_dir=index_dir if use_index else None,
+                keep_records=True,
+            )
+            records, index = parsed.records, parsed.index
+            if cache is not None:
+                with telemetry.timed("cache.store.parse"):
+                    cache.store(
+                        digest,
+                        fmt.parse_tag,
+                        {"records": [fmt.record_to_dict(r) for r in records]},
+                    )
+
+        with telemetry.timed("mine.wall"), obs.span(
+            f"mine:{application.value}", records=len(records)
+        ):
+            result = fmt.mine(records, index)
+
+        if cache is not None:
+            with telemetry.timed("cache.store.mine"):
+                cache.store(
+                    digest,
+                    fmt.mine_tag,
+                    _records.result_to_payload(result, fmt.item_to_dict),
+                )
+
+    return PipelineRun(
+        application=application,
+        result=result,
+        digest=digest,
+        mine_cache_hit=False,
         parse_cache_hit=parse_cache_hit,
         telemetry=telemetry,
     )

@@ -122,3 +122,57 @@ class TestMerge:
         index.merge(TextIndex())
         assert index.document_count == 1
         assert index.lookup("crashed") == {"d1"}
+
+    def test_merge_never_double_counts_shared_doc_ids(self):
+        # both sides indexed the same document (e.g. a record on a shard
+        # boundary); the merged count is distinct documents, not a sum.
+        left, right = TextIndex(), TextIndex()
+        left.add("d1", "server crashed")
+        left.add("d2", "race condition")
+        right.add("d2", "race condition")
+        right.add("d3", "deadlock found")
+        left.merge(right)
+        assert left.document_count == 3
+        assert left.lookup("race") == {"d2"}
+
+    def test_merge_with_no_new_tokens_keeps_prefix_cache(self):
+        left, right = TextIndex(), TextIndex()
+        left.add("d1", "server crashed")
+        right.add("d2", "server crashed")
+        assert left.lookup_prefix("crash") == {"d1"}
+        cache = left._sorted_tokens
+        assert cache is not None
+        left.merge(right)
+        # same token set: the sorted cache survives and stays correct
+        assert left._sorted_tokens is cache
+        assert left.lookup_prefix("crash") == {"d1", "d2"}
+
+
+class TestSortedTokenCache:
+    def test_add_existing_token_does_not_invalidate(self):
+        index = TextIndex()
+        index.add("d1", "server crashed")
+        assert index.lookup_prefix("serv") == {"d1"}
+        cache = index._sorted_tokens
+        index.add("d2", "crashed server")  # no new tokens
+        assert index._sorted_tokens is cache
+        assert index.lookup_prefix("serv") == {"d1", "d2"}
+
+    def test_new_token_inserted_into_live_cache(self):
+        index = TextIndex()
+        index.add("d1", "server crashed")
+        assert index.lookup_prefix("serv") == {"d1"}
+        cache = index._sorted_tokens
+        index.add("d2", "assertion tripped")
+        # the cache object is extended in place, never rebuilt
+        assert index._sorted_tokens is cache
+        assert index._sorted_tokens == sorted(index._postings)
+        assert index.lookup_prefix("assert") == {"d2"}
+
+    def test_iter_postings_sorted_and_complete(self):
+        index = TextIndex()
+        index.add(1, "zebra apple")
+        index.add(0, "apple mango")
+        postings = list(index.iter_postings())
+        assert [token for token, _ in postings] == ["apple", "mango", "zebra"]
+        assert dict(postings)["apple"] == [0, 1]

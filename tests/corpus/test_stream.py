@@ -1,0 +1,173 @@
+"""Tests for streaming archive generation."""
+
+import pytest
+
+from repro.bugdb import debbugs, gnats, mbox
+from repro.bugdb.enums import Application
+from repro.corpus.noise import (
+    apache_noise,
+    gnome_noise,
+    iter_apache_noise,
+    iter_gnome_noise,
+)
+from repro.corpus.render import (
+    apache_raw_archive,
+    gnome_raw_archive,
+    mysql_raw_archive,
+)
+from repro.corpus.stream import (
+    _block_shuffle,
+    iter_apache_reports,
+    iter_gnome_reports,
+    iter_mysql_messages,
+    write_archive,
+    write_records,
+)
+from repro.rng import make_rng
+
+
+class TestNoiseGenerators:
+    def test_iter_apache_noise_equals_list_api(self, apache):
+        assert list(iter_apache_noise(apache, total_reports=200)) == (
+            apache_noise(apache, total_reports=200)
+        )
+
+    def test_iter_gnome_noise_equals_list_api(self, gnome):
+        assert list(iter_gnome_noise(gnome, total_reports=150)) == (
+            gnome_noise(gnome, total_reports=150)
+        )
+
+    def test_noise_generation_is_lazy(self, apache):
+        stream = iter_apache_noise(apache, total_reports=10_000)
+        first = next(stream)
+        assert first.report_id  # produced without materializing the rest
+
+
+class TestReportStreams:
+    def test_apache_stream_population_matches_renderer(self, apache):
+        streamed = sorted(
+            gnats.render_pr(report)
+            for report in iter_apache_reports(apache, total_reports=300)
+        )
+        rendered = sorted(
+            gnats.render_pr(report)
+            for report in gnats.parse_archive(
+                apache_raw_archive(apache, total_reports=300)
+            )
+        )
+        assert streamed == rendered
+
+    def test_gnome_stream_population_matches_renderer(self, gnome):
+        streamed = sorted(
+            debbugs.render_report(report)
+            for report in iter_gnome_reports(gnome, total_reports=200)
+        )
+        rendered = sorted(
+            debbugs.render_report(report)
+            for report in debbugs.parse_archive(
+                gnome_raw_archive(gnome, total_reports=200)
+            )
+        )
+        assert streamed == rendered
+
+    def test_mysql_stream_population_matches_renderer(self, mysql):
+        streamed = sorted(
+            mbox.render_message(message)
+            for message in iter_mysql_messages(mysql, total_messages=1500)
+        )
+        rendered = sorted(
+            mbox.render_message(message)
+            for message in mbox.parse_archive(
+                mysql_raw_archive(mysql, total_messages=1500)
+            )
+        )
+        assert streamed == rendered
+
+    def test_streams_are_deterministic(self, apache):
+        first = [r.report_id for r in iter_apache_reports(apache, total_reports=100)]
+        second = [r.report_id for r in iter_apache_reports(apache, total_reports=100)]
+        assert first == second
+
+    def test_all_study_faults_present(self, apache):
+        fault_ids = {fault.to_report(attach_evidence=False).report_id
+                     for fault in apache.faults}
+        streamed_ids = {
+            report.report_id
+            for report in iter_apache_reports(apache, total_reports=200)
+        }
+        assert fault_ids <= streamed_ids
+
+
+class TestBlockShuffle:
+    def test_preserves_population(self):
+        items = list(range(100))
+        shuffled = list(_block_shuffle(iter(items), make_rng(1, "t"), 16))
+        assert sorted(shuffled) == items
+        assert shuffled != items
+
+    def test_is_seeded(self):
+        items = list(range(50))
+        first = list(_block_shuffle(iter(items), make_rng(7, "t"), 8))
+        second = list(_block_shuffle(iter(items), make_rng(7, "t"), 8))
+        assert first == second
+
+    def test_buffer_bounds_displacement(self):
+        # an item can move at most one buffer-width from its source slot
+        items = list(range(100))
+        shuffled = list(_block_shuffle(iter(items), make_rng(3, "t"), 10))
+        for position, item in enumerate(shuffled):
+            assert abs(position - item) < 10
+
+
+class TestWriters:
+    @pytest.mark.parametrize(
+        "application",
+        [Application.APACHE, Application.GNOME, Application.MYSQL],
+    )
+    def test_write_records_byte_identical_to_render_archive(
+        self, tmp_path, study, application
+    ):
+        corpus = study.corpus(application)
+        if application is Application.APACHE:
+            reference = apache_raw_archive(corpus, total_reports=150)
+            records = gnats.parse_archive(reference)
+        elif application is Application.GNOME:
+            reference = gnome_raw_archive(corpus, total_reports=120)
+            records = debbugs.parse_archive(reference)
+        else:
+            reference = mysql_raw_archive(corpus, total_messages=600)
+            records = mbox.parse_archive(reference)
+        path = tmp_path / "out"
+        stats = write_records(path, application, records)
+        assert path.read_text(encoding="utf-8") == reference
+        assert stats.records == len(records)
+        assert stats.bytes == path.stat().st_size
+
+    @pytest.mark.parametrize(
+        "application",
+        [Application.APACHE, Application.GNOME, Application.MYSQL],
+    )
+    def test_write_archive_round_trips_through_the_parser(
+        self, tmp_path, study, application
+    ):
+        from repro.pipeline.formats import format_for
+
+        corpus = study.corpus(application)
+        path = tmp_path / "archive"
+        stats = write_archive(path, application, corpus, scale=300)
+        fmt = format_for(application)
+        records = fmt.parse(path.read_text(encoding="utf-8"))
+        assert len(records) == stats.records
+        assert stats.records >= 300
+
+    def test_write_archive_scales_past_default(self, tmp_path, apache):
+        small = write_archive(tmp_path / "s", Application.APACHE, apache, scale=100)
+        large = write_archive(tmp_path / "l", Application.APACHE, apache, scale=400)
+        assert large.records == 400
+        assert small.records == 100
+        assert large.bytes > small.bytes
+        assert large.megabytes == large.bytes / (1024 * 1024)
+
+    def test_write_archive_rejects_unknown_application(self, tmp_path, apache):
+        with pytest.raises((ValueError, KeyError)):
+            write_archive(tmp_path / "x", "not-an-app", apache)

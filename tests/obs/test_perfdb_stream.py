@@ -1,0 +1,138 @@
+"""Throughput counters/records for streaming ingest spans."""
+
+import pytest
+
+from repro.obs.perfdb import (
+    STATUS_EXECUTED,
+    STATUS_TRACED,
+    record_from_trace,
+    throughput_counters,
+    throughput_record,
+)
+
+
+def span(name, span_id, start, end, parent_id=None, **attrs):
+    record = {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "trace_id": "t1",
+        "start": float(start),
+        "end": float(end),
+        "pid": 1,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+class TestThroughputCounters:
+    def test_rates_computed_from_wall(self):
+        counters = throughput_counters(
+            "stream:parse:mysql",
+            wall_seconds=2.0,
+            bytes_count=4 * 1024 * 1024,
+            records_count=1000,
+        )
+        assert counters["stream:parse:mysql.bytes"] == 4 * 1024 * 1024
+        assert counters["stream:parse:mysql.records"] == 1000
+        assert counters["stream:parse:mysql.mb_per_s"] == pytest.approx(2.0)
+        assert counters["stream:parse:mysql.reports_per_s"] == pytest.approx(500.0)
+
+    def test_zero_wall_omits_rates(self):
+        counters = throughput_counters(
+            "s", wall_seconds=0.0, bytes_count=10, records_count=1
+        )
+        assert "s.mb_per_s" not in counters
+        assert "s.reports_per_s" not in counters
+        assert counters["s.bytes"] == 10
+
+
+class TestThroughputRecord:
+    def test_record_carries_node_and_counters(self):
+        record = throughput_record(
+            "stream:parse:mysql",
+            wall_seconds=4.0,
+            bytes_count=8 * 1024 * 1024,
+            records_count=2000,
+            workers=3,
+            label="bench",
+            sha="cafe",
+        )
+        assert record.source == "stream"
+        assert record.workers == 3
+        assert record.label == "bench"
+        node = record.nodes["stream:parse:mysql"]
+        assert node.wall_seconds == pytest.approx(4.0)
+        assert node.status == STATUS_EXECUTED
+        assert record.counters["stream:parse:mysql.mb_per_s"] == pytest.approx(2.0)
+        assert record.counters["stream:parse:mysql.reports_per_s"] == (
+            pytest.approx(500.0)
+        )
+
+
+class TestStreamSpansInTraces:
+    def trace(self):
+        return [
+            span("pipeline:mysql", "r", 0.0, 10.0, workers=2),
+            span(
+                "stream:parse:mysql", "s1", 0.0, 4.0, parent_id="r",
+                bytes=2 * 1024 * 1024, records=800, ranges=5,
+            ),
+            span("node:T1", "n1", 4.0, 6.0, parent_id="r"),
+        ]
+
+    def test_stream_span_becomes_a_node(self):
+        record = record_from_trace(self.trace())
+        node = record.nodes["stream:parse:mysql"]
+        assert node.wall_seconds == pytest.approx(4.0)
+        assert node.status == STATUS_TRACED
+
+    def test_stream_span_lands_throughput_counters(self):
+        record = record_from_trace(self.trace())
+        assert record.counters["stream:parse:mysql.bytes"] == 2 * 1024 * 1024
+        assert record.counters["stream:parse:mysql.records"] == 800
+        assert record.counters["stream:parse:mysql.mb_per_s"] == pytest.approx(0.5)
+        assert record.counters["stream:parse:mysql.reports_per_s"] == (
+            pytest.approx(200.0)
+        )
+
+    def test_repeated_stream_spans_accumulate(self):
+        trace = self.trace() + [
+            span(
+                "stream:parse:mysql", "s2", 6.0, 8.0, parent_id="r",
+                bytes=1024 * 1024, records=200,
+            )
+        ]
+        record = record_from_trace(trace)
+        assert record.nodes["stream:parse:mysql"].wall_seconds == pytest.approx(6.0)
+        assert record.counters["stream:parse:mysql.records"] == 1000
+
+    def test_malformed_attrs_are_ignored(self):
+        trace = [
+            span("pipeline:mysql", "r", 0.0, 1.0),
+            span(
+                "stream:parse:mysql", "s1", 0.0, 1.0, parent_id="r",
+                bytes="not-a-number", records=None,
+            ),
+        ]
+        record = record_from_trace(trace)
+        assert record.counters["stream:parse:mysql.bytes"] == 0.0
+
+    def test_live_streamed_parse_trace_round_trips(self, tmp_path, study):
+        """An actual traced streaming parse produces throughput counters."""
+        from repro import obs
+        from repro.bugdb.enums import Application
+        from repro.pipeline import format_for, parse_archive_streamed
+
+        fmt = format_for(Application.MYSQL)
+        text = fmt.render(study.corpus(Application.MYSQL), 800)
+        path = tmp_path / "mysql.mbox"
+        path.write_text(text, encoding="utf-8")
+        sink = obs.MemorySink()
+        with obs.tracing(sink):
+            parse_archive_streamed(fmt, path, max_shard_bytes=64 << 10)
+        record = record_from_trace(sink.records)
+        assert "stream:parse:mysql" in record.nodes
+        assert record.counters["stream:parse:mysql.records"] > 0
+        assert record.counters["stream:parse:mysql.mb_per_s"] > 0

@@ -271,6 +271,83 @@ class TestEverySubcommandSmoke:
             main(["mine", "run"])
 
 
+class TestStreamingMineAndIndexCommands:
+    @pytest.fixture()
+    def archive(self, tmp_path):
+        from repro.bugdb.enums import Application
+        from repro.corpus import mysql_corpus, write_archive
+
+        path = tmp_path / "mysql.mbox"
+        write_archive(path, Application.MYSQL, mysql_corpus(), scale=1200)
+        return path
+
+    def test_mine_run_archive_streams_and_indexes(self, capsys, tmp_path, archive):
+        index_dir = tmp_path / "idx"
+        assert main([
+            "mine", "run", "--application", "mysql",
+            "--archive", str(archive),
+            "--max-shard-bytes", str(128 << 10),
+            "--index-dir", str(index_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Mining narrowing for MySQL" in out
+        assert "stream:" in out
+        assert "MB/s" in out
+        assert (index_dir / "manifest.json").exists()
+
+    def test_mine_run_streaming_flags_require_archive(self):
+        with pytest.raises(SystemExit, match="--archive"):
+            main(["mine", "run", "--application", "mysql",
+                  "--max-shard-bytes", "1024"])
+        with pytest.raises(SystemExit, match="--archive"):
+            main(["mine", "run", "--application", "mysql",
+                  "--index-dir", "/tmp/nowhere"])
+
+    def test_mine_run_rejects_nonpositive_shard_budget(self, archive):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["mine", "run", "--application", "mysql",
+                  "--archive", str(archive), "--max-shard-bytes", "0"])
+
+    def test_index_status_and_compact(self, capsys, tmp_path, archive):
+        index_dir = tmp_path / "idx"
+        assert main([
+            "mine", "run", "--application", "mysql",
+            "--archive", str(archive),
+            "--max-shard-bytes", str(64 << 10),
+            "--index-dir", str(index_dir),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["index", "status", str(index_dir), "--segments"]) == 0
+        out = capsys.readouterr().out
+        assert "Segment index" in out
+        assert "wal-000000" in out
+
+        assert main(["index", "compact", str(index_dir), "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out
+        assert "1 segment(s)" in out
+
+        assert main(["index", "status", str(index_dir)]) == 0
+        assert "documents" in capsys.readouterr().out
+
+    def test_index_status_without_manifest_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["index", "status", str(tmp_path / "missing")])
+
+    def test_compact_on_compacted_index_reports_no_op(
+        self, capsys, tmp_path, archive
+    ):
+        index_dir = tmp_path / "idx"
+        main(["mine", "run", "--application", "mysql",
+              "--archive", str(archive), "--index-dir", str(index_dir)])
+        capsys.readouterr()
+        assert main(["index", "compact", str(index_dir), "--full"]) == 0
+        capsys.readouterr()
+        assert main(["index", "compact", str(index_dir)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+
 class TestGoldenOutputs:
     """Exact-stdout checks for the two most-quoted commands."""
 
