@@ -287,13 +287,26 @@ class SegmentedTextIndex:
             self._readers[info.name] = reader
         return reader
 
-    def next_segment_name(self, hint: str | None = None) -> str:
-        """Mint a fresh segment name (``hint`` wins for staged WAL names)."""
-        if hint is not None:
-            return hint
+    def next_segment_name(self) -> str:
+        """Mint a fresh segment name from the persistent id counter."""
         name = f"seg-{self._next_id:06d}"
         self._next_id += 1
         return name
+
+    def reserve_segment_names(self, count: int, *, prefix: str = "wal") -> list[str]:
+        """Mint ``count`` fresh staged-segment names in one block.
+
+        Names come from the same persistent id counter as
+        :meth:`next_segment_name`, so staged write-ahead segments can
+        never collide with segments already committed to the manifest —
+        re-running a parse against an existing index *extends* it
+        instead of silently clobbering earlier runs' postings.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        names = [f"{prefix}-{self._next_id + offset:06d}" for offset in range(count)]
+        self._next_id += count
+        return names
 
     # ------------------------------------------------------------------
     # write path
@@ -333,10 +346,12 @@ class SegmentedTextIndex:
             return None
         name = self.next_segment_name()
         info = segment_from_index(self.root, name, self._memtable)
-        committed = self.commit_segments([info.name])[0]
+        # Clear the memtable before committing: commit_segments refuses
+        # to run with memtable documents (their global ids would shift).
+        # The staged segment's doc_base lands exactly at the old
+        # memtable base, so every id handed out by add() is preserved.
         self._memtable = TextIndex()
-        self._memtable_base = self.document_count
-        return committed
+        return self.commit_segments([info.name])[0]
 
     def commit_segments(self, names: list[str]) -> list[SegmentInfo]:
         """Attach staged segments to the manifest **in the given order**.
@@ -345,7 +360,23 @@ class SegmentedTextIndex:
         the point where per-shard local ids become a single global id
         space.  The commit is atomic: one manifest replace covers all
         names.
+
+        Raises :class:`SegmentError` if the memtable holds documents
+        (committing would shift the global ids :meth:`add` already
+        returned — call :meth:`flush` first) or if a name is already in
+        the manifest (committing it again would re-read the same file
+        under two doc bases).
         """
+        if self._memtable.document_count:
+            raise SegmentError(
+                "cannot commit segments while the memtable holds "
+                f"{self._memtable.document_count} document(s); flush() first"
+            )
+        existing = {info.name for info in self._segments}
+        for name in names:
+            if name in existing:
+                raise SegmentError(f"segment {name} is already committed")
+            existing.add(name)
         committed: list[SegmentInfo] = []
         base = sum(info.doc_count for info in self._segments)
         for name in names:
@@ -367,7 +398,7 @@ class SegmentedTextIndex:
         self._next_id = max(
             self._next_id,
             1 + max(
-                (int(info.name.rsplit("-", 1)[1])
+                (int(info.name.rsplit("-", 1)[-1])
                  for info in self._segments
                  if info.name.rsplit("-", 1)[-1].isdigit()),
                 default=0,

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.bugdb.enums import Application
+from repro.bugdb.segments import SegmentedTextIndex
 from repro.corpus.loader import full_study
 from repro.corpus.studyspec import StudyCorpus
 from repro.harness.telemetry import Telemetry
@@ -212,18 +213,30 @@ def mine_archive_file(
 
     The mined result is identical to :func:`mine_archive_text` on the
     file's contents, and the two share cache entries (same digest).
+    When ``index_dir`` names an index with no documents yet, cache
+    *reads* are bypassed so the parse that builds the segmented index
+    always runs — otherwise a warm cache would silently skip the
+    requested on-disk artifact.  An already-populated index is left
+    as-is and cache hits short-circuit as usual.
     """
     fmt = format_for(application)
     telemetry = telemetry if telemetry is not None else Telemetry()
     digest = archive_file_digest(path)
     parse_cache_hit = False
 
+    use_index = index_dir is not None and fmt.index_text is not None
+    need_index = (
+        use_index and SegmentedTextIndex(index_dir).document_count == 0
+    )
+    read_cache = None if need_index else cache
+
     with telemetry.timed("pipeline.wall"), obs.span(
         f"pipeline:{application.value}", workers=workers, streaming=True
     ) as pipeline_span:
         if cache is not None:
             telemetry.count("cache.lookups")
-            payload = cache.load(digest, fmt.mine_tag)
+        if read_cache is not None:
+            payload = read_cache.load(digest, fmt.mine_tag)
             if payload is not None:
                 telemetry.count("cache.mine.hits")
                 pipeline_span.set(mine_cache_hit=True)
@@ -240,8 +253,8 @@ def mine_archive_file(
 
         records = None
         index = None
-        if cache is not None:
-            payload = cache.load(digest, fmt.parse_tag)
+        if read_cache is not None:
+            payload = read_cache.load(digest, fmt.parse_tag)
             if payload is not None:
                 telemetry.count("cache.parse.hits")
                 parse_cache_hit = True
@@ -255,7 +268,6 @@ def mine_archive_file(
                 telemetry.count("cache.parse.misses")
 
         if records is None:
-            use_index = index_dir is not None and fmt.index_text is not None
             parsed = parse_archive_streamed(
                 fmt,
                 path,

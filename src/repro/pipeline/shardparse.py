@@ -256,20 +256,20 @@ class StreamedParse:
         return self.record_count / self.wall_seconds
 
 
-def _wal_segment_name(position: int) -> str:
-    return f"wal-{position:06d}"
-
-
 def _index_range_records(
-    fmt: ArchiveFormat, records: list[Any], index_root: Path, position: int
+    fmt: ArchiveFormat, records: list[Any], index_root: Path, name: str
 ) -> str | None:
-    """Stage one write-ahead segment for a range's records (local ids)."""
+    """Stage one write-ahead segment for a range's records (local ids).
+
+    ``name`` must come from
+    :meth:`SegmentedTextIndex.reserve_segment_names` so a re-run against
+    an existing index never clobbers previously committed segments.
+    """
     if not records:
         return None
     partial: TextIndex[int] = TextIndex()
     for local, record in enumerate(records):
         partial.add(local, fmt.index_text(record))
-    name = _wal_segment_name(position)
     segment_from_index(index_root, name, partial)
     return name
 
@@ -283,14 +283,14 @@ def _stream_shard_runner(unit: WorkUnit, context: Any) -> dict[str, Any]:
     sends back only its name; the parent later assigns doc bases by
     committing segments in range order.
     """
-    fmt, path, ranges, index_root, keep_records = context
+    fmt, path, ranges, index_root, wal_names, keep_records = context
     params = unit.params_dict()
     position = params["range"]
     byte_range = ranges[position]
     records = [fmt.parse_record(chunk) for chunk in fmt.split(read_range(path, byte_range))]
     segment = None
     if index_root is not None:
-        segment = _index_range_records(fmt, records, index_root, position)
+        segment = _index_range_records(fmt, records, index_root, wal_names[position])
     return {
         "count": len(records),
         "segment": segment,
@@ -350,6 +350,11 @@ def parse_archive_streamed(
 
         pool = WorkerPool(max(1, workers))
         kept: list[Any] | None = [] if keep_records else None
+        # Reserve one staged-segment name per range up front: names come
+        # from the index's persistent id counter, so a second run against
+        # the same index_dir appends new segments instead of overwriting
+        # the earlier run's wal-*.seg files.
+        wal_names = index.reserve_segment_names(len(ranges)) if index is not None else []
         segment_names: list[str] = []
         record_count = 0
 
@@ -361,7 +366,9 @@ def parse_archive_streamed(
                         for chunk in fmt.split(read_range(path, byte_range))
                     ]
                     if index_root is not None:
-                        name = _index_range_records(fmt, records, index_root, position)
+                        name = _index_range_records(
+                            fmt, records, index_root, wal_names[position]
+                        )
                         if name is not None:
                             segment_names.append(name)
                 record_count += len(records)
@@ -393,7 +400,14 @@ def parse_archive_streamed(
             pool.execute(
                 units,
                 _stream_shard_runner,
-                (fmt, path, ranges, index_root, keep_records or consumer is not None),
+                (
+                    fmt,
+                    path,
+                    ranges,
+                    index_root,
+                    wal_names,
+                    keep_records or consumer is not None,
+                ),
                 on_unit=on_unit,
             )
             ordered = assemble_results(units, executions)

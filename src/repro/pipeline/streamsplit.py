@@ -152,6 +152,11 @@ def shard_byte_ranges(
                 continue
         pending = cut
     if total > start:
+        if pending is not None and total - start > max_shard_bytes:
+            # Close at the last boundary first so only a single
+            # oversized tail record can ever exceed the budget.
+            ranges.append(ByteRange(start, pending))
+            start = pending
         ranges.append(ByteRange(start, total))
     return ranges
 

@@ -152,6 +152,56 @@ class TestSegmentedTextIndex:
         with pytest.raises(SegmentError, match="not found"):
             index.commit_segments(["wal-999999"])
 
+    def test_commit_rejects_already_committed_name(self, tmp_path):
+        staged = TextIndex()
+        staged.add(0, "crash report")
+        segment_from_index(tmp_path, "wal-000001", staged)
+        index = SegmentedTextIndex(tmp_path)
+        index.commit_segments(["wal-000001"])
+        with pytest.raises(SegmentError, match="already committed"):
+            index.commit_segments(["wal-000001"])
+        with pytest.raises(SegmentError, match="already committed"):
+            SegmentedTextIndex(tmp_path).commit_segments(
+                ["wal-000002", "wal-000002"]
+            )
+
+    def test_commit_with_memtable_documents_raises(self, tmp_path):
+        staged = TextIndex()
+        staged.add(0, "crash report")
+        segment_from_index(tmp_path, "wal-000001", staged)
+        index = SegmentedTextIndex(tmp_path)
+        index.add("a memtable document")
+        with pytest.raises(SegmentError, match="memtable"):
+            index.commit_segments(["wal-000001"])
+        # flush() keeps every id add() handed out, then the commit lands.
+        index.flush()
+        committed = index.commit_segments(["wal-000001"])[0]
+        assert committed.doc_base == 1
+        assert index.lookup("memtable") == {0}
+        assert index.lookup("report") == {1}
+
+    def test_commit_tolerates_dashless_digit_names(self, tmp_path):
+        staged = TextIndex()
+        staged.add(0, "crash report")
+        segment_from_index(tmp_path, "123456", staged)
+        index = SegmentedTextIndex(tmp_path)
+        committed = index.commit_segments(["123456"])[0]
+        assert committed.doc_count == 1
+        assert index.next_segment_name() == "seg-123457"
+
+    def test_reserved_names_never_collide_with_committed(self, tmp_path):
+        index = self.build(tmp_path)
+        index.flush()
+        reopened = SegmentedTextIndex(tmp_path)
+        committed = {info.name for info in reopened.segments}
+        reserved = reopened.reserve_segment_names(3)
+        assert len(set(reserved)) == 3
+        assert not committed & set(reserved)
+        numbers = {int(name.rsplit("-", 1)[-1]) for name in committed}
+        assert all(
+            int(name.rsplit("-", 1)[-1]) not in numbers for name in reserved
+        )
+
     def test_status_shape(self, tmp_path):
         index = self.build(tmp_path)
         index.flush()

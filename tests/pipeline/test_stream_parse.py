@@ -129,6 +129,26 @@ class TestStreamedIndex:
             MYSQL_STUDY_KEYWORDS
         )
 
+    def test_rerun_extends_index_without_clobbering(self, tmp_path, archive_files):
+        # Re-running against an existing index_dir must append new
+        # segments (fresh WAL names), never overwrite committed ones.
+        fmt = format_for(Application.MYSQL)
+        path, text = archive_files[Application.MYSQL]
+        first = parse_archive_streamed(
+            fmt, path, max_shard_bytes=64 << 10, index_dir=tmp_path / "idx"
+        )
+        second = parse_archive_streamed(
+            fmt, path, max_shard_bytes=64 << 10, index_dir=tmp_path / "idx"
+        )
+        names = [info.name for info in second.index.segments]
+        assert len(names) == len(set(names))
+        assert second.index.document_count == 2 * first.record_count
+        # Both passes of the archive answer queries under their own bases.
+        monolithic = parse_archive_sharded(fmt, text).index
+        expected = monolithic.search_any(MYSQL_STUDY_KEYWORDS)
+        shifted = {doc + first.record_count for doc in expected}
+        assert second.index.search_any(MYSQL_STUDY_KEYWORDS) == expected | shifted
+
     def test_index_dir_without_index_text_raises(self, tmp_path, archive_files):
         fmt = format_for(Application.APACHE)
         if fmt.index_text is not None:
@@ -179,6 +199,28 @@ class TestMineArchiveFile:
 
         text_run = mine_archive_text(Application.MYSQL, text, cache=cache)
         assert text_run.mine_cache_hit
+
+    def test_warm_cache_still_builds_requested_index(self, tmp_path, archive_files):
+        # A mine-cache hit must not skip building a missing segmented
+        # index: cache reads are bypassed until the artifact exists.
+        path, _ = archive_files[Application.MYSQL]
+        cache = ParseMineCache(tmp_path / "cache")
+        cold = mine_archive_file(Application.MYSQL, path, cache=cache)
+        index_dir = tmp_path / "idx"
+        warm = mine_archive_file(
+            Application.MYSQL, path, cache=cache, index_dir=index_dir
+        )
+        assert not warm.mine_cache_hit
+        assert (index_dir / "manifest.json").exists()
+        built = SegmentedTextIndex(index_dir)
+        assert built.document_count > 0
+        assert warm.result.items == cold.result.items
+        # Once the index exists, cache hits short-circuit again.
+        third = mine_archive_file(
+            Application.MYSQL, path, cache=cache, index_dir=index_dir
+        )
+        assert third.mine_cache_hit
+        assert SegmentedTextIndex(index_dir).document_count == built.document_count
 
     def test_summary_mentions_streaming(self, archive_files):
         path, _ = archive_files[Application.MYSQL]

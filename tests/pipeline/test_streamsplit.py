@@ -124,6 +124,15 @@ class TestShardByteRanges:
         assert ranges[0] == ByteRange(0, 100)
         assert ranges[-1].end == len(data)
 
+    def test_final_range_closes_at_pending_cut(self, tmp_path):
+        # The tail must not absorb the pending boundary: no range may
+        # exceed the budget unless a single record does.
+        data = b"aaaa" + b"SEP" + b"bbbb" + b"SEP" + b"cccc"
+        path = self.write(tmp_path, data)
+        ranges = shard_byte_ranges(path, b"SEP", max_shard_bytes=10)
+        assert ranges == [ByteRange(0, 4), ByteRange(4, 11), ByteRange(11, 18)]
+        assert all(byte_range.size <= 10 for byte_range in ranges)
+
     def test_whole_file_when_budget_is_large(self, tmp_path):
         path = self.write(tmp_path, b"aaSEPbb")
         assert shard_byte_ranges(path, b"SEP", max_shard_bytes=1 << 20) == [

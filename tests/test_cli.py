@@ -321,7 +321,7 @@ class TestStreamingMineAndIndexCommands:
         assert main(["index", "status", str(index_dir), "--segments"]) == 0
         out = capsys.readouterr().out
         assert "Segment index" in out
-        assert "wal-000000" in out
+        assert "wal-" in out
 
         assert main(["index", "compact", str(index_dir), "--full"]) == 0
         out = capsys.readouterr().out
