@@ -71,32 +71,72 @@ def classifier_fidelity(
     }
 
 
-def ablate_recovery_model(
-    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
-) -> dict[str, Any]:
-    """Section 5.4 ablation: reclassify under four recovery models."""
-    faults = ctx.study.all_faults()
-    rows = []
-    counts_by_model: dict[str, dict[str, int]] = {}
-    for label, model in RECOVERY_MODELS:
-        classifier = RuleClassifier(model)
-        counts = {fault_class: 0 for fault_class in FaultClass}
-        for fault in faults:
-            counts[classifier.classify_evidence(fault.evidence).fault_class] += 1
-        counts_by_model[label] = {
-            fault_class.value: count for fault_class, count in counts.items()
-        }
-        rows.append(
-            [
-                label,
-                counts[FaultClass.ENV_INDEPENDENT],
-                counts[FaultClass.ENV_DEP_NONTRANSIENT],
-                counts[FaultClass.ENV_DEP_TRANSIENT],
-            ]
-        )
-    text = format_table(
+def _recovery_model_counts(ctx: "StudyContext", label: str) -> dict[str, int]:
+    """Class counts for one recovery model over the full study."""
+    model = dict(RECOVERY_MODELS)[label]
+    classifier = RuleClassifier(model)
+    counts = {fault_class: 0 for fault_class in FaultClass}
+    for fault in ctx.study.all_faults():
+        counts[classifier.classify_evidence(fault.evidence).fault_class] += 1
+    return {fault_class.value: count for fault_class, count in counts.items()}
+
+
+def _ablation_text(counts_by_model: Mapping[str, Mapping[str, int]]) -> str:
+    """The classic §5.4 ablation table (shared, byte-stable render)."""
+    rows = [
+        [
+            label,
+            counts_by_model[label][FaultClass.ENV_INDEPENDENT.value],
+            counts_by_model[label][FaultClass.ENV_DEP_NONTRANSIENT.value],
+            counts_by_model[label][FaultClass.ENV_DEP_TRANSIENT.value],
+        ]
+        for label, _ in RECOVERY_MODELS
+    ]
+    return format_table(
         ["recovery model", "EI", "EDN", "EDT"],
         rows,
         title="Recovery-model ablation: the boundary moves, the EI majority does not",
     )
-    return {"counts": counts_by_model, "text": text}
+
+
+def ablate_recovery_model(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Section 5.4 ablation: reclassify under four recovery models.
+
+    The classic monolithic producer -- kept as the byte-identity oracle
+    for the grid-expanded path (:func:`ablate_recovery_model_from_points`
+    must render exactly this text from per-model point payloads).
+    """
+    counts_by_model = {
+        label: _recovery_model_counts(ctx, label) for label, _ in RECOVERY_MODELS
+    }
+    return {"counts": counts_by_model, "text": _ablation_text(counts_by_model)}
+
+
+def recovery_model_point(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """One recovery-model grid point: class counts under one model."""
+    label = params["model"]
+    counts = _recovery_model_counts(ctx, label)
+    return {
+        "model": label,
+        "counts": counts,
+        "text": f"{label}: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(counts.items())
+        ),
+    }
+
+
+def ablate_recovery_model_from_points(
+    ctx: "StudyContext", inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Aggregation node: the §5.4 ablation table from grid points.
+
+    Byte-identical to :func:`ablate_recovery_model` -- the points carry
+    the per-model counts; this node only reassembles and renders.
+    """
+    by_model = {payload["model"]: payload["counts"] for payload in inputs.values()}
+    counts_by_model = {label: dict(by_model[label]) for label, _ in RECOVERY_MODELS}
+    return {"counts": counts_by_model, "text": _ablation_text(counts_by_model)}

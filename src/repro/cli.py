@@ -389,18 +389,103 @@ def _cmd_export_archive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_node_list(value: str) -> list[str]:
+    """Split a comma-joined node list, keeping grid-point names whole.
+
+    Grid points are named ``family[axis=value,...]`` -- commas inside
+    the brackets are part of the name, not separators.
+    """
+    names: list[str] = []
+    part: list[str] = []
+    depth = 0
+    for char in value:
+        if char == "," and depth == 0:
+            if part:
+                names.append("".join(part))
+                part = []
+            continue
+        depth += {"[": 1, "]": -1}.get(char, 0)
+        part.append(char)
+    if part:
+        names.append("".join(part))
+    return names
+
+
 def _study_nodes(args: argparse.Namespace) -> list[str] | None:
     """Flatten repeatable, comma-separated ``--nodes`` values."""
     if not args.nodes:
         return None
     names: list[str] = []
     for value in args.nodes:
-        names.extend(part for part in value.split(",") if part)
+        names.extend(_split_node_list(value))
     return names or None
 
 
 def _study_cache_dir(args: argparse.Namespace) -> str | None:
     return None if args.no_cache else args.cache_dir
+
+
+def _collapse_grid_rows(
+    rows: Sequence[Sequence[Any]], registry: Any, merge: Any
+) -> list[list[Any]]:
+    """Collapse grid-point rows (name in column 0) to one row per family.
+
+    Non-grid rows pass through in place; each family's points fold into
+    a single ``merge(family, member_rows)`` row at the position of the
+    family's first point.  ``study run|status --expand-grids`` skips
+    this and shows every point.
+    """
+    family_of = {
+        node.name: node.family for node in registry.nodes() if node.family
+    }
+    ordered: list[tuple[str, Any]] = []
+    groups: dict[str, list[Sequence[Any]]] = {}
+    for row in rows:
+        family = family_of.get(row[0])
+        if family is None:
+            ordered.append(("row", row))
+            continue
+        if family not in groups:
+            groups[family] = []
+            ordered.append(("family", family))
+        groups[family].append(row)
+    collapsed: list[list[Any]] = []
+    for kind, value in ordered:
+        if kind == "row":
+            collapsed.append(list(value))
+        else:
+            collapsed.append(merge(value, groups[value]))
+    return collapsed
+
+
+def _merge_run_rows(family: str, members: list[Sequence[Any]]) -> list[Any]:
+    """One ``family[xN]`` summary row for ``study run`` output."""
+    executed = sum(1 for row in members if row[1] == "executed")
+    cached = len(members) - executed
+    if cached == 0:
+        status = "executed"
+    elif executed == 0:
+        status = "cached"
+    else:
+        status = f"{executed} executed, {cached} cached"
+    wall = sum(float(row[2]) for row in members)
+    return [f"{family}[x{len(members)}]", status, f"{wall:.1f}", "-"]
+
+
+def _merge_status_rows(family: str, members: list[Sequence[Any]]) -> list[Any]:
+    """One ``family[xN]`` summary row for ``study status`` output."""
+    states: dict[str, int] = {}
+    for row in members:
+        states[row[2]] = states.get(row[2], 0) + 1
+    if len(states) == 1:
+        state = next(iter(states))
+    else:
+        state = " ".join(f"{name}:{count}" for name, count in sorted(states.items()))
+    merged = [f"{family}[x{len(members)}]", "grid", state, "-"]
+    for column in range(4, len(members[0])):
+        walls = [float(row[column]) for row in members if row[column] != "-"]
+        merged.append(f"{sum(walls):.1f}" if walls else "-")
+    return merged
 
 
 def _record_study_run(
@@ -449,6 +534,9 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     nodes = _study_nodes(args)
     registry = default_registry()
     monitor = obs.RunMonitor(args.live) if args.live else None
+    priorities = None
+    if args.perfdb and args.order == "longest-first":
+        priorities = obs.PerfDB(args.perfdb).node_medians() or None
     try:
         targets = nodes if nodes is not None else [
             node.name for node in registry.experiments()
@@ -467,13 +555,17 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
                     len(closure), quiet=args.quiet, label="study"
                 ),
                 monitor=monitor,
+                priorities=priorities,
             )
     except GraphError as exc:
         raise SystemExit(str(exc)) from None
+    summary_rows = result.summary_rows()
+    if not args.expand_grids:
+        summary_rows = _collapse_grid_rows(summary_rows, registry, _merge_run_rows)
     print(
         format_table(
             ["node", "status", "wall ms", "digest"],
-            result.summary_rows(),
+            summary_rows,
             title=f"Study run: {result.executed} executed, {result.cached} cached, "
             f"{result.waves} waves (workers={args.workers})",
         )
@@ -502,11 +594,12 @@ def _cmd_study_watch(args: argparse.Namespace) -> int:
 
     from repro import obs
 
-    history = None
-    if args.perfdb:
-        history = obs.node_medians(obs.PerfDB(args.perfdb).read()) or None
+    db = obs.PerfDB(args.perfdb) if args.perfdb else None
     deadline = time.monotonic() + args.timeout if args.timeout else None
     while True:
+        # Cached behind the file's (mtime, size): each refresh is a stat
+        # unless a recorder actually appended since the last loop.
+        history = db.node_medians() or None if db is not None else None
         snapshot = obs.read_snapshot(args.snapshot)
         print(
             obs.render_watch_line(
@@ -560,7 +653,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         )
         return 0
 
-    records = db.read()
+    records = db.read_cached()
     if args.perf_command == "report":
         if not records:
             print(f"perf history {args.db} is empty")
@@ -751,6 +844,10 @@ def _cmd_study_status(args: argparse.Namespace) -> int:
         )
     except GraphError as exc:
         raise SystemExit(str(exc)) from None
+    if not args.expand_grids:
+        from repro.studygraph import default_registry
+
+        rows = _collapse_grid_rows(rows, default_registry(), _merge_status_rows)
     headers = ["node", "kind", "state", "digest", "wall ms"]
     if trace_records is not None:
         headers.append("traced ms")
@@ -764,26 +861,68 @@ def _cmd_study_status(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_study_graph(_args: argparse.Namespace) -> int:
+def _summarize_deps(deps: tuple[str, ...], registry: Any) -> str:
+    """Dependency list with grid-point runs collapsed to ``family[xN]``."""
+    if not deps:
+        return "-"
+    parts: list[str] = []
+    counts: dict[str, int] = {}
+    for dep in deps:
+        family = registry.family_of(dep)
+        if family is None:
+            parts.append(dep)
+        elif family not in counts:
+            counts[family] = 1
+            parts.append(family)
+        else:
+            counts[family] += 1
+    return ", ".join(
+        f"{part}[x{counts[part]}]" if part in counts else part for part in parts
+    )
+
+
+def _cmd_study_graph(args: argparse.Namespace) -> int:
     from repro.studygraph import default_registry
 
     registry = default_registry()
-    rows = [
-        [
-            node.name,
-            node.kind,
-            ", ".join(node.deps) if node.deps else "-",
-            node.title,
-        ]
-        for name in registry.topo_order()
-        for node in (registry.node(name),)
-    ]
+    rows: list[list[str]] = []
+    seen_families: set[str] = set()
+    for name in registry.topo_order():
+        node = registry.node(name)
+        if node.family and not args.expand_grids:
+            if node.family in seen_families:
+                continue
+            seen_families.add(node.family)
+            family = registry.family(node.family)
+            axes = ", ".join(
+                f"{axis}x{len(values)}" for axis, values in family.axes
+            )
+            rows.append(
+                [
+                    f"{family.name}[x{family.size}]",
+                    "grid",
+                    ", ".join(node.deps) if node.deps else "-",
+                    f"{family.size}-point grid ({axes})",
+                ]
+            )
+            continue
+        deps = (
+            ", ".join(node.deps)
+            if args.expand_grids
+            else _summarize_deps(node.deps, registry)
+        ) if node.deps else "-"
+        rows.append([node.name, node.kind, deps, node.title])
+    families = registry.families()
+    points = sum(family.size for family in families.values())
+    grid_note = (
+        f", {len(families)} grid families ({points} points)" if families else ""
+    )
     print(
         format_table(
             ["node", "kind", "depends on", "title"],
             rows,
             title=f"Study graph: {len(registry)} nodes, "
-            f"{len(registry.edges())} edges (topological order)",
+            f"{len(registry.edges())} edges{grid_note} (topological order)",
         )
     )
     return 0
@@ -1260,6 +1399,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--perfdb", default=None, metavar="PATH",
         help="append this run's per-node wall times to a perf history JSONL",
     )
+    study_run.add_argument(
+        "--order", choices=("longest-first", "fifo"), default="longest-first",
+        help="within-wave dispatch order; longest-first needs --perfdb history "
+        "(outputs are identical either way)",
+    )
+    study_run.add_argument(
+        "--expand-grids", action="store_true",
+        help="list every grid point in the summary instead of one row per family",
+    )
     study_run.set_defaults(func=_cmd_study_run)
 
     study_watch = study_sub.add_parser(
@@ -1307,10 +1455,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="join per-node wall time from this trace into the table",
     )
+    study_status_cmd.add_argument(
+        "--expand-grids", action="store_true",
+        help="list every grid point instead of one row per family",
+    )
     study_status_cmd.set_defaults(func=_cmd_study_status)
 
     study_graph_cmd = study_sub.add_parser(
         "graph", help="print the node catalog and dependency edges"
+    )
+    study_graph_cmd.add_argument(
+        "--expand-grids", action="store_true",
+        help="list every grid point instead of one row per family",
     )
     study_graph_cmd.set_defaults(func=_cmd_study_graph)
 

@@ -62,6 +62,8 @@ from repro.obs.perfdb import (
     PerfRecord,
     Regression,
     check_regressions,
+    family_medians,
+    grid_family,
     node_medians,
     record_from_trace,
     throughput_counters,
@@ -111,8 +113,10 @@ __all__ = [
     "chrome_trace",
     "current_context",
     "eta_seconds",
+    "family_medians",
     "fold_stacks",
     "format_folded",
+    "grid_family",
     "healthz_view",
     "ingest",
     "install",

@@ -38,6 +38,8 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.obs.perfdb import family_medians, grid_family
+
 #: Snapshot format version.
 SNAPSHOT_VERSION = 1
 
@@ -312,9 +314,12 @@ def eta_seconds(
 
     With perfdb ``history`` (node -> median wall seconds), the remaining
     work is the sum of medians over pending and in-flight nodes (less
-    time already spent in flight), divided by the worker count.  Nodes
-    without history fall back to the run's observed mean node cost; with
-    no history at all, the whole estimate is pace-based.
+    time already spent in flight), divided by the worker count.  A grid
+    point (``family[axis=value,...]``) the history has never seen is
+    budgeted at its family's median-of-medians, so thousand-point grid
+    runs keep a meaningful ETA even when most points are fresh; other
+    nodes without history fall back to the run's observed mean node
+    cost; with no history at all, the whole estimate is pace-based.
     """
     total = snapshot.get("total", 0)
     done = snapshot.get("done", 0)
@@ -336,10 +341,17 @@ def eta_seconds(
     remaining_names = set(snapshot.get("pending", [])) | set(in_flight)
 
     history = history or {}
+    families = family_medians(history) if history else {}
     budget = 0.0
     known = 0
     for name in sorted(remaining_names):
-        expected = history.get(name, mean_cost)
+        expected = history.get(name)
+        if expected is None:
+            family = grid_family(name)
+            if family is not None:
+                expected = families.get(family)
+        if expected is None:
+            expected = mean_cost
         if expected is None:
             continue
         known += 1

@@ -224,6 +224,9 @@ class PerfDB:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        self._cache_key: tuple[int, int] | None = None
+        self._cache_records: list[PerfRecord] = []
+        self._cache_medians: dict[str, float] | None = None
 
     def append(self, record: PerfRecord) -> None:
         """Append one record as a single flushed JSON line."""
@@ -259,6 +262,42 @@ class PerfDB:
                 ):
                     records.append(PerfRecord.from_dict(data))
         return records
+
+    def _stat_key(self) -> tuple[int, int]:
+        """The file's ``(mtime_ns, size)`` -- the cache validity token."""
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return (-1, -1)
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def read_cached(self) -> list[PerfRecord]:
+        """Like :meth:`read`, parsing only when the file changed on disk.
+
+        The parse is cached behind the file's ``(mtime_ns, size)`` pair,
+        so repeated consumers -- per-wave scheduler ordering, the
+        ``study watch`` refresh loop, ``perf report`` -- re-read a
+        thousand-run history only after an actual append.  Callers share
+        the cached list and must not mutate it.
+        """
+        key = self._stat_key()
+        if key != self._cache_key:
+            self._cache_records = self.read()
+            self._cache_medians = None
+            self._cache_key = key
+        return self._cache_records
+
+    def node_medians(self) -> dict[str, float]:
+        """The history's ETA model (see :func:`node_medians`), cached.
+
+        Derived from :meth:`read_cached`, with the median computation
+        itself memoized on the same file-state token.  The returned dict
+        is shared; callers must not mutate it.
+        """
+        records = self.read_cached()
+        if self._cache_medians is None:
+            self._cache_medians = node_medians(records)
+        return self._cache_medians
 
     def runs(self, *, source: str | None = None) -> list[PerfRecord]:
         """Records, optionally restricted to one source."""
@@ -468,6 +507,37 @@ def node_medians(records: Iterable[PerfRecord]) -> dict[str, float]:
         name: statistics.median(perf.wall_seconds for _, perf in samples)
         for name, samples in node_history(records).items()
         if samples
+    }
+
+
+def grid_family(name: str) -> str | None:
+    """The grid family a node name belongs to, or None.
+
+    Grid points are named ``family[axis=value,...]`` (the studygraph
+    naming contract); this is the pure string-side parse, so the obs
+    layer can aggregate per-family without importing the graph.
+    """
+    if name.endswith("]"):
+        family, bracket, _ = name.partition("[")
+        if bracket and family:
+            return family
+    return None
+
+
+def family_medians(medians: Mapping[str, float]) -> dict[str, float]:
+    """Per-family median of the per-point medians.
+
+    The fallback ETA model for grid points the history has never seen:
+    a fresh point of a 1000-point family is budgeted at its siblings'
+    typical cost instead of being treated as unknowable.
+    """
+    groups: dict[str, list[float]] = {}
+    for name, seconds in medians.items():
+        family = grid_family(name)
+        if family is not None:
+            groups.setdefault(family, []).append(seconds)
+    return {
+        family: statistics.median(values) for family, values in groups.items()
     }
 
 

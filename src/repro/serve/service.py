@@ -148,9 +148,12 @@ class StudyService:
                         self._registry = default_registry()
                     if self.cache_dir is not None:
                         self._cache = ParseMineCache(self.cache_dir)
+            families = getattr(self._registry, "families", dict)()
             return {
                 "faults": self._study.total_faults,
                 "nodes": len(self._registry),
+                "grids": len(families),
+                "grid_points": sum(family.size for family in families.values()),
                 "cache_dir": str(self.cache_dir) if self.cache_dir else None,
                 "workers": self.workers,
             }

@@ -24,12 +24,19 @@ none of those import back (the CLI is the only caller above this layer).
 from repro.studygraph.artifact import ArtifactStore, artifact_digest, canonical_json
 from repro.studygraph.context import StudyContext
 from repro.studygraph.diff import DiffReport, NodeDiff, diff_caches
-from repro.studygraph.node import NodeSpec
-from repro.studygraph.registry import Registry, default_registry
+from repro.studygraph.node import (
+    GridSpec,
+    NodeSpec,
+    format_grid_value,
+    grid_point_label,
+    grid_point_name,
+)
+from repro.studygraph.registry import GridFamily, Registry, default_registry
 from repro.studygraph.scheduler import (
     NodeRun,
     StudyRunResult,
     memo_walls,
+    order_longest_first,
     run_single_node,
     run_study,
     study_status,
@@ -39,6 +46,8 @@ from repro.studygraph.scheduler import (
 __all__ = [
     "ArtifactStore",
     "DiffReport",
+    "GridFamily",
+    "GridSpec",
     "NodeDiff",
     "NodeRun",
     "NodeSpec",
@@ -49,7 +58,11 @@ __all__ = [
     "canonical_json",
     "default_registry",
     "diff_caches",
+    "format_grid_value",
+    "grid_point_label",
+    "grid_point_name",
     "memo_walls",
+    "order_longest_first",
     "run_single_node",
     "run_study",
     "study_status",

@@ -12,6 +12,10 @@ scalar parameters.  Reading it top to bottom *is* reading the study::
     M1 mine.* funnel.*   the Section 4 mining narrowing
     report catalog       the top-level documents
     ablate.*             the Section 6 sensitivity ablations
+    sweep.*              the §5a parameter-grid families (one memoized
+                         artifact node per grid point, one aggregation
+                         experiment per family rendering the classic
+                         sweep table byte-identically)
 
 Bump a node's ``version`` whenever its producer's behaviour changes;
 memoized results for it (and its downstream cone) become unreachable.
@@ -26,7 +30,7 @@ from repro.corpus import nodes as corpus_nodes
 from repro.mining import nodes as mining_nodes
 from repro.recovery import nodes as recovery_nodes
 from repro.reports import nodes as reports_nodes
-from repro.studygraph.node import KIND_ARTIFACT, NodeSpec
+from repro.studygraph.node import KIND_ARTIFACT, GridSpec, NodeSpec
 from repro.studygraph.registry import Registry
 
 #: MySQL keyword subsets for the Section 6 mining ablation.  Three (not
@@ -182,14 +186,8 @@ def build_registry() -> Registry:
         )
     )
 
-    registry.register(
-        NodeSpec.build(
-            "ablate.recovery-model",
-            classify_nodes.ablate_recovery_model,
-            deps=_CORPUS_DEPS,
-            title="Section 6 ablation: recovery-model boundary",
-        )
-    )
+    _register_sweep_grids(registry)
+
     registry.register(
         NodeSpec.build(
             "ablate.dedup",
@@ -210,3 +208,103 @@ def build_registry() -> Registry:
         )
 
     return registry
+
+
+def _register_sweep_grids(registry: Registry) -> None:
+    """Register the §5a sweeps as grid families.
+
+    Each family expands into one memoized artifact node per grid point
+    (axis values folded into the point's name, version tag, and memo
+    key) plus one aggregation experiment, named after the family,
+    depending on every point and rendering the classic sweep table
+    byte-identically (``tests/recovery/test_sweep_grids.py`` pins the
+    equivalences).
+    """
+    retry_grid = GridSpec.build(
+        "sweep.retry-budget",
+        recovery_nodes.sweep_retry_budget_point,
+        axes={"budget": recovery_nodes.RETRY_BUDGETS},
+        deps=_CORPUS_DEPS,
+        params={
+            "technique": recovery_nodes.SWEEP_TECHNIQUE,
+            "race_window": recovery_nodes.SWEEP_RACE_WINDOW,
+            "replications": recovery_nodes.SWEEP_REPLICATIONS,
+        },
+        kind=KIND_ARTIFACT,
+        title="§5a retry-budget sweep point",
+    )
+    registry.register_grid(
+        retry_grid,
+        aggregate=NodeSpec.build(
+            "sweep.retry-budget",
+            recovery_nodes.sweep_retry_budget_table,
+            deps=tuple(retry_grid.point_names()),
+            params={"race_window": recovery_nodes.SWEEP_RACE_WINDOW},
+            title="§5a sweep: survival vs. recovery retry budget",
+        ),
+    )
+
+    race_grid = GridSpec.build(
+        "sweep.race-window",
+        recovery_nodes.sweep_race_window_point,
+        axes={"window": recovery_nodes.RACE_WINDOWS},
+        deps=_CORPUS_DEPS,
+        params={
+            "technique": recovery_nodes.SWEEP_TECHNIQUE,
+            "replications": recovery_nodes.SWEEP_REPLICATIONS,
+        },
+        kind=KIND_ARTIFACT,
+        title="§5a race-window sweep point",
+    )
+    registry.register_grid(
+        race_grid,
+        aggregate=NodeSpec.build(
+            "sweep.race-window",
+            recovery_nodes.sweep_race_window_table,
+            deps=tuple(race_grid.point_names()),
+            params={"technique": recovery_nodes.SWEEP_TECHNIQUE},
+            title="§5a sweep: survival vs. racy-window width",
+        ),
+    )
+
+    rejuvenation_grid = GridSpec.build(
+        "sweep.rejuvenation",
+        recovery_nodes.sweep_rejuvenation_point,
+        axes={
+            "interval_hours": recovery_nodes.REJUVENATION_INTERVALS,
+            "downtime_minutes": recovery_nodes.REJUVENATION_DOWNTIMES,
+        },
+        params=recovery_nodes.REJUVENATION_FIXED_PARAMS,
+        kind=KIND_ARTIFACT,
+        title="§5a rejuvenation-schedule point",
+    )
+    registry.register_grid(
+        rejuvenation_grid,
+        aggregate=NodeSpec.build(
+            "sweep.rejuvenation",
+            recovery_nodes.sweep_rejuvenation_table,
+            deps=tuple(rejuvenation_grid.point_names()),
+            params={
+                "table_downtime_minutes": recovery_nodes.REJUVENATION_TABLE_DOWNTIME
+            },
+            title="§5a sweep: availability vs. rejuvenation schedule",
+        ),
+    )
+
+    model_grid = GridSpec.build(
+        "sweep.recovery-model",
+        classify_nodes.recovery_model_point,
+        axes={"model": tuple(label for label, _ in classify_nodes.RECOVERY_MODELS)},
+        deps=_CORPUS_DEPS,
+        kind=KIND_ARTIFACT,
+        title="§5.4 recovery-model point",
+    )
+    registry.register_grid(
+        model_grid,
+        aggregate=NodeSpec.build(
+            "ablate.recovery-model",
+            classify_nodes.ablate_recovery_model_from_points,
+            deps=tuple(model_grid.point_names()),
+            title="Section 6 ablation: recovery-model boundary",
+        ),
+    )

@@ -10,22 +10,56 @@ the full study graph from the per-subsystem adapters -- see
 
 from __future__ import annotations
 
+import dataclasses
 import threading
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.errors import ReproError
-from repro.studygraph.node import KIND_EXPERIMENT, NodeSpec
+from repro.studygraph.node import KIND_EXPERIMENT, GridSpec, NodeSpec
 
 
 class GraphError(ReproError):
     """Structural problem in the study graph (unknown node, cycle, ...)."""
 
 
+@dataclasses.dataclass(frozen=True)
+class GridFamily:
+    """One registered grid family: its axes, points, and aggregate.
+
+    Attributes:
+        name: the family name (also the aggregate node's name, when
+            one was registered).
+        axes: the grid's ``(axis, values)`` pairs, sorted by axis name.
+        points: the point node names, in expansion order.
+        aggregate: the aggregation node's name, or None.
+    """
+
+    name: str
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+    points: tuple[str, ...]
+    aggregate: str | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of grid points."""
+        return len(self.points)
+
+
 class Registry:
-    """A named collection of study-graph nodes."""
+    """A named collection of study-graph nodes.
+
+    Structural queries scale to thousands-node grids: dependents are
+    indexed incrementally at registration time and :meth:`topo_order`
+    runs Kahn's algorithm over in-degree counts (O(nodes + edges) per
+    wave set), memoizing the resulting order per target set until the
+    next :meth:`register` invalidates it.
+    """
 
     def __init__(self, nodes: Iterable[NodeSpec] = ()):
         self._nodes: dict[str, NodeSpec] = {}
+        self._dependents: dict[str, list[str]] = {}
+        self._families: dict[str, GridFamily] = {}
+        self._topo_cache: dict[tuple[str, ...] | None, list[str]] = {}
         for node in nodes:
             self.register(node)
 
@@ -38,7 +72,65 @@ class Registry:
         if node.name in self._nodes:
             raise GraphError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
+        for dep in node.deps:
+            self._dependents.setdefault(dep, []).append(node.name)
+        self._topo_cache.clear()
         return node
+
+    def register_grid(
+        self, grid: GridSpec, *, aggregate: NodeSpec | None = None
+    ) -> list[NodeSpec]:
+        """Expand and register a grid family, plus its aggregation node.
+
+        Every point of ``grid`` is registered as an ordinary node (so
+        the scheduler, the memo cache, and ``study run --nodes`` treat
+        points exactly like hand-registered nodes); the family itself is
+        recorded for family-aware listing (:meth:`families`,
+        :meth:`family_of`).  ``aggregate`` -- typically a node named
+        after the family whose deps are all the points -- is registered
+        alongside and recorded on the family.
+
+        Returns:
+            The registered point specs, in expansion order.
+        """
+        points = grid.expand()
+        for point in points:
+            self.register(point)
+        if aggregate is not None:
+            self.register(aggregate)
+        self._families[grid.name] = GridFamily(
+            name=grid.name,
+            axes=grid.axes,
+            points=tuple(spec.name for spec in points),
+            aggregate=aggregate.name if aggregate is not None else None,
+        )
+        return points
+
+    def families(self) -> dict[str, GridFamily]:
+        """Every registered grid family, keyed by name."""
+        return dict(self._families)
+
+    def family(self, name: str) -> GridFamily:
+        """Look up one grid family.
+
+        Raises:
+            GraphError: unknown family name.
+        """
+        try:
+            return self._families[name]
+        except KeyError:
+            raise GraphError(
+                f"unknown grid family {name!r}; known: "
+                + ", ".join(sorted(self._families))
+            ) from None
+
+    def family_of(self, name: str) -> str | None:
+        """The grid family owning node ``name``, or None."""
+        return self.node(name).family or None
+
+    def dependents(self, name: str) -> list[str]:
+        """Nodes that declare ``name`` as a dependency (indexed)."""
+        return list(self._dependents.get(name, ()))
 
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
@@ -87,33 +179,48 @@ class Registry:
     def topo_order(self, targets: Iterable[str] | None = None) -> list[str]:
         """Dependency-respecting order over the closure of ``targets``.
 
-        Deterministic: among ready nodes, registration order breaks
-        ties, so the serial reference execution is reproducible.
+        Deterministic: the order is wave-structured (every node lands
+        after the wave containing its last dependency) with registration
+        order breaking ties inside each wave, so the serial reference
+        execution is reproducible.  Orders are memoized per target set
+        and invalidated by :meth:`register`; callers receive a copy.
 
         Raises:
             GraphError: on a dependency cycle.
         """
-        names = self.closure(targets) if targets is not None else self.names()
+        key = None if targets is None else tuple(sorted(set(targets)))
+        cached = self._topo_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        names = self.closure(key) if key is not None else self.names()
         in_set = set(names)
-        pending = {
-            name: [dep for dep in self.node(name).deps if dep in in_set]
-            for name in names
-        }
+        position = {name: index for index, name in enumerate(names)}
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {name: [] for name in names}
+        for name in names:
+            deps = [dep for dep in self.node(name).deps if dep in in_set]
+            indegree[name] = len(deps)
+            for dep in deps:
+                dependents[dep].append(name)
         order: list[str] = []
-        placed: set[str] = set()
-        while pending:
-            ready = [name for name, deps in pending.items()
-                     if all(dep in placed for dep in deps)]
-            if not ready:
-                raise GraphError(
-                    "dependency cycle among study-graph nodes: "
-                    + ", ".join(sorted(pending))
-                )
-            for name in ready:
-                order.append(name)
-                placed.add(name)
-                del pending[name]
-        return order
+        wave = [name for name in names if indegree[name] == 0]
+        while wave:
+            order.extend(wave)
+            unlocked: list[str] = []
+            for name in wave:
+                for child in dependents[name]:
+                    indegree[child] -= 1
+                    if indegree[child] == 0:
+                        unlocked.append(child)
+            wave = sorted(unlocked, key=position.__getitem__)
+        if len(order) != len(names):
+            remaining = in_set.difference(order)
+            raise GraphError(
+                "dependency cycle among study-graph nodes: "
+                + ", ".join(sorted(remaining))
+            )
+        self._topo_cache[key] = order
+        return list(order)
 
     def edges(self) -> list[tuple[str, str]]:
         """``(dependency, node)`` pairs for every declared edge."""
@@ -131,10 +238,12 @@ class Registry:
         """
         for name in overrides:
             self.node(name)  # raise early on unknown names
-        return Registry(
+        copy = Registry(
             node.with_params(**overrides[node.name]) if node.name in overrides else node
             for node in self._nodes.values()
         )
+        copy._families = dict(self._families)
+        return copy
 
 
 _DEFAULT: Registry | None = None

@@ -177,6 +177,35 @@ def _make_store(
     return store
 
 
+def order_longest_first(
+    names: Sequence[str], priorities: Mapping[str, float]
+) -> list[str]:
+    """Order a wave's ready nodes by expected cost, longest first.
+
+    ``priorities`` is the perfdb ETA model (node name -> median wall
+    seconds, :meth:`repro.obs.PerfDB.node_medians`).  Nodes with history
+    run longest-first (name breaks ties deterministically); grid points
+    the history has never seen fall back to their family's median (the
+    median of the family's per-point medians); nodes with no estimate at
+    all keep their FIFO position after the estimated ones.  A pure
+    dispatch-order permutation: payloads and digests are unaffected.
+    """
+    families = obs.family_medians(priorities)
+    known: list[tuple[float, str]] = []
+    unseen: list[str] = []
+    for name in names:
+        estimate = priorities.get(name)
+        if estimate is None:
+            family = obs.grid_family(name)
+            estimate = families.get(family) if family is not None else None
+        if estimate is None:
+            unseen.append(name)
+        else:
+            known.append((estimate, name))
+    known.sort(key=lambda item: (-item[0], item[1]))
+    return [name for _, name in known] + unseen
+
+
 def run_study(
     context: StudyContext | None = None,
     *,
@@ -185,6 +214,7 @@ def run_study(
     registry: Registry | None = None,
     progress: ProgressReporter | None = None,
     monitor: Any = None,
+    priorities: Mapping[str, float] | None = None,
 ) -> StudyRunResult:
     """Execute the study graph; see the module docstring for the story.
 
@@ -203,6 +233,11 @@ def run_study(
             and the unit heartbeat from the campaign engine, and writes
             the snapshot ``repro study watch`` renders.  Monitoring
             never touches node payloads or memo keys.
+        priorities: perfdb medians (node -> wall seconds) used to
+            dispatch each wave's cache misses longest-first
+            (:func:`order_longest_first`); None keeps FIFO dispatch.
+            Ordering is scheduling-only -- results are bit-identical
+            either way.
 
     Returns:
         Per-node outcomes, requested payloads, and telemetry.
@@ -227,8 +262,22 @@ def run_study(
     store = _make_store(context, registry, runs)
     node_map = {name: registry.node(name) for name in order}
 
+    # In-degree bookkeeping: the reverse-dependency index is built once
+    # and each finished node decrements its dependents, so computing the
+    # next wave costs O(edges resolved) instead of rescanning every
+    # remaining node's dep list per wave.
+    position = {name: index for index, name in enumerate(order)}
+    indegree: dict[str, int] = {}
+    dependents: dict[str, list[str]] = {name: [] for name in order}
+    for name in order:
+        deps = node_map[name].deps
+        indegree[name] = len(deps)
+        for dep in deps:
+            dependents[dep].append(name)
+
     waves = 0
-    remaining = list(order)
+    resolved = 0
+    ready = [name for name in order if indegree[name] == 0]
     if monitor is not None:
         monitor.run_started(
             total=len(order), workers=context.workers, pending=list(order)
@@ -236,16 +285,7 @@ def run_study(
     with telemetry.timed("studygraph.wall"), obs.span(
         "study.run", nodes=len(order), targets=len(targets), workers=context.workers
     ):
-        while remaining:
-            ready = [
-                name
-                for name in remaining
-                if all(dep in digests for dep in node_map[name].deps)
-            ]
-            if not ready:  # topo_order guarantees progress; belt and braces
-                raise GraphError(
-                    "scheduler stalled; unresolved nodes: " + ", ".join(remaining)
-                )
+        while ready:
             waves += 1
             if monitor is not None:
                 monitor.wave_started(waves, ready=len(ready))
@@ -280,6 +320,12 @@ def run_study(
                         to_run.append((name, key))
                 wave_span.set(executed=len(to_run), cached=len(ready) - len(to_run))
 
+                if priorities and len(to_run) > 1:
+                    keys = dict(to_run)
+                    to_run = [
+                        (name, keys[name])
+                        for name in order_longest_first(list(keys), priorities)
+                    ]
                 if to_run:
                     needed = sorted(
                         {dep for name, _ in to_run for dep in node_map[name].deps}
@@ -328,9 +374,22 @@ def run_study(
                                 },
                             )
 
-            remaining = [name for name in remaining if name not in digests]
+            resolved += len(ready)
+            unlocked: list[str] = []
+            for name in ready:
+                for child in dependents[name]:
+                    indegree[child] -= 1
+                    if indegree[child] == 0:
+                        unlocked.append(child)
+            ready = sorted(unlocked, key=position.__getitem__)
             if progress is not None:
                 progress.update(len(digests))
+
+        if resolved != len(order):  # topo_order guarantees progress; belt and braces
+            raise GraphError(
+                "scheduler stalled; unresolved nodes: "
+                + ", ".join(name for name in order if name not in digests)
+            )
 
     if progress is not None:
         progress.finish()

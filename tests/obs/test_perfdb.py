@@ -12,7 +12,9 @@ from repro.obs.perfdb import (
     PerfDB,
     PerfRecord,
     check_regressions,
+    family_medians,
     git_sha,
+    grid_family,
     node_history,
     node_medians,
     record_from_trace,
@@ -168,6 +170,68 @@ class TestHistoryViews:
         listing = run_rows(records, limit=1)
         assert len(listing) == 1
         assert listing[0][0] == records[-1].run_id
+
+
+class TestReadCached:
+    def test_reuses_the_parse_until_the_file_changes(self, tmp_path, monkeypatch):
+        db = PerfDB(tmp_path / "perf.jsonl")
+        db.append(make_record({"T1": 1.0}))
+        first = db.read_cached()
+        parses = []
+        original = PerfDB.read
+        monkeypatch.setattr(
+            PerfDB, "read", lambda self: parses.append(1) or original(self)
+        )
+        assert db.read_cached() is first  # same stat key: no re-parse
+        assert parses == []
+        db.append(make_record({"T1": 3.0}))
+        assert len(db.read_cached()) == 2  # append changed size: re-parse
+        assert parses == [1]
+
+    def test_medians_memoized_on_the_same_token(self, tmp_path):
+        db = PerfDB(tmp_path / "perf.jsonl")
+        db.append(make_record({"T1": 1.0}))
+        db.append(make_record({"T1": 3.0}))
+        first = db.node_medians()
+        assert first["T1"] == pytest.approx(2.0)
+        assert db.node_medians() is first
+        db.append(make_record({"T1": 5.0}))
+        assert db.node_medians()["T1"] == pytest.approx(3.0)
+
+    def test_missing_file_caches_empty(self, tmp_path):
+        db = PerfDB(tmp_path / "absent.jsonl")
+        assert db.read_cached() == []
+        assert db.node_medians() == {}
+        db.append(make_record({"T1": 1.0}))
+        assert len(db.read_cached()) == 1  # creation is a state change
+
+
+class TestGridFamilyHelpers:
+    @pytest.mark.parametrize(
+        ("name", "family"),
+        [
+            ("sweep.retry-budget[budget=2]", "sweep.retry-budget"),
+            ("sweep.g[a=1,b=0.5]", "sweep.g"),
+            ("T1", None),
+            ("sweep.retry-budget", None),
+            ("[x=1]", None),  # empty family prefix is not a point
+            ("weird]", None),
+        ],
+    )
+    def test_grid_family_parses_the_naming_contract(self, name, family):
+        assert grid_family(name) == family
+
+    def test_family_medians_take_the_median_of_point_medians(self):
+        medians = {
+            "sweep.g[x=1]": 1.0,
+            "sweep.g[x=2]": 5.0,
+            "sweep.g[x=3]": 2.0,
+            "T1": 9.0,
+        }
+        assert family_medians(medians) == {"sweep.g": pytest.approx(2.0)}
+
+    def test_no_grid_points_means_no_families(self):
+        assert family_medians({"T1": 1.0}) == {}
 
 
 class TestCheckRegressions:

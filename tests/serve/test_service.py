@@ -83,6 +83,25 @@ class TestDigestEquality:
         assert response.payload["digest"] == digest
 
 
+class TestGridFamilies:
+    def test_warm_summary_counts_grid_families(self, service):
+        summary = service.warm()
+        assert summary["grids"] == 4
+        assert summary["grid_points"] == 65
+
+    def test_grid_point_request_matches_batch_and_memoizes(self, service):
+        params = {"node": "sweep.recovery-model[model=restart-fresh]"}
+        first = service.handle(Request(kind="study", params=params))
+        assert first.ok
+        digest, payload = batch_node(params["node"])
+        assert first.payload["digest"] == digest
+        assert first.payload["text"] == payload["text"]
+        before = service._counters["memo_hits"]
+        second = service.handle(Request(kind="study", params=params))
+        assert second.payload == first.payload
+        assert service._counters["memo_hits"] == before + 1
+
+
 class TestMemoization:
     def test_repeat_request_is_a_memo_hit(self, service):
         params = {"node": "catalog"}

@@ -1,0 +1,229 @@
+"""Parameter grids: expansion, naming, registry families, topo scaling."""
+
+import pytest
+
+from repro.studygraph.node import (
+    KIND_ARTIFACT,
+    GridSpec,
+    NodeSpec,
+    format_grid_value,
+    grid_point_label,
+    grid_point_name,
+)
+from repro.studygraph.registry import GraphError, Registry
+
+
+def _noop(ctx, inputs, params):
+    return {"text": "noop"}
+
+
+def _grid(name="sweep.g", axes=None, **kwargs):
+    return GridSpec.build(
+        name, _noop, axes=axes if axes is not None else {"x": (1, 2)}, **kwargs
+    )
+
+
+class TestGridValueFormatting:
+    @pytest.mark.parametrize(
+        ("value", "rendered"),
+        [
+            (None, "none"),
+            (True, "true"),
+            (False, "false"),
+            (3, "3"),
+            (0.05, "0.05"),
+            (30.0, "30.0"),
+            ("fast", "fast"),
+        ],
+    )
+    def test_each_scalar_has_one_spelling(self, value, rendered):
+        assert format_grid_value(value) == rendered
+
+    def test_label_sorts_axes_by_name(self):
+        assert grid_point_label({"b": 2, "a": 1}) == "a=1,b=2"
+
+    def test_point_name_wraps_the_label(self):
+        assert grid_point_name("sweep.g", {"x": 0.5}) == "sweep.g[x=0.5]"
+
+
+class TestGridSpecValidation:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="no axes"):
+            _grid(axes={})
+
+    def test_empty_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            _grid(axes={"x": ()})
+
+    def test_axis_collision_with_fixed_param_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            _grid(axes={"x": (1,)}, params={"x": 9})
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            _grid(axes={"x": (1, 1)})
+
+    def test_bool_and_int_are_distinct_axis_values(self):
+        grid = _grid(axes={"x": (1, True)})
+        assert grid.point_names() == ["sweep.g[x=1]", "sweep.g[x=true]"]
+
+    def test_non_scalar_axis_value_rejected(self):
+        with pytest.raises(TypeError, match="scalar"):
+            _grid(axes={"x": ([1],)})
+
+    @pytest.mark.parametrize("bad", ["a,b", "a=b", "a[b", "a b"])
+    def test_reserved_characters_rejected_everywhere(self, bad):
+        with pytest.raises(ValueError, match="reserved"):
+            _grid(name=bad)
+        with pytest.raises(ValueError, match="reserved"):
+            _grid(axes={bad: (1,)})
+        with pytest.raises(ValueError, match="reserved"):
+            _grid(axes={"x": (bad,)})
+
+
+class TestGridExpansion:
+    def test_points_iterate_last_axis_fastest(self):
+        grid = _grid(axes={"b": (10, 20), "a": (1, 2)})
+        assert grid.points() == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        ]
+        assert grid.size == 4
+
+    def test_expand_folds_axes_into_name_version_params(self):
+        grid = _grid(
+            axes={"x": (1, 2)},
+            deps=("root",),
+            params={"fixed": "f"},
+            version="3",
+            kind=KIND_ARTIFACT,
+            title="point",
+        )
+        specs = grid.expand()
+        assert [spec.name for spec in specs] == ["sweep.g[x=1]", "sweep.g[x=2]"]
+        assert specs[0].version == "3+x=1"
+        assert specs[0].params_dict() == {"fixed": "f", "x": 1}
+        assert specs[0].deps == ("root",)
+        assert specs[0].kind == KIND_ARTIFACT
+        assert specs[0].title == "point [x=1]"
+        assert all(spec.family == "sweep.g" for spec in specs)
+
+    def test_every_point_has_a_distinct_memo_key(self):
+        specs = _grid(axes={"a": (1, 2), "b": (0.5, 0.75)}).expand()
+        keys = {spec.cache_digest({}) for spec in specs}
+        assert len(keys) == len(specs) == 4
+
+
+class TestRegistryFamilies:
+    def _registry(self):
+        registry = Registry([NodeSpec.build("root", _noop, kind=KIND_ARTIFACT)])
+        grid = _grid(axes={"x": (1, 2, 3)}, deps=("root",), kind=KIND_ARTIFACT)
+        aggregate = NodeSpec.build(
+            "sweep.g", _noop, deps=tuple(grid.point_names())
+        )
+        registry.register_grid(grid, aggregate=aggregate)
+        return registry, grid
+
+    def test_register_grid_registers_points_and_aggregate(self):
+        registry, grid = self._registry()
+        for name in grid.point_names():
+            assert name in registry
+        assert "sweep.g" in registry
+        assert len(registry) == 1 + 3 + 1
+
+    def test_family_records_axes_points_aggregate(self):
+        registry, grid = self._registry()
+        family = registry.family("sweep.g")
+        assert family.size == 3
+        assert family.points == tuple(grid.point_names())
+        assert family.axes == (("x", (1, 2, 3)),)
+        assert family.aggregate == "sweep.g"
+        assert registry.families() == {"sweep.g": family}
+
+    def test_family_of_distinguishes_points_from_ordinary_nodes(self):
+        registry, grid = self._registry()
+        assert registry.family_of(grid.point_names()[0]) == "sweep.g"
+        assert registry.family_of("root") is None
+        assert registry.family_of("sweep.g") is None  # the aggregate itself
+
+    def test_unknown_family_is_a_graph_error(self):
+        registry, _ = self._registry()
+        with pytest.raises(GraphError, match="unknown grid family"):
+            registry.family("zzz")
+
+    def test_dependents_index_matches_declared_edges(self):
+        registry, grid = self._registry()
+        assert set(registry.dependents("root")) == set(grid.point_names())
+        assert registry.dependents(grid.point_names()[0]) == ["sweep.g"]
+
+    def test_with_overrides_preserves_families(self):
+        registry, _ = self._registry()
+        patched = registry.with_overrides({"root": {}})
+        assert patched.family("sweep.g").size == 3
+
+    def test_topo_places_points_between_root_and_aggregate(self):
+        registry, grid = self._registry()
+        order = registry.topo_order()
+        assert order[0] == "root"
+        assert order[-1] == "sweep.g"
+        assert set(order[1:-1]) == set(grid.point_names())
+
+
+class TestTopoMemoization:
+    def test_repeat_calls_return_equal_copies(self):
+        registry = Registry(
+            [NodeSpec.build("a", _noop), NodeSpec.build("b", _noop, deps=("a",))]
+        )
+        first = registry.topo_order()
+        second = registry.topo_order()
+        assert first == second
+        first.append("mutated")  # callers get copies, never the cache
+        assert registry.topo_order() == second
+
+    def test_register_invalidates_the_cache(self):
+        registry = Registry([NodeSpec.build("a", _noop)])
+        assert registry.topo_order() == ["a"]
+        registry.register(NodeSpec.build("b", _noop, deps=("a",)))
+        assert registry.topo_order() == ["a", "b"]
+
+    def test_target_sets_are_cached_independently(self):
+        registry = Registry(
+            [
+                NodeSpec.build("a", _noop),
+                NodeSpec.build("b", _noop, deps=("a",)),
+                NodeSpec.build("c", _noop),
+            ]
+        )
+        assert registry.topo_order(["b"]) == ["a", "b"]
+        assert registry.topo_order(["c"]) == ["c"]
+        assert registry.topo_order(["b"]) == ["a", "b"]
+
+
+class TestThousandPointGrid:
+    def test_large_grid_registers_and_orders_without_blowup(self):
+        registry = Registry([NodeSpec.build("root", _noop, kind=KIND_ARTIFACT)])
+        grid = GridSpec.build(
+            "sweep.big",
+            _noop,
+            axes={"a": tuple(range(36)), "b": tuple(range(30))},
+            deps=("root",),
+            kind=KIND_ARTIFACT,
+        )
+        assert grid.size == 1080
+        points = registry.register_grid(
+            grid,
+            aggregate=NodeSpec.build(
+                "sweep.big", _noop, deps=tuple(grid.point_names())
+            ),
+        )
+        assert len(points) == 1080
+        order = registry.topo_order()
+        assert len(order) == 1082
+        seen = set()
+        for name in order:
+            assert all(dep in seen for dep in registry.node(name).deps)
+            seen.add(name)
+        # The memoized re-ask must be the same order, not a re-sort.
+        assert registry.topo_order() == order

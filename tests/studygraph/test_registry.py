@@ -100,8 +100,21 @@ class TestDefaultRegistry:
             "funnel.apache", "funnel.gnome", "funnel.mysql",
             "report", "catalog",
             "ablate.recovery-model", "ablate.dedup",
+            "sweep.retry-budget", "sweep.race-window", "sweep.rejuvenation",
         ):
             assert required in names, f"missing node {required}"
+
+    def test_registers_the_section5a_grid_families(self):
+        families = default_registry().families()
+        assert {
+            name: family.size for name, family in families.items()
+        } == {
+            "sweep.retry-budget": 6,
+            "sweep.race-window": 6,
+            "sweep.rejuvenation": 49,
+            "sweep.recovery-model": 4,
+        }
+        assert families["sweep.recovery-model"].aggregate == "ablate.recovery-model"
 
     def test_acyclic_and_fully_orderable(self):
         registry = default_registry()

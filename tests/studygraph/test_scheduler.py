@@ -4,15 +4,17 @@ The toy producers are module-level so forked pool workers resolve them
 by reference; the domain-level graph is covered by test_equivalence.
 """
 
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.studygraph.context import StudyContext
-from repro.studygraph.node import KIND_ARTIFACT, NodeSpec
+from repro.studygraph.node import KIND_ARTIFACT, GridSpec, NodeSpec
 from repro.studygraph.registry import GraphError, Registry
 from repro.studygraph.scheduler import (
     memo_walls,
+    order_longest_first,
     run_single_node,
     run_study,
     study_status,
@@ -225,6 +227,103 @@ class TestWallHelpers:
 
     def test_memo_walls_without_cache_is_empty(self):
         assert memo_walls(_ctx(), registry=toy_registry()) == {}
+
+
+def _grid_point(ctx, inputs, params):
+    # The deliberately-slow point: work time scales with the axis value,
+    # but the payload depends only on the parameters.
+    time.sleep(params["delay"])
+    return {"delay": params["delay"], "text": f"delay: {params['delay']}"}
+
+
+def grid_registry():
+    """A toy graph with one grid family whose last point is the slowest."""
+    registry = Registry(
+        [NodeSpec.build("root", _root, params={"value": 3}, kind=KIND_ARTIFACT)]
+    )
+    grid = GridSpec.build(
+        "sweep.delay",
+        _grid_point,
+        axes={"delay": (0.0, 0.005, 0.01, 0.05)},
+        deps=("root",),
+        kind=KIND_ARTIFACT,
+    )
+    registry.register_grid(
+        grid,
+        aggregate=NodeSpec.build(
+            "sweep.delay", _total_delay, deps=tuple(grid.point_names())
+        ),
+    )
+    return registry
+
+
+def _total_delay(ctx, inputs, params):
+    total = sum(payload["delay"] for payload in inputs.values())
+    return {"total": total, "text": f"total delay: {total}"}
+
+
+class TestOrderLongestFirst:
+    def test_known_nodes_sort_longest_first_with_name_tiebreak(self):
+        order = order_longest_first(
+            ["a", "b", "c", "d"], {"a": 1.0, "b": 5.0, "c": 5.0, "d": 0.5}
+        )
+        assert order == ["b", "c", "a", "d"]
+
+    def test_unseen_nodes_keep_fifo_position_after_estimated(self):
+        order = order_longest_first(["x", "a", "y"], {"a": 1.0})
+        assert order == ["a", "x", "y"]
+
+    def test_unseen_grid_point_falls_back_to_family_median(self):
+        priorities = {
+            "sweep.g[x=1]": 4.0,
+            "sweep.g[x=2]": 6.0,
+            "fast": 1.0,
+        }
+        # x=3 has never run: its estimate is the family median (5.0),
+        # so it still dispatches before the known-fast node.
+        order = order_longest_first(["fast", "sweep.g[x=3]"], priorities)
+        assert order == ["sweep.g[x=3]", "fast"]
+
+    def test_empty_history_is_pure_fifo(self):
+        assert order_longest_first(["b", "a"], {}) == ["b", "a"]
+
+
+class TestSchedulingInvariance:
+    """Dispatch order is scheduling-only: payloads never move."""
+
+    def _digests(self, result):
+        return {name: run.digest for name, run in result.runs.items()}
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_longest_first_matches_fifo_and_serial(self, workers):
+        serial = run_study(_ctx(), registry=grid_registry())
+        fifo = run_study(_ctx(workers=workers), registry=grid_registry())
+        # Priorities mark the slow point as slow (and one point unseen,
+        # exercising the family-median path mid-run).
+        priorities = {
+            "sweep.delay[delay=0.05]": 0.05,
+            "sweep.delay[delay=0.0]": 0.001,
+            "sweep.delay[delay=0.005]": 0.005,
+            "root": 0.001,
+        }
+        longest = run_study(
+            _ctx(workers=workers),
+            registry=grid_registry(),
+            priorities=priorities,
+        )
+        assert self._digests(fifo) == self._digests(serial)
+        assert self._digests(longest) == self._digests(serial)
+        assert longest.outputs == serial.outputs
+
+    def test_priorities_never_change_memo_keys(self, tmp_path):
+        cold = run_study(
+            _ctx(tmp_path),
+            registry=grid_registry(),
+            priorities={"sweep.delay[delay=0.05]": 9.0},
+        )
+        warm = run_study(_ctx(tmp_path), registry=grid_registry())
+        assert warm.executed == 0
+        assert warm.cached == len(cold.runs)
 
 
 class TestRunMonitorIntegration:

@@ -260,6 +260,62 @@ class TestEverySubcommandSmoke:
             main(["study", "run", "--nodes", "bogus",
                   "--cache-dir", str(tmp_path / "memo")])
 
+    def test_study_run_collapses_grid_families(self, capsys, tmp_path):
+        args = ["--nodes", "ablate.recovery-model",
+                "--cache-dir", str(tmp_path / "memo")]
+        assert main(["study", "run", *args]) == 0
+        collapsed = capsys.readouterr().out
+        assert "sweep.recovery-model[x4]" in collapsed
+        assert "model=paper-default" not in collapsed
+        assert "Study run: 8 executed, 0 cached" in collapsed
+
+        assert main(["study", "run", *args, "--expand-grids"]) == 0
+        expanded = capsys.readouterr().out
+        assert "sweep.recovery-model[model=paper-default]" in expanded
+        assert "sweep.recovery-model[x4]" not in expanded
+
+        assert main(["study", "status", *args]) == 0
+        status = capsys.readouterr().out
+        assert "sweep.recovery-model[x4]" in status
+        assert "model=paper-default" not in status
+        assert main(["study", "status", *args, "--expand-grids"]) == 0
+        assert "model=paper-default" in capsys.readouterr().out
+
+    def test_nodes_flag_keeps_grid_point_names_whole(self, capsys, tmp_path):
+        point = "sweep.rejuvenation[downtime_minutes=10.0,interval_hours=none]"
+        assert main([
+            "study", "run", "--nodes", f"A2,{point}",
+            "--show", point, "--cache-dir", str(tmp_path / "memo"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "never (baseline) (restart 10 min)" in out
+
+    def test_study_graph_collapses_and_expands_grids(self, capsys):
+        assert main(["study", "graph"]) == 0
+        collapsed = capsys.readouterr().out
+        assert "4 grid families (65 points)" in collapsed
+        assert "sweep.rejuvenation[x49]" in collapsed
+        assert "interval_hours=" not in collapsed
+        assert main(["study", "graph", "--expand-grids"]) == 0
+        expanded = capsys.readouterr().out
+        assert "sweep.rejuvenation[downtime_minutes=10.0,interval_hours=none]" in expanded
+
+    def test_study_run_longest_first_outputs_are_identical(self, capsys, tmp_path):
+        db = str(tmp_path / "perf.jsonl")
+        cache_a = str(tmp_path / "memo-a")
+        cache_b = str(tmp_path / "memo-b")
+        nodes = ["--nodes", "ablate.recovery-model", "--quiet"]
+        # Cold FIFO run records the history the second run schedules by.
+        assert main(["study", "run", *nodes, "--cache-dir", cache_a,
+                     "--perfdb", db, "--order", "fifo"]) == 0
+        capsys.readouterr()
+        assert main(["study", "run", *nodes, "--cache-dir", cache_b,
+                     "--perfdb", db, "--order", "longest-first"]) == 0
+        capsys.readouterr()
+        assert main(["study", "diff", cache_a, cache_b,
+                     "--nodes", "ablate.recovery-model"]) == 0
+        assert "drift" in capsys.readouterr().out
+
     def test_mine_run_rejects_positional_soup(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["mine", "run", "apache"])
