@@ -1,0 +1,170 @@
+"""Multi-fault scenario sweeps: parallel scaling and sampling fidelity.
+
+Two claims behind the scenario engine, measured:
+
+1. The pair grid parallelises: on a stall-bound sweep (each point padded
+   to archive-replay cost) four workers beat one by well over 1.5x, at a
+   bit-identical interaction matrix -- worker count is scheduling-only
+   because every seed derives from the scenario content digest.
+2. Stratified sampling preserves verdicts: every pair the default budget
+   samples classifies identically to the same pair under exhaustive
+   enumeration, and the interaction-dense timing stratum is covered
+   whole, so the sampled matrix never invents or loses an interaction.
+"""
+
+import time
+
+from repro.scenarios import nodes as scenario_nodes
+from repro.scenarios.engine import (
+    CLASS_RECOVERY_DEFEATED,
+    baseline_outcomes,
+    classify_interaction,
+    run_scenario,
+)
+from repro.scenarios.enumerate import (
+    TIMING_LABEL,
+    class_label,
+    enumerate_pairs,
+    fault_index,
+    stratified_pair_sample,
+)
+from repro.scenarios.nodes import SCENARIO_TECHNIQUE
+from repro.studygraph import GridSpec, NodeSpec, StudyContext, run_study
+from repro.studygraph.node import KIND_ARTIFACT
+from repro.studygraph.registry import Registry
+
+#: Per-point stall modelling archive-scale replay cost (the simulated
+#: replay itself is sub-millisecond).
+POINT_STALL = 0.05
+
+#: Points in the stall-bound benchmark grid.
+BENCH_POINTS = 12
+
+
+def _stalled_pair_point(ctx, inputs, params):
+    time.sleep(POINT_STALL)
+    return scenario_nodes.scenario_pair_point(ctx, inputs, params)
+
+
+def _bench_registry(study):
+    """The scenario subgraph with stall-padded points (no corpus chain)."""
+    labels = scenario_nodes.scenario_pair_labels(study)[:BENCH_POINTS]
+    registry = Registry()
+    registry.register(
+        NodeSpec.build(
+            scenario_nodes.BASELINE_NODE,
+            scenario_nodes.scenario_baseline,
+            params={"technique": SCENARIO_TECHNIQUE},
+            kind=KIND_ARTIFACT,
+        )
+    )
+    grid = GridSpec.build(
+        scenario_nodes.PAIRS_FAMILY,
+        _stalled_pair_point,
+        axes={"pair": tuple(labels)},
+        deps=(scenario_nodes.BASELINE_NODE,),
+        params={
+            "technique": SCENARIO_TECHNIQUE,
+            "shape": scenario_nodes.SCENARIO_SHAPE,
+            "window": 0.25,
+        },
+        kind=KIND_ARTIFACT,
+    )
+    registry.register_grid(
+        grid,
+        aggregate=NodeSpec.build(
+            scenario_nodes.PAIRS_FAMILY,
+            scenario_nodes.scenario_pair_matrix,
+            deps=tuple(grid.point_names()),
+            params={"technique": SCENARIO_TECHNIQUE, "budget": len(labels)},
+        ),
+    )
+    return registry
+
+
+def _run_sweep(registry, workers):
+    context = StudyContext.default(workers=workers)
+    started = time.perf_counter()
+    result = run_study(
+        context,
+        registry=registry,
+        outputs=[scenario_nodes.PAIRS_FAMILY],
+    )
+    return result, time.perf_counter() - started
+
+
+def test_bench_scenario_grid_parallel_scaling(benchmark, study):
+    registry = _bench_registry(study)
+    serial, serial_wall = _run_sweep(registry, 1)
+    parallel, parallel_wall = _run_sweep(registry, 4)
+
+    # Bit-identical matrices first: worker count must never move a verdict.
+    assert parallel.outputs == serial.outputs
+    assert {name: run.digest for name, run in parallel.runs.items()} == {
+        name: run.digest for name, run in serial.runs.items()
+    }
+    matrix = parallel.outputs[scenario_nodes.PAIRS_FAMILY]
+    assert sum(matrix["counts"].values()) == BENCH_POINTS
+
+    speedup = serial_wall / parallel_wall
+    assert speedup > 1.5, (
+        f"stall-bound scenario grid speedup {speedup:.2f}x at 4 workers "
+        f"(serial {serial_wall:.3f}s, parallel {parallel_wall:.3f}s)"
+    )
+
+    benchmark.pedantic(_run_sweep, args=(registry, 4), rounds=2, iterations=1)
+    benchmark.extra_info["wall_seconds"] = {
+        "serial_1": round(serial_wall, 4),
+        "parallel_4": round(parallel_wall, 4),
+    }
+    benchmark.extra_info["speedup"] = (
+        f"{speedup:.2f}x at 4 workers over {BENCH_POINTS} stall-bound points "
+        f"({POINT_STALL * 1000:.0f}ms each), equal digests"
+    )
+
+
+def test_bench_sampled_matches_exhaustive(benchmark, study):
+    faults = fault_index(study)
+    baselines = baseline_outcomes(study, SCENARIO_TECHNIQUE)
+
+    def _classify_all(scenarios):
+        return {
+            s.scenario_id: classify_interaction(
+                run_scenario(s, faults, SCENARIO_TECHNIQUE), baselines
+            )
+            for s in scenarios
+        }
+
+    started = time.perf_counter()
+    # The exhaustive reference for the interaction-dense stratum: every
+    # timing x timing pair in the catalog.
+    timing_pairs = [
+        s
+        for s in enumerate_pairs(study)
+        if all(class_label(faults[fid]) == TIMING_LABEL for fid in s.fault_ids)
+    ]
+    exhaustive = _classify_all(timing_pairs)
+    sampled = _classify_all(stratified_pair_sample(study, 40))
+    wall = time.perf_counter() - started
+
+    # The sample covers the whole timing stratum, and every sampled pair
+    # classifies exactly as exhaustive enumeration classifies it.
+    assert set(exhaustive) <= set(sampled)
+    for scenario_id, verdict in exhaustive.items():
+        assert sampled[scenario_id] == verdict
+    resampled = _classify_all(stratified_pair_sample(study, 40))
+    assert resampled == sampled
+
+    defeated = [v for v in sampled.values() if v == CLASS_RECOVERY_DEFEATED]
+    assert defeated, "the default budget must retain a recovery-defeated pair"
+
+    benchmark.pedantic(
+        lambda: _classify_all(stratified_pair_sample(study, 40)),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["wall_seconds"] = {"exhaustive_plus_sampled": round(wall, 4)}
+    benchmark.extra_info["agreement"] = (
+        f"{len(exhaustive)}/15 exhaustive timing pairs classified identically "
+        f"in the 40-pair sample; {len(defeated)} recovery-defeated"
+    )

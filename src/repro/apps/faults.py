@@ -63,12 +63,18 @@ class InjectedDefect:
         race_window: width of the racy window for timing triggers.
         fired_once: whether the defect has fired at least once.
         executions: times the guarded operation has run.
+        stream_label: optional scheduler stream label.  ``None`` (the
+            single-defect default) draws timing re-fires from the shared
+            scheduler stream; multi-defect scenarios set a per-defect
+            label (derived from the scenario id and fault id) so armed
+            defects never consume each other's draws.
     """
 
     fault: StudyFault
     race_window: float = DEFAULT_RACE_WINDOW
     fired_once: bool = False
     executions: int = 0
+    stream_label: str | None = None
 
     @property
     def op(self) -> str:
@@ -150,7 +156,7 @@ class InjectedDefect:
         if trigger in _TIMING_TRIGGERS:
             if not self.fired_once:
                 return True
-            return env.scheduler.race_fires(self.race_window)
+            return env.scheduler.race_fires(self.race_window, label=self.stream_label)
         if trigger is TriggerKind.RESOURCE_LEAK:
             return app.state.get("leaked_objects", 0) > LEAK_LIMIT
         if trigger is TriggerKind.FILE_DESCRIPTOR_EXHAUSTION:
@@ -205,26 +211,57 @@ class InjectedDefect:
 
 
 class FaultInjector:
-    """Holds the defects injected into one application, keyed by operation."""
+    """Holds the defects injected into one application, keyed by operation.
+
+    The single-fault replay path injects exactly one defect per op and
+    treats a second injection on the same op as a mistake.  Multi-fault
+    scenarios opt into stacking (``allow_stacking=True``), in which case
+    every defect guarding an op fires in injection order.
+    """
 
     def __init__(self):
-        self._defects: dict[str, InjectedDefect] = {}
+        self._defects: dict[str, list[InjectedDefect]] = {}
 
-    def inject(self, defect: InjectedDefect) -> None:
-        """Register a defect; its guarded op must be unique per app."""
-        if defect.op in self._defects:
+    def inject(self, defect: InjectedDefect, *, allow_stacking: bool = False) -> None:
+        """Register a defect.
+
+        Args:
+            defect: the defect to register.
+            allow_stacking: permit more than one defect on the same op
+                (scenario composition).  The default rejects duplicates,
+                preserving the single-fault contract.
+
+        Raises:
+            ValueError: if the op is already guarded and stacking was not
+                requested.
+        """
+        stack = self._defects.setdefault(defect.op, [])
+        if stack and not allow_stacking:
             raise ValueError(f"a defect already guards op {defect.op!r}")
-        self._defects[defect.op] = defect
+        stack.append(defect)
 
     def defect_for(self, op: str) -> InjectedDefect | None:
-        """The defect guarding ``op``, if any."""
-        return self._defects.get(op)
+        """The first defect guarding ``op``, if any."""
+        stack = self._defects.get(op)
+        return stack[0] if stack else None
+
+    def defects_for(self, op: str) -> tuple[InjectedDefect, ...]:
+        """All defects guarding ``op``, in injection order."""
+        return tuple(self._defects.get(op, ()))
+
+    def all_defects(self) -> tuple[InjectedDefect, ...]:
+        """Every injected defect, in op-then-injection order."""
+        return tuple(d for stack in self._defects.values() for d in stack)
 
     def check(self, op: str, env: Environment, app: "MiniApplication") -> None:
-        """Fire the defect guarding ``op`` if its condition holds."""
-        defect = self._defects.get(op)
-        if defect is not None:
+        """Fire the defects guarding ``op`` whose conditions hold.
+
+        Defects fire in injection order; the first one whose condition
+        holds raises, so a stacked defect only gets to fire once every
+        defect before it stays quiet this execution.
+        """
+        for defect in self._defects.get(op, ()):
             defect.fire_if_triggered(env, app)
 
     def __len__(self) -> int:
-        return len(self._defects)
+        return sum(len(stack) for stack in self._defects.values())

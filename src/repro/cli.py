@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
     repro study status --trace run.trace   # plus traced wall-ms per node
     repro study diff cache-a cache-b   # node-by-node digest drift report
     repro study graph             # the node catalog and its edges
+    repro scenario run --workers 4   # the multi-fault pair sweep, memoized
+    repro scenario matrix         # the pair-interaction matrix
+    repro scenario status         # memo state of the scenario closure
     repro trace summary run.trace --flame   # attribution + ASCII icicle
     repro trace export run.trace --out run.json   # chrome://tracing JSON
     repro trace export run.trace --format folded --out run.folded
@@ -861,6 +864,44 @@ def _cmd_study_status(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Targets `repro scenario run|status` default to: the pair-interaction
+#: sweep (its closure pulls in the baseline and every pair point) plus
+#: the temporal-clustering experiment.
+_SCENARIO_DEFAULT_NODES = "scenario.pairs,scenario.temporal"
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """``repro scenario run``: ``study run`` scoped to the scenario nodes.
+
+    Same engine, same flags -- memoized waves, perfdb-informed dispatch,
+    tracing, live snapshots -- just targeted at ``scenario.*`` unless
+    ``--nodes`` says otherwise.
+    """
+    if not args.nodes:
+        args.nodes = [_SCENARIO_DEFAULT_NODES]
+    return _cmd_study_run(args)
+
+
+def _cmd_scenario_status(args: argparse.Namespace) -> int:
+    """``repro scenario status``: memo state of the scenario closure."""
+    if not args.nodes:
+        args.nodes = [_SCENARIO_DEFAULT_NODES]
+    return _cmd_study_status(args)
+
+
+def _cmd_scenario_matrix(args: argparse.Namespace) -> int:
+    """``repro scenario matrix``: print the pair-interaction matrix.
+
+    Resolves from the memo cache when warm; otherwise runs the closure
+    serially (the default 40-pair grid takes seconds).
+    """
+    from repro.studygraph import StudyContext, run_single_node
+
+    context = StudyContext.default(cache_dir=_study_cache_dir(args))
+    print(run_single_node("scenario.pairs", context=context)["text"])
+    return 0
+
+
 def _summarize_deps(deps: tuple[str, ...], registry: Any) -> str:
     """Dependency list with grid-point runs collapsed to ``family[xN]``."""
     if not deps:
@@ -1480,6 +1521,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these nodes plus dependencies (repeatable)",
     )
     study_diff_cmd.set_defaults(func=_cmd_study_diff)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="multi-fault scenario sweeps (pair interactions, temporal clustering)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="run the scenario sweep (scenario.pairs + scenario.temporal)",
+    )
+    scenario_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (the matrix is identical for any count)",
+    )
+    scenario_run.add_argument(
+        "--nodes", action="append", default=None, metavar="NAME[,NAME...]",
+        help="override the default scenario targets (repeatable)",
+    )
+    scenario_run.add_argument(
+        "--show", default=None, metavar="NODE",
+        help="print one node's rendered text after the run summary",
+    )
+    scenario_run.add_argument(
+        "--cache-dir", default=DEFAULT_STUDY_CACHE,
+        help="node memo directory (warm reruns resolve from it)",
+    )
+    scenario_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable memoization entirely",
+    )
+    scenario_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace to this JSONL file (see 'repro trace')",
+    )
+    scenario_run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress output (auto-suppressed when stderr is not a TTY)",
+    )
+    scenario_run.add_argument(
+        "--live", default=None, metavar="PATH",
+        help="write an atomic live-status snapshot here (see 'repro study watch')",
+    )
+    scenario_run.add_argument(
+        "--perfdb", default=None, metavar="PATH",
+        help="append this run's per-node wall times to a perf history JSONL",
+    )
+    scenario_run.add_argument(
+        "--order", choices=("longest-first", "fifo"), default="longest-first",
+        help="within-wave dispatch order; longest-first needs --perfdb history "
+        "(outputs are identical either way)",
+    )
+    scenario_run.add_argument(
+        "--expand-grids", action="store_true",
+        help="list every pair point in the summary instead of one family row",
+    )
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    scenario_status_cmd = scenario_sub.add_parser(
+        "status", help="memo state of the scenario closure (nothing executed)"
+    )
+    scenario_status_cmd.add_argument(
+        "--nodes", action="append", default=None, metavar="NAME[,NAME...]",
+        help="override the default scenario targets (repeatable)",
+    )
+    scenario_status_cmd.add_argument(
+        "--cache-dir", default=DEFAULT_STUDY_CACHE,
+        help="node memo directory to inspect",
+    )
+    scenario_status_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="report against a disabled cache (every node shows missing)",
+    )
+    scenario_status_cmd.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="join per-node wall time from this trace into the table",
+    )
+    scenario_status_cmd.add_argument(
+        "--expand-grids", action="store_true",
+        help="list every pair point instead of one family row",
+    )
+    scenario_status_cmd.set_defaults(func=_cmd_scenario_status)
+
+    scenario_matrix_cmd = scenario_sub.add_parser(
+        "matrix",
+        help="print the pair-interaction matrix (serial run if not memoized)",
+    )
+    scenario_matrix_cmd.add_argument(
+        "--cache-dir", default=DEFAULT_STUDY_CACHE,
+        help="node memo directory (warm caches answer without replaying)",
+    )
+    scenario_matrix_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the memo cache and replay the sweep serially",
+    )
+    scenario_matrix_cmd.set_defaults(func=_cmd_scenario_matrix)
 
     trace = subparsers.add_parser(
         "trace", help="inspect or export a span trace recorded with --trace"

@@ -14,9 +14,11 @@ module applies a model's side effects to a live
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterable
 
 from repro.classify.recovery_model import RecoveryModel
 from repro.envmodel.environment import Environment
+from repro.errors import PerturbationConflict
 
 
 @dataclasses.dataclass
@@ -111,3 +113,71 @@ def apply_recovery_perturbation(
     if model.expects_external_repair:
         env.dns.restart()
         env.network.repair()
+
+
+def compose_recovery_models(models: Iterable[RecoveryModel]) -> RecoveryModel:
+    """Fold several recovery models into one composed model.
+
+    The additive side effects (killing processes, reclaiming leaked OS
+    resources, growing storage, expecting external repair) commute: a
+    recovery attempt that does both of two such things is simply their
+    union, regardless of which model listed which.  ``preserves_all_state``
+    does not commute -- a recovery cannot both restore every byte of
+    application state and discard it -- so models that disagree on it are
+    rejected rather than silently ordered.
+
+    Args:
+        models: the recovery models to compose (at least one).
+
+    Returns:
+        A single model whose side effects are the union of the inputs'.
+
+    Raises:
+        ValueError: if ``models`` is empty.
+        PerturbationConflict: if the models disagree on
+            ``preserves_all_state``.
+    """
+    folded = list(models)
+    if not folded:
+        raise ValueError("cannot compose zero recovery models")
+    preserves = {m.preserves_all_state for m in folded}
+    if len(preserves) > 1:
+        raise PerturbationConflict(
+            "cannot compose state-preserving and state-discarding recovery models"
+        )
+    return RecoveryModel(
+        preserves_all_state=folded[0].preserves_all_state,
+        kills_application_processes=any(m.kills_application_processes for m in folded),
+        auto_extends_storage=any(m.auto_extends_storage for m in folded),
+        reclaims_leaked_os_resources=any(m.reclaims_leaked_os_resources for m in folded),
+        expects_external_repair=any(m.expects_external_repair for m in folded),
+    )
+
+
+def apply_recovery_perturbations(
+    env: Environment,
+    models: Iterable[RecoveryModel],
+    footprint: ResourceFootprint | None = None,
+    *,
+    downtime_seconds: float = 30.0,
+    storage_growth_bytes: int = 64 * 1024 * 1024,
+) -> RecoveryModel:
+    """Apply several recovery models' side effects as one perturbation.
+
+    Composition-safe variant of :func:`apply_recovery_perturbation`: the
+    models are folded with :func:`compose_recovery_models` first, so the
+    resulting environment state is independent of the order the models
+    are listed in, and conflicting models raise instead of racing.
+
+    Returns:
+        The composed model that was applied.
+    """
+    composed = compose_recovery_models(models)
+    apply_recovery_perturbation(
+        env,
+        composed,
+        footprint,
+        downtime_seconds=downtime_seconds,
+        storage_growth_bytes=storage_growth_bytes,
+    )
+    return composed

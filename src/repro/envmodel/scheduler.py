@@ -10,7 +10,9 @@ environment-dependent-transient.
 
 from __future__ import annotations
 
-from repro.rng import make_rng
+import random
+
+from repro.rng import derive_seed, make_rng
 
 
 class ThreadScheduler:
@@ -24,6 +26,7 @@ class ThreadScheduler:
     def __init__(self, seed: int = 0):
         self._seed = seed
         self._rng = make_rng(seed, "scheduler")
+        self._labelled_rngs: dict[str, random.Random] = {}
         self.context_switches = 0
 
     @property
@@ -35,7 +38,23 @@ class ThreadScheduler:
         """Start a fresh interleaving (the environment changed)."""
         self._seed = seed
         self._rng = make_rng(seed, "scheduler")
+        self._labelled_rngs = {}
         self.context_switches = 0
+
+    def _rng_for(self, label: str | None) -> random.Random:
+        """The draw stream for ``label`` (None = the shared legacy stream).
+
+        Labelled streams are derived from ``(seed, label)`` so consumers
+        that name themselves never perturb each other's draws; they are
+        dropped on :meth:`reseed` so every fresh interleaving re-derives.
+        """
+        if label is None:
+            return self._rng
+        rng = self._labelled_rngs.get(label)
+        if rng is None:
+            rng = make_rng(derive_seed(self._seed, label), "scheduler")
+            self._labelled_rngs[label] = rng
+        return rng
 
     def pick(self, runnable: list[str]) -> str:
         """Pick the next thread to run from ``runnable``.
@@ -48,12 +67,17 @@ class ThreadScheduler:
         self.context_switches += 1
         return runnable[self._rng.randrange(len(runnable))]
 
-    def race_fires(self, window: float) -> bool:
+    def race_fires(self, window: float, label: str | None = None) -> bool:
         """Whether a racy window of width ``window`` is hit this run.
 
         Args:
             window: probability in [0, 1] that the bad interleaving
                 occurs under a uniformly random schedule.
+            label: optional stream label.  ``None`` draws from the shared
+                scheduler stream (the single-defect legacy behaviour); a
+                label draws from an independent stream derived from
+                ``(seed, label)`` so multiple armed defects never consume
+                each other's draws.
 
         Returns:
             True when this interleaving lands inside the window.  The
@@ -62,7 +86,7 @@ class ThreadScheduler:
         if not 0.0 <= window <= 1.0:
             raise ValueError("window must be within [0, 1]")
         self.context_switches += 1
-        return self._rng.random() < window
+        return self._rng_for(label).random() < window
 
     def interleave(self, threads: dict[str, list[str]]) -> list[tuple[str, str]]:
         """Produce one full interleaving of per-thread operation lists.

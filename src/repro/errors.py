@@ -83,6 +83,17 @@ class ApplicationHang(ApplicationCrash):
         super().__init__(fault_id, symptom="hang")
 
 
+class PerturbationConflict(SimulationError):
+    """Raised when composed recovery perturbations disagree irreconcilably.
+
+    Two recovery models commute when their environmental side effects are
+    purely additive (killing processes, reclaiming resources, growing
+    storage).  They conflict when one insists all application state is
+    preserved and the other discards it -- no single recovery attempt can
+    do both.
+    """
+
+
 class RecoveryError(ReproError):
     """Raised when a recovery mechanism cannot complete its protocol."""
 

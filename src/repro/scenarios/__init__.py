@@ -1,0 +1,83 @@
+"""Multi-fault scenarios: composed defects, interaction classification.
+
+The source paper injects one fault at a time; this package composes two
+or more catalog faults into a :class:`~repro.scenarios.spec.Scenario`
+(concurrent, nested, or cascaded activation), replays the composition
+under a generic recovery technique, and classifies the joint outcome
+against the single-fault baselines -- does recovery that survives each
+fault alone also survive the pair?
+
+Modules:
+
+* :mod:`repro.scenarios.spec` -- the typed scenario model (content-digested
+  ids, deterministic per-scenario seeds, per-defect RNG stream labels).
+* :mod:`repro.scenarios.enumerate` -- pairwise and sampled k-fault scenario
+  generation over the catalog with symmetry dedup and stratified sampling.
+* :mod:`repro.scenarios.engine` -- the multi-fault replay driver and the
+  interaction taxonomy (independent / masked / amplified /
+  recovery-defeated).
+* :mod:`repro.scenarios.temporal` -- temporal clustering of the synthetic
+  archives (arrival gaps, burstiness, cluster sizes).
+* :mod:`repro.scenarios.nodes` -- study-graph producers and the
+  ``scenario.*`` grid family registration.
+"""
+
+from repro.scenarios.spec import (
+    SHAPE_CASCADED,
+    SHAPE_CONCURRENT,
+    SHAPE_NESTED,
+    SHAPES,
+    Scenario,
+    ScenarioComponent,
+    pair_scenario,
+)
+from repro.scenarios.enumerate import (
+    enumerate_pairs,
+    sample_k_scenarios,
+    stratified_pair_sample,
+)
+from repro.scenarios.engine import (
+    CLASS_AMPLIFIED,
+    CLASS_INDEPENDENT,
+    CLASS_MASKED,
+    CLASS_RECOVERY_DEFEATED,
+    INTERACTION_CLASSES,
+    Manifestation,
+    ScenarioOutcome,
+    classify_interaction,
+    run_scenario,
+)
+from repro.scenarios.temporal import (
+    TemporalProfile,
+    arrival_gaps,
+    burstiness,
+    cluster_sizes,
+    temporal_profile,
+)
+
+__all__ = [
+    "SHAPES",
+    "SHAPE_CONCURRENT",
+    "SHAPE_NESTED",
+    "SHAPE_CASCADED",
+    "Scenario",
+    "ScenarioComponent",
+    "pair_scenario",
+    "enumerate_pairs",
+    "stratified_pair_sample",
+    "sample_k_scenarios",
+    "INTERACTION_CLASSES",
+    "CLASS_INDEPENDENT",
+    "CLASS_MASKED",
+    "CLASS_AMPLIFIED",
+    "CLASS_RECOVERY_DEFEATED",
+    "Manifestation",
+    "ScenarioOutcome",
+    "run_scenario",
+    "classify_interaction",
+    "TemporalProfile",
+    "arrival_gaps",
+    "burstiness",
+    "cluster_sizes",
+    "temporal_profile",
+]

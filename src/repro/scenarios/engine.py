@@ -1,0 +1,369 @@
+"""Multi-fault replay driver and the interaction taxonomy.
+
+Layered on the same inject -> fail -> recover -> retry core as
+:mod:`repro.recovery.driver`, but with several defects armed per attempt:
+one application per composed fault's program (faults of the same program
+share an application and therefore a fault injector), one fresh recovery
+technique instance per application, and a merged workload timeline built
+from the scenario's activation offsets.
+
+The joint outcome is classified against the single-fault baselines:
+
+* ``recovery-defeated`` -- recovery survives each fault alone but not the
+  composition (the headline interaction: generic recovery's per-fault
+  guarantees do not compose);
+* ``masked`` -- a fault that manifests alone never manifests in the
+  composition (an earlier fault crashes the task first, or its recovery
+  repairs the later fault's condition as a side effect);
+* ``amplified`` -- the composition survives, but consumes more recovery
+  attempts than the two faults needed alone combined;
+* ``independent`` -- the joint outcome is what the alone outcomes
+  predict.
+
+Determinism: the environment seed derives from the scenario's content
+digest, each timing defect draws from its own ``(scenario_id, fault_id)``
+scheduler stream, and nothing depends on wall clock or scheduling -- the
+same scenario replays bit-identically at any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro import obs
+from repro.apps.base import MiniApplication
+from repro.apps.faults import InjectedDefect
+from repro.apps.registry import make_application
+from repro.corpus.loader import StudyData
+from repro.corpus.studyspec import StudyFault
+from repro.envmodel.environment import Environment
+from repro.envmodel.perturb import compose_recovery_models
+from repro.errors import ApplicationCrash, SimulationError
+from repro.recovery.base import RecoveryTechnique
+from repro.recovery.driver import replay_fault
+from repro.recovery.nodes import TECHNIQUES
+from repro.rng import DEFAULT_SEED
+from repro.scenarios.spec import Scenario
+
+#: Joint outcome matches what the alone outcomes predict.
+CLASS_INDEPENDENT = "independent"
+#: A fault that manifests alone never manifests in the composition.
+CLASS_MASKED = "masked"
+#: The composition survives but needs more attempts than the parts.
+CLASS_AMPLIFIED = "amplified"
+#: Each fault is survivable alone; the composition is not.
+CLASS_RECOVERY_DEFEATED = "recovery-defeated"
+
+#: The interaction taxonomy, in presentation order.
+INTERACTION_CLASSES: tuple[str, ...] = (
+    CLASS_INDEPENDENT,
+    CLASS_MASKED,
+    CLASS_AMPLIFIED,
+    CLASS_RECOVERY_DEFEATED,
+)
+
+#: Warm-up operations per application before the fault phase.
+WARMUP_OPS = 2
+
+#: Neutral operation name for cascaded phase gaps (guards no fault).
+_GAP_OP_PREFIX = "phase-gap-"
+
+
+@dataclasses.dataclass(frozen=True)
+class Manifestation:
+    """When one composed defect first fired in the joint replay.
+
+    Attributes:
+        fault_id: the composed fault.
+        first_run: 1-based workload run in which it first fired.
+        first_step: 0-based timeline step of that first firing.
+        fires: total times the defect fired across all runs.
+    """
+
+    fault_id: str
+    first_run: int
+    first_step: int
+    fires: int
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineOutcome:
+    """The single-fault baseline a pair is classified against.
+
+    Attributes:
+        fault_id: the fault replayed alone.
+        survived: whether recovery survived it alone.
+        attempts_used: recovery attempts it consumed alone.
+    """
+
+    fault_id: str
+    survived: bool
+    attempts_used: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioOutcome:
+    """The result of replaying one multi-fault scenario.
+
+    Attributes:
+        scenario_id: the scenario's content digest.
+        shape: its activation shape.
+        technique: recovery technique name.
+        fault_ids: composed faults, canonical order.
+        survived: whether a retry completed the full merged workload.
+        attempts_used: recovery attempts consumed across all apps.
+        manifested: defects that fired, in first-fire order.
+        collateral: non-defect failure labels observed (a fault's armed
+            condition breaking another fault's operation), in first-seen
+            order.
+    """
+
+    scenario_id: str
+    shape: str
+    technique: str
+    fault_ids: tuple[str, ...]
+    survived: bool
+    attempts_used: int
+    manifested: tuple[Manifestation, ...]
+    collateral: tuple[str, ...]
+
+    @property
+    def manifested_ids(self) -> tuple[str, ...]:
+        """Fault ids that fired, in first-fire order."""
+        return tuple(record.fault_id for record in self.manifested)
+
+
+def scenario_timeline(
+    scenario: Scenario, faults: Mapping[str, StudyFault]
+) -> tuple[tuple[str, str], ...]:
+    """The merged (application, operation) timeline of a scenario.
+
+    Each application warms up first (the same two warm-up operations the
+    single-fault workload uses), then the fault operations run in
+    activation-offset order -- equal offsets back to back, gaps in a
+    cascaded scenario filled with neutral phase-gap operations on the
+    first application.
+
+    Returns:
+        Steps as ``(application value, operation)`` pairs; the full
+        timeline is replayed on every recovery retry (Section 3: the
+        request sequence is fixed).
+    """
+    resolved = scenario.resolve(faults)
+    app_order: list[str] = []
+    for fault in resolved:
+        if fault.application.value not in app_order:
+            app_order.append(fault.application.value)
+    steps: list[tuple[str, str]] = [
+        (app, f"warmup-{index}")
+        for app in app_order
+        for index in range(WARMUP_OPS)
+    ]
+    by_offset: dict[int, list[StudyFault]] = {}
+    for component, fault in zip(scenario.components, resolved):
+        by_offset.setdefault(component.activation_offset, []).append(fault)
+    max_offset = max(by_offset)
+    for offset in range(max_offset + 1):
+        slot = by_offset.get(offset)
+        if slot is None:
+            steps.append((app_order[0], f"{_GAP_OP_PREFIX}{offset}"))
+        else:
+            steps.extend((fault.application.value, fault.workload_op) for fault in slot)
+    return tuple(steps)
+
+
+def _failure_label(error: SimulationError) -> str:
+    if isinstance(error, ApplicationCrash):
+        return error.fault_id
+    return f"resource:{getattr(error, 'resource', 'unknown')}"
+
+
+def run_scenario(
+    scenario: Scenario,
+    faults: Mapping[str, StudyFault],
+    technique_name: str,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> ScenarioOutcome:
+    """Replay one multi-fault scenario under one recovery technique.
+
+    Builds one application per composed program in a single shared
+    environment (seeded from the scenario digest), injects every defect
+    with its own scheduler stream label, arms the triggering conditions
+    in canonical order, then drives the merged timeline to failure and
+    lets the crashed application's technique recover until the timeline
+    completes or that application's budget is exhausted.
+
+    Arming failures are tolerated: when one fault's condition prevents
+    another's from being established (e.g. the disk is already full),
+    the second defect simply never fires -- which the classifier then
+    reports as masking.
+
+    Args:
+        scenario: the composition to replay.
+        faults: fault_id -> fault covering the scenario's components.
+        technique_name: a :data:`repro.recovery.nodes.TECHNIQUES` key.
+        seed: base seed; the environment seed derives from it and the
+            scenario id.
+    """
+    factory = TECHNIQUES[technique_name]
+    resolved = scenario.resolve(faults)
+    env = Environment(seed=scenario.seed_for(seed))
+    env.dns.add_record("client.example.net", "10.0.0.99")
+    env.dns.add_record("client5.example.net", "10.0.0.5")
+
+    with obs.span(
+        f"scenario:{scenario.scenario_id}",
+        technique=technique_name,
+        shape=scenario.shape,
+        faults=",".join(scenario.fault_ids),
+    ) as scenario_span:
+        apps: dict[str, MiniApplication] = {}
+        techniques: dict[str, RecoveryTechnique] = {}
+        for fault in resolved:
+            key = fault.application.value
+            if key not in apps:
+                apps[key] = make_application(fault.application, env)
+                techniques[key] = factory()
+        # All techniques come from one factory, so composing their models
+        # is trivially conflict-free; the call still guards the invariant
+        # if per-application technique mixes ever land here.
+        compose_recovery_models([t.model for t in techniques.values()])
+
+        for component, fault in zip(scenario.components, resolved):
+            app = apps[fault.application.value]
+            defect = InjectedDefect(
+                fault,
+                race_window=component.overlap_window,
+                stream_label=scenario.stream_label_for(fault.fault_id),
+            )
+            app.injector.inject(defect, allow_stacking=True)
+            try:
+                defect.arm(env, app)
+            except SimulationError:
+                # The condition could not be established on top of the
+                # previously armed ones; the defect stays dormant.
+                pass
+
+        for key in apps:
+            techniques[key].prepare(apps[key])
+
+        timeline = scenario_timeline(scenario, faults)
+        composed_ids = set(scenario.fault_ids)
+        manifested: dict[str, Manifestation] = {}
+        collateral: list[str] = []
+        attempts_by_app = {key: 0 for key in apps}
+        survived = False
+        run_index = 0
+        max_runs = 1 + sum(t.max_attempts for t in techniques.values())
+        while run_index < max_runs:
+            run_index += 1
+            failure: SimulationError | None = None
+            failed_app = ""
+            for step_index, (app_key, op) in enumerate(timeline):
+                try:
+                    apps[app_key].run_op(op)
+                except SimulationError as error:
+                    failure = error
+                    failed_app = app_key
+                    break
+            if failure is None:
+                survived = True
+                break
+            label = _failure_label(failure)
+            if label in composed_ids:
+                record = manifested.get(label)
+                if record is None:
+                    manifested[label] = Manifestation(
+                        fault_id=label,
+                        first_run=run_index,
+                        first_step=step_index,
+                        fires=1,
+                    )
+                else:
+                    manifested[label] = dataclasses.replace(
+                        record, fires=record.fires + 1
+                    )
+            elif label not in collateral:
+                collateral.append(label)
+            technique = techniques[failed_app]
+            if attempts_by_app[failed_app] >= technique.max_attempts:
+                break
+            attempts_by_app[failed_app] += 1
+            technique.recover(apps[failed_app], attempts_by_app[failed_app])
+
+        ordered = sorted(
+            manifested.values(), key=lambda m: (m.first_run, m.first_step)
+        )
+        outcome = ScenarioOutcome(
+            scenario_id=scenario.scenario_id,
+            shape=scenario.shape,
+            technique=technique_name,
+            fault_ids=scenario.fault_ids,
+            survived=survived,
+            attempts_used=sum(attempts_by_app.values()),
+            manifested=tuple(ordered),
+            collateral=tuple(collateral),
+        )
+        scenario_span.set(
+            survived=survived,
+            attempts=outcome.attempts_used,
+            manifested=",".join(outcome.manifested_ids),
+        )
+        return outcome
+
+
+def baseline_outcomes(
+    study: StudyData,
+    technique_name: str,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> dict[str, BaselineOutcome]:
+    """Single-fault baselines for every catalog fault under one technique.
+
+    These are ordinary :func:`repro.recovery.driver.replay_fault` runs
+    with the standard per-fault seed labels -- byte-identical to the E1
+    replay verdicts -- so the pair classifier compares the composition
+    against exactly what the single-fault study measured.
+    """
+    factory = TECHNIQUES[technique_name]
+    baselines: dict[str, BaselineOutcome] = {}
+    for fault in study.all_faults():
+        outcome = replay_fault(fault, factory(), seed=seed)
+        baselines[fault.fault_id] = BaselineOutcome(
+            fault_id=fault.fault_id,
+            survived=outcome.survived,
+            attempts_used=outcome.attempts_used,
+        )
+    return baselines
+
+
+def classify_interaction(
+    outcome: ScenarioOutcome,
+    baselines: Mapping[str, BaselineOutcome],
+) -> str:
+    """Classify one joint outcome against the single-fault baselines.
+
+    Precedence: ``recovery-defeated`` (the strongest statement about
+    generic recovery) over ``masked`` over ``amplified`` over
+    ``independent``.
+
+    Raises:
+        KeyError: if a composed fault has no baseline.
+    """
+    missing = [fid for fid in outcome.fault_ids if fid not in baselines]
+    if missing:
+        raise KeyError(f"no baselines for {missing}")
+    alone = [baselines[fid] for fid in outcome.fault_ids]
+    all_survive_alone = all(b.survived for b in alone)
+    if all_survive_alone and not outcome.survived:
+        return CLASS_RECOVERY_DEFEATED
+    manifested = set(outcome.manifested_ids)
+    if any(fid not in manifested for fid in outcome.fault_ids):
+        return CLASS_MASKED
+    if outcome.survived and outcome.attempts_used > sum(
+        b.attempts_used for b in alone
+    ):
+        return CLASS_AMPLIFIED
+    return CLASS_INDEPENDENT

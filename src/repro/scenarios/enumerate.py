@@ -1,0 +1,267 @@
+"""Scenario enumeration over the 139-fault catalog.
+
+The pairwise space is C(139, 2) = 9591 unordered pairs -- enumerable,
+but large enough that sweeps need an explicit budget.  This module
+provides both: full enumeration with dedup under symmetry (a pair is
+generated once regardless of fault order), and reproducible stratified
+sampling by fault-class pair so a 40-point budget still covers every
+interaction stratum, including the timing-x-timing pairs where genuine
+recovery-defeating interaction lives.
+
+Strata are keyed by the unordered pair of *class labels*: the paper's
+three classes (EI / EDN / EDT), with timing-triggered EDT faults split
+into their own ``EDT-timing`` label because their retry behaviour (a
+fresh scheduler draw per recovery) is what makes pair interaction
+interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.apps.faults import DEFAULT_RACE_WINDOW
+from repro.bugdb.enums import FaultClass
+from repro.corpus.loader import StudyData
+from repro.corpus.studyspec import StudyFault
+from repro.recovery.campaign import TIMING_TRIGGERS
+from repro.rng import DEFAULT_SEED, make_rng
+from repro.scenarios.spec import (
+    SHAPE_CONCURRENT,
+    Scenario,
+    compose_scenario,
+    pair_scenario,
+)
+
+#: Short class labels used for strata and matrix axes.
+CLASS_LABELS = {
+    FaultClass.ENV_INDEPENDENT: "EI",
+    FaultClass.ENV_DEP_NONTRANSIENT: "EDN",
+    FaultClass.ENV_DEP_TRANSIENT: "EDT",
+}
+
+#: The timing-triggered sub-label (EDT faults whose retry redraws).
+TIMING_LABEL = "EDT-timing"
+
+
+def class_label(fault: StudyFault) -> str:
+    """The stratification label of one fault."""
+    if fault.trigger in TIMING_TRIGGERS:
+        return TIMING_LABEL
+    return CLASS_LABELS[fault.fault_class]
+
+
+def pair_stratum(fault_a: StudyFault, fault_b: StudyFault) -> tuple[str, str]:
+    """The unordered class-label stratum of a pair."""
+    labels = sorted((class_label(fault_a), class_label(fault_b)))
+    return (labels[0], labels[1])
+
+
+def fault_index(study: StudyData) -> dict[str, StudyFault]:
+    """fault_id -> fault for the whole study (canonical catalog order)."""
+    return {fault.fault_id: fault for fault in study.all_faults()}
+
+
+def enumerate_pairs(
+    study: StudyData,
+    *,
+    budget: int | None = None,
+    seed: int = DEFAULT_SEED,
+    shape: str = SHAPE_CONCURRENT,
+    overlap_window: float = DEFAULT_RACE_WINDOW,
+) -> list[Scenario]:
+    """Generate pair scenarios over the catalog.
+
+    With ``budget=None`` every unordered pair is generated exactly once
+    (C(139, 2) = 9591 scenarios for the full catalog); symmetry dedup is
+    structural -- pairs come from combinations, and the scenario digest
+    is itself symmetric for concurrent shapes.  With a budget the pairs
+    are stratified-sampled (see :func:`stratified_pair_sample`).
+
+    Returns:
+        Scenarios in a deterministic order (catalog order for full
+        enumeration, stratum-then-id order for samples).
+    """
+    if budget is not None:
+        return stratified_pair_sample(
+            study,
+            budget,
+            seed=seed,
+            shape=shape,
+            overlap_window=overlap_window,
+        )
+    faults = study.all_faults()
+    scenarios: list[Scenario] = []
+    for index, fault_a in enumerate(faults):
+        for fault_b in faults[index + 1 :]:
+            scenarios.append(
+                pair_scenario(
+                    fault_a.fault_id,
+                    fault_b.fault_id,
+                    shape=shape,
+                    overlap_window=overlap_window,
+                )
+            )
+    return scenarios
+
+
+def _strata(
+    faults: Sequence[StudyFault],
+) -> dict[tuple[str, str], list[tuple[str, str]]]:
+    """Unordered fault-id pairs grouped by class-label stratum.
+
+    Pairs within a stratum keep catalog order, so sampling is a pure
+    function of the stratum contents and the sample RNG.
+    """
+    strata: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    for index, fault_a in enumerate(faults):
+        for fault_b in faults[index + 1 :]:
+            stratum = pair_stratum(fault_a, fault_b)
+            strata.setdefault(stratum, []).append(
+                (fault_a.fault_id, fault_b.fault_id)
+            )
+    return strata
+
+
+#: Strata at most this large are enumerated exhaustively before any
+#: sampling.  The interaction-dense strata are tiny -- EDT x EDT and
+#: timing x timing are 15 pairs each on the full catalog -- and skipping
+#: even one of their pairs can hide a genuine recovery-defeating
+#: interaction, so a budget first buys them whole.
+EXHAUSTIVE_STRATUM_LIMIT = 16
+
+
+def _allocate(
+    strata: Mapping[tuple[str, str], list[tuple[str, str]]], size: int
+) -> dict[tuple[str, str], int]:
+    """Allocate a sample budget across strata.
+
+    Strata no larger than :data:`EXHAUSTIVE_STRATUM_LIMIT` are taken
+    whole (in sorted stratum order) while the budget lasts; the remainder
+    is split across the large strata by largest-remainder proportional
+    allocation with a floor of one, so every stratum stays represented.
+    """
+    keys = sorted(strata)
+    total = sum(len(strata[key]) for key in keys)
+    if size >= total:
+        return {key: len(strata[key]) for key in keys}
+    counts = {key: 0 for key in keys}
+    budget = size
+    large: list[tuple[str, str]] = []
+    for key in keys:
+        if len(strata[key]) <= EXHAUSTIVE_STRATUM_LIMIT:
+            take = min(len(strata[key]), budget)
+            counts[key] = take
+            budget -= take
+        else:
+            large.append(key)
+    if budget <= 0 or not large:
+        return counts
+    large_total = sum(len(strata[key]) for key in large)
+    shares = {key: budget * len(strata[key]) / large_total for key in large}
+    for key in large:
+        counts[key] = min(int(shares[key]), len(strata[key]))
+    if budget >= len(large):
+        for key in large:
+            if counts[key] == 0:
+                counts[key] = 1
+    remaining = budget - sum(counts[key] for key in large)
+    if remaining > 0:
+        by_remainder = sorted(
+            large, key=lambda key: (-(shares[key] - int(shares[key])), key)
+        )
+        for key in by_remainder:
+            if remaining == 0:
+                break
+            if counts[key] < len(strata[key]):
+                counts[key] += 1
+                remaining -= 1
+    while remaining < 0:
+        # The floor of one can over-allocate; shave the largest counts
+        # first (deterministic tie-break on the stratum key).
+        key = min(
+            (key for key in large if counts[key] > 1),
+            key=lambda key: (-counts[key], key),
+        )
+        counts[key] -= 1
+        remaining += 1
+    return counts
+
+
+def stratified_pair_sample(
+    study: StudyData,
+    size: int,
+    *,
+    seed: int = DEFAULT_SEED,
+    shape: str = SHAPE_CONCURRENT,
+    overlap_window: float = DEFAULT_RACE_WINDOW,
+) -> list[Scenario]:
+    """A reproducible stratified sample of pair scenarios.
+
+    Args:
+        study: the catalog to sample over.
+        size: number of pairs to draw (clamped to the full space).
+        seed: sample seed; the draw is a pure function of (catalog,
+            size, seed, shape).
+        shape: activation shape for the composed scenarios.
+        overlap_window: racy-window width for timing components.
+
+    Returns:
+        Scenarios ordered by stratum then scenario id -- independent of
+        enumeration internals, so callers can diff samples across runs.
+    """
+    if size < 1:
+        raise ValueError("sample size must be at least 1")
+    strata = _strata(study.all_faults())
+    counts = _allocate(strata, size)
+    scenarios: list[Scenario] = []
+    for stratum in sorted(strata):
+        wanted = counts.get(stratum, 0)
+        if wanted == 0:
+            continue
+        pairs = strata[stratum]
+        rng = make_rng(seed, f"scenario-sample:{shape}:{size}:{'x'.join(stratum)}")
+        chosen = pairs if wanted >= len(pairs) else rng.sample(pairs, wanted)
+        stratum_scenarios = [
+            pair_scenario(a, b, shape=shape, overlap_window=overlap_window)
+            for a, b in chosen
+        ]
+        stratum_scenarios.sort(key=lambda s: s.scenario_id)
+        scenarios.extend(stratum_scenarios)
+    return scenarios
+
+
+def sample_k_scenarios(
+    study: StudyData,
+    *,
+    k: int,
+    count: int,
+    seed: int = DEFAULT_SEED,
+    shape: str = SHAPE_CONCURRENT,
+    overlap_window: float = DEFAULT_RACE_WINDOW,
+) -> list[Scenario]:
+    """Reproducibly sample ``count`` scenarios of ``k`` distinct faults.
+
+    The k > 2 space is far too large to enumerate (C(139, 3) alone is
+    ~440k), so higher-order scenarios are always sampled.  Draws are
+    deterministic for a fixed (catalog, k, count, seed, shape).
+    """
+    if k < 2:
+        raise ValueError("scenarios compose at least two faults")
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    fault_ids = [fault.fault_id for fault in study.all_faults()]
+    if k > len(fault_ids):
+        raise ValueError(f"k={k} exceeds the {len(fault_ids)}-fault catalog")
+    rng = make_rng(seed, f"scenario-sample-k:{shape}:{k}:{count}")
+    seen: set[str] = set()
+    scenarios: list[Scenario] = []
+    while len(scenarios) < count:
+        chosen = rng.sample(fault_ids, k)
+        scenario = compose_scenario(
+            chosen, shape=shape, overlap_window=overlap_window
+        )
+        if scenario.scenario_id in seen:
+            continue
+        seen.add(scenario.scenario_id)
+        scenarios.append(scenario)
+    return scenarios

@@ -1,0 +1,242 @@
+"""Typed multi-fault scenario model.
+
+A :class:`Scenario` composes two or more catalog faults with relative
+activation offsets.  Its identity is a *content digest* over the shape
+and the canonicalised component list, so the same composition always
+gets the same id no matter how it was enumerated, and every derived
+seed or RNG stream label hangs off that digest:
+
+* the scenario's environment seed derives from ``(base_seed,
+  scenario_id)``, so distinct scenarios never share an interleaving;
+* each composed defect's scheduler stream label is
+  ``"{scenario_id}:{fault_id}"``, so two timing defects armed in the
+  same attempt draw from independent deterministic streams instead of
+  consuming each other's draws.
+
+Shapes (the activation geometry):
+
+* ``concurrent`` -- every fault activates at offset 0; their triggering
+  operations run back to back inside one task.
+* ``nested`` -- each fault activates one step inside the previous one's
+  window (offsets 0, 1, 2, ...).
+* ``cascaded`` -- faults activate in well-separated phases (offsets 0,
+  2, 4, ... with neutral spacer operations between phases).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Iterable, Mapping, Sequence
+
+from repro.apps.faults import DEFAULT_RACE_WINDOW
+from repro.corpus.studyspec import StudyFault
+from repro.rng import derive_seed
+
+#: All faults activate together.
+SHAPE_CONCURRENT = "concurrent"
+#: Each fault activates inside the previous one's window.
+SHAPE_NESTED = "nested"
+#: Faults activate in separated phases (spacer operations between).
+SHAPE_CASCADED = "cascaded"
+
+#: The recognised activation shapes, in documentation order.
+SHAPES: tuple[str, ...] = (SHAPE_CONCURRENT, SHAPE_NESTED, SHAPE_CASCADED)
+
+#: Offset stride between cascaded phases (spacer ops fill the gap).
+_CASCADE_STRIDE = 2
+
+#: Digest prefix marking scenario identifiers.
+_ID_PREFIX = "scn-"
+_ID_HEX_CHARS = 12
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioComponent:
+    """One fault's role inside a scenario.
+
+    Attributes:
+        fault_id: the catalog fault composed in.
+        activation_offset: relative activation slot (0 = task start);
+            equal offsets mean concurrent activation.
+        overlap_window: racy-window width for timing triggers (the
+            fraction of interleavings in which a re-fire lands).
+    """
+
+    fault_id: str
+    activation_offset: int = 0
+    overlap_window: float = DEFAULT_RACE_WINDOW
+
+    def __post_init__(self) -> None:
+        if not self.fault_id:
+            raise ValueError("scenario component needs a fault id")
+        if self.activation_offset < 0:
+            raise ValueError("activation offset must be non-negative")
+        if not 0.0 <= self.overlap_window <= 1.0:
+            raise ValueError("overlap window must be within [0, 1]")
+
+
+def _canonical_components(
+    components: Iterable[ScenarioComponent],
+) -> tuple[ScenarioComponent, ...]:
+    """Sort components into the canonical (offset, fault id) order.
+
+    Canonicalisation is what makes scenario ids symmetric: composing
+    ``(A, B)`` concurrently digests identically to ``(B, A)``.
+    """
+    ordered = sorted(components, key=lambda c: (c.activation_offset, c.fault_id))
+    seen: set[str] = set()
+    for component in ordered:
+        if component.fault_id in seen:
+            raise ValueError(
+                f"scenario repeats fault {component.fault_id!r}; "
+                "compose distinct faults"
+            )
+        seen.add(component.fault_id)
+    return tuple(ordered)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A composition of two or more catalog faults.
+
+    Attributes:
+        shape: one of :data:`SHAPES`; presentation + offset geometry.
+        components: the composed faults in canonical order (sorted by
+            activation offset then fault id -- construction enforces it).
+    """
+
+    shape: str
+    components: tuple[ScenarioComponent, ...]
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown scenario shape {self.shape!r}")
+        canonical = _canonical_components(self.components)
+        if len(canonical) < 2:
+            raise ValueError("a scenario composes at least two faults")
+        object.__setattr__(self, "components", canonical)
+
+    @classmethod
+    def build(
+        cls, shape: str, components: Iterable[ScenarioComponent]
+    ) -> "Scenario":
+        """Construct a scenario, canonicalising component order."""
+        return cls(shape=shape, components=tuple(components))
+
+    @property
+    def fault_ids(self) -> tuple[str, ...]:
+        """The composed fault ids, in canonical component order."""
+        return tuple(component.fault_id for component in self.components)
+
+    @property
+    def scenario_id(self) -> str:
+        """The content-digested scenario identifier.
+
+        Stable across processes and enumeration orders: it hashes the
+        shape plus every component's (fault id, offset, window) triple in
+        canonical order.
+        """
+        identity = {
+            "shape": self.shape,
+            "components": [
+                [c.fault_id, c.activation_offset, c.overlap_window]
+                for c in self.components
+            ],
+        }
+        blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return _ID_PREFIX + digest[:_ID_HEX_CHARS]
+
+    def seed_for(self, base_seed: int) -> int:
+        """The environment seed for replaying this scenario.
+
+        Derived from ``(base_seed, scenario_id)``, so every scenario gets
+        its own interleaving stream no matter how many run in one sweep.
+        """
+        return derive_seed(base_seed, f"scenario:{self.scenario_id}")
+
+    def stream_label_for(self, fault_id: str) -> str:
+        """The scheduler stream label for one composed defect.
+
+        Labels derive from ``(scenario_id, fault_id)``: two defects armed
+        in the same attempt never share an RNG stream, and the same fault
+        gets a fresh stream in every distinct scenario.
+
+        Raises:
+            KeyError: if ``fault_id`` is not part of this scenario.
+        """
+        if fault_id not in self.fault_ids:
+            raise KeyError(f"fault {fault_id!r} is not part of {self.scenario_id}")
+        return f"{self.scenario_id}:{fault_id}"
+
+    def resolve(self, faults_by_id: Mapping[str, StudyFault]) -> tuple[StudyFault, ...]:
+        """Look up the composed faults, in canonical component order.
+
+        Raises:
+            KeyError: if a component names a fault missing from the map.
+        """
+        missing = [fid for fid in self.fault_ids if fid not in faults_by_id]
+        if missing:
+            raise KeyError(f"scenario {self.scenario_id} names unknown faults {missing}")
+        return tuple(faults_by_id[fid] for fid in self.fault_ids)
+
+
+def _offsets_for_shape(shape: str, count: int) -> list[int]:
+    if shape == SHAPE_CONCURRENT:
+        return [0] * count
+    if shape == SHAPE_NESTED:
+        return list(range(count))
+    if shape == SHAPE_CASCADED:
+        return [index * _CASCADE_STRIDE for index in range(count)]
+    raise ValueError(f"unknown scenario shape {shape!r}")
+
+
+def compose_scenario(
+    fault_ids: Sequence[str],
+    *,
+    shape: str = SHAPE_CONCURRENT,
+    overlap_window: float = DEFAULT_RACE_WINDOW,
+) -> Scenario:
+    """Compose a scenario from fault ids using a shape's offset geometry.
+
+    For non-concurrent shapes the activation order is the given id order
+    (the first id activates first); for concurrent scenarios order is
+    immaterial and the canonical sort makes the digest symmetric.
+    """
+    offsets = _offsets_for_shape(shape, len(fault_ids))
+    return Scenario.build(
+        shape,
+        (
+            ScenarioComponent(
+                fault_id=fault_id,
+                activation_offset=offset,
+                overlap_window=overlap_window,
+            )
+            for fault_id, offset in zip(fault_ids, offsets)
+        ),
+    )
+
+
+def pair_scenario(
+    fault_a: str,
+    fault_b: str,
+    *,
+    shape: str = SHAPE_CONCURRENT,
+    overlap_window: float = DEFAULT_RACE_WINDOW,
+) -> Scenario:
+    """Compose the canonical two-fault scenario for a catalog pair."""
+    return compose_scenario(
+        (fault_a, fault_b), shape=shape, overlap_window=overlap_window
+    )
+
+
+def pair_label(scenario: Scenario) -> str:
+    """The human-readable ``FAULT-A+FAULT-B`` label of a pair scenario.
+
+    Used as the grid-axis value for ``scenario.pairs`` points; fault ids
+    contain no grid-reserved characters, and the canonical component
+    order makes the label deterministic.
+    """
+    return "+".join(scenario.fault_ids)

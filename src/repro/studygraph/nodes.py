@@ -16,6 +16,10 @@ scalar parameters.  Reading it top to bottom *is* reading the study::
                          artifact node per grid point, one aggregation
                          experiment per family rendering the classic
                          sweep table byte-identically)
+    scenario.*           the multi-fault scenario sweep (single-fault
+                         baseline artifact, one memoized point per
+                         sampled catalog pair, the pair-interaction
+                         matrix, and temporal clustering)
 
 Bump a node's ``version`` whenever its producer's behaviour changes;
 memoized results for it (and its downstream cone) become unreachable.
@@ -30,6 +34,7 @@ from repro.corpus import nodes as corpus_nodes
 from repro.mining import nodes as mining_nodes
 from repro.recovery import nodes as recovery_nodes
 from repro.reports import nodes as reports_nodes
+from repro.scenarios import nodes as scenario_nodes
 from repro.studygraph.node import KIND_ARTIFACT, GridSpec, NodeSpec
 from repro.studygraph.registry import Registry
 
@@ -187,6 +192,7 @@ def build_registry() -> Registry:
     )
 
     _register_sweep_grids(registry)
+    scenario_nodes.register_scenario_nodes(registry, corpus_deps=_CORPUS_DEPS)
 
     registry.register(
         NodeSpec.build(

@@ -180,6 +180,54 @@ class TestFaultInjector:
         assert defect.executions == 2
 
 
+class TestDefectStacking:
+    def _defect(self):
+        return InjectedDefect(make_fault(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT))
+
+    def test_stacking_requires_opt_in(self):
+        injector = FaultInjector()
+        injector.inject(self._defect())
+        with pytest.raises(ValueError, match="already guards"):
+            injector.inject(self._defect())
+        injector.inject(self._defect(), allow_stacking=True)
+        assert len(injector) == 2
+
+    def test_defects_for_returns_the_stack_in_injection_order(self):
+        injector = FaultInjector()
+        first, second = self._defect(), self._defect()
+        injector.inject(first)
+        injector.inject(second, allow_stacking=True)
+        assert injector.defects_for("the-op") == (first, second)
+        assert injector.defect_for("the-op") is first  # legacy single-defect view
+        assert injector.defects_for("other") == ()
+
+    def test_all_defects_spans_every_op(self):
+        injector = FaultInjector()
+        on_op = self._defect()
+        on_other = InjectedDefect(
+            make_fault(TriggerKind.NONE, FaultClass.ENV_INDEPENDENT, op="other-op")
+        )
+        injector.inject(on_op)
+        injector.inject(on_other)
+        assert sorted(injector.all_defects(), key=id) == sorted(
+            [on_op, on_other], key=id
+        )
+
+    def test_check_fires_the_stack_in_injection_order(self):
+        env = Environment(spec=EnvironmentSpec())
+        app = PlainApp(env, name="stacked")
+        dormant = InjectedDefect(
+            make_fault(TriggerKind.DISK_FULL, FaultClass.ENV_DEP_NONTRANSIENT)
+        )
+        always = self._defect()
+        app.injector.inject(dormant)  # disk not full: never fires
+        app.injector.inject(always, allow_stacking=True)
+        with pytest.raises(ApplicationCrash):
+            app.run_op("the-op")
+        assert always.fired_once
+        assert not dormant.fired_once
+
+
 class TestArmEdgeCases:
     def test_file_size_limit_without_platform_limit_never_fires(self):
         from repro.envmodel.environment import EnvironmentSpec

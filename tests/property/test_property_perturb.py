@@ -1,0 +1,158 @@
+"""Property tests: recovery-model composition is order-independent.
+
+The commuting side effects (killing processes, reclaiming leaked OS
+resources, growing storage, expecting external repair) are additive, so
+composing models in any order must produce the same composed model and
+the same environment end-state; models that disagree on
+``preserves_all_state`` must raise rather than silently pick an order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify.recovery_model import RecoveryModel
+from repro.envmodel.environment import Environment, EnvironmentSpec
+from repro.envmodel.perturb import (
+    ResourceFootprint,
+    apply_recovery_perturbation,
+    apply_recovery_perturbations,
+    compose_recovery_models,
+)
+from repro.errors import PerturbationConflict, SimulationError
+
+
+def models(preserves=st.booleans()):
+    return st.builds(
+        RecoveryModel,
+        preserves_all_state=preserves,
+        kills_application_processes=st.booleans(),
+        auto_extends_storage=st.booleans(),
+        reclaims_leaked_os_resources=st.booleans(),
+        expects_external_repair=st.booleans(),
+    )
+
+
+def commuting_lists(min_size=1, max_size=4):
+    """Lists of models that agree on ``preserves_all_state``."""
+    return st.booleans().flatmap(
+        lambda p: st.lists(
+            models(preserves=st.just(p)), min_size=min_size, max_size=max_size
+        )
+    )
+
+
+def _snapshot(env):
+    return (
+        env.file_descriptors.in_use,
+        env.process_table.in_use,
+        env.ports.in_use,
+        env.network.buffers.in_use,
+        env.disk.capacity_bytes,
+        env.disk_cache.capacity_bytes,
+        env.disk.max_file_bytes,
+        env.dns.state,
+        env.network.state,
+        env.clock.now,
+    )
+
+
+def _loaded_env_and_footprint():
+    env = Environment(
+        seed=11,
+        spec=EnvironmentSpec(file_descriptors=16, process_slots=8, network_ports=8),
+    )
+    env.file_descriptors.acquire(10)
+    env.process_table.acquire(4)
+    env.ports.acquire(3)
+    env.network.buffers.acquire(5)
+    footprint = ResourceFootprint(
+        descriptors=10,
+        leaked_descriptors=6,
+        process_slots=4,
+        ports=3,
+        network_buffers=5,
+    )
+    return env, footprint
+
+
+class TestComposeAlgebra:
+    @given(a=models(), b=models())
+    @settings(max_examples=80, deadline=None)
+    def test_compose_commutes_or_conflicts_symmetrically(self, a, b):
+        try:
+            forward = compose_recovery_models([a, b])
+        except PerturbationConflict:
+            with pytest.raises(PerturbationConflict):
+                compose_recovery_models([b, a])
+            return
+        assert forward == compose_recovery_models([b, a])
+
+    @given(group=commuting_lists(min_size=1, max_size=4), seed=st.integers(0, 999))
+    @settings(max_examples=80, deadline=None)
+    def test_compose_is_permutation_invariant(self, group, seed):
+        import random
+
+        shuffled = list(group)
+        random.Random(seed).shuffle(shuffled)
+        assert compose_recovery_models(group) == compose_recovery_models(shuffled)
+
+    @given(group=commuting_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_composed_flags_are_the_union(self, group):
+        composed = compose_recovery_models(group)
+        for flag in (
+            "kills_application_processes",
+            "auto_extends_storage",
+            "reclaims_leaked_os_resources",
+            "expects_external_repair",
+        ):
+            assert getattr(composed, flag) == any(getattr(m, flag) for m in group)
+        assert composed.preserves_all_state == group[0].preserves_all_state
+
+    @given(a=models(preserves=st.just(True)), b=models(preserves=st.just(False)))
+    @settings(max_examples=30, deadline=None)
+    def test_state_disagreement_is_a_conflict(self, a, b):
+        with pytest.raises(PerturbationConflict, match="state"):
+            compose_recovery_models([a, b])
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            compose_recovery_models([])
+
+    def test_conflict_is_a_simulation_error(self):
+        assert issubclass(PerturbationConflict, SimulationError)
+
+
+class TestAppliedEndState:
+    @given(group=commuting_lists(min_size=2, max_size=4), seed=st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_application_order_never_changes_the_environment(self, group, seed):
+        import random
+
+        shuffled = list(group)
+        random.Random(seed).shuffle(shuffled)
+        env_a, fp_a = _loaded_env_and_footprint()
+        env_b, fp_b = _loaded_env_and_footprint()
+        apply_recovery_perturbations(env_a, group, fp_a)
+        apply_recovery_perturbations(env_b, shuffled, fp_b)
+        assert _snapshot(env_a) == _snapshot(env_b)
+
+    @given(group=commuting_lists(min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_composed_apply_equals_applying_the_composed_model(self, group):
+        env_a, fp_a = _loaded_env_and_footprint()
+        env_b, fp_b = _loaded_env_and_footprint()
+        returned = apply_recovery_perturbations(env_a, group, fp_a)
+        apply_recovery_perturbation(env_b, compose_recovery_models(group), fp_b)
+        assert returned == compose_recovery_models(group)
+        assert _snapshot(env_a) == _snapshot(env_b)
+
+    @given(a=models(preserves=st.just(True)), b=models(preserves=st.just(False)))
+    @settings(max_examples=20, deadline=None)
+    def test_conflicting_apply_raises_before_touching_the_environment(self, a, b):
+        env, footprint = _loaded_env_and_footprint()
+        before = _snapshot(env)
+        with pytest.raises(PerturbationConflict):
+            apply_recovery_perturbations(env, [a, b], footprint)
+        assert _snapshot(env) == before

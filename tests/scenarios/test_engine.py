@@ -1,0 +1,174 @@
+"""The multi-fault engine: timelines, determinism, the interaction taxonomy."""
+
+import pytest
+
+from repro.recovery.driver import replay_fault
+from repro.recovery.nodes import TECHNIQUES
+from repro.scenarios.engine import (
+    CLASS_AMPLIFIED,
+    CLASS_INDEPENDENT,
+    CLASS_MASKED,
+    CLASS_RECOVERY_DEFEATED,
+    INTERACTION_CLASSES,
+    BaselineOutcome,
+    Manifestation,
+    ScenarioOutcome,
+    baseline_outcomes,
+    classify_interaction,
+    run_scenario,
+    scenario_timeline,
+)
+from repro.scenarios.enumerate import fault_index
+from repro.scenarios.spec import SHAPE_CASCADED, pair_scenario
+
+TECHNIQUE = "checkpoint-rollback"
+
+#: A timing pair where each fault is survivable alone but the composition
+#: defeats recovery (both faults re-fire while sharing one attempt budget).
+DEFEATED_PAIR = ("GNOME-EDT-02", "GNOME-EDT-03")
+
+
+@pytest.fixture(scope="module")
+def faults(study):
+    return fault_index(study)
+
+
+@pytest.fixture(scope="module")
+def baselines(study):
+    return baseline_outcomes(study, TECHNIQUE)
+
+
+def _outcome(fault_ids, *, survived, attempts, manifested=None):
+    records = tuple(
+        Manifestation(fault_id=fid, first_run=1, first_step=i, fires=1)
+        for i, fid in enumerate(manifested if manifested is not None else fault_ids)
+    )
+    return ScenarioOutcome(
+        scenario_id="scn-000000000000",
+        shape="concurrent",
+        technique=TECHNIQUE,
+        fault_ids=tuple(fault_ids),
+        survived=survived,
+        attempts_used=attempts,
+        manifested=records,
+        collateral=(),
+    )
+
+
+class TestTimeline:
+    def test_every_application_warms_up_first(self, study, faults):
+        scenario = pair_scenario("APACHE-EI-01", "MYSQL-EDT-01")
+        timeline = scenario_timeline(scenario, faults)
+        apps = {app for app, _ in timeline}
+        assert len(apps) == 2
+        warmups = [step for step in timeline if step[1].startswith("warmup-")]
+        assert timeline[: len(warmups)] == tuple(warmups)
+        assert len(warmups) == 2 * len(apps)
+
+    def test_concurrent_faults_run_back_to_back(self, faults):
+        scenario = pair_scenario("GNOME-EDT-02", "GNOME-EDT-03")
+        timeline = scenario_timeline(scenario, faults)
+        fault_ops = timeline[-2:]
+        assert {op for _, op in fault_ops} == {
+            faults["GNOME-EDT-02"].workload_op,
+            faults["GNOME-EDT-03"].workload_op,
+        }
+
+    def test_cascaded_phases_are_separated_by_gap_ops(self, faults):
+        scenario = pair_scenario(
+            "GNOME-EDT-02", "GNOME-EDT-03", shape=SHAPE_CASCADED
+        )
+        timeline = scenario_timeline(scenario, faults)
+        assert any(op.startswith("phase-gap-") for _, op in timeline)
+
+
+class TestBaselines:
+    def test_baselines_match_single_fault_replay(self, study, baselines):
+        """The pair classifier compares against exactly the verdicts the
+        single-fault study measured -- fault by fault."""
+        factory = TECHNIQUES[TECHNIQUE]
+        for fault in study.all_faults():
+            outcome = replay_fault(fault, factory())
+            baseline = baselines[fault.fault_id]
+            assert baseline.survived == outcome.survived
+            assert baseline.attempts_used == outcome.attempts_used
+
+    def test_baseline_covers_the_whole_catalog(self, baselines):
+        assert len(baselines) == 139
+
+
+class TestRunScenario:
+    def test_replay_is_deterministic(self, faults):
+        scenario = pair_scenario(*DEFEATED_PAIR)
+        first = run_scenario(scenario, faults, TECHNIQUE)
+        second = run_scenario(scenario, faults, TECHNIQUE)
+        assert first == second
+
+    def test_defeated_pair_survives_alone_but_not_together(
+        self, faults, baselines
+    ):
+        scenario = pair_scenario(*DEFEATED_PAIR)
+        outcome = run_scenario(scenario, faults, TECHNIQUE)
+        assert all(baselines[fid].survived for fid in DEFEATED_PAIR)
+        assert not outcome.survived
+        assert classify_interaction(outcome, baselines) == CLASS_RECOVERY_DEFEATED
+
+    def test_manifestations_record_first_fire_order(self, faults):
+        scenario = pair_scenario(*DEFEATED_PAIR)
+        outcome = run_scenario(scenario, faults, TECHNIQUE)
+        firings = [(m.first_run, m.first_step) for m in outcome.manifested]
+        assert firings == sorted(firings)
+        assert all(m.fires >= 1 for m in outcome.manifested)
+
+    def test_unknown_technique_raises(self, faults):
+        with pytest.raises(KeyError):
+            run_scenario(pair_scenario(*DEFEATED_PAIR), faults, "reboot-the-world")
+
+
+class TestClassification:
+    def test_recovery_defeated_takes_precedence(self):
+        outcome = _outcome(("A", "B"), survived=False, attempts=3)
+        baselines = {
+            "A": BaselineOutcome("A", survived=True, attempts_used=1),
+            "B": BaselineOutcome("B", survived=True, attempts_used=1),
+        }
+        assert classify_interaction(outcome, baselines) == CLASS_RECOVERY_DEFEATED
+
+    def test_masked_when_a_fault_never_manifests(self):
+        outcome = _outcome(
+            ("A", "B"), survived=False, attempts=3, manifested=("A",)
+        )
+        baselines = {
+            "A": BaselineOutcome("A", survived=False, attempts_used=3),
+            "B": BaselineOutcome("B", survived=True, attempts_used=1),
+        }
+        assert classify_interaction(outcome, baselines) == CLASS_MASKED
+
+    def test_amplified_when_survival_costs_extra_attempts(self):
+        outcome = _outcome(("A", "B"), survived=True, attempts=5)
+        baselines = {
+            "A": BaselineOutcome("A", survived=True, attempts_used=1),
+            "B": BaselineOutcome("B", survived=True, attempts_used=1),
+        }
+        assert classify_interaction(outcome, baselines) == CLASS_AMPLIFIED
+
+    def test_independent_when_alone_outcomes_predict_the_joint(self):
+        outcome = _outcome(("A", "B"), survived=True, attempts=2)
+        baselines = {
+            "A": BaselineOutcome("A", survived=True, attempts_used=1),
+            "B": BaselineOutcome("B", survived=True, attempts_used=1),
+        }
+        assert classify_interaction(outcome, baselines) == CLASS_INDEPENDENT
+
+    def test_missing_baseline_raises(self):
+        outcome = _outcome(("A", "B"), survived=True, attempts=0)
+        with pytest.raises(KeyError, match="no baselines"):
+            classify_interaction(outcome, {})
+
+    def test_taxonomy_is_complete_and_ordered(self):
+        assert INTERACTION_CLASSES == (
+            CLASS_INDEPENDENT,
+            CLASS_MASKED,
+            CLASS_AMPLIFIED,
+            CLASS_RECOVERY_DEFEATED,
+        )

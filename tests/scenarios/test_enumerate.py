@@ -1,0 +1,136 @@
+"""Enumeration invariants: pair counts, symmetry dedup, stratified samples."""
+
+import math
+
+import pytest
+
+from repro.scenarios.enumerate import (
+    EXHAUSTIVE_STRATUM_LIMIT,
+    TIMING_LABEL,
+    class_label,
+    enumerate_pairs,
+    fault_index,
+    pair_stratum,
+    sample_k_scenarios,
+    stratified_pair_sample,
+)
+from repro.scenarios.spec import SHAPE_NESTED
+
+
+class TestFullEnumeration:
+    def test_full_pair_space_is_c_139_2(self, study):
+        scenarios = enumerate_pairs(study)
+        assert len(scenarios) == math.comb(139, 2) == 9591
+
+    def test_no_duplicates_under_symmetry(self, study):
+        scenarios = enumerate_pairs(study)
+        assert len({s.scenario_id for s in scenarios}) == len(scenarios)
+
+    def test_every_pair_composes_two_distinct_faults(self, study):
+        scenarios = enumerate_pairs(study)
+        assert all(len(set(s.fault_ids)) == 2 for s in scenarios)
+
+    def test_full_enumeration_is_deterministic(self, study):
+        first = [s.scenario_id for s in enumerate_pairs(study)]
+        second = [s.scenario_id for s in enumerate_pairs(study)]
+        assert first == second
+
+
+class TestStratifiedSample:
+    @pytest.mark.parametrize("size", [10, 40, 100])
+    def test_sample_size_is_exact(self, study, size):
+        assert len(stratified_pair_sample(study, size)) == size
+
+    def test_sample_is_deterministic(self, study):
+        first = [s.scenario_id for s in stratified_pair_sample(study, 40)]
+        second = [s.scenario_id for s in stratified_pair_sample(study, 40)]
+        assert first == second
+
+    def test_sample_has_no_duplicates(self, study):
+        sample = stratified_pair_sample(study, 100)
+        assert len({s.scenario_id for s in sample}) == 100
+
+    def test_sample_seed_changes_the_draw(self, study):
+        default = {s.scenario_id for s in stratified_pair_sample(study, 40)}
+        other = {s.scenario_id for s in stratified_pair_sample(study, 40, seed=7)}
+        assert default != other
+
+    def test_sampled_digests_come_from_the_full_space(self, study):
+        """Digests are invariant to enumeration order: every sampled id
+        is exactly one of the ids full enumeration produces."""
+        full = {s.scenario_id for s in enumerate_pairs(study)}
+        sample = {s.scenario_id for s in stratified_pair_sample(study, 100)}
+        assert sample <= full
+
+    def test_small_strata_enter_whole(self, study):
+        """The interaction-dense strata (at most EXHAUSTIVE_STRATUM_LIMIT
+        pairs) are enumerated exhaustively before any sampling."""
+        faults = fault_index(study)
+        sample = stratified_pair_sample(study, 40)
+        timing = [
+            s
+            for s in sample
+            if pair_stratum(faults[s.fault_ids[0]], faults[s.fault_ids[1]])
+            == (TIMING_LABEL, TIMING_LABEL)
+        ]
+        timing_faults = [f for f in faults.values() if class_label(f) == TIMING_LABEL]
+        assert len(timing) == math.comb(len(timing_faults), 2) == 15
+        assert 15 <= EXHAUSTIVE_STRATUM_LIMIT
+
+    def test_every_stratum_is_represented(self, study):
+        faults = fault_index(study)
+        all_strata = {
+            pair_stratum(faults[s.fault_ids[0]], faults[s.fault_ids[1]])
+            for s in enumerate_pairs(study)
+        }
+        sampled_strata = {
+            pair_stratum(faults[s.fault_ids[0]], faults[s.fault_ids[1]])
+            for s in stratified_pair_sample(study, 40)
+        }
+        assert sampled_strata == all_strata
+
+    def test_budget_larger_than_space_returns_everything(self, study):
+        sample = stratified_pair_sample(study, 20_000)
+        assert len(sample) == 9591
+
+    def test_budgeted_enumeration_delegates_to_the_sample(self, study):
+        assert [s.scenario_id for s in enumerate_pairs(study, budget=40)] == [
+            s.scenario_id for s in stratified_pair_sample(study, 40)
+        ]
+
+    def test_zero_size_rejected(self, study):
+        with pytest.raises(ValueError, match="at least 1"):
+            stratified_pair_sample(study, 0)
+
+
+class TestStrata:
+    def test_class_label_splits_timing_faults(self, study):
+        labels = {class_label(f) for f in study.all_faults()}
+        assert labels == {"EI", "EDN", "EDT", TIMING_LABEL}
+
+    def test_pair_stratum_is_unordered(self, study):
+        faults = list(fault_index(study).values())
+        assert pair_stratum(faults[0], faults[-1]) == pair_stratum(
+            faults[-1], faults[0]
+        )
+
+
+class TestHigherOrderSampling:
+    def test_k3_sample_is_deterministic_and_distinct(self, study):
+        first = sample_k_scenarios(study, k=3, count=8)
+        second = sample_k_scenarios(study, k=3, count=8)
+        assert [s.scenario_id for s in first] == [s.scenario_id for s in second]
+        assert len({s.scenario_id for s in first}) == 8
+        assert all(len(s.fault_ids) == 3 for s in first)
+
+    def test_shape_threads_through(self, study):
+        sample = sample_k_scenarios(study, k=3, count=2, shape=SHAPE_NESTED)
+        assert all(s.shape == SHAPE_NESTED for s in sample)
+
+    def test_invalid_arguments_rejected(self, study):
+        with pytest.raises(ValueError, match="at least two"):
+            sample_k_scenarios(study, k=1, count=1)
+        with pytest.raises(ValueError, match="at least 1"):
+            sample_k_scenarios(study, k=2, count=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            sample_k_scenarios(study, k=140, count=1)

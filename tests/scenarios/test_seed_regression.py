@@ -1,0 +1,101 @@
+"""Seed regression: labelled scheduler streams never move single-fault verdicts.
+
+The scenario engine gave timing defects independent scheduler streams
+(derived from ``(scenario_id, fault_id)``).  The single-fault path keeps
+drawing from the shared legacy stream -- these tests pin that stream to
+an independently-constructed RNG and pin the replay verdicts the paper
+reproduction has always produced, so the multi-fault machinery can never
+silently shift the single-fault study.
+"""
+
+from repro.apps.faults import InjectedDefect
+from repro.envmodel.scheduler import ThreadScheduler
+from repro.recovery.campaign import TIMING_TRIGGERS
+from repro.recovery.driver import replay_fault
+from repro.recovery.nodes import TECHNIQUES
+from repro.rng import make_rng
+
+TECHNIQUE = "checkpoint-rollback"
+
+#: (survived, attempts_used) for every timing-triggered fault under
+#: checkpoint-rollback at the default seed -- the pre-scenario verdicts.
+PINNED_TIMING_VERDICTS = {
+    "APACHE-EDT-03": (True, 2),
+    "GNOME-EDT-01": (True, 1),
+    "GNOME-EDT-02": (True, 1),
+    "GNOME-EDT-03": (True, 1),
+    "MYSQL-EDT-01": (True, 1),
+    "MYSQL-EDT-02": (True, 2),
+}
+
+#: Catalog-wide survival under checkpoint-rollback at the default seed.
+PINNED_SURVIVAL = 12
+
+
+class TestSharedStreamUnchanged:
+    def test_unlabelled_draws_are_the_legacy_stream(self):
+        """``race_fires`` without a label draws exactly the sequence the
+        pre-labelled-stream scheduler drew: ``make_rng(seed, "scheduler")``."""
+        scheduler = ThreadScheduler(seed=42)
+        legacy = make_rng(42, "scheduler")
+        drawn = [scheduler.race_fires(0.5) for _ in range(32)]
+        expected = [legacy.random() < 0.5 for _ in range(32)]
+        assert drawn == expected
+
+    def test_labelled_draws_never_perturb_the_shared_stream(self):
+        """Interleaving labelled draws (what a multi-fault scenario does)
+        leaves the shared sequence byte-identical."""
+        plain = ThreadScheduler(seed=7)
+        interleaved = ThreadScheduler(seed=7)
+        baseline = []
+        mixed = []
+        for index in range(16):
+            baseline.append(plain.race_fires(0.5))
+            interleaved.race_fires(0.5, label=f"scn:{index}")
+            mixed.append(interleaved.race_fires(0.5))
+        assert mixed == baseline
+
+    def test_labelled_streams_are_deterministic_and_independent(self):
+        one = ThreadScheduler(seed=9)
+        other = ThreadScheduler(seed=9)
+        a = [one.race_fires(0.5, label="scn:A") for _ in range(16)]
+        b = [one.race_fires(0.5, label="scn:B") for _ in range(16)]
+        assert a != b  # independent streams, not one stream shared
+        assert a == [other.race_fires(0.5, label="scn:A") for _ in range(16)]
+
+    def test_reseed_drops_labelled_streams(self):
+        scheduler = ThreadScheduler(seed=3)
+        first = [scheduler.race_fires(0.5, label="scn:A") for _ in range(8)]
+        scheduler.reseed(3)
+        second = [scheduler.race_fires(0.5, label="scn:A") for _ in range(8)]
+        assert first == second
+
+
+class TestSingleFaultVerdictsUnchanged:
+    def test_defects_default_to_the_shared_stream(self, study):
+        """The single-fault driver injects defects without a stream label,
+        so its draws come from the legacy shared stream by construction."""
+        fault = study.all_faults()[0]
+        assert InjectedDefect(fault).stream_label is None
+
+    def test_timing_verdicts_match_the_pre_scenario_pins(self, study):
+        factory = TECHNIQUES[TECHNIQUE]
+        timing = {
+            f.fault_id: f
+            for f in study.all_faults()
+            if f.trigger in TIMING_TRIGGERS
+        }
+        assert set(timing) == set(PINNED_TIMING_VERDICTS)
+        for fault_id, fault in timing.items():
+            outcome = replay_fault(fault, factory())
+            assert (outcome.survived, outcome.attempts_used) == (
+                PINNED_TIMING_VERDICTS[fault_id]
+            ), fault_id
+
+    def test_catalog_survival_matches_the_pre_scenario_pin(self, study):
+        factory = TECHNIQUES[TECHNIQUE]
+        survived = sum(
+            replay_fault(fault, factory()).survived
+            for fault in study.all_faults()
+        )
+        assert survived == PINNED_SURVIVAL

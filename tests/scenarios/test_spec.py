@@ -1,0 +1,142 @@
+"""Scenario identity: content digests, canonical order, derived streams."""
+
+import pytest
+
+from repro.rng import DEFAULT_SEED
+from repro.scenarios.spec import (
+    SHAPE_CASCADED,
+    SHAPE_CONCURRENT,
+    SHAPE_NESTED,
+    SHAPES,
+    Scenario,
+    ScenarioComponent,
+    compose_scenario,
+    pair_label,
+    pair_scenario,
+)
+
+
+class TestComponentValidation:
+    def test_empty_fault_id_rejected(self):
+        with pytest.raises(ValueError, match="fault id"):
+            ScenarioComponent(fault_id="")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ScenarioComponent(fault_id="A", activation_offset=-1)
+
+    @pytest.mark.parametrize("window", [-0.1, 1.1])
+    def test_window_outside_unit_interval_rejected(self, window):
+        with pytest.raises(ValueError, match="overlap window"):
+            ScenarioComponent(fault_id="A", overlap_window=window)
+
+
+class TestScenarioValidation:
+    def test_single_fault_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Scenario.build(SHAPE_CONCURRENT, [ScenarioComponent(fault_id="A")])
+
+    def test_repeated_fault_rejected(self):
+        with pytest.raises(ValueError, match="repeats fault"):
+            Scenario.build(
+                SHAPE_CONCURRENT,
+                [ScenarioComponent(fault_id="A"), ScenarioComponent(fault_id="A")],
+            )
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario shape"):
+            Scenario.build(
+                "overlapping",
+                [ScenarioComponent(fault_id="A"), ScenarioComponent(fault_id="B")],
+            )
+
+    def test_components_are_canonically_ordered(self):
+        scenario = Scenario.build(
+            SHAPE_CONCURRENT,
+            [ScenarioComponent(fault_id="B"), ScenarioComponent(fault_id="A")],
+        )
+        assert scenario.fault_ids == ("A", "B")
+
+
+class TestScenarioDigest:
+    def test_concurrent_digest_is_symmetric(self):
+        assert (
+            pair_scenario("APACHE-EI-01", "MYSQL-EDT-01").scenario_id
+            == pair_scenario("MYSQL-EDT-01", "APACHE-EI-01").scenario_id
+        )
+
+    def test_digest_is_order_invariant_for_equal_offsets(self):
+        forward = compose_scenario(("A", "B", "C"))
+        backward = compose_scenario(("C", "B", "A"))
+        assert forward.scenario_id == backward.scenario_id
+
+    def test_digest_depends_on_shape(self):
+        ids = {
+            compose_scenario(("A", "B"), shape=shape).scenario_id
+            for shape in SHAPES
+        }
+        assert len(ids) == 3
+
+    def test_digest_depends_on_window(self):
+        assert (
+            pair_scenario("A", "B", overlap_window=0.3).scenario_id
+            != pair_scenario("A", "B", overlap_window=0.6).scenario_id
+        )
+
+    def test_digest_shape_is_stable(self):
+        scenario_id = pair_scenario("A", "B").scenario_id
+        assert scenario_id.startswith("scn-")
+        assert len(scenario_id) == len("scn-") + 12
+
+
+class TestShapeGeometry:
+    def test_concurrent_activates_everything_at_zero(self):
+        scenario = compose_scenario(("A", "B", "C"), shape=SHAPE_CONCURRENT)
+        assert [c.activation_offset for c in scenario.components] == [0, 0, 0]
+
+    def test_nested_activates_one_step_apart(self):
+        scenario = compose_scenario(("A", "B", "C"), shape=SHAPE_NESTED)
+        assert [c.activation_offset for c in scenario.components] == [0, 1, 2]
+
+    def test_cascaded_activates_in_separated_phases(self):
+        scenario = compose_scenario(("A", "B", "C"), shape=SHAPE_CASCADED)
+        assert [c.activation_offset for c in scenario.components] == [0, 2, 4]
+
+    def test_nested_activation_order_follows_given_ids(self):
+        scenario = compose_scenario(("B", "A"), shape=SHAPE_NESTED)
+        assert scenario.fault_ids == ("B", "A")
+
+
+class TestDerivedStreams:
+    def test_seed_derives_from_scenario_identity(self):
+        one = pair_scenario("A", "B")
+        other = pair_scenario("A", "C")
+        assert one.seed_for(DEFAULT_SEED) != other.seed_for(DEFAULT_SEED)
+        assert one.seed_for(DEFAULT_SEED) == pair_scenario("B", "A").seed_for(
+            DEFAULT_SEED
+        )
+
+    def test_stream_labels_are_distinct_per_fault(self):
+        scenario = pair_scenario("A", "B")
+        labels = {scenario.stream_label_for(fid) for fid in scenario.fault_ids}
+        assert len(labels) == 2
+        assert all(label.startswith(scenario.scenario_id) for label in labels)
+
+    def test_same_fault_gets_fresh_stream_in_each_scenario(self):
+        assert (
+            pair_scenario("A", "B").stream_label_for("A")
+            != pair_scenario("A", "C").stream_label_for("A")
+        )
+
+    def test_stream_label_for_outsider_raises(self):
+        with pytest.raises(KeyError, match="not part of"):
+            pair_scenario("A", "B").stream_label_for("C")
+
+    def test_resolve_reports_missing_faults(self):
+        with pytest.raises(KeyError, match="unknown faults"):
+            pair_scenario("A", "B").resolve({})
+
+
+class TestPairLabel:
+    def test_label_joins_canonical_ids(self):
+        assert pair_label(pair_scenario("B", "A")) == "A+B"

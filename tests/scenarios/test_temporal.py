@@ -1,0 +1,81 @@
+"""Temporal clustering: gaps, burstiness, cluster sizes, archive profiles."""
+
+import datetime
+
+from repro.scenarios.temporal import (
+    TemporalProfile,
+    arrival_gaps,
+    burstiness,
+    cluster_sizes,
+    profile_dates,
+    temporal_profile,
+)
+
+
+def _dates(*days):
+    return [datetime.date(1999, 1, 1) + datetime.timedelta(days=d) for d in days]
+
+
+class TestArrivalGaps:
+    def test_gaps_come_from_sorted_dates(self):
+        assert arrival_gaps(_dates(10, 0, 3)) == [3.0, 7.0]
+
+    def test_simultaneous_reports_produce_zero_gaps(self):
+        assert arrival_gaps(_dates(5, 5, 5)) == [0.0, 0.0]
+
+    def test_fewer_than_two_dates_produce_no_gaps(self):
+        assert arrival_gaps(_dates(1)) == []
+        assert arrival_gaps([]) == []
+
+
+class TestBurstiness:
+    def test_regular_arrivals_are_maximally_antibursty(self):
+        assert burstiness([7.0, 7.0, 7.0, 7.0]) == -1.0
+
+    def test_bursty_arrivals_are_positive(self):
+        assert burstiness([0.0] * 20 + [365.0]) > 0.5
+
+    def test_degenerate_inputs_are_zero(self):
+        assert burstiness([]) == 0.0
+        assert burstiness([3.0]) == 0.0
+        assert burstiness([0.0, 0.0]) == 0.0
+
+
+class TestClusterSizes:
+    def test_reports_within_the_window_join_one_cluster(self):
+        assert cluster_sizes(_dates(0, 3, 6, 100, 104), window_days=7) == [3, 2]
+
+    def test_isolated_reports_are_singleton_clusters(self):
+        assert cluster_sizes(_dates(0, 50, 100), window_days=7) == [1, 1, 1]
+
+    def test_empty_archive_has_no_clusters(self):
+        assert cluster_sizes([]) == []
+
+
+class TestProfiles:
+    def test_profile_of_a_synthetic_archive(self):
+        profile = profile_dates("x", _dates(0, 3, 6, 100), window_days=7)
+        assert profile == TemporalProfile(
+            application="x",
+            faults=4,
+            span_days=100,
+            mean_gap_days=100 / 3,
+            median_gap_days=3.0,
+            burstiness=burstiness([3.0, 3.0, 94.0]),
+            clusters=2,
+            largest_cluster=3,
+            multi_fault_share=0.75,
+            window_days=7,
+        )
+
+    def test_study_profiles_cover_each_archive_plus_all(self, study):
+        profiles = temporal_profile(study)
+        assert [p.application for p in profiles] == [
+            "apache",
+            "gnome",
+            "mysql",
+            "all",
+        ]
+        assert profiles[-1].faults == sum(p.faults for p in profiles[:-1])
+        assert all(-1.0 <= p.burstiness <= 1.0 for p in profiles)
+        assert all(0.0 <= p.multi_fault_share <= 1.0 for p in profiles)

@@ -86,8 +86,8 @@ class TestDigestEquality:
 class TestGridFamilies:
     def test_warm_summary_counts_grid_families(self, service):
         summary = service.warm()
-        assert summary["grids"] == 4
-        assert summary["grid_points"] == 65
+        assert summary["grids"] == 5
+        assert summary["grid_points"] == 105
 
     def test_grid_point_request_matches_batch_and_memoizes(self, service):
         params = {"node": "sweep.recovery-model[model=restart-fresh]"}

@@ -113,8 +113,10 @@ class TestDefaultRegistry:
             "sweep.race-window": 6,
             "sweep.rejuvenation": 49,
             "sweep.recovery-model": 4,
+            "scenario.pairs": 40,
         }
         assert families["sweep.recovery-model"].aggregate == "ablate.recovery-model"
+        assert families["scenario.pairs"].aggregate == "scenario.pairs"
 
     def test_acyclic_and_fully_orderable(self):
         registry = default_registry()

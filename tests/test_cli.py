@@ -293,8 +293,9 @@ class TestEverySubcommandSmoke:
     def test_study_graph_collapses_and_expands_grids(self, capsys):
         assert main(["study", "graph"]) == 0
         collapsed = capsys.readouterr().out
-        assert "4 grid families (65 points)" in collapsed
+        assert "5 grid families (105 points)" in collapsed
         assert "sweep.rejuvenation[x49]" in collapsed
+        assert "scenario.pairs[x40]" in collapsed
         assert "interval_hours=" not in collapsed
         assert main(["study", "graph", "--expand-grids"]) == 0
         expanded = capsys.readouterr().out
