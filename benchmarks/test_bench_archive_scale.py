@@ -3,9 +3,11 @@
 The point of the streaming pipeline (`repro.corpus.stream` ->
 `repro.pipeline.streamsplit` -> `repro.bugdb.segments`) is that memory
 is a function of the shard budget, never the corpus.  This bench
-asserts exactly that, in forked children whose peak RSS is measured via
-``VmHWM`` (reset per-child through ``/proc/self/clear_refs``, with an
-``ru_maxrss`` fallback):
+asserts exactly that, in forked children whose peak RSS is measured by
+the :class:`~repro.obs.resources.ResourceSampler` series sampled
+*during* the work (with an ``ru_maxrss`` delta fallback where ``/proc``
+is unavailable) -- so the number is the observed high-water mark of the
+run itself, not memory inherited from the pytest parent:
 
 * the same streaming parse+index over a 4x larger archive must not use
   meaningfully more memory;
@@ -33,6 +35,7 @@ from repro.corpus import write_archive
 from repro.corpus.render import mysql_raw_archive
 from repro.mining.keywords import MYSQL_STUDY_KEYWORDS
 from repro.obs.perfdb import PerfDB, throughput_record
+from repro.obs.resources import ResourceSampler, proc_available
 from repro.pipeline import format_for, parse_archive_streamed
 
 SHARD_BUDGET = 4 << 20
@@ -48,13 +51,22 @@ GROWTH_FACTOR = 1.5
 GROWTH_SLACK_MB = 96
 
 
-def _child_peak_rss_mb(work) -> float:
-    """Run ``work`` in a forked child; return its peak RSS in MB.
+#: Sampling cadence inside the forked child.  Fast enough to catch a
+#: transient spike during a shard flush; slow enough to stay invisible
+#: in the throughput numbers.
+SAMPLE_INTERVAL = 0.02
 
-    The child resets the kernel's high-water mark first (Linux
-    ``clear_refs``), so the number reflects the work, not memory
-    inherited from the (large) pytest parent.  Falls back to the
-    ``ru_maxrss`` delta where ``clear_refs`` is unavailable.
+
+def _child_peak_rss_mb(work) -> float:
+    """Run ``work`` in a forked child; return its sampled peak RSS in MB.
+
+    A :class:`ResourceSampler` runs for the duration of the work and the
+    peak is the high-water mark of its RSS *series* -- the whole run is
+    observed, not one end-of-run readout, and the number reflects the
+    work rather than memory inherited from the (large) pytest parent
+    (samples are instantaneous RSS, so the parent's historical peak
+    never leaks in the way an un-reset ``ru_maxrss`` would).  Falls back
+    to the ``ru_maxrss`` delta where ``/proc`` is unavailable.
     """
     read_fd, write_fd = os.pipe()
     pid = os.fork()
@@ -62,23 +74,26 @@ def _child_peak_rss_mb(work) -> float:
         os.close(read_fd)
         status = 1
         try:
-            reset = False
-            try:
-                with open("/proc/self/clear_refs", "w") as handle:
-                    handle.write("5")
-                reset = True
-            except OSError:
-                pass
             before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            sampler = None
+            if proc_available():
+                sampler = ResourceSampler(
+                    SAMPLE_INTERVAL, attribute=False
+                ).start()
             work()
+            if sampler is not None:
+                sampler.stop()  # takes one final sample first
             after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-            if reset:
-                peak_kb = _vm_hwm_kb()
-                if peak_kb is None:
-                    peak_kb = after - before
+            if sampler is not None and sampler.peak_rss_bytes() > 0:
+                peak_kb = sampler.peak_rss_bytes() / 1024
+                samples = len(sampler.rss_log())
             else:
-                peak_kb = after - before
-            os.write(write_fd, json.dumps({"peak_kb": peak_kb}).encode())
+                peak_kb = float(after - before)
+                samples = 0
+            os.write(
+                write_fd,
+                json.dumps({"peak_kb": peak_kb, "samples": samples}).encode(),
+            )
             status = 0
         finally:
             os.close(write_fd)
@@ -96,17 +111,6 @@ def _child_peak_rss_mb(work) -> float:
     _, exit_status = os.waitpid(pid, 0)
     assert os.waitstatus_to_exitcode(exit_status) == 0, "forked child failed"
     return json.loads(payload.decode())["peak_kb"] / 1024
-
-
-def _vm_hwm_kb() -> float | None:
-    try:
-        with open("/proc/self/status", "r", encoding="ascii") as handle:
-            for line in handle:
-                if line.startswith("VmHWM:"):
-                    return float(line.split()[1])
-    except OSError:
-        pass
-    return None
 
 
 def _stream_work(path, index_dir):
@@ -194,9 +198,11 @@ class TestBoundedMemory:
             bytes_count=outcome["bytes"],
             records_count=outcome["records"],
             label="bench-archive-scale",
+            peak_rss_bytes=int(peak_mb * 1024 * 1024),
         )
         assert record.counters["stream:parse:mysql.mb_per_s"] > 0
         assert record.counters["stream:parse:mysql.reports_per_s"] > 0
+        assert record.nodes["stream:parse:mysql"].peak_rss_bytes is not None
         db_path = os.environ.get("REPRO_PERFDB")
         if db_path:
             PerfDB(db_path).append(record)

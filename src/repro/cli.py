@@ -503,6 +503,8 @@ def _record_study_run(
             wall_seconds=run.wall_seconds,
             status=run.status,
             version=registry.node(name).version,
+            peak_rss_bytes=getattr(run, "peak_rss_bytes", None),
+            cpu_seconds=getattr(run, "cpu_seconds", None),
         )
     counters: dict[str, float] = {
         "nodes.executed": result.executed,
@@ -526,6 +528,8 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     from repro.studygraph import StudyContext, default_registry, run_study
     from repro.studygraph.registry import GraphError
 
+    from repro.obs import resources
+
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
     telemetry = Telemetry()
@@ -540,6 +544,12 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     priorities = None
     if args.perfdb and args.order == "longest-first":
         priorities = obs.PerfDB(args.perfdb).node_medians() or None
+    if getattr(args, "sample_resources", None) is not None:
+        if args.sample_resources <= 0:
+            raise SystemExit("--sample-resources interval must be positive")
+        # Module-global config: the engine starts the dispatcher sampler
+        # and fork-pool workers inherit the interval across the fork.
+        resources.configure(args.sample_resources)
     try:
         targets = nodes if nodes is not None else [
             node.name for node in registry.experiments()
@@ -562,6 +572,9 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
             )
     except GraphError as exc:
         raise SystemExit(str(exc)) from None
+    finally:
+        if getattr(args, "sample_resources", None) is not None:
+            resources.configure(None)
     summary_rows = result.summary_rows()
     if not args.expand_grids:
         summary_rows = _collapse_grid_rows(summary_rows, registry, _merge_run_rows)
@@ -779,6 +792,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 ["phase", "spans", "total ms", "max ms"],
                 summary.phase_rows(),
                 title="Wall time by phase",
+            )
+        )
+        self_rows = summary.self_time_rows(args.top)
+        print(
+            format_table(
+                ["span", "calls", "self ms", "total ms", "peak RSS MB", "cpu ms"],
+                self_rows,
+                title=f"Self time (top {len(self_rows)})",
             )
         )
         print(
@@ -1085,6 +1106,64 @@ def _cmd_serve_stop(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_slo_check(args: argparse.Namespace) -> int:
+    """``repro slo check``: judge declared objectives against artifacts."""
+    from repro import obs
+    from repro.obs import slo
+
+    objectives = (
+        slo.load_objectives(args.slo_file)
+        if args.slo_file
+        else slo.default_objectives()
+    )
+
+    exposition_text = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as stream:
+                exposition_text = stream.read()
+        except FileNotFoundError:
+            raise SystemExit(f"no metrics exposition at {args.metrics!r}") from None
+
+    perf_records = None
+    if args.db:
+        perf_records = obs.PerfDB(args.db).read()
+
+    trace_records = None
+    if args.trace:
+        try:
+            trace_records = obs.read_trace(args.trace)
+        except FileNotFoundError:
+            raise SystemExit(f"no trace file at {args.trace!r}") from None
+
+    try:
+        results = slo.evaluate_objectives(
+            objectives,
+            exposition_text=exposition_text,
+            perf_records=perf_records,
+            trace_records=trace_records,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"slo check failed: {exc}") from None
+
+    violated = [r for r in results if r.violated]
+    no_data = sum(1 for r in results if r.status == slo.STATUS_NO_DATA)
+    print(
+        format_table(
+            ["objective", "kind", "status", "observed", "threshold", "detail"],
+            [r.row() for r in results],
+            title=(
+                f"SLO check: {len(results) - len(violated) - no_data} ok, "
+                f"{len(violated)} violated, {no_data} no-data"
+            ),
+        )
+    )
+    if violated and args.warn_only:
+        print("warn-only: violations reported but not failing the check")
+        return 0
+    return 1 if violated else 0
+
+
 def _cmd_serve_status(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.serve import (
@@ -1092,6 +1171,23 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
         ServeConnectionError,
         status_path_for,
     )
+
+    if getattr(args, "metrics", False):
+        # Raw exposition text for scrapers; no snapshot fallback -- a
+        # scrape of a dead daemon should fail loudly, not go stale.
+        try:
+            with ServeClient(
+                args.socket, client="status", timeout=args.timeout
+            ) as client:
+                response = client.request("metrics")
+        except (ServeConnectionError, OSError) as exc:
+            print(f"metrics scrape failed: {exc}", file=sys.stderr)
+            return 1
+        if not response.ok:
+            print(f"{response.status}: {response.error}", file=sys.stderr)
+            return 1
+        print(response.payload.get("text", ""), end="")
+        return 0
 
     payload = None
     try:
@@ -1448,6 +1544,13 @@ def build_parser() -> argparse.ArgumentParser:
     study_run.add_argument(
         "--expand-grids", action="store_true",
         help="list every grid point in the summary instead of one row per family",
+    )
+    study_run.add_argument(
+        "--sample-resources", nargs="?", type=float, default=None,
+        const=0.02, metavar="SECONDS",
+        help="sample RSS/CPU/IO for the dispatcher and every worker at this "
+        "interval (default 0.02s when the flag is given); samples land in "
+        "the --trace file span-attributed and per-node peaks in --perfdb",
     )
     study_run.set_defaults(func=_cmd_study_run)
 
@@ -1806,6 +1909,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=5.0, metavar="SECONDS",
         help="status request timeout before the snapshot fallback (default 5)",
     )
+    serve_status.add_argument(
+        "--metrics", action="store_true",
+        help="print the Prometheus-style text exposition instead of the "
+        "status table (exit 1 if the daemon is unreachable)",
+    )
     serve_status.set_defaults(func=_cmd_serve_status)
 
     serve_request = serve_sub.add_parser(
@@ -1814,7 +1922,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_request.add_argument(
         "kind",
-        choices=["study", "mine", "replay", "trace-summary", "status", "ping"],
+        choices=["study", "mine", "replay", "trace-summary", "status", "ping", "metrics"],
         help="request kind",
     )
     serve_request.add_argument(
@@ -1848,6 +1956,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full JSON payload even when the node has rendered text",
     )
     serve_request.set_defaults(func=_cmd_serve_request)
+
+    slo = subparsers.add_parser(
+        "slo",
+        help="service-level objectives: judge latency/budget/resource "
+        "objectives against scraped metrics, perf history, and traces",
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+
+    slo_check = slo_sub.add_parser(
+        "check",
+        help="evaluate objectives offline (exit 1 on violation; "
+        "objectives without evidence report no-data, not failure)",
+    )
+    slo_check.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="scraped text exposition ('repro serve status --metrics > FILE')",
+    )
+    slo_check.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="perf history JSONL (for peak-RSS objectives)",
+    )
+    slo_check.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace JSONL with resource samples (for RSS-growth objectives)",
+    )
+    slo_check.add_argument(
+        "--slo-file", default=None, metavar="FILE",
+        help="JSON list of objectives (default: the stock objective set)",
+    )
+    slo_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report violations but always exit 0 (CI soak-in mode)",
+    )
+    slo_check.set_defaults(func=_cmd_slo_check)
 
     return parser
 

@@ -26,6 +26,7 @@ from typing import Any, Callable
 
 from repro.apps.base import MiniApplication
 from repro.errors import ApplicationCrash
+from repro.obs.hist import Histogram
 from repro.rng import DEFAULT_SEED, make_rng
 
 
@@ -83,20 +84,29 @@ class LoadResult:
             return 0.0
         return self.requests_issued / self.wall_seconds
 
+    def latency_histogram(self) -> Histogram:
+        """The samples folded into the shared log-linear histogram.
+
+        The same bucket scheme the ``repro serve`` metrics exposition
+        uses, so a client-side p99 and the server's p99 for the same
+        run land in the same bucket.
+        """
+        return Histogram.from_values(self.latencies)
+
     def latency_percentile(self, fraction: float) -> float | None:
         """The latency at ``fraction`` (0..1], or None without samples.
 
-        Nearest-rank on the sorted sample: p99 of 100 samples is the
-        99th smallest, never an interpolated value that no request
-        actually experienced.
+        Computed through the shared :class:`~repro.obs.hist.Histogram`
+        rather than nearest-rank on raw samples: the value is the upper
+        bound of the bucket holding the nearest-rank sample, identical
+        bucket-for-bucket to what the server-side metrics exposition
+        reports for the same latencies.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
         if not self.latencies:
             return None
-        ordered = sorted(self.latencies)
-        rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered)) - 1))
-        return ordered[rank]
+        return self.latency_histogram().percentile(fraction)
 
     @property
     def p50(self) -> float | None:

@@ -28,6 +28,7 @@ import time
 from typing import Any, Mapping, Sequence
 
 from repro import obs
+from repro.obs import resources as obs_resources
 from repro.harness.journal import JournalWriter, load_journal
 from repro.harness.pool import UnitExecution, UnitRunner, WorkerPool
 from repro.harness.shard import assemble_results
@@ -143,11 +144,46 @@ def run_campaign(
     started = time.monotonic()
     done = [resumed]  # list for closure mutation
 
+    # Campaign-level resource observation (when configured): a sampler
+    # covering the dispatching process -- which on the serial path IS
+    # the executing process -- plus a rollup of worker-shipped samples.
+    # Peak RSS and CPU land in telemetry gauges; sampler trouble never
+    # fails the campaign.
+    sampler = None
+    sample_interval = obs_resources.configured_interval()
+    if sample_interval is not None:
+        try:
+            sampler = obs_resources.ResourceSampler(sample_interval).start()
+        except Exception:
+            sampler = None
+    peak_rss = [0]
+    cpu_bounds: dict[int, list[float]] = {}
+
+    def _fold_resources(records: Any) -> None:
+        for record in records:
+            rss = int(record.get("rss_bytes", 0))
+            if rss > peak_rss[0]:
+                peak_rss[0] = rss
+            pid = int(record.get("pid", 0))
+            cpu = float(record.get("cpu_seconds", 0.0))
+            bounds = cpu_bounds.get(pid)
+            if bounds is None:
+                cpu_bounds[pid] = [cpu, cpu]
+            else:
+                bounds[0] = min(bounds[0], cpu)
+                bounds[1] = max(bounds[1], cpu)
+
     def on_unit(execution: UnitExecution) -> None:
         results_by_key[execution.key] = execution.result
         telemetry.count("units.executed")
         telemetry.observe("unit.wall", execution.wall_seconds)
         telemetry.observe("unit.queue", execution.queue_seconds)
+        if execution.resources:
+            _fold_resources(execution.resources)
+            if heartbeat is not None:
+                notify = getattr(heartbeat, "resource_peak", None)
+                if notify is not None:
+                    notify(peak_rss[0])
         _record_outcome_counters(telemetry, execution.result)
         if writer is not None:
             writer.append(
@@ -182,11 +218,24 @@ def run_campaign(
                 on_dispatch=heartbeat.dispatched if heartbeat is not None else None,
             )
     finally:
+        if sampler is not None:
+            try:
+                sampler.stop()
+                dispatcher_records = sampler.take()
+                obs.ingest(dispatcher_records)
+                _fold_resources(dispatcher_records)
+            except Exception:
+                pass
         if writer is not None:
             writer.close()
         if heartbeat is not None:
             heartbeat.campaign_finished()
 
+    if peak_rss[0]:
+        telemetry.gauge("resources.peak_rss_bytes", float(peak_rss[0]))
+    campaign_cpu = sum(high - low for low, high in cpu_bounds.values())
+    if campaign_cpu > 0:
+        telemetry.gauge("resources.cpu_seconds", campaign_cpu)
     span = time.monotonic() - started
     if pending and span > 0:
         busy = telemetry.timer("unit.wall").total

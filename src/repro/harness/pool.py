@@ -35,6 +35,7 @@ import time
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs import resources as obs_resources
 from repro.harness.shard import shard_count_for, shard_units
 from repro.harness.workunit import WorkUnit
 
@@ -65,6 +66,10 @@ class UnitExecution:
         spans: trace-span records captured while the unit ran (empty
             when tracing is disabled); the dispatching side feeds them
             to its sink so a trace has exactly one writer process.
+        resources: span-attributed resource-sample records taken in the
+            worker while the unit ran (empty when sampling is off or
+            the unit finished inside one sampling interval); shipped
+            and ingested exactly like ``spans``.
     """
 
     key: str
@@ -73,6 +78,7 @@ class UnitExecution:
     queue_seconds: float
     worker_pid: int
     spans: tuple[dict[str, Any], ...] = ()
+    resources: tuple[dict[str, Any], ...] = ()
 
 
 def _execute_shard(
@@ -89,29 +95,53 @@ def _execute_shard(
 
     ``runtime`` is passed explicitly on the serial path; forked workers
     leave it None and read the module global inherited at fork time.
+
+    When resource sampling is configured (the worker inherited the
+    dispatcher's :func:`repro.obs.resources.configure` at fork time), a
+    shard-scoped sampler runs alongside and its records ship back on
+    each unit, attributed to the span open at sample time.  Only forked
+    workers start one -- on the serial path the dispatcher's own
+    campaign sampler already covers this process.  Sampler trouble
+    never fails the shard.
     """
     runner, context = runtime if runtime is not None else _RUNTIME  # type: ignore[misc]
+    sampler = None
+    if runtime is None:
+        interval = obs_resources.configured_interval()
+        if interval is not None:
+            try:
+                sampler = obs_resources.ResourceSampler(interval).start()
+            except Exception:
+                sampler = None
     executions = []
-    for unit in shard:
-        started = time.monotonic()
-        with obs.capture(trace_parent) as captured:
-            attrs: dict[str, Any] = {"unit": unit.fault_id}
-            if unit.technique:
-                attrs["technique"] = unit.technique
-            with obs.span(f"unit:{unit.kind}", **attrs) as unit_span:
-                result = runner(unit, context)
-                unit_span.set(queue_ms=round((started - submitted_at) * 1000, 3))
-        finished = time.monotonic()
-        executions.append(
-            UnitExecution(
-                key=unit.key(),
-                result=result,
-                wall_seconds=finished - started,
-                queue_seconds=max(0.0, started - submitted_at),
-                worker_pid=os.getpid(),
-                spans=tuple(captured),
+    try:
+        for unit in shard:
+            started = time.monotonic()
+            with obs.capture(trace_parent) as captured:
+                attrs: dict[str, Any] = {"unit": unit.fault_id}
+                if unit.technique:
+                    attrs["technique"] = unit.technique
+                with obs.span(f"unit:{unit.kind}", **attrs) as unit_span:
+                    result = runner(unit, context)
+                    unit_span.set(queue_ms=round((started - submitted_at) * 1000, 3))
+            finished = time.monotonic()
+            executions.append(
+                UnitExecution(
+                    key=unit.key(),
+                    result=result,
+                    wall_seconds=finished - started,
+                    queue_seconds=max(0.0, started - submitted_at),
+                    worker_pid=os.getpid(),
+                    spans=tuple(captured),
+                    resources=tuple(sampler.take()) if sampler is not None else (),
+                )
             )
-        )
+    finally:
+        if sampler is not None:
+            try:
+                sampler.stop()
+            except Exception:
+                pass
     return executions
 
 
@@ -164,6 +194,8 @@ class WorkerPool:
         def deliver(execution: UnitExecution) -> None:
             if execution.spans:
                 obs.ingest(execution.spans)
+            if execution.resources:
+                obs.ingest(execution.resources)
             on_unit(execution)
 
         trace_parent = obs.current_context()

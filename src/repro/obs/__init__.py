@@ -27,7 +27,17 @@ report into:
 * :mod:`~repro.obs.perfdb` -- the append-only JSONL perf history with
   rolling-baseline regression gating (``repro perf record|report|check``);
 * :mod:`~repro.obs.livestatus` -- atomic heartbeat snapshots and the
-  ``repro study watch`` renderer for live run monitoring.
+  ``repro study watch`` renderer for live run monitoring;
+* :mod:`~repro.obs.hist` -- the deterministic log-linear
+  :class:`Histogram` shared by the serve metrics exposition, the
+  closed-loop load generator, and the SLO checker, plus the
+  Prometheus-style text exposition reader/writer;
+* :mod:`~repro.obs.resources` -- the background ``/proc`` resource
+  sampler (:class:`ResourceSampler`) whose span-attributed RSS/CPU/IO
+  samples travel the same trace channel spans do;
+* :mod:`~repro.obs.slo` -- declarative service-level objectives
+  evaluated offline from exposition text, perf history, and traces
+  (``repro slo check``).
 
 **Zero overhead by default**: with no tracer installed, :func:`span`
 returns a shared no-op object and :func:`current_context` returns None;
@@ -39,6 +49,14 @@ every other subsystem may instrument itself freely.
 """
 
 from repro.obs.chrome import chrome_trace
+from repro.obs.hist import (
+    Histogram,
+    bucket_percentile,
+    exposition_buckets,
+    exposition_value,
+    histogram_lines,
+    parse_exposition,
+)
 from repro.obs.flame import (
     ORPHAN_FRAME,
     fold_stacks,
@@ -69,7 +87,28 @@ from repro.obs.perfdb import (
     throughput_counters,
     throughput_record,
 )
+from repro.obs.resources import (
+    RESOURCE_KIND,
+    ResourceSample,
+    ResourceSampler,
+    ResourceUsage,
+    active_sampler,
+    is_resource_record,
+    proc_available,
+    resource_records,
+    rss_series_by_span,
+    sampling_enabled,
+    usage_by_phase,
+    usage_by_span_name,
+)
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, read_trace
+from repro.obs.slo import (
+    Objective,
+    SloResult,
+    default_objectives,
+    evaluate_objectives,
+    load_objectives,
+)
 from repro.obs.span import (
     Span,
     Tracer,
@@ -85,11 +124,13 @@ from repro.obs.span import (
 from repro.obs.summary import (
     ORPHAN_PHASE,
     NameStats,
+    SelfTimeStats,
     TraceSummary,
     summarize_trace,
 )
 
 __all__ = [
+    "Histogram",
     "JsonlSink",
     "LOCAL_SHARD",
     "MemorySink",
@@ -97,36 +138,57 @@ __all__ = [
     "NameStats",
     "NodePerf",
     "NullSink",
+    "Objective",
     "ORPHAN_FRAME",
     "ORPHAN_PHASE",
     "PerfDB",
     "PerfRecord",
+    "RESOURCE_KIND",
     "Regression",
+    "ResourceSample",
+    "ResourceSampler",
+    "ResourceUsage",
     "RunMonitor",
+    "SelfTimeStats",
+    "SloResult",
     "Span",
     "TimerStats",
     "TraceSummary",
     "Tracer",
+    "active_sampler",
     "active_tracer",
+    "bucket_percentile",
     "capture",
     "check_regressions",
     "chrome_trace",
     "current_context",
+    "default_objectives",
     "eta_seconds",
+    "evaluate_objectives",
+    "exposition_buckets",
+    "exposition_value",
     "family_medians",
     "fold_stacks",
     "format_folded",
     "grid_family",
     "healthz_view",
+    "histogram_lines",
     "ingest",
     "install",
+    "is_resource_record",
+    "load_objectives",
     "node_medians",
+    "parse_exposition",
     "parse_folded",
+    "proc_available",
     "read_snapshot",
     "read_trace",
     "record_from_trace",
     "render_icicle",
     "render_watch_line",
+    "resource_records",
+    "rss_series_by_span",
+    "sampling_enabled",
     "span",
     "speedscope_document",
     "summarize_trace",
@@ -134,5 +196,7 @@ __all__ = [
     "throughput_record",
     "tracing",
     "uninstall",
+    "usage_by_phase",
+    "usage_by_span_name",
     "write_snapshot",
 ]

@@ -179,6 +179,17 @@ class RunMonitor:
                 self._info[key] = value
         self._write()
 
+    def resource_peak(self, rss_bytes: int) -> None:
+        """Record the run's peak RSS so far (from the resource sampler).
+
+        The engine calls this as worker samples arrive; the watch line
+        renders it so a leaking run is visible while it is still going.
+        """
+        current = self._info.get("peak_rss_bytes", 0)
+        if rss_bytes > current:
+            self._info["peak_rss_bytes"] = int(rss_bytes)
+            self._write()
+
     # -- harness heartbeat protocol ------------------------------------ #
 
     def campaign_started(self, *, total: int, resumed: int = 0) -> None:
@@ -399,6 +410,9 @@ def render_watch_line(
             for entry in in_flight[:3]
         )
         parts.append(f"in flight: {shown}")
+    peak_rss = snapshot.get("info", {}).get("peak_rss_bytes")
+    if peak_rss:
+        parts.append(f"rss {peak_rss / (1024 * 1024):.0f}MB")
     if snapshot.get("state") == STATE_FINISHED:
         parts.append(f"finished in {snapshot.get('elapsed_seconds', 0.0):.1f}s")
     else:

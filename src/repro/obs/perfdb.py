@@ -91,11 +91,17 @@ class NodePerf:
         status: how the number was obtained (see the STATUS_* constants).
         version: the node's version tag at recording time; regression
             checks only compare runs whose tags match.
+        peak_rss_bytes: highest RSS the resource sampler attributed to
+            this node (None when sampling was off -- the fields are
+            optional so old records round-trip unchanged).
+        cpu_seconds: CPU time the sampler attributed to this node.
     """
 
     wall_seconds: float
     status: str = STATUS_EXECUTED
     version: str | None = None
+    peak_rss_bytes: int | None = None
+    cpu_seconds: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -104,14 +110,22 @@ class NodePerf:
         }
         if self.version is not None:
             data["version"] = self.version
+        if self.peak_rss_bytes is not None:
+            data["peak_rss_bytes"] = int(self.peak_rss_bytes)
+        if self.cpu_seconds is not None:
+            data["cpu_seconds"] = round(self.cpu_seconds, 6)
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NodePerf":
+        peak_rss = data.get("peak_rss_bytes")
+        cpu = data.get("cpu_seconds")
         return cls(
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             status=str(data.get("status", STATUS_EXECUTED)),
             version=data.get("version"),
+            peak_rss_bytes=int(peak_rss) if peak_rss is not None else None,
+            cpu_seconds=float(cpu) if cpu is not None else None,
         )
 
 
@@ -340,16 +354,28 @@ def throughput_record(
     version: str | None = None,
     label: str | None = None,
     sha: str | None = None,
+    peak_rss_bytes: int | None = None,
+    cpu_seconds: float | None = None,
 ) -> PerfRecord:
     """A :class:`PerfRecord` for one streaming-ingest measurement.
 
     The direct (no-trace) way the scale benchmark and ``repro mine run
     --max-shard-bytes`` land MB/s and reports/sec in the history: one
     node carrying the wall time, plus throughput counters from
-    :func:`throughput_counters`.
+    :func:`throughput_counters`.  ``peak_rss_bytes``/``cpu_seconds``
+    land sampler-measured resource cost on the node, so memory
+    regressions in streaming ingest are caught longitudinally too.
     """
     return PerfRecord.new(
-        {name: NodePerf(wall_seconds=wall_seconds, status=status, version=version)},
+        {
+            name: NodePerf(
+                wall_seconds=wall_seconds,
+                status=status,
+                version=version,
+                peak_rss_bytes=peak_rss_bytes,
+                cpu_seconds=cpu_seconds,
+            )
+        },
         source=source,
         workers=workers,
         counters=throughput_counters(
@@ -386,8 +412,12 @@ def record_from_trace(
     ``memo_walls`` adds nodes the traced run satisfied from the memo
     cache, carrying the historical wall seconds their META entry
     recorded.  ``versions`` stamps each node's version tag so later
-    regression checks compare like with like.
+    regression checks compare like with like.  When the trace carries
+    resource-sample records (``repro.obs.resources``), each node's
+    sampler-attributed peak RSS and CPU seconds ride along on its
+    :class:`NodePerf`.
     """
+    trace_records = list(trace_records)
     spans = [r for r in trace_records if "start" in r and "end" in r]
     versions = dict(versions or {})
 
@@ -431,11 +461,24 @@ def record_from_trace(
             key = "cache.hits" if attrs.get("hit") else "cache.misses"
             counters[key] = counters.get(key, 0) + 1
 
+    resource_usage: dict[str, Any] = {}
+    if any(r.get("kind") == "resource" for r in trace_records):
+        from repro.obs.resources import usage_by_span_name
+
+        resource_usage = usage_by_span_name(trace_records)
+
     for node, seconds in walls.items():
+        usage = resource_usage.get(f"node:{node}")
         nodes[node] = NodePerf(
             wall_seconds=seconds,
             status=STATUS_TRACED,
             version=versions.get(node),
+            peak_rss_bytes=usage.peak_rss_bytes if usage else None,
+            cpu_seconds=(
+                round(usage.cpu_seconds, 6)
+                if usage and usage.cpu_seconds > 0
+                else None
+            ),
         )
     for name, seconds in stream_walls.items():
         nodes[name] = NodePerf(

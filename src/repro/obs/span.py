@@ -70,7 +70,7 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.parent_id = self._tracer._current_span_id()
-        self._tracer._push(self.span_id)
+        self._tracer._push(self.span_id, self.name)
         self.start = time.monotonic()
         return self
 
@@ -132,12 +132,20 @@ class Tracer:
         self._sinks: list[Any] = [sink if sink is not None else NullSink()]
         self._local = threading.local()
         self._ids = itertools.count(1)
+        # Open-span registry: thread id -> that thread's live stack (the
+        # same list object _stack() mutates).  Lets a *different* thread
+        # -- the resource sampler -- read which span is currently open
+        # without touching thread-locals it cannot reach.  Entries are
+        # removed when a stack drains, so long-lived multi-threaded
+        # processes (the serve daemon) do not accumulate dead threads.
+        self._open_stacks: dict[int, list[tuple[str, str]]] = {}
 
     # -- span bookkeeping ---------------------------------------------- #
 
-    def _stack(self) -> list[str]:
-        # Per-thread active-span stack: concurrent request threads each
-        # keep their own parent chain.  Created lazily per thread.
+    def _stack(self) -> list[tuple[str, str]]:
+        # Per-thread active-span stack of (span_id, name): concurrent
+        # request threads each keep their own parent chain.  Created
+        # lazily per thread.
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
@@ -150,13 +158,38 @@ class Tracer:
 
     def _current_span_id(self) -> str | None:
         stack = self._stack()
-        return stack[-1] if stack else None
+        return stack[-1][0] if stack else None
 
-    def _push(self, span_id: str) -> None:
-        self._stack().append(span_id)
+    def _push(self, span_id: str, name: str = "") -> None:
+        stack = self._stack()
+        stack.append((span_id, name))
+        self._open_stacks[threading.get_ident()] = stack
 
     def _pop(self) -> None:
-        self._stack().pop()
+        stack = self._stack()
+        stack.pop()
+        if not stack:
+            self._open_stacks.pop(threading.get_ident(), None)
+
+    def deepest_open_span(self) -> tuple[str, str] | None:
+        """The ``(span_id, name)`` of the deepest currently-open span.
+
+        Across threads, the deepest stack wins (a worker process runs
+        one unit at a time, so this is exact there; in a multi-threaded
+        server it is a best-effort attribution).  Safe to call from any
+        thread -- a stack mutating concurrently is re-read, never
+        crashed on.
+        """
+        deepest: list[tuple[str, str]] | None = None
+        for stack in list(self._open_stacks.values()):
+            if stack and (deepest is None or len(stack) > len(deepest)):
+                deepest = stack
+        if not deepest:
+            return None
+        try:
+            return deepest[-1]
+        except IndexError:  # drained between the check and the read
+            return None
 
     def _emit(self, record: dict[str, Any]) -> None:
         self._sinks[-1].emit(record)
@@ -188,14 +221,14 @@ class Tracer:
         adopted = parent is not None and parent.get("span_id") is not None
         previous_trace = self.trace_id
         if adopted:
-            self._stack().append(parent["span_id"])
+            self._push(parent["span_id"], "")
             self.trace_id = parent.get("trace_id", previous_trace)
         try:
             yield buffer.records
         finally:
             self._sinks.pop()
             if adopted:
-                self._stack().pop()
+                self._pop()
                 self.trace_id = previous_trace
 
     def ingest(self, records: Any) -> None:
@@ -235,6 +268,18 @@ def span(name: str, **attrs: Any) -> Any:
     if tracer is None:
         return _NOOP
     return tracer.span(name, **attrs)
+
+
+def deepest_open_span() -> tuple[str, str] | None:
+    """The ambient tracer's deepest open ``(span_id, name)``, or None.
+
+    The resource sampler's attribution hook: callable from any thread,
+    returns None when tracing is disabled or nothing is open.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.deepest_open_span()
 
 
 def current_context() -> SpanContext | None:

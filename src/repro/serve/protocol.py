@@ -56,6 +56,7 @@ KIND_REPLAY = "replay"
 KIND_TRACE_SUMMARY = "trace-summary"
 KIND_STATUS = "status"
 KIND_PING = "ping"
+KIND_METRICS = "metrics"
 
 REQUEST_KINDS = (
     KIND_STUDY,
@@ -64,6 +65,7 @@ REQUEST_KINDS = (
     KIND_TRACE_SUMMARY,
     KIND_STATUS,
     KIND_PING,
+    KIND_METRICS,
 )
 
 #: Client name used when a request does not identify itself.

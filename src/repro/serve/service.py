@@ -39,12 +39,14 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro import obs
+from repro.obs.hist import Histogram, histogram_lines, metric_line
 from repro.serve.admission import (
     REASON_DRAINING,
     AdmissionController,
     AdmissionDecision,
 )
 from repro.serve.protocol import (
+    KIND_METRICS,
     KIND_MINE,
     KIND_PING,
     KIND_REPLAY,
@@ -60,14 +62,143 @@ from repro.serve.protocol import (
 )
 
 #: Request kinds whose responses are memoized (pure functions of the
-#: immutable warm state; ``trace-summary`` reads a file, ``status`` and
-#: ``ping`` are live).
+#: immutable warm state; ``trace-summary`` reads a file, ``status``,
+#: ``ping``, and ``metrics`` are live).
 MEMOIZED_KINDS = frozenset({KIND_STUDY, KIND_MINE, KIND_REPLAY})
+
+
+def _payload_size(payload: Mapping[str, Any]) -> int:
+    """Canonical-JSON byte size of a response payload (0 on failure)."""
+    try:
+        return len(
+            json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        )
+    except (TypeError, ValueError):
+        return 0
 
 
 def request_key(kind: str, params: Mapping[str, Any]) -> str:
     """Canonical memo key for one request: kind + sorted params JSON."""
     return kind + ":" + json.dumps(dict(params), sort_keys=True, separators=(",", ":"))
+
+
+class RequestStats:
+    """Per-request-kind observability counters and histograms.
+
+    Every request -- admitted or refused -- records exactly one latency
+    observation and one ``requests_total`` increment, so the exposition
+    reconciles with the client side: requests a loadgen sent equal the
+    histogram count for that kind, and its rejection count equals the
+    ``status="rejected-busy"`` counter.  Histograms use the shared
+    default :class:`~repro.obs.hist.Histogram` scheme, so serve-side
+    percentiles agree bucket-for-bucket with loadgen's.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: dict[tuple[str, str], int] = {}
+        self._latency: dict[str, Histogram] = {}
+        self._queue_wait: dict[str, Histogram] = {}
+        self._payload_bytes: dict[str, int] = {}
+
+    def observe(
+        self,
+        kind: str,
+        status: str,
+        *,
+        latency_seconds: float,
+        queue_seconds: float = 0.0,
+        payload_bytes: int = 0,
+    ) -> None:
+        """Record one finished (or refused) request."""
+        with self._lock:
+            self._requests[(kind, status)] = self._requests.get((kind, status), 0) + 1
+            self._latency.setdefault(kind, Histogram()).record(latency_seconds)
+            self._queue_wait.setdefault(kind, Histogram()).record(queue_seconds)
+            if payload_bytes:
+                self._payload_bytes[kind] = (
+                    self._payload_bytes.get(kind, 0) + payload_bytes
+                )
+
+    def requests_total(self, kind: str | None = None, status: str | None = None) -> int:
+        """Total requests observed, optionally filtered."""
+        with self._lock:
+            return sum(
+                count
+                for (k, s), count in self._requests.items()
+                if (kind is None or k == kind) and (status is None or s == status)
+            )
+
+    def latency_histogram(self, kind: str) -> Histogram | None:
+        """A copy of the latency histogram for ``kind`` (None if unseen)."""
+        with self._lock:
+            hist = self._latency.get(kind)
+            return Histogram.from_dict(hist.to_dict()) if hist is not None else None
+
+    def exposition(
+        self,
+        *,
+        uptime_seconds: float | None = None,
+        counters: Mapping[str, float] | None = None,
+        gauges: Mapping[str, float] | None = None,
+    ) -> str:
+        """The Prometheus-style text exposition of everything recorded.
+
+        Deterministically ordered (sorted kinds, sorted label sets) so
+        two scrapes of identical state are byte-identical.
+        """
+        with self._lock:
+            requests = dict(self._requests)
+            latency = {k: Histogram.from_dict(h.to_dict()) for k, h in self._latency.items()}
+            queue_wait = {
+                k: Histogram.from_dict(h.to_dict()) for k, h in self._queue_wait.items()
+            }
+            payload_bytes = dict(self._payload_bytes)
+
+        lines: list[str] = []
+        if uptime_seconds is not None:
+            lines.append("# TYPE repro_uptime_seconds gauge")
+            lines.append(metric_line("repro_uptime_seconds", round(uptime_seconds, 3)))
+        for name, value in sorted((gauges or {}).items()):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(metric_line(name, value))
+        lines.append("# TYPE repro_requests_total counter")
+        for (kind, status) in sorted(requests):
+            lines.append(
+                metric_line(
+                    "repro_requests_total",
+                    requests[(kind, status)],
+                    {"kind": kind, "status": status},
+                )
+            )
+        for name, value in sorted((counters or {}).items()):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(metric_line(name, value))
+        if payload_bytes:
+            lines.append("# TYPE repro_response_bytes_total counter")
+            for kind in sorted(payload_bytes):
+                lines.append(
+                    metric_line(
+                        "repro_response_bytes_total",
+                        payload_bytes[kind],
+                        {"kind": kind},
+                    )
+                )
+        lines.append("# TYPE repro_request_latency_seconds histogram")
+        for kind in sorted(latency):
+            lines.extend(
+                histogram_lines(
+                    "repro_request_latency_seconds", latency[kind], {"kind": kind}
+                )
+            )
+        lines.append("# TYPE repro_request_queue_seconds histogram")
+        for kind in sorted(queue_wait):
+            lines.extend(
+                histogram_lines(
+                    "repro_request_queue_seconds", queue_wait[kind], {"kind": kind}
+                )
+            )
+        return "\n".join(lines) + "\n"
 
 
 class StudyService:
@@ -118,6 +249,7 @@ class StudyService:
         self._counter_lock = threading.Lock()
         self._sequence = 0
         self._started = time.monotonic()
+        self.stats = RequestStats()
         self._handlers: dict[str, Callable[[Request], dict[str, Any]]] = {
             KIND_STUDY: self._handle_study,
             KIND_MINE: self._handle_mine,
@@ -125,6 +257,7 @@ class StudyService:
             KIND_TRACE_SUMMARY: self._handle_trace_summary,
             KIND_STATUS: self._handle_status,
             KIND_PING: self._handle_ping,
+            KIND_METRICS: self._handle_metrics,
         }
 
     # -- warm state ----------------------------------------------------- #
@@ -180,16 +313,32 @@ class StudyService:
         Never raises for request-shaped problems: handler errors come
         back as ``status="error"`` responses, admission refusals as
         ``rejected-busy`` / ``shutting-down``.
+
+        Every path -- success, error, refusal -- records exactly one
+        observation in :attr:`stats` (latency, admission wait, response
+        payload bytes), which is what makes the ``metrics`` exposition
+        reconcile with what clients actually sent.
         """
+        received = time.monotonic()
         decision = self.admission.admit(request.client)
+        admitted_at = time.monotonic()
         if not decision.admitted:
             self._count("rejected")
+            response = self._refusal(request, decision)
+            self.stats.observe(
+                request.kind,
+                response.status,
+                latency_seconds=time.monotonic() - received,
+                queue_seconds=admitted_at - received,
+            )
             self._publish_admission()
-            return self._refusal(request, decision)
+            return response
 
         name = self._request_name(request)
         started = time.monotonic()
         self._heartbeat("dispatched", name)
+        status = STATUS_ERROR
+        payload_bytes = 0
         try:
             with obs.span(
                 f"serve:{request.kind}", client=request.client, id=request.id
@@ -197,9 +346,12 @@ class StudyService:
                 payload, memoized = self._dispatch(request)
                 span.set(memoized=memoized)
             self._count("ok")
+            status = STATUS_OK
+            payload_bytes = _payload_size(payload)
             return Response(id=request.id, status=STATUS_OK, payload=payload)
         except Exception as exc:  # noqa: BLE001 -- a request must never kill the daemon
             self._count("errors")
+            status = STATUS_ERROR
             return Response(
                 id=request.id,
                 status=STATUS_ERROR,
@@ -208,6 +360,13 @@ class StudyService:
         finally:
             self.admission.release()
             self._heartbeat("completed", name, time.monotonic() - started)
+            self.stats.observe(
+                request.kind,
+                status,
+                latency_seconds=time.monotonic() - received,
+                queue_seconds=admitted_at - received,
+                payload_bytes=payload_bytes,
+            )
             self._publish_admission()
 
     def begin_drain(self) -> None:
@@ -362,6 +521,33 @@ class StudyService:
 
     def _handle_ping(self, request: Request) -> dict[str, Any]:
         return {"pong": True, "uptime_seconds": round(self.uptime_seconds, 3)}
+
+    def _handle_metrics(self, request: Request) -> dict[str, Any]:
+        """``metrics``: the Prometheus-style text exposition.
+
+        The in-flight metrics request itself is not yet recorded (its
+        observation happens after the handler returns), so a scrape
+        reflects exactly the requests that completed before it.
+        """
+        with self._counter_lock:
+            memo_hits = self._counters["memo_hits"]
+        admission = self.admission.snapshot()
+        text = self.stats.exposition(
+            uptime_seconds=self.uptime_seconds,
+            counters={
+                "repro_memo_hits_total": float(memo_hits),
+                "repro_rejected_busy_total": float(
+                    self.stats.requests_total(status=STATUS_REJECTED_BUSY)
+                ),
+            },
+            gauges={
+                "repro_admission_pending": float(admission.get("pending", 0)),
+                "repro_admission_max_pending": float(
+                    admission.get("max_pending", 0)
+                ),
+            },
+        )
+        return {"content_type": "text/plain; version=0.0.4", "text": text}
 
     # -- bookkeeping ----------------------------------------------------- #
 

@@ -30,6 +30,7 @@ import time
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro import obs
+from repro.obs import resources as obs_resources
 from repro.harness.engine import run_campaign
 from repro.harness.telemetry import ProgressReporter, Telemetry
 from repro.harness.workunit import WorkUnit
@@ -63,6 +64,11 @@ class NodeRun:
         digest: the output artifact's content digest.
         key: the node's memo key for this run.
         wall_seconds: producer wall time (0.0 for memo hits).
+        cpu_seconds: process CPU time the producer consumed (None for
+            memo hits).
+        peak_rss_bytes: peak RSS the resource sampler saw while the
+            producer ran (None when sampling is off or the node was a
+            memo hit).
     """
 
     name: str
@@ -70,6 +76,8 @@ class NodeRun:
     digest: str
     key: str
     wall_seconds: float
+    cpu_seconds: float | None = None
+    peak_rss_bytes: int | None = None
 
 
 @dataclasses.dataclass
@@ -139,13 +147,22 @@ def _node_runner(unit: WorkUnit, wave: _WaveContext) -> dict[str, Any]:
     node = wave.nodes[unit.fault_id]
     inputs = {dep: wave.inputs[dep] for dep in node.deps}
     started = time.monotonic()
+    cpu_started = time.process_time()
     with obs.span(f"node:{node.name}", kind=node.kind):
         payload = node.producer(wave.ctx, inputs, node.params_dict())
+    cpu = time.process_time() - cpu_started
     wall = time.monotonic() - started
+    # Peak RSS over the node's window, when a sampler covers this
+    # process (dispatcher-side on the serial path, worker-side after a
+    # fork).  None when sampling is off or the node outran the interval.
+    sampler = obs_resources.active_sampler()
+    peak_rss = sampler.peak_rss_since(started) if sampler is not None else None
     return {
         "payload": payload,
         "digest": artifact_digest(payload),
         "wall_seconds": wall,
+        "cpu_seconds": cpu,
+        "peak_rss_bytes": peak_rss,
     }
 
 
@@ -357,22 +374,29 @@ def run_study(
                         runs[name] = NodeRun(
                             name, STATUS_EXECUTED, digest, keys[name],
                             result["wall_seconds"],
+                            cpu_seconds=result.get("cpu_seconds"),
+                            peak_rss_bytes=result.get("peak_rss_bytes"),
                         )
                         telemetry.count("studygraph.nodes.executed")
                         if cache is not None:
                             cache.store(keys[name], DATA_TAG, {"payload": payload})
-                            cache.store(
-                                keys[name],
-                                META_TAG,
-                                {
-                                    "memo_version": MEMO_VERSION,
-                                    "node": name,
-                                    "digest": digest,
-                                    "wall_seconds": round(
-                                        result["wall_seconds"], 6
-                                    ),
-                                },
-                            )
+                            meta_entry = {
+                                "memo_version": MEMO_VERSION,
+                                "node": name,
+                                "digest": digest,
+                                "wall_seconds": round(
+                                    result["wall_seconds"], 6
+                                ),
+                            }
+                            if result.get("cpu_seconds") is not None:
+                                meta_entry["cpu_seconds"] = round(
+                                    result["cpu_seconds"], 6
+                                )
+                            if result.get("peak_rss_bytes") is not None:
+                                meta_entry["peak_rss_bytes"] = int(
+                                    result["peak_rss_bytes"]
+                                )
+                            cache.store(keys[name], META_TAG, meta_entry)
 
             resolved += len(ready)
             unlocked: list[str] = []
